@@ -1,0 +1,175 @@
+//! Query clustering by co-click similarity — the related-work family
+//! the paper's Section V argues against (Wen, Nie & Zhang, "Clustering
+//! user queries of a search engine", WWW 2001).
+//!
+//! Two queries belong together when their clicked-page sets are
+//! similar (Jaccard over `G_L`). The paper's critique, measurable here:
+//! such similarity "may discover many pairs of related queries that are
+//! not synonyms", and — like the random walk — it can only fire when
+//! the canonical string was itself issued as a query.
+
+use crate::output::BaselineOutput;
+use websyn_click::{ClickGraph, ClickLog};
+use websyn_common::{FxHashSet, PageId, QueryId};
+
+/// Co-click query-clustering baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterBaseline {
+    /// Minimum Jaccard similarity of clicked-page sets.
+    pub min_similarity: f64,
+    /// Hard cap on synonyms per entity.
+    pub max_per_entity: usize,
+}
+
+impl Default for ClusterBaseline {
+    fn default() -> Self {
+        Self {
+            min_similarity: 0.3,
+            max_per_entity: 20,
+        }
+    }
+}
+
+impl ClusterBaseline {
+    /// Runs the baseline for every canonical string.
+    pub fn run(&self, u_set: &[String], log: &ClickLog, graph: &ClickGraph) -> BaselineOutput {
+        let mut per_entity = Vec::with_capacity(u_set.len());
+        for u in u_set {
+            per_entity.push(self.cluster_of(u, log, graph));
+        }
+        BaselineOutput::new(
+            format!("Cluster({:.2})", self.min_similarity),
+            per_entity,
+        )
+    }
+
+    /// The queries co-clustered with one canonical string, ranked by
+    /// descending similarity.
+    pub fn cluster_of(&self, u: &str, log: &ClickLog, graph: &ClickGraph) -> Vec<String> {
+        let Some(start) = log.query_id(u) else {
+            return Vec::new(); // same structural gate as the walk
+        };
+        let my_pages: FxHashSet<PageId> =
+            graph.pages_of(start).iter().map(|&(p, _)| p).collect();
+        if my_pages.is_empty() {
+            return Vec::new();
+        }
+        // Candidate queries: those sharing at least one clicked page
+        // (full pairwise comparison over the log would be quadratic).
+        let mut candidates: FxHashSet<QueryId> = FxHashSet::default();
+        for &p in &my_pages {
+            for &(q, _) in graph.queries_of(p) {
+                if q != start {
+                    candidates.insert(q);
+                }
+            }
+        }
+        let mut scored: Vec<(QueryId, f64)> = candidates
+            .into_iter()
+            .filter_map(|q| {
+                let other: FxHashSet<PageId> =
+                    graph.pages_of(q).iter().map(|&(p, _)| p).collect();
+                let inter = my_pages.intersection(&other).count();
+                let union = my_pages.len() + other.len() - inter;
+                let sim = inter as f64 / union as f64;
+                (sim >= self.min_similarity).then_some((q, sim))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("similarity is finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .take(self.max_per_entity)
+            .map(|(q, _)| log.query_text(q).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+
+    /// "canonical" and "twin" click the same two pages; "partial"
+    /// shares one page of three; "elsewhere" shares nothing.
+    fn setup() -> (ClickLog, ClickGraph) {
+        let mut b = ClickLogBuilder::new();
+        let canonical = b.add_impression("canonical");
+        let twin = b.add_impression("twin");
+        let partial = b.add_impression("partial");
+        let elsewhere = b.add_impression("elsewhere");
+        for p in [0u32, 1] {
+            b.add_click(canonical, PageId::new(p));
+            b.add_click(twin, PageId::new(p));
+        }
+        b.add_click(partial, PageId::new(0));
+        b.add_click(partial, PageId::new(2));
+        b.add_click(partial, PageId::new(3));
+        b.add_click(elsewhere, PageId::new(4));
+        let log = b.build();
+        let graph = ClickGraph::build(&log, 5);
+        (log, graph)
+    }
+
+    #[test]
+    fn finds_identically_clicking_twin() {
+        let (log, graph) = setup();
+        let out = ClusterBaseline::default().run(
+            &["canonical".to_string()],
+            &log,
+            &graph,
+        );
+        assert!(out.per_entity[0].contains(&"twin".to_string()));
+        assert!(!out.per_entity[0].contains(&"elsewhere".to_string()));
+    }
+
+    #[test]
+    fn threshold_excludes_weak_overlap() {
+        let (log, graph) = setup();
+        // partial: |∩|=1, |∪|=4 → 0.25 < 0.3 default.
+        let strict = ClusterBaseline::default().run(
+            &["canonical".to_string()],
+            &log,
+            &graph,
+        );
+        assert!(!strict.per_entity[0].contains(&"partial".to_string()));
+        let loose = ClusterBaseline {
+            min_similarity: 0.2,
+            ..Default::default()
+        }
+        .run(&["canonical".to_string()], &log, &graph);
+        assert!(loose.per_entity[0].contains(&"partial".to_string()));
+    }
+
+    #[test]
+    fn unqueried_canonical_gets_nothing() {
+        let (log, graph) = setup();
+        let out = ClusterBaseline::default().run(
+            &["never queried".to_string()],
+            &log,
+            &graph,
+        );
+        assert!(out.per_entity[0].is_empty());
+    }
+
+    #[test]
+    fn ranked_by_similarity_then_capped() {
+        let (log, graph) = setup();
+        let out = ClusterBaseline {
+            min_similarity: 0.1,
+            max_per_entity: 1,
+        }
+        .run(&["canonical".to_string()], &log, &graph);
+        assert_eq!(out.per_entity[0], vec!["twin".to_string()]);
+    }
+
+    #[test]
+    fn name_reflects_threshold() {
+        let (log, graph) = setup();
+        let out = ClusterBaseline::default().run(&["canonical".to_string()], &log, &graph);
+        assert_eq!(out.name, "Cluster(0.30)");
+    }
+}

@@ -1,0 +1,159 @@
+//! Fuzzy string-similarity matching — the Lucene-fuzzy-search-shaped
+//! comparator: a logged query is a synonym of `u` if its surface is
+//! *similar enough* as a string (trigram Jaccard or normalized edit
+//! distance).
+//!
+//! Good at recovering misspellings and light reorderings; structurally
+//! unable to find nicknames and marketing names, and prone to accepting
+//! a *sibling* entity's name (one digit apart: "eos 350d" vs
+//! "eos 450d") — the reason string similarity alone cannot solve the
+//! paper's problem.
+
+use crate::output::BaselineOutput;
+use websyn_click::ClickLog;
+use websyn_text::ngram::trigram_similarity;
+use websyn_text::{normalize, normalized_levenshtein};
+
+/// Which similarity backs the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityKind {
+    /// Character-trigram Jaccard (Lucene/Postgres `pg_trgm` style).
+    Trigram,
+    /// Normalized Levenshtein similarity.
+    Levenshtein,
+}
+
+/// String-similarity baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EditDistanceBaseline {
+    /// Similarity function.
+    pub kind: SimilarityKind,
+    /// Minimum similarity in `[0, 1]` to accept.
+    pub threshold: f64,
+}
+
+impl Default for EditDistanceBaseline {
+    fn default() -> Self {
+        Self {
+            kind: SimilarityKind::Trigram,
+            threshold: 0.55,
+        }
+    }
+}
+
+impl EditDistanceBaseline {
+    /// Runs the baseline over the logged query universe.
+    pub fn run(&self, u_set: &[String], log: &ClickLog) -> BaselineOutput {
+        let queries: Vec<String> = log.queries().map(|(_, t)| normalize(t)).collect();
+        let mut per_entity = Vec::with_capacity(u_set.len());
+        for u in u_set {
+            let u_norm = normalize(u);
+            let mut synonyms: Vec<String> = queries
+                .iter()
+                .filter(|q| **q != u_norm && self.similarity(q, &u_norm) >= self.threshold)
+                .cloned()
+                .collect();
+            synonyms.sort();
+            synonyms.dedup();
+            per_entity.push(synonyms);
+        }
+        let name = match self.kind {
+            SimilarityKind::Trigram => format!("Trigram({:.2})", self.threshold),
+            SimilarityKind::Levenshtein => format!("EditDist({:.2})", self.threshold),
+        };
+        BaselineOutput::new(name, per_entity)
+    }
+
+    /// The configured similarity of two normalized strings.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        match self.kind {
+            SimilarityKind::Trigram => trigram_similarity(a, b),
+            SimilarityKind::Levenshtein => normalized_levenshtein(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+
+    fn log_with(queries: &[&str]) -> ClickLog {
+        let mut b = ClickLogBuilder::new();
+        for q in queries {
+            b.add_impression(q);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn recovers_misspellings() {
+        let log = log_with(&["canon eos 350d", "canon eos 350", "cannon eos 350d"]);
+        let u_set = vec!["canon eos 350d".to_string()];
+        let out = EditDistanceBaseline::default().run(&u_set, &log);
+        let syns = &out.per_entity[0];
+        assert!(syns.contains(&"cannon eos 350d".to_string()), "{syns:?}");
+        assert!(syns.contains(&"canon eos 350".to_string()));
+    }
+
+    #[test]
+    fn blind_to_semantic_aliases() {
+        let log = log_with(&["digital rebel xt", "350d"]);
+        let u_set = vec!["canon eos 350d".to_string()];
+        let out = EditDistanceBaseline::default().run(&u_set, &log);
+        assert!(
+            !out.per_entity[0].contains(&"digital rebel xt".to_string()),
+            "string similarity cannot see marketing names"
+        );
+    }
+
+    #[test]
+    fn sibling_confusion_failure_mode() {
+        // One digit apart: very similar strings, different entities.
+        let base = EditDistanceBaseline {
+            kind: SimilarityKind::Levenshtein,
+            threshold: 0.85,
+        };
+        let log = log_with(&["canon eos 450d"]);
+        let u_set = vec!["canon eos 350d".to_string()];
+        let out = base.run(&u_set, &log);
+        assert!(
+            out.per_entity[0].contains(&"canon eos 450d".to_string()),
+            "the documented false positive should occur"
+        );
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        let log = log_with(&["alpha beta", "alpha bet", "alpha", "zzz"]);
+        let u_set = vec!["alpha beta".to_string()];
+        let count = |t: f64| {
+            EditDistanceBaseline {
+                kind: SimilarityKind::Trigram,
+                threshold: t,
+            }
+            .run(&u_set, &log)
+            .total_synonyms()
+        };
+        assert!(count(0.2) >= count(0.5));
+        assert!(count(0.5) >= count(0.9));
+    }
+
+    #[test]
+    fn both_kinds_score_identity_as_one() {
+        for kind in [SimilarityKind::Trigram, SimilarityKind::Levenshtein] {
+            let b = EditDistanceBaseline {
+                kind,
+                threshold: 0.5,
+            };
+            assert!((b.similarity("same text", "same text") - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn names_reflect_config() {
+        let log = log_with(&[]);
+        let out = EditDistanceBaseline::default().run(&["u".to_string()], &log);
+        assert!(out.name.starts_with("Trigram"));
+    }
+}

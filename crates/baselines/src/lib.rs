@@ -1,0 +1,36 @@
+//! # websyn-baselines
+//!
+//! The comparators of the paper's Table I plus the two string-matching
+//! straw men its introduction dismisses:
+//!
+//! - [`wiki`] — Wikipedia redirect/disambiguation pages, simulated with
+//!   popularity-gated coverage (head entities have curated redirects,
+//!   tail entities mostly do not — the mechanism behind the paper's
+//!   96% vs 11.5% hit-ratio split);
+//! - [`walk`] — "Random Walk on a Click Graph" (Craswell & Szummer /
+//!   Fuxman et al.), operating on the same click graph as the miner;
+//! - [`substring`] — token-level substring matching ("works for
+//!   'Madagascar 2', falls short on 'Escape Africa', hopeless on
+//!   'Digital Rebel XT'");
+//! - [`editdist`] — Lucene-fuzzy-style string similarity matching;
+//! - [`cluster`] — co-click query clustering (Wen et al., the paper's
+//!   ref \[6\]), the "similarity-based approaches" its Section V argues
+//!   against.
+//!
+//! All baselines emit the common [`BaselineOutput`], which computes the
+//! paper's Hit Ratio and Expansion Ratio plus (beyond the paper) exact
+//! precision against the synthetic oracle.
+
+pub mod cluster;
+pub mod editdist;
+pub mod output;
+pub mod substring;
+pub mod walk;
+pub mod wiki;
+
+pub use cluster::ClusterBaseline;
+pub use editdist::EditDistanceBaseline;
+pub use output::BaselineOutput;
+pub use substring::SubstringBaseline;
+pub use walk::WalkBaseline;
+pub use wiki::WikiBaseline;

@@ -1,0 +1,134 @@
+//! Common output shape and Table I measures for all baselines.
+
+use websyn_common::EntityId;
+use websyn_synth::World;
+
+/// Per-entity synonym lists produced by a baseline (or by the miner,
+/// converted), with the Table I measures.
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    /// Method label for reports.
+    pub name: String,
+    /// Synonym texts per entity, index == `EntityId`.
+    pub per_entity: Vec<Vec<String>>,
+}
+
+impl BaselineOutput {
+    /// Creates an output table.
+    pub fn new(name: impl Into<String>, per_entity: Vec<Vec<String>>) -> Self {
+        Self {
+            name: name.into(),
+            per_entity,
+        }
+    }
+
+    /// Number of entities ("Orig").
+    pub fn n_entities(&self) -> usize {
+        self.per_entity.len()
+    }
+
+    /// Entities with at least one synonym ("Hits").
+    pub fn hits(&self) -> usize {
+        self.per_entity.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// `hits / orig` ("Ratio").
+    pub fn hit_ratio(&self) -> f64 {
+        if self.per_entity.is_empty() {
+            0.0
+        } else {
+            self.hits() as f64 / self.per_entity.len() as f64
+        }
+    }
+
+    /// Total synonyms ("Synonyms").
+    pub fn total_synonyms(&self) -> usize {
+        self.per_entity.iter().map(|s| s.len()).sum()
+    }
+
+    /// `(synonyms + orig) / orig` ("Expansion").
+    pub fn expansion_ratio(&self) -> f64 {
+        if self.per_entity.is_empty() {
+            0.0
+        } else {
+            (self.total_synonyms() + self.per_entity.len()) as f64
+                / self.per_entity.len() as f64
+        }
+    }
+
+    /// Exact precision against the world oracle (beyond the paper,
+    /// which only reports Hits/Expansion for the baselines).
+    pub fn precision(&self, world: &World) -> f64 {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (i, synonyms) in self.per_entity.iter().enumerate() {
+            let e = EntityId::from_usize(i);
+            for s in synonyms {
+                total += 1;
+                if world.truth.is_true_synonym(s, e) {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// One formatted Table I row:
+    /// `name, orig, hits, hit%, synonyms, expansion%`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<18} {:>5} {:>5} {:>6.1}% {:>9} {:>6.0}%",
+            self.name,
+            self.n_entities(),
+            self.hits(),
+            self.hit_ratio() * 100.0,
+            self.total_synonyms(),
+            self.expansion_ratio() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> BaselineOutput {
+        BaselineOutput::new(
+            "test",
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec![],
+                vec!["c".to_string()],
+            ],
+        )
+    }
+
+    #[test]
+    fn table_i_measures() {
+        let o = output();
+        assert_eq!(o.n_entities(), 3);
+        assert_eq!(o.hits(), 2);
+        assert!((o.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(o.total_synonyms(), 3);
+        assert!((o.expansion_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_output() {
+        let o = BaselineOutput::new("empty", Vec::new());
+        assert_eq!(o.hits(), 0);
+        assert_eq!(o.hit_ratio(), 0.0);
+        assert_eq!(o.expansion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn table_row_shape() {
+        let row = output().table_row();
+        assert!(row.contains("test"));
+        assert!(row.contains('%'));
+    }
+}

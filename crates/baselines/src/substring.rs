@@ -1,0 +1,149 @@
+//! Token-level substring matching — the straw man from the paper's
+//! introduction: it "works well for some cases ('Madagascar 2' from
+//! 'Madagascar: Escape 2 Africa'), falls short in others ('Escape
+//! Africa' would also be considered incorrectly …) and is hopeless for
+//! the rest ('Canon EOS 350D' with 'Digital Rebel XT')".
+//!
+//! A logged query counts as a synonym of `u` iff its tokens form an
+//! ordered subsequence of `u`'s tokens. This deliberately reproduces
+//! both failure modes the paper names: over-acceptance of
+//! subset-but-not-synonym strings and total blindness to semantic
+//! aliases.
+
+use crate::output::BaselineOutput;
+use websyn_click::ClickLog;
+use websyn_text::normalize;
+
+/// Substring/subsequence matching baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstringBaseline {
+    /// Minimum token count for a candidate (1 admits bare single
+    /// words, which is what naive matching does).
+    pub min_tokens: usize,
+}
+
+impl Default for SubstringBaseline {
+    fn default() -> Self {
+        Self { min_tokens: 1 }
+    }
+}
+
+impl SubstringBaseline {
+    /// Runs the baseline: every logged query that is an ordered token
+    /// subsequence of `u` (and not `u` itself) becomes a synonym.
+    pub fn run(&self, u_set: &[String], log: &ClickLog) -> BaselineOutput {
+        // Pre-tokenize the query universe once.
+        let queries: Vec<(String, Vec<String>)> = log
+            .queries()
+            .map(|(_, text)| {
+                let norm = normalize(text);
+                let toks = norm.split(' ').map(String::from).collect();
+                (norm, toks)
+            })
+            .collect();
+
+        let mut per_entity = Vec::with_capacity(u_set.len());
+        for u in u_set {
+            let u_norm = normalize(u);
+            let u_tokens: Vec<&str> = u_norm.split(' ').collect();
+            let mut synonyms = Vec::new();
+            for (text, tokens) in &queries {
+                if *text == u_norm || tokens.len() < self.min_tokens {
+                    continue;
+                }
+                if is_subsequence(tokens, &u_tokens) {
+                    synonyms.push(text.clone());
+                }
+            }
+            synonyms.sort();
+            per_entity.push(synonyms);
+        }
+        BaselineOutput::new("Substring", per_entity)
+    }
+}
+
+/// True iff `needle` is an ordered (not necessarily contiguous)
+/// subsequence of `haystack`.
+fn is_subsequence(needle: &[String], haystack: &[&str]) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let mut h = haystack.iter();
+    needle
+        .iter()
+        .all(|n| h.by_ref().any(|&hay| hay == n.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+
+    fn log_with(queries: &[&str]) -> ClickLog {
+        let mut b = ClickLogBuilder::new();
+        for q in queries {
+            b.add_impression(q);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn accepts_ordered_subsequences() {
+        let log = log_with(&[
+            "madagascar 2",
+            "escape africa",
+            "madagascar escape",
+            "africa escape", // wrong order
+            "digital rebel xt",
+        ]);
+        let u_set = vec!["madagascar escape 2 africa".to_string()];
+        let out = SubstringBaseline::default().run(&u_set, &log);
+        let syns = &out.per_entity[0];
+        // The good case from the paper:
+        assert!(syns.contains(&"madagascar 2".to_string()));
+        // The documented false positive:
+        assert!(syns.contains(&"escape africa".to_string()));
+        assert!(syns.contains(&"madagascar escape".to_string()));
+        // Order matters for subsequences:
+        assert!(!syns.contains(&"africa escape".to_string()));
+        // The hopeless case: no token overlap.
+        assert!(!syns.contains(&"digital rebel xt".to_string()));
+    }
+
+    #[test]
+    fn canonical_itself_excluded() {
+        let log = log_with(&["alpha beta", "alpha"]);
+        let u_set = vec!["alpha beta".to_string()];
+        let out = SubstringBaseline::default().run(&u_set, &log);
+        assert_eq!(out.per_entity[0], vec!["alpha".to_string()]);
+    }
+
+    #[test]
+    fn min_tokens_filters_single_words() {
+        let log = log_with(&["alpha", "alpha beta"]);
+        let u_set = vec!["alpha beta gamma".to_string()];
+        let strict = SubstringBaseline { min_tokens: 2 };
+        let out = strict.run(&u_set, &log);
+        assert_eq!(out.per_entity[0], vec!["alpha beta".to_string()]);
+    }
+
+    #[test]
+    fn empty_log_or_uset() {
+        let log = log_with(&[]);
+        let out = SubstringBaseline::default().run(&["x y".to_string()], &log);
+        assert_eq!(out.hits(), 0);
+        let out2 = SubstringBaseline::default().run(&[], &log);
+        assert_eq!(out2.n_entities(), 0);
+    }
+
+    #[test]
+    fn subsequence_helper() {
+        let hay = ["a", "b", "c", "d"];
+        let needle = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(is_subsequence(&needle(&["a", "c"]), &hay));
+        assert!(is_subsequence(&needle(&["b", "c", "d"]), &hay));
+        assert!(!is_subsequence(&needle(&["c", "a"]), &hay));
+        assert!(!is_subsequence(&needle(&["e"]), &hay));
+        assert!(!is_subsequence(&needle(&[]), &hay));
+    }
+}

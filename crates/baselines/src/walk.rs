@@ -1,0 +1,171 @@
+//! The random-walk baseline of Table I ("Walk(0.8)").
+//!
+//! "We used the random walk solution in [Fuxman et al.] to evaluate the
+//! potential of generating synonyms with default parameters. … the
+//! random walk has low hit ratio on cameras, since the random walk
+//! operates completely on the click graph. So if a query has not been
+//! asked then no synonym will be produced."
+//!
+//! The walk starts at the node of the entity's *canonical string*; if
+//! that exact string never occurs as a query (typical for tail cameras
+//! — "the entities' data values usually come in the canonical form …
+//! and therefore may not be used as queries by people"), the entity
+//! gets nothing. That structural weakness — not walk quality — is what
+//! Table I exposes.
+
+use crate::output::BaselineOutput;
+use websyn_click::{ClickGraph, ClickLog, RandomWalk};
+
+/// Random-walk synonym generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkBaseline {
+    /// The lazy walk parameters (`Walk(0.8)` = self-transition 0.8).
+    pub walk: RandomWalk,
+    /// Keep a query iff its mass is at least this fraction of the
+    /// start node's residual mass.
+    pub relative_mass: f64,
+    /// Hard cap on synonyms per entity (the published method returns a
+    /// shortlist, not the whole distribution).
+    pub max_per_entity: usize,
+}
+
+impl Default for WalkBaseline {
+    fn default() -> Self {
+        Self {
+            walk: RandomWalk::default(),
+            relative_mass: 0.05,
+            max_per_entity: 20,
+        }
+    }
+}
+
+impl WalkBaseline {
+    /// Runs the baseline for every entity string in `u_set`.
+    pub fn run(&self, u_set: &[String], log: &ClickLog, graph: &ClickGraph) -> BaselineOutput {
+        let mut per_entity = Vec::with_capacity(u_set.len());
+        for u in u_set {
+            per_entity.push(self.synonyms_for(u, log, graph));
+        }
+        BaselineOutput::new(
+            format!("Walk({:.1})", self.walk.self_transition),
+            per_entity,
+        )
+    }
+
+    /// Synonyms for one canonical string.
+    pub fn synonyms_for(&self, u: &str, log: &ClickLog, graph: &ClickGraph) -> Vec<String> {
+        // The structural gate: no query node, no walk.
+        let Some(start) = log.query_id(u) else {
+            return Vec::new();
+        };
+        let dist = self.walk.from_query(graph, start);
+        let start_mass = dist
+            .iter()
+            .find(|&&(q, _)| q == start)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0);
+        if start_mass <= 0.0 {
+            return Vec::new();
+        }
+        let cutoff = start_mass * self.relative_mass;
+        dist.into_iter()
+            .filter(|&(q, m)| q != start && m >= cutoff)
+            .take(self.max_per_entity)
+            .map(|(q, _)| log.query_text(q).to_string())
+            .collect()
+    }
+
+    /// The number of entities whose canonical string exists as a query
+    /// (the baseline's reachable set; diagnostics for Table I analysis).
+    pub fn reachable(&self, u_set: &[String], log: &ClickLog) -> usize {
+        u_set.iter().filter(|u| log.query_id(u).is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+    use websyn_common::PageId;
+
+    /// "canon eos 350d" co-clicks page 0 with "350d" and "rebel xt";
+    /// "nikon d40" was never issued as a query.
+    fn setup() -> (Vec<String>, ClickLog, ClickGraph) {
+        let mut b = ClickLogBuilder::new();
+        let canonical = b.add_impression("canon eos 350d");
+        let tail = b.add_impression("350d");
+        let rebel = b.add_impression("rebel xt");
+        let other = b.add_impression("something else");
+        for _ in 0..10 {
+            b.add_click(canonical, PageId::new(0));
+            b.add_click(tail, PageId::new(0));
+            b.add_click(rebel, PageId::new(0));
+        }
+        b.add_click(rebel, PageId::new(1));
+        for _ in 0..10 {
+            b.add_click(other, PageId::new(2));
+        }
+        let log = b.build();
+        let graph = ClickGraph::build(&log, 3);
+        let u_set = vec!["canon eos 350d".to_string(), "nikon d40".to_string()];
+        (u_set, log, graph)
+    }
+
+    #[test]
+    fn finds_co_clicking_queries() {
+        let (u_set, log, graph) = setup();
+        let out = WalkBaseline::default().run(&u_set, &log, &graph);
+        let syns = &out.per_entity[0];
+        assert!(syns.contains(&"350d".to_string()), "{syns:?}");
+        assert!(syns.contains(&"rebel xt".to_string()), "{syns:?}");
+        assert!(!syns.contains(&"something else".to_string()));
+        assert!(!syns.contains(&"canon eos 350d".to_string()), "start excluded");
+    }
+
+    #[test]
+    fn unqueried_canonical_gets_nothing() {
+        let (u_set, log, graph) = setup();
+        let out = WalkBaseline::default().run(&u_set, &log, &graph);
+        assert!(out.per_entity[1].is_empty());
+        assert_eq!(out.hits(), 1);
+        assert_eq!(WalkBaseline::default().reachable(&u_set, &log), 1);
+    }
+
+    #[test]
+    fn relative_mass_threshold_prunes() {
+        let (u_set, log, graph) = setup();
+        let strict = WalkBaseline {
+            relative_mass: 2.0, // nothing can reach 200% of start mass
+            ..Default::default()
+        };
+        let out = strict.run(&u_set, &log, &graph);
+        assert!(out.per_entity[0].is_empty());
+    }
+
+    #[test]
+    fn max_per_entity_caps() {
+        let (u_set, log, graph) = setup();
+        let capped = WalkBaseline {
+            max_per_entity: 1,
+            relative_mass: 0.0001,
+            ..Default::default()
+        };
+        let out = capped.run(&u_set, &log, &graph);
+        assert!(out.per_entity[0].len() <= 1);
+    }
+
+    #[test]
+    fn name_reports_self_transition() {
+        let (u_set, log, graph) = setup();
+        let out = WalkBaseline::default().run(&u_set, &log, &graph);
+        assert_eq!(out.name, "Walk(0.8)");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (u_set, log, graph) = setup();
+        let a = WalkBaseline::default().run(&u_set, &log, &graph);
+        let b = WalkBaseline::default().run(&u_set, &log, &graph);
+        assert_eq!(a.per_entity, b.per_entity);
+    }
+}

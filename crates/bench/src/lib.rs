@@ -1,0 +1,189 @@
+//! # websyn-bench
+//!
+//! The experiment harness: shared pipeline assembly for the binaries
+//! that regenerate every table and figure of the paper
+//! (`fig2`, `fig3`, `table1`, `ablation`) and for the Criterion
+//! micro-benchmarks.
+
+use websyn_click::session::{engine_for_world, simulate_sessions};
+use websyn_click::{SessionConfig, SessionStats};
+use websyn_core::miner::select_with;
+use websyn_core::{evaluate, EvalReport, MinerConfig, MiningContext, MiningResult, ScoredCandidates, SynonymMiner};
+use websyn_engine::{SearchData, SearchEngine};
+use websyn_synth::{queries, QueryEvent, QueryStreamConfig, World, WorldConfig};
+
+/// The Search Data collection depth used by all experiments: deep
+/// enough for the surrogate-depth ablation (k ≤ 20).
+pub const SEARCH_DEPTH: usize = 20;
+
+/// Default query-stream sizes per dataset, chosen so that tail entities
+/// receive realistic (sparse) traffic.
+pub const MOVIES_EVENTS: usize = 120_000;
+
+/// Default camera stream size (882 entities need a longer log).
+pub const CAMERAS_EVENTS: usize = 350_000;
+
+/// A fully assembled experiment pipeline.
+pub struct Pipeline {
+    /// The synthetic world (catalog + aliases + pages + oracle).
+    pub world: World,
+    /// The search engine over the world's pages.
+    pub engine: SearchEngine,
+    /// The generated query stream.
+    pub events: Vec<QueryEvent>,
+    /// Session simulation statistics.
+    pub stats: SessionStats,
+    /// The assembled mining inputs.
+    pub ctx: MiningContext,
+}
+
+/// Builds the full pipeline for a world configuration.
+pub fn build_pipeline(
+    world_config: &WorldConfig,
+    n_events: usize,
+    session: SessionConfig,
+) -> Pipeline {
+    let mut world = World::build(world_config);
+    let events = queries::generate(&mut world, &QueryStreamConfig::small(n_events));
+    let engine = engine_for_world(&world);
+    let (log, stats) = simulate_sessions(&world, &engine, &events, &session);
+    let u_set: Vec<String> = world
+        .entities
+        .iter()
+        .map(|e| e.canonical_norm.clone())
+        .collect();
+    let search = SearchData::collect(&engine, &u_set, SEARCH_DEPTH);
+    let n_pages = world.pages.len();
+    let ctx = MiningContext::new(u_set, search, log, n_pages);
+    Pipeline {
+        world,
+        engine,
+        events,
+        stats,
+        ctx,
+    }
+}
+
+/// The D1 (movies) pipeline at its default size.
+pub fn movies_pipeline() -> Pipeline {
+    build_pipeline(
+        &WorldConfig::movies_2008(),
+        MOVIES_EVENTS,
+        SessionConfig::default(),
+    )
+}
+
+/// The D2 (cameras) pipeline at its default size.
+pub fn cameras_pipeline() -> Pipeline {
+    build_pipeline(
+        &WorldConfig::cameras_msn(),
+        CAMERAS_EVENTS,
+        SessionConfig::default(),
+    )
+}
+
+/// A scaled-down movies pipeline for tests and micro-benchmarks.
+pub fn small_pipeline(n_entities: usize, n_events: usize, seed: u64) -> Pipeline {
+    build_pipeline(
+        &WorldConfig::small_movies(n_entities, seed),
+        n_events,
+        SessionConfig::default(),
+    )
+}
+
+/// One sweep point: thresholds plus the resulting evaluation.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// IPC threshold β.
+    pub beta: u32,
+    /// ICR threshold γ.
+    pub gamma: f64,
+    /// The evaluation at this operating point.
+    pub report: EvalReport,
+}
+
+/// Scores once, then evaluates a grid of (β, γ) points.
+pub fn sweep(
+    pipeline: &Pipeline,
+    top_k: usize,
+    points: &[(u32, f64)],
+) -> (ScoredCandidates, Vec<SweepPoint>) {
+    let miner = SynonymMiner::new(MinerConfig {
+        top_k,
+        ..Default::default()
+    });
+    let scored = miner.score(&pipeline.ctx);
+    let out = points
+        .iter()
+        .map(|&(beta, gamma)| {
+            let result = select_with(&pipeline.ctx, &scored, beta, gamma, miner.config);
+            SweepPoint {
+                beta,
+                gamma,
+                report: evaluate(&result, &pipeline.ctx, &pipeline.world),
+            }
+        })
+        .collect();
+    (scored, out)
+}
+
+/// Converts a mining result into the baselines' output shape so Table I
+/// can print one uniform table.
+pub fn to_baseline_output(
+    name: &str,
+    result: &MiningResult,
+) -> websyn_baselines::BaselineOutput {
+    let per_entity = result
+        .per_entity
+        .iter()
+        .map(|es| es.synonyms.iter().map(|s| s.text.clone()).collect())
+        .collect();
+    websyn_baselines::BaselineOutput::new(name, per_entity)
+}
+
+/// Prints a markdown table header used by the figure binaries.
+pub fn print_table_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pipeline_assembles() {
+        let p = small_pipeline(10, 5_000, 3);
+        assert_eq!(p.ctx.n_entities(), 10);
+        assert!(p.stats.clicks > 0);
+        assert!(p.ctx.log.n_queries() > 0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_beta() {
+        let p = small_pipeline(15, 15_000, 5);
+        let points: Vec<(u32, f64)> = (2..=6).map(|b| (b, 0.0)).collect();
+        let (_, results) = sweep(&p, 10, &points);
+        for w in results.windows(2) {
+            assert!(
+                w[1].report.n_synonyms <= w[0].report.n_synonyms,
+                "β={} produced more synonyms than β={}",
+                w[1].beta,
+                w[0].beta
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_output_conversion() {
+        let p = small_pipeline(8, 6_000, 7);
+        let result = SynonymMiner::default().mine(&p.ctx);
+        let out = to_baseline_output("Us", &result);
+        assert_eq!(out.n_entities(), 8);
+        assert_eq!(out.total_synonyms(), result.total_synonyms());
+        assert_eq!(out.hits(), result.hits());
+    }
+}

@@ -1,0 +1,206 @@
+//! The bipartite query–page click graph.
+//!
+//! Both the paper's candidate generation ("find out how users access
+//! those surrogates" — the page→queries direction) and the random-walk
+//! baseline need fast adjacency in both directions. The graph stores
+//! both as CSR (compressed sparse row) arrays built in one pass from
+//! the click log.
+
+use crate::log::ClickLog;
+use websyn_common::{PageId, QueryId};
+
+/// An immutable bipartite click graph.
+#[derive(Debug, Clone)]
+pub struct ClickGraph {
+    n_queries: usize,
+    n_pages: usize,
+    /// CSR query → (page, n).
+    q_offsets: Vec<u32>,
+    q_edges: Vec<(PageId, u32)>,
+    /// CSR page → (query, n).
+    p_offsets: Vec<u32>,
+    p_edges: Vec<(QueryId, u32)>,
+}
+
+impl ClickGraph {
+    /// Builds the graph from a click log. `n_pages` must be at least
+    /// [`ClickLog::page_bound`]; pass the page-universe size so that
+    /// unclicked pages get (empty) rows too.
+    pub fn build(log: &ClickLog, n_pages: usize) -> Self {
+        assert!(
+            n_pages >= log.page_bound(),
+            "n_pages {} below page bound {}",
+            n_pages,
+            log.page_bound()
+        );
+        let n_queries = log.n_queries();
+        let tuples = log.tuples();
+
+        // Query-side CSR mirrors the log's own layout.
+        let mut q_offsets = Vec::with_capacity(n_queries + 1);
+        let mut q_edges = Vec::with_capacity(tuples.len());
+        q_offsets.push(0u32);
+        {
+            let mut cursor = 0usize;
+            for q in 0..n_queries {
+                while cursor < tuples.len() && tuples[cursor].query.as_usize() == q {
+                    q_edges.push((tuples[cursor].page, tuples[cursor].n));
+                    cursor += 1;
+                }
+                q_offsets.push(q_edges.len() as u32);
+            }
+        }
+
+        // Page-side CSR: counting sort by page.
+        let mut counts = vec![0u32; n_pages];
+        for t in tuples {
+            counts[t.page.as_usize()] += 1;
+        }
+        let mut p_offsets = Vec::with_capacity(n_pages + 1);
+        p_offsets.push(0u32);
+        for p in 0..n_pages {
+            let prev = p_offsets[p];
+            p_offsets.push(prev + counts[p]);
+        }
+        let mut fill = p_offsets.clone();
+        let mut p_edges = vec![(QueryId::new(0), 0u32); tuples.len()];
+        for t in tuples {
+            let slot = fill[t.page.as_usize()] as usize;
+            p_edges[slot] = (t.query, t.n);
+            fill[t.page.as_usize()] += 1;
+        }
+
+        Self {
+            n_queries,
+            n_pages,
+            q_offsets,
+            q_edges,
+            p_offsets,
+            p_edges,
+        }
+    }
+
+    /// Number of query nodes.
+    pub fn n_queries(&self) -> usize {
+        self.n_queries
+    }
+
+    /// Number of page nodes.
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Number of (directed-once) edges.
+    pub fn n_edges(&self) -> usize {
+        self.q_edges.len()
+    }
+
+    /// Pages clicked from `q`, with click counts.
+    pub fn pages_of(&self, q: QueryId) -> &[(PageId, u32)] {
+        let lo = self.q_offsets[q.as_usize()] as usize;
+        let hi = self.q_offsets[q.as_usize() + 1] as usize;
+        &self.q_edges[lo..hi]
+    }
+
+    /// Queries that clicked into `p`, with click counts.
+    pub fn queries_of(&self, p: PageId) -> &[(QueryId, u32)] {
+        let lo = self.p_offsets[p.as_usize()] as usize;
+        let hi = self.p_offsets[p.as_usize() + 1] as usize;
+        &self.p_edges[lo..hi]
+    }
+
+    /// Total click mass out of a query node.
+    pub fn query_degree(&self, q: QueryId) -> u64 {
+        self.pages_of(q).iter().map(|&(_, n)| u64::from(n)).sum()
+    }
+
+    /// Total click mass into a page node.
+    pub fn page_degree(&self, p: PageId) -> u64 {
+        self.queries_of(p).iter().map(|&(_, n)| u64::from(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ClickLogBuilder;
+
+    fn graph() -> ClickGraph {
+        let mut b = ClickLogBuilder::new();
+        let q0 = b.add_impression("a");
+        let q1 = b.add_impression("b");
+        let q2 = b.add_impression("c");
+        b.add_click(q0, PageId::new(0));
+        b.add_click(q0, PageId::new(1));
+        b.add_click(q0, PageId::new(1));
+        b.add_click(q1, PageId::new(1));
+        b.add_click(q2, PageId::new(3));
+        ClickGraph::build(&b.build(), 5)
+    }
+
+    #[test]
+    fn shape() {
+        let g = graph();
+        assert_eq!(g.n_queries(), 3);
+        assert_eq!(g.n_pages(), 5);
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn forward_adjacency() {
+        let g = graph();
+        let q0 = QueryId::new(0);
+        let pages: Vec<(u32, u32)> = g.pages_of(q0).iter().map(|&(p, n)| (p.raw(), n)).collect();
+        assert_eq!(pages, vec![(0, 1), (1, 2)]);
+        assert_eq!(g.query_degree(q0), 3);
+    }
+
+    #[test]
+    fn reverse_adjacency() {
+        let g = graph();
+        let p1 = PageId::new(1);
+        let mut queries: Vec<(u32, u32)> =
+            g.queries_of(p1).iter().map(|&(q, n)| (q.raw(), n)).collect();
+        queries.sort_unstable();
+        assert_eq!(queries, vec![(0, 2), (1, 1)]);
+        assert_eq!(g.page_degree(p1), 3);
+    }
+
+    #[test]
+    fn unclicked_page_has_empty_row() {
+        let g = graph();
+        assert!(g.queries_of(PageId::new(2)).is_empty());
+        assert!(g.queries_of(PageId::new(4)).is_empty());
+        assert_eq!(g.page_degree(PageId::new(2)), 0);
+    }
+
+    #[test]
+    fn edge_mass_conserved_between_directions() {
+        let g = graph();
+        let forward: u64 = (0..g.n_queries())
+            .map(|q| g.query_degree(QueryId::from_usize(q)))
+            .sum();
+        let backward: u64 = (0..g.n_pages())
+            .map(|p| g.page_degree(PageId::from_usize(p)))
+            .sum();
+        assert_eq!(forward, backward);
+        assert_eq!(forward, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "below page bound")]
+    fn too_small_page_space_panics() {
+        let mut b = ClickLogBuilder::new();
+        let q = b.add_impression("a");
+        b.add_click(q, PageId::new(9));
+        let _ = ClickGraph::build(&b.build(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ClickGraph::build(&ClickLogBuilder::new().build(), 0);
+        assert_eq!(g.n_queries(), 0);
+        assert_eq!(g.n_pages(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+}

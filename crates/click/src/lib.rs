@@ -1,0 +1,29 @@
+//! # websyn-click
+//!
+//! The click substrate: the synthetic equivalent of "query and click
+//! logs from Bing Search (July to November 2008)".
+//!
+//! - [`model`] — behavioural click models (position-biased and
+//!   cascade): the bridge from hidden relevance to observable clicks;
+//! - [`session`] — replays the query stream against the search engine
+//!   and simulates user clicks;
+//! - [`log`] — Click Data `L`: the aggregated `⟨q, p, n⟩` tuples the
+//!   paper mines, with per-query impression counts for the coverage
+//!   metrics;
+//! - [`graph`] — the bipartite query–page click graph in CSR form;
+//! - [`walk`] — random walks on the click graph (the machinery behind
+//!   the paper's Table I baseline, Craswell & Szummer style);
+//! - [`codec`] — a compact binary codec for persisting click logs.
+
+pub mod codec;
+pub mod graph;
+pub mod log;
+pub mod model;
+pub mod session;
+pub mod walk;
+
+pub use graph::ClickGraph;
+pub use log::{ClickLog, ClickLogBuilder, ClickTuple};
+pub use model::ClickModel;
+pub use session::{simulate_sessions, SessionConfig, SessionStats};
+pub use walk::RandomWalk;

@@ -1,0 +1,250 @@
+//! Click Data `L` (paper Section II-B).
+//!
+//! `L` is a set of tuples `l = ⟨q, p, n⟩`: the number of times `n` that
+//! users clicked page `p` after issuing query `q`. Alongside the click
+//! tuples the log keeps per-query *impression* counts (how often each
+//! query was issued), which the paper's weighted precision and coverage
+//! metrics need.
+
+use websyn_common::{FxHashMap, PageId, QueryId, StringInterner};
+
+/// One aggregated click tuple `⟨q, p, n⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClickTuple {
+    /// The issuing query.
+    pub query: QueryId,
+    /// The clicked page.
+    pub page: PageId,
+    /// Number of clicks (`n ≥ 1`).
+    pub n: u32,
+}
+
+/// Accumulates raw impressions/clicks, then freezes into a [`ClickLog`].
+#[derive(Debug, Default)]
+pub struct ClickLogBuilder {
+    queries: StringInterner<QueryId>,
+    impressions: Vec<u32>,
+    clicks: FxHashMap<(QueryId, PageId), u32>,
+}
+
+impl ClickLogBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a query string, growing the impression table.
+    fn intern(&mut self, text: &str) -> QueryId {
+        let q = self.queries.intern(text);
+        if q.as_usize() >= self.impressions.len() {
+            self.impressions.resize(q.as_usize() + 1, 0);
+        }
+        q
+    }
+
+    /// Records one issuance of `text`. Returns the query id.
+    pub fn add_impression(&mut self, text: &str) -> QueryId {
+        let q = self.intern(text);
+        self.impressions[q.as_usize()] += 1;
+        q
+    }
+
+    /// Records one click from query `q` on `page`.
+    pub fn add_click(&mut self, q: QueryId, page: PageId) {
+        debug_assert!(q.as_usize() < self.impressions.len(), "unknown query id");
+        *self.clicks.entry((q, page)).or_insert(0) += 1;
+    }
+
+    /// Freezes into an immutable log with CSR layout.
+    pub fn build(self) -> ClickLog {
+        let n_queries = self.queries.len();
+        let mut tuples: Vec<ClickTuple> = self
+            .clicks
+            .into_iter()
+            .map(|((query, page), n)| ClickTuple { query, page, n })
+            .collect();
+        tuples.sort_unstable_by_key(|t| (t.query, t.page));
+
+        let mut offsets = Vec::with_capacity(n_queries + 1);
+        offsets.push(0u32);
+        let mut cursor = 0usize;
+        for q in 0..n_queries {
+            while cursor < tuples.len() && tuples[cursor].query.as_usize() == q {
+                cursor += 1;
+            }
+            offsets.push(cursor as u32);
+        }
+
+        ClickLog {
+            queries: self.queries,
+            impressions: self.impressions,
+            tuples,
+            offsets,
+        }
+    }
+}
+
+/// The immutable Click Data table.
+#[derive(Debug, Clone)]
+pub struct ClickLog {
+    queries: StringInterner<QueryId>,
+    /// Impressions per query (issuances, clicked or not).
+    impressions: Vec<u32>,
+    /// Tuples sorted by (query, page).
+    tuples: Vec<ClickTuple>,
+    /// CSR offsets: tuples of query `q` live in
+    /// `tuples[offsets[q]..offsets[q+1]]`.
+    offsets: Vec<u32>,
+}
+
+impl ClickLog {
+    /// Number of distinct query strings.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of aggregated tuples.
+    pub fn n_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Looks up a query string.
+    pub fn query_id(&self, text: &str) -> Option<QueryId> {
+        self.queries.get(text)
+    }
+
+    /// Resolves a query id to its string.
+    pub fn query_text(&self, q: QueryId) -> &str {
+        self.queries.resolve(q)
+    }
+
+    /// Impressions (issuances) of a query.
+    pub fn impressions(&self, q: QueryId) -> u32 {
+        self.impressions[q.as_usize()]
+    }
+
+    /// Total impressions across all queries.
+    pub fn total_impressions(&self) -> u64 {
+        self.impressions.iter().map(|&n| u64::from(n)).sum()
+    }
+
+    /// The click tuples of one query (sorted by page id). `G_L(q, P)`
+    /// per Eq. 2 is the page set of these tuples (every stored tuple
+    /// has `n ≥ 1`).
+    pub fn clicks_of(&self, q: QueryId) -> &[ClickTuple] {
+        let lo = self.offsets[q.as_usize()] as usize;
+        let hi = self.offsets[q.as_usize() + 1] as usize;
+        &self.tuples[lo..hi]
+    }
+
+    /// Total clicks issued from one query (the denominator of Eq. 4).
+    pub fn total_clicks_of(&self, q: QueryId) -> u64 {
+        self.clicks_of(q).iter().map(|t| u64::from(t.n)).sum()
+    }
+
+    /// All tuples.
+    pub fn tuples(&self) -> &[ClickTuple] {
+        &self.tuples
+    }
+
+    /// Iterates `(QueryId, &str)` for all queries.
+    pub fn queries(&self) -> impl Iterator<Item = (QueryId, &str)> + '_ {
+        self.queries.iter()
+    }
+
+    /// The largest page id referenced, plus one (the page-space bound
+    /// needed to build CSR structures over pages).
+    pub fn page_bound(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| t.page.as_usize() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ClickLog {
+        let mut b = ClickLogBuilder::new();
+        let q0 = b.add_impression("indy 4");
+        b.add_impression("indy 4");
+        b.add_impression("indy 4");
+        let q1 = b.add_impression("harrison ford");
+        b.add_click(q0, PageId::new(10));
+        b.add_click(q0, PageId::new(10));
+        b.add_click(q0, PageId::new(3));
+        b.add_click(q1, PageId::new(7));
+        // A query with impressions but no clicks.
+        b.add_impression("no clicks here");
+        b.build()
+    }
+
+    #[test]
+    fn aggregation_counts_clicks() {
+        let log = sample_log();
+        let q0 = log.query_id("indy 4").unwrap();
+        let tuples = log.clicks_of(q0);
+        assert_eq!(tuples.len(), 2);
+        // Sorted by page id: page 3 first.
+        assert_eq!(tuples[0].page, PageId::new(3));
+        assert_eq!(tuples[0].n, 1);
+        assert_eq!(tuples[1].page, PageId::new(10));
+        assert_eq!(tuples[1].n, 2);
+        assert_eq!(log.total_clicks_of(q0), 3);
+    }
+
+    #[test]
+    fn impressions_tracked_separately() {
+        let log = sample_log();
+        let q0 = log.query_id("indy 4").unwrap();
+        assert_eq!(log.impressions(q0), 3);
+        let q2 = log.query_id("no clicks here").unwrap();
+        assert_eq!(log.impressions(q2), 1);
+        assert!(log.clicks_of(q2).is_empty());
+        assert_eq!(log.total_impressions(), 5);
+    }
+
+    #[test]
+    fn query_text_roundtrip() {
+        let log = sample_log();
+        let q1 = log.query_id("harrison ford").unwrap();
+        assert_eq!(log.query_text(q1), "harrison ford");
+        assert_eq!(log.query_id("unknown"), None);
+    }
+
+    #[test]
+    fn csr_covers_all_queries() {
+        let log = sample_log();
+        let mut total = 0;
+        for (q, _) in log.queries() {
+            total += log.clicks_of(q).len();
+        }
+        assert_eq!(total, log.n_tuples());
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ClickLogBuilder::new().build();
+        assert_eq!(log.n_queries(), 0);
+        assert_eq!(log.n_tuples(), 0);
+        assert_eq!(log.total_impressions(), 0);
+        assert_eq!(log.page_bound(), 0);
+    }
+
+    #[test]
+    fn page_bound() {
+        let log = sample_log();
+        assert_eq!(log.page_bound(), 11);
+    }
+
+    #[test]
+    fn tuples_globally_sorted() {
+        let log = sample_log();
+        for w in log.tuples().windows(2) {
+            assert!((w[0].query, w[0].page) < (w[1].query, w[1].page));
+        }
+    }
+}

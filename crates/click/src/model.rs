@@ -1,0 +1,196 @@
+//! Behavioural click models.
+//!
+//! A click model turns hidden relevance (the world's affinity oracle)
+//! into observable clicks on a ranked result list. Two standard models
+//! are provided; the mined synonyms should be robust to the choice
+//! (DESIGN.md ablation #3):
+//!
+//! - **Position-biased**: each position is *examined* independently
+//!   with probability `decay^rank`; an examined result is clicked with
+//!   probability equal to its relevance (plus a small misclick noise).
+//! - **Cascade**: the user scans top-down, clicks with probability
+//!   equal to relevance, stops when satisfied, and abandons with a
+//!   fixed probability after each unclicked result.
+
+use rand::Rng;
+
+/// A behavioural click model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClickModel {
+    /// Independent examination with geometric position decay.
+    PositionBiased {
+        /// Examination probability multiplier per position
+        /// (`P(examine rank r) = decay^r`, 0-based).
+        decay: f64,
+        /// Probability that an examined, irrelevant result is clicked
+        /// anyway (misclicks / curiosity).
+        noise: f64,
+    },
+    /// Sequential scan with satisfaction-based stopping.
+    Cascade {
+        /// Probability of abandoning the scan after each unclicked
+        /// result.
+        abandon: f64,
+    },
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        // Calibrated to ≈1.2-1.5 clicks per impression on typical
+        // entity SERPs, in line with published search CTR figures.
+        ClickModel::PositionBiased {
+            decay: 0.58,
+            noise: 0.015,
+        }
+    }
+}
+
+impl ClickModel {
+    /// The standard cascade configuration.
+    pub fn cascade() -> Self {
+        ClickModel::Cascade { abandon: 0.15 }
+    }
+
+    /// Simulates clicks over one SERP. `relevance[i]` is the hidden
+    /// affinity of the result at 0-based position `i`. Returns the
+    /// clicked positions in ascending order.
+    pub fn simulate<R: Rng + ?Sized>(&self, relevance: &[f64], rng: &mut R) -> Vec<usize> {
+        match *self {
+            ClickModel::PositionBiased { decay, noise } => {
+                let mut clicks = Vec::new();
+                let mut exam = 1.0f64;
+                for (pos, &rel) in relevance.iter().enumerate() {
+                    debug_assert!((0.0..=1.0).contains(&rel));
+                    if rng.gen_bool(exam.clamp(0.0, 1.0)) {
+                        let p_click = (rel + noise * (1.0 - rel)).clamp(0.0, 1.0);
+                        if rng.gen_bool(p_click) {
+                            clicks.push(pos);
+                        }
+                    }
+                    exam *= decay;
+                }
+                clicks
+            }
+            ClickModel::Cascade { abandon } => {
+                let mut clicks = Vec::new();
+                for (pos, &rel) in relevance.iter().enumerate() {
+                    debug_assert!((0.0..=1.0).contains(&rel));
+                    if rng.gen_bool(rel.clamp(0.0, 1.0)) {
+                        clicks.push(pos);
+                        // Satisfaction: the more relevant the clicked
+                        // result, the likelier the user stops.
+                        if rng.gen_bool(rel.clamp(0.0, 1.0)) {
+                            break;
+                        }
+                    } else if rng.gen_bool(abandon.clamp(0.0, 1.0)) {
+                        break;
+                    }
+                }
+                clicks
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::SeedSequence;
+
+    fn rng() -> rand::rngs::SmallRng {
+        SeedSequence::new(21).rng("click-model")
+    }
+
+    fn click_rate(model: ClickModel, relevance: &[f64], trials: usize) -> Vec<f64> {
+        let mut r = rng();
+        let mut counts = vec![0u32; relevance.len()];
+        for _ in 0..trials {
+            for pos in model.simulate(relevance, &mut r) {
+                counts[pos] += 1;
+            }
+        }
+        counts.iter().map(|&c| f64::from(c) / trials as f64).collect()
+    }
+
+    #[test]
+    fn relevant_results_clicked_more() {
+        for model in [ClickModel::default(), ClickModel::cascade()] {
+            let rates = click_rate(model, &[0.9, 0.1, 0.9, 0.1], 4000);
+            assert!(rates[0] > rates[1], "{model:?}: {rates:?}");
+            assert!(rates[2] > rates[3], "{model:?}: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn position_bias_discounts_lower_ranks() {
+        // Same relevance everywhere → clicks must decay with position.
+        let rates = click_rate(ClickModel::default(), &[0.8; 8], 4000);
+        assert!(rates[0] > rates[3], "{rates:?}");
+        assert!(rates[3] > rates[7], "{rates:?}");
+    }
+
+    #[test]
+    fn cascade_rarely_clicks_deep_after_satisfaction() {
+        let rates = click_rate(ClickModel::cascade(), &[0.95, 0.95, 0.95, 0.95], 4000);
+        // The first highly relevant result satisfies most users.
+        assert!(rates[0] > 3.0 * rates[2], "{rates:?}");
+    }
+
+    #[test]
+    fn zero_relevance_zero_noise_never_clicks() {
+        let model = ClickModel::PositionBiased {
+            decay: 0.7,
+            noise: 0.0,
+        };
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!(model.simulate(&[0.0, 0.0, 0.0], &mut r).is_empty());
+        }
+        let mut r2 = rng();
+        for _ in 0..500 {
+            assert!(ClickModel::cascade().simulate(&[0.0; 3], &mut r2).is_empty());
+        }
+    }
+
+    #[test]
+    fn noise_produces_occasional_misclicks() {
+        let model = ClickModel::PositionBiased {
+            decay: 0.9,
+            noise: 0.05,
+        };
+        let rates = click_rate(model, &[0.0, 0.0], 8000);
+        assert!(rates[0] > 0.0, "noise should produce some clicks");
+        assert!(rates[0] < 0.15, "noise too strong: {rates:?}");
+    }
+
+    #[test]
+    fn empty_serp() {
+        let mut r = rng();
+        assert!(ClickModel::default().simulate(&[], &mut r).is_empty());
+    }
+
+    #[test]
+    fn clicks_are_sorted_positions() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let clicks = ClickModel::default().simulate(&[0.9; 6], &mut r);
+            for w in clicks.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &c in &clicks {
+                assert!(c < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut r = SeedSequence::new(9).rng("det");
+            (0..64)
+                .map(|_| ClickModel::default().simulate(&[0.5, 0.4, 0.3], &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,235 @@
+//! Random walks on the click graph.
+//!
+//! Implements the Craswell & Szummer-style lazy random walk used by the
+//! paper's Table I baseline ("Random Walk on a Click Graph", citing
+//! Fuxman et al. for keyword generation). The walk alternates between
+//! query and page nodes over the bipartite click graph; at every step
+//! it stays put with probability `self_transition` (the "0.8" in the
+//! paper's `Walk(0.8)`), otherwise it moves along an edge with
+//! probability proportional to click counts.
+//!
+//! The implementation propagates the full probability distribution
+//! (sparse, with mass pruning) rather than sampling trajectories, so
+//! results are exact and deterministic.
+
+use crate::graph::ClickGraph;
+use websyn_common::{FxHashMap, PageId, QueryId};
+
+/// Configuration of the lazy bipartite random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    /// Probability of staying at the current node each step.
+    pub self_transition: f64,
+    /// Number of steps. One step = one potential move (query→page or
+    /// page→query). Even counts end on the starting side.
+    pub steps: usize,
+    /// Probability mass below which an entry is pruned (keeps the
+    /// frontier sparse on large graphs).
+    pub prune: f64,
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        Self {
+            // The paper's Table I runs "Walk(0.8)".
+            self_transition: 0.8,
+            // Ten alternations ≈ the published walk lengths (Craswell &
+            // Szummer use 11-step walks).
+            steps: 10,
+            prune: 1e-9,
+        }
+    }
+}
+
+/// A sparse probability distribution over bipartite nodes.
+#[derive(Debug, Clone, Default)]
+struct Frontier {
+    queries: FxHashMap<QueryId, f64>,
+    pages: FxHashMap<PageId, f64>,
+}
+
+impl RandomWalk {
+    /// Runs the walk from a query node and returns the resulting
+    /// probability mass over *query* nodes, sorted by descending mass
+    /// (ties: ascending id). The start node itself is included.
+    pub fn from_query(&self, graph: &ClickGraph, start: QueryId) -> Vec<(QueryId, f64)> {
+        assert!(
+            (0.0..=1.0).contains(&self.self_transition),
+            "self_transition must be a probability"
+        );
+        let mut frontier = Frontier::default();
+        frontier.queries.insert(start, 1.0);
+
+        for _ in 0..self.steps {
+            frontier = self.step(graph, &frontier);
+        }
+
+        let mut out: Vec<(QueryId, f64)> = frontier.queries.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("mass is finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// One lazy transition of the whole distribution.
+    fn step(&self, graph: &ClickGraph, frontier: &Frontier) -> Frontier {
+        let s = self.self_transition;
+        let mut next = Frontier::default();
+
+        // Query-side mass.
+        for (&q, &mass) in &frontier.queries {
+            if mass < self.prune {
+                continue;
+            }
+            *next.queries.entry(q).or_insert(0.0) += mass * s;
+            let degree = graph.query_degree(q);
+            if degree == 0 {
+                // Dangling node: the move mass stays put (standard lazy
+                // walk treatment, keeps the distribution stochastic).
+                *next.queries.entry(q).or_insert(0.0) += mass * (1.0 - s);
+                continue;
+            }
+            let move_mass = mass * (1.0 - s);
+            if move_mass > 0.0 {
+                for &(p, n) in graph.pages_of(q) {
+                    *next.pages.entry(p).or_insert(0.0) +=
+                        move_mass * f64::from(n) / degree as f64;
+                }
+            }
+        }
+
+        // Page-side mass.
+        for (&p, &mass) in &frontier.pages {
+            if mass < self.prune {
+                continue;
+            }
+            *next.pages.entry(p).or_insert(0.0) += mass * s;
+            let degree = graph.page_degree(p);
+            if degree == 0 {
+                *next.pages.entry(p).or_insert(0.0) += mass * (1.0 - s);
+                continue;
+            }
+            let move_mass = mass * (1.0 - s);
+            if move_mass > 0.0 {
+                for &(q, n) in graph.queries_of(p) {
+                    *next.queries.entry(q).or_insert(0.0) +=
+                        move_mass * f64::from(n) / degree as f64;
+                }
+            }
+        }
+
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ClickLogBuilder;
+
+    /// q0 and q1 co-click page 0 heavily; q2 clicks an unrelated page.
+    fn graph() -> (ClickGraph, QueryId, QueryId, QueryId) {
+        let mut b = ClickLogBuilder::new();
+        let q0 = b.add_impression("canonical name");
+        let q1 = b.add_impression("nickname");
+        let q2 = b.add_impression("unrelated");
+        for _ in 0..10 {
+            b.add_click(q0, PageId::new(0));
+            b.add_click(q1, PageId::new(0));
+        }
+        b.add_click(q1, PageId::new(1));
+        for _ in 0..5 {
+            b.add_click(q2, PageId::new(2));
+        }
+        (ClickGraph::build(&b.build(), 3), q0, q1, q2)
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let (g, q0, _, _) = graph();
+        let walk = RandomWalk::default();
+        let dist = walk.from_query(&g, q0);
+        // After an even number of steps most mass is on queries; sum of
+        // *all* mass (query side only here) must be ≤ 1 and the start
+        // must retain the plurality.
+        let total: f64 = dist.iter().map(|&(_, m)| m).sum();
+        assert!(total <= 1.0 + 1e-9, "total {total}");
+        assert!(total > 0.5, "too much mass lost to pages: {total}");
+        assert_eq!(dist[0].0, q0, "start node keeps the most mass");
+    }
+
+    #[test]
+    fn co_clicking_queries_get_mass() {
+        let (g, q0, q1, q2) = graph();
+        let dist = RandomWalk::default().from_query(&g, q0);
+        let mass = |q: QueryId| {
+            dist.iter()
+                .find(|&&(x, _)| x == q)
+                .map(|&(_, m)| m)
+                .unwrap_or(0.0)
+        };
+        assert!(mass(q1) > 0.0, "co-clicking query gets mass");
+        assert!(
+            mass(q1) > 100.0 * mass(q2).max(1e-12) || mass(q2) == 0.0,
+            "unrelated query should get (essentially) no mass: q1={} q2={}",
+            mass(q1),
+            mass(q2)
+        );
+    }
+
+    #[test]
+    fn disconnected_query_keeps_all_mass() {
+        let mut b = ClickLogBuilder::new();
+        let q0 = b.add_impression("lonely");
+        let log = b.build();
+        let g = ClickGraph::build(&log, 0);
+        let dist = RandomWalk::default().from_query(&g, q0);
+        assert_eq!(dist.len(), 1);
+        assert!((dist[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let (g, q0, _, _) = graph();
+        let walk = RandomWalk {
+            steps: 0,
+            ..Default::default()
+        };
+        let dist = walk.from_query(&g, q0);
+        assert_eq!(dist, vec![(q0, 1.0)]);
+    }
+
+    #[test]
+    fn self_transition_one_never_moves() {
+        let (g, q0, _, _) = graph();
+        let walk = RandomWalk {
+            self_transition: 1.0,
+            steps: 8,
+            prune: 0.0,
+        };
+        let dist = walk.from_query(&g, q0);
+        assert_eq!(dist.len(), 1);
+        assert!((dist[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, q0, _, _) = graph();
+        let a = RandomWalk::default().from_query(&g, q0);
+        let b = RandomWalk::default().from_query(&g, q0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_self_transition_panics() {
+        let (g, q0, _, _) = graph();
+        let walk = RandomWalk {
+            self_transition: 1.5,
+            ..Default::default()
+        };
+        let _ = walk.from_query(&g, q0);
+    }
+}

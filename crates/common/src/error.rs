@@ -1,0 +1,129 @@
+//! Workspace-wide error type.
+//!
+//! The workspace is a pure-algorithm library; errors are rare and almost
+//! always indicate a misconfiguration (an empty catalog, a threshold
+//! outside its domain, a reference to an unknown id). We use a single
+//! closed enum rather than a boxed trait object so that callers can
+//! match on causes and so the type stays `Send + Sync + 'static`.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the websyn workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was outside its legal domain.
+    InvalidConfig {
+        /// Name of the offending parameter, e.g. `"icr_threshold"`.
+        param: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// An identifier did not resolve against the collection it indexes.
+    UnknownId {
+        /// The kind of identifier, e.g. `"QueryId"`.
+        kind: &'static str,
+        /// The raw numeric value that failed to resolve.
+        value: u64,
+    },
+    /// An input collection that must be non-empty was empty.
+    EmptyInput {
+        /// What was empty, e.g. `"entity catalog"`.
+        what: &'static str,
+    },
+    /// A (de)serialization or codec failure.
+    Codec {
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { param, message } => {
+                write!(f, "invalid configuration for `{param}`: {message}")
+            }
+            Error::UnknownId { kind, value } => {
+                write!(f, "unknown {kind}: {value}")
+            }
+            Error::EmptyInput { what } => write!(f, "empty input: {what}"),
+            Error::Codec { message } => write!(f, "codec error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand for an [`Error::InvalidConfig`].
+    pub fn invalid_config(param: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            param,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an [`Error::UnknownId`].
+    pub fn unknown_id(kind: &'static str, value: u64) -> Self {
+        Error::UnknownId { kind, value }
+    }
+
+    /// Shorthand for an [`Error::EmptyInput`].
+    pub fn empty(what: &'static str) -> Self {
+        Error::EmptyInput { what }
+    }
+
+    /// Shorthand for an [`Error::Codec`].
+    pub fn codec(message: impl Into<String>) -> Self {
+        Error::Codec {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_config() {
+        let e = Error::invalid_config("beta", "must be >= 1");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `beta`: must be >= 1"
+        );
+    }
+
+    #[test]
+    fn display_unknown_id() {
+        let e = Error::unknown_id("QueryId", 42);
+        assert_eq!(e.to_string(), "unknown QueryId: 42");
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = Error::empty("entity catalog");
+        assert_eq!(e.to_string(), "empty input: entity catalog");
+    }
+
+    #[test]
+    fn display_codec() {
+        let e = Error::codec("truncated record");
+        assert_eq!(e.to_string(), "codec error: truncated record");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::empty("x"), Error::empty("x"));
+        assert_ne!(Error::empty("x"), Error::empty("y"));
+    }
+}

@@ -1,0 +1,193 @@
+//! String interning.
+//!
+//! The mining pipeline handles millions of query strings, but the set of
+//! *distinct* strings is far smaller. Interning maps each distinct
+//! string to a dense `u32`, after which every downstream structure
+//! (click tuples, graph edges, postings) operates on 4-byte ids instead
+//! of heap strings.
+//!
+//! The interner is generic over the id newtype so the same machinery
+//! backs the query universe (`QueryId`), page universe (`PageId`) and
+//! index vocabulary (`TermId`) without allowing the id spaces to mix.
+
+use crate::hash::FxHashMap;
+use std::marker::PhantomData;
+
+/// A bidirectional `string -> dense u32 id` map.
+///
+/// Ids are handed out in insertion order starting at 0, so they can be
+/// used to index `Vec`s that are grown in lockstep with the interner.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::{StringInterner, QueryId};
+///
+/// let mut interner: StringInterner<QueryId> = StringInterner::new();
+/// let a = interner.intern("indy 4");
+/// let b = interner.intern("indiana jones 4");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("indy 4"), a); // stable
+/// assert_eq!(interner.resolve(a), "indy 4");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StringInterner<Id> {
+    /// id -> string, dense.
+    strings: Vec<Box<str>>,
+    /// string -> id. Keys are owned copies; for the string sizes in this
+    /// workload (short queries / urls) the duplication is cheaper than a
+    /// self-referential arena and keeps the type safe.
+    lookup: FxHashMap<Box<str>, u32>,
+    _marker: PhantomData<Id>,
+}
+
+impl<Id> Default for StringInterner<Id> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Id> StringInterner<Id> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self {
+            strings: Vec::new(),
+            lookup: FxHashMap::default(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty interner with room for `capacity` strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(capacity),
+            lookup: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over the interned strings in id order.
+    pub fn strings(&self) -> impl Iterator<Item = &str> + '_ {
+        self.strings.iter().map(AsRef::as_ref)
+    }
+}
+
+impl<Id> StringInterner<Id>
+where
+    Id: Copy + From<u32> + Into<u32>,
+{
+    /// Interns `s`, returning its id. Repeated calls with the same
+    /// string return the same id.
+    pub fn intern(&mut self, s: &str) -> Id {
+        if let Some(&id) = self.lookup.get(s) {
+            return Id::from(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner id overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        Id::from(id)
+    }
+
+    /// Returns the id for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Id> {
+        self.lookup.get(s).map(|&id| Id::from(id))
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: Id) -> &str {
+        &self.strings[id.into() as usize]
+    }
+
+    /// Resolves an id back to its string, or `None` if out of range.
+    pub fn try_resolve(&self, id: Id) -> Option<&str> {
+        self.strings.get(id.into() as usize).map(AsRef::as_ref)
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> + '_ {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Id::from(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PageId, QueryId};
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let mut i: StringInterner<QueryId> = StringInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(c.raw(), 2);
+        assert_eq!(i.intern("b"), b);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i: StringInterner<PageId> = StringInterner::new();
+        let id = i.intern("http://example.com/page");
+        assert_eq!(i.resolve(id), "http://example.com/page");
+        assert_eq!(i.try_resolve(id), Some("http://example.com/page"));
+        assert_eq!(i.try_resolve(PageId::new(999)), None);
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut i: StringInterner<QueryId> = StringInterner::new();
+        assert_eq!(i.get("missing"), None);
+        let id = i.intern("present");
+        assert_eq!(i.get("present"), Some(id));
+        assert_eq!(i.len(), 1, "get must not intern");
+        i.get("missing2");
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i: StringInterner<QueryId> = StringInterner::new();
+        i.intern("x");
+        i.intern("y");
+        let items: Vec<_> = i.iter().map(|(id, s)| (id.raw(), s.to_string())).collect();
+        assert_eq!(items, vec![(0, "x".to_string()), (1, "y".to_string())]);
+        let strings: Vec<_> = i.strings().collect();
+        assert_eq!(strings, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_and_capacity() {
+        let i: StringInterner<QueryId> = StringInterner::with_capacity(10);
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let mut i: StringInterner<QueryId> = StringInterner::new();
+        let id = i.intern("pokémon");
+        assert_eq!(i.resolve(id), "pokémon");
+        assert_eq!(i.intern("pokémon"), id);
+    }
+}

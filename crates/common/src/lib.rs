@@ -1,0 +1,28 @@
+//! # websyn-common
+//!
+//! Shared substrate for the `websyn` workspace: compact identifiers,
+//! fast (non-cryptographic) hashing, string interning, top-k selection,
+//! descriptive statistics, Zipf sampling, and deterministic RNG
+//! derivation.
+//!
+//! Everything in this crate is deliberately dependency-light and
+//! deterministic so that every experiment in the workspace is exactly
+//! reproducible from a single master seed.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod intern;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+pub mod zipf;
+
+pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{EntityId, PageId, QueryId, TermId};
+pub use intern::StringInterner;
+pub use rng::SeedSequence;
+pub use stats::Summary;
+pub use topk::TopK;
+pub use zipf::Zipf;

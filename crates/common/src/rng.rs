@@ -1,0 +1,160 @@
+//! Deterministic RNG derivation.
+//!
+//! Every stochastic component in the workspace (catalog generation,
+//! alias sampling, query stream, click model, typo channel, ...) draws
+//! its randomness from an RNG derived from a single master seed plus a
+//! component label. This gives two properties the experiments rely on:
+//!
+//! 1. **Reproducibility** — the same master seed regenerates the exact
+//!    same world, logs and mined synonyms.
+//! 2. **Independence under refactoring** — because each component's
+//!    stream is keyed by its label rather than by draw order, adding a
+//!    new component does not perturb the streams of existing ones.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derives independent, labelled RNG streams from one master seed.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::SeedSequence;
+///
+/// let seq = SeedSequence::new(42);
+/// let mut catalog_rng = seq.rng("catalog");
+/// let mut clicks_rng = seq.rng("clicks");
+/// // Streams are independent and reproducible:
+/// let again = SeedSequence::new(42).rng("catalog");
+/// # let _ = (catalog_rng, clicks_rng, again);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `master`.
+    pub const fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed this sequence was created with.
+    pub const fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the raw 64-bit seed for `label`.
+    ///
+    /// Uses splitmix64 finalization over the master seed xored with a
+    /// hash of the label, which is the standard recipe for splitting one
+    /// seed into many statistically independent ones.
+    pub fn derive(&self, label: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for &b in label.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+        }
+        splitmix64(self.master ^ h)
+    }
+
+    /// Derives a seed for `label` specialized by an index, for
+    /// per-entity / per-user streams.
+    pub fn derive_indexed(&self, label: &str, index: u64) -> u64 {
+        splitmix64(self.derive(label) ^ splitmix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// A [`SmallRng`] seeded for `label`.
+    pub fn rng(&self, label: &str) -> SmallRng {
+        SmallRng::seed_from_u64(self.derive(label))
+    }
+
+    /// A [`SmallRng`] seeded for `label` and `index`.
+    pub fn rng_indexed(&self, label: &str, index: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.derive_indexed(label, index))
+    }
+
+    /// A child sequence, for nesting components (e.g. the synth world
+    /// hands each dataset its own sequence).
+    pub fn child(&self, label: &str) -> SeedSequence {
+        SeedSequence::new(self.derive(label))
+    }
+}
+
+/// splitmix64 finalizer: a strong 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let a = SeedSequence::new(7);
+        let b = SeedSequence::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.rng("x").gen::<u64>()).collect();
+        // Fresh RNG each call → same first draw every time.
+        assert!(xs.windows(2).all(|w| w[0] == w[1]));
+        let mut ra = a.rng("x");
+        let mut rb = b.rng("x");
+        for _ in 0..32 {
+            assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let s = SeedSequence::new(7);
+        assert_ne!(s.derive("catalog"), s.derive("clicks"));
+        assert_ne!(s.derive("a"), s.derive("b"));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(
+            SeedSequence::new(1).derive("x"),
+            SeedSequence::new(2).derive("x")
+        );
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let s = SeedSequence::new(7);
+        let d0 = s.derive_indexed("user", 0);
+        let d1 = s.derive_indexed("user", 1);
+        assert_ne!(d0, d1);
+        assert_eq!(d0, SeedSequence::new(7).derive_indexed("user", 0));
+    }
+
+    #[test]
+    fn child_sequences_nest_deterministically() {
+        let root = SeedSequence::new(99);
+        let c1 = root.child("movies");
+        let c2 = root.child("movies");
+        assert_eq!(c1, c2);
+        assert_ne!(c1.derive("alias"), root.derive("alias"));
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_probe() {
+        // Not a full bijectivity proof, but distinct inputs in a window
+        // must yield distinct outputs (splitmix64 is a permutation).
+        let outs: Vec<u64> = (0..1000u64).map(splitmix64).collect();
+        let set: std::collections::HashSet<_> = outs.iter().collect();
+        assert_eq!(set.len(), outs.len());
+    }
+
+    #[test]
+    fn empty_label_is_valid() {
+        let s = SeedSequence::new(5);
+        let _ = s.rng("");
+        assert_ne!(s.derive(""), s.derive("x"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! The experiment harness summarizes metric distributions (per-entity
+//! precision, per-query latency, ...) with the usual five-number-style
+//! summary. Implemented in-house to keep the dependency set to the
+//! approved list.
+
+use std::fmt;
+
+/// Summary statistics of an `f64` sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when `count == 0`).
+    pub mean: f64,
+    /// Population standard deviation (0 when `count < 2`).
+    pub std_dev: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Median (0 when empty).
+    pub median: f64,
+    /// 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`. NaNs are rejected.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN — NaN metrics always indicate a bug in
+    /// the metric computation.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "Summary::of called with NaN"
+        );
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} med={:.4} p95={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+/// `q` is in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` outside `[0,1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Online mean/variance accumulator (Welford), for streaming metrics
+/// where materializing all observations is wasteful.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let s = Summary::of(&data);
+        assert_eq!(w.count(), 100);
+        assert!((w.mean() - s.mean).abs() < 1e-9);
+        assert!((w.std_dev() - s.std_dev).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 13) % 7) as f64).collect();
+        let (left, right) = data.split_at(20);
+        let mut a = Welford::new();
+        left.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        right.iter().for_each(|&x| b.push(x));
+        let mut whole = Welford::new();
+        data.iter().for_each(|&x| whole.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let b = Welford::new();
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = Welford::new();
+        c.merge(&before);
+        assert_eq!(c, before);
+    }
+}

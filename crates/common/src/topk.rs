@@ -1,0 +1,232 @@
+//! Bounded top-k selection.
+//!
+//! Search (retrieve top-k pages for a query) and mining (rank candidate
+//! synonyms) both need "keep the k best of n" with n ≫ k. A bounded
+//! binary min-heap does this in O(n log k) and O(k) space, with
+//! deterministic tie-breaking so that experiment output is stable across
+//! runs and platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item with an `f64` score and a tie-breaking key.
+///
+/// Ordering: higher score wins; on equal scores, the *smaller* key wins
+/// (deterministic tie-break, e.g. lower `PageId` ranks first like a
+/// stable search engine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored<T> {
+    /// Ranking score (must not be NaN; enforced at push).
+    pub score: f64,
+    /// Tie-break key and payload.
+    pub item: T,
+}
+
+impl<T: Ord> Scored<T> {
+    fn cmp_rank(&self, other: &Self) -> Ordering {
+        // Scores are screened for NaN at push; partial_cmp is total here.
+        match self.score.partial_cmp(&other.score) {
+            Some(Ordering::Equal) | None => other.item.cmp(&self.item),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// Reversed wrapper so `BinaryHeap` (a max-heap) behaves as a min-heap
+/// keyed by rank order: the heap root is the *worst* retained item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinRank<T>(Scored<T>);
+
+impl<T: Ord> Eq for MinRank<T> {}
+impl<T: Ord> PartialOrd for MinRank<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for MinRank<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp_rank(&self.0)
+    }
+}
+
+/// Collects the top `k` items by score with O(k) memory.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::TopK;
+///
+/// let mut topk = TopK::new(2);
+/// topk.push(1.0, "c");
+/// topk.push(3.0, "a");
+/// topk.push(2.0, "b");
+/// let ranked = topk.into_sorted_vec();
+/// assert_eq!(ranked.len(), 2);
+/// assert_eq!(ranked[0].item, "a");
+/// assert_eq!(ranked[1].item, "b");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<MinRank<T>>,
+}
+
+impl<T: Ord> TopK<T> {
+    /// Creates a collector retaining the best `k` items. `k == 0` is
+    /// allowed and retains nothing.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offers an item.
+    ///
+    /// # Panics
+    /// Panics if `score` is NaN — a NaN score is always a bug in the
+    /// scoring function, and admitting it would poison the ordering.
+    pub fn push(&mut self, score: f64, item: T) {
+        assert!(!score.is_nan(), "TopK::push called with NaN score");
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinRank(Scored { score, item }));
+            return;
+        }
+        // Full: replace the current worst if the newcomer ranks higher.
+        let candidate = Scored { score, item };
+        if let Some(worst) = self.heap.peek() {
+            if candidate.cmp_rank(&worst.0) == Ordering::Greater {
+                self.heap.pop();
+                self.heap.push(MinRank(candidate));
+            }
+        }
+    }
+
+    /// Number of retained items (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The retention threshold: the score of the current worst retained
+    /// item once the collector is full. Pushes scoring strictly below
+    /// this cannot change the result — useful for early pruning.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|w| w.0.score)
+        }
+    }
+
+    /// Consumes the collector, returning items best-first.
+    pub fn into_sorted_vec(self) -> Vec<Scored<T>> {
+        let mut v: Vec<Scored<T>> = self.heap.into_iter().map(|m| m.0).collect();
+        v.sort_by(|a, b| b.cmp_rank(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (s, i) in [(5.0, 50u32), (1.0, 10), (4.0, 40), (2.0, 20), (3.0, 30)] {
+            t.push(s, i);
+        }
+        let out = t.into_sorted_vec();
+        let items: Vec<u32> = out.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![50, 40, 30]);
+    }
+
+    #[test]
+    fn fewer_than_k_items() {
+        let mut t = TopK::new(10);
+        t.push(1.0, 1u32);
+        t.push(2.0, 2u32);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].item, 2);
+    }
+
+    #[test]
+    fn k_zero_retains_nothing() {
+        let mut t = TopK::new(0);
+        t.push(1.0, 1u32);
+        assert!(t.is_empty());
+        assert!(t.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn ties_break_on_smaller_item() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 9u32);
+        t.push(1.0, 3u32);
+        t.push(1.0, 7u32);
+        let out = t.into_sorted_vec();
+        let items: Vec<u32> = out.iter().map(|s| s.item).collect();
+        // All scores equal → keep and rank the smallest keys first.
+        assert_eq!(items, vec![3, 7]);
+    }
+
+    #[test]
+    fn threshold_reports_worst_retained() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(5.0, 1u32);
+        assert_eq!(t.threshold(), None, "not full yet");
+        t.push(3.0, 2u32);
+        assert_eq!(t.threshold(), Some(3.0));
+        t.push(4.0, 3u32);
+        assert_eq!(t.threshold(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_score_panics() {
+        let mut t = TopK::new(1);
+        t.push(f64::NAN, 1u32);
+    }
+
+    #[test]
+    fn matches_full_sort_oracle() {
+        // Deterministic pseudo-random probe comparing against sort.
+        let mut vals = Vec::new();
+        let mut x = 0x12345678u64;
+        for i in 0..200u32 {
+            x = crate::rng::splitmix64(x);
+            vals.push(((x % 1000) as f64 / 10.0, i));
+        }
+        for k in [1usize, 5, 50, 200, 500] {
+            let mut t = TopK::new(k);
+            for &(s, i) in &vals {
+                t.push(s, i);
+            }
+            let got: Vec<(f64, u32)> = t.into_sorted_vec().iter().map(|s| (s.score, s.item)).collect();
+            let mut oracle = vals.clone();
+            oracle.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            oracle.truncate(k);
+            assert_eq!(got, oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_scores() {
+        let mut t = TopK::new(2);
+        t.push(-1.0, 1u32);
+        t.push(0.0, 2u32);
+        t.push(-5.0, 3u32);
+        let items: Vec<u32> = t.into_sorted_vec().iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![2, 1]);
+    }
+}

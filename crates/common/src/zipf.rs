@@ -1,0 +1,182 @@
+//! Zipf-distributed sampling.
+//!
+//! Query-log phenomena are heavy-tailed: a few entities attract most of
+//! the traffic, a few aliases dominate each entity's query mix. The
+//! synthetic world models every popularity choice with a Zipf
+//! distribution `P(rank i) ∝ 1 / i^s` over `n` ranks.
+//!
+//! The sampler precomputes the cumulative distribution and draws by
+//! binary search — O(log n) per sample, exact (no rejection), and
+//! deterministic given the RNG stream.
+
+use crate::error::{Error, Result};
+use rand::Rng;
+
+/// An exact Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank 0 is the most popular. `s = 0` degenerates to uniform; typical
+/// query-log fits use `s` around 0.8–1.1.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::{SeedSequence, Zipf};
+/// use rand::Rng;
+///
+/// let zipf = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = SeedSequence::new(1).rng("demo");
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i). Last entry is 1.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `n == 0`, or if `s` is
+    /// negative or not finite.
+    pub fn new(n: usize, s: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::invalid_config("zipf.n", "must be >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error::invalid_config(
+                "zipf.s",
+                format!("must be finite and >= 0, got {s}"),
+            ));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point drift at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf, exponent: s })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff there is exactly one rank (sampling is then constant).
+    pub fn is_empty(&self) -> bool {
+        false // constructor rejects n == 0
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= len()`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedSequence;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, s) in [(1usize, 1.0f64), (10, 0.0), (100, 0.8), (1000, 1.2)] {
+            let z = Zipf::new(n, s).unwrap();
+            let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} s={s} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        for i in 1..50 {
+            assert!(
+                z.pmf(i) <= z.pmf(i - 1) + 1e-12,
+                "pmf must not increase with rank"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0).unwrap();
+        let mut rng = SeedSequence::new(3).rng("zipf");
+        for _ in 0..16 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_head_heavy() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = SeedSequence::new(9).rng("zipf");
+        let mut counts = vec![0u32; 100];
+        let draws = 20_000;
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 should hold roughly pmf(0) ≈ 0.193 of the mass.
+        let head = f64::from(counts[0]) / f64::from(draws);
+        assert!((head - z.pmf(0)).abs() < 0.02, "head mass {head}");
+        // Head must dominate tail decisively.
+        assert!(counts[0] > counts[50].max(1) * 5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(32, 1.1).unwrap();
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = SeedSequence::new(seed).rng("zipf");
+            (0..64).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

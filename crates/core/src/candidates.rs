@@ -1,0 +1,114 @@
+//! Candidate generation (paper Section III-A, "Referencing
+//! Surrogates").
+//!
+//! `G_L(w', P) = {l.p | l ∈ L, l.q = w' ∧ l.n ≥ 1}` (Eq. 2), and `w'`
+//! is a candidate for `u` iff `G_A(u,P) ∩ G_L(w',P) ≠ ∅` (Definition
+//! 6): at least one surrogate of `u` was clicked from `w'`. Computed by
+//! walking the *page → queries* direction of the click graph over `u`'s
+//! surrogates — the cheap direction, which is the reason the click
+//! graph keeps both CSR orientations.
+
+use crate::data::MiningContext;
+use crate::surrogate::SurrogateTable;
+use websyn_common::{EntityId, FxHashSet, QueryId};
+
+/// The candidate set `W'_u` for one entity: every query that clicked at
+/// least one surrogate page, minus the canonical string itself.
+///
+/// Returned sorted by `QueryId` for determinism.
+pub fn generate_candidates(
+    ctx: &MiningContext,
+    surrogates: &SurrogateTable,
+    e: EntityId,
+) -> Vec<QueryId> {
+    let mut seen: FxHashSet<QueryId> = FxHashSet::default();
+    for &page in surrogates.of(e) {
+        for &(q, _n) in ctx.graph.queries_of(page) {
+            seen.insert(q);
+        }
+    }
+    // The canonical string trivially co-clicks with itself; it is the
+    // input, not a synonym (the paper counts it under "Orig").
+    if let Some(canonical_q) = ctx.canonical_query(e) {
+        seen.remove(&canonical_q);
+    }
+    let mut out: Vec<QueryId> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+    use websyn_common::PageId;
+    use websyn_engine::{SearchData, SearchEngine};
+
+    /// Entity 0 ("alpha beta") has surrogate pages 0 and 1. Queries:
+    /// "ab" clicks page 0, "alpha" clicks page 1, "elsewhere" clicks
+    /// page 2 only, and the canonical "alpha beta" clicks page 0.
+    fn ctx() -> MiningContext {
+        let docs = vec![
+            (PageId::new(0), "alpha beta", "alpha beta official"),
+            (PageId::new(1), "alpha beta shop", "alpha beta buy"),
+            (PageId::new(2), "gamma", "gamma page"),
+        ];
+        let engine = SearchEngine::from_docs(docs);
+        let u_set = vec!["alpha beta".to_string()];
+        let search = SearchData::collect(&engine, &u_set, 10);
+        let mut b = ClickLogBuilder::new();
+        let ab = b.add_impression("ab");
+        let alpha = b.add_impression("alpha");
+        let elsewhere = b.add_impression("elsewhere");
+        let canonical = b.add_impression("alpha beta");
+        b.add_click(ab, PageId::new(0));
+        b.add_click(alpha, PageId::new(1));
+        b.add_click(elsewhere, PageId::new(2));
+        b.add_click(canonical, PageId::new(0));
+        MiningContext::new(u_set, search, b.build(), 3)
+    }
+
+    #[test]
+    fn candidates_touch_surrogates() {
+        let ctx = ctx();
+        let table = SurrogateTable::build(&ctx, 10);
+        let cands = generate_candidates(&ctx, &table, EntityId::new(0));
+        let texts: Vec<&str> = cands.iter().map(|&q| ctx.log.query_text(q)).collect();
+        assert!(texts.contains(&"ab"));
+        assert!(texts.contains(&"alpha"));
+        assert!(!texts.contains(&"elsewhere"), "no surrogate was clicked");
+    }
+
+    #[test]
+    fn canonical_string_is_excluded() {
+        let ctx = ctx();
+        let table = SurrogateTable::build(&ctx, 10);
+        let cands = generate_candidates(&ctx, &table, EntityId::new(0));
+        let texts: Vec<&str> = cands.iter().map(|&q| ctx.log.query_text(q)).collect();
+        assert!(!texts.contains(&"alpha beta"));
+    }
+
+    #[test]
+    fn sorted_and_deduplicated() {
+        let ctx = ctx();
+        let table = SurrogateTable::build(&ctx, 10);
+        let cands = generate_candidates(&ctx, &table, EntityId::new(0));
+        for w in cands.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn entity_without_surrogates_has_no_candidates() {
+        let docs = vec![(PageId::new(0), "other", "other")];
+        let engine = SearchEngine::from_docs(docs);
+        let u_set = vec!["missing entity".to_string()];
+        let search = SearchData::collect(&engine, &u_set, 10);
+        let mut b = ClickLogBuilder::new();
+        let q = b.add_impression("other");
+        b.add_click(q, PageId::new(0));
+        let ctx = MiningContext::new(u_set, search, b.build(), 1);
+        let table = SurrogateTable::build(&ctx, 10);
+        assert!(generate_candidates(&ctx, &table, EntityId::new(0)).is_empty());
+    }
+}

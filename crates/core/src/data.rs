@@ -1,0 +1,117 @@
+//! The mining context: everything the algorithm consumes.
+//!
+//! The paper's inputs (Section II-B): the homogeneous string set `U`
+//! (entity data values, index-aligned with `EntityId`), Search Data `A`
+//! and Click Data `L`. The bipartite click graph is derived from `L`
+//! once and shared.
+
+use websyn_click::{ClickGraph, ClickLog};
+use websyn_common::{EntityId, QueryId};
+use websyn_engine::SearchData;
+
+/// Immutable bundle of mining inputs.
+#[derive(Debug, Clone)]
+pub struct MiningContext {
+    /// `U`: one canonical string per entity; index == `EntityId`.
+    pub u_set: Vec<String>,
+    /// Search Data `A` (must have been collected for exactly `u_set`).
+    pub search: SearchData,
+    /// Click Data `L`.
+    pub log: ClickLog,
+    /// The click graph derived from `L`.
+    pub graph: ClickGraph,
+}
+
+impl MiningContext {
+    /// Assembles a context, building the click graph.
+    ///
+    /// `n_pages` is the page-universe size (so unclicked pages are
+    /// representable).
+    ///
+    /// # Panics
+    /// Panics if `search` was not collected for `u_set` (query count
+    /// mismatch) — that always indicates the caller paired the wrong
+    /// tables.
+    pub fn new(u_set: Vec<String>, search: SearchData, log: ClickLog, n_pages: usize) -> Self {
+        assert_eq!(
+            search.queries.len(),
+            u_set.len(),
+            "Search Data was not collected for this U set"
+        );
+        let graph = ClickGraph::build(&log, n_pages);
+        Self {
+            u_set,
+            search,
+            log,
+            graph,
+        }
+    }
+
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.u_set.len()
+    }
+
+    /// The canonical string of an entity.
+    pub fn canonical(&self, e: EntityId) -> &str {
+        &self.u_set[e.as_usize()]
+    }
+
+    /// The click-log query id of an entity's canonical string, if that
+    /// exact string was ever issued as a query.
+    pub fn canonical_query(&self, e: EntityId) -> Option<QueryId> {
+        self.log.query_id(self.canonical(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+    use websyn_common::PageId;
+    use websyn_engine::{SearchData, SearchEngine};
+
+    fn tiny_context() -> MiningContext {
+        let docs = vec![
+            (PageId::new(0), "alpha beta", "alpha beta content"),
+            (PageId::new(1), "gamma", "gamma content"),
+        ];
+        let engine = SearchEngine::from_docs(docs);
+        let u_set = vec!["alpha beta".to_string(), "gamma".to_string()];
+        let search = SearchData::collect(&engine, &u_set, 5);
+        let mut b = ClickLogBuilder::new();
+        let q = b.add_impression("alpha");
+        b.add_click(q, PageId::new(0));
+        MiningContext::new(u_set, search, b.build(), 2)
+    }
+
+    #[test]
+    fn assembles() {
+        let ctx = tiny_context();
+        assert_eq!(ctx.n_entities(), 2);
+        assert_eq!(ctx.canonical(EntityId::new(0)), "alpha beta");
+        assert_eq!(ctx.graph.n_pages(), 2);
+    }
+
+    #[test]
+    fn canonical_query_resolution() {
+        let ctx = tiny_context();
+        // "alpha beta" was never issued as a query; "alpha" was.
+        assert_eq!(ctx.canonical_query(EntityId::new(0)), None);
+        assert!(ctx.log.query_id("alpha").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not collected for this U set")]
+    fn mismatched_search_data_panics() {
+        let docs = vec![(PageId::new(0), "a", "a")];
+        let engine = SearchEngine::from_docs(docs);
+        let search = SearchData::collect(&engine, &["a"], 5);
+        let _ = MiningContext::new(
+            vec!["a".to_string(), "b".to_string()],
+            search,
+            ClickLogBuilder::new().build(),
+            1,
+        );
+    }
+}

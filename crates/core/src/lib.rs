@@ -1,0 +1,48 @@
+//! # websyn-core
+//!
+//! The paper's primary contribution: **off-line, data-driven, bottom-up
+//! mining of entity synonyms from query and click logs**, for fuzzy
+//! matching of Web queries to structured data (Cheng, Lauw & Paparizos,
+//! ICDE 2010).
+//!
+//! The two-phase algorithm of Section III:
+//!
+//! 1. **Candidate generation**
+//!    - [`surrogate`] — `G_A(u, P)`: the top-k search results for the
+//!      canonical string `u` are its surrogate pages (Eq. 1, Def. 5);
+//!    - [`candidates`] — `W'_u = {w' | G_A(u,P) ∩ G_L(w',P) ≠ ∅}`:
+//!      every query whose clicks touch a surrogate (Eq. 2, Def. 6).
+//! 2. **Candidate selection** ([`measures`], [`select`](mod@select))
+//!    - **IPC** `(w', u) = |G_L(w',P) ∩ G_A(u,P)|` — strength (Eq. 3);
+//!    - **ICR** `(w', u)` — the fraction of `w'`'s clicks landing inside
+//!      the intersection — exclusiveness (Eq. 4);
+//!    - thresholds `β` (IPC) and `γ` (ICR) produce the final synonyms.
+//!
+//! [`miner`] orchestrates the phases (with a score-once / select-many
+//! split so threshold sweeps are cheap), [`metrics`] implements every
+//! measure of Section IV (precision, weighted precision, coverage
+//! increase, hit ratio, expansion ratio), [`taxonomy`] classifies mined
+//! strings against the oracle, and [`matcher`] is the downstream
+//! payoff: a fuzzy query → entity matcher built from mined synonyms.
+
+pub mod candidates;
+pub mod config;
+pub mod data;
+pub mod matcher;
+pub mod measures;
+pub mod metrics;
+pub mod miner;
+pub mod select;
+pub mod surrogate;
+pub mod taxonomy;
+
+pub use candidates::generate_candidates;
+pub use config::MinerConfig;
+pub use data::MiningContext;
+pub use matcher::{EntityMatcher, MatchSpan};
+pub use measures::{CandidateScore, score_candidate};
+pub use metrics::{evaluate, EvalReport};
+pub use miner::{EntityCandidates, EntitySynonyms, MinedSynonym, MiningResult, ScoredCandidates, SynonymMiner};
+pub use select::select;
+pub use surrogate::{SurrogateSource, SurrogateTable};
+pub use taxonomy::{classify, RelationCounts, TruthClass};

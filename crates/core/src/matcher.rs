@@ -1,0 +1,339 @@
+//! Fuzzy matching of Web queries to structured data — the downstream
+//! application that motivates the whole paper (its opening example:
+//! "Indy 4 near San Fran" resolving to showtimes for the right movie).
+//!
+//! The matcher compiles canonical strings plus mined synonyms into a
+//! normalized token-level dictionary, then segments incoming queries
+//! with greedy longest-match so entity mentions are found even when
+//! embedded in longer queries.
+
+use crate::data::MiningContext;
+use crate::miner::MiningResult;
+use websyn_common::{EntityId, FxHashMap};
+use websyn_text::normalize;
+
+/// One matched entity mention inside a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchSpan {
+    /// Index of the first matched token.
+    pub start: usize,
+    /// One past the last matched token.
+    pub end: usize,
+    /// The matched surface (normalized).
+    pub surface: String,
+    /// The entity it resolves to.
+    pub entity: EntityId,
+}
+
+/// A compiled surface → entity dictionary with a query segmenter.
+#[derive(Debug, Clone, Default)]
+pub struct EntityMatcher {
+    /// Normalized surface → entity.
+    surfaces: FxHashMap<String, EntityId>,
+    /// Longest surface length in tokens (bounds the segmenter window).
+    max_tokens: usize,
+    /// Surfaces dropped because they mapped to multiple entities.
+    ambiguous_dropped: usize,
+}
+
+impl EntityMatcher {
+    /// Builds a matcher from raw `(surface, entity)` pairs. Surfaces
+    /// are normalized; a surface claimed by two entities is dropped
+    /// entirely (an ambiguous surface cannot resolve a query).
+    pub fn from_pairs<S: AsRef<str>>(pairs: impl IntoIterator<Item = (S, EntityId)>) -> Self {
+        let mut surfaces: FxHashMap<String, EntityId> = FxHashMap::default();
+        let mut banned: websyn_common::FxHashSet<String> = Default::default();
+        let mut ambiguous = 0usize;
+        for (raw, entity) in pairs {
+            let surface = normalize(raw.as_ref());
+            if surface.is_empty() || banned.contains(&surface) {
+                continue;
+            }
+            match surfaces.get(&surface) {
+                None => {
+                    surfaces.insert(surface, entity);
+                }
+                Some(&existing) if existing == entity => {}
+                Some(_) => {
+                    surfaces.remove(&surface);
+                    banned.insert(surface);
+                    ambiguous += 2;
+                }
+            }
+        }
+        let max_tokens = surfaces
+            .keys()
+            .map(|s| s.split(' ').count())
+            .max()
+            .unwrap_or(0);
+        Self {
+            surfaces,
+            max_tokens,
+            ambiguous_dropped: ambiguous,
+        }
+    }
+
+    /// Builds a matcher from a mining result: every entity's canonical
+    /// string plus every mined synonym.
+    pub fn from_mining(result: &MiningResult, ctx: &MiningContext) -> Self {
+        let canonical = ctx
+            .u_set
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.clone(), EntityId::from_usize(i)));
+        let mined = result.per_entity.iter().flat_map(|es| {
+            es.synonyms
+                .iter()
+                .map(move |s| (s.text.clone(), es.entity))
+        });
+        Self::from_pairs(canonical.chain(mined))
+    }
+
+    /// Number of distinct surfaces.
+    pub fn len(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.surfaces.is_empty()
+    }
+
+    /// Surfaces dropped as ambiguous.
+    pub fn ambiguous_dropped(&self) -> usize {
+        self.ambiguous_dropped
+    }
+
+    /// Exact whole-query match after normalization.
+    pub fn lookup(&self, query: &str) -> Option<EntityId> {
+        self.surfaces.get(&normalize(query)).copied()
+    }
+
+    /// Serializes the dictionary as deterministic TSV
+    /// (`surface \t entity-id\n`, sorted by surface) — the deployment
+    /// artifact a serving layer would load.
+    pub fn to_tsv(&self) -> String {
+        let mut rows: Vec<(&str, u32)> = self
+            .surfaces
+            .iter()
+            .map(|(s, e)| (s.as_str(), e.raw()))
+            .collect();
+        rows.sort_unstable();
+        let mut out = String::with_capacity(rows.len() * 24);
+        for (surface, entity) in rows {
+            out.push_str(surface);
+            out.push('\t');
+            out.push_str(&entity.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Loads a dictionary produced by [`EntityMatcher::to_tsv`].
+    ///
+    /// # Errors
+    /// Returns a codec error on malformed rows (missing tab,
+    /// non-numeric id, embedded tab in surface).
+    pub fn from_tsv(tsv: &str) -> websyn_common::Result<Self> {
+        let mut pairs = Vec::new();
+        for (lineno, line) in tsv.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (surface, id) = line.rsplit_once('\t').ok_or_else(|| {
+                websyn_common::Error::codec(format!("line {}: missing tab", lineno + 1))
+            })?;
+            if surface.contains('\t') {
+                return Err(websyn_common::Error::codec(format!(
+                    "line {}: embedded tab in surface",
+                    lineno + 1
+                )));
+            }
+            let id: u32 = id.parse().map_err(|e| {
+                websyn_common::Error::codec(format!("line {}: bad entity id: {e}", lineno + 1))
+            })?;
+            pairs.push((surface.to_string(), EntityId::new(id)));
+        }
+        Ok(Self::from_pairs(pairs))
+    }
+
+    /// Segments a free-form query into entity mentions with greedy
+    /// longest-match, left to right. Unmatched tokens are skipped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use websyn_core::EntityMatcher;
+    /// use websyn_common::EntityId;
+    ///
+    /// let m = EntityMatcher::from_pairs(vec![
+    ///     ("indy 4", EntityId::new(7)),
+    /// ]);
+    /// let spans = m.segment("Indy 4 near san fran");
+    /// assert_eq!(spans.len(), 1);
+    /// assert_eq!(spans[0].entity, EntityId::new(7));
+    /// assert_eq!(spans[0].surface, "indy 4");
+    /// ```
+    pub fn segment(&self, query: &str) -> Vec<MatchSpan> {
+        let normalized = normalize(query);
+        let tokens: Vec<&str> = normalized.split(' ').filter(|t| !t.is_empty()).collect();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = false;
+            let longest = self.max_tokens.min(tokens.len() - i);
+            for window in (1..=longest).rev() {
+                let surface = tokens[i..i + window].join(" ");
+                if let Some(&entity) = self.surfaces.get(&surface) {
+                    spans.push(MatchSpan {
+                        start: i,
+                        end: i + window,
+                        surface,
+                        entity,
+                    });
+                    i += window;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                i += 1;
+            }
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matcher() -> EntityMatcher {
+        EntityMatcher::from_pairs(vec![
+            ("Indiana Jones and the Kingdom of the Crystal Skull", EntityId::new(0)),
+            ("indy 4", EntityId::new(0)),
+            ("indiana jones 4", EntityId::new(0)),
+            ("madagascar 2", EntityId::new(1)),
+            ("canon eos 350d", EntityId::new(2)),
+            ("350d", EntityId::new(2)),
+        ])
+    }
+
+    #[test]
+    fn exact_lookup_normalizes() {
+        let m = matcher();
+        assert_eq!(m.lookup("INDY 4"), Some(EntityId::new(0)));
+        assert_eq!(m.lookup("Indy-4"), Some(EntityId::new(0)));
+        assert_eq!(m.lookup("350D"), Some(EntityId::new(2)));
+        assert_eq!(m.lookup("unknown movie"), None);
+    }
+
+    #[test]
+    fn segments_the_papers_example() {
+        let m = matcher();
+        let spans = m.segment("indy 4 near san fran");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[0].end, 2);
+        assert_eq!(spans[0].entity, EntityId::new(0));
+    }
+
+    #[test]
+    fn greedy_longest_match_wins() {
+        // "indiana jones 4" must match as one 3-token surface, not fall
+        // back to shorter fragments.
+        let m = matcher();
+        let spans = m.segment("showtimes indiana jones 4 tonight");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].surface, "indiana jones 4");
+    }
+
+    #[test]
+    fn multiple_entities_in_one_query() {
+        let m = matcher();
+        let spans = m.segment("compare canon eos 350d with madagascar 2");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].entity, EntityId::new(2));
+        assert_eq!(spans[1].entity, EntityId::new(1));
+        assert!(spans[0].end <= spans[1].start);
+    }
+
+    #[test]
+    fn ambiguous_surfaces_dropped() {
+        let m = EntityMatcher::from_pairs(vec![
+            ("shared name", EntityId::new(0)),
+            ("shared name", EntityId::new(1)),
+            ("unique", EntityId::new(0)),
+        ]);
+        assert_eq!(m.lookup("shared name"), None);
+        assert_eq!(m.lookup("unique"), Some(EntityId::new(0)));
+        assert_eq!(m.ambiguous_dropped(), 2);
+        // Re-adding after the ban does not resurrect.
+        let m2 = EntityMatcher::from_pairs(vec![
+            ("x", EntityId::new(0)),
+            ("x", EntityId::new(1)),
+            ("x", EntityId::new(0)),
+        ]);
+        assert_eq!(m2.lookup("x"), None);
+    }
+
+    #[test]
+    fn duplicate_same_entity_is_fine() {
+        let m = EntityMatcher::from_pairs(vec![
+            ("same", EntityId::new(3)),
+            ("same", EntityId::new(3)),
+        ]);
+        assert_eq!(m.lookup("same"), Some(EntityId::new(3)));
+        assert_eq!(m.ambiguous_dropped(), 0);
+    }
+
+    #[test]
+    fn empty_matcher_and_query() {
+        let m = EntityMatcher::from_pairs(Vec::<(&str, EntityId)>::new());
+        assert!(m.is_empty());
+        assert!(m.segment("anything at all").is_empty());
+        let m2 = matcher();
+        assert!(m2.segment("").is_empty());
+        assert!(m2.segment("???").is_empty());
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let m = matcher();
+        let tsv = m.to_tsv();
+        let restored = EntityMatcher::from_tsv(&tsv).unwrap();
+        assert_eq!(restored.len(), m.len());
+        assert_eq!(restored.lookup("indy 4"), m.lookup("indy 4"));
+        assert_eq!(restored.lookup("350d"), m.lookup("350d"));
+        // Deterministic output: re-serializing is byte-identical.
+        assert_eq!(restored.to_tsv(), tsv);
+        // Sorted by surface.
+        let lines: Vec<&str> = tsv.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_rows() {
+        assert!(EntityMatcher::from_tsv("no tab here").is_err());
+        assert!(EntityMatcher::from_tsv("surface\tnot-a-number").is_err());
+        assert!(EntityMatcher::from_tsv("a\tb\t3").is_err(), "embedded tab");
+        // Empty input is a valid (empty) dictionary.
+        let empty = EntityMatcher::from_tsv("").unwrap();
+        assert!(empty.is_empty());
+        // Blank lines are skipped.
+        let ok = EntityMatcher::from_tsv("alpha\t1\n\nbeta\t2\n").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn no_overlapping_spans() {
+        let m = matcher();
+        let spans = m.segment("indy 4 indy 4 madagascar 2");
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        assert_eq!(spans.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! The selection measures (paper Section III-B).
+//!
+//! - **IPC** — Intersecting Page Count (Eq. 3):
+//!   `IPC(w', u) = |G_L(w', P) ∩ G_A(u, P)|`. Strength: how many common
+//!   pages are reached via both strings.
+//! - **ICR** — Intersecting Click Ratio (Eq. 4):
+//!   `ICR(w', u) = Σ_{l: l.p ∈ intersection} l.n / Σ_{l: l.p ∈ G_L(w')} l.n`.
+//!   Exclusiveness: the share of `w'`'s total clicks that land inside
+//!   the intersection. This is the discriminator between synonyms
+//!   (Fig. 1a, high ICR) and hypernyms/hyponyms/related strings
+//!   (Figs. 1b-d, low ICR).
+
+use crate::data::MiningContext;
+use crate::surrogate::SurrogateTable;
+use websyn_common::{EntityId, QueryId};
+
+/// The measures of one candidate against one entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// The candidate query.
+    pub query: QueryId,
+    /// Intersecting Page Count (Eq. 3).
+    pub ipc: u32,
+    /// Intersecting Click Ratio (Eq. 4), in `[0, 1]`. Zero when the
+    /// candidate has no clicks at all (cannot happen for generated
+    /// candidates, which by Def. 6 clicked at least one surrogate).
+    pub icr: f64,
+}
+
+/// Computes IPC and ICR for candidate `w'` against entity `e` in one
+/// pass over `w'`'s click tuples.
+pub fn score_candidate(
+    ctx: &MiningContext,
+    surrogates: &SurrogateTable,
+    e: EntityId,
+    w: QueryId,
+) -> CandidateScore {
+    let mut ipc = 0u32;
+    let mut intersect_clicks = 0u64;
+    let mut total_clicks = 0u64;
+    for tuple in ctx.log.clicks_of(w) {
+        total_clicks += u64::from(tuple.n);
+        if surrogates.contains(e, tuple.page) {
+            ipc += 1;
+            intersect_clicks += u64::from(tuple.n);
+        }
+    }
+    let icr = if total_clicks == 0 {
+        0.0
+    } else {
+        intersect_clicks as f64 / total_clicks as f64
+    };
+    CandidateScore { query: w, ipc, icr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+    use websyn_common::PageId;
+    use websyn_engine::{SearchData, SearchEngine};
+
+    /// Entity 0's surrogates: pages 0, 1 (both match "alpha beta").
+    /// - "syn" clicks pages 0 (×8) and 1 (×2): IPC 2, ICR 1.0.
+    /// - "hyper" clicks pages 0 (×2), 2 (×5), 3 (×5): IPC 1, ICR 1/6.
+    /// - "far" clicks page 3 only: IPC 0, ICR 0.
+    fn ctx() -> MiningContext {
+        let docs = vec![
+            (PageId::new(0), "alpha beta", "alpha beta official"),
+            (PageId::new(1), "alpha beta shop", "alpha beta buy"),
+            (PageId::new(2), "franchise hub", "alpha beta alpha gamma list"),
+            (PageId::new(3), "other", "unrelated"),
+        ];
+        let engine = SearchEngine::from_docs(docs);
+        let u_set = vec!["alpha beta".to_string()];
+        let search = SearchData::collect(&engine, &u_set, 2);
+        let mut b = ClickLogBuilder::new();
+        let syn = b.add_impression("syn");
+        let hyper = b.add_impression("hyper");
+        let far = b.add_impression("far");
+        for _ in 0..8 {
+            b.add_click(syn, PageId::new(0));
+        }
+        for _ in 0..2 {
+            b.add_click(syn, PageId::new(1));
+        }
+        for _ in 0..2 {
+            b.add_click(hyper, PageId::new(0));
+        }
+        for _ in 0..5 {
+            b.add_click(hyper, PageId::new(2));
+            b.add_click(hyper, PageId::new(3));
+        }
+        b.add_click(far, PageId::new(3));
+        MiningContext::new(u_set, search, b.build(), 4)
+    }
+
+    fn surrogate_table(ctx: &MiningContext) -> SurrogateTable {
+        let t = SurrogateTable::build(ctx, 2);
+        // Sanity: entity 0's surrogates are pages 0 and 1.
+        assert_eq!(t.of(EntityId::new(0)), &[PageId::new(0), PageId::new(1)]);
+        t
+    }
+
+    #[test]
+    fn synonym_scores_high_on_both() {
+        let ctx = ctx();
+        let table = surrogate_table(&ctx);
+        let q = ctx.log.query_id("syn").unwrap();
+        let s = score_candidate(&ctx, &table, EntityId::new(0), q);
+        assert_eq!(s.ipc, 2);
+        assert!((s.icr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypernym_scores_low_icr() {
+        let ctx = ctx();
+        let table = surrogate_table(&ctx);
+        let q = ctx.log.query_id("hyper").unwrap();
+        let s = score_candidate(&ctx, &table, EntityId::new(0), q);
+        assert_eq!(s.ipc, 1);
+        assert!((s.icr - 2.0 / 12.0).abs() < 1e-12, "icr {}", s.icr);
+    }
+
+    #[test]
+    fn unrelated_scores_zero() {
+        let ctx = ctx();
+        let table = surrogate_table(&ctx);
+        let q = ctx.log.query_id("far").unwrap();
+        let s = score_candidate(&ctx, &table, EntityId::new(0), q);
+        assert_eq!(s.ipc, 0);
+        assert_eq!(s.icr, 0.0);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let ctx = ctx();
+        let table = surrogate_table(&ctx);
+        let e = EntityId::new(0);
+        for (q, _) in ctx.log.queries() {
+            let s = score_candidate(&ctx, &table, e, q);
+            // 0 ≤ ICR ≤ 1.
+            assert!((0.0..=1.0).contains(&s.icr));
+            // IPC bounded by both set sizes.
+            assert!(s.ipc as usize <= table.of(e).len());
+            assert!(s.ipc as usize <= ctx.log.clicks_of(q).len());
+            // ICR > 0 ⇔ IPC > 0.
+            assert_eq!(s.icr > 0.0, s.ipc > 0);
+        }
+    }
+}

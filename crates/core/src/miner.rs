@@ -1,0 +1,433 @@
+//! The end-to-end miner: candidate generation + scoring (expensive,
+//! parallel, done once) and threshold selection (cheap, done per sweep
+//! point).
+
+use crate::candidates::generate_candidates;
+use crate::config::MinerConfig;
+use crate::data::MiningContext;
+use crate::measures::{score_candidate, CandidateScore};
+use crate::select::select;
+use crate::surrogate::SurrogateTable;
+use websyn_common::{EntityId, QueryId};
+
+/// Scored candidates of one entity.
+#[derive(Debug, Clone)]
+pub struct EntityCandidates {
+    /// The entity.
+    pub entity: EntityId,
+    /// Its surrogate count (diagnostics).
+    pub n_surrogates: usize,
+    /// All candidates with their IPC/ICR, sorted by query id.
+    pub candidates: Vec<CandidateScore>,
+}
+
+/// The output of the scoring phase: everything needed to evaluate any
+/// (β, γ) operating point without touching the logs again.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidates {
+    /// Per-entity scored candidates, in entity order.
+    pub per_entity: Vec<EntityCandidates>,
+    /// The surrogate depth used.
+    pub top_k: usize,
+}
+
+/// One mined synonym.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedSynonym {
+    /// The query id in the click log.
+    pub query: QueryId,
+    /// The synonym text.
+    pub text: String,
+    /// Its IPC at mining time.
+    pub ipc: u32,
+    /// Its ICR at mining time.
+    pub icr: f64,
+}
+
+/// The synonyms mined for one entity.
+#[derive(Debug, Clone)]
+pub struct EntitySynonyms {
+    /// The entity.
+    pub entity: EntityId,
+    /// Mined synonyms, sorted by descending IPC then descending ICR
+    /// then query id.
+    pub synonyms: Vec<MinedSynonym>,
+}
+
+/// The output of a full mining run.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// Per-entity synonyms, in entity order.
+    pub per_entity: Vec<EntitySynonyms>,
+    /// The configuration that produced this result.
+    pub config: MinerConfig,
+}
+
+impl MiningResult {
+    /// Total mined synonyms across entities.
+    pub fn total_synonyms(&self) -> usize {
+        self.per_entity.iter().map(|e| e.synonyms.len()).sum()
+    }
+
+    /// Number of entities with at least one synonym (Table I "Hits").
+    pub fn hits(&self) -> usize {
+        self.per_entity
+            .iter()
+            .filter(|e| !e.synonyms.is_empty())
+            .count()
+    }
+}
+
+/// The synonym miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynonymMiner {
+    /// Miner parameters.
+    pub config: MinerConfig,
+}
+
+impl SynonymMiner {
+    /// Creates a miner with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        config.validate().expect("invalid MinerConfig");
+        Self { config }
+    }
+
+    /// Phase 1+2a: generate candidates and compute IPC/ICR for every
+    /// entity. Parallelized across entities; output order is
+    /// deterministic (entity order, candidates by query id).
+    pub fn score(&self, ctx: &MiningContext) -> ScoredCandidates {
+        let surrogates =
+            SurrogateTable::build_from(ctx, self.config.top_k, self.config.surrogate_source);
+        let n = ctx.n_entities();
+        let mut per_entity: Vec<Option<EntityCandidates>> = Vec::new();
+        per_entity.resize_with(n, || None);
+
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1));
+
+        if n > 0 {
+            let slots = parking_lot::Mutex::new(&mut per_entity);
+            crossbeam::thread::scope(|scope| {
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let surrogates = &surrogates;
+                    let slots = &slots;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::with_capacity(hi - lo);
+                        for i in lo..hi {
+                            let e = EntityId::from_usize(i);
+                            local.push((i, score_entity(ctx, surrogates, e)));
+                        }
+                        let mut guard = slots.lock();
+                        for (i, ec) in local {
+                            guard[i] = Some(ec);
+                        }
+                    });
+                }
+            })
+            .expect("scoring worker panicked");
+        }
+
+        ScoredCandidates {
+            per_entity: per_entity
+                .into_iter()
+                .map(|s| s.expect("every entity scored"))
+                .collect(),
+            top_k: self.config.top_k,
+        }
+    }
+
+    /// Phase 2b: apply this miner's thresholds to pre-computed scores.
+    pub fn select_from(&self, ctx: &MiningContext, scored: &ScoredCandidates) -> MiningResult {
+        select_with(
+            ctx,
+            scored,
+            self.config.ipc_threshold,
+            self.config.icr_threshold,
+            self.config,
+        )
+    }
+
+    /// The full pipeline: score then select.
+    pub fn mine(&self, ctx: &MiningContext) -> MiningResult {
+        let scored = self.score(ctx);
+        self.select_from(ctx, &scored)
+    }
+}
+
+/// Scores one entity (candidate generation + measures).
+fn score_entity(
+    ctx: &MiningContext,
+    surrogates: &SurrogateTable,
+    e: EntityId,
+) -> EntityCandidates {
+    let cands = generate_candidates(ctx, surrogates, e);
+    let candidates = cands
+        .into_iter()
+        .map(|w| score_candidate(ctx, surrogates, e, w))
+        .collect();
+    EntityCandidates {
+        entity: e,
+        n_surrogates: surrogates.of(e).len(),
+        candidates,
+    }
+}
+
+/// Applies explicit thresholds to pre-computed scores (the sweep entry
+/// point used by the Figure 2/3 harnesses).
+pub fn select_with(
+    ctx: &MiningContext,
+    scored: &ScoredCandidates,
+    ipc_threshold: u32,
+    icr_threshold: f64,
+    config_echo: MinerConfig,
+) -> MiningResult {
+    let per_entity = scored
+        .per_entity
+        .iter()
+        .map(|ec| {
+            let mut synonyms: Vec<MinedSynonym> =
+                select(&ec.candidates, ipc_threshold, icr_threshold)
+                    .map(|s| MinedSynonym {
+                        query: s.query,
+                        text: ctx.log.query_text(s.query).to_string(),
+                        ipc: s.ipc,
+                        icr: s.icr,
+                    })
+                    .collect();
+            synonyms.sort_by(|a, b| {
+                b.ipc
+                    .cmp(&a.ipc)
+                    .then_with(|| b.icr.partial_cmp(&a.icr).expect("icr finite"))
+                    .then_with(|| a.query.cmp(&b.query))
+            });
+            EntitySynonyms {
+                entity: ec.entity,
+                synonyms,
+            }
+        })
+        .collect();
+    MiningResult {
+        per_entity,
+        config: MinerConfig {
+            ipc_threshold,
+            icr_threshold,
+            ..config_echo
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_click::ClickLogBuilder;
+    use websyn_common::PageId;
+    use websyn_engine::{SearchData, SearchEngine};
+
+    /// Two entities with disjoint page sets; one strong synonym each,
+    /// one shared hypernym-ish query, one unrelated query.
+    fn ctx() -> MiningContext {
+        let docs = vec![
+            (PageId::new(0), "alpha one", "alpha one official site"),
+            (PageId::new(1), "alpha one shop", "alpha one buy a1"),
+            (PageId::new(2), "alpha two", "alpha two official site"),
+            (PageId::new(3), "alpha two shop", "alpha two buy a2"),
+            (PageId::new(4), "alpha series", "alpha one alpha two list"),
+            (PageId::new(5), "noise", "recipe garden"),
+        ];
+        let engine = SearchEngine::from_docs(docs);
+        let u_set = vec!["alpha one".to_string(), "alpha two".to_string()];
+        let search = SearchData::collect(&engine, &u_set, 4);
+        let mut b = ClickLogBuilder::new();
+        let a1 = b.add_impression("a1");
+        let a2 = b.add_impression("a2");
+        let hyper = b.add_impression("alpha");
+        let noise = b.add_impression("recipe");
+        for _ in 0..10 {
+            b.add_click(a1, PageId::new(0));
+            b.add_click(a1, PageId::new(1));
+            b.add_click(a2, PageId::new(2));
+            b.add_click(a2, PageId::new(3));
+        }
+        // The hypernym spreads clicks across both entities + hub.
+        for _ in 0..3 {
+            b.add_click(hyper, PageId::new(0));
+            b.add_click(hyper, PageId::new(2));
+        }
+        for _ in 0..14 {
+            b.add_click(hyper, PageId::new(4));
+        }
+        b.add_click(noise, PageId::new(5));
+        MiningContext::new(u_set, search, b.build(), 6)
+    }
+
+    #[test]
+    fn mine_finds_the_planted_synonyms() {
+        let ctx = ctx();
+        // k=2: each entity's surrogates are its own two pages. (At k=4
+        // the franchise hub — which mentions both entities — becomes a
+        // surrogate and legitimately absorbs the hypernym's clicks.)
+        let miner = SynonymMiner::new(MinerConfig {
+            top_k: 2,
+            ipc_threshold: 2,
+            icr_threshold: 0.5,
+            ..Default::default()
+        });
+        let result = miner.mine(&ctx);
+        assert_eq!(result.per_entity.len(), 2);
+        let syn0: Vec<&str> = result.per_entity[0]
+            .synonyms
+            .iter()
+            .map(|s| s.text.as_str())
+            .collect();
+        assert_eq!(syn0, vec!["a1"]);
+        let syn1: Vec<&str> = result.per_entity[1]
+            .synonyms
+            .iter()
+            .map(|s| s.text.as_str())
+            .collect();
+        assert_eq!(syn1, vec!["a2"]);
+        assert_eq!(result.hits(), 2);
+        assert_eq!(result.total_synonyms(), 2);
+    }
+
+    #[test]
+    fn icr_threshold_rejects_hypernym() {
+        let ctx = ctx();
+        // With a loose ICR the hypernym "alpha" sneaks in (it clicked
+        // one surrogate of each entity).
+        let loose = SynonymMiner::new(MinerConfig {
+            top_k: 2,
+            ipc_threshold: 1,
+            icr_threshold: 0.0,
+            ..Default::default()
+        });
+        let r = loose.mine(&ctx);
+        let syn0: Vec<&str> = r.per_entity[0]
+            .synonyms
+            .iter()
+            .map(|s| s.text.as_str())
+            .collect();
+        assert!(syn0.contains(&"alpha"), "loose thresholds admit hypernym");
+        // Tightening ICR evicts it: "alpha" has 3/20 clicks on entity
+        // 0's surrogates.
+        let tight = SynonymMiner::new(MinerConfig {
+            top_k: 2,
+            ipc_threshold: 1,
+            icr_threshold: 0.3,
+            ..Default::default()
+        });
+        let r = tight.mine(&ctx);
+        let syn0: Vec<&str> = r.per_entity[0]
+            .synonyms
+            .iter()
+            .map(|s| s.text.as_str())
+            .collect();
+        assert!(!syn0.contains(&"alpha"));
+        assert!(syn0.contains(&"a1"));
+    }
+
+    #[test]
+    fn score_once_select_many_matches_direct_mining() {
+        let ctx = ctx();
+        let miner = SynonymMiner::new(MinerConfig {
+            top_k: 2,
+            ipc_threshold: 2,
+            icr_threshold: 0.5,
+            ..Default::default()
+        });
+        let scored = miner.score(&ctx);
+        let via_split = miner.select_from(&ctx, &scored);
+        let direct = miner.mine(&ctx);
+        for (a, b) in via_split.per_entity.iter().zip(direct.per_entity.iter()) {
+            assert_eq!(a.synonyms, b.synonyms);
+        }
+    }
+
+    #[test]
+    fn scoring_is_deterministic_across_runs() {
+        let ctx = ctx();
+        let miner = SynonymMiner::new(MinerConfig {
+            top_k: 4, // the Search Data collection depth
+            ..Default::default()
+        });
+        let a = miner.score(&ctx);
+        let b = miner.score(&ctx);
+        for (x, y) in a.per_entity.iter().zip(b.per_entity.iter()) {
+            assert_eq!(x.entity, y.entity);
+            assert_eq!(x.candidates, y.candidates);
+        }
+    }
+
+    #[test]
+    fn raising_thresholds_never_adds_synonyms() {
+        let ctx = ctx();
+        let miner = SynonymMiner::new(MinerConfig {
+            top_k: 4,
+            ipc_threshold: 1,
+            icr_threshold: 0.0,
+            ..Default::default()
+        });
+        let scored = miner.score(&ctx);
+        let mut prev = usize::MAX;
+        for beta in 1..=5u32 {
+            let r = select_with(&ctx, &scored, beta, 0.0, miner.config);
+            let total = r.total_synonyms();
+            assert!(total <= prev, "β={beta}: {total} > {prev}");
+            prev = total;
+        }
+        let mut prev = usize::MAX;
+        for gamma in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+            let r = select_with(&ctx, &scored, 1, gamma, miner.config);
+            let total = r.total_synonyms();
+            assert!(total <= prev, "γ={gamma}: {total} > {prev}");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn noise_queries_never_mined() {
+        let ctx = ctx();
+        let r = SynonymMiner::new(MinerConfig {
+            top_k: 4,
+            ipc_threshold: 1,
+            icr_threshold: 0.0,
+            ..Default::default()
+        })
+        .mine(&ctx);
+        for es in &r.per_entity {
+            for s in &es.synonyms {
+                assert_ne!(s.text, "recipe");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MinerConfig")]
+    fn invalid_config_panics() {
+        let _ = SynonymMiner::new(MinerConfig {
+            top_k: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn empty_context_mines_nothing() {
+        let engine = SearchEngine::from_docs(std::iter::empty());
+        let search = SearchData::collect::<&str>(&engine, &[], 10);
+        let ctx = MiningContext::new(Vec::new(), search, ClickLogBuilder::new().build(), 0);
+        let r = SynonymMiner::default().mine(&ctx);
+        assert!(r.per_entity.is_empty());
+        assert_eq!(r.hits(), 0);
+    }
+}

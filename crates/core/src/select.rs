@@ -1,0 +1,87 @@
+//! Candidate selection (paper Section III-B, final paragraph):
+//! "We produce the final Web synonym by applying threshold values β
+//! and γ on IPC and ICR respectively."
+
+use crate::measures::CandidateScore;
+
+/// Applies the β/γ thresholds to a scored candidate list, preserving
+/// order. This tiny function is separated out because the experiment
+/// harness calls it thousands of times per sweep over scores computed
+/// once.
+#[inline]
+pub fn select(
+    scores: &[CandidateScore],
+    ipc_threshold: u32,
+    icr_threshold: f64,
+) -> impl Iterator<Item = &CandidateScore> + '_ {
+    scores
+        .iter()
+        .filter(move |s| s.ipc >= ipc_threshold && s.icr >= icr_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::QueryId;
+
+    fn scores() -> Vec<CandidateScore> {
+        vec![
+            CandidateScore {
+                query: QueryId::new(0),
+                ipc: 6,
+                icr: 0.9,
+            },
+            CandidateScore {
+                query: QueryId::new(1),
+                ipc: 2,
+                icr: 0.9,
+            },
+            CandidateScore {
+                query: QueryId::new(2),
+                ipc: 6,
+                icr: 0.05,
+            },
+            CandidateScore {
+                query: QueryId::new(3),
+                ipc: 1,
+                icr: 0.01,
+            },
+        ]
+    }
+
+    #[test]
+    fn both_thresholds_apply() {
+        let s = scores();
+        let kept: Vec<u32> = select(&s, 4, 0.1).map(|c| c.query.raw()).collect();
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn loose_thresholds_keep_more() {
+        let s = scores();
+        let kept: Vec<u32> = select(&s, 1, 0.0).map(|c| c.query.raw()).collect();
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn monotone_in_both_thresholds() {
+        let s = scores();
+        let count = |b: u32, g: f64| select(&s, b, g).count();
+        for b in 1..8 {
+            assert!(count(b + 1, 0.0) <= count(b, 0.0));
+        }
+        for g in [0.0, 0.05, 0.1, 0.5, 0.9] {
+            assert!(count(1, g + 0.05) <= count(1, g));
+        }
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let s = vec![CandidateScore {
+            query: QueryId::new(0),
+            ipc: 4,
+            icr: 0.1,
+        }];
+        assert_eq!(select(&s, 4, 0.1).count(), 1);
+    }
+}

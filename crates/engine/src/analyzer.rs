@@ -1,0 +1,78 @@
+//! The analysis chain shared by indexing and querying.
+//!
+//! Both sides must agree exactly on how text becomes terms, or queries
+//! will not match documents; owning the chain in one type makes the
+//! agreement structural.
+
+use websyn_text::{normalize, tokenize};
+
+/// Normalize → tokenize analysis chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Analyzer;
+
+impl Analyzer {
+    /// Creates the standard analyzer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Analyzes raw text into index terms.
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        let normalized = normalize(text);
+        tokenize(&normalized)
+            .into_iter()
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    /// Analyzes text that is already normalized (fast path used by the
+    /// synthetic page generator, whose output is canonical by
+    /// construction).
+    pub fn analyze_normalized<'a>(&self, text: &'a str) -> Vec<&'a str> {
+        debug_assert_eq!(
+            normalize(text),
+            text,
+            "analyze_normalized called with non-normalized text"
+        );
+        text.split(' ').filter(|t| !t.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_text_is_normalized_and_tokenized() {
+        let a = Analyzer::new();
+        assert_eq!(
+            a.analyze("Madagascar: Escape 2 Africa!"),
+            vec!["madagascar", "escape", "2", "africa"]
+        );
+    }
+
+    #[test]
+    fn query_and_doc_agree() {
+        let a = Analyzer::new();
+        assert_eq!(a.analyze("Indy 4"), a.analyze("  INDY-4 "));
+    }
+
+    #[test]
+    fn normalized_fast_path_matches_slow_path() {
+        let a = Analyzer::new();
+        let text = "canon eos 350d review";
+        let fast: Vec<String> = a
+            .analyze_normalized(text)
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(fast, a.analyze(text));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Analyzer::new();
+        assert!(a.analyze("").is_empty());
+        assert!(a.analyze_normalized("").is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! The inverted index.
+//!
+//! Documents are the synthetic Web pages; the index stores one postings
+//! list per term with title-boosted term frequencies, document lengths
+//! for BM25 normalization, and document frequencies for idf.
+
+use crate::analyzer::Analyzer;
+use websyn_common::{FxHashMap, PageId, StringInterner, TermId};
+
+/// One posting: a document and the (boosted) term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub page: PageId,
+    /// Title-boosted term frequency.
+    pub tf: u32,
+}
+
+/// An immutable inverted index over a dense page id space.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    vocab: StringInterner<TermId>,
+    /// Postings per term, sorted by page id (insertion order is dense).
+    postings: Vec<Vec<Posting>>,
+    /// Boosted document length per page.
+    doc_len: Vec<f64>,
+    avg_dl: f64,
+    analyzer: Analyzer,
+}
+
+impl InvertedIndex {
+    /// Builds the index from `(id, title, body)` documents.
+    ///
+    /// Title terms count `title_boost` times (frequency and length),
+    /// the standard cheap field boost.
+    ///
+    /// # Panics
+    /// Panics if page ids are not dense (id `i` at position `i`) —
+    /// the synthetic page universe guarantees density, and density is
+    /// what lets every per-document table be a flat `Vec`.
+    pub fn build<'a, I>(docs: I, title_boost: u32) -> Self
+    where
+        I: IntoIterator<Item = (PageId, &'a str, &'a str)>,
+    {
+        let analyzer = Analyzer::new();
+        let mut vocab: StringInterner<TermId> = StringInterner::new();
+        let mut postings: Vec<Vec<Posting>> = Vec::new();
+        let mut doc_len: Vec<f64> = Vec::new();
+        let mut tf_scratch: FxHashMap<TermId, u32> = FxHashMap::default();
+
+        for (page, title, body) in docs {
+            assert_eq!(
+                page.as_usize(),
+                doc_len.len(),
+                "page ids must be dense and in order"
+            );
+            tf_scratch.clear();
+            let mut len = 0u64;
+            for term in analyzer.analyze(title) {
+                let t = vocab.intern(&term);
+                *tf_scratch.entry(t).or_insert(0) += title_boost;
+                len += u64::from(title_boost);
+            }
+            for term in analyzer.analyze(body) {
+                let t = vocab.intern(&term);
+                *tf_scratch.entry(t).or_insert(0) += 1;
+                len += 1;
+            }
+            doc_len.push(len as f64);
+            if postings.len() < vocab.len() {
+                postings.resize_with(vocab.len(), Vec::new);
+            }
+            // Deterministic postings: sort the scratch map by term id.
+            let mut entries: Vec<(TermId, u32)> =
+                tf_scratch.iter().map(|(&t, &tf)| (t, tf)).collect();
+            entries.sort_unstable_by_key(|&(t, _)| t);
+            for (t, tf) in entries {
+                postings[t.as_usize()].push(Posting { page, tf });
+            }
+        }
+
+        let avg_dl = if doc_len.is_empty() {
+            0.0
+        } else {
+            doc_len.iter().sum::<f64>() / doc_len.len() as f64
+        };
+
+        Self {
+            vocab,
+            postings,
+            doc_len,
+            avg_dl,
+            analyzer,
+        }
+    }
+
+    /// The analyzer the index was built with.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Mean boosted document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_dl
+    }
+
+    /// Boosted length of one document.
+    pub fn doc_len(&self, page: PageId) -> f64 {
+        self.doc_len[page.as_usize()]
+    }
+
+    /// The term id of an exact vocabulary entry.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.vocab.get(term)
+    }
+
+    /// The string of a term id.
+    pub fn term_str(&self, id: TermId) -> &str {
+        self.vocab.resolve(id)
+    }
+
+    /// Postings list of a term (empty slice if unknown).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.as_usize())
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: TermId) -> u32 {
+        self.postings(term).len() as u32
+    }
+
+    /// Iterates the vocabulary as `(TermId, &str, df)`.
+    pub fn vocab_iter(&self) -> impl Iterator<Item = (TermId, &str, u32)> + '_ {
+        self.vocab
+            .iter()
+            .map(move |(id, s)| (id, s, self.doc_freq(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_index() -> InvertedIndex {
+        let docs = vec![
+            (PageId::new(0), "indiana jones", "indiana jones kingdom crystal skull official"),
+            (PageId::new(1), "madagascar", "madagascar escape africa dvd buy"),
+            (PageId::new(2), "indiana jones fan", "indy fan page indiana"),
+        ];
+InvertedIndex::build(docs, 2)
+    }
+
+    #[test]
+    fn doc_count_and_vocab() {
+        let idx = tiny_index();
+        assert_eq!(idx.doc_count(), 3);
+        assert!(idx.vocab_size() > 5);
+        assert!(idx.term_id("indiana").is_some());
+        assert!(idx.term_id("INDIANA").is_none(), "vocab stores normalized");
+        assert!(idx.term_id("zzz").is_none());
+    }
+
+    #[test]
+    fn postings_track_documents() {
+        let idx = tiny_index();
+        let t = idx.term_id("indiana").unwrap();
+        let pages: Vec<u32> = idx.postings(t).iter().map(|p| p.page.raw()).collect();
+        assert_eq!(pages, vec![0, 2]);
+        assert_eq!(idx.doc_freq(t), 2);
+    }
+
+    #[test]
+    fn title_terms_are_boosted() {
+        let idx = tiny_index();
+        let t = idx.term_id("indiana").unwrap();
+        // Doc 0: "indiana" once in title (boost 2) + once in body = 3.
+        let p0 = idx.postings(t).iter().find(|p| p.page.raw() == 0).unwrap();
+        assert_eq!(p0.tf, 3);
+        // Doc 2: once in title (2) + once in body (1) = 3.
+        let p2 = idx.postings(t).iter().find(|p| p.page.raw() == 2).unwrap();
+        assert_eq!(p2.tf, 3);
+    }
+
+    #[test]
+    fn doc_lengths_boosted_and_averaged() {
+        let idx = tiny_index();
+        // Doc 1: title 1 term × boost 2 + body 5 terms = 7.
+        assert_eq!(idx.doc_len(PageId::new(1)), 7.0);
+        assert!(idx.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let idx = InvertedIndex::build(std::iter::empty(), 2);
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+        assert_eq!(idx.vocab_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let docs = vec![(PageId::new(5), "a", "b")];
+        let _ = InvertedIndex::build(docs, 1);
+    }
+
+    #[test]
+    fn postings_sorted_by_page() {
+        let idx = tiny_index();
+        for (t, _, _) in idx.vocab_iter() {
+            let pages: Vec<u32> = idx.postings(t).iter().map(|p| p.page.raw()).collect();
+            let mut sorted = pages.clone();
+            sorted.sort_unstable();
+            assert_eq!(pages, sorted);
+        }
+    }
+
+    #[test]
+    fn raw_text_is_analyzed() {
+        let docs = vec![(PageId::new(0), "Spider-Man: Homecoming!", "WATCH Spider-Man")];
+        let idx = InvertedIndex::build(docs, 2);
+        assert!(idx.term_id("spider").is_some());
+        assert!(idx.term_id("homecoming").is_some());
+    }
+}

@@ -1,0 +1,180 @@
+//! Ranking functions: BM25 (default) and TF-IDF (ablation comparator).
+
+/// BM25 parameters. Defaults are the standard Robertson values with a
+/// title boost applied at index time (title terms count `title_boost`
+/// times toward term frequency and document length).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength.
+    pub b: f64,
+    /// Multiplier applied to title term frequencies at index time.
+    pub title_boost: u32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self {
+            k1: 1.2,
+            b: 0.75,
+            title_boost: 3,
+        }
+    }
+}
+
+/// TF-IDF parameters (log-scaled tf, standard idf).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TfIdfParams;
+
+/// A pluggable document scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scorer {
+    /// Okapi BM25.
+    Bm25(Bm25Params),
+    /// Classic TF-IDF with cosine-free sum scoring.
+    TfIdf(TfIdfParams),
+}
+
+impl Default for Scorer {
+    fn default() -> Self {
+        Scorer::Bm25(Bm25Params::default())
+    }
+}
+
+impl Scorer {
+    /// Scores one term occurrence in one document.
+    ///
+    /// `tf` — (boosted) term frequency in the document;
+    /// `df` — number of documents containing the term;
+    /// `n_docs` — corpus size;
+    /// `dl` — (boosted) document length;
+    /// `avg_dl` — mean document length.
+    #[inline]
+    pub fn term_score(&self, tf: u32, df: u32, n_docs: usize, dl: f64, avg_dl: f64) -> f64 {
+        match self {
+            Scorer::Bm25(p) => bm25_term(tf, df, n_docs, dl, avg_dl, *p),
+            Scorer::TfIdf(_) => tfidf_term(tf, df, n_docs),
+        }
+    }
+
+    /// The index-time title boost this scorer expects.
+    pub fn title_boost(&self) -> u32 {
+        match self {
+            Scorer::Bm25(p) => p.title_boost,
+            Scorer::TfIdf(_) => 3,
+        }
+    }
+}
+
+/// BM25 contribution of one term.
+#[inline]
+pub fn bm25_term(tf: u32, df: u32, n_docs: usize, dl: f64, avg_dl: f64, p: Bm25Params) -> f64 {
+    if tf == 0 || df == 0 || n_docs == 0 {
+        return 0.0;
+    }
+    let idf = idf_bm25(df, n_docs);
+    let tf = tf as f64;
+    let norm = if avg_dl > 0.0 {
+        1.0 - p.b + p.b * dl / avg_dl
+    } else {
+        1.0
+    };
+    idf * tf * (p.k1 + 1.0) / (tf + p.k1 * norm)
+}
+
+/// TF-IDF contribution of one term: `(1 + ln tf) · ln(N / df)`.
+#[inline]
+pub fn tfidf_term(tf: u32, df: u32, n_docs: usize) -> f64 {
+    if tf == 0 || df == 0 || n_docs == 0 {
+        return 0.0;
+    }
+    let tf_part = 1.0 + (tf as f64).ln();
+    let idf_part = ((n_docs as f64) / (df as f64)).ln().max(0.0);
+    tf_part * idf_part
+}
+
+/// The BM25+-style non-negative idf: `ln(1 + (N - df + 0.5)/(df + 0.5))`.
+#[inline]
+pub fn idf_bm25(df: u32, n_docs: usize) -> f64 {
+    let n = n_docs as f64;
+    let df = df as f64;
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Bm25Params = Bm25Params {
+        k1: 1.2,
+        b: 0.75,
+        title_boost: 3,
+    };
+
+    #[test]
+    fn zero_cases_score_zero() {
+        assert_eq!(bm25_term(0, 5, 100, 10.0, 10.0, P), 0.0);
+        assert_eq!(bm25_term(3, 0, 100, 10.0, 10.0, P), 0.0);
+        assert_eq!(bm25_term(3, 5, 0, 10.0, 10.0, P), 0.0);
+        assert_eq!(tfidf_term(0, 5, 100), 0.0);
+    }
+
+    #[test]
+    fn bm25_monotone_in_tf() {
+        let mut prev = 0.0;
+        for tf in 1..20 {
+            let s = bm25_term(tf, 5, 1000, 20.0, 20.0, P);
+            assert!(s > prev, "tf={tf}: {s} <= {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn bm25_saturates() {
+        // The marginal gain of additional occurrences shrinks.
+        let s1 = bm25_term(1, 5, 1000, 20.0, 20.0, P);
+        let s2 = bm25_term(2, 5, 1000, 20.0, 20.0, P);
+        let s10 = bm25_term(10, 5, 1000, 20.0, 20.0, P);
+        let s11 = bm25_term(11, 5, 1000, 20.0, 20.0, P);
+        assert!(s2 - s1 > s11 - s10);
+    }
+
+    #[test]
+    fn rare_terms_score_higher() {
+        let rare = bm25_term(2, 2, 1000, 20.0, 20.0, P);
+        let common = bm25_term(2, 500, 1000, 20.0, 20.0, P);
+        assert!(rare > common);
+        assert!(tfidf_term(2, 2, 1000) > tfidf_term(2, 500, 1000));
+    }
+
+    #[test]
+    fn longer_docs_penalized() {
+        let short = bm25_term(2, 5, 1000, 10.0, 20.0, P);
+        let long = bm25_term(2, 5, 1000, 80.0, 20.0, P);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn idf_nonnegative_even_for_ubiquitous_terms() {
+        assert!(idf_bm25(1000, 1000) >= 0.0);
+        assert!(idf_bm25(999, 1000) >= 0.0);
+        assert!(tfidf_term(3, 1000, 1000) >= 0.0);
+    }
+
+    #[test]
+    fn scorer_dispatch() {
+        let b = Scorer::default();
+        assert!(matches!(b, Scorer::Bm25(_)));
+        assert!(b.term_score(2, 5, 100, 20.0, 20.0) > 0.0);
+        let t = Scorer::TfIdf(TfIdfParams);
+        assert!(t.term_score(2, 5, 100, 20.0, 20.0) > 0.0);
+        assert_eq!(b.title_boost(), 3);
+    }
+
+    #[test]
+    fn avg_dl_zero_is_safe() {
+        let s = bm25_term(1, 1, 10, 0.0, 0.0, P);
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

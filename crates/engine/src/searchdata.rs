@@ -1,0 +1,131 @@
+//! Search Data `A` (paper Section II-B).
+//!
+//! `A` is a set of tuples `a = ⟨q, p, r⟩`: the relevance rank `r` of
+//! page `p` for query `q`, "derived by issuing each u ∈ U as a query to
+//! the Bing Search API and keeping the top-k results". Here the engine
+//! plays Bing.
+
+use crate::search::SearchEngine;
+use websyn_common::PageId;
+
+/// One `⟨q, p, r⟩` tuple. The query is stored as an index into the
+/// issuing string set `U` to keep the table compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchTuple {
+    /// Index of the issuing string in `U`.
+    pub query: u32,
+    /// Retrieved page.
+    pub page: PageId,
+    /// 1-based relevance rank (rank 1 = most relevant).
+    pub rank: u32,
+}
+
+/// The materialized Search Data for a string set `U`.
+#[derive(Debug, Clone, Default)]
+pub struct SearchData {
+    /// The issuing strings, in index order.
+    pub queries: Vec<String>,
+    /// All tuples, grouped by query in ascending rank order.
+    pub tuples: Vec<SearchTuple>,
+    /// The `k` used for retrieval.
+    pub top_k: usize,
+}
+
+impl SearchData {
+    /// Issues every string in `u_set` against the engine, keeping the
+    /// top `k` results each (Eq. 1's `G_A` becomes a rank filter over
+    /// this table).
+    pub fn collect<S: AsRef<str>>(engine: &SearchEngine, u_set: &[S], k: usize) -> Self {
+        let mut tuples = Vec::with_capacity(u_set.len() * k);
+        let mut queries = Vec::with_capacity(u_set.len());
+        for (qi, u) in u_set.iter().enumerate() {
+            let u = u.as_ref();
+            queries.push(u.to_string());
+            for hit in engine.search(u, k) {
+                tuples.push(SearchTuple {
+                    query: qi as u32,
+                    page: hit.page,
+                    rank: hit.rank,
+                });
+            }
+        }
+        Self {
+            queries,
+            tuples,
+            top_k: k,
+        }
+    }
+
+    /// The pages retrieved for query index `qi` with rank ≤ `k`
+    /// (Eq. 1: `G_A(u, P) = {a.p | a ∈ A, a.q = u ∧ a.r ≤ k}`).
+    pub fn pages_for(&self, qi: u32, k: usize) -> impl Iterator<Item = PageId> + '_ {
+        self.tuples
+            .iter()
+            .filter(move |t| t.query == qi && (t.rank as usize) <= k)
+            .map(|t| t.page)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SearchEngine {
+        let docs = vec![
+            (PageId::new(0), "alpha beta", "alpha beta gamma"),
+            (PageId::new(1), "alpha", "alpha delta"),
+            (PageId::new(2), "epsilon", "epsilon zeta"),
+        ];
+        SearchEngine::from_docs(docs)
+    }
+
+    #[test]
+    fn collect_materializes_topk() {
+        let e = engine();
+        let data = SearchData::collect(&e, &["alpha beta", "epsilon"], 2);
+        assert_eq!(data.queries.len(), 2);
+        assert_eq!(data.top_k, 2);
+        // Query 0 matches docs 0 and 1; query 1 matches doc 2 only.
+        let q0: Vec<u32> = data.pages_for(0, 2).map(|p| p.raw()).collect();
+        assert_eq!(q0.len(), 2);
+        assert_eq!(q0[0], 0, "doc 0 matches both terms, ranks first");
+        let q1: Vec<u32> = data.pages_for(1, 2).map(|p| p.raw()).collect();
+        assert_eq!(q1, vec![2]);
+    }
+
+    #[test]
+    fn rank_filter_tightens() {
+        let e = engine();
+        let data = SearchData::collect(&e, &["alpha"], 10);
+        let all: Vec<_> = data.pages_for(0, 10).collect();
+        let top1: Vec<_> = data.pages_for(0, 1).collect();
+        assert!(top1.len() <= all.len());
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn empty_u_set() {
+        let e = engine();
+        let data = SearchData::collect::<&str>(&e, &[], 5);
+        assert!(data.is_empty());
+        assert_eq!(data.len(), 0);
+    }
+
+    #[test]
+    fn unmatched_query_contributes_no_tuples() {
+        let e = engine();
+        let data = SearchData::collect(&e, &["zzzz"], 5);
+        assert!(data.is_empty());
+        assert_eq!(data.queries.len(), 1, "the string is still recorded in U");
+    }
+}

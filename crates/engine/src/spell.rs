@@ -1,0 +1,168 @@
+//! Vocabulary-driven spelling correction.
+//!
+//! Production engines alter misspelled queries before retrieval; without
+//! this, the synthetic typo channel would make misspelled queries
+//! unmatchable and the click graph would lose exactly the edges the
+//! paper's method mines. The corrector maps an out-of-vocabulary query
+//! term to the most frequent vocabulary term within Damerau–Levenshtein
+//! distance 1 (distance 2 for long terms), using a first-character +
+//! length blocking scheme so correction stays fast.
+
+use websyn_common::FxHashMap;
+use websyn_text::damerau_levenshtein;
+
+/// A spelling corrector built from an index vocabulary.
+#[derive(Debug, Clone)]
+pub struct SpellCorrector {
+    /// Blocking buckets: (first byte, length) → candidate terms with
+    /// their document frequencies.
+    buckets: FxHashMap<(u8, usize), Vec<(String, u32)>>,
+}
+
+impl SpellCorrector {
+    /// Builds the corrector from `(term, document_frequency)` pairs.
+    pub fn build<'a, I>(vocab: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, u32)>,
+    {
+        let mut buckets: FxHashMap<(u8, usize), Vec<(String, u32)>> = FxHashMap::default();
+        for (term, df) in vocab {
+            if term.is_empty() {
+                continue;
+            }
+            let key = (term.as_bytes()[0], term.chars().count());
+            buckets.entry(key).or_default().push((term.to_string(), df));
+        }
+        // Deterministic candidate order inside each bucket: by df desc,
+        // then lexicographic.
+        for v in buckets.values_mut() {
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        Self { buckets }
+    }
+
+    /// Attempts to correct a single out-of-vocabulary term. Returns the
+    /// chosen in-vocabulary term, or `None` if nothing is close enough.
+    ///
+    /// The caller is expected to try correction only for terms that are
+    /// *not* already in the vocabulary.
+    pub fn correct(&self, term: &str) -> Option<String> {
+        if term.is_empty() {
+            return None;
+        }
+        let n = term.chars().count();
+        let max_dist = if n >= 6 { 2 } else { 1 };
+
+        let mut best: Option<(String, u32, usize)> = None; // (term, df, dist)
+        // Candidate blocks: same first char with length within
+        // max_dist, plus different-first-char blocks of the same
+        // length band (covers a typo in the first character) at
+        // distance 1 only.
+        let first = term.as_bytes()[0];
+        let mut consider = |bucket: &[(String, u32)], allowed: usize| {
+            for (cand, df) in bucket {
+                let d = damerau_levenshtein(term, cand);
+                if d == 0 || d > allowed {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, bdf, bd)) => d < *bd || (d == *bd && *df > *bdf),
+                };
+                if better {
+                    best = Some((cand.clone(), *df, d));
+                }
+            }
+        };
+
+        for len in n.saturating_sub(max_dist)..=n + max_dist {
+            if let Some(bucket) = self.buckets.get(&(first, len)) {
+                consider(bucket, max_dist);
+            }
+        }
+        // First-character typo: scan all buckets of exactly the same
+        // length with a different first byte, allowing distance 1.
+        for (&(b, len), bucket) in &self.buckets {
+            if b != first && len == n {
+                consider(bucket, 1);
+            }
+        }
+
+        best.map(|(t, _, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corrector() -> SpellCorrector {
+        SpellCorrector::build(vec![
+            ("indiana", 50),
+            ("jones", 40),
+            ("madagascar", 30),
+            ("kingdom", 20),
+            ("skull", 10),
+            ("india", 5),
+            ("escape", 8),
+        ])
+    }
+
+    #[test]
+    fn corrects_single_edit() {
+        let c = corrector();
+        assert_eq!(c.correct("indianna").as_deref(), Some("indiana"));
+        assert_eq!(c.correct("jnoes").as_deref(), Some("jones")); // transposition
+        assert_eq!(c.correct("skulll").as_deref(), Some("skull"));
+    }
+
+    #[test]
+    fn corrects_first_character_typo() {
+        let c = corrector();
+        assert_eq!(c.correct("mones").as_deref(), Some("jones"));
+    }
+
+    #[test]
+    fn long_terms_allow_distance_two() {
+        let c = corrector();
+        assert_eq!(c.correct("madagascat").as_deref(), Some("madagascar"));
+        assert_eq!(c.correct("madagascta").as_deref(), Some("madagascar"));
+    }
+
+    #[test]
+    fn hopeless_terms_stay_uncorrected() {
+        let c = corrector();
+        assert_eq!(c.correct("zzzzzz"), None);
+        assert_eq!(c.correct("x"), None);
+        assert_eq!(c.correct(""), None);
+    }
+
+    #[test]
+    fn prefers_closer_then_more_frequent() {
+        // "indbiana"(d1 to indiana)... craft a tie: "indias" is d1 from
+        // "indiana"? No: indias -> indiana is d=2. Use "indi" -> both
+        // "india" (d1) and "indiana" (d3): picks india.
+        let c = corrector();
+        assert_eq!(c.correct("indi").as_deref(), Some("india"));
+        // Tie at equal distance resolved by higher df: build a custom
+        // corrector with two equal-distance candidates.
+        let c2 = SpellCorrector::build(vec![("cat", 100), ("car", 1)]);
+        assert_eq!(c2.correct("caz").as_deref(), Some("cat"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corrector();
+        for _ in 0..8 {
+            assert_eq!(c.correct("indianna").as_deref(), Some("indiana"));
+        }
+    }
+
+    #[test]
+    fn exact_match_is_not_a_correction() {
+        // d == 0 is skipped: correct() is for OOV terms; an exact match
+        // would mean the caller misused the API, so we refuse to echo.
+        let c = corrector();
+        assert_ne!(c.correct("indiana").as_deref(), Some("indiana"));
+    }
+}

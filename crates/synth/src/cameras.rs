@@ -1,0 +1,306 @@
+//! The D2 dataset builder: a synthetic stand-in for "a collection of
+//! 882 canonical camera names crawled from MSN Shopping".
+//!
+//! Structural properties matched to the real list:
+//! - names follow a Brand + Line + Model grammar ("Canon EOS 350D"),
+//!   so the tail token is a productive synonym ("350d");
+//! - brand+line prefixes are hypernym strings covering many models;
+//! - a minority of models carry an unrelated *marketing name*
+//!   ("Digital Rebel XT") — the class of synonym that defeats every
+//!   string-similarity method;
+//! - the catalog is long-tailed: most models receive little query
+//!   traffic, which is exactly the regime where the Wikipedia baseline
+//!   collapses in the paper's Table I.
+
+use crate::alias::AliasSource;
+use crate::catalog::{Catalog, PlantedAlias, MARKETING_FIRST, MARKETING_SECOND, MARKETING_SUFFIX};
+use crate::entity::{Concept, ConceptId, ConceptKind, Domain, Entity, Franchise, FranchiseId};
+use rand::Rng;
+use websyn_common::{EntityId, SeedSequence};
+use websyn_text::normalize;
+
+/// Camera brands and their product lines. Brand names are real-world
+/// manufacturer names (factual identifiers, like the paper's own
+/// examples); model numbers and marketing names are synthetic.
+const BRANDS: &[(&str, &[&str])] = &[
+    ("Canon", &["EOS", "PowerShot"]),
+    ("Nikon", &["Coolpix", "D"]),
+    ("Sony", &["Cyber-shot", "Alpha"]),
+    ("Olympus", &["Stylus", "Evolt"]),
+    ("Panasonic", &["Lumix"]),
+    ("Fujifilm", &["FinePix"]),
+    ("Pentax", &["Optio", "K"]),
+    ("Kodak", &["EasyShare"]),
+    ("Casio", &["Exilim"]),
+    ("Samsung", &["Digimax"]),
+];
+
+/// Fraction of cameras that get a marketing alias.
+const MARKETING_FRACTION: f64 = 0.18;
+
+/// Builds the camera catalog with `n` entities (the paper uses 882).
+pub fn build(n: usize, seq: &SeedSequence) -> Catalog {
+    let mut rng = seq.rng("cameras.catalog");
+    let mut catalog = Catalog::default();
+
+    // Brands are concepts ("canon" alone is related, not a synonym);
+    // brand+line pairs are franchises ("canon eos" is a hypernym).
+    for (i, (brand, _)) in BRANDS.iter().enumerate() {
+        catalog.concepts.push(Concept {
+            id: ConceptId(i as u32),
+            name: normalize(brand),
+            kind: ConceptKind::Brand,
+            members: Vec::new(),
+        });
+    }
+    let mut line_franchise: Vec<Vec<FranchiseId>> = Vec::with_capacity(BRANDS.len());
+    for (brand, lines) in BRANDS {
+        let mut per_line = Vec::with_capacity(lines.len());
+        for line in *lines {
+            let fid = FranchiseId(catalog.franchises.len() as u32);
+            catalog.franchises.push(Franchise {
+                id: fid,
+                name: normalize(&format!("{brand} {line}")),
+                // Users shorten "canon eos" to "eos" etc. when the line
+                // name is distinctive (length >= 3 letters).
+                nickname: (line.len() >= 3).then(|| normalize(line)),
+                members: Vec::new(),
+            });
+            per_line.push(fid);
+        }
+        line_franchise.push(per_line);
+    }
+
+    let mut used_models = std::collections::HashSet::new();
+    let mut used_marketing = std::collections::HashSet::new();
+
+    for rank in 0..n {
+        let id = EntityId::from_usize(rank);
+        // Brand choice is Zipf-ish: earlier brands are bigger, matching
+        // real market structure.
+        let brand_idx = weighted_brand(&mut rng);
+        let (brand, lines) = BRANDS[brand_idx];
+        let line_idx = rng.gen_range(0..lines.len());
+        let line = lines[line_idx];
+        let fid = line_franchise[brand_idx][line_idx];
+
+        let model = unique_model(&mut rng, line, &mut used_models);
+        let canonical = format!("{brand} {line} {model}");
+
+        catalog.franchises[fid.as_usize()].members.push(id);
+        catalog.concepts[brand_idx].members.push(id);
+
+        // Marketing alias for a minority of models.
+        if rng.gen_bool(MARKETING_FRACTION) {
+            if let Some(name) = unique_marketing(&mut rng, &mut used_marketing) {
+                catalog.planted.push(PlantedAlias {
+                    entity: id,
+                    text: name,
+                    source: AliasSource::Marketing,
+                    // Marketing names are pushed hard by retailers; for
+                    // the models that have one it rivals the model
+                    // number as the preferred surface.
+                    weight: 2.0,
+                });
+            }
+        }
+
+        catalog.entities.push(Entity {
+            id,
+            canonical_norm: normalize(&canonical),
+            canonical,
+            domain: Domain::Cameras,
+            rank,
+            franchise: Some(fid),
+            concepts: vec![ConceptId(brand_idx as u32)],
+        });
+    }
+
+    debug_assert!(catalog.check_invariants().is_ok());
+    catalog
+}
+
+/// Zipf-flavoured brand choice: P(brand i) ∝ 1/(i+1).
+fn weighted_brand<R: Rng>(rng: &mut R) -> usize {
+    let weights: Vec<f64> = (0..BRANDS.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    BRANDS.len() - 1
+}
+
+/// A model designation unique across the whole catalog, e.g. "A560",
+/// "SD1000", "350D", "W120". Uniqueness is global (not per line) so the
+/// tail-token synonym "350d" is unambiguous, as it is in practice.
+fn unique_model<R: Rng>(
+    rng: &mut R,
+    line: &str,
+    used: &mut std::collections::HashSet<String>,
+) -> String {
+    const LETTERS: &[u8] = b"ADFGKLPSTWXZ";
+    for _ in 0..4096 {
+        let style = rng.gen_range(0..4);
+        let candidate = match style {
+            // A560 — letter + 3 digits
+            0 => format!(
+                "{}{}",
+                LETTERS[rng.gen_range(0..LETTERS.len())] as char,
+                rng.gen_range(100..1000)
+            ),
+            // SD1000 — two letters + 3-4 digits
+            1 => format!(
+                "{}{}{}",
+                LETTERS[rng.gen_range(0..LETTERS.len())] as char,
+                LETTERS[rng.gen_range(0..LETTERS.len())] as char,
+                rng.gen_range(100..10_000)
+            ),
+            // 350D — 3 digits + letter
+            2 => format!(
+                "{}{}",
+                rng.gen_range(100..1000),
+                LETTERS[rng.gen_range(0..LETTERS.len())] as char
+            ),
+            // W120 — letter + 2-3 digits (single-letter lines get
+            // slightly longer numbers to stay distinctive)
+            _ => format!(
+                "{}{}",
+                LETTERS[rng.gen_range(0..LETTERS.len())] as char,
+                rng.gen_range(10..300)
+            ),
+        };
+        // Avoid a model id equal to its line name (e.g. line "D").
+        if candidate.eq_ignore_ascii_case(line) {
+            continue;
+        }
+        if used.insert(normalize(&candidate)) {
+            return candidate;
+        }
+    }
+    unreachable!("model space exhausted — increase digit ranges");
+}
+
+/// A marketing name unique across the catalog, e.g. "digital rebel xt".
+fn unique_marketing<R: Rng>(
+    rng: &mut R,
+    used: &mut std::collections::HashSet<String>,
+) -> Option<String> {
+    for _ in 0..64 {
+        let first = MARKETING_FIRST[rng.gen_range(0..MARKETING_FIRST.len())];
+        let second = MARKETING_SECOND[rng.gen_range(0..MARKETING_SECOND.len())];
+        let candidate = if rng.gen_bool(0.5) {
+            format!(
+                "{first} {second} {}",
+                MARKETING_SUFFIX[rng.gen_range(0..MARKETING_SUFFIX.len())]
+            )
+        } else {
+            format!("{first} {second}")
+        };
+        if used.insert(candidate.clone()) {
+            return Some(candidate);
+        }
+    }
+    // Marketing-name space exhausted: rare, and acceptable — the model
+    // simply goes without one (the paper's cameras mostly have none).
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog882() -> Catalog {
+        build(882, &SeedSequence::new(42))
+    }
+
+    #[test]
+    fn builds_requested_count() {
+        let c = catalog882();
+        assert_eq!(c.entities.len(), 882);
+        c.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(200, &SeedSequence::new(9));
+        let b = build(200, &SeedSequence::new(9));
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn canonical_names_unique() {
+        let c = catalog882();
+        let set: std::collections::HashSet<_> =
+            c.entities.iter().map(|e| &e.canonical_norm).collect();
+        assert_eq!(set.len(), 882);
+    }
+
+    #[test]
+    fn every_camera_in_a_line_franchise() {
+        let c = catalog882();
+        for e in &c.entities {
+            assert!(e.franchise.is_some());
+            assert_eq!(e.concepts.len(), 1, "exactly one brand concept");
+        }
+    }
+
+    #[test]
+    fn marketing_fraction_plausible() {
+        let c = catalog882();
+        let m = c
+            .planted
+            .iter()
+            .filter(|p| p.source == AliasSource::Marketing)
+            .count();
+        let frac = m as f64 / 882.0;
+        assert!(
+            (0.10..=0.25).contains(&frac),
+            "marketing fraction {frac} (count {m})"
+        );
+    }
+
+    #[test]
+    fn marketing_names_unique_and_normalized() {
+        let c = catalog882();
+        let mut seen = std::collections::HashSet::new();
+        for p in &c.planted {
+            assert_eq!(normalize(&p.text), p.text);
+            assert!(seen.insert(&p.text), "duplicate marketing name {}", p.text);
+        }
+    }
+
+    #[test]
+    fn model_tail_tokens_unique() {
+        // The final token of each canonical name (the model id) must be
+        // globally unique — that is what makes "350d" a true synonym.
+        let c = catalog882();
+        let mut seen = std::collections::HashSet::new();
+        for e in &c.entities {
+            let tail = e.canonical_norm.split(' ').next_back().unwrap().to_string();
+            assert!(seen.insert(tail.clone()), "duplicate model tail {tail}");
+        }
+    }
+
+    #[test]
+    fn brand_distribution_is_head_heavy() {
+        let c = catalog882();
+        let canon = c.concepts[0].members.len();
+        let samsung = c.concepts[BRANDS.len() - 1].members.len();
+        assert!(
+            canon > samsung,
+            "canon {canon} should out-sell samsung {samsung}"
+        );
+    }
+
+    #[test]
+    fn small_catalog() {
+        let c = build(10, &SeedSequence::new(3));
+        assert_eq!(c.entities.len(), 10);
+        c.check_invariants().expect("invariants");
+    }
+}

@@ -1,0 +1,235 @@
+//! Catalog assembly: the common output shape of the dataset generators
+//! and the word lexicons they draw from.
+//!
+//! Both dataset builders ([`crate::movies`], [`crate::cameras`])
+//! produce a [`Catalog`]: entities with popularity ranks, franchises
+//! (hypernym groupings), concepts (actors/brands) and *planted*
+//! synonyms — the semantic aliases (nicknames, marketing names) that no
+//! mechanical transform could derive, which is precisely the class of
+//! synonym the paper says substring approaches are "hopeless" on.
+
+use crate::alias::AliasSource;
+use crate::entity::{Concept, Domain, Entity, Franchise};
+use websyn_common::EntityId;
+
+/// A semantic synonym planted at generation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedAlias {
+    /// The entity this surface refers to.
+    pub entity: EntityId,
+    /// Normalized surface text.
+    pub text: String,
+    /// Provenance: `Nickname` or `Marketing`.
+    pub source: AliasSource,
+    /// Relative popularity among the entity's surfaces.
+    pub weight: f64,
+}
+
+/// The output of a dataset builder.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Entities in rank order (index == `EntityId` == popularity rank).
+    pub entities: Vec<Entity>,
+    /// Franchises (movie series / camera product lines).
+    pub franchises: Vec<Franchise>,
+    /// Concepts (actors / brands).
+    pub concepts: Vec<Concept>,
+    /// Planted semantic synonyms.
+    pub planted: Vec<PlantedAlias>,
+}
+
+impl Catalog {
+    /// The domain of the catalog (all entities share one).
+    ///
+    /// # Panics
+    /// Panics on an empty catalog.
+    pub fn domain(&self) -> Domain {
+        self.entities.first().expect("empty catalog").domain
+    }
+
+    /// Validates internal invariants; used by tests and debug builds.
+    ///
+    /// Checks: dense entity ids equal to index; unique canonical names;
+    /// franchise membership is consistent in both directions; concept
+    /// membership consistent.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (i, e) in self.entities.iter().enumerate() {
+            if e.id.as_usize() != i {
+                return Err(format!("entity id {} at index {i}", e.id));
+            }
+            if !seen.insert(e.canonical_norm.clone()) {
+                return Err(format!("duplicate canonical: {}", e.canonical_norm));
+            }
+            if let Some(f) = e.franchise {
+                let fr = self
+                    .franchises
+                    .get(f.as_usize())
+                    .ok_or_else(|| format!("entity {} has unknown franchise {f}", e.id))?;
+                if !fr.members.contains(&e.id) {
+                    return Err(format!("franchise {f} missing member {}", e.id));
+                }
+            }
+            for &c in &e.concepts {
+                let concept = self
+                    .concepts
+                    .get(c.as_usize())
+                    .ok_or_else(|| format!("entity {} has unknown concept {c}", e.id))?;
+                if !concept.members.contains(&e.id) {
+                    return Err(format!("concept {c} missing member {}", e.id));
+                }
+            }
+        }
+        for (i, f) in self.franchises.iter().enumerate() {
+            if f.id.as_usize() != i {
+                return Err(format!("franchise id {} at index {i}", f.id));
+            }
+            for &m in &f.members {
+                let e = self
+                    .entities
+                    .get(m.as_usize())
+                    .ok_or_else(|| format!("franchise {} has unknown member {m}", f.id))?;
+                if e.franchise != Some(f.id) {
+                    return Err(format!("member {m} does not point back to {}", f.id));
+                }
+            }
+        }
+        for (i, c) in self.concepts.iter().enumerate() {
+            if c.id.as_usize() != i {
+                return Err(format!("concept id {} at index {i}", c.id));
+            }
+            for &m in &c.members {
+                let e = self
+                    .entities
+                    .get(m.as_usize())
+                    .ok_or_else(|| format!("concept {} has unknown member {m}", c.id))?;
+                if !e.concepts.contains(&c.id) {
+                    return Err(format!("member {m} does not point back to {}", c.id));
+                }
+            }
+        }
+        for p in &self.planted {
+            if self.entities.get(p.entity.as_usize()).is_none() {
+                return Err(format!("planted alias for unknown entity {}", p.entity));
+            }
+            if p.text.is_empty() {
+                return Err("empty planted alias".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexicons. All invented words; any resemblance to real titles is the
+// point (the generator must produce *plausible* catalogs) but the
+// strings themselves are synthetic.
+// ---------------------------------------------------------------------
+
+/// Adjectives for title grammars.
+pub const ADJECTIVES: &[&str] = &[
+    "crimson", "silent", "golden", "iron", "frozen", "scarlet", "midnight", "savage", "broken",
+    "hidden", "burning", "eternal", "lost", "rising", "fallen", "neon", "hollow", "ancient",
+    "thunder", "emerald", "shattered", "velvet", "obsidian", "radiant", "grim", "howling",
+    "phantom", "solar", "lunar", "untamed",
+];
+
+/// Nouns for title grammars.
+pub const NOUNS: &[&str] = &[
+    "kingdom", "empire", "horizon", "legacy", "phoenix", "tempest", "odyssey", "covenant",
+    "redemption", "frontier", "prophecy", "guardian", "eclipse", "labyrinth", "citadel",
+    "voyager", "reckoning", "dominion", "serpent", "monolith", "harbinger", "sentinel",
+    "abyss", "crucible", "vanguard", "paradox", "requiem", "bastion", "chimera", "zenith",
+];
+
+/// Place-ish nouns for subtitle grammars ("escape from ...").
+pub const PLACES: &[&str] = &[
+    "avalon", "karakorum", "eldoria", "novaterra", "zephyria", "mirador", "thornfield",
+    "blackmere", "suncrest", "vostok", "meridian", "caldera", "ironhaven", "duskwall",
+];
+
+/// Hero/series head words for franchise names.
+pub const HERO_FIRST: &[&str] = &[
+    "captain", "agent", "doctor", "professor", "commander", "detective", "baron", "madame",
+    "sergeant", "brother",
+];
+
+/// Hero/series surname words for franchise names.
+pub const HERO_LAST: &[&str] = &[
+    "orion", "steele", "marlowe", "vance", "drake", "quill", "harlow", "sterling", "locke",
+    "rook", "calloway", "fox", "mercer", "blaze", "frost", "hawke", "stone", "cross", "wilde",
+    "night",
+];
+
+/// First names for the actor pool.
+pub const ACTOR_FIRST: &[&str] = &[
+    "harrison", "marion", "declan", "imelda", "rufus", "saoirse", "caspian", "wilhelmina",
+    "august", "beatrix", "cormac", "delphine", "ezra", "florence", "gideon", "henrietta",
+    "ignatius", "josephine", "kieran", "lavinia",
+];
+
+/// Last names for the actor pool.
+pub const ACTOR_LAST: &[&str] = &[
+    "fairbanks", "okafor", "lindqvist", "moreau", "castellanos", "whitlock", "arbuckle",
+    "vandermeer", "oyelaran", "kowalczyk", "beaumont", "ashdown", "pemberton", "ricci",
+    "halloran", "strand", "iverson", "delacroix", "mbeki", "thorne",
+];
+
+/// Marketing-name head words (camera alternative names).
+pub const MARKETING_FIRST: &[&str] = &[
+    "digital", "ultra", "prime", "vivid", "swift", "astro", "pixel", "stellar", "aero",
+    "crystal", "hyper", "omni", "terra", "nova", "apex",
+];
+
+/// Marketing-name tail words.
+pub const MARKETING_SECOND: &[&str] = &[
+    "rebel", "shot", "view", "snap", "image", "focus", "light", "frame", "vision", "capture",
+    "pulse", "wave", "spark", "trace", "core",
+];
+
+/// Marketing-name optional suffixes.
+pub const MARKETING_SUFFIX: &[&str] = &["xt", "xs", "pro", "plus", "ii", "max"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicons_have_unique_entries() {
+        fn assert_unique(name: &str, words: &[&str]) {
+            let set: std::collections::HashSet<_> = words.iter().collect();
+            assert_eq!(set.len(), words.len(), "duplicates in {name}");
+            for w in words {
+                assert!(!w.is_empty());
+                assert_eq!(
+                    websyn_text::normalize(w),
+                    **w,
+                    "lexicon word not normalized: {w}"
+                );
+            }
+        }
+        assert_unique("ADJECTIVES", ADJECTIVES);
+        assert_unique("NOUNS", NOUNS);
+        assert_unique("PLACES", PLACES);
+        assert_unique("HERO_FIRST", HERO_FIRST);
+        assert_unique("HERO_LAST", HERO_LAST);
+        assert_unique("ACTOR_FIRST", ACTOR_FIRST);
+        assert_unique("ACTOR_LAST", ACTOR_LAST);
+        assert_unique("MARKETING_FIRST", MARKETING_FIRST);
+        assert_unique("MARKETING_SECOND", MARKETING_SECOND);
+        assert_unique("MARKETING_SUFFIX", MARKETING_SUFFIX);
+    }
+
+    #[test]
+    fn empty_catalog_invariants_hold() {
+        let c = Catalog::default();
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty catalog")]
+    fn domain_of_empty_catalog_panics() {
+        let c = Catalog::default();
+        let _ = c.domain();
+    }
+}

@@ -1,0 +1,254 @@
+//! User intents and the true relevance (affinity) of pages to intents.
+//!
+//! An [`Intent`] is what the user actually wants when they type a
+//! query; the affinity function is the world's hidden relevance oracle,
+//! consumed by the click model. The shapes below implement the paper's
+//! Figure 1 geometry:
+//!
+//! - **Entity intent** (synonym queries): clicks concentrate on the
+//!   entity's own pages → high ICR against that entity (Fig. 1a).
+//! - **Franchise intent** (hypernym queries): clicks spread across the
+//!   hub and *all* member entities → low ICR against any single member
+//!   (Fig. 1b).
+//! - **Aspect intent** (hyponym queries): clicks concentrate on one
+//!   specific aspect page, mostly outside the generic surrogates
+//!   (Fig. 1c).
+//! - **Concept intent** (related queries): clicks go to the concept hub
+//!   (Fig. 1d).
+
+use crate::alias::{AliasTarget, AspectKind};
+use crate::entity::{ConceptId, FranchiseId};
+use crate::web::{Page, PageKind};
+use crate::world::World;
+use websyn_common::EntityId;
+
+/// What a query is *for*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intent {
+    /// Find one specific entity.
+    Entity(EntityId),
+    /// Browse a franchise/line (hypernym intent).
+    Franchise(FranchiseId),
+    /// Find one aspect of one entity (hyponym intent).
+    Aspect(EntityId, AspectKind),
+    /// Find a related concept: actor, brand (related intent).
+    Concept(ConceptId),
+}
+
+/// True relevance of `page` to `intent` in `[0, 1]`.
+///
+/// This is the hidden oracle users act on; the click model multiplies
+/// it with position bias. It is *not* available to the mining algorithm
+/// — only clicks are.
+pub fn affinity(intent: Intent, page: &Page, world: &World) -> f64 {
+    match intent {
+        Intent::Entity(e) => entity_affinity(e, page, world),
+        Intent::Franchise(f) => franchise_affinity(f, page, world),
+        Intent::Aspect(e, a) => aspect_affinity(e, a, page),
+        Intent::Concept(c) => concept_affinity(c, page, world),
+    }
+}
+
+fn entity_affinity(e: EntityId, page: &Page, world: &World) -> f64 {
+    match page.target {
+        Some(AliasTarget::Entity(pe)) if pe == e => match page.kind {
+            PageKind::Official => 1.0,
+            PageKind::Wiki => 0.95,
+            PageKind::Shop => 0.8,
+            PageKind::Review => 0.7,
+            PageKind::Fan => 0.6,
+            PageKind::News => 0.5,
+            // The entity's own aspect pages are still somewhat what the
+            // user wants, but they are a narrower answer.
+            PageKind::Aspect(_) => 0.35,
+            _ => 0.3,
+        },
+        Some(AliasTarget::Entity(other)) => {
+            // Same-franchise sibling: mildly interesting.
+            let entity = &world.entities[e.as_usize()];
+            let sibling = &world.entities[other.as_usize()];
+            if entity.franchise.is_some() && entity.franchise == sibling.franchise {
+                0.08
+            } else {
+                0.0
+            }
+        }
+        Some(AliasTarget::Franchise(f))
+            if world.entities[e.as_usize()].franchise == Some(f) =>
+        {
+            0.25
+        }
+        Some(AliasTarget::Concept(c))
+            if world.entities[e.as_usize()].concepts.contains(&c) =>
+        {
+            0.05
+        }
+        _ => 0.0,
+    }
+}
+
+fn franchise_affinity(f: FranchiseId, page: &Page, world: &World) -> f64 {
+    match page.target {
+        Some(AliasTarget::Franchise(pf)) if pf == f => 1.0,
+        Some(AliasTarget::Entity(e))
+            if world.entities[e.as_usize()].franchise == Some(f) =>
+        {
+            match page.kind {
+                // Hypernym browsers sample across member pages.
+                PageKind::Official | PageKind::Wiki => 0.55,
+                PageKind::Aspect(_) => 0.15,
+                _ => 0.35,
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+fn aspect_affinity(e: EntityId, a: AspectKind, page: &Page) -> f64 {
+    match (page.target, page.kind) {
+        (Some(AliasTarget::Entity(pe)), PageKind::Aspect(pa)) if pe == e && pa == a => 1.0,
+        (Some(AliasTarget::Entity(pe)), PageKind::Aspect(_)) if pe == e => 0.1,
+        (Some(AliasTarget::Entity(pe)), kind) if pe == e => match kind {
+            // The generic pages answer the aspect need only weakly —
+            // this is what pushes aspect clicks *outside* the surrogate
+            // intersection (paper Fig. 1c).
+            PageKind::Official | PageKind::Wiki => 0.3,
+            // A review/price aspect is answered by review/shop pages.
+            PageKind::Review if a == AspectKind::Review => 0.9,
+            PageKind::Shop if a == AspectKind::Price => 0.9,
+            PageKind::Review | PageKind::Shop => 0.15,
+            _ => 0.1,
+        },
+        _ => 0.0,
+    }
+}
+
+fn concept_affinity(c: ConceptId, page: &Page, world: &World) -> f64 {
+    match page.target {
+        Some(AliasTarget::Concept(pc)) if pc == c => 1.0,
+        Some(AliasTarget::Entity(e))
+            if world.entities[e.as_usize()].concepts.contains(&c) =>
+        {
+            0.12
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn small_world() -> World {
+        World::build(&WorldConfig::small_movies(20, 3))
+    }
+
+    fn page_of(world: &World, e: EntityId, kind: PageKind) -> Option<&Page> {
+        world
+            .pages
+            .iter()
+            .find(|p| p.target == Some(AliasTarget::Entity(e)) && p.kind == kind)
+    }
+
+    #[test]
+    fn own_official_page_is_most_relevant() {
+        let w = small_world();
+        let e = w.entities[0].id;
+        let official = page_of(&w, e, PageKind::Official).expect("official page");
+        assert_eq!(affinity(Intent::Entity(e), official, &w), 1.0);
+        // Another entity's official page is (near) irrelevant.
+        let other = w.entities[10].id;
+        let other_page = page_of(&w, other, PageKind::Official).expect("other page");
+        assert!(affinity(Intent::Entity(e), other_page, &w) <= 0.08);
+    }
+
+    #[test]
+    fn franchise_intent_spreads_over_members() {
+        let w = small_world();
+        let Some(f) = w.franchises.first() else {
+            return;
+        };
+        let hub = w
+            .pages
+            .iter()
+            .find(|p| p.target == Some(AliasTarget::Franchise(f.id)))
+            .expect("hub");
+        assert_eq!(affinity(Intent::Franchise(f.id), hub, &w), 1.0);
+        for &m in &f.members {
+            if let Some(p) = page_of(&w, m, PageKind::Official) {
+                let a = affinity(Intent::Franchise(f.id), p, &w);
+                assert!(a > 0.0 && a < 1.0, "member affinity {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_intent_peaks_on_aspect_page() {
+        let w = small_world();
+        let e = w.entities[0].id;
+        let aspect_page = w
+            .pages
+            .iter()
+            .find(|p| {
+                p.target == Some(AliasTarget::Entity(e))
+                    && matches!(p.kind, PageKind::Aspect(AspectKind::Trailer))
+            })
+            .expect("trailer page for head entity");
+        let a_peak = affinity(Intent::Aspect(e, AspectKind::Trailer), aspect_page, &w);
+        assert_eq!(a_peak, 1.0);
+        let official = page_of(&w, e, PageKind::Official).unwrap();
+        let a_general = affinity(Intent::Aspect(e, AspectKind::Trailer), official, &w);
+        assert!(a_general < a_peak && a_general > 0.0);
+    }
+
+    #[test]
+    fn concept_intent_peaks_on_hub() {
+        let w = small_world();
+        let Some(c) = w.concepts.iter().find(|c| !c.members.is_empty()) else {
+            return;
+        };
+        let hub = w
+            .pages
+            .iter()
+            .find(|p| p.target == Some(AliasTarget::Concept(c.id)))
+            .expect("concept hub");
+        assert_eq!(affinity(Intent::Concept(c.id), hub, &w), 1.0);
+        let member = c.members[0];
+        if let Some(p) = page_of(&w, member, PageKind::Official) {
+            let a = affinity(Intent::Concept(c.id), p, &w);
+            assert!(a > 0.0 && a < 0.3);
+        }
+    }
+
+    #[test]
+    fn noise_pages_are_irrelevant_to_everything() {
+        let w = small_world();
+        let noise = w
+            .pages
+            .iter()
+            .find(|p| p.kind == PageKind::Noise)
+            .expect("noise page");
+        let e = w.entities[0].id;
+        assert_eq!(affinity(Intent::Entity(e), noise, &w), 0.0);
+        if let Some(f) = w.franchises.first() {
+            assert_eq!(affinity(Intent::Franchise(f.id), noise, &w), 0.0);
+        }
+    }
+
+    #[test]
+    fn affinities_bounded() {
+        let w = small_world();
+        let e = w.entities[0].id;
+        for p in &w.pages {
+            for intent in [
+                Intent::Entity(e),
+                Intent::Aspect(e, AspectKind::Trailer),
+            ] {
+                let a = affinity(intent, p, &w);
+                assert!((0.0..=1.0).contains(&a));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # websyn-synth
+//!
+//! Synthetic world generator: the stand-in for the paper's proprietary
+//! substrate (Bing query/click logs, the 2008 box-office movie list and
+//! the MSN Shopping camera catalog — see DESIGN.md §2).
+//!
+//! The generator tells the same generative story the paper relies on:
+//!
+//! 1. A catalog of **entities** exists ([`catalog`], [`movies`],
+//!    [`cameras`]), with heavy-tailed popularity.
+//! 2. Each entity is referred to by many **alias surfaces** ([`alias`])
+//!    — the canonical name, mechanical abbreviations, nicknames and
+//!    marketing names (true synonyms); franchise/brand strings
+//!    (hypernyms); aspect strings like "… trailer" (hyponyms); and
+//!    actor/brand concepts (merely related). Every surface carries its
+//!    ground-truth relation, which is what lets us *measure* precision
+//!    instead of paying human judges.
+//! 3. Content creators publish **Web pages** about entities ([`web`]),
+//!    planting alternative names in page text exactly as the paper
+//!    describes eBay sellers doing.
+//! 4. Users issue **queries** drawn from an intent mixture
+//!    ([`intent`], [`queries`]), choosing surfaces by popularity and
+//!    occasionally mistyping them.
+//!
+//! Everything is deterministic under a [`websyn_common::SeedSequence`].
+
+pub mod alias;
+pub mod cameras;
+pub mod catalog;
+pub mod config;
+pub mod entity;
+pub mod intent;
+pub mod movies;
+pub mod queries;
+pub mod report;
+pub mod truth;
+pub mod web;
+pub mod world;
+
+pub use alias::{Alias, AliasSource, AliasTarget, AliasUniverse, AspectKind, Relation};
+pub use config::WorldConfig;
+pub use entity::{Concept, ConceptId, ConceptKind, Domain, Entity, Franchise, FranchiseId};
+pub use intent::{affinity, Intent};
+pub use queries::{QueryEvent, QueryStreamConfig};
+pub use report::WorldReport;
+pub use truth::GroundTruth;
+pub use web::{Page, PageKind};
+pub use world::World;

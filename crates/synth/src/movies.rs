@@ -1,0 +1,429 @@
+//! The D1 dataset builder: a synthetic stand-in for "the titles of the
+//! top 100 movies of 2008 Box office".
+//!
+//! Structural properties matched to the real list (these are what the
+//! mining algorithm actually sees):
+//! - ~40% of titles belong to franchises of 2–4 movies, so hypernym
+//!   strings exist and sequel-numbering synonymy is productive;
+//! - franchise titles frequently omit the episode number
+//!   ("Indiana Jones and the Kingdom of the Crystal Skull"), so the
+//!   most popular user surface ("indy 4") shares almost no tokens with
+//!   the canonical string;
+//! - standalone titles carry subtitles that users truncate away;
+//! - a shared actor pool links movies into "related" concepts.
+
+use crate::alias::AliasSource;
+use crate::catalog::{
+    Catalog, PlantedAlias, ACTOR_FIRST, ACTOR_LAST, ADJECTIVES, HERO_FIRST, HERO_LAST, NOUNS,
+    PLACES,
+};
+use crate::entity::{Concept, ConceptId, ConceptKind, Domain, Entity, Franchise, FranchiseId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use websyn_common::{EntityId, SeedSequence};
+use websyn_text::{arabic_to_roman, normalize};
+
+/// Fraction of entities that belong to a franchise.
+const FRANCHISE_FRACTION: f64 = 0.4;
+/// Actor pool size.
+const ACTOR_POOL: usize = 40;
+/// Actors per movie.
+const ACTORS_PER_MOVIE: std::ops::RangeInclusive<usize> = 2..=3;
+
+/// Builds the movie catalog with `n` entities (the paper uses 100).
+///
+/// Deterministic for a given `seq`.
+pub fn build(n: usize, seq: &SeedSequence) -> Catalog {
+    let mut rng = seq.rng("movies.catalog");
+    let mut catalog = Catalog::default();
+
+    // --- actor pool -> concepts -------------------------------------
+    let mut actor_names: Vec<String> = Vec::with_capacity(ACTOR_POOL);
+    let mut used = std::collections::HashSet::new();
+    while actor_names.len() < ACTOR_POOL {
+        let first = ACTOR_FIRST[rng.gen_range(0..ACTOR_FIRST.len())];
+        let last = ACTOR_LAST[rng.gen_range(0..ACTOR_LAST.len())];
+        let name = format!("{first} {last}");
+        if used.insert(name.clone()) {
+            actor_names.push(name);
+        }
+    }
+    for (i, name) in actor_names.iter().enumerate() {
+        catalog.concepts.push(Concept {
+            id: ConceptId(i as u32),
+            name: name.clone(),
+            kind: ConceptKind::Actor,
+            members: Vec::new(),
+        });
+    }
+
+    // --- franchise skeletons -----------------------------------------
+    // Decide how many franchise slots we need to cover ~40% of n with
+    // series of 2..=4 episodes.
+    let franchise_entity_target = ((n as f64) * FRANCHISE_FRACTION).round() as usize;
+    let mut franchise_specs: Vec<(String, Option<String>, usize)> = Vec::new();
+    let mut covered = 0usize;
+    let mut used_names = std::collections::HashSet::new();
+    while covered < franchise_entity_target {
+        let first = HERO_FIRST[rng.gen_range(0..HERO_FIRST.len())];
+        let last = HERO_LAST[rng.gen_range(0..HERO_LAST.len())];
+        let name = format!("{first} {last}");
+        if !used_names.insert(name.clone()) {
+            continue;
+        }
+        // Nickname: usually the surname or a clipped form.
+        let nickname = if rng.gen_bool(0.8) {
+            Some(if rng.gen_bool(0.5) {
+                last.to_string()
+            } else {
+                // Clipped form: first 4+ letters of the surname, e.g.
+                // "sterling" -> "ster" — a fully synthetic "indy".
+                let clip_len = 4.min(last.len());
+                last[..clip_len].to_string()
+            })
+        } else {
+            None
+        };
+        let episodes = rng.gen_range(2..=4usize).min(franchise_entity_target - covered);
+        if episodes < 2 {
+            // A 1-episode franchise is just a standalone title; stop.
+            break;
+        }
+        covered += episodes;
+        franchise_specs.push((name, nickname, episodes));
+    }
+
+    // --- title construction ------------------------------------------
+    // Interleave franchise episodes and standalone titles across the
+    // rank order so popularity is not correlated with franchise
+    // membership.
+    #[derive(Clone)]
+    enum Slot {
+        Franchise { spec: usize, episode: usize },
+        Standalone,
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    for (spec, &(_, _, eps)) in franchise_specs.iter().enumerate() {
+        for episode in 1..=eps {
+            slots.push(Slot::Franchise { spec, episode });
+        }
+    }
+    while slots.len() < n {
+        slots.push(Slot::Standalone);
+    }
+    slots.truncate(n);
+    slots.shuffle(&mut rng);
+
+    let mut franchise_ids: Vec<Option<FranchiseId>> = vec![None; franchise_specs.len()];
+    let mut used_titles = std::collections::HashSet::new();
+
+    for (rank, slot) in slots.iter().enumerate() {
+        let id = EntityId::from_usize(rank);
+        let (canonical, franchise, planted) = match slot {
+            Slot::Franchise { spec, episode } => {
+                let (name, nickname, _) = &franchise_specs[*spec];
+                let fid = *franchise_ids[*spec].get_or_insert_with(|| {
+                    let fid = FranchiseId(catalog.franchises.len() as u32);
+                    catalog.franchises.push(Franchise {
+                        id: fid,
+                        name: name.clone(),
+                        nickname: nickname.clone(),
+                        members: Vec::new(),
+                    });
+                    fid
+                });
+                catalog.franchises[fid.as_usize()].members.push(id);
+                let title = franchise_title(name, *episode, &mut rng, &mut used_titles);
+                // Plant the nickname+number synonym ("indy 4") and, when
+                // the canonical title hides the number, "name 4" too.
+                let mut planted = Vec::new();
+                let norm_title = normalize(&title);
+                if let Some(nick) = nickname {
+                    planted.push(PlantedAlias {
+                        entity: id,
+                        text: format!("{nick} {episode}"),
+                        source: AliasSource::Nickname,
+                        // The informal nickname is the *preferred* user
+                        // surface — weight above the canonical's 1.0.
+                        weight: 2.5,
+                    });
+                }
+                let name_number = format!("{name} {episode}");
+                if name_number != norm_title {
+                    planted.push(PlantedAlias {
+                        entity: id,
+                        text: name_number,
+                        source: AliasSource::Nickname,
+                        weight: 1.8,
+                    });
+                }
+                (title, Some(fid), planted)
+            }
+            Slot::Standalone => {
+                let title = standalone_title(&mut rng, &mut used_titles);
+                (title, None, Vec::new())
+            }
+        };
+
+        // Cast: 2-3 actors, chosen from the pool.
+        let n_actors = rng.gen_range(ACTORS_PER_MOVIE);
+        let mut concepts = Vec::with_capacity(n_actors);
+        while concepts.len() < n_actors {
+            let c = ConceptId(rng.gen_range(0..ACTOR_POOL) as u32);
+            if !concepts.contains(&c) {
+                concepts.push(c);
+            }
+        }
+        for &c in &concepts {
+            catalog.concepts[c.as_usize()].members.push(id);
+        }
+
+        catalog.entities.push(Entity {
+            id,
+            canonical_norm: normalize(&canonical),
+            canonical,
+            domain: Domain::Movies,
+            rank,
+            franchise,
+            concepts,
+        });
+        catalog.planted.extend(planted);
+    }
+
+    // Drop actors that ended up in no movie (keeps ids dense by
+    // compacting) — simpler: keep them; empty concepts are harmless and
+    // exercise the "no members" paths.
+    debug_assert!(catalog.check_invariants().is_ok());
+    catalog
+}
+
+/// A franchise episode title. Mirrors real naming: episode 1 is the
+/// bare series name or name+subtitle; later episodes use the number
+/// (arabic or roman) or a pure subtitle that *hides* the number.
+fn franchise_title<R: Rng>(
+    name: &str,
+    episode: usize,
+    rng: &mut R,
+    used: &mut std::collections::HashSet<String>,
+) -> String {
+    let display_name = titlecase(name);
+    for attempt in 0..64 {
+        let candidate = if episode == 1 {
+            if rng.gen_bool(0.5) || attempt > 0 {
+                format!("{display_name}: {}", subtitle(rng))
+            } else {
+                display_name.clone()
+            }
+        } else {
+            match rng.gen_range(0..4) {
+                0 => format!("{display_name} {episode}"),
+                1 => format!(
+                    "{display_name} {}",
+                    arabic_to_roman(episode as u32).expect("episode in range")
+                ),
+                2 => format!("{display_name} and the {}", subtitle_tail(rng)),
+                _ => format!("{display_name}: {}", subtitle(rng)),
+            }
+        };
+        if used.insert(normalize(&candidate)) {
+            return candidate;
+        }
+    }
+    // Deterministic fallback: guaranteed unique by the episode suffix.
+    let fallback = format!("{display_name} Episode {episode}");
+    used.insert(normalize(&fallback));
+    fallback
+}
+
+/// A standalone title: "The Crimson Kingdom", "Silent Phoenix:
+/// Escape from Avalon", ...
+fn standalone_title<R: Rng>(
+    rng: &mut R,
+    used: &mut std::collections::HashSet<String>,
+) -> String {
+    for _ in 0..256 {
+        let adj = titlecase(ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())]);
+        let noun = titlecase(NOUNS[rng.gen_range(0..NOUNS.len())]);
+        // Bare two-word titles are kept rare: they admit no abbreviation
+        // at all, and real box-office lists are dominated by articled,
+        // subtitled or prepositional titles.
+        let base = match rng.gen_range(0..100) {
+            0..=44 => format!("The {adj} {noun}"),
+            45..=59 => format!("{adj} {noun}"),
+            _ => format!("{noun} of {}", titlecase(PLACES[rng.gen_range(0..PLACES.len())])),
+        };
+        let candidate = if rng.gen_bool(0.35) {
+            format!("{base}: {}", subtitle(rng))
+        } else {
+            base
+        };
+        if used.insert(normalize(&candidate)) {
+            return candidate;
+        }
+    }
+    unreachable!("title space exhausted — lexicons too small for catalog size");
+}
+
+/// A subtitle phrase: "Rise of the Serpent", "Escape from Avalon", ...
+fn subtitle<R: Rng>(rng: &mut R) -> String {
+    match rng.gen_range(0..4) {
+        0 => format!("Rise of the {}", titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])),
+        1 => format!(
+            "Escape from {}",
+            titlecase(PLACES[rng.gen_range(0..PLACES.len())])
+        ),
+        2 => format!(
+            "The {} of the {}",
+            titlecase(NOUNS[rng.gen_range(0..NOUNS.len())]),
+            titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])
+        ),
+        _ => format!(
+            "{} {}",
+            titlecase(ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())]),
+            titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])
+        ),
+    }
+}
+
+/// Tail for "NAME and the ..." titles: "Kingdom of the Crystal Skull"
+/// shapes.
+fn subtitle_tail<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} of the {} {}",
+        titlecase(NOUNS[rng.gen_range(0..NOUNS.len())]),
+        titlecase(ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())]),
+        titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])
+    )
+}
+
+/// Uppercases the first letter of every word.
+fn titlecase(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog100() -> Catalog {
+        build(100, &SeedSequence::new(42))
+    }
+
+    #[test]
+    fn builds_requested_count() {
+        let c = catalog100();
+        assert_eq!(c.entities.len(), 100);
+        c.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(50, &SeedSequence::new(7));
+        let b = build(50, &SeedSequence::new(7));
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.franchises, b.franchises);
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(50, &SeedSequence::new(7));
+        let b = build(50, &SeedSequence::new(8));
+        let titles_a: Vec<_> = a.entities.iter().map(|e| &e.canonical).collect();
+        let titles_b: Vec<_> = b.entities.iter().map(|e| &e.canonical).collect();
+        assert_ne!(titles_a, titles_b);
+    }
+
+    #[test]
+    fn canonical_names_unique() {
+        let c = catalog100();
+        let set: std::collections::HashSet<_> =
+            c.entities.iter().map(|e| &e.canonical_norm).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn franchise_coverage_near_target() {
+        let c = catalog100();
+        let in_franchise = c.entities.iter().filter(|e| e.franchise.is_some()).count();
+        assert!(
+            (25..=55).contains(&in_franchise),
+            "franchise coverage {in_franchise}"
+        );
+        for f in &c.franchises {
+            assert!(f.members.len() >= 2, "franchise {} too small", f.name);
+            assert!(f.members.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn nicknames_planted_for_franchise_movies() {
+        let c = catalog100();
+        let nick_count = c
+            .planted
+            .iter()
+            .filter(|p| p.source == AliasSource::Nickname)
+            .count();
+        assert!(nick_count > 10, "only {nick_count} nicknames planted");
+        // Every planted surface is normalized.
+        for p in &c.planted {
+            assert_eq!(normalize(&p.text), p.text);
+        }
+    }
+
+    #[test]
+    fn planted_nicknames_attach_to_franchise_members() {
+        let c = catalog100();
+        for p in &c.planted {
+            let e = &c.entities[p.entity.as_usize()];
+            assert!(
+                e.franchise.is_some(),
+                "nickname planted on standalone movie {}",
+                e.canonical
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_are_dense() {
+        let c = catalog100();
+        for (i, e) in c.entities.iter().enumerate() {
+            assert_eq!(e.rank, i);
+        }
+    }
+
+    #[test]
+    fn every_movie_has_cast() {
+        let c = catalog100();
+        for e in &c.entities {
+            assert!(
+                (2..=3).contains(&e.concepts.len()),
+                "cast size {} for {}",
+                e.concepts.len(),
+                e.canonical
+            );
+        }
+    }
+
+    #[test]
+    fn titlecase_works() {
+        assert_eq!(titlecase("captain orion"), "Captain Orion");
+        assert_eq!(titlecase(""), "");
+    }
+
+    #[test]
+    fn small_catalog() {
+        let c = build(5, &SeedSequence::new(1));
+        assert_eq!(c.entities.len(), 5);
+        c.check_invariants().expect("invariants");
+    }
+}

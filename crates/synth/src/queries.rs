@@ -1,0 +1,447 @@
+//! The query stream generator: the synthetic stand-in for "query logs
+//! from Bing Search (July to November 2008)".
+//!
+//! Users pick an intent (entity lookup / franchise browse / aspect /
+//! concept), pick a surface for it by popularity weight, and sometimes
+//! mistype it. The output is a stream of [`QueryEvent`]s that the click
+//! substrate replays against the search engine.
+
+use crate::alias::{AliasSource, AliasTarget, Relation};
+use crate::intent::Intent;
+use crate::truth::TruthEntry;
+use crate::world::World;
+use rand::Rng;
+use websyn_common::{EntityId, Zipf};
+use websyn_text::TypoModel;
+
+/// One issued query with its (hidden) intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEvent {
+    /// The query text as typed (normalized; possibly misspelled).
+    pub text: String,
+    /// What the user wanted. Hidden from the mining algorithm; used by
+    /// the click model and by evaluation.
+    pub intent: Intent,
+}
+
+/// Mixture weights over intent types (need not sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntentMix {
+    /// Specific-entity lookups (the bulk of navigational traffic).
+    pub entity: f64,
+    /// Franchise/line browsing (hypernym queries).
+    pub franchise: f64,
+    /// Aspect lookups (hyponym queries).
+    pub aspect: f64,
+    /// Concept lookups (related queries).
+    pub concept: f64,
+}
+
+impl Default for IntentMix {
+    fn default() -> Self {
+        Self {
+            entity: 0.70,
+            franchise: 0.10,
+            aspect: 0.12,
+            concept: 0.08,
+        }
+    }
+}
+
+/// Configuration of the query stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStreamConfig {
+    /// Number of query events to generate.
+    pub n_events: usize,
+    /// Intent mixture.
+    pub mix: IntentMix,
+    /// Typo channel.
+    pub typo: TypoModel,
+}
+
+impl Default for QueryStreamConfig {
+    fn default() -> Self {
+        Self {
+            n_events: 100_000,
+            mix: IntentMix::default(),
+            typo: TypoModel::default(),
+        }
+    }
+}
+
+impl QueryStreamConfig {
+    /// A stream sized for quick tests.
+    pub fn small(n_events: usize) -> Self {
+        Self {
+            n_events,
+            ..Default::default()
+        }
+    }
+}
+
+/// Precomputed sampling tables for one world.
+struct SamplingTables {
+    /// Per entity: (synonym surface texts, cumulative weights).
+    entity_surfaces: Vec<WeightedSurfaces>,
+    /// Per entity: aspect surface texts.
+    aspect_surfaces: Vec<Vec<String>>,
+    /// Per franchise: (surface texts, cumulative weights).
+    franchise_surfaces: Vec<WeightedSurfaces>,
+    /// Per concept: name (empty when the concept has no members).
+    concept_surfaces: Vec<Option<String>>,
+}
+
+struct WeightedSurfaces {
+    texts: Vec<String>,
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSurfaces {
+    fn build(items: impl Iterator<Item = (String, f64)>) -> Self {
+        let mut texts = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0;
+        for (text, weight) in items {
+            debug_assert!(weight.is_finite() && weight >= 0.0);
+            acc += weight;
+            texts.push(text);
+            cumulative.push(acc);
+        }
+        Self { texts, cumulative }
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&str> {
+        let &total = self.cumulative.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        self.texts.get(idx.min(self.texts.len() - 1)).map(|s| s.as_str())
+    }
+}
+
+fn build_tables(world: &World) -> SamplingTables {
+    let n = world.entities.len();
+    let mut entity_surfaces = Vec::with_capacity(n);
+    let mut aspect_surfaces = vec![Vec::new(); n];
+    for entity in &world.entities {
+        entity_surfaces.push(WeightedSurfaces::build(
+            world
+                .aliases
+                .of_entity(entity.id)
+                .filter(|a| a.relation == Relation::Synonym)
+                .map(|a| (a.text.clone(), a.weight)),
+        ));
+        aspect_surfaces[entity.id.as_usize()] = world
+            .aliases
+            .of_entity(entity.id)
+            .filter(|a| a.relation == Relation::Hyponym)
+            .map(|a| a.text.clone())
+            .collect();
+    }
+    let franchise_surfaces = world
+        .franchises
+        .iter()
+        .map(|f| {
+            WeightedSurfaces::build(
+                world
+                    .aliases
+                    .iter()
+                    .filter(|a| a.target == AliasTarget::Franchise(f.id))
+                    .map(|a| (a.text.clone(), a.weight)),
+            )
+        })
+        .collect();
+    let concept_surfaces = world
+        .concepts
+        .iter()
+        .map(|c| {
+            (!c.members.is_empty() && world.aliases.get(&c.name).is_some())
+                .then(|| c.name.clone())
+        })
+        .collect();
+    SamplingTables {
+        entity_surfaces,
+        aspect_surfaces,
+        franchise_surfaces,
+        concept_surfaces,
+    }
+}
+
+/// Generates the query stream for `world`.
+///
+/// Misspelled surfaces minted by the typo channel are registered in
+/// `world.truth` with their source surface's target (a misspelling of a
+/// synonym is still a synonym — the intent is what defines the truth).
+pub fn generate(world: &mut World, config: &QueryStreamConfig) -> Vec<QueryEvent> {
+    let tables = build_tables(world);
+    let mut rng = world.seq().rng("queries.stream");
+    let zipf = Zipf::new(world.entities.len(), world.config.entity_zipf)
+        .expect("world has >= 1 entity");
+
+    let mix = config.mix;
+    let mix_total = mix.entity + mix.franchise + mix.aspect + mix.concept;
+    assert!(
+        mix_total > 0.0 && mix_total.is_finite(),
+        "intent mix must have positive total weight"
+    );
+
+    // Per-surface misspelling pools: real typo distributions are
+    // heavy-tailed (the same few misspellings recur), so each surface
+    // gets at most `misspelling_pool` distinct corruptions, minted
+    // lazily and then reused.
+    let pool_cap = world.config.misspelling_pool.max(1);
+    let mut typo_pools: websyn_common::FxHashMap<String, Vec<Option<String>>> =
+        websyn_common::FxHashMap::default();
+
+    let mut events = Vec::with_capacity(config.n_events);
+    while events.len() < config.n_events {
+        // Pick an intent type.
+        let u = rng.gen_range(0.0..mix_total);
+        // Pick the target entity first: franchise/aspect/concept intents
+        // are all anchored on an entity draw so that *their* popularity
+        // follows entity popularity too.
+        let entity_rank = zipf.sample(&mut rng);
+        let entity = &world.entities[entity_rank];
+        let eid = entity.id;
+
+        let (intent, surface) = if u < mix.entity {
+            let Some(s) = tables.entity_surfaces[eid.as_usize()].sample(&mut rng) else {
+                continue;
+            };
+            (Intent::Entity(eid), s.to_string())
+        } else if u < mix.entity + mix.franchise {
+            let Some(f) = entity.franchise else { continue };
+            let Some(s) = tables.franchise_surfaces[f.as_usize()].sample(&mut rng) else {
+                continue;
+            };
+            (Intent::Franchise(f), s.to_string())
+        } else if u < mix.entity + mix.franchise + mix.aspect {
+            let aspects = &tables.aspect_surfaces[eid.as_usize()];
+            if aspects.is_empty() {
+                continue;
+            }
+            let s = &aspects[rng.gen_range(0..aspects.len())];
+            // Recover which aspect this surface encodes.
+            let Some(TruthEntry {
+                source: AliasSource::Aspect(kind),
+                ..
+            }) = world.truth.lookup(s).copied()
+            else {
+                continue;
+            };
+            (Intent::Aspect(eid, kind), s.clone())
+        } else {
+            if entity.concepts.is_empty() {
+                continue;
+            }
+            let c = entity.concepts[rng.gen_range(0..entity.concepts.len())];
+            let Some(Some(s)) = tables.concept_surfaces.get(c.as_usize()) else {
+                continue;
+            };
+            (Intent::Concept(c), s.clone())
+        };
+
+        // Typo channel: with the configured rate, replace the surface
+        // by one of its pooled misspellings (minting it on first use).
+        let text = match world.truth.lookup(&surface).copied() {
+            Some(entry) if rng.gen_bool(config.typo.query_error_rate.clamp(0.0, 1.0)) => {
+                let slot = rng.gen_range(0..pool_cap);
+                let pool = typo_pools
+                    .entry(surface.clone())
+                    .or_insert_with(|| vec![None; pool_cap]);
+                match &pool[slot] {
+                    Some(existing) => existing.clone(),
+                    None => {
+                        let minted = config.typo.apply_one(&surface, &mut rng).and_then(
+                            |corrupted| {
+                                let misspelt = TruthEntry {
+                                    target: entry.target,
+                                    relation: entry.relation,
+                                    source: AliasSource::Misspelling,
+                                };
+                                // Refuse corruptions that collide with a
+                                // surface meaning something else.
+                                world
+                                    .truth
+                                    .register(&corrupted, misspelt)
+                                    .then_some(corrupted)
+                            },
+                        );
+                        // Failed mints pin the slot to the clean surface
+                        // so the collision is never retried.
+                        let text = minted.unwrap_or_else(|| surface.clone());
+                        pool[slot] = Some(text.clone());
+                        text
+                    }
+                }
+            }
+            _ => surface,
+        };
+
+        events.push(QueryEvent { text, intent });
+    }
+    events
+}
+
+/// Convenience: the number of distinct query strings in a stream.
+pub fn distinct_queries(events: &[QueryEvent]) -> usize {
+    let set: websyn_common::FxHashSet<&str> =
+        events.iter().map(|e| e.text.as_str()).collect();
+    set.len()
+}
+
+/// Convenience: total events whose intent is a specific entity.
+pub fn entity_event_count(events: &[QueryEvent], e: EntityId) -> usize {
+    events
+        .iter()
+        .filter(|ev| ev.intent == Intent::Entity(e))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::build(&WorldConfig::small_movies(30, 13))
+    }
+
+    fn stream(n: usize) -> (World, Vec<QueryEvent>) {
+        let mut w = world();
+        let events = generate(&mut w, &QueryStreamConfig::small(n));
+        (w, events)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, events) = stream(5_000);
+        assert_eq!(events.len(), 5_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = stream(2_000);
+        let (_, b) = stream(2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intent_mix_is_respected() {
+        let (_, events) = stream(20_000);
+        let entity = events
+            .iter()
+            .filter(|e| matches!(e.intent, Intent::Entity(_)))
+            .count() as f64;
+        let franchise = events
+            .iter()
+            .filter(|e| matches!(e.intent, Intent::Franchise(_)))
+            .count() as f64;
+        let total = events.len() as f64;
+        // Entity lookups dominate; exact shares drift because intents
+        // that cannot be served (standalone movie & franchise intent)
+        // are resampled.
+        assert!(entity / total > 0.6, "entity share {}", entity / total);
+        assert!(franchise / total > 0.02, "franchise share {}", franchise / total);
+        assert!(franchise < entity);
+    }
+
+    #[test]
+    fn popularity_is_head_heavy() {
+        let (w, events) = stream(20_000);
+        let head = entity_event_count(&events, w.entities[0].id);
+        let tail = entity_event_count(&events, w.entities[w.entities.len() - 1].id);
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn every_query_text_is_known_to_truth() {
+        let (w, events) = stream(10_000);
+        for ev in &events {
+            assert!(
+                w.truth.lookup(&ev.text).is_some(),
+                "query {:?} unknown to oracle",
+                ev.text
+            );
+        }
+    }
+
+    #[test]
+    fn misspellings_are_registered_as_synonyms_of_intent() {
+        let (w, events) = stream(20_000);
+        let misspelt: Vec<&QueryEvent> = events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    w.truth.lookup(&ev.text),
+                    Some(TruthEntry {
+                        source: AliasSource::Misspelling,
+                        ..
+                    })
+                )
+            })
+            .collect();
+        assert!(
+            !misspelt.is_empty(),
+            "typo channel produced no misspellings in 20k events"
+        );
+        for ev in misspelt {
+            if let Intent::Entity(e) = ev.intent {
+                assert!(
+                    w.truth.is_true_synonym(&ev.text, e)
+                        || w.truth.lookup(&ev.text).unwrap().relation != Relation::Synonym,
+                    "misspelling {:?} lost its entity",
+                    ev.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entity_queries_use_entity_synonym_surfaces() {
+        let (w, events) = stream(5_000);
+        for ev in events.iter().take(500) {
+            if let Intent::Entity(e) = ev.intent {
+                let entry = w.truth.lookup(&ev.text).unwrap();
+                assert_eq!(entry.target, AliasTarget::Entity(e));
+                assert_eq!(entry.relation, Relation::Synonym);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_surfaces_sampler() {
+        let mut rng = websyn_common::SeedSequence::new(3).rng("ws");
+        let ws = WeightedSurfaces::build(
+            vec![("a".to_string(), 9.0), ("b".to_string(), 1.0)].into_iter(),
+        );
+        let mut a_count = 0;
+        for _ in 0..1000 {
+            if ws.sample(&mut rng) == Some("a") {
+                a_count += 1;
+            }
+        }
+        assert!(
+            (800..=980).contains(&a_count),
+            "weighted sampling off: {a_count}/1000"
+        );
+        let empty = WeightedSurfaces::build(std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn distinct_queries_counts() {
+        let (_, events) = stream(5_000);
+        let d = distinct_queries(&events);
+        assert!(d > 50, "too few distinct queries: {d}");
+        assert!(d < events.len());
+    }
+}

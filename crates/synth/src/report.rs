@@ -1,0 +1,163 @@
+//! World statistics: a compact structural summary of a built world,
+//! used by examples, experiment logs and the full-scale integration
+//! tests that pin the generator's distributional properties.
+
+use crate::alias::{AliasSource, Relation};
+use crate::world::World;
+use std::fmt;
+
+/// Structural summary of a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldReport {
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of franchises with at least one member.
+    pub franchises: usize,
+    /// Number of concepts with at least one member.
+    pub concepts: usize,
+    /// Number of pages.
+    pub pages: usize,
+    /// Alias surfaces by relation.
+    pub synonyms: usize,
+    /// Hypernym surfaces.
+    pub hypernyms: usize,
+    /// Hyponym (aspect) surfaces.
+    pub hyponyms: usize,
+    /// Related (concept) surfaces.
+    pub related: usize,
+    /// Planted semantic synonyms (nicknames + marketing names).
+    pub semantic_synonyms: usize,
+    /// Surfaces dropped as cross-entity ambiguous.
+    pub ambiguous_dropped: usize,
+    /// Entity surfaces shadowed by broader readings.
+    pub shadowed: usize,
+}
+
+impl WorldReport {
+    /// Computes the summary.
+    pub fn of(world: &World) -> Self {
+        let mut synonyms = 0;
+        let mut hypernyms = 0;
+        let mut hyponyms = 0;
+        let mut related = 0;
+        let mut semantic = 0;
+        for alias in world.aliases.iter() {
+            match alias.relation {
+                Relation::Synonym => synonyms += 1,
+                Relation::Hypernym => hypernyms += 1,
+                Relation::Hyponym => hyponyms += 1,
+                Relation::Related => related += 1,
+            }
+            if matches!(alias.source, AliasSource::Nickname | AliasSource::Marketing) {
+                semantic += 1;
+            }
+        }
+        Self {
+            entities: world.entities.len(),
+            franchises: world
+                .franchises
+                .iter()
+                .filter(|f| !f.members.is_empty())
+                .count(),
+            concepts: world
+                .concepts
+                .iter()
+                .filter(|c| !c.members.is_empty())
+                .count(),
+            pages: world.pages.len(),
+            synonyms,
+            hypernyms,
+            hyponyms,
+            related,
+            semantic_synonyms: semantic,
+            ambiguous_dropped: world.aliases.ambiguous_dropped(),
+            shadowed: world.aliases.shadowed(),
+        }
+    }
+
+    /// Mean synonym surfaces per entity (canonical included).
+    pub fn synonyms_per_entity(&self) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            self.synonyms as f64 / self.entities as f64
+        }
+    }
+
+    /// Mean pages per entity (hub/concept/noise pages included).
+    pub fn pages_per_entity(&self) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            self.pages as f64 / self.entities as f64
+        }
+    }
+}
+
+impl fmt::Display for WorldReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entities={} franchises={} concepts={} pages={} | surfaces: syn={} hyper={} \
+             hypo={} related={} (semantic={}) | dropped: ambiguous={} shadowed={}",
+            self.entities,
+            self.franchises,
+            self.concepts,
+            self.pages,
+            self.synonyms,
+            self.hypernyms,
+            self.hyponyms,
+            self.related,
+            self.semantic_synonyms,
+            self.ambiguous_dropped,
+            self.shadowed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn report_adds_up() {
+        let world = World::build(&WorldConfig::small_movies(30, 5));
+        let r = WorldReport::of(&world);
+        assert_eq!(r.entities, 30);
+        assert_eq!(
+            r.synonyms + r.hypernyms + r.hyponyms + r.related,
+            world.aliases.len()
+        );
+        assert!(r.synonyms >= 30, "at least the canonicals");
+        assert!(r.pages_per_entity() > 3.0);
+        assert!(r.synonyms_per_entity() >= 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let world = World::build(&WorldConfig::small_movies(10, 6));
+        let text = WorldReport::of(&world).to_string();
+        assert!(text.contains("entities=10"));
+        assert!(text.contains("syn="));
+    }
+
+    #[test]
+    fn empty_denominators_are_safe() {
+        let r = WorldReport {
+            entities: 0,
+            franchises: 0,
+            concepts: 0,
+            pages: 0,
+            synonyms: 0,
+            hypernyms: 0,
+            hyponyms: 0,
+            related: 0,
+            semantic_synonyms: 0,
+            ambiguous_dropped: 0,
+            shadowed: 0,
+        };
+        assert_eq!(r.synonyms_per_entity(), 0.0);
+        assert_eq!(r.pages_per_entity(), 0.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The Web page universe.
+//!
+//! Pages are the surrogates everything hinges on (paper Definition 5):
+//! the search engine retrieves them for canonical queries, users click
+//! them for informal queries, and the intersection of the two is the
+//! mining signal.
+//!
+//! The generator reproduces the paper's central observation about Web
+//! content: *content creators plant alternative names*. Shop and fan
+//! pages include nicknames, acronyms and marketing names in their text
+//! ("Digital REBEL XT 350D" on an eBay listing), which is what makes
+//! informal queries retrieve and click on entity pages at all.
+
+use crate::alias::{AliasSource, AliasTarget, AliasUniverse, AspectKind, Relation};
+use crate::catalog::Catalog;
+use crate::entity::Domain;
+use rand::Rng;
+use websyn_common::{PageId, SeedSequence};
+
+/// The species of a page — drives its text, its URL and its affinity to
+/// user intents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Manufacturer/studio page: canonical description only.
+    Official,
+    /// Encyclopedia page: canonical plus some alternatives.
+    Wiki,
+    /// Review site page.
+    Review,
+    /// Retail listing: plants the most alternatives.
+    Shop,
+    /// Fan page: plants nicknames and acronyms.
+    Fan,
+    /// News article mentioning the entity.
+    News,
+    /// A page about one aspect of the entity (trailer, price, manual…).
+    Aspect(AspectKind),
+    /// A hub page about a whole franchise/line.
+    FranchiseHub,
+    /// A hub page about a concept (actor, brand).
+    ConceptHub,
+    /// Unrelated content.
+    Noise,
+}
+
+impl PageKind {
+    /// Stable label used in synthetic URLs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageKind::Official => "official",
+            PageKind::Wiki => "wiki",
+            PageKind::Review => "review",
+            PageKind::Shop => "shop",
+            PageKind::Fan => "fan",
+            PageKind::News => "news",
+            PageKind::Aspect(a) => a.suffix(),
+            PageKind::FranchiseHub => "franchise",
+            PageKind::ConceptHub => "concept",
+            PageKind::Noise => "noise",
+        }
+    }
+}
+
+/// One synthetic Web page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// Dense id; index into `World::pages`.
+    pub id: PageId,
+    /// Synthetic URL (unique).
+    pub url: String,
+    /// Page species.
+    pub kind: PageKind,
+    /// What the page is about, if anything.
+    pub target: Option<AliasTarget>,
+    /// Title text (normalized tokens).
+    pub title: String,
+    /// Body text (normalized tokens, space separated).
+    pub body: String,
+}
+
+/// Per-kind boilerplate vocabulary: words the engine will see on every
+/// page of this kind. Realistic noise that keeps BM25 honest.
+fn boilerplate(kind: PageKind, domain: Domain) -> &'static str {
+    match (kind, domain) {
+        (PageKind::Official, Domain::Movies) => "official site studio synopsis release date",
+        (PageKind::Official, Domain::Cameras) => {
+            "official product specifications megapixel sensor lens"
+        }
+        (PageKind::Wiki, _) => "encyclopedia article references external links history",
+        (PageKind::Review, Domain::Movies) => "review rating critics verdict stars opinion",
+        (PageKind::Review, Domain::Cameras) => "review rating image quality verdict sample shots",
+        (PageKind::Shop, Domain::Movies) => "buy dvd bluray price shipping cart order",
+        (PageKind::Shop, Domain::Cameras) => "buy price shipping cart order deal bundle kit",
+        (PageKind::Fan, _) => "fan community forum discussion wallpaper gallery",
+        (PageKind::News, _) => "news announcement report interview coverage",
+        (PageKind::Aspect(AspectKind::Trailer), _) => "watch trailer teaser video clip hd",
+        (PageKind::Aspect(AspectKind::Review), _) => "review rating verdict opinion detailed",
+        (PageKind::Aspect(AspectKind::Cast), _) => "cast crew characters starring credits",
+        (PageKind::Aspect(AspectKind::Price), _) => "price compare deal cheapest offers",
+        (PageKind::Aspect(AspectKind::Manual), _) => "manual guide instructions pdf download",
+        (PageKind::FranchiseHub, _) => "series overview complete list all entries timeline",
+        (PageKind::ConceptHub, _) => "profile biography portfolio overview catalog",
+        (PageKind::Noise, _) => "",
+    }
+}
+
+/// Noise-page vocabulary (none of these words appear in catalogs).
+const NOISE_WORDS: &[&str] = &[
+    "recipe", "garden", "weather", "football", "election", "travel", "hotel", "flight",
+    "insurance", "mortgage", "fitness", "yoga", "stocks", "crypto", "knitting", "puzzle",
+    "horoscope", "lottery", "casino", "karaoke", "aquarium", "origami", "chess", "marathon",
+];
+
+/// The entity-page kinds for a domain, in decreasing order of how early
+/// the engine tends to rank them.
+fn entity_page_kinds(domain: Domain) -> &'static [PageKind] {
+    match domain {
+        Domain::Movies => &[
+            PageKind::Official,
+            PageKind::Wiki,
+            PageKind::Review,
+            PageKind::Shop,
+            PageKind::Fan,
+            PageKind::News,
+        ],
+        Domain::Cameras => &[
+            PageKind::Official,
+            PageKind::Shop,
+            PageKind::Review,
+            PageKind::Wiki,
+            PageKind::Fan,
+            PageKind::News,
+        ],
+    }
+}
+
+/// Builds the page universe for a catalog.
+///
+/// Page counts scale with popularity: the head entity gets all six page
+/// kinds (plus extra shop/fan mirrors), tail entities get three. Every
+/// entity keeps at least `Official`, `Shop`/`Wiki` and `Review` so that
+/// surrogates exist for everyone.
+pub fn build_pages(catalog: &Catalog, universe: &AliasUniverse, seq: &SeedSequence) -> Vec<Page> {
+    let mut rng = seq.rng("web.pages");
+    let domain = catalog.domain();
+    let mut pages = Vec::new();
+    let n = catalog.entities.len();
+
+    // Per-domain page floor. Movies: tail titles have a thin Web
+    // presence (3 pages). Cameras: every retail product has listings on
+    // many shops plus reviews — a floor of 5 kinds (plus the mirrors
+    // and aspect pages below) keeps a tail camera's top-10 dominated by
+    // its *own* pages, which is what bounds the IPC of brand/line
+    // generic queries below the β threshold (paper Section III-B).
+    let floor = match domain {
+        Domain::Movies => 3.0,
+        Domain::Cameras => 5.0,
+    };
+    for entity in &catalog.entities {
+        // Popularity-scaled page count.
+        let pop = 1.0 - entity.rank as f64 / n.max(1) as f64; // 1 head .. 0 tail
+        let kinds = entity_page_kinds(domain);
+        let n_kinds = (floor + pop * (kinds.len() as f64 - floor)).round() as usize;
+        let n_kinds = n_kinds.clamp(floor as usize, kinds.len());
+
+        // Gather the entity's alternative surfaces once.
+        let alt_surfaces: Vec<(&str, AliasSource)> = universe
+            .of_entity(entity.id)
+            .filter(|a| a.relation == Relation::Synonym && a.source != AliasSource::Canonical)
+            .map(|a| (a.text.as_str(), a.source))
+            .collect();
+
+        for &kind in &kinds[..n_kinds] {
+            let id = PageId::from_usize(pages.len());
+            pages.push(entity_page(id, entity, kind, &alt_surfaces, &mut rng, domain));
+        }
+
+        // Extra retail mirrors (more shop pages → more distinct
+        // surrogate URLs, like the real Web). Every camera is listed on
+        // at least two shops; movie mirrors scale with popularity.
+        let extra_mirrors = match domain {
+            Domain::Movies => (pop * 2.0).round() as usize,
+            Domain::Cameras => 2 + (pop * 2.0).round() as usize,
+        };
+        for m in 0..extra_mirrors {
+            let id = PageId::from_usize(pages.len());
+            let mut page = entity_page(id, entity, PageKind::Shop, &alt_surfaces, &mut rng, domain);
+            page.url = format!("https://shop{m}.example.com/{}/{}", domain, entity.id);
+            pages.push(page);
+        }
+
+        // Aspect pages: one per applicable aspect for head entities,
+        // one for the most common aspect for everyone.
+        let aspects: &[AspectKind] = match domain {
+            Domain::Movies => &AspectKind::MOVIE_ASPECTS,
+            Domain::Cameras => &AspectKind::CAMERA_ASPECTS,
+        };
+        let n_aspects = match domain {
+            Domain::Movies => {
+                if pop > 0.6 {
+                    aspects.len()
+                } else {
+                    1
+                }
+            }
+            // Review and price pages exist for every camera.
+            Domain::Cameras => {
+                if pop > 0.6 {
+                    aspects.len()
+                } else {
+                    2
+                }
+            }
+        };
+        for &aspect in &aspects[..n_aspects] {
+            let id = PageId::from_usize(pages.len());
+            let title = format!("{} {}", entity.canonical_norm, aspect.suffix());
+            // Aspect pages are *about the aspect*: the entity name
+            // appears once, the aspect vocabulary dominates. For the
+            // canonical query they therefore rank below the entity's
+            // own pages; for "<entity> <aspect>" queries they win.
+            let body = format!(
+                "{} {} {} {}",
+                entity.canonical_norm,
+                repeat_tokens(aspect.suffix(), 3),
+                boilerplate(PageKind::Aspect(aspect), domain),
+                boilerplate(PageKind::Aspect(aspect), domain),
+            );
+            pages.push(Page {
+                id,
+                url: format!(
+                    "https://aspects.example.com/{}/{}/{}",
+                    domain,
+                    entity.id,
+                    aspect.suffix()
+                ),
+                kind: PageKind::Aspect(aspect),
+                target: Some(AliasTarget::Entity(entity.id)),
+                title,
+                body,
+            });
+        }
+    }
+
+    // Franchise hub pages: franchise name + nickname + the most
+    // popular members' canonical surfaces. The cap matters: a real
+    // brand/series page *features* a handful of products, it does not
+    // embed the full canonical name of every tail model — and that is
+    // exactly what keeps the hub out of tail entities' surrogate sets
+    // (otherwise hypernym clicks would land "inside the intersection"
+    // for every member and ICR could not separate them, breaking the
+    // paper's Fig. 1b geometry).
+    const HUB_FEATURED: usize = 6;
+    for franchise in &catalog.franchises {
+        if franchise.members.is_empty() {
+            continue;
+        }
+        let id = PageId::from_usize(pages.len());
+        let mut body = String::new();
+        body.push_str(&repeat_tokens(&franchise.name, 3));
+        if let Some(nick) = &franchise.nickname {
+            body.push(' ');
+            body.push_str(&repeat_tokens(nick, 2));
+        }
+        for &m in franchise.members.iter().take(HUB_FEATURED) {
+            body.push(' ');
+            body.push_str(&catalog.entities[m.as_usize()].canonical_norm);
+        }
+        body.push(' ');
+        body.push_str(boilerplate(PageKind::FranchiseHub, domain));
+        pages.push(Page {
+            id,
+            url: format!("https://series.example.com/{}/{}", domain, franchise.id),
+            kind: PageKind::FranchiseHub,
+            target: Some(AliasTarget::Franchise(franchise.id)),
+            title: franchise.name.clone(),
+            body,
+        });
+    }
+
+    // Concept hub pages: concept name + the most popular members'
+    // canonical surfaces (same featuring cap as franchise hubs).
+    for concept in &catalog.concepts {
+        if concept.members.is_empty() {
+            continue;
+        }
+        let id = PageId::from_usize(pages.len());
+        let mut body = repeat_tokens(&concept.name, 3);
+        for &m in concept.members.iter().take(HUB_FEATURED) {
+            body.push(' ');
+            body.push_str(&catalog.entities[m.as_usize()].canonical_norm);
+        }
+        body.push(' ');
+        body.push_str(boilerplate(PageKind::ConceptHub, domain));
+        pages.push(Page {
+            id,
+            url: format!("https://people.example.com/{}/{}", domain, concept.id),
+            kind: PageKind::ConceptHub,
+            target: Some(AliasTarget::Concept(concept.id)),
+            title: concept.name.clone(),
+            body,
+        });
+    }
+
+    // Noise pages: ~12% of the universe.
+    let n_noise = (pages.len() as f64 * 0.12).ceil() as usize;
+    for i in 0..n_noise {
+        let id = PageId::from_usize(pages.len());
+        let mut w = || NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())];
+        let title = format!("{} {}", w(), w());
+        let body = (0..12).map(|_| w()).collect::<Vec<_>>().join(" ");
+        pages.push(Page {
+            id,
+            url: format!("https://misc.example.com/{i}"),
+            kind: PageKind::Noise,
+            target: None,
+            title,
+            body,
+        });
+    }
+
+    pages
+}
+
+/// Builds one entity page of the given kind.
+fn entity_page<R: Rng>(
+    id: PageId,
+    entity: &crate::entity::Entity,
+    kind: PageKind,
+    alt_surfaces: &[(&str, AliasSource)],
+    rng: &mut R,
+    domain: Domain,
+) -> Page {
+    let mut body = String::new();
+    // The canonical surface dominates the page text.
+    body.push_str(&repeat_tokens(&entity.canonical_norm, 3));
+
+    // Content creators plant alternatives, with kind-dependent zeal.
+    let plant_prob = match kind {
+        PageKind::Shop => 0.9,
+        PageKind::Fan => 0.8,
+        PageKind::Wiki => 0.6,
+        PageKind::Review => 0.4,
+        PageKind::News => 0.3,
+        PageKind::Official => 0.15,
+        _ => 0.0,
+    };
+    for (surface, source) in alt_surfaces {
+        // Semantic aliases (nickname/marketing) are the ones sellers
+        // bother to plant; mechanical variants appear less often
+        // (truncations occur "for free" as token subsets anyway).
+        let p = match source {
+            AliasSource::Nickname | AliasSource::Marketing => plant_prob,
+            _ => plant_prob * 0.4,
+        };
+        if p > 0.0 && rng.gen_bool(p) {
+            body.push(' ');
+            body.push_str(surface);
+        }
+    }
+
+    body.push(' ');
+    body.push_str(boilerplate(kind, domain));
+
+    Page {
+        id,
+        url: format!(
+            "https://{}.example.com/{}/{}",
+            kind.label(),
+            domain,
+            entity.id
+        ),
+        kind,
+        target: Some(AliasTarget::Entity(entity.id)),
+        title: entity.canonical_norm.clone(),
+        body,
+    }
+}
+
+/// Repeats a token string `k` times, space separated (term-frequency
+/// emphasis for BM25).
+fn repeat_tokens(s: &str, k: usize) -> String {
+    let mut out = String::with_capacity((s.len() + 1) * k);
+    for i in 0..k {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies;
+    use websyn_common::SeedSequence;
+
+    fn world_pages() -> (Catalog, AliasUniverse, Vec<Page>) {
+        let seq = SeedSequence::new(11);
+        let catalog = movies::build(30, &seq);
+        let universe = crate::world::build_alias_universe(&catalog, &seq);
+        let pages = build_pages(&catalog, &universe, &seq);
+        (catalog, universe, pages)
+    }
+
+    #[test]
+    fn ids_are_dense_and_urls_unique() {
+        let (_, _, pages) = world_pages();
+        let mut urls = std::collections::HashSet::new();
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.id.as_usize(), i);
+            assert!(urls.insert(&p.url), "duplicate url {}", p.url);
+        }
+    }
+
+    #[test]
+    fn every_entity_has_at_least_three_pages() {
+        let (catalog, _, pages) = world_pages();
+        for e in &catalog.entities {
+            let count = pages
+                .iter()
+                .filter(|p| {
+                    p.target == Some(AliasTarget::Entity(e.id))
+                        && !matches!(p.kind, PageKind::Aspect(_))
+                })
+                .count();
+            assert!(count >= 3, "{} has {count} pages", e.canonical);
+        }
+    }
+
+    #[test]
+    fn popular_entities_have_more_pages() {
+        let (catalog, _, pages) = world_pages();
+        let count_for = |rank: usize| {
+            let id = catalog.entities[rank].id;
+            pages
+                .iter()
+                .filter(|p| p.target == Some(AliasTarget::Entity(id)))
+                .count()
+        };
+        assert!(count_for(0) > count_for(catalog.entities.len() - 1));
+    }
+
+    #[test]
+    fn entity_pages_contain_canonical_tokens() {
+        let (catalog, _, pages) = world_pages();
+        for p in &pages {
+            if let Some(AliasTarget::Entity(e)) = p.target {
+                let canonical = &catalog.entities[e.as_usize()].canonical_norm;
+                assert!(
+                    p.body.contains(canonical.as_str()),
+                    "page {} missing canonical {canonical}",
+                    p.url
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shop_or_fan_pages_plant_nicknames() {
+        // At least some planted semantic aliases must appear in page
+        // bodies, or nickname queries could never be retrieved.
+        let (catalog, _, pages) = world_pages();
+        let planted_texts: Vec<&str> =
+            catalog.planted.iter().map(|p| p.text.as_str()).collect();
+        if planted_texts.is_empty() {
+            return; // tiny catalog may have no franchises
+        }
+        let planted_found = planted_texts
+            .iter()
+            .filter(|t| pages.iter().any(|p| p.body.contains(*t)))
+            .count();
+        assert!(
+            planted_found * 2 >= planted_texts.len(),
+            "only {planted_found}/{} planted aliases appear on any page",
+            planted_texts.len()
+        );
+    }
+
+    #[test]
+    fn franchise_hubs_list_members() {
+        let (catalog, _, pages) = world_pages();
+        for f in &catalog.franchises {
+            let hub = pages
+                .iter()
+                .find(|p| p.target == Some(AliasTarget::Franchise(f.id)))
+                .expect("hub exists");
+            for &m in &f.members {
+                let canonical = &catalog.entities[m.as_usize()].canonical_norm;
+                assert!(hub.body.contains(canonical.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_pages_have_no_target() {
+        let (_, _, pages) = world_pages();
+        let noise: Vec<_> = pages.iter().filter(|p| p.kind == PageKind::Noise).collect();
+        assert!(!noise.is_empty());
+        for p in noise {
+            assert!(p.target.is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, _, a) = world_pages();
+        let (_, _, b) = world_pages();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kind_labels_unique_enough_for_urls() {
+        let labels: std::collections::HashSet<_> = [
+            PageKind::Official,
+            PageKind::Wiki,
+            PageKind::Review,
+            PageKind::Shop,
+            PageKind::Fan,
+            PageKind::News,
+            PageKind::FranchiseHub,
+            PageKind::ConceptHub,
+            PageKind::Noise,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 9);
+    }
+}

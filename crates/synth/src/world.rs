@@ -1,0 +1,386 @@
+//! World assembly: catalog → alias universe → pages → ground truth.
+
+use crate::alias::{Alias, AliasSource, AliasTarget, AliasUniverse, AspectKind, Relation};
+use crate::catalog::Catalog;
+use crate::config::WorldConfig;
+use crate::entity::{Concept, Domain, Entity, Franchise};
+use crate::truth::GroundTruth;
+use crate::web::{self, Page};
+use crate::{cameras, movies};
+use rand::Rng;
+use websyn_common::{EntityId, SeedSequence};
+use websyn_text::tokenize::token_texts;
+
+/// The fully built synthetic world: the input the rest of the workspace
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The configuration the world was built from.
+    pub config: WorldConfig,
+    /// Entities in rank order.
+    pub entities: Vec<Entity>,
+    /// Franchises.
+    pub franchises: Vec<Franchise>,
+    /// Concepts.
+    pub concepts: Vec<Concept>,
+    /// The alias universe (all surfaces with relations and weights).
+    pub aliases: AliasUniverse,
+    /// The page universe.
+    pub pages: Vec<Page>,
+    /// The evaluation oracle. Mutable: the query generator registers
+    /// misspelled surfaces as it mints them.
+    pub truth: GroundTruth,
+    seq: SeedSequence,
+}
+
+impl World {
+    /// Builds the world for `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (use
+    /// [`WorldConfig::validate`] to check first).
+    pub fn build(config: &WorldConfig) -> Self {
+        config.validate().expect("invalid WorldConfig");
+        let seq = SeedSequence::new(config.seed);
+        let catalog = match config.domain {
+            Domain::Movies => movies::build(config.n_entities, &seq),
+            Domain::Cameras => cameras::build(config.n_entities, &seq),
+        };
+        debug_assert!(catalog.check_invariants().is_ok());
+        let aliases = build_alias_universe_with(&catalog, &seq, config);
+        let pages = web::build_pages(&catalog, &aliases, &seq);
+        let truth = GroundTruth::from_universe(&aliases);
+        let Catalog {
+            entities,
+            franchises,
+            concepts,
+            ..
+        } = catalog;
+        Self {
+            config: config.clone(),
+            entities,
+            franchises,
+            concepts,
+            aliases,
+            pages,
+            truth,
+            seq,
+        }
+    }
+
+    /// The seed sequence (for downstream components that must share the
+    /// world's determinism, e.g. the query generator).
+    pub fn seq(&self) -> &SeedSequence {
+        &self.seq
+    }
+
+    /// The domain of this world.
+    pub fn domain(&self) -> Domain {
+        self.config.domain
+    }
+
+    /// The ground-truth relation of surface `text` to entity `e`:
+    /// `Synonym` / `Hyponym` when the surface targets `e` itself,
+    /// `Hypernym` when it targets `e`'s franchise, `Related` when it
+    /// targets one of `e`'s concepts, `None` when the surface is
+    /// unknown or refers to something unconnected.
+    pub fn relation_of(&self, text: &str, e: EntityId) -> Option<Relation> {
+        let entry = self.truth.lookup(text)?;
+        match entry.target {
+            AliasTarget::Entity(te) => (te == e).then_some(entry.relation),
+            AliasTarget::Franchise(f) => {
+                (self.entities[e.as_usize()].franchise == Some(f)).then_some(Relation::Hypernym)
+            }
+            AliasTarget::Concept(c) => self.entities[e.as_usize()]
+                .concepts
+                .contains(&c)
+                .then_some(Relation::Related),
+        }
+    }
+}
+
+/// [`build_alias_universe_with`] under a default-shaped config; used by
+/// module tests.
+pub fn build_alias_universe(catalog: &Catalog, seq: &SeedSequence) -> AliasUniverse {
+    let config = match catalog.domain() {
+        Domain::Movies => WorldConfig::small_movies(catalog.entities.len(), seq.master()),
+        Domain::Cameras => WorldConfig::small_cameras(catalog.entities.len(), seq.master()),
+    };
+    build_alias_universe_with(catalog, seq, &config)
+}
+
+/// Builds the alias universe for a catalog.
+///
+/// Insertion order encodes precedence (see [`AliasUniverse::insert`]):
+/// franchise and concept names go first so that an entity variant
+/// colliding with a broader name is shadowed rather than poisoning it.
+pub fn build_alias_universe_with(
+    catalog: &Catalog,
+    seq: &SeedSequence,
+    config: &WorldConfig,
+) -> AliasUniverse {
+    let mut rng = seq.rng("alias.universe");
+    let mut universe = AliasUniverse::new();
+
+    // 1. Hypernym surfaces: franchise names and nicknames.
+    for franchise in &catalog.franchises {
+        universe.insert(Alias {
+            text: franchise.name.clone(),
+            target: AliasTarget::Franchise(franchise.id),
+            relation: Relation::Hypernym,
+            source: AliasSource::FranchiseName,
+            weight: 1.0,
+        });
+        if let Some(nick) = &franchise.nickname {
+            universe.insert(Alias {
+                text: nick.clone(),
+                target: AliasTarget::Franchise(franchise.id),
+                relation: Relation::Hypernym,
+                source: AliasSource::FranchiseName,
+                weight: 1.5,
+            });
+        }
+    }
+
+    // 2. Related surfaces: concept names.
+    for concept in &catalog.concepts {
+        if concept.members.is_empty() {
+            continue;
+        }
+        universe.insert(Alias {
+            text: concept.name.clone(),
+            target: AliasTarget::Concept(concept.id),
+            relation: Relation::Related,
+            source: AliasSource::ConceptName,
+            weight: 1.0,
+        });
+    }
+
+    // 3. Entity surfaces.
+    let (w_lo, w_hi) = config.mechanical_weight_range;
+    for entity in &catalog.entities {
+        let target = AliasTarget::Entity(entity.id);
+        // Canonical. Its weight encodes how often users type the full
+        // data value — rarely, and almost never for cameras.
+        universe.insert(Alias {
+            text: entity.canonical_norm.clone(),
+            target,
+            relation: Relation::Synonym,
+            source: AliasSource::Canonical,
+            weight: config.canonical_weight,
+        });
+        // Mechanical variants.
+        let tokens = token_texts(&entity.canonical_norm);
+        for variant in websyn_text::abbrev::variants(&tokens) {
+            // Model-number tails ("350d") are the *preferred* camera
+            // surface, not a marginal variant.
+            let weight = if variant.kind == websyn_text::AbbrevKind::TailToken {
+                rng.gen_range(1.8..2.6)
+            } else {
+                rng.gen_range(w_lo..w_hi)
+            };
+            universe.insert(Alias {
+                text: variant.text,
+                target,
+                relation: Relation::Synonym,
+                source: AliasSource::Mechanical(variant.kind),
+                weight,
+            });
+        }
+    }
+
+    // 4. Planted semantic synonyms (nicknames, marketing names).
+    for planted in &catalog.planted {
+        universe.insert(Alias {
+            text: planted.text.clone(),
+            target: AliasTarget::Entity(planted.entity),
+            relation: Relation::Synonym,
+            source: planted.source,
+            weight: planted.weight,
+        });
+    }
+
+    // 5. Hyponym surfaces: aspect strings built on the entity's most
+    // popular synonym surface.
+    let domain = catalog.domain();
+    let aspects: &[AspectKind] = match domain {
+        Domain::Movies => &AspectKind::MOVIE_ASPECTS,
+        Domain::Cameras => &AspectKind::CAMERA_ASPECTS,
+    };
+    // Collect first to avoid borrowing `universe` while inserting.
+    let mut aspect_aliases = Vec::new();
+    for entity in &catalog.entities {
+        let base = universe
+            .of_entity(entity.id)
+            .filter(|a| a.relation == Relation::Synonym)
+            .max_by(|a, b| {
+                a.weight
+                    .partial_cmp(&b.weight)
+                    .expect("weights are finite")
+                    // Deterministic tie-break on text.
+                    .then_with(|| a.text.cmp(&b.text))
+            })
+            .map(|a| a.text.clone())
+            .unwrap_or_else(|| entity.canonical_norm.clone());
+        for &aspect in aspects {
+            aspect_aliases.push(Alias {
+                text: format!("{base} {}", aspect.suffix()),
+                target: AliasTarget::Entity(entity.id),
+                relation: Relation::Hyponym,
+                source: AliasSource::Aspect(aspect),
+                weight: 0.5,
+            });
+        }
+    }
+    for alias in aspect_aliases {
+        universe.insert(alias);
+    }
+
+    universe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_world() -> World {
+        World::build(&WorldConfig::small_movies(40, 5))
+    }
+
+    fn camera_world() -> World {
+        World::build(&WorldConfig::small_cameras(60, 5))
+    }
+
+    #[test]
+    fn build_produces_consistent_world() {
+        let w = movie_world();
+        assert_eq!(w.entities.len(), 40);
+        assert!(!w.pages.is_empty());
+        assert!(!w.aliases.is_empty());
+        assert!(!w.truth.is_empty());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = movie_world();
+        let b = movie_world();
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.aliases.len(), b.aliases.len());
+    }
+
+    #[test]
+    fn every_entity_has_canonical_and_some_synonyms() {
+        let w = movie_world();
+        let mut entities_with_synonyms = 0;
+        for e in &w.entities {
+            assert!(
+                w.aliases.get(&e.canonical_norm).is_some()
+                    || w.aliases.shadowed() > 0
+                    || w.aliases.ambiguous_dropped() > 0,
+                "canonical surface missing for {}",
+                e.canonical
+            );
+            if w.aliases.synonyms_of(e.id).next().is_some() {
+                entities_with_synonyms += 1;
+            }
+        }
+        // Most entities should have at least one non-canonical synonym
+        // surface. Short two-word standalone titles legitimately have
+        // none (their log synonyms arise from misspellings instead), so
+        // the bound is 70%, not 100%.
+        assert!(
+            entities_with_synonyms >= w.entities.len() * 7 / 10,
+            "{entities_with_synonyms}/{} entities have synonyms",
+            w.entities.len()
+        );
+    }
+
+    #[test]
+    fn franchise_names_are_hypernyms_not_synonyms() {
+        let w = movie_world();
+        for f in &w.franchises {
+            if let Some(alias) = w.aliases.get(&f.name) {
+                assert_eq!(alias.relation, Relation::Hypernym, "{}", f.name);
+                assert_eq!(alias.target, AliasTarget::Franchise(f.id));
+            }
+        }
+    }
+
+    #[test]
+    fn relation_oracle_works() {
+        let w = movie_world();
+        // Canonical is a synonym of its own entity.
+        let e0 = &w.entities[0];
+        assert_eq!(
+            w.relation_of(&e0.canonical_norm, e0.id),
+            Some(Relation::Synonym)
+        );
+        // ...and unrelated to a different entity.
+        let e1 = &w.entities[1];
+        assert_eq!(w.relation_of(&e0.canonical_norm, e1.id), None);
+        // Franchise name is a hypernym of members.
+        if let Some(f) = w.franchises.first() {
+            let member = f.members[0];
+            assert_eq!(w.relation_of(&f.name, member), Some(Relation::Hypernym));
+        }
+        // Unknown surface → None.
+        assert_eq!(w.relation_of("nonexistent query", e0.id), None);
+    }
+
+    #[test]
+    fn aspect_surfaces_are_hyponyms() {
+        let w = movie_world();
+        let hyponyms: Vec<&Alias> = w
+            .aliases
+            .iter()
+            .filter(|a| a.relation == Relation::Hyponym)
+            .collect();
+        assert!(!hyponyms.is_empty());
+        for h in hyponyms {
+            assert!(matches!(h.source, AliasSource::Aspect(_)));
+            assert!(matches!(h.target, AliasTarget::Entity(_)));
+        }
+    }
+
+    #[test]
+    fn camera_world_builds_with_marketing_synonyms() {
+        let w = camera_world();
+        let marketing = w
+            .aliases
+            .iter()
+            .filter(|a| a.source == AliasSource::Marketing)
+            .count();
+        assert!(marketing > 0, "no marketing aliases survived");
+        // Tail tokens are true synonyms.
+        let tails = w
+            .aliases
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.source,
+                    AliasSource::Mechanical(websyn_text::AbbrevKind::TailToken)
+                )
+            })
+            .count();
+        assert!(tails > w.entities.len() / 2, "tail tokens: {tails}");
+    }
+
+    #[test]
+    fn truth_and_universe_agree() {
+        let w = movie_world();
+        for alias in w.aliases.iter() {
+            let entry = w.truth.lookup(&alias.text).expect("truth entry");
+            assert_eq!(entry.target, alias.target);
+            assert_eq!(entry.relation, alias.relation);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WorldConfig")]
+    fn invalid_config_panics() {
+        let mut c = WorldConfig::small_movies(10, 1);
+        c.n_entities = 0;
+        let _ = World::build(&c);
+    }
+}

@@ -1,0 +1,291 @@
+//! Edit-distance metrics.
+//!
+//! Used by the edit-distance baseline (a Lucene-fuzzy-style comparator
+//! the paper's related work motivates), the typo channel's validation
+//! tests, and candidate diagnostics. All functions operate on `char`
+//! sequences (not bytes) so multi-byte text behaves correctly.
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+///
+/// Classic two-row dynamic program: O(|a|·|b|) time, O(min) space.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::levenshtein;
+///
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("indy", "indy"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity normalized into `[0, 1]`:
+/// `1 - distance / max_len`. Both-empty strings score 1.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Damerau–Levenshtein distance, optimal string alignment variant
+/// (adjacent transposition counts 1; no substring is edited twice).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut row0 = vec![0usize; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row2 = vec![0usize; m + 1];
+    for i in 1..=n {
+        row2[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(av[i - 1] != bv[j - 1]);
+            let mut d = (row1[j] + 1) // deletion
+                .min(row2[j - 1] + 1) // insertion
+                .min(row1[j - 1] + cost); // substitution
+            if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                d = d.min(row0[j - 2] + 1); // transposition
+            }
+            row2[j] = d;
+        }
+        std::mem::swap(&mut row0, &mut row1);
+        std::mem::swap(&mut row1, &mut row2);
+    }
+    row1[m]
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_used = vec![false; m];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(n.min(m));
+    for (i, &ac) in av.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        for j in lo..hi {
+            if !b_used[j] && bv[j] == ac {
+                b_used[j] = true;
+                a_matched.push(ac);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched characters.
+    let b_matched: Vec<char> = b_used
+        .iter()
+        .zip(bv.iter())
+        .filter_map(|(&used, &c)| used.then_some(c))
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m_f = matches as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64) / m_f) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by up to 4 chars of common
+/// prefix with scaling factor 0.1 (the standard parameters).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("indiana", "indiana"), 0);
+        assert_eq!(levenshtein("indy", "indi"), 1);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        for (a, b) in [("abc", "acb"), ("indy 4", "indiana jones 4"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn levenshtein_unicode_chars_not_bytes() {
+        // é is 2 bytes but 1 char; distance must be 1.
+        assert_eq!(levenshtein("pokemon", "pokémon"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("kitten", "sitting");
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("abcd", "abdc"), 1);
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        for (a, b) in [
+            ("indiana jones", "indianajones"),
+            ("canon eos", "cannon eso"),
+            ("abcdef", "badcfe"),
+            ("typo", "tpyo"),
+        ] {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        // Classic example: MARTHA vs MARHTA = 0.944...
+        let v = jaro("martha", "marhta");
+        assert!((v - 0.9444444).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let j = jaro("dixon", "dicksonx");
+        let jw = jaro_winkler("dixon", "dicksonx");
+        assert!(jw >= j);
+        // Classic value: jw(dixon, dicksonx) ≈ 0.8133
+        assert!((jw - 0.81333333).abs() < 1e-6, "got {jw}");
+    }
+
+    #[test]
+    fn jaro_winkler_bounds_and_symmetry() {
+        for (a, b) in [("indy", "indiana"), ("eos 350d", "350d"), ("", "")] {
+            let x = jaro_winkler(a, b);
+            let y = jaro_winkler(b, a);
+            assert!((0.0..=1.0).contains(&x));
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lev_symmetry(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn lev_identity(a in "[a-z]{0,16}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn lev_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc, "ac={} ab={} bc={}", ac, ab, bc);
+        }
+
+        #[test]
+        fn lev_bounded_by_longer(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = levenshtein(&a, &b);
+            let max = a.len().max(b.len());
+            let min = a.len().min(b.len());
+            prop_assert!(d <= max);
+            prop_assert!(d >= max - min);
+        }
+
+        #[test]
+        fn damerau_le_lev(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn jw_in_unit_interval(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let v = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+
+        #[test]
+        fn norm_lev_in_unit_interval(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let v = normalized_levenshtein(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # websyn-text
+//!
+//! Text substrate for the `websyn` workspace.
+//!
+//! Entity strings, Web queries and page text all pass through the same
+//! analysis chain before any matching happens, so this crate owns every
+//! string-level primitive the system needs:
+//!
+//! - [`normalize`](mod@normalize) — canonical
+//!   lowercase/punctuation/whitespace form, the equality domain for
+//!   query ↔ synonym matching;
+//! - [`tokenize`](mod@tokenize) — word/number token stream over
+//!   normalized text;
+//! - [`distance`] — Levenshtein, Damerau (OSA), Jaro and Jaro–Winkler
+//!   edit distances for the fuzzy baselines;
+//! - [`ngram`] — character/word n-grams and Jaccard/Dice/cosine/overlap
+//!   set similarities;
+//! - [`phonetic`] — Soundex codes for sound-alike candidate grouping;
+//! - [`numerals`] — roman ↔ arabic ↔ word numeral transforms
+//!   ("Indiana Jones IV" ↔ "Indiana Jones 4" ↔ "Indiana Jones Four");
+//! - [`abbrev`] — systematic abbreviation transforms (acronyms, subtitle
+//!   truncation, stopword dropping, `and` ↔ `&` ...), the generative
+//!   engine behind the synthetic alias universe;
+//! - [`typo`] — a QWERTY keyboard typo channel used by the query-stream
+//!   simulator.
+
+pub mod abbrev;
+pub mod distance;
+pub mod ngram;
+pub mod normalize;
+pub mod numerals;
+pub mod phonetic;
+pub mod tokenize;
+pub mod typo;
+
+pub use abbrev::AbbrevKind;
+pub use distance::{damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein};
+pub use ngram::{char_ngrams, cosine, dice, jaccard, overlap_coefficient, word_ngrams};
+pub use normalize::{normalize, NormalizeOptions};
+pub use numerals::{arabic_to_roman, arabic_to_words, roman_to_arabic, words_to_arabic};
+pub use phonetic::soundex;
+pub use tokenize::{tokenize, Token, TokenKind};
+pub use typo::TypoModel;

@@ -1,0 +1,244 @@
+//! N-grams and set similarities.
+//!
+//! Character n-grams back the fuzzy string baseline (Lucene-style
+//! trigram matching); word n-grams back the query segmenter. The set
+//! similarities (Jaccard, Dice, cosine, overlap) are shared by baselines
+//! and diagnostics.
+
+use websyn_common::FxHashSet;
+
+/// Character `n`-grams of `s`, with `#` padding on both ends
+/// (`n-1` pad characters), the standard trick so that prefixes and
+/// suffixes contribute distinguishable grams.
+///
+/// Returns an empty vec for `n == 0`; for non-empty `s`, always returns
+/// at least one gram.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::char_ngrams;
+///
+/// let grams = char_ngrams("ab", 2);
+/// assert_eq!(grams, vec!["#a".to_string(), "ab".into(), "b#".into()]);
+/// ```
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    let pad = n - 1;
+    let mut padded = Vec::with_capacity(chars.len() + 2 * pad);
+    padded.extend(std::iter::repeat_n('#', pad));
+    padded.extend_from_slice(&chars);
+    padded.extend(std::iter::repeat_n('#', pad));
+    padded
+        .windows(n)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Word `n`-grams over a pre-tokenized sequence. No padding: returns an
+/// empty vec when there are fewer than `n` words.
+pub fn word_ngrams<'a>(words: &[&'a str], n: usize) -> Vec<Vec<&'a str>> {
+    if n == 0 || words.len() < n {
+        return Vec::new();
+    }
+    words.windows(n).map(|w| w.to_vec()).collect()
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two gram multiset-collapsed
+/// sets. Both-empty inputs score 1.
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    let sa: FxHashSet<&T> = a.iter().collect();
+    let sb: FxHashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Sørensen–Dice coefficient `2|A ∩ B| / (|A| + |B|)`.
+/// Both-empty inputs score 1.
+pub fn dice<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    let sa: FxHashSet<&T> = a.iter().collect();
+    let sb: FxHashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Set cosine similarity `|A ∩ B| / sqrt(|A|·|B|)`.
+/// Both-empty inputs score 1; one-empty scores 0.
+pub fn cosine<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    let sa: FxHashSet<&T> = a.iter().collect();
+    let sb: FxHashSet<&T> = b.iter().collect();
+    match (sa.is_empty(), sb.is_empty()) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        _ => {
+            let inter = sa.intersection(&sb).count();
+            inter as f64 / ((sa.len() as f64) * (sb.len() as f64)).sqrt()
+        }
+    }
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`.
+/// Both-empty inputs score 1; one-empty scores 0.
+pub fn overlap_coefficient<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    let sa: FxHashSet<&T> = a.iter().collect();
+    let sb: FxHashSet<&T> = b.iter().collect();
+    match (sa.is_empty(), sb.is_empty()) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        _ => {
+            let inter = sa.intersection(&sb).count();
+            inter as f64 / sa.len().min(sb.len()) as f64
+        }
+    }
+}
+
+/// Trigram Jaccard similarity of two strings — the workhorse of the
+/// fuzzy string baseline.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    jaccard(&char_ngrams(a, 3), &char_ngrams(b, 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_ngrams_with_padding() {
+        assert_eq!(char_ngrams("abc", 2), vec!["#a", "ab", "bc", "c#"]);
+        assert_eq!(
+            char_ngrams("ab", 3),
+            vec!["##a", "#ab", "ab#", "b##"]
+        );
+    }
+
+    #[test]
+    fn char_ngrams_unigrams_have_no_padding() {
+        assert_eq!(char_ngrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn char_ngrams_edge_cases() {
+        assert!(char_ngrams("", 3).is_empty());
+        assert!(char_ngrams("abc", 0).is_empty());
+        // Single char with n=2: padded to "#a", "a#".
+        assert_eq!(char_ngrams("a", 2), vec!["#a", "a#"]);
+    }
+
+    #[test]
+    fn word_ngrams_windows() {
+        let words = ["indiana", "jones", "4"];
+        let bi = word_ngrams(&words, 2);
+        assert_eq!(bi, vec![vec!["indiana", "jones"], vec!["jones", "4"]]);
+        assert!(word_ngrams(&words, 4).is_empty());
+        assert!(word_ngrams(&words, 0).is_empty());
+    }
+
+    #[test]
+    fn jaccard_known() {
+        assert_eq!(jaccard::<u32>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        assert_eq!(jaccard(&[1, 1, 2], &[1, 2, 2]), 1.0);
+    }
+
+    #[test]
+    fn dice_known() {
+        assert_eq!(dice::<u32>(&[], &[]), 1.0);
+        assert_eq!(dice(&[1, 2], &[1, 2]), 1.0);
+        assert!((dice(&[1, 2, 3], &[2, 3, 4]) - (4.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_known() {
+        assert_eq!(cosine::<u32>(&[], &[]), 1.0);
+        assert_eq!(cosine::<u32>(&[], &[1]), 0.0);
+        assert_eq!(cosine(&[1, 2], &[1, 2]), 1.0);
+        let v = cosine(&[1, 2, 3, 4], &[3, 4]);
+        assert!((v - 2.0 / (4.0f64 * 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_known() {
+        assert_eq!(overlap_coefficient::<u32>(&[], &[]), 1.0);
+        assert_eq!(overlap_coefficient(&[1, 2, 3], &[2, 3]), 1.0);
+        assert_eq!(overlap_coefficient(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn trigram_similarity_behaviour() {
+        assert_eq!(trigram_similarity("indiana", "indiana"), 1.0);
+        let near = trigram_similarity("indiana", "indianna");
+        let far = trigram_similarity("indiana", "harrison");
+        assert!(near > far);
+        assert!(near > 0.5);
+        assert!(far < 0.2);
+    }
+
+    #[test]
+    fn dice_geq_jaccard() {
+        // Dice ≥ Jaccard always (2j/(1+j) ≥ j for j in [0,1]).
+        for (a, b) in [
+            (vec![1, 2, 3], vec![2, 3, 4]),
+            (vec![1], vec![1]),
+            (vec![1, 2], vec![3]),
+        ] {
+            assert!(dice(&a, &b) >= jaccard(&a, &b) - 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn similarities_in_unit_interval(
+            a in proptest::collection::vec(0u8..16, 0..12),
+            b in proptest::collection::vec(0u8..16, 0..12),
+        ) {
+            for v in [jaccard(&a, &b), dice(&a, &b), cosine(&a, &b), overlap_coefficient(&a, &b)] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "v={}", v);
+            }
+        }
+
+        #[test]
+        fn jaccard_symmetric(
+            a in proptest::collection::vec(0u8..16, 0..12),
+            b in proptest::collection::vec(0u8..16, 0..12),
+        ) {
+            prop_assert!((jaccard(&a, &b) - jaccard(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn ngram_count_formula(s in "[a-z]{1,20}", n in 1usize..5) {
+            // With n-1 padding both sides: count = len + n - 1.
+            let count = char_ngrams(&s, n).len();
+            prop_assert_eq!(count, s.len() + n - 1);
+        }
+
+        #[test]
+        fn identical_strings_score_one(s in "[a-z]{0,16}") {
+            prop_assert!((trigram_similarity(&s, &s) - 1.0).abs() < 1e-12);
+        }
+    }
+}

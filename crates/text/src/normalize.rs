@@ -1,0 +1,257 @@
+//! String normalization.
+//!
+//! All matching in the workspace happens over a *canonical form*: a
+//! lowercase string with punctuation mapped to spaces, diacritics
+//! folded to ASCII for the Latin-1 range, and whitespace collapsed.
+//! Two raw strings are treated as the same query/synonym surface iff
+//! their canonical forms are byte-equal.
+//!
+//! The canonical form is intentionally lossy — "Madagascar: Escape 2
+//! Africa", "madagascar escape 2 africa" and "MADAGASCAR — Escape 2
+//! Africa!" all normalize identically, which is exactly the equivalence
+//! a query log exhibits.
+
+/// Options controlling [`normalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOptions {
+    /// Fold common Latin-1 diacritics to ASCII (`é` → `e`).
+    pub fold_diacritics: bool,
+    /// Treat `&` as the word `and` (so "Fast & Furious" equals
+    /// "fast and furious").
+    pub ampersand_to_and: bool,
+    /// Drop English possessive markers (`'s` → ``, "schindler's" →
+    /// "schindlers").
+    pub strip_possessive: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        Self {
+            fold_diacritics: true,
+            ampersand_to_and: true,
+            strip_possessive: true,
+        }
+    }
+}
+
+/// Normalizes `input` with [`NormalizeOptions::default`].
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::normalize;
+///
+/// assert_eq!(
+///     normalize("Madagascar: Escape 2 Africa!"),
+///     "madagascar escape 2 africa"
+/// );
+/// assert_eq!(normalize("Fast & Furious"), "fast and furious");
+/// assert_eq!(normalize("  WALL·E  "), "wall e");
+/// ```
+pub fn normalize(input: &str) -> String {
+    normalize_with(input, NormalizeOptions::default())
+}
+
+/// Normalizes `input` under explicit options.
+pub fn normalize_with(input: &str, opts: NormalizeOptions) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut pending_space = false;
+    let mut chars = input.chars().peekable();
+
+    // Push a word-character, inserting exactly one separating space if a
+    // break is pending and the output is non-empty.
+    let push = |out: &mut String, c: char, pending: &mut bool| {
+        if *pending && !out.is_empty() {
+            out.push(' ');
+        }
+        *pending = false;
+        out.push(c);
+    };
+
+    while let Some(c) = chars.next() {
+        // Possessive: apostrophe followed by s + word boundary.
+        if opts.strip_possessive && (c == '\'' || c == '\u{2019}') {
+            if let Some(&next) = chars.peek() {
+                if next == 's' || next == 'S' {
+                    // Look one past the 's'; only treat as possessive if
+                    // the 's' ends the word.
+                    let mut look = chars.clone();
+                    look.next();
+                    let boundary = look
+                        .peek()
+                        .is_none_or(|&c2| !c2.is_alphanumeric());
+                    if boundary {
+                        chars.next(); // consume the 's'
+                        push(&mut out, 's', &mut pending_space);
+                        continue;
+                    }
+                }
+            }
+            // Bare apostrophe inside a word: drop it entirely
+            // ("don't" → "dont"), matching query-log behaviour.
+            continue;
+        }
+
+        if c == '&' && opts.ampersand_to_and {
+            pending_space = true; // break from the preceding word: "AT&T" → "at and t"
+            for ch in "and".chars() {
+                push(&mut out, ch, &mut pending_space);
+            }
+            pending_space = true;
+            continue;
+        }
+
+        let folded = if opts.fold_diacritics { fold_char(c) } else { c };
+        match folded {
+            c if c.is_alphanumeric() => {
+                for lc in c.to_lowercase() {
+                    push(&mut out, lc, &mut pending_space);
+                }
+            }
+            // Everything else — punctuation, symbols, whitespace — is a
+            // word break.
+            _ => pending_space = true,
+        }
+    }
+    out
+}
+
+/// Folds common Latin-1 / Latin Extended-A diacritics to ASCII. Leaves
+/// anything outside that range untouched.
+pub fn fold_char(c: char) -> char {
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => 'a',
+        'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' | 'Ā' => 'A',
+        'ç' | 'ć' | 'č' => 'c',
+        'Ç' | 'Ć' | 'Č' => 'C',
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' => 'e',
+        'È' | 'É' | 'Ê' | 'Ë' | 'Ē' => 'E',
+        'ì' | 'í' | 'î' | 'ï' | 'ī' | 'į' => 'i',
+        'Ì' | 'Í' | 'Î' | 'Ï' => 'I',
+        'ñ' | 'ń' | 'ň' => 'n',
+        'Ñ' | 'Ń' => 'N',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ő' => 'o',
+        'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' => 'O',
+        'ù' | 'ú' | 'û' | 'ü' | 'ū' | 'ů' => 'u',
+        'Ù' | 'Ú' | 'Û' | 'Ü' => 'U',
+        'ý' | 'ÿ' => 'y',
+        'Ý' => 'Y',
+        'ž' | 'ź' | 'ż' => 'z',
+        'Ž' | 'Ź' | 'Ż' => 'Z',
+        'ß' => 's', // lossy but sufficient for matching
+        other => other,
+    }
+}
+
+/// English stopwords relevant to title-style strings. Kept short on
+/// purpose: aggressive stopword removal destroys entity names
+/// ("The Dark Knight" must not become "dark knight" in the *canonical*
+/// form — stopword dropping is an *alias transform*, see `abbrev`).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "at", "by", "for", "from", "in", "of", "on", "or", "the", "to", "with",
+];
+
+/// True if `word` (already normalized) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punct() {
+        assert_eq!(normalize("Indiana Jones 4"), "indiana jones 4");
+        assert_eq!(
+            normalize("Indiana Jones: The Kingdom!"),
+            "indiana jones the kingdom"
+        );
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize("  a   b\t c \n"), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+        assert_eq!(normalize("---"), "");
+    }
+
+    #[test]
+    fn ampersand_becomes_and() {
+        assert_eq!(normalize("Fast & Furious"), "fast and furious");
+        assert_eq!(normalize("AT&T"), "at and t");
+        let opts = NormalizeOptions {
+            ampersand_to_and: false,
+            ..Default::default()
+        };
+        assert_eq!(normalize_with("Fast & Furious", opts), "fast furious");
+    }
+
+    #[test]
+    fn possessives_fold() {
+        assert_eq!(normalize("Schindler's List"), "schindlers list");
+        assert_eq!(normalize("Ocean’s Eleven"), "oceans eleven");
+        // 's mid-word is not possessive.
+        assert_eq!(normalize("whatsup"), "whatsup");
+        // don't → dont (apostrophe dropped).
+        assert_eq!(normalize("don't"), "dont");
+    }
+
+    #[test]
+    fn diacritics_fold() {
+        assert_eq!(normalize("Pokémon"), "pokemon");
+        assert_eq!(normalize("Les Misérables"), "les miserables");
+        assert_eq!(normalize("Björk"), "bjork");
+    }
+
+    #[test]
+    fn diacritics_kept_when_disabled() {
+        let opts = NormalizeOptions {
+            fold_diacritics: false,
+            ..Default::default()
+        };
+        assert_eq!(normalize_with("Pokémon", opts), "pokémon");
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(normalize("Canon EOS 350D"), "canon eos 350d");
+        assert_eq!(normalize("2 Fast 2 Furious"), "2 fast 2 furious");
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in [
+            "Madagascar: Escape 2 Africa",
+            "Fast & Furious",
+            "Schindler's List",
+            "Pokémon",
+            "  odd   spacing  ",
+        ] {
+            let once = normalize(s);
+            assert_eq!(normalize(&once), once, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn interpunct_and_dashes_break_words() {
+        assert_eq!(normalize("WALL·E"), "wall e");
+        assert_eq!(normalize("Spider-Man"), "spider man");
+        assert_eq!(normalize("Mad Max — Fury Road"), "mad max fury road");
+    }
+
+    #[test]
+    fn stopword_table() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("of"));
+        assert!(!is_stopword("kingdom"));
+        assert!(!is_stopword(""));
+    }
+
+    #[test]
+    fn leading_punctuation_produces_no_leading_space() {
+        assert_eq!(normalize(":colon first"), "colon first");
+        assert_eq!(normalize("...ellipsis"), "ellipsis");
+    }
+}

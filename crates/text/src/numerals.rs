@@ -1,0 +1,258 @@
+//! Numeral transforms: roman ↔ arabic ↔ English words.
+//!
+//! Sequel naming is the single most productive source of movie-title
+//! synonymy ("Indiana Jones IV" / "Indiana Jones 4" / "Indiana Jones
+//! Four"), so the alias generator needs reliable conversions in every
+//! direction. Ranges are bounded to what titles actually use
+//! (1..=3999 for roman; 0..=99 for words) — larger values are a caller
+//! bug, reported with `None`.
+
+/// Converts an arabic number in `1..=3999` to uppercase roman numerals.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::arabic_to_roman;
+///
+/// assert_eq!(arabic_to_roman(4).as_deref(), Some("IV"));
+/// assert_eq!(arabic_to_roman(1998).as_deref(), Some("MCMXCVIII"));
+/// assert_eq!(arabic_to_roman(0), None);
+/// ```
+pub fn arabic_to_roman(mut n: u32) -> Option<String> {
+    if n == 0 || n > 3999 {
+        return None;
+    }
+    const TABLE: &[(u32, &str)] = &[
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(value, glyph) in TABLE {
+        while n >= value {
+            out.push_str(glyph);
+            n -= value;
+        }
+    }
+    Some(out)
+}
+
+/// Parses a roman numeral (case-insensitive) in `1..=3999`. Rejects
+/// malformed sequences ("IIII", "IC", "VX", empty).
+pub fn roman_to_arabic(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    let digit = |c: char| -> Option<u32> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(1),
+            'V' => Some(5),
+            'X' => Some(10),
+            'L' => Some(50),
+            'C' => Some(100),
+            'D' => Some(500),
+            'M' => Some(1000),
+            _ => None,
+        }
+    };
+    let values: Option<Vec<u32>> = s.chars().map(digit).collect();
+    let values = values?;
+    let mut total: u32 = 0;
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        if i + 1 < values.len() && values[i + 1] > v {
+            total = total.checked_add(values[i + 1] - v)?;
+            i += 2;
+        } else {
+            total = total.checked_add(v)?;
+            i += 1;
+        }
+    }
+    // Canonical-form check: re-encoding must reproduce the input. This
+    // rejects "IIII", "IC", "XM", "VX" etc. in one stroke.
+    let canonical = arabic_to_roman(total)?;
+    (canonical.eq_ignore_ascii_case(s)).then_some(total)
+}
+
+const ONES: [&str; 20] = [
+    "zero",
+    "one",
+    "two",
+    "three",
+    "four",
+    "five",
+    "six",
+    "seven",
+    "eight",
+    "nine",
+    "ten",
+    "eleven",
+    "twelve",
+    "thirteen",
+    "fourteen",
+    "fifteen",
+    "sixteen",
+    "seventeen",
+    "eighteen",
+    "nineteen",
+];
+const TENS: [&str; 10] = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+];
+
+/// Converts `0..=99` to English words (hyphenless, lowercase:
+/// "twenty one"), matching query-style text.
+pub fn arabic_to_words(n: u32) -> Option<String> {
+    match n {
+        0..=19 => Some(ONES[n as usize].to_string()),
+        20..=99 => {
+            let t = TENS[(n / 10) as usize];
+            let o = n % 10;
+            if o == 0 {
+                Some(t.to_string())
+            } else {
+                Some(format!("{t} {}", ONES[o as usize]))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parses English number words in `0..=99` ("seven", "twenty one",
+/// "twenty-one"). Case-insensitive.
+pub fn words_to_arabic(s: &str) -> Option<u32> {
+    let cleaned = s.trim().to_ascii_lowercase().replace('-', " ");
+    let parts: Vec<&str> = cleaned.split_whitespace().collect();
+    match parts.as_slice() {
+        [one] => {
+            if let Some(i) = ONES.iter().position(|w| w == one) {
+                return Some(i as u32);
+            }
+            TENS.iter()
+                .position(|w| !w.is_empty() && w == one)
+                .map(|i| (i * 10) as u32)
+        }
+        [ten, one] => {
+            let t = TENS.iter().position(|w| !w.is_empty() && w == ten)?;
+            let o = ONES.iter().position(|w| w == one)?;
+            (1..=9).contains(&o).then_some((t * 10 + o) as u32)
+        }
+        _ => None,
+    }
+}
+
+/// True iff `s` parses as a roman numeral. Convenience for token
+/// classification in alias transforms.
+pub fn is_roman(s: &str) -> bool {
+    roman_to_arabic(s).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roman_small_values() {
+        let expect = [
+            (1, "I"),
+            (2, "II"),
+            (3, "III"),
+            (4, "IV"),
+            (5, "V"),
+            (6, "VI"),
+            (9, "IX"),
+            (10, "X"),
+            (14, "XIV"),
+            (40, "XL"),
+            (90, "XC"),
+            (400, "CD"),
+            (900, "CM"),
+            (3999, "MMMCMXCIX"),
+        ];
+        for (n, r) in expect {
+            assert_eq!(arabic_to_roman(n).as_deref(), Some(r), "n={n}");
+            assert_eq!(roman_to_arabic(r), Some(n), "r={r}");
+        }
+    }
+
+    #[test]
+    fn roman_out_of_range() {
+        assert_eq!(arabic_to_roman(0), None);
+        assert_eq!(arabic_to_roman(4000), None);
+    }
+
+    #[test]
+    fn roman_parse_case_insensitive() {
+        assert_eq!(roman_to_arabic("iv"), Some(4));
+        assert_eq!(roman_to_arabic("Xiv"), Some(14));
+    }
+
+    #[test]
+    fn roman_rejects_malformed() {
+        for bad in ["", "IIII", "IC", "VX", "XM", "IL", "MMMM", "ABC", "IVI"] {
+            assert_eq!(roman_to_arabic(bad), None, "bad={bad}");
+        }
+    }
+
+    #[test]
+    fn roman_roundtrip_full_range() {
+        for n in 1..=3999 {
+            let r = arabic_to_roman(n).unwrap();
+            assert_eq!(roman_to_arabic(&r), Some(n), "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn words_basic() {
+        assert_eq!(arabic_to_words(0).as_deref(), Some("zero"));
+        assert_eq!(arabic_to_words(7).as_deref(), Some("seven"));
+        assert_eq!(arabic_to_words(15).as_deref(), Some("fifteen"));
+        assert_eq!(arabic_to_words(20).as_deref(), Some("twenty"));
+        assert_eq!(arabic_to_words(21).as_deref(), Some("twenty one"));
+        assert_eq!(arabic_to_words(99).as_deref(), Some("ninety nine"));
+        assert_eq!(arabic_to_words(100), None);
+    }
+
+    #[test]
+    fn words_parse() {
+        assert_eq!(words_to_arabic("seven"), Some(7));
+        assert_eq!(words_to_arabic("Twenty One"), Some(21));
+        assert_eq!(words_to_arabic("twenty-one"), Some(21));
+        assert_eq!(words_to_arabic("ninety"), Some(90));
+        assert_eq!(words_to_arabic("zero"), Some(0));
+        assert_eq!(words_to_arabic(""), None);
+        assert_eq!(words_to_arabic("twenty zero"), None);
+        assert_eq!(words_to_arabic("hello"), None);
+        assert_eq!(words_to_arabic("one two three"), None);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        for n in 0..=99 {
+            let w = arabic_to_words(n).unwrap();
+            assert_eq!(words_to_arabic(&w), Some(n), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn is_roman_classifier() {
+        assert!(is_roman("IV"));
+        assert!(is_roman("xiv"));
+        assert!(!is_roman("4"));
+        assert!(!is_roman("indy"));
+        // Single letters that are valid numerals:
+        assert!(is_roman("i"));
+        assert!(is_roman("x"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Phonetic codes.
+//!
+//! Soundex groups sound-alike words ("jones"/"johns"), used by the
+//! synthetic misspelling model and as a feature of the edit-distance
+//! baseline (fuzzy matchers commonly union trigram and phonetic
+//! blocking).
+
+/// American Soundex code of `word` (letter + 3 digits, zero padded),
+/// or `None` if the word contains no ASCII letter.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::soundex;
+///
+/// assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+/// assert_eq!(soundex("42"), None);
+/// ```
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let &first = letters.first()?;
+
+    let code_of = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // 0 marks vowels/ignored letters (A E I O U Y H W).
+            _ => 0,
+        }
+    };
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut prev_code = code_of(first);
+    let mut i = 1;
+    while out.len() < 4 && i < letters.len() {
+        let c = letters[i];
+        let code = code_of(c);
+        // H and W are transparent: they do not reset prev_code, so
+        // consonants with the same code separated by H/W collapse.
+        if c == 'H' || c == 'W' {
+            i += 1;
+            continue;
+        }
+        if code != 0 && code != prev_code {
+            out.push(char::from(b'0' + code));
+        }
+        prev_code = code;
+        i += 1;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+/// True iff two words share a Soundex code (both must be encodable).
+pub fn sounds_like(a: &str, b: &str) -> bool {
+    matches!((soundex(a), soundex(b)), (Some(x), Some(y)) if x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        // Reference values from the Soundex specification (US census).
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn short_words_zero_pad() {
+        assert_eq!(soundex("a").as_deref(), Some("A000"));
+        assert_eq!(soundex("at").as_deref(), Some("A300"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("JONES"), soundex("jones"));
+    }
+
+    #[test]
+    fn non_letters_rejected_or_skipped() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("o'brien"), soundex("obrien"));
+    }
+
+    #[test]
+    fn double_letters_collapse() {
+        assert_eq!(soundex("Gutierrez").as_deref(), Some("G362"));
+        assert_eq!(soundex("Jackson").as_deref(), Some("J250"));
+    }
+
+    #[test]
+    fn sounds_like_pairs() {
+        assert!(sounds_like("jones", "johns"));
+        assert!(sounds_like("smith", "smyth"));
+        assert!(!sounds_like("jones", "ford"));
+        assert!(!sounds_like("", "jones"));
+    }
+
+    #[test]
+    fn code_shape() {
+        for w in ["madagascar", "indiana", "kingdom", "crystal", "skull"] {
+            let code = soundex(w).unwrap();
+            assert_eq!(code.len(), 4);
+            assert!(code.chars().next().unwrap().is_ascii_uppercase());
+            assert!(code.chars().skip(1).all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Tokenization over normalized text.
+//!
+//! Tokens are the unit the inverted index, the alias transforms and the
+//! query segmenter all operate on. The tokenizer assumes
+//! [`normalize`](crate::normalize::normalize)d input (single spaces,
+//! lowercase, alphanumeric words) but tolerates raw input by skipping
+//! non-alphanumeric runs.
+
+use std::fmt;
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Purely alphabetic word, e.g. `jones`.
+    Word,
+    /// Purely numeric run, e.g. `350`.
+    Number,
+    /// Mixed alphanumeric, e.g. `350d`, `x2`.
+    Alphanumeric,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token<'a> {
+    /// The token text (a slice of the input).
+    pub text: &'a str,
+    /// Byte offset of the token start in the input.
+    pub start: usize,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+impl fmt::Display for Token<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl<'a> Token<'a> {
+    /// Byte offset one past the token end.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+}
+
+/// Splits `input` into alphanumeric tokens.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::{tokenize, TokenKind};
+///
+/// let toks = tokenize("canon eos 350d");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+/// assert_eq!(texts, vec!["canon", "eos", "350d"]);
+/// assert_eq!(toks[2].kind, TokenKind::Alphanumeric);
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    let mut start = None;
+    let mut has_alpha = false;
+    let mut has_digit = false;
+
+    fn flush<'a>(
+        tokens: &mut Vec<Token<'a>>,
+        input: &'a str,
+        start: usize,
+        end: usize,
+        has_alpha: bool,
+        has_digit: bool,
+    ) {
+        let kind = match (has_alpha, has_digit) {
+            (true, true) => TokenKind::Alphanumeric,
+            (false, true) => TokenKind::Number,
+            _ => TokenKind::Word,
+        };
+        tokens.push(Token {
+            text: &input[start..end],
+            start,
+            kind,
+        });
+    }
+
+    for (i, c) in input.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+                has_alpha = false;
+                has_digit = false;
+            }
+            if c.is_ascii_digit() {
+                has_digit = true;
+            } else {
+                has_alpha = true;
+            }
+        } else if let Some(s) = start.take() {
+            flush(&mut tokens, input, s, i, has_alpha, has_digit);
+        }
+    }
+    if let Some(s) = start {
+        flush(&mut tokens, input, s, input.len(), has_alpha, has_digit);
+    }
+    tokens
+}
+
+/// Convenience: token texts only.
+pub fn token_texts(input: &str) -> Vec<&str> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+/// Joins tokens back into a canonical single-spaced string.
+pub fn join_tokens(tokens: &[&str]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_words() {
+        let t = token_texts("indiana jones 4");
+        assert_eq!(t, vec!["indiana", "jones", "4"]);
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let toks = tokenize("eos 350 350d");
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[1].kind, TokenKind::Number);
+        assert_eq!(toks[2].kind, TokenKind::Alphanumeric);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let input = "mad max 2";
+        let toks = tokenize(input);
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end(), 3);
+        assert_eq!(toks[1].start, 4);
+        assert_eq!(toks[2].start, 8);
+        for t in &toks {
+            assert_eq!(&input[t.start..t.end()], t.text);
+        }
+    }
+
+    #[test]
+    fn raw_input_with_punctuation() {
+        let t = token_texts("Spider-Man: Homecoming!");
+        assert_eq!(t, vec!["Spider", "Man", "Homecoming"]);
+    }
+
+    #[test]
+    fn empty_and_noise_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+        assert!(tokenize("!!!").is_empty());
+    }
+
+    #[test]
+    fn trailing_token_is_flushed() {
+        let t = token_texts("end token");
+        assert_eq!(t, vec!["end", "token"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        let t = token_texts("pokémon go");
+        assert_eq!(t, vec!["pokémon", "go"]);
+    }
+
+    #[test]
+    fn join_roundtrip_on_normalized() {
+        let input = "canon eos 350d";
+        assert_eq!(join_tokens(&token_texts(input)), input);
+    }
+
+    #[test]
+    fn display_prints_text() {
+        let toks = tokenize("abc");
+        assert_eq!(toks[0].to_string(), "abc");
+    }
+}

@@ -1,0 +1,305 @@
+//! QWERTY keyboard typo channel.
+//!
+//! The query-stream simulator corrupts a fraction of issued queries the
+//! way real users do: adjacent-key substitutions, dropped letters,
+//! doubled letters and adjacent transpositions. The channel is
+//! parameterized by a per-character error rate and is fully
+//! deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Typo operation applied to a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypoOp {
+    /// Replace a character with a keyboard neighbour.
+    Substitute,
+    /// Delete a character.
+    Delete,
+    /// Insert (double) a character.
+    Insert,
+    /// Swap two adjacent characters.
+    Transpose,
+}
+
+/// A configurable keyboard typo generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypoModel {
+    /// Probability that a given query gets at least one typo.
+    pub query_error_rate: f64,
+    /// Relative weight of each operation (substitute, delete, insert,
+    /// transpose); need not sum to 1.
+    pub op_weights: [f64; 4],
+}
+
+impl Default for TypoModel {
+    fn default() -> Self {
+        Self {
+            // Roughly in line with published query-log spelling studies:
+            // ~10-15% of queries contain a misspelling.
+            query_error_rate: 0.12,
+            op_weights: [0.45, 0.25, 0.15, 0.15],
+        }
+    }
+}
+
+/// QWERTY adjacency for lowercase letters and digits.
+fn neighbours(c: char) -> &'static str {
+    match c {
+        'q' => "wa",
+        'w' => "qes",
+        'e' => "wrd",
+        'r' => "etf",
+        't' => "ryg",
+        'y' => "tuh",
+        'u' => "yij",
+        'i' => "uok",
+        'o' => "ipl",
+        'p' => "ol",
+        'a' => "qsz",
+        's' => "awdxz",
+        'd' => "sefcx",
+        'f' => "drgvc",
+        'g' => "fthbv",
+        'h' => "gyjnb",
+        'j' => "hukmn",
+        'k' => "jilm",
+        'l' => "kop",
+        'z' => "asx",
+        'x' => "zsdc",
+        'c' => "xdfv",
+        'v' => "cfgb",
+        'b' => "vghn",
+        'n' => "bhjm",
+        'm' => "njk",
+        '0' => "9",
+        '1' => "2",
+        '2' => "13",
+        '3' => "24",
+        '4' => "35",
+        '5' => "46",
+        '6' => "57",
+        '7' => "68",
+        '8' => "79",
+        '9' => "80",
+        _ => "",
+    }
+}
+
+impl TypoModel {
+    /// Creates a model with the given per-query error rate and default
+    /// operation weights.
+    pub fn with_rate(query_error_rate: f64) -> Self {
+        Self {
+            query_error_rate,
+            ..Default::default()
+        }
+    }
+
+    /// Possibly corrupts `input`: with probability `query_error_rate`
+    /// applies exactly one typo operation at a random position. Returns
+    /// `None` when the string passes through clean (the common case) or
+    /// cannot be corrupted (too short / no letters).
+    pub fn corrupt<R: Rng + ?Sized>(&self, input: &str, rng: &mut R) -> Option<String> {
+        if input.is_empty() || !rng.gen_bool(self.query_error_rate.clamp(0.0, 1.0)) {
+            return None;
+        }
+        self.apply_one(input, rng)
+    }
+
+    /// Unconditionally applies one typo operation. Returns `None` only
+    /// if no operation is applicable (e.g. single space-free char that
+    /// is not on the keyboard map).
+    pub fn apply_one<R: Rng + ?Sized>(&self, input: &str, rng: &mut R) -> Option<String> {
+        let chars: Vec<char> = input.chars().collect();
+        // Only corrupt inside words: candidate positions are
+        // alphanumeric characters.
+        let positions: Vec<usize> = chars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_alphanumeric().then_some(i))
+            .collect();
+        if positions.is_empty() {
+            return None;
+        }
+        // Try ops in weighted random order until one applies.
+        let mut order = self.weighted_op_order(rng);
+        // Fall back to remaining ops deterministically so that a valid
+        // op is found whenever one exists.
+        for _ in 0..4 {
+            let op = order.next().expect("cycle of 4 ops");
+            let pos = positions[rng.gen_range(0..positions.len())];
+            if let Some(s) = apply_op(&chars, op, pos, rng) {
+                if s != input {
+                    return Some(s);
+                }
+            }
+        }
+        None
+    }
+
+    /// An infinite weighted-shuffled cycle over the four ops.
+    fn weighted_op_order<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> impl Iterator<Item = TypoOp> + '_ {
+        const OPS: [TypoOp; 4] = [
+            TypoOp::Substitute,
+            TypoOp::Delete,
+            TypoOp::Insert,
+            TypoOp::Transpose,
+        ];
+        let total: f64 = self.op_weights.iter().sum();
+        let mut u = if total > 0.0 {
+            rng.gen_range(0.0..total)
+        } else {
+            0.0
+        };
+        let mut first = 0;
+        for (i, &w) in self.op_weights.iter().enumerate() {
+            if u < w {
+                first = i;
+                break;
+            }
+            u -= w;
+        }
+        (0..).map(move |k| OPS[(first + k) % 4])
+    }
+}
+
+fn apply_op<R: Rng + ?Sized>(
+    chars: &[char],
+    op: TypoOp,
+    pos: usize,
+    rng: &mut R,
+) -> Option<String> {
+    let mut out: Vec<char> = chars.to_vec();
+    match op {
+        TypoOp::Substitute => {
+            let c = chars[pos].to_ascii_lowercase();
+            let nb = neighbours(c);
+            if nb.is_empty() {
+                return None;
+            }
+            let nb_chars: Vec<char> = nb.chars().collect();
+            out[pos] = nb_chars[rng.gen_range(0..nb_chars.len())];
+        }
+        TypoOp::Delete => {
+            // Deleting the only character of a 1-char string would make
+            // it empty; disallow.
+            if chars.len() <= 1 {
+                return None;
+            }
+            out.remove(pos);
+        }
+        TypoOp::Insert => {
+            out.insert(pos, chars[pos]); // doubled letter
+        }
+        TypoOp::Transpose => {
+            // Need an alphanumeric successor.
+            if pos + 1 >= chars.len() || !chars[pos + 1].is_alphanumeric() {
+                return None;
+            }
+            out.swap(pos, pos + 1);
+        }
+    }
+    Some(out.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::SeedSequence;
+
+    fn rng() -> rand::rngs::SmallRng {
+        SeedSequence::new(77).rng("typo-tests")
+    }
+
+    #[test]
+    fn zero_rate_never_corrupts() {
+        let model = TypoModel::with_rate(0.0);
+        let mut r = rng();
+        for _ in 0..64 {
+            assert_eq!(model.corrupt("indiana jones", &mut r), None);
+        }
+    }
+
+    #[test]
+    fn full_rate_always_corrupts() {
+        let model = TypoModel::with_rate(1.0);
+        let mut r = rng();
+        for _ in 0..64 {
+            let out = model.corrupt("indiana jones", &mut r).unwrap();
+            assert_ne!(out, "indiana jones");
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_small_edit() {
+        let model = TypoModel::with_rate(1.0);
+        let mut r = rng();
+        for _ in 0..128 {
+            let out = model.apply_one("madagascar escape", &mut r).unwrap();
+            let d = crate::distance::damerau_levenshtein("madagascar escape", &out);
+            assert!((1..=2).contains(&d), "distance {d} for {out:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_unmappable_inputs() {
+        let model = TypoModel::with_rate(1.0);
+        let mut r = rng();
+        assert_eq!(model.corrupt("", &mut r), None);
+        assert_eq!(model.apply_one("!!!", &mut r), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = TypoModel::with_rate(1.0);
+        let run = || -> Vec<Option<String>> {
+            let mut r = SeedSequence::new(5).rng("det");
+            (0..16).map(|_| model.corrupt("canon eos 350d", &mut r)).collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spaces_never_touched() {
+        let model = TypoModel::with_rate(1.0);
+        let mut r = rng();
+        for _ in 0..128 {
+            let out = model.apply_one("a b c d", &mut r).unwrap();
+            // Every op targets alphanumeric characters only, so the
+            // space count is invariant under corruption.
+            let spaces = out.chars().filter(|&c| c == ' ').count();
+            assert_eq!(spaces, 3, "spaces changed in {out:?}");
+        }
+    }
+
+    #[test]
+    fn single_char_delete_disallowed() {
+        // With a 1-char string, delete must be skipped but another op
+        // (substitute/insert) still succeeds.
+        let model = TypoModel {
+            query_error_rate: 1.0,
+            op_weights: [0.0, 1.0, 0.0, 0.0], // prefer delete
+        };
+        let mut r = rng();
+        for _ in 0..32 {
+            if let Some(out) = model.apply_one("a", &mut r) {
+                assert!(!out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbour_table_is_symmetric_for_letters() {
+        for c in "qwertyuiopasdfghjklzxcvbnm".chars() {
+            for n in neighbours(c).chars() {
+                assert!(
+                    neighbours(n).contains(c),
+                    "{c} -> {n} but not {n} -> {c}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the whole pipeline on a small movie world.
+//!
+//! Builds a 30-movie world, simulates a query/click log, mines entity
+//! synonyms at the paper's thresholds (IPC 4, ICR 0.1), evaluates them
+//! against the exact oracle, and prints a few mined expansions.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use websyn::prelude::*;
+use websyn::synth::queries;
+
+fn main() {
+    // 1. World + query stream (the stand-in for the paper's Bing logs).
+    let mut world = World::build(&WorldConfig::small_movies(30, 2010));
+    let events = queries::generate(&mut world, &QueryStreamConfig::small(40_000));
+    println!(
+        "world: {} movies, {} pages, {} alias surfaces",
+        world.entities.len(),
+        world.pages.len(),
+        world.aliases.len()
+    );
+
+    // 2. Search engine + session simulation → Click Data L.
+    let engine = engine_for_world(&world);
+    let (log, stats) = simulate_sessions(&world, &engine, &events, &SessionConfig::default());
+    println!(
+        "log: {} events, {} distinct queries, {} clicks",
+        stats.events, stats.distinct_queries, stats.clicks
+    );
+
+    // 3. Search Data A: top-10 results for every canonical string.
+    let u_set: Vec<String> = world
+        .entities
+        .iter()
+        .map(|e| e.canonical_norm.clone())
+        .collect();
+    let search = SearchData::collect(&engine, &u_set, 10);
+    let n_pages = world.pages.len();
+    let ctx = MiningContext::new(u_set, search, log, n_pages);
+
+    // 4. Mine at the paper's operating point.
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&ctx);
+    let report = evaluate(&result, &ctx, &world);
+    println!("\nevaluation: {report}");
+
+    // 5. Show the expansions for the three most popular movies.
+    println!("\nmined synonym sets:");
+    for es in result.per_entity.iter().take(3) {
+        let entity = &world.entities[es.entity.as_usize()];
+        println!("  {:?}", entity.canonical);
+        for syn in es.synonyms.iter().take(5) {
+            println!(
+                "    {:<32} ipc={:<3} icr={:.2}",
+                format!("{:?}", syn.text),
+                syn.ipc,
+                syn.icr
+            );
+        }
+        if es.synonyms.len() > 5 {
+            println!("    ... and {} more", es.synonyms.len() - 5);
+        }
+    }
+
+    // 6. The downstream payoff: match a free-form query.
+    let matcher = EntityMatcher::from_mining(&result, &ctx);
+    let top = &world.entities[0];
+    if let Some(syn) = result.per_entity[0].synonyms.first() {
+        let query = format!("{} showtimes tonight", syn.text);
+        let spans = matcher.segment(&query);
+        println!("\nquery {query:?} resolves to:");
+        for span in spans {
+            println!(
+                "  tokens {}..{} = {:?} -> {:?}",
+                span.start,
+                span.end,
+                span.surface,
+                world.entities[span.entity.as_usize()].canonical
+            );
+        }
+        assert!(matcher.lookup(&syn.text).is_some());
+    }
+    let _ = top;
+}

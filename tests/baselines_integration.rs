@@ -1,0 +1,171 @@
+//! Baseline behaviour on full synthetic worlds: the structural claims
+//! behind the paper's Table I, at test scale.
+
+use websyn::baselines::{
+    EditDistanceBaseline, SubstringBaseline, WalkBaseline, WikiBaseline,
+};
+use websyn::prelude::*;
+use websyn::synth::queries;
+
+fn pipeline(config: &WorldConfig, n_events: usize) -> (World, MiningContext) {
+    let mut world = World::build(config);
+    let events = queries::generate(&mut world, &QueryStreamConfig::small(n_events));
+    let engine = engine_for_world(&world);
+    let (log, _) = simulate_sessions(&world, &engine, &events, &SessionConfig::default());
+    let u_set: Vec<String> = world
+        .entities
+        .iter()
+        .map(|e| e.canonical_norm.clone())
+        .collect();
+    let search = SearchData::collect(&engine, &u_set, 10);
+    let n_pages = world.pages.len();
+    let ctx = MiningContext::new(u_set, search, log, n_pages);
+    (world, ctx)
+}
+
+#[test]
+fn wiki_gap_between_movies_and_cameras() {
+    // The paper's central Table I contrast: curated redirects cover
+    // popular movies far better than tail cameras.
+    let movies = World::build(&WorldConfig::small_movies(60, 61));
+    let movies_out =
+        WikiBaseline::for_domain(movies.domain()).run(&movies, movies.seq());
+    let cameras = World::build(&WorldConfig::small_cameras(400, 61));
+    let cameras_out =
+        WikiBaseline::for_domain(cameras.domain()).run(&cameras, cameras.seq());
+    assert!(
+        movies_out.hit_ratio() > cameras_out.hit_ratio() + 0.3,
+        "movies {:.2} vs cameras {:.2}",
+        movies_out.hit_ratio(),
+        cameras_out.hit_ratio()
+    );
+}
+
+#[test]
+fn walk_gated_by_canonical_queries() {
+    // "if a query has not been asked then no synonym will be produced".
+    let (_, ctx) = pipeline(&WorldConfig::small_cameras(80, 62), 40_000);
+    let walk = WalkBaseline::default();
+    let out = walk.run(&ctx.u_set, &ctx.log, &ctx.graph);
+    let reachable = walk.reachable(&ctx.u_set, &ctx.log);
+    assert!(
+        out.hits() <= reachable,
+        "walk produced synonyms for unqueried canonicals"
+    );
+    // The camera canonical-weight regime leaves a real fraction of the
+    // catalog unreachable.
+    assert!(
+        reachable < ctx.n_entities(),
+        "every canonical was queried — the tail regime is not exercised"
+    );
+}
+
+#[test]
+fn us_beats_baselines_on_hits_movies() {
+    let (world, ctx) = pipeline(&WorldConfig::small_movies(40, 63), 60_000);
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&ctx);
+    let us_hits = result.hits();
+    let wiki = WikiBaseline::for_domain(world.domain()).run(&world, world.seq());
+    let walk = WalkBaseline::default().run(&ctx.u_set, &ctx.log, &ctx.graph);
+    assert!(
+        us_hits >= wiki.hits(),
+        "us {us_hits} < wiki {}",
+        wiki.hits()
+    );
+    assert!(
+        us_hits >= walk.hits(),
+        "us {us_hits} < walk {}",
+        walk.hits()
+    );
+}
+
+#[test]
+fn substring_misses_zero_overlap_synonyms() {
+    let (world, ctx) = pipeline(&WorldConfig::small_movies(40, 64), 50_000);
+    let out = SubstringBaseline::default().run(&ctx.u_set, &ctx.log);
+    // Every substring "synonym" shares tokens with its canonical by
+    // construction, so nickname surfaces are structurally unreachable.
+    for (i, synonyms) in out.per_entity.iter().enumerate() {
+        let canonical = &ctx.u_set[i];
+        for s in synonyms {
+            assert!(
+                s.split(' ').all(|tok| canonical.split(' ').any(|c| c == tok)),
+                "substring baseline produced out-of-vocabulary token in {s:?}"
+            );
+        }
+    }
+    let _ = world;
+}
+
+#[test]
+fn trigram_recovers_misspellings_but_trails_on_nicknames() {
+    let (world, ctx) = pipeline(&WorldConfig::small_movies(30, 65), 40_000);
+    let out = EditDistanceBaseline::default().run(&ctx.u_set, &ctx.log);
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(3, 0.1)).mine(&ctx);
+
+    type PairVisitor<'a> = dyn Fn(&mut dyn FnMut(usize, &str)) + 'a;
+    let count_sources = |pairs: &PairVisitor| {
+        let (mut misspellings, mut nicknames) = (0usize, 0usize);
+        pairs(&mut |i, s| {
+            let e = websyn::common::EntityId::from_usize(i);
+            match world.truth.lookup(s).map(|t| t.source) {
+                Some(websyn::synth::AliasSource::Misspelling)
+                    if world.truth.is_true_synonym(s, e) => {
+                        misspellings += 1;
+                    }
+                Some(websyn::synth::AliasSource::Nickname)
+                    if world.truth.is_true_synonym(s, e) => {
+                        nicknames += 1;
+                    }
+                _ => {}
+            }
+        });
+        (misspellings, nicknames)
+    };
+
+    let (trigram_misspellings, trigram_nicknames) = count_sources(&|f| {
+        for (i, synonyms) in out.per_entity.iter().enumerate() {
+            for s in synonyms {
+                f(i, s);
+            }
+        }
+    });
+    let (_, mined_nicknames) = count_sources(&|f| {
+        for es in &result.per_entity {
+            for s in &es.synonyms {
+                f(es.entity.as_usize(), &s.text);
+            }
+        }
+    });
+
+    assert!(
+        trigram_misspellings > 0,
+        "trigram should catch misspellings"
+    );
+    // String similarity reaches only the clipped-prefix nicknames; the
+    // miner reaches the zero-overlap ones too.
+    assert!(
+        mined_nicknames > trigram_nicknames,
+        "mined {mined_nicknames} should exceed trigram {trigram_nicknames}"
+    );
+}
+
+#[test]
+fn all_baselines_report_consistent_table_rows() {
+    let (world, ctx) = pipeline(&WorldConfig::small_movies(20, 66), 20_000);
+    let outputs = vec![
+        WikiBaseline::for_domain(world.domain()).run(&world, world.seq()),
+        WalkBaseline::default().run(&ctx.u_set, &ctx.log, &ctx.graph),
+        SubstringBaseline::default().run(&ctx.u_set, &ctx.log),
+        EditDistanceBaseline::default().run(&ctx.u_set, &ctx.log),
+    ];
+    for out in outputs {
+        assert_eq!(out.n_entities(), 20);
+        assert!(out.hits() <= out.n_entities());
+        assert!(out.expansion_ratio() >= 1.0 || out.n_entities() == 0);
+        let row = out.table_row();
+        assert!(row.contains(&out.name));
+        let p = out.precision(&world);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,80 @@
+//! Distributional properties of the *full-scale* experiment worlds
+//! (the exact presets the figure/table binaries use). Pure generation —
+//! no log simulation — so these run fast even at paper scale.
+
+use websyn::prelude::*;
+use websyn::synth::{Domain, WorldReport};
+
+#[test]
+fn movies_2008_world_shape() {
+    let world = World::build(&WorldConfig::movies_2008());
+    let r = WorldReport::of(&world);
+    assert_eq!(r.entities, 100);
+    assert_eq!(world.domain(), Domain::Movies);
+    // Franchise structure exists and is bounded.
+    assert!(r.franchises >= 8, "franchises {}", r.franchises);
+    for f in &world.franchises {
+        assert!((2..=4).contains(&f.members.len()));
+    }
+    // Semantic synonyms (the "indy 4" class) were planted and survived
+    // ambiguity resolution.
+    assert!(r.semantic_synonyms >= 10, "semantic {}", r.semantic_synonyms);
+    // The page universe scales like a real Web slice: several pages per
+    // entity plus hubs and noise.
+    assert!(r.pages_per_entity() >= 4.0);
+    assert!(r.synonyms_per_entity() >= 3.0);
+}
+
+#[test]
+fn cameras_msn_world_shape() {
+    let world = World::build(&WorldConfig::cameras_msn());
+    let r = WorldReport::of(&world);
+    assert_eq!(r.entities, 882);
+    assert_eq!(world.domain(), Domain::Cameras);
+    // Every camera sits in a brand-line franchise.
+    for e in &world.entities {
+        assert!(e.franchise.is_some());
+    }
+    // Model tails make the synonym universe rich even without
+    // marketing names.
+    assert!(r.synonyms_per_entity() >= 2.0);
+    // Cameras have *more* pages per entity than their popularity alone
+    // would suggest (retail listings), which is what keeps surrogates
+    // specific (EXPERIMENTS.md ablation 5 discussion).
+    assert!(r.pages_per_entity() >= 8.0, "{}", r.pages_per_entity());
+}
+
+#[test]
+fn full_scale_worlds_are_reproducible() {
+    let a = WorldReport::of(&World::build(&WorldConfig::movies_2008()));
+    let b = WorldReport::of(&World::build(&WorldConfig::movies_2008()));
+    assert_eq!(a, b);
+    let c = WorldReport::of(&World::build(&WorldConfig::cameras_msn()));
+    let d = WorldReport::of(&World::build(&WorldConfig::cameras_msn()));
+    assert_eq!(c, d);
+}
+
+#[test]
+fn oracle_covers_every_surface_in_both_worlds() {
+    for config in [WorldConfig::movies_2008(), WorldConfig::cameras_msn()] {
+        let world = World::build(&config);
+        for alias in world.aliases.iter() {
+            let entry = world
+                .truth
+                .lookup(&alias.text)
+                .unwrap_or_else(|| panic!("surface {:?} unknown to oracle", alias.text));
+            assert_eq!(entry.target, alias.target);
+        }
+    }
+}
+
+#[test]
+fn page_text_is_normalized_everywhere() {
+    // The engine's fast path and the planted-surface matching both
+    // assume page text is already in canonical form.
+    let world = World::build(&WorldConfig::movies_2008());
+    for page in world.pages.iter().take(200) {
+        assert_eq!(websyn::text::normalize(&page.title), page.title, "{}", page.url);
+        assert_eq!(websyn::text::normalize(&page.body), page.body, "{}", page.url);
+    }
+}
