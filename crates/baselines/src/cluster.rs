@@ -37,10 +37,7 @@ impl ClusterBaseline {
         for u in u_set {
             per_entity.push(self.cluster_of(u, log, graph));
         }
-        BaselineOutput::new(
-            format!("Cluster({:.2})", self.min_similarity),
-            per_entity,
-        )
+        BaselineOutput::new(format!("Cluster({:.2})", self.min_similarity), per_entity)
     }
 
     /// The queries co-clustered with one canonical string, ranked by
@@ -49,8 +46,7 @@ impl ClusterBaseline {
         let Some(start) = log.query_id(u) else {
             return Vec::new(); // same structural gate as the walk
         };
-        let my_pages: FxHashSet<PageId> =
-            graph.pages_of(start).iter().map(|&(p, _)| p).collect();
+        let my_pages: FxHashSet<PageId> = graph.pages_of(start).iter().map(|&(p, _)| p).collect();
         if my_pages.is_empty() {
             return Vec::new();
         }
@@ -67,8 +63,7 @@ impl ClusterBaseline {
         let mut scored: Vec<(QueryId, f64)> = candidates
             .into_iter()
             .filter_map(|q| {
-                let other: FxHashSet<PageId> =
-                    graph.pages_of(q).iter().map(|&(p, _)| p).collect();
+                let other: FxHashSet<PageId> = graph.pages_of(q).iter().map(|&(p, _)| p).collect();
                 let inter = my_pages.intersection(&other).count();
                 let union = my_pages.len() + other.len() - inter;
                 let sim = inter as f64 / union as f64;
@@ -117,11 +112,7 @@ mod tests {
     #[test]
     fn finds_identically_clicking_twin() {
         let (log, graph) = setup();
-        let out = ClusterBaseline::default().run(
-            &["canonical".to_string()],
-            &log,
-            &graph,
-        );
+        let out = ClusterBaseline::default().run(&["canonical".to_string()], &log, &graph);
         assert!(out.per_entity[0].contains(&"twin".to_string()));
         assert!(!out.per_entity[0].contains(&"elsewhere".to_string()));
     }
@@ -130,11 +121,7 @@ mod tests {
     fn threshold_excludes_weak_overlap() {
         let (log, graph) = setup();
         // partial: |∩|=1, |∪|=4 → 0.25 < 0.3 default.
-        let strict = ClusterBaseline::default().run(
-            &["canonical".to_string()],
-            &log,
-            &graph,
-        );
+        let strict = ClusterBaseline::default().run(&["canonical".to_string()], &log, &graph);
         assert!(!strict.per_entity[0].contains(&"partial".to_string()));
         let loose = ClusterBaseline {
             min_similarity: 0.2,
@@ -147,11 +134,7 @@ mod tests {
     #[test]
     fn unqueried_canonical_gets_nothing() {
         let (log, graph) = setup();
-        let out = ClusterBaseline::default().run(
-            &["never queried".to_string()],
-            &log,
-            &graph,
-        );
+        let out = ClusterBaseline::default().run(&["never queried".to_string()], &log, &graph);
         assert!(out.per_entity[0].is_empty());
     }
 

@@ -51,8 +51,7 @@ impl BaselineOutput {
         if self.per_entity.is_empty() {
             0.0
         } else {
-            (self.total_synonyms() + self.per_entity.len()) as f64
-                / self.per_entity.len() as f64
+            (self.total_synonyms() + self.per_entity.len()) as f64 / self.per_entity.len() as f64
         }
     }
 

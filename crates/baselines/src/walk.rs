@@ -119,7 +119,10 @@ mod tests {
         assert!(syns.contains(&"350d".to_string()), "{syns:?}");
         assert!(syns.contains(&"rebel xt".to_string()), "{syns:?}");
         assert!(!syns.contains(&"something else".to_string()));
-        assert!(!syns.contains(&"canon eos 350d".to_string()), "start excluded");
+        assert!(
+            !syns.contains(&"canon eos 350d".to_string()),
+            "start excluded"
+        );
     }
 
     #[test]

@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn run_produces_redirects_for_movies() {
         let world = World::build(&WorldConfig::small_movies(40, 7));
-        let out =
-            WikiBaseline::for_domain(Domain::Movies).run(&world, &SeedSequence::new(7));
+        let out = WikiBaseline::for_domain(Domain::Movies).run(&world, &SeedSequence::new(7));
         assert_eq!(out.n_entities(), 40);
         assert!(out.hit_ratio() > 0.4, "hit ratio {}", out.hit_ratio());
         // All redirects are true synonyms: Wikipedia precision is high.
@@ -152,8 +151,7 @@ mod tests {
     #[test]
     fn camera_coverage_collapses() {
         let world = World::build(&WorldConfig::small_cameras(300, 7));
-        let out =
-            WikiBaseline::for_domain(Domain::Cameras).run(&world, &SeedSequence::new(7));
+        let out = WikiBaseline::for_domain(Domain::Cameras).run(&world, &SeedSequence::new(7));
         assert!(
             out.hit_ratio() < 0.45,
             "camera hit ratio should collapse, got {}",
@@ -175,7 +173,11 @@ mod tests {
         assert!(editor_curates(AliasSource::Nickname));
         assert!(editor_curates(AliasSource::Marketing));
         assert!(editor_curates(AliasSource::Mechanical(AbbrevKind::Acronym)));
-        assert!(editor_curates(AliasSource::Mechanical(AbbrevKind::Truncate)));
-        assert!(editor_curates(AliasSource::Mechanical(AbbrevKind::TailToken)));
+        assert!(editor_curates(AliasSource::Mechanical(
+            AbbrevKind::Truncate
+        )));
+        assert!(editor_curates(AliasSource::Mechanical(
+            AbbrevKind::TailToken
+        )));
     }
 }

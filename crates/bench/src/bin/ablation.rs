@@ -29,7 +29,12 @@ fn main() {
         (1, 0.1),       // ICR only
         (4, 0.1),       // both (the paper's Us)
     ];
-    let labels = ["none (β=1, γ=0)", "IPC only (β=4)", "ICR only (γ=0.1)", "Us (β=4, γ=0.1)"];
+    let labels = [
+        "none (β=1, γ=0)",
+        "IPC only (β=4)",
+        "ICR only (γ=0.1)",
+        "Us (β=4, γ=0.1)",
+    ];
     let (_, results) = sweep(&pipeline, 10, &points);
     print_table_header(&[
         "selector",
@@ -45,8 +50,14 @@ fn main() {
         let b = p.report.breakdown;
         println!(
             "| {} | {:.3} | {} | {} | {} | {} | {} | {} |",
-            label, p.report.precision, p.report.n_synonyms, b.synonym, b.hypernym, b.hyponym,
-            b.related, b.unrelated,
+            label,
+            p.report.precision,
+            p.report.n_synonyms,
+            b.synonym,
+            b.hypernym,
+            b.hyponym,
+            b.related,
+            b.unrelated,
         );
     }
 
@@ -76,7 +87,13 @@ fn main() {
 
     // ----- 3. click model robustness ----------------------------------
     println!("\n## Ablation 3 — click model robustness (D1, β=4, γ=0.1)\n");
-    print_table_header(&["click model", "precision", "synonyms", "hits", "clicks in log"]);
+    print_table_header(&[
+        "click model",
+        "precision",
+        "synonyms",
+        "hits",
+        "clicks in log",
+    ]);
     for (label, model) in [
         ("position-biased", ClickModel::default()),
         ("cascade", ClickModel::cascade()),
@@ -102,7 +119,14 @@ fn main() {
     // because canonical data values are rarely issued as queries. The
     // effect is mild on movies and severe on cameras.
     println!("\n## Ablation 5 — surrogate source (β=4, γ=0.1)\n");
-    print_table_header(&["dataset", "source", "hits", "hit ratio", "synonyms", "precision"]);
+    print_table_header(&[
+        "dataset",
+        "source",
+        "hits",
+        "hit ratio",
+        "synonyms",
+        "precision",
+    ]);
     let cameras = build_pipeline(
         &WorldConfig::small_cameras(300, 882),
         150_000,
@@ -133,18 +157,22 @@ fn main() {
 
     // ----- 4. string-matching comparators -----------------------------
     println!("\n## Ablation 4 — string-matching comparators (D1)\n");
-    print_table_header(&["method", "hits", "hit ratio", "synonyms", "expansion", "precision"]);
+    print_table_header(&[
+        "method",
+        "hits",
+        "hit ratio",
+        "synonyms",
+        "expansion",
+        "precision",
+    ]);
     let us = to_baseline_output(
         "Us",
         &SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&pipeline.ctx),
     );
     let substring = SubstringBaseline::default().run(&pipeline.ctx.u_set, &pipeline.ctx.log);
     let trigram = EditDistanceBaseline::default().run(&pipeline.ctx.u_set, &pipeline.ctx.log);
-    let cluster = ClusterBaseline::default().run(
-        &pipeline.ctx.u_set,
-        &pipeline.ctx.log,
-        &pipeline.ctx.graph,
-    );
+    let cluster =
+        ClusterBaseline::default().run(&pipeline.ctx.u_set, &pipeline.ctx.log, &pipeline.ctx.graph);
     for out in [&us, &substring, &trigram, &cluster] {
         println!(
             "| {} | {} | {:.1}% | {} | {:.0}% | {:.3} |",

@@ -38,7 +38,9 @@ fn run_dataset(label: &str, pipeline: &Pipeline) -> Vec<BaselineOutput> {
         }
     }
     let mut top: Vec<_> = leaks.into_iter().collect();
-    top.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    // Tie-break by text: HashMap iteration order is randomized per
+    // process, and count ties are common at the tail of the top-8.
+    top.sort_by_key(|&(text, count)| (std::cmp::Reverse(count), text));
     for (text, count) in top.iter().take(8) {
         eprintln!("[{label}]   leak ×{count}: {text:?}");
     }
@@ -49,11 +51,8 @@ fn run_dataset(label: &str, pipeline: &Pipeline) -> Vec<BaselineOutput> {
         .run(&pipeline.world, pipeline.world.seq());
 
     // Walk(0.8).
-    let walk = WalkBaseline::default().run(
-        &pipeline.ctx.u_set,
-        &pipeline.ctx.log,
-        &pipeline.ctx.graph,
-    );
+    let walk =
+        WalkBaseline::default().run(&pipeline.ctx.u_set, &pipeline.ctx.log, &pipeline.ctx.graph);
 
     // Beyond the paper: exact precision per method (the paper reports
     // precision only for Us, via human judges).

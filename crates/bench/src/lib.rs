@@ -8,7 +8,9 @@
 use websyn_click::session::{engine_for_world, simulate_sessions};
 use websyn_click::{SessionConfig, SessionStats};
 use websyn_core::miner::select_with;
-use websyn_core::{evaluate, EvalReport, MinerConfig, MiningContext, MiningResult, ScoredCandidates, SynonymMiner};
+use websyn_core::{
+    evaluate, EvalReport, MinerConfig, MiningContext, MiningResult, ScoredCandidates, SynonymMiner,
+};
 use websyn_engine::{SearchData, SearchEngine};
 use websyn_synth::{queries, QueryEvent, QueryStreamConfig, World, WorldConfig};
 
@@ -129,10 +131,7 @@ pub fn sweep(
 
 /// Converts a mining result into the baselines' output shape so Table I
 /// can print one uniform table.
-pub fn to_baseline_output(
-    name: &str,
-    result: &MiningResult,
-) -> websyn_baselines::BaselineOutput {
+pub fn to_baseline_output(name: &str, result: &MiningResult) -> websyn_baselines::BaselineOutput {
     let per_entity = result
         .per_entity
         .iter()

@@ -159,8 +159,11 @@ mod tests {
     fn reverse_adjacency() {
         let g = graph();
         let p1 = PageId::new(1);
-        let mut queries: Vec<(u32, u32)> =
-            g.queries_of(p1).iter().map(|&(q, n)| (q.raw(), n)).collect();
+        let mut queries: Vec<(u32, u32)> = g
+            .queries_of(p1)
+            .iter()
+            .map(|&(q, n)| (q.raw(), n))
+            .collect();
         queries.sort_unstable();
         assert_eq!(queries, vec![(0, 2), (1, 1)]);
         assert_eq!(g.page_degree(p1), 3);

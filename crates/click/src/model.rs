@@ -109,7 +109,10 @@ mod tests {
                 counts[pos] += 1;
             }
         }
-        counts.iter().map(|&c| f64::from(c) / trials as f64).collect()
+        counts
+            .iter()
+            .map(|&c| f64::from(c) / trials as f64)
+            .collect()
     }
 
     #[test]
@@ -148,7 +151,9 @@ mod tests {
         }
         let mut r2 = rng();
         for _ in 0..500 {
-            assert!(ClickModel::cascade().simulate(&[0.0; 3], &mut r2).is_empty());
+            assert!(ClickModel::cascade()
+                .simulate(&[0.0; 3], &mut r2)
+                .is_empty());
         }
     }
 

@@ -62,9 +62,7 @@ pub fn simulate_sessions(
     events: &[QueryEvent],
     config: &SessionConfig,
 ) -> (ClickLog, SessionStats) {
-    let mut rng = world
-        .seq()
-        .rng_indexed("click.sessions", config.replica);
+    let mut rng = world.seq().rng_indexed("click.sessions", config.replica);
     let mut builder = ClickLogBuilder::new();
     let mut stats = SessionStats::default();
 
@@ -225,9 +223,7 @@ mod tests {
         let own_pages: std::collections::HashSet<u32> = world
             .pages
             .iter()
-            .filter(|p| {
-                p.target == Some(websyn_synth::AliasTarget::Entity(e0.id))
-            })
+            .filter(|p| p.target == Some(websyn_synth::AliasTarget::Entity(e0.id)))
             .map(|p| p.id.raw())
             .collect();
         let (own, total) = log.clicks_of(q).iter().fold((0u64, 0u64), |(o, t), tup| {

@@ -94,8 +94,7 @@ impl RandomWalk {
             let move_mass = mass * (1.0 - s);
             if move_mass > 0.0 {
                 for &(p, n) in graph.pages_of(q) {
-                    *next.pages.entry(p).or_insert(0.0) +=
-                        move_mass * f64::from(n) / degree as f64;
+                    *next.pages.entry(p).or_insert(0.0) += move_mass * f64::from(n) / degree as f64;
                 }
             }
         }

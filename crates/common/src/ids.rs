@@ -122,7 +122,10 @@ mod tests {
         assert!(PageId::new(1) < PageId::new(2));
         let mut v = vec![EntityId::new(3), EntityId::new(1), EntityId::new(2)];
         v.sort();
-        assert_eq!(v, vec![EntityId::new(1), EntityId::new(2), EntityId::new(3)]);
+        assert_eq!(
+            v,
+            vec![EntityId::new(1), EntityId::new(2), EntityId::new(3)]
+        );
     }
 
     #[test]

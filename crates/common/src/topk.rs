@@ -212,7 +212,11 @@ mod tests {
             for &(s, i) in &vals {
                 t.push(s, i);
             }
-            let got: Vec<(f64, u32)> = t.into_sorted_vec().iter().map(|s| (s.score, s.item)).collect();
+            let got: Vec<(f64, u32)> = t
+                .into_sorted_vec()
+                .iter()
+                .map(|s| (s.score, s.item))
+                .collect();
             let mut oracle = vals.clone();
             oracle.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
             oracle.truncate(k);

@@ -40,9 +40,11 @@ pub use candidates::generate_candidates;
 pub use config::MinerConfig;
 pub use data::MiningContext;
 pub use matcher::{EntityMatcher, MatchSpan};
-pub use measures::{CandidateScore, score_candidate};
+pub use measures::{score_candidate, CandidateScore};
 pub use metrics::{evaluate, EvalReport};
-pub use miner::{EntityCandidates, EntitySynonyms, MinedSynonym, MiningResult, ScoredCandidates, SynonymMiner};
+pub use miner::{
+    EntityCandidates, EntitySynonyms, MinedSynonym, MiningResult, ScoredCandidates, SynonymMiner,
+};
 pub use select::select;
 pub use surrogate::{SurrogateSource, SurrogateTable};
 pub use taxonomy::{classify, RelationCounts, TruthClass};

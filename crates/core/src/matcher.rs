@@ -81,11 +81,10 @@ impl EntityMatcher {
             .iter()
             .enumerate()
             .map(|(i, u)| (u.clone(), EntityId::from_usize(i)));
-        let mined = result.per_entity.iter().flat_map(|es| {
-            es.synonyms
-                .iter()
-                .map(move |s| (s.text.clone(), es.entity))
-        });
+        let mined = result
+            .per_entity
+            .iter()
+            .flat_map(|es| es.synonyms.iter().map(move |s| (s.text.clone(), es.entity)));
         Self::from_pairs(canonical.chain(mined))
     }
 
@@ -210,7 +209,10 @@ mod tests {
 
     fn matcher() -> EntityMatcher {
         EntityMatcher::from_pairs(vec![
-            ("Indiana Jones and the Kingdom of the Crystal Skull", EntityId::new(0)),
+            (
+                "Indiana Jones and the Kingdom of the Crystal Skull",
+                EntityId::new(0),
+            ),
             ("indy 4", EntityId::new(0)),
             ("indiana jones 4", EntityId::new(0)),
             ("madagascar 2", EntityId::new(1)),
@@ -279,10 +281,8 @@ mod tests {
 
     #[test]
     fn duplicate_same_entity_is_fine() {
-        let m = EntityMatcher::from_pairs(vec![
-            ("same", EntityId::new(3)),
-            ("same", EntityId::new(3)),
-        ]);
+        let m =
+            EntityMatcher::from_pairs(vec![("same", EntityId::new(3)), ("same", EntityId::new(3))]);
         assert_eq!(m.lookup("same"), Some(EntityId::new(3)));
         assert_eq!(m.ambiguous_dropped(), 0);
     }

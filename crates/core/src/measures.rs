@@ -68,7 +68,11 @@ mod tests {
         let docs = vec![
             (PageId::new(0), "alpha beta", "alpha beta official"),
             (PageId::new(1), "alpha beta shop", "alpha beta buy"),
-            (PageId::new(2), "franchise hub", "alpha beta alpha gamma list"),
+            (
+                PageId::new(2),
+                "franchise hub",
+                "alpha beta alpha gamma list",
+            ),
             (PageId::new(3), "other", "unrelated"),
         ];
         let engine = SearchEngine::from_docs(docs);

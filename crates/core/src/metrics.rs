@@ -191,10 +191,7 @@ mod tests {
         assert!(report.hits > 10, "hits {}", report.hits);
         assert!((0.0..=1.0).contains(&report.precision));
         assert!((0.0..=1.0).contains(&report.weighted_precision));
-        assert!(
-            report.precision > 0.5,
-            "precision collapsed: {report}"
-        );
+        assert!(report.precision > 0.5, "precision collapsed: {report}");
         assert!(report.expansion_ratio >= 1.0);
         assert!(report.coverage_increase() > 0.0, "{report}");
         assert_eq!(report.breakdown.total(), report.n_synonyms);

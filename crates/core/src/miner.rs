@@ -112,8 +112,8 @@ impl SynonymMiner {
         let chunk = n.div_ceil(threads.max(1));
 
         if n > 0 {
-            let slots = parking_lot::Mutex::new(&mut per_entity);
-            crossbeam::thread::scope(|scope| {
+            let slots = std::sync::Mutex::new(&mut per_entity);
+            std::thread::scope(|scope| {
                 for t in 0..threads {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(n);
@@ -122,20 +122,19 @@ impl SynonymMiner {
                     }
                     let surrogates = &surrogates;
                     let slots = &slots;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::with_capacity(hi - lo);
                         for i in lo..hi {
                             let e = EntityId::from_usize(i);
                             local.push((i, score_entity(ctx, surrogates, e)));
                         }
-                        let mut guard = slots.lock();
+                        let mut guard = slots.lock().expect("scoring mutex poisoned");
                         for (i, ec) in local {
                             guard[i] = Some(ec);
                         }
                     });
                 }
-            })
-            .expect("scoring worker panicked");
+            });
         }
 
         ScoredCandidates {
@@ -166,11 +165,7 @@ impl SynonymMiner {
 }
 
 /// Scores one entity (candidate generation + measures).
-fn score_entity(
-    ctx: &MiningContext,
-    surrogates: &SurrogateTable,
-    e: EntityId,
-) -> EntityCandidates {
+fn score_entity(ctx: &MiningContext, surrogates: &SurrogateTable, e: EntityId) -> EntityCandidates {
     let cands = generate_candidates(ctx, surrogates, e);
     let candidates = cands
         .into_iter()

@@ -220,7 +220,10 @@ mod tests {
         let table = SurrogateTable::build_from_clicks(&ctx, 2);
         // Pages 0 (5 clicks) and 1-or-2 (1 click each, tie broken by
         // smaller page id) — top-2 = {0, 1}.
-        assert_eq!(table.of(EntityId::new(0)), &[PageId::new(0), PageId::new(1)]);
+        assert_eq!(
+            table.of(EntityId::new(0)),
+            &[PageId::new(0), PageId::new(1)]
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
                 .iter()
                 .find(|e| e.franchise != Some(f.id))
                 .unwrap();
-            assert_eq!(classify(&world, &f.name, outsider.id), TruthClass::Unrelated);
+            assert_eq!(
+                classify(&world, &f.name, outsider.id),
+                TruthClass::Unrelated
+            );
         }
     }
 

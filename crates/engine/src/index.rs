@@ -155,11 +155,19 @@ mod tests {
 
     fn tiny_index() -> InvertedIndex {
         let docs = vec![
-            (PageId::new(0), "indiana jones", "indiana jones kingdom crystal skull official"),
-            (PageId::new(1), "madagascar", "madagascar escape africa dvd buy"),
+            (
+                PageId::new(0),
+                "indiana jones",
+                "indiana jones kingdom crystal skull official",
+            ),
+            (
+                PageId::new(1),
+                "madagascar",
+                "madagascar escape africa dvd buy",
+            ),
             (PageId::new(2), "indiana jones fan", "indy fan page indiana"),
         ];
-InvertedIndex::build(docs, 2)
+        InvertedIndex::build(docs, 2)
     }
 
     #[test]
@@ -229,7 +237,11 @@ InvertedIndex::build(docs, 2)
 
     #[test]
     fn raw_text_is_analyzed() {
-        let docs = vec![(PageId::new(0), "Spider-Man: Homecoming!", "WATCH Spider-Man")];
+        let docs = vec![(
+            PageId::new(0),
+            "Spider-Man: Homecoming!",
+            "WATCH Spider-Man",
+        )];
         let idx = InvertedIndex::build(docs, 2);
         assert!(idx.term_id("spider").is_some());
         assert!(idx.term_id("homecoming").is_some());

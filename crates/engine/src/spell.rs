@@ -54,6 +54,7 @@ impl SpellCorrector {
         let max_dist = if n >= 6 { 2 } else { 1 };
 
         let mut best: Option<(String, u32, usize)> = None; // (term, df, dist)
+
         // Candidate blocks: same first char with length within
         // max_dist, plus different-first-char blocks of the same
         // length band (covers a typo in the first character) at

@@ -185,8 +185,7 @@ impl AliasUniverse {
                 self.aliases.push(alias);
             }
             Some(&idx) => {
-                let incumbent_entity =
-                    matches!(self.aliases[idx].target, AliasTarget::Entity(_));
+                let incumbent_entity = matches!(self.aliases[idx].target, AliasTarget::Entity(_));
                 let newcomer_entity = matches!(alias.target, AliasTarget::Entity(_));
                 if self.aliases[idx].target == alias.target {
                     // Same target duplicate: ignore.
@@ -242,9 +241,8 @@ impl AliasUniverse {
     /// True-synonym surfaces of an entity (relation == Synonym),
     /// *excluding* the canonical surface itself.
     pub fn synonyms_of(&self, e: EntityId) -> impl Iterator<Item = &Alias> + '_ {
-        self.of_entity(e).filter(|a| {
-            a.relation == Relation::Synonym && a.source != AliasSource::Canonical
-        })
+        self.of_entity(e)
+            .filter(|a| a.relation == Relation::Synonym && a.source != AliasSource::Canonical)
     }
 
     /// Number of alias records.
@@ -315,9 +313,15 @@ mod tests {
     #[test]
     fn cross_target_collision_drops_both() {
         let mut u = AliasUniverse::new();
-        u.insert(alias("the chronicles", AliasTarget::Entity(EntityId::new(0))));
+        u.insert(alias(
+            "the chronicles",
+            AliasTarget::Entity(EntityId::new(0)),
+        ));
         u.insert(alias("other", AliasTarget::Entity(EntityId::new(0))));
-        u.insert(alias("the chronicles", AliasTarget::Entity(EntityId::new(1))));
+        u.insert(alias(
+            "the chronicles",
+            AliasTarget::Entity(EntityId::new(1)),
+        ));
         assert!(u.get("the chronicles").is_none(), "ambiguous surface kept");
         assert!(u.get("other").is_some(), "unrelated surface lost");
         assert_eq!(u.ambiguous_dropped(), 2);
@@ -377,8 +381,10 @@ mod tests {
     fn aspect_suffixes() {
         assert_eq!(AspectKind::Trailer.suffix(), "trailer");
         assert_eq!(AspectKind::Price.suffix(), "price");
-        let movie: std::collections::HashSet<_> =
-            AspectKind::MOVIE_ASPECTS.iter().map(|a| a.suffix()).collect();
+        let movie: std::collections::HashSet<_> = AspectKind::MOVIE_ASPECTS
+            .iter()
+            .map(|a| a.suffix())
+            .collect();
         assert_eq!(movie.len(), 3);
     }
 

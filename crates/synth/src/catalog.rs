@@ -128,57 +128,162 @@ impl Catalog {
 
 /// Adjectives for title grammars.
 pub const ADJECTIVES: &[&str] = &[
-    "crimson", "silent", "golden", "iron", "frozen", "scarlet", "midnight", "savage", "broken",
-    "hidden", "burning", "eternal", "lost", "rising", "fallen", "neon", "hollow", "ancient",
-    "thunder", "emerald", "shattered", "velvet", "obsidian", "radiant", "grim", "howling",
-    "phantom", "solar", "lunar", "untamed",
+    "crimson",
+    "silent",
+    "golden",
+    "iron",
+    "frozen",
+    "scarlet",
+    "midnight",
+    "savage",
+    "broken",
+    "hidden",
+    "burning",
+    "eternal",
+    "lost",
+    "rising",
+    "fallen",
+    "neon",
+    "hollow",
+    "ancient",
+    "thunder",
+    "emerald",
+    "shattered",
+    "velvet",
+    "obsidian",
+    "radiant",
+    "grim",
+    "howling",
+    "phantom",
+    "solar",
+    "lunar",
+    "untamed",
 ];
 
 /// Nouns for title grammars.
 pub const NOUNS: &[&str] = &[
-    "kingdom", "empire", "horizon", "legacy", "phoenix", "tempest", "odyssey", "covenant",
-    "redemption", "frontier", "prophecy", "guardian", "eclipse", "labyrinth", "citadel",
-    "voyager", "reckoning", "dominion", "serpent", "monolith", "harbinger", "sentinel",
-    "abyss", "crucible", "vanguard", "paradox", "requiem", "bastion", "chimera", "zenith",
+    "kingdom",
+    "empire",
+    "horizon",
+    "legacy",
+    "phoenix",
+    "tempest",
+    "odyssey",
+    "covenant",
+    "redemption",
+    "frontier",
+    "prophecy",
+    "guardian",
+    "eclipse",
+    "labyrinth",
+    "citadel",
+    "voyager",
+    "reckoning",
+    "dominion",
+    "serpent",
+    "monolith",
+    "harbinger",
+    "sentinel",
+    "abyss",
+    "crucible",
+    "vanguard",
+    "paradox",
+    "requiem",
+    "bastion",
+    "chimera",
+    "zenith",
 ];
 
 /// Place-ish nouns for subtitle grammars ("escape from ...").
 pub const PLACES: &[&str] = &[
-    "avalon", "karakorum", "eldoria", "novaterra", "zephyria", "mirador", "thornfield",
-    "blackmere", "suncrest", "vostok", "meridian", "caldera", "ironhaven", "duskwall",
+    "avalon",
+    "karakorum",
+    "eldoria",
+    "novaterra",
+    "zephyria",
+    "mirador",
+    "thornfield",
+    "blackmere",
+    "suncrest",
+    "vostok",
+    "meridian",
+    "caldera",
+    "ironhaven",
+    "duskwall",
 ];
 
 /// Hero/series head words for franchise names.
 pub const HERO_FIRST: &[&str] = &[
-    "captain", "agent", "doctor", "professor", "commander", "detective", "baron", "madame",
-    "sergeant", "brother",
+    "captain",
+    "agent",
+    "doctor",
+    "professor",
+    "commander",
+    "detective",
+    "baron",
+    "madame",
+    "sergeant",
+    "brother",
 ];
 
 /// Hero/series surname words for franchise names.
 pub const HERO_LAST: &[&str] = &[
-    "orion", "steele", "marlowe", "vance", "drake", "quill", "harlow", "sterling", "locke",
-    "rook", "calloway", "fox", "mercer", "blaze", "frost", "hawke", "stone", "cross", "wilde",
-    "night",
+    "orion", "steele", "marlowe", "vance", "drake", "quill", "harlow", "sterling", "locke", "rook",
+    "calloway", "fox", "mercer", "blaze", "frost", "hawke", "stone", "cross", "wilde", "night",
 ];
 
 /// First names for the actor pool.
 pub const ACTOR_FIRST: &[&str] = &[
-    "harrison", "marion", "declan", "imelda", "rufus", "saoirse", "caspian", "wilhelmina",
-    "august", "beatrix", "cormac", "delphine", "ezra", "florence", "gideon", "henrietta",
-    "ignatius", "josephine", "kieran", "lavinia",
+    "harrison",
+    "marion",
+    "declan",
+    "imelda",
+    "rufus",
+    "saoirse",
+    "caspian",
+    "wilhelmina",
+    "august",
+    "beatrix",
+    "cormac",
+    "delphine",
+    "ezra",
+    "florence",
+    "gideon",
+    "henrietta",
+    "ignatius",
+    "josephine",
+    "kieran",
+    "lavinia",
 ];
 
 /// Last names for the actor pool.
 pub const ACTOR_LAST: &[&str] = &[
-    "fairbanks", "okafor", "lindqvist", "moreau", "castellanos", "whitlock", "arbuckle",
-    "vandermeer", "oyelaran", "kowalczyk", "beaumont", "ashdown", "pemberton", "ricci",
-    "halloran", "strand", "iverson", "delacroix", "mbeki", "thorne",
+    "fairbanks",
+    "okafor",
+    "lindqvist",
+    "moreau",
+    "castellanos",
+    "whitlock",
+    "arbuckle",
+    "vandermeer",
+    "oyelaran",
+    "kowalczyk",
+    "beaumont",
+    "ashdown",
+    "pemberton",
+    "ricci",
+    "halloran",
+    "strand",
+    "iverson",
+    "delacroix",
+    "mbeki",
+    "thorne",
 ];
 
 /// Marketing-name head words (camera alternative names).
 pub const MARKETING_FIRST: &[&str] = &[
-    "digital", "ultra", "prime", "vivid", "swift", "astro", "pixel", "stellar", "aero",
-    "crystal", "hyper", "omni", "terra", "nova", "apex",
+    "digital", "ultra", "prime", "vivid", "swift", "astro", "pixel", "stellar", "aero", "crystal",
+    "hyper", "omni", "terra", "nova", "apex",
 ];
 
 /// Marketing-name tail words.

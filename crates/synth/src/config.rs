@@ -172,6 +172,9 @@ mod tests {
     fn cameras_canonical_rarely_queried() {
         // The structural premise behind Table I's Walk row: camera data
         // values are rarely used as queries.
-        assert!(WorldConfig::cameras_msn().canonical_weight < WorldConfig::movies_2008().canonical_weight);
+        assert!(
+            WorldConfig::cameras_msn().canonical_weight
+                < WorldConfig::movies_2008().canonical_weight
+        );
     }
 }

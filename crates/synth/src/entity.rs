@@ -30,9 +30,7 @@ impl fmt::Display for Domain {
 }
 
 /// Identifier of a franchise (movie series / camera product line).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FranchiseId(pub u32);
 
@@ -50,9 +48,7 @@ impl fmt::Display for FranchiseId {
 }
 
 /// Identifier of a concept (actor, brand, genre).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ConceptId(pub u32);
 

@@ -73,16 +73,10 @@ fn entity_affinity(e: EntityId, page: &Page, world: &World) -> f64 {
                 0.0
             }
         }
-        Some(AliasTarget::Franchise(f))
-            if world.entities[e.as_usize()].franchise == Some(f) =>
-        {
+        Some(AliasTarget::Franchise(f)) if world.entities[e.as_usize()].franchise == Some(f) => {
             0.25
         }
-        Some(AliasTarget::Concept(c))
-            if world.entities[e.as_usize()].concepts.contains(&c) =>
-        {
-            0.05
-        }
+        Some(AliasTarget::Concept(c)) if world.entities[e.as_usize()].concepts.contains(&c) => 0.05,
         _ => 0.0,
     }
 }
@@ -90,9 +84,7 @@ fn entity_affinity(e: EntityId, page: &Page, world: &World) -> f64 {
 fn franchise_affinity(f: FranchiseId, page: &Page, world: &World) -> f64 {
     match page.target {
         Some(AliasTarget::Franchise(pf)) if pf == f => 1.0,
-        Some(AliasTarget::Entity(e))
-            if world.entities[e.as_usize()].franchise == Some(f) =>
-        {
+        Some(AliasTarget::Entity(e)) if world.entities[e.as_usize()].franchise == Some(f) => {
             match page.kind {
                 // Hypernym browsers sample across member pages.
                 PageKind::Official | PageKind::Wiki => 0.55,
@@ -126,11 +118,7 @@ fn aspect_affinity(e: EntityId, a: AspectKind, page: &Page) -> f64 {
 fn concept_affinity(c: ConceptId, page: &Page, world: &World) -> f64 {
     match page.target {
         Some(AliasTarget::Concept(pc)) if pc == c => 1.0,
-        Some(AliasTarget::Entity(e))
-            if world.entities[e.as_usize()].concepts.contains(&c) =>
-        {
-            0.12
-        }
+        Some(AliasTarget::Entity(e)) if world.entities[e.as_usize()].concepts.contains(&c) => 0.12,
         _ => 0.0,
     }
 }
@@ -242,10 +230,7 @@ mod tests {
         let w = small_world();
         let e = w.entities[0].id;
         for p in &w.pages {
-            for intent in [
-                Intent::Entity(e),
-                Intent::Aspect(e, AspectKind::Trailer),
-            ] {
+            for intent in [Intent::Entity(e), Intent::Aspect(e, AspectKind::Trailer)] {
                 let a = affinity(intent, p, &w);
                 assert!((0.0..=1.0).contains(&a));
             }

@@ -84,7 +84,9 @@ pub fn build(n: usize, seq: &SeedSequence) -> Catalog {
         } else {
             None
         };
-        let episodes = rng.gen_range(2..=4usize).min(franchise_entity_target - covered);
+        let episodes = rng
+            .gen_range(2..=4usize)
+            .min(franchise_entity_target - covered);
         if episodes < 2 {
             // A 1-episode franchise is just a standalone title; stop.
             break;
@@ -237,10 +239,7 @@ fn franchise_title<R: Rng>(
 
 /// A standalone title: "The Crimson Kingdom", "Silent Phoenix:
 /// Escape from Avalon", ...
-fn standalone_title<R: Rng>(
-    rng: &mut R,
-    used: &mut std::collections::HashSet<String>,
-) -> String {
+fn standalone_title<R: Rng>(rng: &mut R, used: &mut std::collections::HashSet<String>) -> String {
     for _ in 0..256 {
         let adj = titlecase(ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())]);
         let noun = titlecase(NOUNS[rng.gen_range(0..NOUNS.len())]);
@@ -250,7 +249,10 @@ fn standalone_title<R: Rng>(
         let base = match rng.gen_range(0..100) {
             0..=44 => format!("The {adj} {noun}"),
             45..=59 => format!("{adj} {noun}"),
-            _ => format!("{noun} of {}", titlecase(PLACES[rng.gen_range(0..PLACES.len())])),
+            _ => format!(
+                "{noun} of {}",
+                titlecase(PLACES[rng.gen_range(0..PLACES.len())])
+            ),
         };
         let candidate = if rng.gen_bool(0.35) {
             format!("{base}: {}", subtitle(rng))
@@ -267,7 +269,10 @@ fn standalone_title<R: Rng>(
 /// A subtitle phrase: "Rise of the Serpent", "Escape from Avalon", ...
 fn subtitle<R: Rng>(rng: &mut R) -> String {
     match rng.gen_range(0..4) {
-        0 => format!("Rise of the {}", titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])),
+        0 => format!(
+            "Rise of the {}",
+            titlecase(NOUNS[rng.gen_range(0..NOUNS.len())])
+        ),
         1 => format!(
             "Escape from {}",
             titlecase(PLACES[rng.gen_range(0..PLACES.len())])

@@ -122,7 +122,9 @@ impl WeightedSurfaces {
         }
         let u = rng.gen_range(0.0..total);
         let idx = self.cumulative.partition_point(|&c| c <= u);
-        self.texts.get(idx.min(self.texts.len() - 1)).map(|s| s.as_str())
+        self.texts
+            .get(idx.min(self.texts.len() - 1))
+            .map(|s| s.as_str())
     }
 }
 
@@ -162,8 +164,7 @@ fn build_tables(world: &World) -> SamplingTables {
         .concepts
         .iter()
         .map(|c| {
-            (!c.members.is_empty() && world.aliases.get(&c.name).is_some())
-                .then(|| c.name.clone())
+            (!c.members.is_empty() && world.aliases.get(&c.name).is_some()).then(|| c.name.clone())
         })
         .collect();
     SamplingTables {
@@ -182,8 +183,8 @@ fn build_tables(world: &World) -> SamplingTables {
 pub fn generate(world: &mut World, config: &QueryStreamConfig) -> Vec<QueryEvent> {
     let tables = build_tables(world);
     let mut rng = world.seq().rng("queries.stream");
-    let zipf = Zipf::new(world.entities.len(), world.config.entity_zipf)
-        .expect("world has >= 1 entity");
+    let zipf =
+        Zipf::new(world.entities.len(), world.config.entity_zipf).expect("world has >= 1 entity");
 
     let mix = config.mix;
     let mix_total = mix.entity + mix.franchise + mix.aspect + mix.concept;
@@ -259,21 +260,23 @@ pub fn generate(world: &mut World, config: &QueryStreamConfig) -> Vec<QueryEvent
                 match &pool[slot] {
                     Some(existing) => existing.clone(),
                     None => {
-                        let minted = config.typo.apply_one(&surface, &mut rng).and_then(
-                            |corrupted| {
-                                let misspelt = TruthEntry {
-                                    target: entry.target,
-                                    relation: entry.relation,
-                                    source: AliasSource::Misspelling,
-                                };
-                                // Refuse corruptions that collide with a
-                                // surface meaning something else.
-                                world
-                                    .truth
-                                    .register(&corrupted, misspelt)
-                                    .then_some(corrupted)
-                            },
-                        );
+                        let minted =
+                            config
+                                .typo
+                                .apply_one(&surface, &mut rng)
+                                .and_then(|corrupted| {
+                                    let misspelt = TruthEntry {
+                                        target: entry.target,
+                                        relation: entry.relation,
+                                        source: AliasSource::Misspelling,
+                                    };
+                                    // Refuse corruptions that collide with a
+                                    // surface meaning something else.
+                                    world
+                                        .truth
+                                        .register(&corrupted, misspelt)
+                                        .then_some(corrupted)
+                                });
                         // Failed mints pin the slot to the clean surface
                         // so the collision is never retried.
                         let text = minted.unwrap_or_else(|| surface.clone());
@@ -292,8 +295,7 @@ pub fn generate(world: &mut World, config: &QueryStreamConfig) -> Vec<QueryEvent
 
 /// Convenience: the number of distinct query strings in a stream.
 pub fn distinct_queries(events: &[QueryEvent]) -> usize {
-    let set: websyn_common::FxHashSet<&str> =
-        events.iter().map(|e| e.text.as_str()).collect();
+    let set: websyn_common::FxHashSet<&str> = events.iter().map(|e| e.text.as_str()).collect();
     set.len()
 }
 
@@ -349,7 +351,11 @@ mod tests {
         // that cannot be served (standalone movie & franchise intent)
         // are resampled.
         assert!(entity / total > 0.6, "entity share {}", entity / total);
-        assert!(franchise / total > 0.02, "franchise share {}", franchise / total);
+        assert!(
+            franchise / total > 0.02,
+            "franchise share {}",
+            franchise / total
+        );
         assert!(franchise < entity);
     }
 

@@ -106,9 +106,30 @@ fn boilerplate(kind: PageKind, domain: Domain) -> &'static str {
 
 /// Noise-page vocabulary (none of these words appear in catalogs).
 const NOISE_WORDS: &[&str] = &[
-    "recipe", "garden", "weather", "football", "election", "travel", "hotel", "flight",
-    "insurance", "mortgage", "fitness", "yoga", "stocks", "crypto", "knitting", "puzzle",
-    "horoscope", "lottery", "casino", "karaoke", "aquarium", "origami", "chess", "marathon",
+    "recipe",
+    "garden",
+    "weather",
+    "football",
+    "election",
+    "travel",
+    "hotel",
+    "flight",
+    "insurance",
+    "mortgage",
+    "fitness",
+    "yoga",
+    "stocks",
+    "crypto",
+    "knitting",
+    "puzzle",
+    "horoscope",
+    "lottery",
+    "casino",
+    "karaoke",
+    "aquarium",
+    "origami",
+    "chess",
+    "marathon",
 ];
 
 /// The entity-page kinds for a domain, in decreasing order of how early
@@ -172,7 +193,14 @@ pub fn build_pages(catalog: &Catalog, universe: &AliasUniverse, seq: &SeedSequen
 
         for &kind in &kinds[..n_kinds] {
             let id = PageId::from_usize(pages.len());
-            pages.push(entity_page(id, entity, kind, &alt_surfaces, &mut rng, domain));
+            pages.push(entity_page(
+                id,
+                entity,
+                kind,
+                &alt_surfaces,
+                &mut rng,
+                domain,
+            ));
         }
 
         // Extra retail mirrors (more shop pages → more distinct
@@ -462,8 +490,7 @@ mod tests {
         // At least some planted semantic aliases must appear in page
         // bodies, or nickname queries could never be retrieved.
         let (catalog, _, pages) = world_pages();
-        let planted_texts: Vec<&str> =
-            catalog.planted.iter().map(|p| p.text.as_str()).collect();
+        let planted_texts: Vec<&str> = catalog.planted.iter().map(|p| p.text.as_str()).collect();
         if planted_texts.is_empty() {
             return; // tiny catalog may have no franchises
         }

@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn char_ngrams_with_padding() {
         assert_eq!(char_ngrams("abc", 2), vec!["#a", "ab", "bc", "c#"]);
-        assert_eq!(
-            char_ngrams("ab", 3),
-            vec!["##a", "#ab", "ab#", "b##"]
-        );
+        assert_eq!(char_ngrams("ab", 3), vec!["##a", "#ab", "ab#", "b##"]);
     }
 
     #[test]

@@ -77,9 +77,7 @@ pub fn normalize_with(input: &str, opts: NormalizeOptions) -> String {
                     // the 's' ends the word.
                     let mut look = chars.clone();
                     look.next();
-                    let boundary = look
-                        .peek()
-                        .is_none_or(|&c2| !c2.is_alphanumeric());
+                    let boundary = look.peek().is_none_or(|&c2| !c2.is_alphanumeric());
                     if boundary {
                         chars.next(); // consume the 's'
                         push(&mut out, 's', &mut pending_space);
@@ -101,7 +99,11 @@ pub fn normalize_with(input: &str, opts: NormalizeOptions) -> String {
             continue;
         }
 
-        let folded = if opts.fold_diacritics { fold_char(c) } else { c };
+        let folded = if opts.fold_diacritics {
+            fold_char(c)
+        } else {
+            c
+        };
         match folded {
             c if c.is_alphanumeric() => {
                 for lc in c.to_lowercase() {

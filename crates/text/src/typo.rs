@@ -138,10 +138,7 @@ impl TypoModel {
     }
 
     /// An infinite weighted-shuffled cycle over the four ops.
-    fn weighted_op_order<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> impl Iterator<Item = TypoOp> + '_ {
+    fn weighted_op_order<R: Rng + ?Sized>(&self, rng: &mut R) -> impl Iterator<Item = TypoOp> + '_ {
         const OPS: [TypoOp; 4] = [
             TypoOp::Substitute,
             TypoOp::Delete,
@@ -257,7 +254,9 @@ mod tests {
         let model = TypoModel::with_rate(1.0);
         let run = || -> Vec<Option<String>> {
             let mut r = SeedSequence::new(5).rng("det");
-            (0..16).map(|_| model.corrupt("canon eos 350d", &mut r)).collect()
+            (0..16)
+                .map(|_| model.corrupt("canon eos 350d", &mut r))
+                .collect()
         };
         assert_eq!(run(), run());
     }
@@ -295,10 +294,7 @@ mod tests {
     fn neighbour_table_is_symmetric_for_letters() {
         for c in "qwertyuiopasdfghjklzxcvbnm".chars() {
             for n in neighbours(c).chars() {
-                assert!(
-                    neighbours(n).contains(c),
-                    "{c} -> {n} but not {n} -> {c}"
-                );
+                assert!(neighbours(n).contains(c), "{c} -> {n} but not {n} -> {c}");
             }
         }
     }

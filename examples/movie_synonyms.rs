@@ -35,8 +35,7 @@ fn main() {
     let miner = SynonymMiner::default();
     let scored = miner.score(&ctx);
     for beta in [2u32, 4, 6, 8, 10] {
-        let result =
-            websyn::core::miner::select_with(&ctx, &scored, beta, 0.0, miner.config);
+        let result = websyn::core::miner::select_with(&ctx, &scored, beta, 0.0, miner.config);
         let r = evaluate(&result, &ctx, &world);
         println!(
             "{beta:>4}  {:>9.3}  {:>8.3}  {:>8.0}%  {:>8}",

@@ -1,9 +1,7 @@
 //! Baseline behaviour on full synthetic worlds: the structural claims
 //! behind the paper's Table I, at test scale.
 
-use websyn::baselines::{
-    EditDistanceBaseline, SubstringBaseline, WalkBaseline, WikiBaseline,
-};
+use websyn::baselines::{EditDistanceBaseline, SubstringBaseline, WalkBaseline, WikiBaseline};
 use websyn::prelude::*;
 use websyn::synth::queries;
 
@@ -28,11 +26,9 @@ fn wiki_gap_between_movies_and_cameras() {
     // The paper's central Table I contrast: curated redirects cover
     // popular movies far better than tail cameras.
     let movies = World::build(&WorldConfig::small_movies(60, 61));
-    let movies_out =
-        WikiBaseline::for_domain(movies.domain()).run(&movies, movies.seq());
+    let movies_out = WikiBaseline::for_domain(movies.domain()).run(&movies, movies.seq());
     let cameras = World::build(&WorldConfig::small_cameras(400, 61));
-    let cameras_out =
-        WikiBaseline::for_domain(cameras.domain()).run(&cameras, cameras.seq());
+    let cameras_out = WikiBaseline::for_domain(cameras.domain()).run(&cameras, cameras.seq());
     assert!(
         movies_out.hit_ratio() > cameras_out.hit_ratio() + 0.3,
         "movies {:.2} vs cameras {:.2}",
@@ -89,7 +85,8 @@ fn substring_misses_zero_overlap_synonyms() {
         let canonical = &ctx.u_set[i];
         for s in synonyms {
             assert!(
-                s.split(' ').all(|tok| canonical.split(' ').any(|c| c == tok)),
+                s.split(' ')
+                    .all(|tok| canonical.split(' ').any(|c| c == tok)),
                 "substring baseline produced out-of-vocabulary token in {s:?}"
             );
         }
@@ -110,13 +107,13 @@ fn trigram_recovers_misspellings_but_trails_on_nicknames() {
             let e = websyn::common::EntityId::from_usize(i);
             match world.truth.lookup(s).map(|t| t.source) {
                 Some(websyn::synth::AliasSource::Misspelling)
-                    if world.truth.is_true_synonym(s, e) => {
-                        misspellings += 1;
-                    }
-                Some(websyn::synth::AliasSource::Nickname)
-                    if world.truth.is_true_synonym(s, e) => {
-                        nicknames += 1;
-                    }
+                    if world.truth.is_true_synonym(s, e) =>
+                {
+                    misspellings += 1;
+                }
+                Some(websyn::synth::AliasSource::Nickname) if world.truth.is_true_synonym(s, e) => {
+                    nicknames += 1;
+                }
                 _ => {}
             }
         });

@@ -6,8 +6,10 @@
 use websyn::prelude::*;
 use websyn::synth::queries;
 
-fn mine_once(seed: u64, n_events: usize) -> (Vec<(u32, String, u32)>, u64) {
-    let mut world = World::build(&WorldConfig::small_movies(18, seed));
+/// Runs the full pipeline rooted at one master seed and returns the
+/// complete `MiningResult` plus the session click count.
+fn full_result(seq: SeedSequence, n_events: usize) -> (MiningResult, u64) {
+    let mut world = World::build(&WorldConfig::small_movies(18, seq.master()));
     let events = queries::generate(&mut world, &QueryStreamConfig::small(n_events));
     let engine = engine_for_world(&world);
     let (log, stats) = simulate_sessions(&world, &engine, &events, &SessionConfig::default());
@@ -20,6 +22,12 @@ fn mine_once(seed: u64, n_events: usize) -> (Vec<(u32, String, u32)>, u64) {
     let n_pages = world.pages.len();
     let ctx = MiningContext::new(u_set, search, log, n_pages);
     let result = SynonymMiner::new(MinerConfig::with_thresholds(3, 0.1)).mine(&ctx);
+    (result, stats.clicks)
+}
+
+/// The lossy projection the seed tests compare: (entity, text, IPC).
+fn mine_once(seed: u64, n_events: usize) -> (Vec<(u32, String, u32)>, u64) {
+    let (result, clicks) = full_result(SeedSequence::new(seed), n_events);
     let flattened = result
         .per_entity
         .iter()
@@ -29,7 +37,27 @@ fn mine_once(seed: u64, n_events: usize) -> (Vec<(u32, String, u32)>, u64) {
                 .map(move |s| (es.entity.raw(), s.text.clone(), s.ipc))
         })
         .collect();
-    (flattened, stats.clicks)
+    (flattened, clicks)
+}
+
+/// The guarantee trustworthy benchmarks rest on: two runs from the
+/// same `SeedSequence` agree **byte for byte** on the entire
+/// `MiningResult` — every entity, synonym text, IPC count and ICR
+/// float bit — not merely on a lossy summary.
+#[test]
+fn same_seed_sequence_byte_identical_mining_result() {
+    let (a, _) = full_result(SeedSequence::new(1234), 15_000);
+    let (b, _) = full_result(SeedSequence::new(1234), 15_000);
+    let bytes_a = format!("{a:?}").into_bytes();
+    let bytes_b = format!("{b:?}").into_bytes();
+    assert_eq!(
+        bytes_a, bytes_b,
+        "MiningResult byte representations diverged under the same SeedSequence"
+    );
+    assert!(
+        a.total_synonyms() > 0,
+        "trivially-equal empty results prove nothing"
+    );
 }
 
 #[test]

@@ -10,14 +10,8 @@ use websyn::engine::{SearchData, SearchEngine};
 
 /// A random click log: queries "q0".."q{nq}", pages 0..np, and a set of
 /// (query, page, clicks) triples.
-fn arb_click_data(
-    nq: usize,
-    np: usize,
-) -> impl Strategy<Value = Vec<(usize, usize, u8)>> {
-    proptest::collection::vec(
-        (0..nq, 0..np, 1u8..5),
-        1..40,
-    )
+fn arb_click_data(nq: usize, np: usize) -> impl Strategy<Value = Vec<(usize, usize, u8)>> {
+    proptest::collection::vec((0..nq, 0..np, 1u8..5), 1..40)
 }
 
 /// Builds a mining context whose Search Data assigns each query string
@@ -28,11 +22,16 @@ fn build_ctx(clicks: &[(usize, usize, u8)], nq: usize, np: usize) -> MiningConte
     // string retrieves the first few pages deterministically.
     let docs: Vec<(PageId, String, String)> = (0..np)
         .map(|i| {
-            let text = if i < np.min(5) { "u0 entity page" } else { "filler page" };
+            let text = if i < np.min(5) {
+                "u0 entity page"
+            } else {
+                "filler page"
+            };
             (PageId::from_usize(i), format!("title{i}"), text.to_string())
         })
         .collect();
-    let engine = SearchEngine::from_docs(docs.iter().map(|(id, t, b)| (*id, t.as_str(), b.as_str())));
+    let engine =
+        SearchEngine::from_docs(docs.iter().map(|(id, t, b)| (*id, t.as_str(), b.as_str())));
     let u_set = vec!["u0".to_string()];
     let search = SearchData::collect(&engine, &u_set, 10);
 

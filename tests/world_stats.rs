@@ -18,7 +18,11 @@ fn movies_2008_world_shape() {
     }
     // Semantic synonyms (the "indy 4" class) were planted and survived
     // ambiguity resolution.
-    assert!(r.semantic_synonyms >= 10, "semantic {}", r.semantic_synonyms);
+    assert!(
+        r.semantic_synonyms >= 10,
+        "semantic {}",
+        r.semantic_synonyms
+    );
     // The page universe scales like a real Web slice: several pages per
     // entity plus hubs and noise.
     assert!(r.pages_per_entity() >= 4.0);
@@ -74,7 +78,17 @@ fn page_text_is_normalized_everywhere() {
     // assume page text is already in canonical form.
     let world = World::build(&WorldConfig::movies_2008());
     for page in world.pages.iter().take(200) {
-        assert_eq!(websyn::text::normalize(&page.title), page.title, "{}", page.url);
-        assert_eq!(websyn::text::normalize(&page.body), page.body, "{}", page.url);
+        assert_eq!(
+            websyn::text::normalize(&page.title),
+            page.title,
+            "{}",
+            page.url
+        );
+        assert_eq!(
+            websyn::text::normalize(&page.body),
+            page.body,
+            "{}",
+            page.url
+        );
     }
 }

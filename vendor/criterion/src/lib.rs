@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface websyn's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!` —
+//! with a simple measurement loop: warm up briefly, then time batches
+//! until a fixed measurement window elapses and report the mean
+//! ns/iteration to stdout. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies a parameterized benchmark, e.g. `from_query/6`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            full: s.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the closure.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    result_ns: &'a mut f64,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also gives a cost estimate for batching.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        *self.result_ns = total.as_nanos() as f64 / iters as f64;
+        *self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Kept for API compatibility; the stub's measurement window is
+    /// time-based, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep CI-friendly: ~100ms of measurement per benchmark.
+        Self {
+            measurement: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, mut f: F) {
+        let mut ns = 0.0f64;
+        let mut iters = 0u64;
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            result_ns: &mut ns,
+            iters: &mut iters,
+        };
+        f(&mut bencher);
+        println!("{full_name:<48} {:>12.1} ns/iter  ({iters} iters)", ns);
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_closure() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

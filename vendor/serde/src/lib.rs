@@ -1,0 +1,39 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in the websyn workspace serializes at runtime yet — types
+//! derive `Serialize`/`Deserialize` so a real serializer can be wired
+//! in later, and one test asserts the bounds hold. This stub keeps
+//! those derives and bounds compiling without registry access: the
+//! traits are pure markers, blanket-implemented for every type, and the
+//! derives (re-exported from the stub `serde_derive`) expand to
+//! nothing. Swapping in crates.io `serde` later is a manifest-only
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn assert_impls<T: crate::Serialize + crate::de::DeserializeOwned>() {}
+        struct Local(#[allow(dead_code)] u8);
+        assert_impls::<Local>();
+        assert_impls::<Vec<String>>();
+    }
+}

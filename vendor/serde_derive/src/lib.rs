@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` crate blanket-implements its `Serialize` /
+//! `Deserialize` traits for every type, so the derives here only need
+//! to exist for `#[derive(serde::Serialize)]` attributes to resolve —
+//! they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
