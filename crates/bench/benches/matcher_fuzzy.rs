@@ -1,0 +1,124 @@
+//! Criterion micro-benchmark for the matcher's serving paths: exact
+//! segmentation vs fuzzy (n-gram candidate generation + edit-distance
+//! verification) vs batched multi-threaded matching.
+//!
+//! Unlike the general `microbench` suite this binary has a custom
+//! `main` so it can emit a machine-readable perf report,
+//! `BENCH_matcher.json` at the workspace root (override the path with
+//! the `BENCH_MATCHER_JSON` env var) — the start of the matcher's perf
+//! trajectory across PRs.
+//!
+//! Run: `cargo bench -p websyn-bench --bench matcher_fuzzy`
+//! Smoke (CI): `cargo bench -p websyn-bench --bench matcher_fuzzy -- --test`
+
+use criterion::{black_box, Criterion};
+use websyn_bench::small_pipeline;
+use websyn_core::{EntityMatcher, FuzzyConfig, MinerConfig, SynonymMiner};
+use websyn_text::double_middle_char;
+
+/// Queries per batch; every benchmark below walks one full batch per
+/// iteration, so throughput is `BATCH_SIZE / seconds_per_iter`.
+const BATCH_SIZE: usize = 256;
+
+/// Builds `BATCH_SIZE` queries by cycling over the dictionary-bearing
+/// `templates`, embedding each in serving-style intent text.
+fn batch(templates: &[String]) -> Vec<String> {
+    (0..BATCH_SIZE)
+        .map(|i| {
+            let t = &templates[i % templates.len()];
+            match i % 3 {
+                0 => format!("{t} near san francisco"),
+                1 => format!("watch {t} online tonight"),
+                _ => format!("best price for {t}"),
+            }
+        })
+        .collect()
+}
+
+fn bench_matcher_modes(c: &mut Criterion) {
+    let p = small_pipeline(40, 30_000, 13);
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(3, 0.1)).mine(&p.ctx);
+    let exact = EntityMatcher::from_mining(&result, &p.ctx);
+    let fuzzy = exact.clone().with_fuzzy(FuzzyConfig::default());
+
+    // Clean mentions: every canonical surface; misspelled mentions:
+    // the same surfaces, one deterministic edit each.
+    let clean = batch(&p.ctx.u_set);
+    let misspelled = batch(
+        &p.ctx
+            .u_set
+            .iter()
+            .map(|s| double_middle_char(s))
+            .collect::<Vec<String>>(),
+    );
+
+    let mut g = c.benchmark_group("matcher");
+    g.bench_function("exact_segment_clean", |b| {
+        b.iter(|| {
+            for q in &clean {
+                black_box(exact.segment(black_box(q)));
+            }
+        })
+    });
+    g.bench_function("fuzzy_segment_clean", |b| {
+        b.iter(|| {
+            for q in &clean {
+                black_box(fuzzy.segment(black_box(q)));
+            }
+        })
+    });
+    g.bench_function("exact_segment_misspelled", |b| {
+        b.iter(|| {
+            for q in &misspelled {
+                black_box(exact.segment(black_box(q)));
+            }
+        })
+    });
+    g.bench_function("fuzzy_segment_misspelled", |b| {
+        b.iter(|| {
+            for q in &misspelled {
+                black_box(fuzzy.segment(black_box(q)));
+            }
+        })
+    });
+    for shards in [1usize, 2, 8] {
+        g.bench_function(format!("batch_misspelled_{shards}_shards").as_str(), |b| {
+            b.iter(|| black_box(fuzzy.match_batch(black_box(&misspelled), shards)))
+        });
+    }
+    g.finish();
+}
+
+/// Serializes the recorded results as the committed perf artifact.
+fn json_report(c: &Criterion) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"matcher\",\n  \"mode\": \"{}\",\n  \"batch_size\": {BATCH_SIZE},\n  \"results\": [\n",
+        if c.is_smoke() { "smoke" } else { "full" }
+    ));
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let qps = BATCH_SIZE as f64 * 1e9 / r.ns_per_iter;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"queries_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.ns_per_iter,
+            r.iters,
+            qps,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_matcher_modes(&mut c);
+    let path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json").to_string()
+    });
+    let report = json_report(&c);
+    std::fs::write(&path, &report).expect("write BENCH_matcher.json");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,322 @@
+//! Fuzzy surface resolution: candidate generation + verification.
+//!
+//! The exact dictionary in [`crate::matcher`] only resolves surfaces
+//! that were mined or declared verbatim; a query-time typo ("cannon eos
+//! 350d") falls straight through it. This module adds the approximate
+//! half of the paper's title — *fuzzy* matching of Web queries — as a
+//! classic two-stage pipeline:
+//!
+//! 1. **generate** — a [`websyn_text::NgramIndex`] over the dictionary
+//!    surfaces proposes candidates sharing enough character n-grams
+//!    with the query (length and count filters applied);
+//! 2. **verify** — each candidate pays for a real edit-distance
+//!    computation ([`websyn_text::distance`]), and only candidates
+//!    within the length-scaled budget of [`FuzzyConfig`] survive.
+//!
+//! Resolution is *exact-first*: the caller is expected to try the hash
+//! lookup before the fuzzy path, so enabling fuzzy matching never
+//! changes the result for a surface that already resolves exactly.
+//! Among the verified candidates the minimum distance wins; if two
+//! *different* entities tie at the minimum distance the mention is
+//! ambiguous and resolves to nothing, mirroring how the exact
+//! dictionary drops ambiguous surfaces.
+
+use websyn_common::EntityId;
+use websyn_text::{
+    damerau_levenshtein, damerau_levenshtein_within, levenshtein, levenshtein_within, NgramIndex,
+};
+
+/// Tuning for fuzzy surface lookup.
+///
+/// The edit-distance budget scales with string length the way serving
+/// stacks usually configure fuzziness (cf. Lucene/Elasticsearch
+/// `AUTO`): very short strings must match exactly — a single edit on a
+/// 3-char model number reaches a different product — while long titles
+/// tolerate two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyConfig {
+    /// Character n-gram size of the candidate index. Bigrams keep
+    /// short, digit-heavy surfaces ("350d") recallable; trigrams prune
+    /// harder on long text.
+    pub gram_size: usize,
+    /// Minimum normalized char length (query and surface) at which one
+    /// edit is allowed; shorter strings resolve exactly only.
+    pub min_len_one_edit: usize,
+    /// Minimum normalized char length at which two edits are allowed.
+    pub min_len_two_edits: usize,
+    /// Hard cap on the edit distance regardless of length.
+    pub max_distance: usize,
+    /// Count an adjacent transposition ("cnaon") as one edit
+    /// (Damerau/OSA) instead of two (plain Levenshtein).
+    pub transpositions: bool,
+}
+
+impl Default for FuzzyConfig {
+    fn default() -> Self {
+        Self {
+            gram_size: 2,
+            min_len_one_edit: 4,
+            min_len_two_edits: 9,
+            max_distance: 2,
+            transpositions: true,
+        }
+    }
+}
+
+impl FuzzyConfig {
+    /// The edit-distance budget for a normalized string of `chars`
+    /// characters under this config.
+    pub fn max_distance_for(&self, chars: usize) -> usize {
+        let by_len = if chars >= self.min_len_two_edits {
+            2
+        } else if chars >= self.min_len_one_edit {
+            1
+        } else {
+            0
+        };
+        by_len.min(self.max_distance)
+    }
+
+    /// The distance between two normalized strings under the configured
+    /// metric.
+    pub fn distance(&self, a: &str, b: &str) -> usize {
+        if self.transpositions {
+            damerau_levenshtein(a, b)
+        } else {
+            levenshtein(a, b)
+        }
+    }
+
+    /// Bounded form of [`FuzzyConfig::distance`]: `Some(d)` iff
+    /// `d ≤ k`, using the banded O((2k+1)·len) verification kernels —
+    /// this is what the hot path calls, since most candidates are
+    /// rejected.
+    pub fn distance_within(&self, a: &str, b: &str, k: usize) -> Option<usize> {
+        if self.transpositions {
+            damerau_levenshtein_within(a, b, k)
+        } else {
+            levenshtein_within(a, b, k)
+        }
+    }
+}
+
+/// A successful fuzzy resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyMatch {
+    /// The dictionary surface the query resolved to.
+    pub surface: String,
+    /// The entity that surface maps to.
+    pub entity: EntityId,
+    /// Verified edit distance between query and surface (0 = exact).
+    pub distance: usize,
+}
+
+/// The compiled fuzzy side of a matcher dictionary: the surfaces in a
+/// fixed order, their n-gram signature index, and the config.
+///
+/// Surfaces are stored sorted lexicographically, so candidate ids (and
+/// therefore tie-breaking) are deterministic however the dictionary map
+/// iterates.
+#[derive(Debug, Clone)]
+pub struct FuzzyDictionary {
+    config: FuzzyConfig,
+    /// `(surface, entity)` sorted by surface; ids align with `index`.
+    surfaces: Vec<(String, EntityId)>,
+    index: NgramIndex,
+}
+
+impl FuzzyDictionary {
+    /// Compiles the fuzzy dictionary from `(surface, entity)` pairs.
+    /// Pairs may arrive in any order; they are sorted internally.
+    pub fn build(mut pairs: Vec<(String, EntityId)>, config: FuzzyConfig) -> Self {
+        pairs.sort_unstable();
+        let index = NgramIndex::build(pairs.iter().map(|(s, _)| s.as_str()), config.gram_size);
+        Self {
+            config,
+            surfaces: pairs,
+            index,
+        }
+    }
+
+    /// The config the dictionary was compiled with.
+    pub fn config(&self) -> &FuzzyConfig {
+        &self.config
+    }
+
+    /// Number of indexed surfaces.
+    pub fn len(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.surfaces.is_empty()
+    }
+
+    /// Resolves an already-normalized string approximately.
+    ///
+    /// Returns the unique entity whose surface sits at the minimum
+    /// verified distance within budget, or `None` when nothing is close
+    /// enough or the minimum is contested between entities. The caller
+    /// handles the exact (distance 0) path; this method still returns
+    /// an exact hit correctly if asked, since the surface's own grams
+    /// always pass the filters.
+    pub fn resolve(&self, normalized: &str) -> Option<FuzzyMatch> {
+        let q_len = normalized.chars().count();
+        let budget = self.config.max_distance_for(q_len);
+        if budget == 0 {
+            return None;
+        }
+        let mut best: Option<FuzzyMatch> = None;
+        let mut contested = false;
+        for id in self.index.candidates(normalized, budget) {
+            let (surface, entity) = &self.surfaces[id as usize];
+            // Both sides must afford the distance: a short surface does
+            // not become reachable just because the query is long.
+            let allowed = budget.min(self.config.max_distance_for(self.index.surface_len(id)));
+            if allowed == 0 {
+                continue;
+            }
+            let Some(d) = self.config.distance_within(normalized, surface, allowed) else {
+                continue;
+            };
+            match &best {
+                Some(b) if d > b.distance => {}
+                Some(b) if d == b.distance => {
+                    // Surfaces are sorted, so the incumbent is the
+                    // lexicographically smallest at this distance; a
+                    // second *entity* at the same distance makes the
+                    // mention ambiguous.
+                    if *entity != b.entity {
+                        contested = true;
+                    }
+                }
+                _ => {
+                    best = Some(FuzzyMatch {
+                        surface: surface.clone(),
+                        entity: *entity,
+                        distance: d,
+                    });
+                    contested = false;
+                }
+            }
+        }
+        if contested {
+            None
+        } else {
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> FuzzyDictionary {
+        FuzzyDictionary::build(
+            vec![
+                ("canon eos 350d".into(), EntityId::new(2)),
+                ("indiana jones 4".into(), EntityId::new(0)),
+                ("indy 4".into(), EntityId::new(0)),
+                ("madagascar 2".into(), EntityId::new(1)),
+            ],
+            FuzzyConfig::default(),
+        )
+    }
+
+    #[test]
+    fn budget_scales_with_length() {
+        let c = FuzzyConfig::default();
+        assert_eq!(c.max_distance_for(0), 0);
+        assert_eq!(c.max_distance_for(3), 0);
+        assert_eq!(c.max_distance_for(4), 1);
+        assert_eq!(c.max_distance_for(8), 1);
+        assert_eq!(c.max_distance_for(9), 2);
+        assert_eq!(c.max_distance_for(40), 2);
+        let capped = FuzzyConfig {
+            max_distance: 1,
+            ..FuzzyConfig::default()
+        };
+        assert_eq!(capped.max_distance_for(40), 1);
+    }
+
+    #[test]
+    fn one_substitution_resolves() {
+        let m = dict().resolve("cannon eos 350d").expect("fuzzy hit");
+        assert_eq!(m.entity, EntityId::new(2));
+        assert_eq!(m.surface, "canon eos 350d");
+        assert_eq!(m.distance, 1);
+    }
+
+    #[test]
+    fn transposition_costs_one_by_default() {
+        let m = dict().resolve("madagasacr 2").expect("fuzzy hit");
+        assert_eq!(m.entity, EntityId::new(1));
+        assert_eq!(m.distance, 1);
+        let strict = FuzzyDictionary::build(
+            vec![("madagascar 2".into(), EntityId::new(1))],
+            FuzzyConfig {
+                transpositions: false,
+                ..FuzzyConfig::default()
+            },
+        );
+        // Under plain Levenshtein the swap costs 2, still in budget for
+        // a 12-char string.
+        assert_eq!(strict.resolve("madagasacr 2").expect("hit").distance, 2);
+    }
+
+    #[test]
+    fn short_strings_never_resolve_fuzzily() {
+        // "indy 4" is 6 chars: budget 1. A 3-char query gets budget 0.
+        assert!(dict().resolve("ind").is_none());
+        // And a short *surface* is not reachable from a long query:
+        // surface "indy 4" (6 chars) affords 1 edit, not 2.
+        assert!(dict().resolve("inndy 44").is_none());
+        assert!(dict().resolve("indy 44").is_some());
+    }
+
+    #[test]
+    fn beyond_budget_is_rejected() {
+        assert!(dict().resolve("canon eos 999x").is_none());
+        assert!(dict().resolve("totally unrelated").is_none());
+    }
+
+    #[test]
+    fn entity_tie_at_min_distance_is_ambiguous() {
+        let d = FuzzyDictionary::build(
+            vec![
+                ("kodak z812".into(), EntityId::new(5)),
+                ("kodak z712".into(), EntityId::new(6)),
+            ],
+            FuzzyConfig::default(),
+        );
+        // "kodak z912" is distance 1 from both → contested → None.
+        assert!(d.resolve("kodak z912").is_none());
+        // Distance 1 from exactly one → resolves.
+        let m = d.resolve("kodak z8122").expect("unique hit");
+        assert_eq!(m.entity, EntityId::new(5));
+    }
+
+    #[test]
+    fn same_entity_tie_is_fine_and_deterministic() {
+        let d = FuzzyDictionary::build(
+            vec![
+                ("indiana 4".into(), EntityId::new(0)),
+                ("indiano 4".into(), EntityId::new(0)),
+            ],
+            FuzzyConfig::default(),
+        );
+        let m = d.resolve("indians 4").expect("hit");
+        assert_eq!(m.entity, EntityId::new(0));
+        // Lexicographically smallest surface at the tie wins.
+        assert_eq!(m.surface, "indiana 4");
+    }
+
+    #[test]
+    fn empty_dictionary_resolves_nothing() {
+        let d = FuzzyDictionary::build(Vec::new(), FuzzyConfig::default());
+        assert!(d.is_empty());
+        assert!(d.resolve("anything here").is_none());
+    }
+}

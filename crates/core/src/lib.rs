@@ -23,11 +23,14 @@
 //! measure of Section IV (precision, weighted precision, coverage
 //! increase, hit ratio, expansion ratio), [`taxonomy`] classifies mined
 //! strings against the oracle, and [`matcher`] is the downstream
-//! payoff: a fuzzy query → entity matcher built from mined synonyms.
+//! payoff: a fuzzy query → entity matcher built from mined synonyms,
+//! with [`fuzzy`] supplying the approximate (typo-tolerant) lookup path
+//! and batched segmentation for serving.
 
 pub mod candidates;
 pub mod config;
 pub mod data;
+pub mod fuzzy;
 pub mod matcher;
 pub mod measures;
 pub mod metrics;
@@ -39,6 +42,7 @@ pub mod taxonomy;
 pub use candidates::generate_candidates;
 pub use config::MinerConfig;
 pub use data::MiningContext;
+pub use fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
 pub use matcher::{EntityMatcher, MatchSpan};
 pub use measures::{score_candidate, CandidateScore};
 pub use metrics::{evaluate, EvalReport};

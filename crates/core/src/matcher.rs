@@ -5,9 +5,16 @@
 //! The matcher compiles canonical strings plus mined synonyms into a
 //! normalized token-level dictionary, then segments incoming queries
 //! with greedy longest-match so entity mentions are found even when
-//! embedded in longer queries.
+//! embedded in longer queries. With [`FuzzyConfig`] attached
+//! ([`EntityMatcher::with_fuzzy`]) every window that misses the exact
+//! dictionary falls back to n-gram candidate generation plus
+//! edit-distance verification (see [`crate::fuzzy`]), so unmined
+//! misspellings still resolve. [`EntityMatcher::match_batch`] shards a
+//! query batch across scoped threads for serving-path throughput while
+//! keeping output order (and content) deterministic.
 
 use crate::data::MiningContext;
+use crate::fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
 use crate::miner::MiningResult;
 use websyn_common::{EntityId, FxHashMap};
 use websyn_text::normalize;
@@ -19,10 +26,14 @@ pub struct MatchSpan {
     pub start: usize,
     /// One past the last matched token.
     pub end: usize,
-    /// The matched surface (normalized).
+    /// The dictionary surface the mention resolved to (normalized).
+    /// For exact matches this equals the query window verbatim.
     pub surface: String,
     /// The entity it resolves to.
     pub entity: EntityId,
+    /// Edit distance between the query window and `surface`
+    /// (0 = exact match).
+    pub distance: usize,
 }
 
 /// A compiled surface → entity dictionary with a query segmenter.
@@ -32,8 +43,12 @@ pub struct EntityMatcher {
     surfaces: FxHashMap<String, EntityId>,
     /// Longest surface length in tokens (bounds the segmenter window).
     max_tokens: usize,
-    /// Surfaces dropped because they mapped to multiple entities.
+    /// Distinct surfaces dropped because they mapped to multiple
+    /// entities.
     ambiguous_dropped: usize,
+    /// Approximate-lookup side, present once
+    /// [`EntityMatcher::with_fuzzy`] has compiled it.
+    fuzzy: Option<FuzzyDictionary>,
 }
 
 impl EntityMatcher {
@@ -43,7 +58,6 @@ impl EntityMatcher {
     pub fn from_pairs<S: AsRef<str>>(pairs: impl IntoIterator<Item = (S, EntityId)>) -> Self {
         let mut surfaces: FxHashMap<String, EntityId> = FxHashMap::default();
         let mut banned: websyn_common::FxHashSet<String> = Default::default();
-        let mut ambiguous = 0usize;
         for (raw, entity) in pairs {
             let surface = normalize(raw.as_ref());
             if surface.is_empty() || banned.contains(&surface) {
@@ -57,7 +71,6 @@ impl EntityMatcher {
                 Some(_) => {
                     surfaces.remove(&surface);
                     banned.insert(surface);
-                    ambiguous += 2;
                 }
             }
         }
@@ -69,7 +82,10 @@ impl EntityMatcher {
         Self {
             surfaces,
             max_tokens,
-            ambiguous_dropped: ambiguous,
+            // Each banned surface was dropped exactly once, however
+            // many conflicting claims arrived for it.
+            ambiguous_dropped: banned.len(),
+            fuzzy: None,
         }
     }
 
@@ -88,6 +104,22 @@ impl EntityMatcher {
         Self::from_pairs(canonical.chain(mined))
     }
 
+    /// Compiles the fuzzy side of the dictionary (an n-gram signature
+    /// index over every surface) and returns the matcher with
+    /// approximate lookup enabled. Exact surfaces still resolve first;
+    /// see [`crate::fuzzy`] for the resolution rules.
+    pub fn with_fuzzy(mut self, config: FuzzyConfig) -> Self {
+        let pairs: Vec<(String, EntityId)> =
+            self.surfaces.iter().map(|(s, &e)| (s.clone(), e)).collect();
+        self.fuzzy = Some(FuzzyDictionary::build(pairs, config));
+        self
+    }
+
+    /// The fuzzy config, when fuzzy lookup is enabled.
+    pub fn fuzzy_config(&self) -> Option<&FuzzyConfig> {
+        self.fuzzy.as_ref().map(|f| f.config())
+    }
+
     /// Number of distinct surfaces.
     pub fn len(&self) -> usize {
         self.surfaces.len()
@@ -98,7 +130,9 @@ impl EntityMatcher {
         self.surfaces.is_empty()
     }
 
-    /// Surfaces dropped as ambiguous.
+    /// Number of distinct surfaces dropped as ambiguous: each surface
+    /// claimed by two or more entities counts exactly once, no matter
+    /// how many claims arrived.
     pub fn ambiguous_dropped(&self) -> usize {
         self.ambiguous_dropped
     }
@@ -108,9 +142,26 @@ impl EntityMatcher {
         self.surfaces.get(&normalize(query)).copied()
     }
 
+    /// Whole-query match with the fuzzy fallback: exact first, then
+    /// approximate resolution when fuzzy lookup is enabled. Exact hits
+    /// report distance 0.
+    pub fn lookup_fuzzy(&self, query: &str) -> Option<FuzzyMatch> {
+        let normalized = normalize(query);
+        if let Some(&entity) = self.surfaces.get(&normalized) {
+            return Some(FuzzyMatch {
+                surface: normalized,
+                entity,
+                distance: 0,
+            });
+        }
+        self.fuzzy.as_ref()?.resolve(&normalized)
+    }
+
     /// Serializes the dictionary as deterministic TSV
     /// (`surface \t entity-id\n`, sorted by surface) — the deployment
-    /// artifact a serving layer would load.
+    /// artifact a serving layer would load. The fuzzy index is derived
+    /// data and is not serialized; re-attach it with
+    /// [`EntityMatcher::with_fuzzy`] after loading.
     pub fn to_tsv(&self) -> String {
         let mut rows: Vec<(&str, u32)> = self
             .surfaces
@@ -159,6 +210,11 @@ impl EntityMatcher {
     /// Segments a free-form query into entity mentions with greedy
     /// longest-match, left to right. Unmatched tokens are skipped.
     ///
+    /// Within each window the exact dictionary is consulted first; when
+    /// fuzzy lookup is enabled ([`EntityMatcher::with_fuzzy`]) a window
+    /// that misses exactly is resolved approximately before the window
+    /// shrinks, so a typo inside a long mention does not fragment it.
+    ///
     /// # Examples
     ///
     /// ```
@@ -172,6 +228,7 @@ impl EntityMatcher {
     /// assert_eq!(spans.len(), 1);
     /// assert_eq!(spans[0].entity, EntityId::new(7));
     /// assert_eq!(spans[0].surface, "indy 4");
+    /// assert_eq!(spans[0].distance, 0);
     /// ```
     pub fn segment(&self, query: &str) -> Vec<MatchSpan> {
         let normalized = normalize(query);
@@ -182,13 +239,26 @@ impl EntityMatcher {
             let mut matched = false;
             let longest = self.max_tokens.min(tokens.len() - i);
             for window in (1..=longest).rev() {
-                let surface = tokens[i..i + window].join(" ");
-                if let Some(&entity) = self.surfaces.get(&surface) {
+                let window_text = tokens[i..i + window].join(" ");
+                if let Some(&entity) = self.surfaces.get(&window_text) {
                     spans.push(MatchSpan {
                         start: i,
                         end: i + window,
-                        surface,
+                        surface: window_text,
                         entity,
+                        distance: 0,
+                    });
+                    i += window;
+                    matched = true;
+                    break;
+                }
+                if let Some(hit) = self.fuzzy.as_ref().and_then(|f| f.resolve(&window_text)) {
+                    spans.push(MatchSpan {
+                        start: i,
+                        end: i + window,
+                        surface: hit.surface,
+                        entity: hit.entity,
+                        distance: hit.distance,
                     });
                     i += window;
                     matched = true;
@@ -200,6 +270,42 @@ impl EntityMatcher {
             }
         }
         spans
+    }
+
+    /// Segments a batch of queries on up to `shards` scoped threads.
+    ///
+    /// The batch is split into contiguous chunks, one thread per chunk,
+    /// and results are reassembled in input order — so for any shard
+    /// count the output is identical (byte for byte) to mapping
+    /// [`EntityMatcher::segment`] over the batch sequentially.
+    pub fn match_batch<S: AsRef<str> + Sync>(
+        &self,
+        queries: &[S],
+        shards: usize,
+    ) -> Vec<Vec<MatchSpan>> {
+        let shards = shards.max(1).min(queries.len().max(1));
+        if shards == 1 {
+            return queries.iter().map(|q| self.segment(q.as_ref())).collect();
+        }
+        let chunk_size = queries.len().div_ceil(shards);
+        let mut out = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|q| self.segment(q.as_ref()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("matcher shard panicked"));
+            }
+        });
+        out
     }
 }
 
@@ -219,6 +325,10 @@ mod tests {
             ("canon eos 350d", EntityId::new(2)),
             ("350d", EntityId::new(2)),
         ])
+    }
+
+    fn fuzzy_matcher() -> EntityMatcher {
+        matcher().with_fuzzy(FuzzyConfig::default())
     }
 
     #[test]
@@ -269,14 +379,19 @@ mod tests {
         ]);
         assert_eq!(m.lookup("shared name"), None);
         assert_eq!(m.lookup("unique"), Some(EntityId::new(0)));
-        assert_eq!(m.ambiguous_dropped(), 2);
-        // Re-adding after the ban does not resurrect.
+        // One surface was dropped, so the count is one — however many
+        // entities claimed it.
+        assert_eq!(m.ambiguous_dropped(), 1);
+        // Re-adding after the ban does not resurrect, and repeated
+        // claims do not inflate the count.
         let m2 = EntityMatcher::from_pairs(vec![
             ("x", EntityId::new(0)),
             ("x", EntityId::new(1)),
             ("x", EntityId::new(0)),
+            ("x", EntityId::new(2)),
         ]);
         assert_eq!(m2.lookup("x"), None);
+        assert_eq!(m2.ambiguous_dropped(), 1);
     }
 
     #[test]
@@ -335,5 +450,69 @@ mod tests {
             assert!(w[0].end <= w[1].start);
         }
         assert_eq!(spans.len(), 3);
+    }
+
+    #[test]
+    fn fuzzy_lookup_resolves_typos_exact_misses() {
+        let m = fuzzy_matcher();
+        assert_eq!(m.lookup("cannon eos 350d"), None);
+        let hit = m.lookup_fuzzy("cannon eos 350d").expect("fuzzy hit");
+        assert_eq!(hit.entity, EntityId::new(2));
+        assert_eq!(hit.surface, "canon eos 350d");
+        assert_eq!(hit.distance, 1);
+        // Exact surfaces still resolve exactly (distance 0).
+        let exact = m.lookup_fuzzy("INDY 4").expect("exact hit");
+        assert_eq!(exact.entity, EntityId::new(0));
+        assert_eq!(exact.distance, 0);
+    }
+
+    #[test]
+    fn fuzzy_disabled_is_exact_only() {
+        let m = matcher();
+        assert!(m.fuzzy_config().is_none());
+        assert!(m.lookup_fuzzy("cannon eos 350d").is_none());
+        // ("350d" alone would exact-match, so misspell every token.)
+        assert!(m.segment("cannon eos 350dd best price").is_empty());
+    }
+
+    #[test]
+    fn fuzzy_segment_recovers_misspelled_mention() {
+        let m = fuzzy_matcher();
+        let spans = m.segment("cheapest cannon eos 350d deals");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].entity, EntityId::new(2));
+        assert_eq!(spans[0].surface, "canon eos 350d");
+        assert_eq!(spans[0].distance, 1);
+        assert_eq!((spans[0].start, spans[0].end), (1, 4));
+    }
+
+    #[test]
+    fn fuzzy_segment_prefers_exact_window() {
+        // An exact hit in a window must win over any fuzzy resolution
+        // of the same window.
+        let m = fuzzy_matcher();
+        let spans = m.segment("watch madagascar 2 online");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].distance, 0);
+        assert_eq!(spans[0].surface, "madagascar 2");
+    }
+
+    #[test]
+    fn match_batch_is_order_preserving() {
+        let m = fuzzy_matcher();
+        let queries: Vec<String> = vec![
+            "indy 4 near san fran".into(),
+            "cheapest cannon eos 350d deals".into(),
+            "no entities here".into(),
+            "madagascar 2 showtimes".into(),
+            "watch indiana jones 4 online".into(),
+        ];
+        let sequential: Vec<Vec<MatchSpan>> = queries.iter().map(|q| m.segment(q)).collect();
+        for shards in [1usize, 2, 3, 8, 64] {
+            let batched = m.match_batch(&queries, shards);
+            assert_eq!(batched, sequential, "shards={shards}");
+        }
+        // Empty batch, any shard count.
+        assert!(m.match_batch(&Vec::<String>::new(), 4).is_empty());
     }
 }

@@ -89,6 +89,102 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     row1[m]
 }
 
+/// Bounded Levenshtein distance: `Some(d)` iff `d ≤ k`, computed with
+/// a Ukkonen band of width `2k + 1` — O((2k+1)·|a|) time instead of
+/// O(|a|·|b|), the verification workhorse of fuzzy candidate checking
+/// where `k` is small (≤ 2) and most candidates are rejected early.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::{levenshtein, levenshtein_within};
+///
+/// assert_eq!(levenshtein_within("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_within("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_within("same", "same", 0), Some(0));
+/// // Length gap alone exceeds the budget: rejected without any DP.
+/// assert_eq!(levenshtein_within("indy", "indiana", 2), None);
+/// ```
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    banded(a, b, k, false)
+}
+
+/// Bounded Damerau–Levenshtein (OSA) distance: `Some(d)` iff `d ≤ k`,
+/// banded like [`levenshtein_within`] but counting an adjacent
+/// transposition as one edit.
+pub fn damerau_levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    banded(a, b, k, true)
+}
+
+/// Shared banded dynamic program. Cells outside the `|i − j| ≤ k` band
+/// can never hold a value ≤ k, so only the band is computed; a row
+/// whose band minimum exceeds `k` abandons immediately.
+fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
+    // A sentinel "infinite" cost that survives `+ 1` without overflow.
+    const INF: usize = usize::MAX / 2;
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 || m == 0 {
+        return Some(n.max(m)); // length filter above guarantees ≤ k
+    }
+    if k == 0 {
+        return (av == bv).then_some(0);
+    }
+    // The distance can never exceed max(n, m), so a larger bound is
+    // equivalent — and clamping keeps `i + k` from overflowing below.
+    let k = k.min(n.max(m));
+    // Rolling rows i-2 / i-1 / i, each two cells wider than `b` so the
+    // band-edge guard writes below never go out of bounds.
+    let mut row0 = vec![INF; m + 2];
+    let mut row1 = vec![INF; m + 2];
+    let mut row2 = vec![INF; m + 2];
+    for (j, cell) in row1.iter_mut().enumerate().take(m.min(k) + 1) {
+        *cell = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(m);
+        // The buffers rotate, so cells just outside the band hold stale
+        // values from two rows up; the reads below only ever touch
+        // `lo - 1` and (next iteration, via row1) `hi + 1`.
+        if lo > 0 {
+            row2[lo - 1] = INF;
+        }
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let d = if j == 0 {
+                i
+            } else {
+                let cost = usize::from(av[i - 1] != bv[j - 1]);
+                let mut d = (row1[j] + 1).min(row2[j - 1] + 1).min(row1[j - 1] + cost);
+                if transpositions
+                    && i > 1
+                    && j > 1
+                    && av[i - 1] == bv[j - 2]
+                    && av[i - 2] == bv[j - 1]
+                {
+                    d = d.min(row0[j - 2] + 1);
+                }
+                d
+            };
+            row2[j] = d;
+            row_min = row_min.min(d);
+        }
+        if row_min > k {
+            return None;
+        }
+        row2[hi + 1] = INF;
+        std::mem::swap(&mut row0, &mut row1);
+        std::mem::swap(&mut row1, &mut row2);
+    }
+    let d = row1[m];
+    (d <= k).then_some(d)
+}
+
 /// Jaro similarity in `[0, 1]`.
 pub fn jaro(a: &str, b: &str) -> f64 {
     let av: Vec<char> = a.chars().collect();
@@ -208,6 +304,59 @@ mod tests {
     }
 
     #[test]
+    fn bounded_matches_unbounded_within_budget() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("canon eos 350d", "cannon eos 350d"),
+            ("indiana jones", "indianna jnoes"),
+            ("abc", "abc"),
+            ("", ""),
+            ("", "ab"),
+            ("ab", ""),
+            ("typo", "tpyo"),
+            ("pokemon", "pokémon"),
+        ];
+        for (a, b) in pairs {
+            for k in 0..=4 {
+                let lev = levenshtein(a, b);
+                let dam = damerau_levenshtein(a, b);
+                assert_eq!(
+                    levenshtein_within(a, b, k),
+                    (lev <= k).then_some(lev),
+                    "lev({a:?},{b:?}) within {k}"
+                );
+                assert_eq!(
+                    damerau_levenshtein_within(a, b, k),
+                    (dam <= k).then_some(dam),
+                    "dam({a:?},{b:?}) within {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_far_pairs_fast() {
+        assert_eq!(levenshtein_within("abcdefgh", "zyxwvuts", 2), None);
+        assert_eq!(
+            damerau_levenshtein_within("a", "abcd", 2),
+            None,
+            "length filter"
+        );
+    }
+
+    #[test]
+    fn bounded_survives_huge_budgets() {
+        // A bound beyond any possible distance must behave like the
+        // unbounded metric, not overflow the band arithmetic.
+        for k in [usize::MAX, usize::MAX / 2, 1 << 40] {
+            assert_eq!(levenshtein_within("ab", "ab", k), Some(0));
+            assert_eq!(levenshtein_within("kitten", "sitting", k), Some(3));
+            assert_eq!(damerau_levenshtein_within("ca", "ac", k), Some(1));
+            assert_eq!(levenshtein_within("", "abc", k), Some(3));
+        }
+    }
+
+    #[test]
     fn jaro_known_values() {
         assert_eq!(jaro("", ""), 1.0);
         assert_eq!(jaro("a", ""), 0.0);
@@ -274,6 +423,18 @@ mod proptests {
         #[test]
         fn damerau_le_lev(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
             prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn bounded_agrees_with_full_dp(
+            a in "[a-z]{0,10}",
+            b in "[a-z]{0,10}",
+            k in 0usize..5,
+        ) {
+            let lev = levenshtein(&a, &b);
+            prop_assert_eq!(levenshtein_within(&a, &b, k), (lev <= k).then_some(lev));
+            let dam = damerau_levenshtein(&a, &b);
+            prop_assert_eq!(damerau_levenshtein_within(&a, &b, k), (dam <= k).then_some(dam));
         }
 
         #[test]

@@ -15,6 +15,9 @@
 //!   edit distances for the fuzzy baselines;
 //! - [`ngram`] — character/word n-grams and Jaccard/Dice/cosine/overlap
 //!   set similarities;
+//! - [`ngram_index`] — an inverted character n-gram signature index
+//!   with length/count filters, the candidate-generation half of fuzzy
+//!   dictionary lookup;
 //! - [`phonetic`] — Soundex codes for sound-alike candidate grouping;
 //! - [`numerals`] — roman ↔ arabic ↔ word numeral transforms
 //!   ("Indiana Jones IV" ↔ "Indiana Jones 4" ↔ "Indiana Jones Four");
@@ -27,6 +30,7 @@
 pub mod abbrev;
 pub mod distance;
 pub mod ngram;
+pub mod ngram_index;
 pub mod normalize;
 pub mod numerals;
 pub mod phonetic;
@@ -34,10 +38,14 @@ pub mod tokenize;
 pub mod typo;
 
 pub use abbrev::AbbrevKind;
-pub use distance::{damerau_levenshtein, jaro, jaro_winkler, levenshtein, normalized_levenshtein};
+pub use distance::{
+    damerau_levenshtein, damerau_levenshtein_within, jaro, jaro_winkler, levenshtein,
+    levenshtein_within, normalized_levenshtein,
+};
 pub use ngram::{char_ngrams, cosine, dice, jaccard, overlap_coefficient, word_ngrams};
+pub use ngram_index::NgramIndex;
 pub use normalize::{normalize, NormalizeOptions};
 pub use numerals::{arabic_to_roman, arabic_to_words, roman_to_arabic, words_to_arabic};
 pub use phonetic::soundex;
 pub use tokenize::{tokenize, Token, TokenKind};
-pub use typo::TypoModel;
+pub use typo::{double_middle_char, TypoModel};

@@ -1,0 +1,347 @@
+//! Character n-gram signature index for fuzzy candidate generation.
+//!
+//! Verifying an edit distance against every dictionary surface is
+//! O(dictionary), far too slow for a serving path. The standard fix
+//! (Gravano et al., "Approximate String Joins in a Database"; also the
+//! filter stack behind Lucene fuzzy queries) is *candidate generation +
+//! verification*: an inverted index from character n-grams to the
+//! surfaces containing them produces a small candidate set, and only
+//! those candidates pay for a real edit-distance computation.
+//!
+//! [`NgramIndex`] implements the generation half with two filters:
+//!
+//! - **length filter** — strings within edit distance `k` differ in
+//!   length by at most `k`, so candidates outside `len(q) ± k` are
+//!   skipped without touching their grams;
+//! - **count filter, in prefix form** — one edit operation destroys at
+//!   most `n` of a string's padded n-grams, so a surface within
+//!   distance `k` must share at least `T = |G(q)| − k·n` of the query's
+//!   grams; contrapositively, it must contain at least one of *any*
+//!   `|G(q)| − T + 1 = k·n + 1` chosen query grams. Probing only the
+//!   `k·n + 1` grams with the shortest posting lists (the classic
+//!   prefix filter of the similarity-join literature) therefore touches
+//!   every surface that could pass the count bound, without
+//!   maintaining per-candidate counts in the hot loop.
+//!
+//! Both filters are over *distinct* grams (set semantics). For strings
+//! with heavily repeated grams the count bound is approximate, so the
+//! index is a *filter*, not an oracle: it may very rarely miss a true
+//! candidate, and it never certifies one — callers must verify every
+//! candidate with a real distance function (see
+//! [`crate::distance`]).
+//!
+//! Grams are stored as 64-bit FNV hashes rather than strings: the
+//! query path hashes each padded window in place and never allocates
+//! per gram, which matters because the segmenter probes the index for
+//! every query window that misses the exact dictionary. A hash
+//! collision can only *add* a candidate (later rejected by
+//! verification), never lose one.
+
+use websyn_common::FxHashMap;
+
+/// Inverted index from character n-grams to the ids of the dictionary
+/// surfaces that contain them, with length and count filters applied at
+/// query time.
+///
+/// Ids are the 0-based positions of the surfaces in the order they were
+/// passed to [`NgramIndex::build`]; [`NgramIndex::candidates`] returns
+/// them sorted ascending, so output is deterministic for a fixed build
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::NgramIndex;
+///
+/// let idx = NgramIndex::build(["canon eos 350d", "nikon d80"], 2);
+/// // One typo away: candidate generation keeps the right surface.
+/// assert_eq!(idx.candidates("cannon eos 350d", 1), vec![0]);
+/// // Nothing nearby: both filters reject everything.
+/// assert!(idx.candidates("zzzzzzzz", 1).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NgramIndex {
+    /// Gram size `n`.
+    n: usize,
+    /// gram hash → ids of surfaces containing it, ascending.
+    postings: FxHashMap<u64, Vec<u32>>,
+    /// Char length of each indexed surface (for the length filter).
+    lengths: Vec<u32>,
+}
+
+/// FNV-1a over the chars of one padded gram window.
+fn gram_hash(window: &[char]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in window {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Calls `f` with the hash of every padded `n`-gram of `s`, reusing
+/// `buf` as the padded char buffer (no per-gram allocation).
+fn for_each_gram(s: &str, n: usize, buf: &mut Vec<char>, mut f: impl FnMut(u64)) {
+    buf.clear();
+    let pad = n - 1;
+    buf.extend(std::iter::repeat_n('#', pad));
+    buf.extend(s.chars());
+    if buf.len() == pad {
+        return; // empty string: no grams, matching `char_ngrams`.
+    }
+    buf.extend(std::iter::repeat_n('#', pad));
+    for w in buf.windows(n) {
+        f(gram_hash(w));
+    }
+}
+
+impl NgramIndex {
+    /// Indexes `surfaces` with gram size `n`. Empty surfaces are kept
+    /// (they occupy an id) but generate no grams and are never returned
+    /// as candidates.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`: a zero-gram index can generate no
+    /// signatures.
+    pub fn build<S: AsRef<str>>(surfaces: impl IntoIterator<Item = S>, n: usize) -> Self {
+        assert!(n > 0, "gram size must be positive");
+        let mut postings: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut lengths = Vec::new();
+        let mut buf = Vec::new();
+        for (id, surface) in surfaces.into_iter().enumerate() {
+            let surface = surface.as_ref();
+            let id = u32::try_from(id).expect("more than u32::MAX surfaces");
+            lengths.push(surface.chars().count() as u32);
+            for_each_gram(surface, n, &mut buf, |gram| {
+                let ids = postings.entry(gram).or_default();
+                // Ids arrive in ascending order, so a duplicate gram
+                // within one surface is always the current tail entry.
+                if ids.last() != Some(&id) {
+                    ids.push(id);
+                }
+            });
+        }
+        Self {
+            n,
+            postings,
+            lengths,
+        }
+    }
+
+    /// Gram size the index was built with.
+    pub fn gram_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of indexed surfaces.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the index holds no surfaces.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Number of distinct grams in the index.
+    pub fn n_grams(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Char length of surface `id` as recorded at build time.
+    pub fn surface_len(&self, id: u32) -> usize {
+        self.lengths[id as usize] as usize
+    }
+
+    /// Ids of surfaces that pass both filters for `query` at edit
+    /// distance `max_dist`, sorted ascending. Every returned id still
+    /// needs edit-distance verification; with `max_dist == 0` the
+    /// result is empty (use an exact map for distance 0).
+    pub fn candidates(&self, query: &str, max_dist: usize) -> Vec<u32> {
+        if max_dist == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // The segmenter calls this for every window that misses the
+        // exact dictionary, so the gram buffers are thread-local
+        // scratch rather than per-call allocations.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<char>, Vec<u64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with_borrow_mut(|(buf, grams)| {
+            grams.clear();
+            for_each_gram(query, self.n, buf, |gram| grams.push(gram));
+            grams.sort_unstable();
+            grams.dedup();
+            if grams.is_empty() {
+                return Vec::new();
+            }
+            let q_len = query.chars().count() as u32;
+
+            // Prefix form of the count filter: a qualifying surface shares
+            // at least |G(q)| − k·n query grams, so it must contain one of
+            // the k·n + 1 probed grams — probe the rarest (shortest
+            // posting lists; a gram absent from the index is rarest of
+            // all). This is the segmenter's hottest loop: only the probed
+            // lists are scanned, and the length filter keeps far-length
+            // surfaces out of the union.
+            let probe_count = (max_dist * self.n + 1).min(grams.len());
+            let mut lists: Vec<&[u32]> = grams
+                .iter()
+                .map(|g| self.postings.get(g).map_or(&[][..], |ids| ids.as_slice()))
+                .collect();
+            if lists.len() > probe_count {
+                lists.sort_unstable_by_key(|ids| ids.len());
+                lists.truncate(probe_count);
+            }
+            let mut out = Vec::new();
+            for ids in lists {
+                for &id in ids {
+                    if self.lengths[id as usize].abs_diff(q_len) <= max_dist as u32 {
+                        out.push(id);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::damerau_levenshtein;
+
+    fn index() -> NgramIndex {
+        NgramIndex::build(
+            [
+                "canon eos 350d",
+                "canon eos 400d",
+                "nikon d80",
+                "indiana jones 4",
+                "indy 4",
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn exact_string_is_its_own_candidate() {
+        let idx = index();
+        let surfaces = [
+            "canon eos 350d",
+            "canon eos 400d",
+            "nikon d80",
+            "indiana jones 4",
+            "indy 4",
+        ];
+        for (id, s) in surfaces.iter().enumerate() {
+            assert!(
+                idx.candidates(s, 1).contains(&(id as u32)),
+                "{s} not in its own candidate set"
+            );
+        }
+    }
+
+    #[test]
+    fn one_typo_keeps_the_true_surface() {
+        let idx = index();
+        // substitution, deletion, insertion, transposition.
+        for q in [
+            "cannon eos 350d",
+            "canon eos 350",
+            "canon eos 3500d",
+            "cnaon eos 350d",
+        ] {
+            let cands = idx.candidates(q, 2);
+            assert!(cands.contains(&0), "{q:?} lost surface 0: {cands:?}");
+        }
+    }
+
+    #[test]
+    fn length_filter_prunes_far_lengths() {
+        let idx = index();
+        // "indy 4" (6 chars) can never be within distance 1 of a
+        // 14-char surface.
+        for id in idx.candidates("indy 4", 1) {
+            assert!(idx.surface_len(id).abs_diff(6) <= 1);
+        }
+    }
+
+    #[test]
+    fn unrelated_query_yields_nothing() {
+        let idx = index();
+        assert!(idx.candidates("zzzz qqqq wwww", 2).is_empty());
+    }
+
+    #[test]
+    fn zero_distance_and_empty_inputs() {
+        let idx = index();
+        assert!(idx.candidates("canon eos 350d", 0).is_empty());
+        assert!(idx.candidates("", 2).is_empty());
+        let empty = NgramIndex::build(std::iter::empty::<&str>(), 2);
+        assert!(empty.is_empty());
+        assert!(empty.candidates("anything", 2).is_empty());
+    }
+
+    #[test]
+    fn empty_surface_occupies_id_but_never_matches() {
+        let idx = NgramIndex::build(["", "abc"], 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.candidates("abc", 1), vec![1]);
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deterministic() {
+        let idx = index();
+        let a = idx.candidates("canon eos 300d", 2);
+        let b = idx.candidates("canon eos 300d", 2);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn duplicate_grams_counted_once_per_surface() {
+        // "aaaa" has padded bigrams {#a, aa, a#}: 3 distinct.
+        let idx = NgramIndex::build(["aaaa"], 2);
+        assert_eq!(idx.n_grams(), 3);
+        // Still recalled under one edit.
+        assert_eq!(idx.candidates("aaab", 1), vec![0]);
+    }
+
+    #[test]
+    fn every_verified_neighbour_survives_generation_on_this_dictionary() {
+        // On a duplicate-light dictionary the filter stack is lossless:
+        // brute-force every surface within the distance budget and
+        // check generation kept it.
+        let surfaces = [
+            "canon eos 350d",
+            "canon eos 400d",
+            "nikon d80",
+            "indiana jones 4",
+            "indy 4",
+        ];
+        let idx = NgramIndex::build(surfaces, 2);
+        for q in ["canon eos 350d", "cannon eos 400d", "nikon d8", "indy 44"] {
+            let cands = idx.candidates(q, 2);
+            for (id, s) in surfaces.iter().enumerate() {
+                if damerau_levenshtein(q, s) <= 2 {
+                    assert!(
+                        cands.contains(&(id as u32)),
+                        "{q:?} lost true neighbour {s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gram size must be positive")]
+    fn zero_gram_size_panics() {
+        let _ = NgramIndex::build(["x"], 0);
+    }
+}

@@ -202,6 +202,33 @@ fn apply_op<R: Rng + ?Sized>(
     Some(out.into_iter().collect())
 }
 
+/// Deterministic one-edit corruption with no RNG: doubles the middle
+/// character (a [`TypoOp::Insert`] at a fixed position). Benches,
+/// examples and determinism tests share this so "one reproducible
+/// misspelling" means the same thing everywhere. Empty input is
+/// returned unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_text::typo::double_middle_char;
+///
+/// assert_eq!(double_middle_char("canon"), "cannon");
+/// assert_eq!(double_middle_char(""), "");
+/// ```
+pub fn double_middle_char(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mid = chars.len() / 2;
+    let mut out = String::with_capacity(s.len() + 1);
+    for (i, &c) in chars.iter().enumerate() {
+        out.push(c);
+        if i == mid {
+            out.push(c);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,12 +5,16 @@
 //!
 //! Builds the dictionary from a mined world, then runs a small "query
 //! front-end" loop over a fixed set of incoming queries, reporting
-//! entity resolutions exactly as an answering layer would consume them.
+//! entity resolutions exactly as an answering layer would consume them —
+//! first with the exact dictionary, then with fuzzy (typo-tolerant)
+//! matching enabled and the batch sharded across threads.
 //!
 //! Run: `cargo run --example query_matching --release`
 
+use websyn::core::FuzzyConfig;
 use websyn::prelude::*;
 use websyn::synth::queries;
+use websyn::text::double_middle_char;
 
 fn main() {
     // Mine a dictionary from a mid-sized movie world.
@@ -36,9 +40,11 @@ fn main() {
     );
     let enriched = EntityMatcher::from_mining(&result, &ctx);
     println!(
-        "dictionary: {} canonical surfaces -> {} enriched surfaces",
+        "dictionary: {} canonical surfaces -> {} enriched surfaces \
+         ({} dropped as ambiguous)",
         canonical_only.len(),
-        enriched.len()
+        enriched.len(),
+        enriched.ambiguous_dropped()
     );
 
     // A batch of incoming "user" queries: mined synonym surfaces
@@ -85,5 +91,48 @@ fn main() {
     assert!(
         resolved_enriched >= resolved_canonical,
         "mined dictionary must not resolve fewer queries"
+    );
+
+    // The same front end with typos in every mention: exact matching
+    // collapses, fuzzy matching (n-gram candidates + edit-distance
+    // verification) recovers most of it. `match_batch` shards the
+    // batch across threads with byte-identical output.
+    let fuzzy = enriched.clone().with_fuzzy(FuzzyConfig::default());
+    let misspelled: Vec<String> = incoming.iter().map(|q| double_middle_char(q)).collect();
+    let exact_results = enriched.match_batch(&misspelled, 4);
+    let fuzzy_results = fuzzy.match_batch(&misspelled, 4);
+    let resolved = |results: &[Vec<MatchSpan>]| results.iter().filter(|s| !s.is_empty()).count();
+
+    println!("\nmisspelled front end (one typo per query):");
+    println!(
+        "  exact dictionary: {}/{}",
+        resolved(&exact_results),
+        misspelled.len()
+    );
+    println!(
+        "  fuzzy matching:   {}/{}",
+        resolved(&fuzzy_results),
+        misspelled.len()
+    );
+    for (q, spans) in misspelled.iter().zip(&fuzzy_results).take(4) {
+        match spans.first() {
+            Some(span) => println!(
+                "  {:?}\n    -> {:?} (surface {:?}, distance {})",
+                q,
+                world.entities[span.entity.as_usize()].canonical,
+                span.surface,
+                span.distance
+            ),
+            None => println!("  {q:?}\n    -> no entity"),
+        }
+    }
+    assert!(
+        resolved(&fuzzy_results) >= resolved(&exact_results),
+        "fuzzy matching must not resolve fewer misspelled queries"
+    );
+    assert_eq!(
+        fuzzy.match_batch(&misspelled, 1),
+        fuzzy_results,
+        "sharded output must equal sequential output"
     );
 }

@@ -73,7 +73,8 @@ pub mod prelude {
     pub use websyn_click::{ClickGraph, ClickLog, ClickModel, RandomWalk, SessionConfig};
     pub use websyn_common::{EntityId, PageId, QueryId, SeedSequence};
     pub use websyn_core::{
-        evaluate, EntityMatcher, EvalReport, MinerConfig, MiningContext, MiningResult, SynonymMiner,
+        evaluate, EntityMatcher, EvalReport, FuzzyConfig, MatchSpan, MinerConfig, MiningContext,
+        MiningResult, SynonymMiner,
     };
     pub use websyn_engine::{SearchData, SearchEngine};
     pub use websyn_synth::{QueryStreamConfig, World, WorldConfig};

@@ -108,6 +108,55 @@ fn parallel_scoring_is_order_stable() {
 }
 
 #[test]
+fn match_batch_shard_counts_are_byte_identical() {
+    use websyn::core::FuzzyConfig;
+
+    // A mined dictionary with the fuzzy path enabled, hit with a mix of
+    // clean, misspelled, and junk queries — sharding must never change
+    // a single byte of the output.
+    let mut world = World::build(&WorldConfig::small_movies(20, 21));
+    let events = queries::generate(&mut world, &QueryStreamConfig::small(15_000));
+    let engine = engine_for_world(&world);
+    let (log, _) = simulate_sessions(&world, &engine, &events, &SessionConfig::default());
+    let u_set: Vec<String> = world
+        .entities
+        .iter()
+        .map(|e| e.canonical_norm.clone())
+        .collect();
+    let search = SearchData::collect(&engine, &u_set, 10);
+    let n_pages = world.pages.len();
+    let ctx = MiningContext::new(u_set, search, log, n_pages);
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(3, 0.1)).mine(&ctx);
+    let matcher = EntityMatcher::from_mining(&result, &ctx).with_fuzzy(FuzzyConfig::default());
+
+    let mut queries_batch: Vec<String> = Vec::new();
+    for u in &ctx.u_set {
+        queries_batch.push(format!("{u} near san francisco"));
+        let misspelled = websyn::text::double_middle_char(u);
+        queries_batch.push(format!("watch {misspelled} online"));
+        queries_batch.push("completely unrelated query text".to_string());
+    }
+
+    let reference = matcher.match_batch(&queries_batch, 1);
+    let reference_bytes = format!("{reference:?}").into_bytes();
+    assert!(
+        reference.iter().any(|spans| !spans.is_empty()),
+        "trivially-equal empty outputs prove nothing"
+    );
+    for shards in [2usize, 8] {
+        let sharded = matcher.match_batch(&queries_batch, shards);
+        assert_eq!(
+            format!("{sharded:?}").into_bytes(),
+            reference_bytes,
+            "{shards}-shard output diverged from single-shard"
+        );
+    }
+    // And the single-shard path agrees with plain segment().
+    let sequential: Vec<_> = queries_batch.iter().map(|q| matcher.segment(q)).collect();
+    assert_eq!(reference, sequential);
+}
+
+#[test]
 fn session_replicas_share_world_but_differ_in_clicks() {
     let mut world = World::build(&WorldConfig::small_movies(12, 77));
     let events = queries::generate(&mut world, &QueryStreamConfig::small(8_000));

@@ -161,6 +161,92 @@ proptest! {
     }
 }
 
+/// A small universe of dictionary-ish surfaces for the fuzzy-matcher
+/// properties: 1–2 tokens, long enough that some (not all) afford
+/// edits under the default config.
+fn arb_surfaces() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{3,10}( [a-z0-9]{2,6})?", 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fuzzy matcher never resolves to a surface beyond the
+    /// length-scaled edit-distance budget of its config — the
+    /// verification stage is authoritative, whatever candidate
+    /// generation proposes.
+    #[test]
+    fn fuzzy_never_fires_beyond_configured_distance(
+        surfaces in arb_surfaces(),
+        query in "[a-z]{1,12}( [a-z0-9]{1,6})?",
+    ) {
+        use websyn::core::FuzzyConfig;
+        use websyn::text::normalize;
+
+        let cfg = FuzzyConfig::default();
+        let m = websyn::core::EntityMatcher::from_pairs(
+            surfaces
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), websyn::common::EntityId::from_usize(i))),
+        )
+        .with_fuzzy(cfg.clone());
+        if let Some(hit) = m.lookup_fuzzy(&query) {
+            let q = normalize(&query);
+            // Reported distance is the real metric distance…
+            prop_assert_eq!(hit.distance, cfg.distance(&q, &hit.surface));
+            // …and within the budget of BOTH sides' lengths.
+            let allowed = cfg
+                .max_distance_for(q.chars().count())
+                .min(cfg.max_distance_for(hit.surface.chars().count()));
+            if hit.distance > 0 {
+                prop_assert!(
+                    hit.distance <= allowed,
+                    "distance {} exceeds budget {} for {:?} -> {:?}",
+                    hit.distance, allowed, q, hit.surface
+                );
+            }
+        }
+        // Same property for every span the segmenter emits.
+        for span in m.segment(&query) {
+            if span.distance > 0 {
+                prop_assert!(
+                    span.distance <= cfg.max_distance_for(span.surface.chars().count()),
+                    "span distance {} beyond budget for {:?}",
+                    span.distance, span.surface
+                );
+            }
+        }
+    }
+
+    /// Enabling fuzzy matching changes nothing for surfaces that
+    /// resolve exactly: same entity, distance 0, identical spans.
+    #[test]
+    fn exact_surfaces_resolve_identically_with_fuzzy_enabled(
+        surfaces in arb_surfaces(),
+    ) {
+        use websyn::core::FuzzyConfig;
+
+        let exact = websyn::core::EntityMatcher::from_pairs(
+            surfaces
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), websyn::common::EntityId::from_usize(i))),
+        );
+        let fuzzy = exact.clone().with_fuzzy(FuzzyConfig::default());
+        for s in &surfaces {
+            // Only surfaces that survived dictionary compilation
+            // (duplicates claimed by two entities are dropped).
+            let Some(entity) = exact.lookup(s) else { continue };
+            prop_assert_eq!(fuzzy.lookup(s), Some(entity));
+            let hit = fuzzy.lookup_fuzzy(s).expect("exact surface must resolve");
+            prop_assert_eq!(hit.entity, entity);
+            prop_assert_eq!(hit.distance, 0);
+            prop_assert_eq!(exact.segment(s), fuzzy.segment(s));
+        }
+    }
+}
+
 #[test]
 fn matcher_segmentation_never_overlaps() {
     use websyn::core::EntityMatcher;

@@ -6,9 +6,31 @@
 //! with a simple measurement loop: warm up briefly, then time batches
 //! until a fixed measurement window elapses and report the mean
 //! ns/iteration to stdout. No statistics, plots, or baselines.
+//!
+//! Two additions beyond plain timing support machine-readable perf
+//! tracking:
+//!
+//! - [`Criterion::configure_from_args`] honours the real crate's
+//!   `--test` CLI flag (smoke mode: a few-millisecond measurement
+//!   window per benchmark, for CI) and ignores the other flags cargo
+//!   forwards to `harness = false` bench binaries;
+//! - every completed benchmark is recorded as a [`BenchResult`]
+//!   retrievable via [`Criterion::results`], so a bench `main` can emit
+//!   a JSON perf report next to the human-readable stdout lines.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -104,6 +126,8 @@ impl BenchmarkGroup<'_> {
 /// The benchmark driver.
 pub struct Criterion {
     measurement: Duration,
+    results: Vec<BenchResult>,
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -111,6 +135,8 @@ impl Default for Criterion {
         // Keep CI-friendly: ~100ms of measurement per benchmark.
         Self {
             measurement: Duration::from_millis(100),
+            results: Vec::new(),
+            smoke: false,
         }
     }
 }
@@ -119,6 +145,29 @@ impl Criterion {
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement = d;
         self
+    }
+
+    /// Applies the process CLI arguments the way the real crate's
+    /// harness does for the subset this stub understands: `--test`
+    /// switches to smoke mode (run every benchmark, but only for a
+    /// ~2ms window each); everything else cargo passes to a bench
+    /// binary (`--bench`, filter strings…) is accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().skip(1).any(|a| a == "--test") {
+            self.smoke = true;
+            self.measurement = Duration::from_millis(2);
+        }
+        self
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Every benchmark recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -146,6 +195,11 @@ impl Criterion {
         };
         f(&mut bencher);
         println!("{full_name:<48} {:>12.1} ns/iter  ({iters} iters)", ns);
+        self.results.push(BenchResult {
+            name: full_name.to_string(),
+            ns_per_iter: ns,
+            iters,
+        });
     }
 
     /// Called by `criterion_main!` after all groups run.
@@ -165,7 +219,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default().configure_from_args();
             $($group(&mut c);)+
             c.final_summary();
         }
@@ -186,5 +240,13 @@ mod tests {
             b.iter(|| black_box(n * 2))
         });
         g.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "g/noop");
+        assert_eq!(results[1].name, "g/param/3");
+        for r in results {
+            assert!(r.ns_per_iter > 0.0);
+            assert!(r.iters > 0);
+        }
     }
 }
