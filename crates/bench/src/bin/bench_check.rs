@@ -1,0 +1,169 @@
+//! Schema gate for the committed matcher perf artifact.
+//!
+//! `BENCH_matcher.json` is the matcher's perf trajectory across PRs;
+//! CI regenerates it in smoke mode and this binary fails the job if
+//! the schema or the benchmark key set regresses — a rename, a dropped
+//! benchmark, or a malformed emitter would otherwise silently break
+//! the cross-PR comparison.
+//!
+//! Run: `cargo run --release -p websyn-bench --bin bench_check`
+//! (reads the workspace-root `BENCH_matcher.json`, or the path in the
+//! `BENCH_MATCHER_JSON` env var).
+//!
+//! The checker is deliberately hand-rolled and line-oriented — the
+//! emitter in `benches/matcher_fuzzy.rs` writes one result per line —
+//! because the workspace has no JSON parser dependency (see
+//! vendor/README.md).
+
+use std::process::ExitCode;
+
+/// Benchmark names that must be present, in any order. Keep in sync
+/// with `benches/matcher_fuzzy.rs` (modes + dictionary sweep).
+const REQUIRED_BENCHES: [&str; 10] = [
+    "matcher/exact_segment_clean",
+    "matcher/fuzzy_segment_clean",
+    "matcher/exact_segment_misspelled",
+    "matcher/fuzzy_segment_misspelled",
+    "matcher/batch_misspelled_1_shards",
+    "matcher/batch_misspelled_2_shards",
+    "matcher/batch_misspelled_8_shards",
+    "matcher/exact_segment_dict1000",
+    "matcher/exact_segment_dict10000",
+    "matcher/exact_segment_dict50000",
+];
+
+/// Fields every result row must carry.
+const RESULT_FIELDS: [&str; 4] = [
+    "\"name\"",
+    "\"ns_per_iter\"",
+    "\"iters\"",
+    "\"queries_per_sec\"",
+];
+
+/// Extracts the string value of `"key": "value"` on `line`, if any.
+fn string_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts the numeric value of `"key": <number>` on `line`, if any.
+fn number_value(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .map_or(line.len(), |p| p + start);
+    line[start..end].parse().ok()
+}
+
+fn check(content: &str) -> Result<usize, String> {
+    // Top-level keys.
+    for key in [
+        "\"bench\": \"matcher\"",
+        "\"mode\":",
+        "\"batch_size\":",
+        "\"results\": [",
+    ] {
+        if !content.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let mode = string_value(content, "mode").ok_or("unreadable \"mode\"")?;
+    if !matches!(mode, "full" | "smoke") {
+        return Err(format!("mode must be full|smoke, got {mode:?}"));
+    }
+
+    // Result rows: one per line, every field present and sane.
+    let mut seen: Vec<String> = Vec::new();
+    for line in content.lines().filter(|l| l.contains("\"name\"")) {
+        for field in RESULT_FIELDS {
+            if !line.contains(field) {
+                return Err(format!("result row missing {field}: {line}"));
+            }
+        }
+        let name = string_value(line, "name").ok_or("unreadable result name")?;
+        let qps = number_value(line, "queries_per_sec")
+            .ok_or_else(|| format!("unreadable queries_per_sec for {name}"))?;
+        if qps <= 0.0 {
+            return Err(format!(
+                "{name}: queries_per_sec must be positive, got {qps}"
+            ));
+        }
+        if number_value(line, "ns_per_iter").is_none_or(|ns| ns <= 0.0) {
+            return Err(format!("{name}: ns_per_iter must be positive"));
+        }
+        if seen.iter().any(|s| s == name) {
+            return Err(format!("duplicate result name {name}"));
+        }
+        seen.push(name.to_string());
+    }
+    for required in REQUIRED_BENCHES {
+        if !seen.iter().any(|s| s == required) {
+            return Err(format!("missing benchmark {required}"));
+        }
+    }
+    Ok(seen.len())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json").to_string()
+    });
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&content) {
+        Ok(n) => {
+            println!("bench_check: {path} ok ({n} results, all required keys present)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_check: {path}: SCHEMA REGRESSION: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> String {
+        let rows: Vec<String> = REQUIRED_BENCHES
+            .iter()
+            .map(|name| {
+                format!(
+                    "    {{\"name\": \"{name}\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 1000}},"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"matcher\",\n  \"mode\": \"smoke\",\n  \"batch_size\": 256,\n  \"results\": [\n{}\n  ]\n}}\n",
+            rows.join("\n")
+        )
+    }
+
+    #[test]
+    fn accepts_the_emitted_schema() {
+        assert_eq!(check(&valid()), Ok(REQUIRED_BENCHES.len()));
+    }
+
+    #[test]
+    fn rejects_missing_bench_and_bad_values() {
+        let missing = valid().replace("exact_segment_dict50000", "exact_segment_dict999");
+        assert!(check(&missing).unwrap_err().contains("missing benchmark"));
+        let zero = valid().replace("\"queries_per_sec\": 1000", "\"queries_per_sec\": 0");
+        assert!(check(&zero).unwrap_err().contains("positive"));
+        let dropped = valid().replace("\"iters\": 3, ", "");
+        assert!(check(&dropped).unwrap_err().contains("\"iters\""));
+        assert!(check("{}").unwrap_err().contains("missing top-level"));
+        let badmode = valid().replace("\"mode\": \"smoke\"", "\"mode\": \"partial\"");
+        assert!(check(&badmode).unwrap_err().contains("mode"));
+    }
+}

@@ -94,6 +94,22 @@ define_id!(
     TermId,
     "t"
 );
+define_id!(
+    /// Identifier of a dictionary token in a compiled matcher
+    /// dictionary's token vocabulary (see `websyn-core`'s `dict`
+    /// module). Distinct from [`TermId`]: the matcher's token space is
+    /// compiled per dictionary, not per inverted index.
+    TokenId,
+    "tok"
+);
+define_id!(
+    /// Identifier of a dictionary surface (a normalized synonym or
+    /// canonical string) in a compiled matcher dictionary. Surface ids
+    /// are assigned in lexicographic surface order, so comparing ids
+    /// compares surfaces.
+    SurfaceId,
+    "s"
+);
 
 #[cfg(test)]
 mod tests {
@@ -115,6 +131,8 @@ mod tests {
         assert_eq!(PageId::new(4).to_string(), "p4");
         assert_eq!(EntityId::new(5).to_string(), "e5");
         assert_eq!(TermId::new(6).to_string(), "t6");
+        assert_eq!(TokenId::new(7).to_string(), "tok7");
+        assert_eq!(SurfaceId::new(8).to_string(), "s8");
     }
 
     #[test]
@@ -134,6 +152,8 @@ mod tests {
         assert_eq!(std::mem::size_of::<PageId>(), 4);
         assert_eq!(std::mem::size_of::<EntityId>(), 4);
         assert_eq!(std::mem::size_of::<TermId>(), 4);
+        assert_eq!(std::mem::size_of::<TokenId>(), 4);
+        assert_eq!(std::mem::size_of::<SurfaceId>(), 4);
         // Option<id> should also stay small enough to embed in tuples.
         assert!(std::mem::size_of::<Option<PageId>>() <= 8);
     }

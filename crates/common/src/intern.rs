@@ -125,6 +125,35 @@ where
             .enumerate()
             .map(|(i, s)| (Id::from(i as u32), s.as_ref()))
     }
+
+    /// Interns every whitespace-separated token of `s`, returning the
+    /// ids in token order. The workhorse of compiled-dictionary builds,
+    /// where surfaces arrive as normalized single-spaced strings.
+    pub fn intern_tokens(&mut self, s: &str, out: &mut Vec<Id>) {
+        out.clear();
+        for tok in s.split(' ').filter(|t| !t.is_empty()) {
+            out.push(self.intern(tok));
+        }
+    }
+
+    /// Drops the slack capacity of both directions of the map. Builders
+    /// call this once the vocabulary is final, so long-lived compiled
+    /// dictionaries don't carry growth headroom around.
+    pub fn shrink_to_fit(&mut self) {
+        self.strings.shrink_to_fit();
+        self.lookup.shrink_to_fit();
+    }
+}
+
+impl<'a, Id> Extend<&'a str> for StringInterner<Id>
+where
+    Id: Copy + From<u32> + Into<u32>,
+{
+    fn extend<T: IntoIterator<Item = &'a str>>(&mut self, iter: T) {
+        for s in iter {
+            self.intern(s);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +210,23 @@ mod tests {
         let i: StringInterner<QueryId> = StringInterner::with_capacity(10);
         assert!(i.is_empty());
         assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn intern_tokens_and_extend() {
+        let mut i: StringInterner<QueryId> = StringInterner::new();
+        let mut ids = Vec::new();
+        i.intern_tokens("indiana jones 4", &mut ids);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(i.resolve(ids[0]), "indiana");
+        assert_eq!(i.resolve(ids[2]), "4");
+        // Repeated tokens reuse ids; `out` is cleared each call.
+        i.intern_tokens("jones jones", &mut ids);
+        assert_eq!(ids, vec![i.get("jones").unwrap(); 2]);
+        i.extend(["x", "jones", "y"]);
+        assert_eq!(i.len(), 5);
+        i.shrink_to_fit();
+        assert_eq!(i.resolve(i.get("x").unwrap()), "x");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod zipf;
 
 pub use error::{Error, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ids::{EntityId, PageId, QueryId, TermId};
+pub use ids::{EntityId, PageId, QueryId, SurfaceId, TermId, TokenId};
 pub use intern::StringInterner;
 pub use rng::SeedSequence;
 pub use stats::Summary;

@@ -1,0 +1,426 @@
+//! The compiled token-ID dictionary behind [`crate::matcher`].
+//!
+//! The PR-2 matcher kept its dictionary as a `String → EntityId` hash
+//! map, so every segmenter window paid for a `join(" ")` allocation and
+//! a string hash before it could even miss. At web-serving rates the
+//! segmenter *is* the front end (cf. Gollapudi et al., "Efficient Query
+//! Rewrite for Structured Web Queries", which compiles rewrites into a
+//! lookup structure for exactly this reason), so the dictionary is now
+//! *compiled*:
+//!
+//! - every distinct dictionary token is interned to a dense
+//!   [`TokenId`] through [`websyn_common::StringInterner`];
+//! - every surface becomes a token-id slice in one flat arena
+//!   (`offsets` delimit surface `i` — no per-surface `Vec`);
+//! - surfaces are ordered by token sequence in a probe table that is
+//!   bucketed by first token and binary-searched within the bucket.
+//!
+//! Query side, the normalized query is tokenized **once** into byte
+//! ranges ([`websyn_text::token_bounds`]) and mapped to token ids; a
+//! segmenter window is then a `&[u32]` slice probe — integer compares,
+//! no allocation, no string hashing. A token the dictionary has never
+//! seen maps to [`UNKNOWN_TOKEN`], which can never equal an arena
+//! entry, so unknown-token windows miss for free.
+//!
+//! Surface ids ([`SurfaceId`]) are assigned in lexicographic surface
+//! order. That makes id order meaningful (comparing ids compares
+//! surfaces), keeps candidate-generation output deterministic, and lets
+//! the fuzzy resolver's "lexicographically smallest surface wins ties"
+//! rule fall out of plain id ascension.
+
+use std::sync::Arc;
+use websyn_common::{EntityId, StringInterner, SurfaceId, TokenId};
+use websyn_text::token_bounds;
+
+/// Sentinel for a query token absent from the dictionary vocabulary.
+/// Dictionary token ids are dense from 0, so `u32::MAX` is never a real
+/// id and a window containing it can never equal an arena slice.
+pub const UNKNOWN_TOKEN: u32 = u32::MAX;
+
+/// Per-query scratch shared by the query-side entry points: token byte
+/// ranges and token ids, reused across calls on the same thread.
+pub(crate) type QueryScratch = std::cell::RefCell<(Vec<(u32, u32)>, Vec<u32>)>;
+
+/// A surface → entity dictionary compiled to token ids.
+///
+/// Construction sorts surfaces lexicographically and assigns
+/// [`SurfaceId`]s in that order; all per-surface parallel arrays
+/// (entity, string, char length) are indexed by surface id.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::EntityId;
+/// use websyn_core::dict::CompiledDict;
+///
+/// let d = CompiledDict::build(vec![
+///     ("indy 4".to_string(), EntityId::new(7)),
+///     ("madagascar 2".to_string(), EntityId::new(1)),
+/// ]);
+/// let sid = d.get_str("indy 4").unwrap();
+/// assert_eq!(d.entity(sid), EntityId::new(7));
+/// assert_eq!(d.surface(sid), "indy 4");
+/// assert_eq!(d.get_str("indy 5"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompiledDict {
+    /// Dictionary token vocabulary.
+    tokens: StringInterner<TokenId>,
+    /// Token ids of every surface, concatenated in surface-id order.
+    arena: Vec<u32>,
+    /// `arena[offsets[i] .. offsets[i+1]]` is surface `i`; `len + 1`
+    /// entries.
+    offsets: Vec<u32>,
+    /// Entity of each surface, by surface id.
+    entities: Vec<EntityId>,
+    /// The normalized surface strings, by surface id (lexicographic).
+    /// Shared `Arc`s so emitting a match clones a pointer, not a
+    /// string.
+    surfaces: Vec<Arc<str>>,
+    /// Char length of each surface, by surface id.
+    char_lens: Vec<u32>,
+    /// Surface ids ordered by token sequence — the probe table.
+    order: Vec<u32>,
+    /// `[start, end)` range of `order` per first token, indexed
+    /// directly by token id (dense, one entry per vocabulary token) —
+    /// a window probe costs one array read, no hashing at all.
+    first_ranges: Vec<(u32, u32)>,
+    /// Longest surface in tokens (bounds the segmenter window).
+    max_tokens: usize,
+}
+
+impl CompiledDict {
+    /// Compiles `(normalized surface, entity)` pairs. Pairs may arrive
+    /// in any order; duplicates are kept verbatim (callers that need
+    /// ambiguity semantics dedupe first, as [`crate::EntityMatcher`]
+    /// does). Empty surfaces are skipped.
+    pub fn build(mut pairs: Vec<(String, EntityId)>) -> Self {
+        pairs.retain(|(s, _)| !s.is_empty());
+        pairs.sort_unstable();
+        let mut tokens = StringInterner::new();
+        let mut arena = Vec::new();
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        let mut entities = Vec::with_capacity(pairs.len());
+        let mut surfaces = Vec::with_capacity(pairs.len());
+        let mut char_lens = Vec::with_capacity(pairs.len());
+        let mut max_tokens = 0;
+        let mut ids: Vec<TokenId> = Vec::new();
+        offsets.push(0);
+        for (surface, entity) in &pairs {
+            tokens.intern_tokens(surface, &mut ids);
+            max_tokens = max_tokens.max(ids.len());
+            arena.extend(ids.iter().map(|id| id.raw()));
+            offsets.push(u32::try_from(arena.len()).expect("dictionary arena overflow"));
+            entities.push(*entity);
+            surfaces.push(Arc::from(surface.as_str()));
+            char_lens.push(surface.chars().count() as u32);
+        }
+        tokens.shrink_to_fit();
+
+        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+        let slice = |id: u32| {
+            let (a, b) = (offsets[id as usize], offsets[id as usize + 1]);
+            &arena[a as usize..b as usize]
+        };
+        order.sort_unstable_by(|&a, &b| slice(a).cmp(slice(b)));
+        let mut first_ranges: Vec<(u32, u32)> = vec![(0, 0); tokens.len()];
+        for (pos, &sid) in order.iter().enumerate() {
+            let Some(&first) = slice(sid).first() else {
+                continue;
+            };
+            let entry = &mut first_ranges[first as usize];
+            if entry.0 == entry.1 {
+                entry.0 = pos as u32;
+            }
+            entry.1 = pos as u32 + 1;
+        }
+        Self {
+            tokens,
+            arena,
+            offsets,
+            entities,
+            surfaces,
+            char_lens,
+            order,
+            first_ranges,
+            max_tokens,
+        }
+    }
+
+    /// Number of surfaces.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the dictionary holds no surfaces.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Number of distinct dictionary tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Longest surface in tokens.
+    pub fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// Entity of surface `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn entity(&self, id: SurfaceId) -> EntityId {
+        self.entities[id.as_usize()]
+    }
+
+    /// The normalized surface string of `id`.
+    pub fn surface(&self, id: SurfaceId) -> &str {
+        &self.surfaces[id.as_usize()]
+    }
+
+    /// The surface string of `id` as a shared `Arc` — what match spans
+    /// carry, so emitting a span never copies the string.
+    pub fn surface_arc(&self, id: SurfaceId) -> Arc<str> {
+        Arc::clone(&self.surfaces[id.as_usize()])
+    }
+
+    /// Char length of surface `id` as recorded at build time.
+    pub fn char_len(&self, id: SurfaceId) -> usize {
+        self.char_lens[id.as_usize()] as usize
+    }
+
+    /// The token-id slice of surface `id`.
+    pub fn token_ids(&self, id: SurfaceId) -> &[u32] {
+        let (a, b) = (self.offsets[id.as_usize()], self.offsets[id.as_usize() + 1]);
+        &self.arena[a as usize..b as usize]
+    }
+
+    /// Iterates `(id, surface, entity)` in surface-id (lexicographic)
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (SurfaceId, &str, EntityId)> + '_ {
+        self.surfaces
+            .iter()
+            .zip(&self.entities)
+            .enumerate()
+            .map(|(i, (s, &e))| (SurfaceId::from_usize(i), s.as_ref(), e))
+    }
+
+    /// Iterates the surface strings in surface-id order — the build
+    /// input for candidate sources, whose proposal ids then coincide
+    /// with surface ids.
+    pub fn surface_strs(&self) -> impl Iterator<Item = &str> + '_ {
+        self.surfaces.iter().map(AsRef::as_ref)
+    }
+
+    /// Exact lookup of a token-id window. This is the segmenter's
+    /// per-window probe: one array read for the first-token bucket,
+    /// then a binary search of integer-slice compares. No allocation,
+    /// no string hashing.
+    pub fn get(&self, window: &[u32]) -> Option<SurfaceId> {
+        let &first = window.first()?;
+        let &(lo, hi) = self.first_ranges.get(first as usize)?;
+        let bucket = &self.order[lo as usize..hi as usize];
+        bucket
+            .binary_search_by(|&sid| {
+                let (a, b) = (self.offsets[sid as usize], self.offsets[sid as usize + 1]);
+                self.arena[a as usize..b as usize].cmp(window)
+            })
+            .ok()
+            .map(|pos| SurfaceId::new(bucket[pos]))
+    }
+
+    /// The token id at position `depth` of surface `sid`, or `None`
+    /// past its end — `None` sorts before every `Some`, matching how a
+    /// shorter sequence sorts before its extensions.
+    #[inline]
+    fn token_at(&self, sid: u32, depth: usize) -> Option<u32> {
+        let (a, b) = (self.offsets[sid as usize], self.offsets[sid as usize + 1]);
+        self.arena[a as usize..b as usize].get(depth).copied()
+    }
+
+    /// Longest surface matching a prefix of `ids` (up to `max_len`
+    /// tokens), in one descent of the probe table. The order is sorted
+    /// by token sequence, so the surfaces extending any fixed prefix
+    /// form one contiguous run whose *first* element is the surface
+    /// equal to the prefix, if it exists; the descent narrows the run
+    /// one token at a time and remembers the deepest exact hit. This is
+    /// the exact-only segmenter's per-position probe — strictly less
+    /// work than one binary search per window length.
+    pub fn longest_match(&self, ids: &[u32], max_len: usize) -> Option<(usize, SurfaceId)> {
+        let &first = ids.first()?;
+        let &(lo, hi) = self.first_ranges.get(first as usize)?;
+        let (mut lo, mut hi) = (lo as usize, hi as usize);
+        let mut best = None;
+        let max_len = max_len.min(ids.len());
+        let mut depth = 1;
+        while lo != hi {
+            // All of order[lo..hi] share the prefix ids[..depth]; the
+            // run head is the prefix itself when its length matches.
+            let head = self.order[lo];
+            if (self.offsets[head as usize + 1] - self.offsets[head as usize]) as usize == depth {
+                best = Some((depth, SurfaceId::new(head)));
+            }
+            if depth == max_len {
+                break;
+            }
+            // Narrow to surfaces whose next token equals ids[depth].
+            let next = ids[depth];
+            let run = &self.order[lo..hi];
+            let start = run.partition_point(|&sid| self.token_at(sid, depth) < Some(next));
+            let end = run.partition_point(|&sid| self.token_at(sid, depth) <= Some(next));
+            (lo, hi) = (lo + start, lo + end);
+            depth += 1;
+        }
+        best
+    }
+
+    /// Maps every token of the normalized query to its byte range and
+    /// dictionary token id ([`UNKNOWN_TOKEN`] when out of vocabulary),
+    /// clearing and filling the caller's scratch buffers. One call per
+    /// query; every window probe afterwards is allocation-free.
+    pub fn map_query(&self, normalized: &str, bounds: &mut Vec<(u32, u32)>, ids: &mut Vec<u32>) {
+        token_bounds(normalized, bounds);
+        ids.clear();
+        ids.extend(bounds.iter().map(|&(a, b)| {
+            self.tokens
+                .get(&normalized[a as usize..b as usize])
+                .map_or(UNKNOWN_TOKEN, TokenId::raw)
+        }));
+    }
+
+    /// Exact whole-string lookup of an already-normalized surface.
+    pub fn get_str(&self, normalized: &str) -> Option<SurfaceId> {
+        thread_local! {
+            static SCRATCH: QueryScratch =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with_borrow_mut(|(bounds, ids)| {
+            self.map_query(normalized, bounds, ids);
+            if ids.is_empty() {
+                return None;
+            }
+            self.get(ids)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> CompiledDict {
+        CompiledDict::build(vec![
+            ("indiana jones 4".into(), EntityId::new(0)),
+            ("indy 4".into(), EntityId::new(0)),
+            ("madagascar 2".into(), EntityId::new(1)),
+            ("canon eos 350d".into(), EntityId::new(2)),
+            ("350d".into(), EntityId::new(2)),
+        ])
+    }
+
+    #[test]
+    fn surface_ids_are_lexicographic() {
+        let d = dict();
+        let surfaces: Vec<&str> = d.surface_strs().collect();
+        let mut sorted = surfaces.clone();
+        sorted.sort_unstable();
+        assert_eq!(surfaces, sorted);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.max_tokens(), 3);
+    }
+
+    #[test]
+    fn get_str_resolves_and_misses() {
+        let d = dict();
+        let sid = d.get_str("canon eos 350d").unwrap();
+        assert_eq!(d.entity(sid), EntityId::new(2));
+        assert_eq!(d.surface(sid), "canon eos 350d");
+        assert_eq!(d.char_len(sid), 14);
+        assert_eq!(d.token_ids(sid).len(), 3);
+        // Prefixes, extensions and unknown tokens all miss.
+        assert_eq!(d.get_str("canon eos"), None);
+        assert_eq!(d.get_str("canon eos 350d x"), None);
+        assert_eq!(d.get_str("zzz"), None);
+        assert_eq!(d.get_str(""), None);
+    }
+
+    #[test]
+    fn window_probe_with_sentinel_misses() {
+        let d = dict();
+        let mut bounds = Vec::new();
+        let mut ids = Vec::new();
+        d.map_query("indy 4 zzz", &mut bounds, &mut ids);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[2], UNKNOWN_TOKEN);
+        assert!(d.get(&ids[..2]).is_some());
+        assert!(d.get(&ids).is_none());
+        assert!(d.get(&ids[2..]).is_none());
+        assert!(d.get(&[]).is_none());
+    }
+
+    #[test]
+    fn longest_match_agrees_with_per_window_probes() {
+        let d = CompiledDict::build(vec![
+            ("a".into(), EntityId::new(0)),
+            ("a b".into(), EntityId::new(1)),
+            ("a b c".into(), EntityId::new(2)),
+            ("b c".into(), EntityId::new(3)),
+            ("c".into(), EntityId::new(4)),
+        ]);
+        let mut bounds = Vec::new();
+        let mut ids = Vec::new();
+        for query in ["a b c", "a b x", "a x c", "b c a", "x a b", "c", "x y z"] {
+            d.map_query(query, &mut bounds, &mut ids);
+            for i in 0..ids.len() {
+                // Reference: probe every window length, longest first.
+                let expected = (1..=d.max_tokens().min(ids.len() - i))
+                    .rev()
+                    .find_map(|w| d.get(&ids[i..i + w]).map(|sid| (w, sid)));
+                assert_eq!(
+                    d.longest_match(&ids[i..], d.max_tokens()),
+                    expected,
+                    "query {query:?} position {i}"
+                );
+            }
+        }
+        // max_len caps the descent.
+        d.map_query("a b c", &mut bounds, &mut ids);
+        assert_eq!(
+            d.longest_match(&ids, 2),
+            Some((2, d.get_str("a b").unwrap()))
+        );
+    }
+
+    #[test]
+    fn duplicate_surfaces_are_kept_verbatim() {
+        let d = CompiledDict::build(vec![
+            ("same".into(), EntityId::new(0)),
+            ("same".into(), EntityId::new(1)),
+        ]);
+        assert_eq!(d.len(), 2);
+        // Both ids carry the duplicate; lookup returns one of them.
+        assert!(d.get_str("same").is_some());
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let d = CompiledDict::default();
+        assert!(d.is_empty());
+        assert_eq!(d.get_str("anything"), None);
+        let d2 = CompiledDict::build(vec![("".into(), EntityId::new(0))]);
+        assert!(d2.is_empty(), "empty surfaces are skipped");
+    }
+
+    #[test]
+    fn iter_aligns_ids_surfaces_entities() {
+        let d = dict();
+        for (sid, surface, entity) in d.iter() {
+            assert_eq!(d.surface(sid), surface);
+            assert_eq!(d.entity(sid), entity);
+            assert_eq!(d.get_str(surface), Some(sid));
+            assert_eq!(&*d.surface_arc(sid), surface);
+        }
+    }
+}

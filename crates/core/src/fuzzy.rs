@@ -6,24 +6,37 @@
 //! half of the paper's title — *fuzzy* matching of Web queries — as a
 //! classic two-stage pipeline:
 //!
-//! 1. **generate** — a [`websyn_text::NgramIndex`] over the dictionary
-//!    surfaces proposes candidates sharing enough character n-grams
-//!    with the query (length and count filters applied);
-//! 2. **verify** — each candidate pays for a real edit-distance
-//!    computation ([`websyn_text::distance`]), and only candidates
-//!    within the length-scaled budget of [`FuzzyConfig`] survive.
+//! 1. **generate** — a chain of [`CandidateSource`]s over the compiled
+//!    dictionary's surfaces proposes candidate surface ids. The default
+//!    chain is the n-gram signature index
+//!    ([`websyn_text::NgramIndex`]: length + count filters); the
+//!    optional phonetic ([`websyn_text::PhoneticIndex`]) and
+//!    abbreviation ([`websyn_text::AbbrevIndex`]) sources widen recall
+//!    to sound-alikes and systematic abbreviations when
+//!    [`FuzzyConfig::phonetic`] / [`FuzzyConfig::abbrev`] are set.
+//! 2. **verify** — each proposal from a filtering source pays for a
+//!    real bounded edit-distance computation
+//!    ([`websyn_text::distance`]), and only candidates within the
+//!    length-scaled budget of [`FuzzyConfig`] survive. Proposals from a
+//!    transform source (abbrev) are exact by construction and resolve
+//!    at distance 0.
 //!
-//! Resolution is *exact-first*: the caller is expected to try the hash
-//! lookup before the fuzzy path, so enabling fuzzy matching never
-//! changes the result for a surface that already resolves exactly.
-//! Among the verified candidates the minimum distance wins; if two
-//! *different* entities tie at the minimum distance the mention is
-//! ambiguous and resolves to nothing, mirroring how the exact
-//! dictionary drops ambiguous surfaces.
+//! Resolution is *exact-first*: the caller is expected to try the
+//! compiled-dictionary lookup before the fuzzy path, so enabling fuzzy
+//! matching never changes the result for a surface that already
+//! resolves exactly. Among the verified candidates the minimum distance
+//! wins; if two *different* entities tie at the minimum distance the
+//! mention is ambiguous and resolves to nothing, mirroring how the
+//! exact dictionary drops ambiguous surfaces. Surface ids ascend
+//! lexicographically (see [`crate::dict`]), so a same-entity tie keeps
+//! the lexicographically smallest surface, deterministically.
 
-use websyn_common::EntityId;
+use crate::dict::CompiledDict;
+use std::sync::Arc;
+use websyn_common::{EntityId, SurfaceId};
 use websyn_text::{
-    damerau_levenshtein, damerau_levenshtein_within, levenshtein, levenshtein_within, NgramIndex,
+    damerau_levenshtein, damerau_levenshtein_within, levenshtein, levenshtein_within, AbbrevIndex,
+    CandidateSource, NgramIndex, PhoneticIndex,
 };
 
 /// Tuning for fuzzy surface lookup.
@@ -49,6 +62,16 @@ pub struct FuzzyConfig {
     /// Count an adjacent transposition ("cnaon") as one edit
     /// (Damerau/OSA) instead of two (plain Levenshtein).
     pub transpositions: bool,
+    /// Chain the per-token Soundex source after the n-gram index, so
+    /// sound-alike candidates the gram filters miss still reach
+    /// verification. Off by default (the n-gram filter alone matches
+    /// the PR-2 behaviour bit for bit).
+    pub phonetic: bool,
+    /// Chain the systematic-abbreviation source: queries that *are* a
+    /// mechanical variant of a surface (acronym, stopword drop, bare
+    /// model tail) resolve at distance 0 without edit verification.
+    /// Off by default.
+    pub abbrev: bool,
 }
 
 impl Default for FuzzyConfig {
@@ -59,6 +82,8 @@ impl Default for FuzzyConfig {
             min_len_two_edits: 9,
             max_distance: 2,
             transpositions: true,
+            phonetic: false,
+            abbrev: false,
         }
     }
 }
@@ -103,38 +128,93 @@ impl FuzzyConfig {
 /// A successful fuzzy resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzyMatch {
-    /// The dictionary surface the query resolved to.
-    pub surface: String,
+    /// Interned id of the dictionary surface the query resolved to.
+    pub surface_id: SurfaceId,
     /// The entity that surface maps to.
     pub entity: EntityId,
-    /// Verified edit distance between query and surface (0 = exact).
+    /// Verified edit distance between query and surface (0 = exact, or
+    /// an exact transform hit from a non-verifying source).
     pub distance: usize,
+    /// Shared handle on the surface string (see
+    /// [`FuzzyMatch::surface`]).
+    surface: Arc<str>,
 }
 
-/// The compiled fuzzy side of a matcher dictionary: the surfaces in a
-/// fixed order, their n-gram signature index, and the config.
+impl FuzzyMatch {
+    /// The dictionary surface the query resolved to.
+    pub fn surface(&self) -> &str {
+        &self.surface
+    }
+
+    /// Crate-internal constructor (the matcher builds distance-0 hits
+    /// for exact lookups).
+    pub(crate) fn new(
+        surface_id: SurfaceId,
+        entity: EntityId,
+        distance: usize,
+        surface: Arc<str>,
+    ) -> Self {
+        Self {
+            surface_id,
+            entity,
+            distance,
+            surface,
+        }
+    }
+}
+
+/// The compiled fuzzy side of a matcher dictionary: a shared
+/// [`CompiledDict`] plus the chain of candidate sources the config
+/// enables.
 ///
-/// Surfaces are stored sorted lexicographically, so candidate ids (and
-/// therefore tie-breaking) are deterministic however the dictionary map
-/// iterates.
-#[derive(Debug, Clone)]
+/// Surface ids ascend lexicographically, so candidate order (and
+/// therefore tie-breaking) is deterministic however the sources
+/// iterate.
+#[derive(Clone)]
 pub struct FuzzyDictionary {
     config: FuzzyConfig,
-    /// `(surface, entity)` sorted by surface; ids align with `index`.
-    surfaces: Vec<(String, EntityId)>,
-    index: NgramIndex,
+    dict: Arc<CompiledDict>,
+    /// Generation chain, consulted in order. `Arc`ed so cloning a
+    /// matcher shares the compiled indexes.
+    sources: Vec<Arc<dyn CandidateSource + Send + Sync>>,
+}
+
+impl std::fmt::Debug for FuzzyDictionary {
+    // The trait objects have no `Debug` bound; the source names plus
+    // the config describe the chain completely.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuzzyDictionary")
+            .field("config", &self.config)
+            .field("surfaces", &self.dict.len())
+            .field("sources", &self.source_names())
+            .finish()
+    }
 }
 
 impl FuzzyDictionary {
     /// Compiles the fuzzy dictionary from `(surface, entity)` pairs.
     /// Pairs may arrive in any order; they are sorted internally.
-    pub fn build(mut pairs: Vec<(String, EntityId)>, config: FuzzyConfig) -> Self {
-        pairs.sort_unstable();
-        let index = NgramIndex::build(pairs.iter().map(|(s, _)| s.as_str()), config.gram_size);
+    pub fn build(pairs: Vec<(String, EntityId)>, config: FuzzyConfig) -> Self {
+        Self::from_dict(Arc::new(CompiledDict::build(pairs)), config)
+    }
+
+    /// Compiles the fuzzy side over an existing compiled dictionary —
+    /// how [`crate::EntityMatcher::with_fuzzy`] shares one dictionary
+    /// between the exact and approximate paths.
+    pub fn from_dict(dict: Arc<CompiledDict>, config: FuzzyConfig) -> Self {
+        let mut sources: Vec<Arc<dyn CandidateSource + Send + Sync>> = vec![Arc::new(
+            NgramIndex::build(dict.surface_strs(), config.gram_size),
+        )];
+        if config.phonetic {
+            sources.push(Arc::new(PhoneticIndex::build(dict.surface_strs())));
+        }
+        if config.abbrev {
+            sources.push(Arc::new(AbbrevIndex::build(dict.surface_strs())));
+        }
         Self {
             config,
-            surfaces: pairs,
-            index,
+            dict,
+            sources,
         }
     }
 
@@ -143,14 +223,34 @@ impl FuzzyDictionary {
         &self.config
     }
 
+    /// The shared compiled dictionary.
+    pub fn dict(&self) -> &Arc<CompiledDict> {
+        &self.dict
+    }
+
+    /// Names of the candidate sources, in consultation order.
+    pub fn source_names(&self) -> Vec<&'static str> {
+        self.sources.iter().map(|s| s.name()).collect()
+    }
+
+    /// Appends a custom candidate source to the chain. Proposal ids
+    /// must be surface ids of [`FuzzyDictionary::dict`] (build any
+    /// index over [`CompiledDict::surface_strs`], whose order coincides
+    /// with surface ids). Sources are consulted in insertion order;
+    /// resolution semantics (verification, budgets, tie rules) apply
+    /// uniformly, so adding a source can only widen recall.
+    pub fn push_source(&mut self, source: Arc<dyn CandidateSource + Send + Sync>) {
+        self.sources.push(source);
+    }
+
     /// Number of indexed surfaces.
     pub fn len(&self) -> usize {
-        self.surfaces.len()
+        self.dict.len()
     }
 
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.surfaces.is_empty()
+        self.dict.is_empty()
     }
 
     /// Resolves an already-normalized string approximately.
@@ -162,50 +262,76 @@ impl FuzzyDictionary {
     /// an exact hit correctly if asked, since the surface's own grams
     /// always pass the filters.
     pub fn resolve(&self, normalized: &str) -> Option<FuzzyMatch> {
+        thread_local! {
+            static PROPOSALS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
         let q_len = normalized.chars().count();
         let budget = self.config.max_distance_for(q_len);
-        if budget == 0 {
-            return None;
-        }
-        let mut best: Option<FuzzyMatch> = None;
+        let mut best: Option<(SurfaceId, usize)> = None;
         let mut contested = false;
-        for id in self.index.candidates(normalized, budget) {
-            let (surface, entity) = &self.surfaces[id as usize];
-            // Both sides must afford the distance: a short surface does
-            // not become reachable just because the query is long.
-            let allowed = budget.min(self.config.max_distance_for(self.index.surface_len(id)));
-            if allowed == 0 {
-                continue;
-            }
-            let Some(d) = self.config.distance_within(normalized, surface, allowed) else {
-                continue;
-            };
-            match &best {
-                Some(b) if d > b.distance => {}
-                Some(b) if d == b.distance => {
-                    // Surfaces are sorted, so the incumbent is the
-                    // lexicographically smallest at this distance; a
-                    // second *entity* at the same distance makes the
-                    // mention ambiguous.
-                    if *entity != b.entity {
-                        contested = true;
+        PROPOSALS.with_borrow_mut(|proposals| {
+            for source in &self.sources {
+                let verified = !source.needs_verification();
+                if !verified && budget == 0 {
+                    continue;
+                }
+                proposals.clear();
+                source.propose(normalized, budget, proposals);
+                for &raw in proposals.iter() {
+                    let sid = SurfaceId::new(raw);
+                    let d = if verified {
+                        0
+                    } else {
+                        // Both sides must afford the distance: a short
+                        // surface does not become reachable just
+                        // because the query is long.
+                        let allowed =
+                            budget.min(self.config.max_distance_for(self.dict.char_len(sid)));
+                        if allowed == 0 {
+                            continue;
+                        }
+                        match self.config.distance_within(
+                            normalized,
+                            self.dict.surface(sid),
+                            allowed,
+                        ) {
+                            Some(d) => d,
+                            None => continue,
+                        }
+                    };
+                    match best {
+                        Some((_, bd)) if d > bd => {}
+                        Some((bsid, bd)) if d == bd => {
+                            // A second *entity* at the same distance
+                            // makes the mention ambiguous; a same-entity
+                            // tie keeps the lexicographically smallest
+                            // surface. Each source proposes ids
+                            // ascending, but a later source may propose
+                            // a smaller id than the incumbent, so the
+                            // comparison is explicit.
+                            if self.dict.entity(sid) != self.dict.entity(bsid) {
+                                contested = true;
+                            } else if sid < bsid {
+                                best = Some((sid, d));
+                            }
+                        }
+                        _ => {
+                            best = Some((sid, d));
+                            contested = false;
+                        }
                     }
                 }
-                _ => {
-                    best = Some(FuzzyMatch {
-                        surface: surface.clone(),
-                        entity: *entity,
-                        distance: d,
-                    });
-                    contested = false;
-                }
             }
-        }
+        });
         if contested {
-            None
-        } else {
-            best
+            return None;
         }
+        best.map(|(sid, distance)| FuzzyMatch {
+            surface_id: sid,
+            entity: self.dict.entity(sid),
+            distance,
+            surface: self.dict.surface_arc(sid),
+        })
     }
 }
 
@@ -245,7 +371,7 @@ mod tests {
     fn one_substitution_resolves() {
         let m = dict().resolve("cannon eos 350d").expect("fuzzy hit");
         assert_eq!(m.entity, EntityId::new(2));
-        assert_eq!(m.surface, "canon eos 350d");
+        assert_eq!(m.surface(), "canon eos 350d");
         assert_eq!(m.distance, 1);
     }
 
@@ -310,7 +436,7 @@ mod tests {
         let m = d.resolve("indians 4").expect("hit");
         assert_eq!(m.entity, EntityId::new(0));
         // Lexicographically smallest surface at the tie wins.
-        assert_eq!(m.surface, "indiana 4");
+        assert_eq!(m.surface(), "indiana 4");
     }
 
     #[test]
@@ -318,5 +444,111 @@ mod tests {
         let d = FuzzyDictionary::build(Vec::new(), FuzzyConfig::default());
         assert!(d.is_empty());
         assert!(d.resolve("anything here").is_none());
+    }
+
+    #[test]
+    fn default_chain_is_ngram_only() {
+        assert_eq!(dict().source_names(), vec!["ngram"]);
+        let full = FuzzyDictionary::build(
+            vec![("indiana jones 4".into(), EntityId::new(0))],
+            FuzzyConfig {
+                phonetic: true,
+                abbrev: true,
+                ..FuzzyConfig::default()
+            },
+        );
+        assert_eq!(full.source_names(), vec!["ngram", "phonetic", "abbrev"]);
+    }
+
+    #[test]
+    fn abbrev_source_resolves_transform_hits_at_distance_zero() {
+        let d = FuzzyDictionary::build(
+            vec![("lord of the rings".into(), EntityId::new(9))],
+            FuzzyConfig {
+                abbrev: true,
+                ..FuzzyConfig::default()
+            },
+        );
+        let m = d.resolve("lotr").expect("acronym hit");
+        assert_eq!(m.entity, EntityId::new(9));
+        assert_eq!(m.distance, 0);
+        assert_eq!(m.surface(), "lord of the rings");
+        // Without the source the acronym is hopeless (distance 13).
+        assert!(dict().resolve("lotr").is_none());
+    }
+
+    #[test]
+    fn abbrev_contested_between_entities_is_ambiguous() {
+        let d = FuzzyDictionary::build(
+            vec![
+                ("lord of the rings".into(), EntityId::new(1)),
+                ("legend of the ring".into(), EntityId::new(2)),
+            ],
+            FuzzyConfig {
+                abbrev: true,
+                ..FuzzyConfig::default()
+            },
+        );
+        assert!(
+            d.resolve("lotr").is_none(),
+            "two entities claim the acronym"
+        );
+    }
+
+    #[test]
+    fn cross_source_same_entity_tie_keeps_smallest_surface() {
+        // A later source proposing a *smaller* surface id at the same
+        // distance must displace the incumbent, keeping the
+        // lexicographic-tie invariant across the whole chain.
+        struct Reversed(Vec<u32>);
+        impl websyn_text::CandidateSource for Reversed {
+            fn name(&self) -> &'static str {
+                "reversed"
+            }
+            fn propose(&self, _query: &str, _max_dist: usize, out: &mut Vec<u32>) {
+                out.extend(self.0.iter().rev());
+            }
+        }
+        let mut d = FuzzyDictionary::build(
+            vec![
+                ("indiana 4".into(), EntityId::new(0)),
+                ("indiano 4".into(), EntityId::new(0)),
+            ],
+            FuzzyConfig::default(),
+        );
+        d.push_source(Arc::new(Reversed(vec![0, 1])));
+        assert_eq!(d.source_names(), vec!["ngram", "reversed"]);
+        // Both surfaces are distance 1 from the query; whatever order
+        // the sources propose them in, the smaller id wins.
+        let m = d.resolve("indians 4").expect("hit");
+        assert_eq!(m.surface(), "indiana 4");
+        // And a later-source *different-entity* tie still contests.
+        let mut contested = FuzzyDictionary::build(
+            vec![
+                ("kodak z812".into(), EntityId::new(5)),
+                ("kodak z712".into(), EntityId::new(6)),
+            ],
+            FuzzyConfig::default(),
+        );
+        contested.push_source(Arc::new(Reversed(vec![0, 1])));
+        assert!(contested.resolve("kodak z912").is_none());
+    }
+
+    #[test]
+    fn phonetic_source_keeps_verification_authoritative() {
+        // The phonetic source may propose sound-alikes, but verification
+        // still rejects anything beyond the edit budget.
+        let d = FuzzyDictionary::build(
+            vec![("indiana jones".into(), EntityId::new(0))],
+            FuzzyConfig {
+                phonetic: true,
+                ..FuzzyConfig::default()
+            },
+        );
+        // Same Soundex key, distance 1: resolves.
+        let m = d.resolve("indianna jones").expect("hit");
+        assert_eq!(m.distance, 1);
+        // Sound-alike but 4 edits away: proposed, then rejected.
+        assert!(d.resolve("indynni jones").is_none());
     }
 }

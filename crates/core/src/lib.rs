@@ -23,13 +23,17 @@
 //! measure of Section IV (precision, weighted precision, coverage
 //! increase, hit ratio, expansion ratio), [`taxonomy`] classifies mined
 //! strings against the oracle, and [`matcher`] is the downstream
-//! payoff: a fuzzy query → entity matcher built from mined synonyms,
-//! with [`fuzzy`] supplying the approximate (typo-tolerant) lookup path
-//! and batched segmentation for serving.
+//! payoff: a fuzzy query → entity matcher built from mined synonyms.
+//! The matcher compiles its surfaces into a token-ID dictionary
+//! ([`dict`]) so exact segmentation is allocation-free, and [`fuzzy`]
+//! supplies the approximate (typo-tolerant) lookup path — a pluggable
+//! [`websyn_text::CandidateSource`] chain — plus batched segmentation
+//! for serving.
 
 pub mod candidates;
 pub mod config;
 pub mod data;
+pub mod dict;
 pub mod fuzzy;
 pub mod matcher;
 pub mod measures;
@@ -42,6 +46,7 @@ pub mod taxonomy;
 pub use candidates::generate_candidates;
 pub use config::MinerConfig;
 pub use data::MiningContext;
+pub use dict::CompiledDict;
 pub use fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
 pub use matcher::{EntityMatcher, MatchSpan};
 pub use measures::{score_candidate, CandidateScore};

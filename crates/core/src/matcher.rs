@@ -3,21 +3,27 @@
 //! "Indy 4 near San Fran" resolving to showtimes for the right movie).
 //!
 //! The matcher compiles canonical strings plus mined synonyms into a
-//! normalized token-level dictionary, then segments incoming queries
-//! with greedy longest-match so entity mentions are found even when
-//! embedded in longer queries. With [`FuzzyConfig`] attached
+//! token-ID dictionary ([`crate::dict::CompiledDict`]), then segments
+//! incoming queries with greedy longest-match so entity mentions are
+//! found even when embedded in longer queries. The exact path is
+//! allocation-free per window: the query is tokenized to ids once, and
+//! each window probe is an integer-slice binary search — no `join`, no
+//! string hashing. With [`FuzzyConfig`] attached
 //! ([`EntityMatcher::with_fuzzy`]) every window that misses the exact
-//! dictionary falls back to n-gram candidate generation plus
-//! edit-distance verification (see [`crate::fuzzy`]), so unmined
-//! misspellings still resolve. [`EntityMatcher::match_batch`] shards a
-//! query batch across scoped threads for serving-path throughput while
-//! keeping output order (and content) deterministic.
+//! dictionary falls back to the [`crate::fuzzy`] candidate pipeline
+//! (n-gram generation + bounded edit-distance verification, plus the
+//! optional phonetic/abbreviation sources), so unmined misspellings
+//! still resolve. [`EntityMatcher::match_batch`] shards a query batch
+//! across scoped threads for serving-path throughput while keeping
+//! output order (and content) deterministic.
 
 use crate::data::MiningContext;
+use crate::dict::CompiledDict;
 use crate::fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
 use crate::miner::MiningResult;
-use websyn_common::{EntityId, FxHashMap};
-use websyn_text::normalize;
+use std::sync::Arc;
+use websyn_common::{EntityId, SurfaceId};
+use websyn_text::{normalize, normalized};
 
 /// One matched entity mention inside a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,23 +32,33 @@ pub struct MatchSpan {
     pub start: usize,
     /// One past the last matched token.
     pub end: usize,
-    /// The dictionary surface the mention resolved to (normalized).
-    /// For exact matches this equals the query window verbatim.
-    pub surface: String,
+    /// Interned id of the dictionary surface the mention resolved to
+    /// (ids ascend lexicographically over the dictionary's surfaces).
+    pub surface_id: SurfaceId,
     /// The entity it resolves to.
     pub entity: EntityId,
-    /// Edit distance between the query window and `surface`
+    /// Edit distance between the query window and the surface
     /// (0 = exact match).
     pub distance: usize,
+    /// Shared handle on the surface string (see [`MatchSpan::surface`]).
+    surface: Arc<str>,
+}
+
+impl MatchSpan {
+    /// The dictionary surface the mention resolved to (normalized).
+    /// For exact matches this equals the query window verbatim. The
+    /// string is shared with the dictionary — reading it costs nothing
+    /// beyond the pointer chase.
+    pub fn surface(&self) -> &str {
+        &self.surface
+    }
 }
 
 /// A compiled surface → entity dictionary with a query segmenter.
 #[derive(Debug, Clone, Default)]
 pub struct EntityMatcher {
-    /// Normalized surface → entity.
-    surfaces: FxHashMap<String, EntityId>,
-    /// Longest surface length in tokens (bounds the segmenter window).
-    max_tokens: usize,
+    /// The compiled token-ID dictionary, shared with the fuzzy side.
+    dict: Arc<CompiledDict>,
     /// Distinct surfaces dropped because they mapped to multiple
     /// entities.
     ambiguous_dropped: usize,
@@ -56,7 +72,7 @@ impl EntityMatcher {
     /// are normalized; a surface claimed by two entities is dropped
     /// entirely (an ambiguous surface cannot resolve a query).
     pub fn from_pairs<S: AsRef<str>>(pairs: impl IntoIterator<Item = (S, EntityId)>) -> Self {
-        let mut surfaces: FxHashMap<String, EntityId> = FxHashMap::default();
+        let mut surfaces: websyn_common::FxHashMap<String, EntityId> = Default::default();
         let mut banned: websyn_common::FxHashSet<String> = Default::default();
         for (raw, entity) in pairs {
             let surface = normalize(raw.as_ref());
@@ -74,14 +90,9 @@ impl EntityMatcher {
                 }
             }
         }
-        let max_tokens = surfaces
-            .keys()
-            .map(|s| s.split(' ').count())
-            .max()
-            .unwrap_or(0);
+        let dict = CompiledDict::build(surfaces.into_iter().collect());
         Self {
-            surfaces,
-            max_tokens,
+            dict: Arc::new(dict),
             // Each banned surface was dropped exactly once, however
             // many conflicting claims arrived for it.
             ambiguous_dropped: banned.len(),
@@ -104,14 +115,13 @@ impl EntityMatcher {
         Self::from_pairs(canonical.chain(mined))
     }
 
-    /// Compiles the fuzzy side of the dictionary (an n-gram signature
-    /// index over every surface) and returns the matcher with
-    /// approximate lookup enabled. Exact surfaces still resolve first;
-    /// see [`crate::fuzzy`] for the resolution rules.
+    /// Compiles the fuzzy side of the dictionary (the candidate-source
+    /// chain of [`crate::fuzzy`] over the already-compiled surfaces)
+    /// and returns the matcher with approximate lookup enabled. Exact
+    /// surfaces still resolve first; see [`crate::fuzzy`] for the
+    /// resolution rules.
     pub fn with_fuzzy(mut self, config: FuzzyConfig) -> Self {
-        let pairs: Vec<(String, EntityId)> =
-            self.surfaces.iter().map(|(s, &e)| (s.clone(), e)).collect();
-        self.fuzzy = Some(FuzzyDictionary::build(pairs, config));
+        self.fuzzy = Some(FuzzyDictionary::from_dict(Arc::clone(&self.dict), config));
         self
     }
 
@@ -120,14 +130,20 @@ impl EntityMatcher {
         self.fuzzy.as_ref().map(|f| f.config())
     }
 
+    /// The compiled dictionary (token vocabulary, surface table,
+    /// entities).
+    pub fn dict(&self) -> &CompiledDict {
+        &self.dict
+    }
+
     /// Number of distinct surfaces.
     pub fn len(&self) -> usize {
-        self.surfaces.len()
+        self.dict.len()
     }
 
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.surfaces.is_empty()
+        self.dict.is_empty()
     }
 
     /// Number of distinct surfaces dropped as ambiguous: each surface
@@ -139,55 +155,74 @@ impl EntityMatcher {
 
     /// Exact whole-query match after normalization.
     pub fn lookup(&self, query: &str) -> Option<EntityId> {
-        self.surfaces.get(&normalize(query)).copied()
+        self.dict
+            .get_str(&normalized(query))
+            .map(|sid| self.dict.entity(sid))
     }
 
     /// Whole-query match with the fuzzy fallback: exact first, then
     /// approximate resolution when fuzzy lookup is enabled. Exact hits
     /// report distance 0.
     pub fn lookup_fuzzy(&self, query: &str) -> Option<FuzzyMatch> {
-        let normalized = normalize(query);
-        if let Some(&entity) = self.surfaces.get(&normalized) {
-            return Some(FuzzyMatch {
-                surface: normalized,
-                entity,
-                distance: 0,
-            });
+        let normalized = normalized(query);
+        if let Some(sid) = self.dict.get_str(&normalized) {
+            return Some(self.exact_match(sid));
         }
         self.fuzzy.as_ref()?.resolve(&normalized)
     }
 
+    /// A distance-0 [`FuzzyMatch`] for an exact dictionary hit.
+    fn exact_match(&self, sid: SurfaceId) -> FuzzyMatch {
+        FuzzyMatch::new(sid, self.dict.entity(sid), 0, self.dict.surface_arc(sid))
+    }
+
     /// Serializes the dictionary as deterministic TSV
     /// (`surface \t entity-id\n`, sorted by surface) — the deployment
-    /// artifact a serving layer would load. The fuzzy index is derived
-    /// data and is not serialized; re-attach it with
-    /// [`EntityMatcher::with_fuzzy`] after loading.
+    /// artifact a serving layer would load. When fuzzy lookup is
+    /// enabled, a `#!fuzzy` header line carries the [`FuzzyConfig`], so
+    /// [`EntityMatcher::from_tsv`] rebuilds the approximate side too
+    /// (the derived indexes themselves are recompiled, not stored).
     pub fn to_tsv(&self) -> String {
-        let mut rows: Vec<(&str, u32)> = self
-            .surfaces
-            .iter()
-            .map(|(s, e)| (s.as_str(), e.raw()))
-            .collect();
-        rows.sort_unstable();
-        let mut out = String::with_capacity(rows.len() * 24);
-        for (surface, entity) in rows {
+        let mut out = String::with_capacity(self.dict.len() * 24 + 80);
+        if let Some(config) = self.fuzzy_config() {
+            out.push_str(&format!(
+                "#!fuzzy\tgram_size={}\tmin_len_one_edit={}\tmin_len_two_edits={}\tmax_distance={}\ttranspositions={}\tphonetic={}\tabbrev={}\n",
+                config.gram_size,
+                config.min_len_one_edit,
+                config.min_len_two_edits,
+                config.max_distance,
+                config.transpositions,
+                config.phonetic,
+                config.abbrev,
+            ));
+        }
+        // Surface ids are lexicographic, so id order is sorted order.
+        for (_, surface, entity) in self.dict.iter() {
             out.push_str(surface);
             out.push('\t');
-            out.push_str(&entity.to_string());
+            out.push_str(&entity.raw().to_string());
             out.push('\n');
         }
         out
     }
 
-    /// Loads a dictionary produced by [`EntityMatcher::to_tsv`].
+    /// Loads a dictionary produced by [`EntityMatcher::to_tsv`],
+    /// recompiling the fuzzy side if the artifact carries a `#!fuzzy`
+    /// header.
     ///
     /// # Errors
     /// Returns a codec error on malformed rows (missing tab,
-    /// non-numeric id, embedded tab in surface).
+    /// non-numeric id, embedded tab in surface) or a malformed fuzzy
+    /// header.
     pub fn from_tsv(tsv: &str) -> websyn_common::Result<Self> {
         let mut pairs = Vec::new();
+        let mut fuzzy: Option<FuzzyConfig> = None;
         for (lineno, line) in tsv.lines().enumerate() {
             if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("#!fuzzy") {
+                fuzzy = Some(parse_fuzzy_header(header, lineno + 1)?);
                 continue;
             }
             let (surface, id) = line.rsplit_once('\t').ok_or_else(|| {
@@ -204,16 +239,24 @@ impl EntityMatcher {
             })?;
             pairs.push((surface.to_string(), EntityId::new(id)));
         }
-        Ok(Self::from_pairs(pairs))
+        let matcher = Self::from_pairs(pairs);
+        Ok(match fuzzy {
+            Some(config) => matcher.with_fuzzy(config),
+            None => matcher,
+        })
     }
 
     /// Segments a free-form query into entity mentions with greedy
     /// longest-match, left to right. Unmatched tokens are skipped.
     ///
-    /// Within each window the exact dictionary is consulted first; when
-    /// fuzzy lookup is enabled ([`EntityMatcher::with_fuzzy`]) a window
-    /// that misses exactly is resolved approximately before the window
-    /// shrinks, so a typo inside a long mention does not fragment it.
+    /// Within each window the compiled dictionary is probed first (an
+    /// allocation-free token-id comparison); when fuzzy lookup is
+    /// enabled ([`EntityMatcher::with_fuzzy`]) a window that misses
+    /// exactly is resolved approximately before the window shrinks, so
+    /// a typo inside a long mention does not fragment it. The fuzzy
+    /// probe slices the window's text straight out of the normalized
+    /// query — tokens are single-spaced after normalization, so no
+    /// `join` is ever needed.
     ///
     /// # Examples
     ///
@@ -227,49 +270,65 @@ impl EntityMatcher {
     /// let spans = m.segment("Indy 4 near san fran");
     /// assert_eq!(spans.len(), 1);
     /// assert_eq!(spans[0].entity, EntityId::new(7));
-    /// assert_eq!(spans[0].surface, "indy 4");
+    /// assert_eq!(spans[0].surface(), "indy 4");
     /// assert_eq!(spans[0].distance, 0);
     /// ```
     pub fn segment(&self, query: &str) -> Vec<MatchSpan> {
-        let normalized = normalize(query);
-        let tokens: Vec<&str> = normalized.split(' ').filter(|t| !t.is_empty()).collect();
-        let mut spans = Vec::new();
-        let mut i = 0;
-        while i < tokens.len() {
-            let mut matched = false;
-            let longest = self.max_tokens.min(tokens.len() - i);
-            for window in (1..=longest).rev() {
-                let window_text = tokens[i..i + window].join(" ");
-                if let Some(&entity) = self.surfaces.get(&window_text) {
-                    spans.push(MatchSpan {
-                        start: i,
-                        end: i + window,
-                        surface: window_text,
-                        entity,
-                        distance: 0,
-                    });
-                    i += window;
-                    matched = true;
-                    break;
-                }
-                if let Some(hit) = self.fuzzy.as_ref().and_then(|f| f.resolve(&window_text)) {
-                    spans.push(MatchSpan {
-                        start: i,
-                        end: i + window,
-                        surface: hit.surface,
-                        entity: hit.entity,
-                        distance: hit.distance,
-                    });
-                    i += window;
-                    matched = true;
-                    break;
-                }
-            }
-            if !matched {
-                i += 1;
-            }
+        // Per-query scratch (token byte ranges + token ids) lives in
+        // thread-local buffers: segment allocates only the normalized
+        // string (and not even that when the query is already
+        // canonical) plus the output spans.
+        thread_local! {
+            static SCRATCH: crate::dict::QueryScratch =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
         }
-        spans
+        let normalized = normalized(query);
+        SCRATCH.with_borrow_mut(|(bounds, ids)| {
+            self.dict.map_query(&normalized, bounds, ids);
+            let n = ids.len();
+            let mut spans = Vec::new();
+            let mut i = 0;
+            while i < n {
+                let longest = self.dict.max_tokens().min(n - i);
+                let hit = match &self.fuzzy {
+                    // Exact-only: one probe-table descent finds the
+                    // longest match at this position.
+                    None => self
+                        .dict
+                        .longest_match(&ids[i..], longest)
+                        .map(|(w, sid)| (w, sid, 0)),
+                    // Fuzzy: each window length must offer the exact
+                    // probe first and its fuzzy resolution second, so a
+                    // fuzzy hit on a long window still beats an exact
+                    // hit on a shorter one.
+                    Some(fuzzy) => (1..=longest).rev().find_map(|window| {
+                        if let Some(sid) = self.dict.get(&ids[i..i + window]) {
+                            return Some((window, sid, 0));
+                        }
+                        let window_text =
+                            &normalized[bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
+                        fuzzy
+                            .resolve(window_text)
+                            .map(|hit| (window, hit.surface_id, hit.distance))
+                    }),
+                };
+                match hit {
+                    Some((window, sid, distance)) => {
+                        spans.push(MatchSpan {
+                            start: i,
+                            end: i + window,
+                            surface_id: sid,
+                            entity: self.dict.entity(sid),
+                            distance,
+                            surface: self.dict.surface_arc(sid),
+                        });
+                        i += window;
+                    }
+                    None => i += 1,
+                }
+            }
+            spans
+        })
     }
 
     /// Segments a batch of queries on up to `shards` scoped threads.
@@ -307,6 +366,39 @@ impl EntityMatcher {
         });
         out
     }
+}
+
+/// Parses the `#!fuzzy` header tail: tab-separated `key=value` pairs
+/// over [`FuzzyConfig`] fields, starting from the default config.
+fn parse_fuzzy_header(header: &str, lineno: usize) -> websyn_common::Result<FuzzyConfig> {
+    let bad =
+        |what: &str| websyn_common::Error::codec(format!("line {lineno}: fuzzy header: {what}"));
+    let mut config = FuzzyConfig::default();
+    for field in header.split('\t').filter(|f| !f.is_empty()) {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| bad(&format!("missing '=' in {field:?}")))?;
+        let parse_usize = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| bad(&format!("bad number {v:?}")))
+        };
+        let parse_bool = |v: &str| match v {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(bad(&format!("bad bool {v:?}"))),
+        };
+        match key {
+            "gram_size" => config.gram_size = parse_usize(value)?,
+            "min_len_one_edit" => config.min_len_one_edit = parse_usize(value)?,
+            "min_len_two_edits" => config.min_len_two_edits = parse_usize(value)?,
+            "max_distance" => config.max_distance = parse_usize(value)?,
+            "transpositions" => config.transpositions = parse_bool(value)?,
+            "phonetic" => config.phonetic = parse_bool(value)?,
+            "abbrev" => config.abbrev = parse_bool(value)?,
+            _ => return Err(bad(&format!("unknown key {key:?}"))),
+        }
+    }
+    Ok(config)
 }
 
 #[cfg(test)]
@@ -357,7 +449,7 @@ mod tests {
         let m = matcher();
         let spans = m.segment("showtimes indiana jones 4 tonight");
         assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].surface, "indiana jones 4");
+        assert_eq!(spans[0].surface(), "indiana jones 4");
     }
 
     #[test]
@@ -368,6 +460,16 @@ mod tests {
         assert_eq!(spans[0].entity, EntityId::new(2));
         assert_eq!(spans[1].entity, EntityId::new(1));
         assert!(spans[0].end <= spans[1].start);
+    }
+
+    #[test]
+    fn span_surface_ids_resolve_through_the_dict() {
+        let m = matcher();
+        let spans = m.segment("compare canon eos 350d with madagascar 2");
+        for span in &spans {
+            assert_eq!(m.dict().surface(span.surface_id), span.surface());
+            assert_eq!(m.dict().entity(span.surface_id), span.entity);
+        }
     }
 
     #[test]
@@ -420,6 +522,8 @@ mod tests {
         assert_eq!(restored.len(), m.len());
         assert_eq!(restored.lookup("indy 4"), m.lookup("indy 4"));
         assert_eq!(restored.lookup("350d"), m.lookup("350d"));
+        // No fuzzy side, no header.
+        assert!(restored.fuzzy_config().is_none());
         // Deterministic output: re-serializing is byte-identical.
         assert_eq!(restored.to_tsv(), tsv);
         // Sorted by surface.
@@ -430,10 +534,35 @@ mod tests {
     }
 
     #[test]
+    fn tsv_roundtrip_preserves_fuzzy_config() {
+        let config = FuzzyConfig {
+            gram_size: 3,
+            max_distance: 1,
+            phonetic: true,
+            ..FuzzyConfig::default()
+        };
+        let m = matcher().with_fuzzy(config.clone());
+        let tsv = m.to_tsv();
+        assert!(tsv.starts_with("#!fuzzy\t"), "{tsv:?}");
+        let restored = EntityMatcher::from_tsv(&tsv).unwrap();
+        assert_eq!(restored.fuzzy_config(), Some(&config));
+        // Fuzzy lookups survive the round-trip.
+        let hit = restored.lookup_fuzzy("cannon eos 350d").expect("fuzzy hit");
+        assert_eq!(hit.entity, EntityId::new(2));
+        assert_eq!(hit.distance, 1);
+        // And the round-trip is a fixed point.
+        assert_eq!(restored.to_tsv(), tsv);
+    }
+
+    #[test]
     fn tsv_rejects_malformed_rows() {
         assert!(EntityMatcher::from_tsv("no tab here").is_err());
         assert!(EntityMatcher::from_tsv("surface\tnot-a-number").is_err());
         assert!(EntityMatcher::from_tsv("a\tb\t3").is_err(), "embedded tab");
+        // Malformed fuzzy headers are rejected too.
+        assert!(EntityMatcher::from_tsv("#!fuzzy\tgram_size=x\n").is_err());
+        assert!(EntityMatcher::from_tsv("#!fuzzy\tnot_a_key=1\n").is_err());
+        assert!(EntityMatcher::from_tsv("#!fuzzy\ttranspositions=maybe\n").is_err());
         // Empty input is a valid (empty) dictionary.
         let empty = EntityMatcher::from_tsv("").unwrap();
         assert!(empty.is_empty());
@@ -458,7 +587,7 @@ mod tests {
         assert_eq!(m.lookup("cannon eos 350d"), None);
         let hit = m.lookup_fuzzy("cannon eos 350d").expect("fuzzy hit");
         assert_eq!(hit.entity, EntityId::new(2));
-        assert_eq!(hit.surface, "canon eos 350d");
+        assert_eq!(hit.surface(), "canon eos 350d");
         assert_eq!(hit.distance, 1);
         // Exact surfaces still resolve exactly (distance 0).
         let exact = m.lookup_fuzzy("INDY 4").expect("exact hit");
@@ -481,7 +610,7 @@ mod tests {
         let spans = m.segment("cheapest cannon eos 350d deals");
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].entity, EntityId::new(2));
-        assert_eq!(spans[0].surface, "canon eos 350d");
+        assert_eq!(spans[0].surface(), "canon eos 350d");
         assert_eq!(spans[0].distance, 1);
         assert_eq!((spans[0].start, spans[0].end), (1, 4));
     }
@@ -494,7 +623,7 @@ mod tests {
         let spans = m.segment("watch madagascar 2 online");
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].distance, 0);
-        assert_eq!(spans[0].surface, "madagascar 2");
+        assert_eq!(spans[0].surface(), "madagascar 2");
     }
 
     #[test]
@@ -514,5 +643,19 @@ mod tests {
         }
         // Empty batch, any shard count.
         assert!(m.match_batch(&Vec::<String>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn abbrev_enabled_segmenter_resolves_acronyms() {
+        let m = EntityMatcher::from_pairs(vec![("lord of the rings", EntityId::new(9))])
+            .with_fuzzy(FuzzyConfig {
+                abbrev: true,
+                ..FuzzyConfig::default()
+            });
+        let spans = m.segment("watch lotr online");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].entity, EntityId::new(9));
+        assert_eq!(spans[0].surface(), "lord of the rings");
+        assert_eq!(spans[0].distance, 0);
     }
 }

@@ -5,18 +5,40 @@
 //! unmatchable and the click graph would lose exactly the edges the
 //! paper's method mines. The corrector maps an out-of-vocabulary query
 //! term to the most frequent vocabulary term within Damerau–Levenshtein
-//! distance 1 (distance 2 for long terms), using a first-character +
-//! length blocking scheme so correction stays fast.
+//! distance 1 (distance 2 for long terms).
+//!
+//! The corrector resolves through the same two-stage pipeline as the
+//! entity matcher's fuzzy dictionary: a
+//! [`websyn_text::CandidateSource`] (the character n-gram signature
+//! index) proposes candidate terms, and each proposal is verified with
+//! the banded `damerau_levenshtein_within` kernel — no unbounded
+//! distance computations, and no candidate scan beyond what the
+//! length/count filters admit. The PR-2 blocking scheme's scope is
+//! preserved exactly: a candidate with a different first character is
+//! only reachable at distance 1 and equal length (a first-character
+//! typo), while same-first-character candidates get the full
+//! length-scaled budget.
 
-use websyn_common::FxHashMap;
-use websyn_text::damerau_levenshtein;
+use websyn_text::{damerau_levenshtein_within, CandidateSource, NgramIndex};
+
+/// Gram size of the candidate index. Bigrams keep short terms
+/// recallable — the vocabulary is single analyzer terms, mostly 3–12
+/// chars.
+const GRAM_SIZE: usize = 2;
 
 /// A spelling corrector built from an index vocabulary.
 #[derive(Debug, Clone)]
 pub struct SpellCorrector {
-    /// Blocking buckets: (first byte, length) → candidate terms with
-    /// their document frequencies.
-    buckets: FxHashMap<(u8, usize), Vec<(String, u32)>>,
+    /// `(term, document_frequency)` sorted by term, so candidate ids
+    /// are lexicographic and tie-breaking is deterministic.
+    terms: Vec<(Box<str>, u32)>,
+    /// N-gram signature index over `terms`, in id order.
+    index: NgramIndex,
+    /// Ids of terms of ≤ 3 chars, scanned directly for 1–2 char
+    /// queries: strings that short can share zero padded bigrams with
+    /// a one-edit neighbour ("ab" / "ba"), so signature generation
+    /// alone would lose corrections the PR-2 bucket scan found.
+    short_ids: Vec<u32>,
 }
 
 impl SpellCorrector {
@@ -25,24 +47,30 @@ impl SpellCorrector {
     where
         I: IntoIterator<Item = (&'a str, u32)>,
     {
-        let mut buckets: FxHashMap<(u8, usize), Vec<(String, u32)>> = FxHashMap::default();
-        for (term, df) in vocab {
-            if term.is_empty() {
-                continue;
-            }
-            let key = (term.as_bytes()[0], term.chars().count());
-            buckets.entry(key).or_default().push((term.to_string(), df));
+        let mut terms: Vec<(Box<str>, u32)> = vocab
+            .into_iter()
+            .filter(|(term, _)| !term.is_empty())
+            .map(|(term, df)| (Box::from(term), df))
+            .collect();
+        terms.sort_unstable();
+        // Verification is Damerau/OSA, so generation must survive
+        // transposition-only typos ("jnoes") — widen the count filter.
+        let index = NgramIndex::build(terms.iter().map(|(t, _)| t.as_ref()), GRAM_SIZE)
+            .with_transpositions();
+        let short_ids = (0..terms.len() as u32)
+            .filter(|&id| index.surface_len(id) <= 3)
+            .collect();
+        Self {
+            terms,
+            index,
+            short_ids,
         }
-        // Deterministic candidate order inside each bucket: by df desc,
-        // then lexicographic.
-        for v in buckets.values_mut() {
-            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        }
-        Self { buckets }
     }
 
     /// Attempts to correct a single out-of-vocabulary term. Returns the
     /// chosen in-vocabulary term, or `None` if nothing is close enough.
+    /// Ties at equal distance go to the higher document frequency, then
+    /// to the lexicographically smaller term.
     ///
     /// The caller is expected to try correction only for terms that are
     /// *not* already in the vocabulary.
@@ -52,44 +80,54 @@ impl SpellCorrector {
         }
         let n = term.chars().count();
         let max_dist = if n >= 6 { 2 } else { 1 };
-
-        let mut best: Option<(String, u32, usize)> = None; // (term, df, dist)
-
-        // Candidate blocks: same first char with length within
-        // max_dist, plus different-first-char blocks of the same
-        // length band (covers a typo in the first character) at
-        // distance 1 only.
         let first = term.as_bytes()[0];
-        let mut consider = |bucket: &[(String, u32)], allowed: usize| {
-            for (cand, df) in bucket {
-                let d = damerau_levenshtein(term, cand);
-                if d == 0 || d > allowed {
+
+        thread_local! {
+            static PROPOSALS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        PROPOSALS.with_borrow_mut(|proposals| {
+            proposals.clear();
+            self.index.propose(term, max_dist, proposals);
+            if n <= 2 {
+                // Too short for the signature filters; scan the (few)
+                // short vocabulary terms directly. Duplicate proposals
+                // are harmless — selection is idempotent.
+                proposals.extend_from_slice(&self.short_ids);
+            }
+            let mut best: Option<(&str, u32, usize)> = None; // (term, df, dist)
+            for &id in proposals.iter() {
+                let (cand, df) = &self.terms[id as usize];
+                // First-character typos are only believed at one edit
+                // and equal length; everything else gets the full
+                // budget.
+                let allowed = if cand.as_bytes()[0] == first {
+                    max_dist
+                } else if self.index.surface_len(id) == n {
+                    1
+                } else {
+                    continue;
+                };
+                let Some(d) = damerau_levenshtein_within(term, cand, allowed) else {
+                    continue;
+                };
+                if d == 0 {
+                    // Exact match means the caller misused the API;
+                    // refuse to echo.
                     continue;
                 }
                 let better = match &best {
                     None => true,
-                    Some((_, bdf, bd)) => d < *bd || (d == *bd && *df > *bdf),
+                    Some((bt, bdf, bd)) => {
+                        d < *bd
+                            || (d == *bd && (*df > *bdf || (*df == *bdf && cand.as_ref() < *bt)))
+                    }
                 };
                 if better {
-                    best = Some((cand.clone(), *df, d));
+                    best = Some((cand, *df, d));
                 }
             }
-        };
-
-        for len in n.saturating_sub(max_dist)..=n + max_dist {
-            if let Some(bucket) = self.buckets.get(&(first, len)) {
-                consider(bucket, max_dist);
-            }
-        }
-        // First-character typo: scan all buckets of exactly the same
-        // length with a different first byte, allowing distance 1.
-        for (&(b, len), bucket) in &self.buckets {
-            if b != first && len == n {
-                consider(bucket, 1);
-            }
-        }
-
-        best.map(|(t, _, _)| t)
+            best.map(|(t, _, _)| t.to_string())
+        })
     }
 }
 
@@ -124,6 +162,29 @@ mod tests {
     }
 
     #[test]
+    fn two_char_terms_with_no_shared_grams_still_correct() {
+        // "ab" and "ba" share zero padded bigrams, so signature
+        // generation alone can't propose the swap; the short-term scan
+        // keeps the PR-2 bucket behaviour (equal length, distance 1).
+        let c = SpellCorrector::build(vec![("ba", 9), ("zz", 1)]);
+        assert_eq!(c.correct("ab").as_deref(), Some("ba"));
+        // Single-char substitution likewise.
+        let c2 = SpellCorrector::build(vec![("a", 3)]);
+        assert_eq!(c2.correct("b").as_deref(), Some("a"));
+        // Still bounded: nothing within the blocking scope stays None.
+        assert_eq!(c.correct("q"), None);
+    }
+
+    #[test]
+    fn first_character_typo_requires_equal_length() {
+        // "ones" is one deletion from "jones", but a different first
+        // character at unequal length is outside the blocking scope —
+        // mirroring the PR-2 bucket scheme exactly.
+        let c = corrector();
+        assert_eq!(c.correct("ones"), None);
+    }
+
+    #[test]
     fn long_terms_allow_distance_two() {
         let c = corrector();
         assert_eq!(c.correct("madagascat").as_deref(), Some("madagascar"));
@@ -140,15 +201,15 @@ mod tests {
 
     #[test]
     fn prefers_closer_then_more_frequent() {
-        // "indbiana"(d1 to indiana)... craft a tie: "indias" is d1 from
-        // "indiana"? No: indias -> indiana is d=2. Use "indi" -> both
-        // "india" (d1) and "indiana" (d3): picks india.
+        // "indi" is d1 from "india" and d3 from "indiana": picks india.
         let c = corrector();
         assert_eq!(c.correct("indi").as_deref(), Some("india"));
-        // Tie at equal distance resolved by higher df: build a custom
-        // corrector with two equal-distance candidates.
+        // Tie at equal distance resolved by higher df.
         let c2 = SpellCorrector::build(vec![("cat", 100), ("car", 1)]);
         assert_eq!(c2.correct("caz").as_deref(), Some("cat"));
+        // Full tie (distance and df) resolved lexicographically.
+        let c3 = SpellCorrector::build(vec![("car", 7), ("cat", 7)]);
+        assert_eq!(c3.correct("caz").as_deref(), Some("car"));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`ngram_index`] — an inverted character n-gram signature index
 //!   with length/count filters, the candidate-generation half of fuzzy
 //!   dictionary lookup;
+//! - [`candidate`] — the [`CandidateSource`] trait every approximate
+//!   generator implements (n-gram, phonetic, abbreviation), so matchers
+//!   and spell correctors share one pluggable generation stage;
 //! - [`phonetic`] — Soundex codes for sound-alike candidate grouping;
 //! - [`numerals`] — roman ↔ arabic ↔ word numeral transforms
 //!   ("Indiana Jones IV" ↔ "Indiana Jones 4" ↔ "Indiana Jones Four");
@@ -28,6 +31,7 @@
 //!   simulator.
 
 pub mod abbrev;
+pub mod candidate;
 pub mod distance;
 pub mod ngram;
 pub mod ngram_index;
@@ -38,14 +42,15 @@ pub mod tokenize;
 pub mod typo;
 
 pub use abbrev::AbbrevKind;
+pub use candidate::{AbbrevIndex, CandidateSource, PhoneticIndex};
 pub use distance::{
     damerau_levenshtein, damerau_levenshtein_within, jaro, jaro_winkler, levenshtein,
     levenshtein_within, normalized_levenshtein,
 };
 pub use ngram::{char_ngrams, cosine, dice, jaccard, overlap_coefficient, word_ngrams};
 pub use ngram_index::NgramIndex;
-pub use normalize::{normalize, NormalizeOptions};
+pub use normalize::{normalize, normalized, NormalizeOptions};
 pub use numerals::{arabic_to_roman, arabic_to_words, roman_to_arabic, words_to_arabic};
 pub use phonetic::soundex;
-pub use tokenize::{tokenize, Token, TokenKind};
+pub use tokenize::{token_bounds, tokenize, Token, TokenKind};
 pub use typo::{double_middle_char, TypoModel};

@@ -37,6 +37,7 @@
 //! collision can only *add* a candidate (later rejected by
 //! verification), never lose one.
 
+use crate::candidate::CandidateSource;
 use websyn_common::FxHashMap;
 
 /// Inverted index from character n-grams to the ids of the dictionary
@@ -67,6 +68,11 @@ pub struct NgramIndex {
     postings: FxHashMap<u64, Vec<u32>>,
     /// Char length of each indexed surface (for the length filter).
     lengths: Vec<u32>,
+    /// Grams one edit may destroy: `n` under Levenshtein edits, `n + 1`
+    /// once adjacent transpositions count as one edit (a transposition
+    /// touches two characters, so it can break `n + 1` windows). Drives
+    /// the prefix-probe count.
+    per_edit_grams: usize,
 }
 
 /// FNV-1a over the chars of one padded gram window.
@@ -125,7 +131,21 @@ impl NgramIndex {
             n,
             postings,
             lengths,
+            per_edit_grams: n,
         }
+    }
+
+    /// Switches the count filter to its transposition-safe form: the
+    /// prefix probe widens from `k·n + 1` to `k·(n + 1) + 1` gram
+    /// lists, so a surface reachable only through adjacent
+    /// transpositions (one OSA edit, up to `n + 1` destroyed grams)
+    /// still passes generation. Callers that verify with a
+    /// Damerau/OSA metric and cannot afford transposition misses (the
+    /// spelling corrector) build with this; the plain form probes
+    /// fewer lists and matches the PR-2 matcher behaviour bit for bit.
+    pub fn with_transpositions(mut self) -> Self {
+        self.per_edit_grams = self.n + 1;
+        self
     }
 
     /// Gram size the index was built with.
@@ -158,8 +178,18 @@ impl NgramIndex {
     /// needs edit-distance verification; with `max_dist == 0` the
     /// result is empty (use an exact map for distance 0).
     pub fn candidates(&self, query: &str, max_dist: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.candidates_into(query, max_dist, &mut out);
+        out
+    }
+
+    /// [`NgramIndex::candidates`] into a caller-owned buffer — the
+    /// allocation-free form the serving path uses (and the
+    /// [`CandidateSource`] implementation delegates to). Appends to
+    /// `out` without clearing it.
+    pub fn candidates_into(&self, query: &str, max_dist: usize, out: &mut Vec<u32>) {
         if max_dist == 0 || self.is_empty() {
-            return Vec::new();
+            return;
         }
         // The segmenter calls this for every window that misses the
         // exact dictionary, so the gram buffers are thread-local
@@ -174,7 +204,7 @@ impl NgramIndex {
             grams.sort_unstable();
             grams.dedup();
             if grams.is_empty() {
-                return Vec::new();
+                return;
             }
             let q_len = query.chars().count() as u32;
 
@@ -185,7 +215,7 @@ impl NgramIndex {
             // all). This is the segmenter's hottest loop: only the probed
             // lists are scanned, and the length filter keeps far-length
             // surfaces out of the union.
-            let probe_count = (max_dist * self.n + 1).min(grams.len());
+            let probe_count = (max_dist * self.per_edit_grams + 1).min(grams.len());
             let mut lists: Vec<&[u32]> = grams
                 .iter()
                 .map(|g| self.postings.get(g).map_or(&[][..], |ids| ids.as_slice()))
@@ -194,7 +224,7 @@ impl NgramIndex {
                 lists.sort_unstable_by_key(|ids| ids.len());
                 lists.truncate(probe_count);
             }
-            let mut out = Vec::new();
+            let start = out.len();
             for ids in lists {
                 for &id in ids {
                     if self.lengths[id as usize].abs_diff(q_len) <= max_dist as u32 {
@@ -202,10 +232,28 @@ impl NgramIndex {
                     }
                 }
             }
-            out.sort_unstable();
-            out.dedup();
-            out
+            // Sort + dedup only the region this call appended, so the
+            // buffer contract (append, never disturb) holds.
+            out[start..].sort_unstable();
+            let mut w = start;
+            for r in start..out.len() {
+                if w == start || out[w - 1] != out[r] {
+                    out[w] = out[r];
+                    w += 1;
+                }
+            }
+            out.truncate(w);
         })
+    }
+}
+
+impl CandidateSource for NgramIndex {
+    fn name(&self) -> &'static str {
+        "ngram"
+    }
+
+    fn propose(&self, query: &str, max_dist: usize, out: &mut Vec<u32>) {
+        self.candidates_into(query, max_dist, out);
     }
 }
 
@@ -343,5 +391,16 @@ mod tests {
     #[should_panic(expected = "gram size must be positive")]
     fn zero_gram_size_panics() {
         let _ = NgramIndex::build(["x"], 0);
+    }
+
+    #[test]
+    fn transposition_safe_probe_recalls_osa_neighbours() {
+        // "jnoes" is one OSA edit from "jones" but a transposition
+        // destroys 3 bigrams, below the plain count threshold; the
+        // widened probe keeps it.
+        let idx = NgramIndex::build(["jones", "escape", "kingdom"], 2).with_transpositions();
+        assert_eq!(idx.candidates("jnoes", 1), vec![0]);
+        // Still a filter: unrelated strings propose nothing.
+        assert!(idx.candidates("zzzzz", 1).is_empty());
     }
 }

@@ -118,6 +118,58 @@ pub fn normalize_with(input: &str, opts: NormalizeOptions) -> String {
     out
 }
 
+/// [`normalize`] without the copy when there is nothing to do: borrows
+/// `input` if it is already canonical (lowercase ASCII alphanumeric
+/// words separated by single spaces, no leading/trailing space),
+/// allocating only otherwise. The matcher's serving path runs on this —
+/// real query traffic is mostly lowercase already, and an
+/// already-canonical query then segments with zero heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use std::borrow::Cow;
+/// use websyn_text::normalize::normalized;
+///
+/// assert!(matches!(normalized("canon eos 350d"), Cow::Borrowed(_)));
+/// assert!(matches!(normalized("Canon EOS-350d"), Cow::Owned(_)));
+/// assert_eq!(normalized("Canon EOS-350d"), normalized("canon eos 350d"));
+/// ```
+pub fn normalized(input: &str) -> std::borrow::Cow<'_, str> {
+    if is_canonical(input) {
+        std::borrow::Cow::Borrowed(input)
+    } else {
+        std::borrow::Cow::Owned(normalize(input))
+    }
+}
+
+/// True iff `normalize(s) == s` by construction: lowercase ASCII
+/// alphanumerics in single-space-separated words. One branchy byte
+/// scan — cheaper than re-normalizing by an order of magnitude.
+fn is_canonical(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return true;
+    }
+    if bytes[0] == b' ' || bytes[bytes.len() - 1] == b' ' {
+        return false;
+    }
+    let mut prev_space = false;
+    for &b in bytes {
+        match b {
+            b'a'..=b'z' | b'0'..=b'9' => prev_space = false,
+            b' ' => {
+                if prev_space {
+                    return false;
+                }
+                prev_space = true;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
 /// Folds common Latin-1 / Latin Extended-A diacritics to ASCII. Leaves
 /// anything outside that range untouched.
 pub fn fold_char(c: char) -> char {
@@ -169,6 +221,33 @@ mod tests {
             normalize("Indiana Jones: The Kingdom!"),
             "indiana jones the kingdom"
         );
+    }
+
+    #[test]
+    fn normalized_borrows_iff_canonical() {
+        use std::borrow::Cow;
+        // Borrowing implies normalize() is the identity.
+        for s in ["canon eos 350d", "a", "x 2 y", ""] {
+            assert!(matches!(normalized(s), Cow::Borrowed(_)), "{s:?}");
+            assert_eq!(normalize(s), s);
+        }
+        // Anything normalize would change must take the owned path and
+        // agree with normalize exactly.
+        for s in [
+            "Canon",
+            " leading",
+            "trailing ",
+            "two  spaces",
+            "dash-ed",
+            "pokémon",
+            "a&b",
+            "don't",
+            "Ümlaut",
+            "tab\tsep",
+        ] {
+            assert!(matches!(normalized(s), Cow::Owned(_)), "{s:?}");
+            assert_eq!(normalized(s), normalize(s), "{s:?}");
+        }
     }
 
     #[test]

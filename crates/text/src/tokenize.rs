@@ -108,6 +108,29 @@ pub fn token_texts(input: &str) -> Vec<&str> {
     tokenize(input).into_iter().map(|t| t.text).collect()
 }
 
+/// Pushes the `(start, end)` byte range of every alphanumeric token of
+/// `input` into `out` (cleared first). The allocation-free spine of
+/// tokenize-to-ids: the compiled-dictionary segmenter maps each range
+/// to an interned token id without materializing token strings, and
+/// slicing `input[start_i..end_j]` reproduces exactly the `join(" ")`
+/// of tokens `i..=j` when `input` is normalized (single spaces).
+pub fn token_bounds(input: &str, out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    let mut start: Option<usize> = None;
+    for (i, c) in input.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push((s as u32, i as u32));
+        }
+    }
+    if let Some(s) = start {
+        out.push((s as u32, input.len() as u32));
+    }
+}
+
 /// Joins tokens back into a canonical single-spaced string.
 pub fn join_tokens(tokens: &[&str]) -> String {
     tokens.join(" ")
@@ -121,6 +144,23 @@ mod tests {
     fn basic_words() {
         let t = token_texts("indiana jones 4");
         assert_eq!(t, vec!["indiana", "jones", "4"]);
+    }
+
+    #[test]
+    fn token_bounds_match_tokenize() {
+        let mut bounds = Vec::new();
+        for input in ["canon eos 350d", "  spaced  out ", "", "???", "a"] {
+            token_bounds(input, &mut bounds);
+            let toks = tokenize(input);
+            assert_eq!(bounds.len(), toks.len(), "{input:?}");
+            for (b, t) in bounds.iter().zip(&toks) {
+                assert_eq!(&input[b.0 as usize..b.1 as usize], t.text);
+            }
+        }
+        // On normalized input, slicing across bounds reproduces join(" ").
+        let input = "canon eos 350d";
+        token_bounds(input, &mut bounds);
+        assert_eq!(&input[bounds[0].0 as usize..bounds[2].1 as usize], input);
     }
 
     #[test]

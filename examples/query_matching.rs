@@ -73,7 +73,7 @@ fn main() {
                     "  {:?}\n    -> {:?} (surface {:?})",
                     q,
                     world.entities[span.entity.as_usize()].canonical,
-                    span.surface
+                    span.surface()
                 );
             }
             None => println!("  {q:?}\n    -> no entity"),
@@ -120,7 +120,7 @@ fn main() {
                 "  {:?}\n    -> {:?} (surface {:?}, distance {})",
                 q,
                 world.entities[span.entity.as_usize()].canonical,
-                span.surface,
+                span.surface(),
                 span.distance
             ),
             None => println!("  {q:?}\n    -> no entity"),

@@ -73,7 +73,7 @@ fn main() {
                 "  tokens {}..{} = {:?} -> {:?}",
                 span.start,
                 span.end,
-                span.surface,
+                span.surface(),
                 world.entities[span.entity.as_usize()].canonical
             );
         }

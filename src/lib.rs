@@ -71,10 +71,10 @@ pub mod prelude {
     };
     pub use websyn_click::session::{engine_for_world, simulate_sessions};
     pub use websyn_click::{ClickGraph, ClickLog, ClickModel, RandomWalk, SessionConfig};
-    pub use websyn_common::{EntityId, PageId, QueryId, SeedSequence};
+    pub use websyn_common::{EntityId, PageId, QueryId, SeedSequence, SurfaceId};
     pub use websyn_core::{
-        evaluate, EntityMatcher, EvalReport, FuzzyConfig, MatchSpan, MinerConfig, MiningContext,
-        MiningResult, SynonymMiner,
+        evaluate, CompiledDict, EntityMatcher, EvalReport, FuzzyConfig, MatchSpan, MinerConfig,
+        MiningContext, MiningResult, SynonymMiner,
     };
     pub use websyn_engine::{SearchData, SearchEngine};
     pub use websyn_synth::{QueryStreamConfig, World, WorldConfig};
@@ -92,5 +92,11 @@ mod tests {
         assert_type::<crate::baselines::BaselineOutput>();
         assert_type::<crate::text::TypoModel>();
         assert_type::<crate::common::Zipf>();
+        assert_type::<crate::prelude::CompiledDict>();
+        assert_type::<crate::prelude::SurfaceId>();
+        assert_type::<crate::text::PhoneticIndex>();
+        assert_type::<crate::text::AbbrevIndex>();
+        fn assert_source<T: crate::text::CandidateSource>() {}
+        assert_source::<crate::text::NgramIndex>();
     }
 }

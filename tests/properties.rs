@@ -194,16 +194,16 @@ proptest! {
         if let Some(hit) = m.lookup_fuzzy(&query) {
             let q = normalize(&query);
             // Reported distance is the real metric distance…
-            prop_assert_eq!(hit.distance, cfg.distance(&q, &hit.surface));
+            prop_assert_eq!(hit.distance, cfg.distance(&q, hit.surface()));
             // …and within the budget of BOTH sides' lengths.
             let allowed = cfg
                 .max_distance_for(q.chars().count())
-                .min(cfg.max_distance_for(hit.surface.chars().count()));
+                .min(cfg.max_distance_for(hit.surface().chars().count()));
             if hit.distance > 0 {
                 prop_assert!(
                     hit.distance <= allowed,
                     "distance {} exceeds budget {} for {:?} -> {:?}",
-                    hit.distance, allowed, q, hit.surface
+                    hit.distance, allowed, q, hit.surface()
                 );
             }
         }
@@ -211,9 +211,9 @@ proptest! {
         for span in m.segment(&query) {
             if span.distance > 0 {
                 prop_assert!(
-                    span.distance <= cfg.max_distance_for(span.surface.chars().count()),
+                    span.distance <= cfg.max_distance_for(span.surface().chars().count()),
                     "span distance {} beyond budget for {:?}",
-                    span.distance, span.surface
+                    span.distance, span.surface()
                 );
             }
         }

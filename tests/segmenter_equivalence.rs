@@ -1,0 +1,301 @@
+//! Equivalence of the compiled token-ID segmenter with the PR-2
+//! String-keyed segmenter.
+//!
+//! The PR-3 refactor replaced the matcher's `String → EntityId` hash
+//! map (one `join(" ")` + string hash per window) with a compiled
+//! token-ID dictionary probed by integer-slice binary search. The
+//! refactor must be invisible: this file carries a faithful replica of
+//! the PR-2 implementation and checks — on random dictionaries and
+//! random queries, over both the exact and fuzzy paths — that the two
+//! segmenters produce identical `MatchSpan` streams, span for span and
+//! byte for byte.
+
+use proptest::prelude::*;
+use websyn::common::{EntityId, FxHashMap, FxHashSet};
+use websyn::core::{EntityMatcher, FuzzyConfig, MatchSpan};
+use websyn::text::{normalize, NgramIndex};
+
+/// A span projected to plain data, so reference and compiled spans
+/// compare without sharing types.
+type FlatSpan = (usize, usize, String, EntityId, usize);
+
+fn flatten(spans: &[MatchSpan]) -> Vec<FlatSpan> {
+    spans
+        .iter()
+        .map(|s| {
+            (
+                s.start,
+                s.end,
+                s.surface().to_string(),
+                s.entity,
+                s.distance,
+            )
+        })
+        .collect()
+}
+
+/// The PR-2 fuzzy side: sorted surfaces + n-gram candidate index,
+/// verified with the bounded metric. Copied, not imported — the point
+/// is to pin the old behaviour.
+struct ReferenceFuzzy {
+    config: FuzzyConfig,
+    surfaces: Vec<(String, EntityId)>,
+    index: NgramIndex,
+}
+
+impl ReferenceFuzzy {
+    fn build(mut pairs: Vec<(String, EntityId)>, config: FuzzyConfig) -> Self {
+        pairs.sort_unstable();
+        let index = NgramIndex::build(pairs.iter().map(|(s, _)| s.as_str()), config.gram_size);
+        Self {
+            config,
+            surfaces: pairs,
+            index,
+        }
+    }
+
+    fn resolve(&self, normalized: &str) -> Option<(String, EntityId, usize)> {
+        let q_len = normalized.chars().count();
+        let budget = self.config.max_distance_for(q_len);
+        if budget == 0 {
+            return None;
+        }
+        let mut best: Option<(String, EntityId, usize)> = None;
+        let mut contested = false;
+        for id in self.index.candidates(normalized, budget) {
+            let (surface, entity) = &self.surfaces[id as usize];
+            let allowed = budget.min(self.config.max_distance_for(self.index.surface_len(id)));
+            if allowed == 0 {
+                continue;
+            }
+            let Some(d) = self.config.distance_within(normalized, surface, allowed) else {
+                continue;
+            };
+            match &best {
+                Some((_, _, bd)) if d > *bd => {}
+                Some((_, be, bd)) if d == *bd => {
+                    if entity != be {
+                        contested = true;
+                    }
+                }
+                _ => {
+                    best = Some((surface.clone(), *entity, d));
+                    contested = false;
+                }
+            }
+        }
+        if contested {
+            None
+        } else {
+            best
+        }
+    }
+}
+
+/// The PR-2 matcher: String-keyed exact dictionary, `join(" ")` per
+/// window, fuzzy fallback inside the same window loop.
+struct ReferenceMatcher {
+    surfaces: FxHashMap<String, EntityId>,
+    max_tokens: usize,
+    fuzzy: Option<ReferenceFuzzy>,
+}
+
+impl ReferenceMatcher {
+    fn from_pairs(pairs: &[(String, EntityId)], fuzzy: Option<FuzzyConfig>) -> Self {
+        let mut surfaces: FxHashMap<String, EntityId> = FxHashMap::default();
+        let mut banned: FxHashSet<String> = FxHashSet::default();
+        for (raw, entity) in pairs {
+            let surface = normalize(raw);
+            if surface.is_empty() || banned.contains(&surface) {
+                continue;
+            }
+            match surfaces.get(&surface) {
+                None => {
+                    surfaces.insert(surface, *entity);
+                }
+                Some(&existing) if existing == *entity => {}
+                Some(_) => {
+                    surfaces.remove(&surface);
+                    banned.insert(surface);
+                }
+            }
+        }
+        let max_tokens = surfaces
+            .keys()
+            .map(|s| s.split(' ').count())
+            .max()
+            .unwrap_or(0);
+        let fuzzy = fuzzy.map(|config| {
+            let pairs: Vec<(String, EntityId)> =
+                surfaces.iter().map(|(s, &e)| (s.clone(), e)).collect();
+            ReferenceFuzzy::build(pairs, config)
+        });
+        Self {
+            surfaces,
+            max_tokens,
+            fuzzy,
+        }
+    }
+
+    fn segment(&self, query: &str) -> Vec<FlatSpan> {
+        let normalized = normalize(query);
+        let tokens: Vec<&str> = normalized.split(' ').filter(|t| !t.is_empty()).collect();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = false;
+            let longest = self.max_tokens.min(tokens.len() - i);
+            for window in (1..=longest).rev() {
+                let window_text = tokens[i..i + window].join(" ");
+                if let Some(&entity) = self.surfaces.get(&window_text) {
+                    spans.push((i, i + window, window_text, entity, 0));
+                    i += window;
+                    matched = true;
+                    break;
+                }
+                if let Some(hit) = self.fuzzy.as_ref().and_then(|f| f.resolve(&window_text)) {
+                    spans.push((i, i + window, hit.0, hit.1, hit.2));
+                    i += window;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                i += 1;
+            }
+        }
+        spans
+    }
+}
+
+/// Applies one deterministic character edit to `s`, driven by `seed`:
+/// substitution, deletion, insertion or adjacent transposition.
+fn mutate(s: &str, seed: u64) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_string();
+    }
+    let pos = (seed / 4) as usize % chars.len();
+    let letter = char::from(b'a' + (seed / 64 % 26) as u8);
+    let mut out = chars.clone();
+    match seed % 4 {
+        0 => out[pos] = letter,
+        1 => {
+            out.remove(pos);
+        }
+        2 => out.insert(pos, letter),
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else {
+                out[pos] = letter;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Builds a query from the dictionary: each `(selector, seed)` segment
+/// is a surface verbatim, a surface with one typo, or a noise word.
+fn compose_query(surfaces: &[(String, EntityId)], segments: &[(usize, u64)]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for &(selector, seed) in segments {
+        let surface = &surfaces[selector % surfaces.len()].0;
+        match seed % 3 {
+            0 => parts.push(surface.clone()),
+            1 => parts.push(mutate(surface, seed / 3)),
+            _ => parts.push(format!("noise{}", seed % 97)),
+        }
+    }
+    parts.join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Exact path: identical span streams with fuzzy disabled.
+    #[test]
+    fn exact_segmenter_matches_reference(
+        pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 1..14),
+        segments in collection::vec((0usize..64, 0u64..1_000_000_000), 1..5),
+    ) {
+        let pairs: Vec<(String, EntityId)> = pairs
+            .into_iter()
+            .map(|(s, e)| (s, EntityId::new(e)))
+            .collect();
+        let reference = ReferenceMatcher::from_pairs(&pairs, None);
+        let compiled = EntityMatcher::from_pairs(pairs.clone());
+        let query = compose_query(&pairs, &segments);
+        prop_assert_eq!(flatten(&compiled.segment(&query)), reference.segment(&query));
+        // The dictionary surfaces themselves segment identically too.
+        for (s, _) in &pairs {
+            prop_assert_eq!(flatten(&compiled.segment(s)), reference.segment(s));
+        }
+    }
+
+    /// Fuzzy path: identical span streams (including distances and the
+    /// ambiguity-drop rule) with the default fuzzy config attached.
+    #[test]
+    fn fuzzy_segmenter_matches_reference(
+        pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 1..14),
+        segments in collection::vec((0usize..64, 0u64..1_000_000_000), 1..5),
+    ) {
+        let pairs: Vec<(String, EntityId)> = pairs
+            .into_iter()
+            .map(|(s, e)| (s, EntityId::new(e)))
+            .collect();
+        let config = FuzzyConfig::default();
+        let reference = ReferenceMatcher::from_pairs(&pairs, Some(config.clone()));
+        let compiled = EntityMatcher::from_pairs(pairs.clone()).with_fuzzy(config);
+        let query = compose_query(&pairs, &segments);
+        prop_assert_eq!(flatten(&compiled.segment(&query)), reference.segment(&query));
+        // Whole-query fuzzy lookup agrees as well.
+        match (compiled.lookup_fuzzy(&query), reference.fuzzy.as_ref().unwrap().resolve(&normalize(&query))) {
+            (Some(hit), Some((surface, entity, distance))) => {
+                prop_assert_eq!(hit.surface(), surface.as_str());
+                prop_assert_eq!(hit.entity, entity);
+                prop_assert_eq!(hit.distance, distance);
+            }
+            (new, old) => {
+                // Exact whole-query hits resolve before the fuzzy side;
+                // the reference resolve still finds them at distance 0.
+                let exact = compiled.lookup(&query);
+                prop_assert!(
+                    new.is_some() == (old.is_some() || exact.is_some()),
+                    "lookup_fuzzy diverged: new={:?} old={:?} exact={:?}",
+                    new.map(|h| h.surface().to_string()), old, exact
+                );
+            }
+        }
+    }
+
+    /// `match_batch` over the compiled core is shard-invariant: any
+    /// shard count reproduces the sequential segmentation byte for
+    /// byte.
+    #[test]
+    fn match_batch_is_shard_invariant(
+        pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 1..14),
+        seeds in collection::vec((0usize..64, 0u64..1_000_000_000), 1..4),
+        n_queries in 1usize..20,
+    ) {
+        let pairs: Vec<(String, EntityId)> = pairs
+            .into_iter()
+            .map(|(s, e)| (s, EntityId::new(e)))
+            .collect();
+        let matcher = EntityMatcher::from_pairs(pairs.clone()).with_fuzzy(FuzzyConfig::default());
+        let queries: Vec<String> = (0..n_queries)
+            .map(|i| {
+                let shifted: Vec<(usize, u64)> = seeds
+                    .iter()
+                    .map(|&(sel, seed)| (sel + i, seed + i as u64))
+                    .collect();
+                compose_query(&pairs, &shifted)
+            })
+            .collect();
+        let sequential: Vec<Vec<MatchSpan>> =
+            queries.iter().map(|q| matcher.segment(q)).collect();
+        for shards in [1usize, 2, 3, 7, 16, 64] {
+            prop_assert_eq!(&matcher.match_batch(&queries, shards), &sequential, "shards={}", shards);
+        }
+    }
+}
