@@ -12,8 +12,7 @@
 //! Smoke (CI): `cargo bench -p websyn-bench --bench matcher_fuzzy -- --test`
 
 use criterion::{black_box, Criterion};
-use websyn_bench::small_pipeline;
-use websyn_common::EntityId;
+use websyn_bench::{small_pipeline, synth_product_dictionary};
 use websyn_core::{EntityMatcher, FuzzyConfig, MinerConfig, SynonymMiner};
 use websyn_text::double_middle_char;
 
@@ -94,55 +93,11 @@ fn bench_matcher_modes(c: &mut Criterion) {
 /// the `bench_check` schema gate.
 const SWEEP_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
 
-/// A deterministic synthetic product dictionary of exactly `n` unique
-/// surfaces ("brand line <number><suffix>"), stressing the compiled
-/// dictionary's probe table as the surface count grows.
-fn synth_dictionary(n: usize) -> Vec<(String, EntityId)> {
-    const BRANDS: [&str; 12] = [
-        "canon",
-        "nikon",
-        "kodak",
-        "sony",
-        "fuji",
-        "pentax",
-        "olympus",
-        "leica",
-        "sigma",
-        "casio",
-        "panasonic",
-        "minolta",
-    ];
-    const LINES: [&str; 8] = [
-        "eos",
-        "coolpix",
-        "easyshare",
-        "cyber shot",
-        "finepix",
-        "optio",
-        "stylus",
-        "lumix",
-    ];
-    const SUFFIXES: [char; 5] = ['d', 'x', 's', 'z', 't'];
-    (0..n)
-        .map(|i| {
-            let brand = BRANDS[i % BRANDS.len()];
-            let line = LINES[(i / BRANDS.len()) % LINES.len()];
-            let suffix = SUFFIXES[(i / 7) % SUFFIXES.len()];
-            // The running number makes every surface unique, so none
-            // are dropped as ambiguous.
-            (
-                format!("{brand} {line} {}{suffix}", 100 + i),
-                EntityId::from_usize(i),
-            )
-        })
-        .collect()
-}
-
 /// Exact segmentation throughput as a function of dictionary size.
 fn bench_dictionary_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("matcher");
     for n in SWEEP_SIZES {
-        let dictionary = synth_dictionary(n);
+        let dictionary = synth_product_dictionary(n);
         let surfaces: Vec<String> = dictionary
             .iter()
             .step_by((n / 64).max(1))

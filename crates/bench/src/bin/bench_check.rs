@@ -1,19 +1,24 @@
-//! Schema gate for the committed matcher perf artifact.
+//! Schema gate for the committed perf artifacts.
 //!
-//! `BENCH_matcher.json` is the matcher's perf trajectory across PRs;
-//! CI regenerates it in smoke mode and this binary fails the job if
-//! the schema or the benchmark key set regresses — a rename, a dropped
-//! benchmark, or a malformed emitter would otherwise silently break
-//! the cross-PR comparison.
+//! `BENCH_matcher.json` (matcher microbenchmark) and
+//! `BENCH_serve.json` (serving-path load generator) are the perf
+//! trajectory across PRs; CI regenerates both in smoke mode and this
+//! binary fails the job if a schema or key set regresses — a rename, a
+//! dropped benchmark, or a malformed emitter would otherwise silently
+//! break the cross-PR comparison. For the serve artifact the gate also
+//! enforces the serving-path invariants: latency percentiles must be
+//! ordered (p50 ≤ p95 ≤ p99), the Zipfian cache hit rate must stay
+//! above 50%, and no response may have diverged from the golden
+//! segmentation.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin bench_check`
-//! (reads the workspace-root `BENCH_matcher.json`, or the path in the
-//! `BENCH_MATCHER_JSON` env var).
+//! (reads the workspace-root `BENCH_matcher.json` / `BENCH_serve.json`,
+//! or the paths in the `BENCH_MATCHER_JSON` / `BENCH_SERVE_JSON` env
+//! vars).
 //!
 //! The checker is deliberately hand-rolled and line-oriented — the
-//! emitter in `benches/matcher_fuzzy.rs` writes one result per line —
-//! because the workspace has no JSON parser dependency (see
-//! vendor/README.md).
+//! emitters write one result (or one scalar) per line — because the
+//! workspace has no JSON parser dependency (see vendor/README.md).
 
 use std::process::ExitCode;
 
@@ -56,6 +61,64 @@ fn number_value(line: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .map_or(line.len(), |p| p + start);
     line[start..end].parse().ok()
+}
+
+/// Validates the serve artifact: key presence, positive throughput,
+/// ordered latency percentiles, the >50% Zipfian cache-hit floor, and
+/// zero response mismatches.
+fn check_serve(content: &str) -> Result<(), String> {
+    for key in [
+        "\"bench\": \"serve\"",
+        "\"mode\":",
+        "\"queries\":",
+        "\"distinct_queries\":",
+        "\"connections\":",
+        "\"pipeline_depth\":",
+        "\"workers\":",
+        "\"batch_max\":",
+        "\"batch_window_us\":",
+        "\"cache_capacity\":",
+        "\"zipf_s\":",
+        "\"latency_us\":",
+        "\"cache_evictions\":",
+    ] {
+        if !content.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let mode = string_value(content, "mode").ok_or("unreadable \"mode\"")?;
+    if !matches!(mode, "full" | "smoke") {
+        return Err(format!("mode must be full|smoke, got {mode:?}"));
+    }
+    let number = |key: &str| -> Result<f64, String> {
+        number_value(content, key).ok_or_else(|| format!("unreadable \"{key}\""))
+    };
+    let throughput = number("throughput_qps")?;
+    if throughput <= 0.0 {
+        return Err(format!("throughput_qps must be positive, got {throughput}"));
+    }
+    let (p50, p95, p99) = (number("p50")?, number("p95")?, number("p99")?);
+    if p50 <= 0.0 {
+        return Err(format!("p50 must be positive, got {p50}"));
+    }
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "latency percentiles must be ordered, got p50={p50} p95={p95} p99={p99}"
+        ));
+    }
+    let hit_rate = number("cache_hit_rate")?;
+    if !(hit_rate > 0.5 && hit_rate <= 1.0) {
+        return Err(format!(
+            "cache_hit_rate must be in (0.5, 1.0] on the Zipfian log, got {hit_rate}"
+        ));
+    }
+    let mismatches = number("response_mismatches")?;
+    if mismatches != 0.0 {
+        return Err(format!(
+            "response_mismatches must be 0 (cached == uncached), got {mismatches}"
+        ));
+    }
+    Ok(())
 }
 
 fn check(content: &str) -> Result<usize, String> {
@@ -108,25 +171,39 @@ fn check(content: &str) -> Result<usize, String> {
 }
 
 fn main() -> ExitCode {
-    let path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
+    let matcher_path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json").to_string()
     });
-    let content = match std::fs::read_to_string(&path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("bench_check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+    let serve_path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let mut failed = false;
+    for (path, verdict) in [
+        (
+            &matcher_path,
+            std::fs::read_to_string(&matcher_path)
+                .map_err(|e| format!("cannot read: {e}"))
+                .and_then(|c| check(&c).map(|n| format!("{n} results"))),
+        ),
+        (
+            &serve_path,
+            std::fs::read_to_string(&serve_path)
+                .map_err(|e| format!("cannot read: {e}"))
+                .and_then(|c| check_serve(&c).map(|()| "serve schema + gates".to_string())),
+        ),
+    ] {
+        match verdict {
+            Ok(what) => println!("bench_check: {path} ok ({what}, all required keys present)"),
+            Err(e) => {
+                eprintln!("bench_check: {path}: SCHEMA REGRESSION: {e}");
+                failed = true;
+            }
         }
-    };
-    match check(&content) {
-        Ok(n) => {
-            println!("bench_check: {path} ok ({n} results, all required keys present)");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("bench_check: {path}: SCHEMA REGRESSION: {e}");
-            ExitCode::FAILURE
-        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -152,6 +229,46 @@ mod tests {
     #[test]
     fn accepts_the_emitted_schema() {
         assert_eq!(check(&valid()), Ok(REQUIRED_BENCHES.len()));
+    }
+
+    fn valid_serve() -> String {
+        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0\n}\n"
+            .to_string()
+    }
+
+    #[test]
+    fn accepts_the_serve_schema() {
+        assert_eq!(check_serve(&valid_serve()), Ok(()));
+    }
+
+    #[test]
+    fn serve_gate_rejects_bad_values() {
+        let low_hit =
+            valid_serve().replace("\"cache_hit_rate\": 0.9050", "\"cache_hit_rate\": 0.4");
+        assert!(check_serve(&low_hit)
+            .unwrap_err()
+            .contains("cache_hit_rate"));
+        let unordered = valid_serve().replace("\"p95\": 350.5", "\"p95\": 3500.5");
+        assert!(check_serve(&unordered).unwrap_err().contains("ordered"));
+        let mismatch =
+            valid_serve().replace("\"response_mismatches\": 0", "\"response_mismatches\": 3");
+        assert!(check_serve(&mismatch)
+            .unwrap_err()
+            .contains("response_mismatches"));
+        let missing = valid_serve().replace("  \"batch_window_us\": 100,\n", "");
+        assert!(check_serve(&missing).unwrap_err().contains("missing key"));
+        let missing_depth = valid_serve().replace("  \"pipeline_depth\": 4,\n", "");
+        assert!(check_serve(&missing_depth)
+            .unwrap_err()
+            .contains("missing key"));
+        let missing_evictions = valid_serve().replace("  \"cache_evictions\": 2,\n", "");
+        assert!(check_serve(&missing_evictions)
+            .unwrap_err()
+            .contains("missing key"));
+        let badmode = valid_serve().replace("\"mode\": \"smoke\"", "\"mode\": \"partial\"");
+        assert!(check_serve(&badmode).unwrap_err().contains("mode"));
+        let zero_tp = valid_serve().replace("\"throughput_qps\": 50000", "\"throughput_qps\": 0");
+        assert!(check_serve(&zero_tp).unwrap_err().contains("positive"));
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Zipfian load generator for the serving front end.
+//!
+//! Replays a synthetic web-query log against a live `websyn-serve`
+//! instance (started in-process on an ephemeral port, but exercised
+//! through real TCP sockets) and reports what a serving benchmark must
+//! report: **tail latency**, not just throughput.
+//!
+//! The workload models what ROADMAP calls the serving reality: query
+//! logs are Zipfian, so a small head of distinct queries carries most
+//! of the traffic. A quarter of the distinct queries carry a
+//! deterministic misspelling, so the expensive fuzzy path is exercised
+//! on every cache miss; the result cache in front of it is what keeps
+//! the tail survivable.
+//!
+//! Every response is checked byte-for-byte against a golden
+//! `format_spans(matcher.segment(q))` computed up front — a cached
+//! response that differs from the uncached one, anywhere in the run,
+//! fails the binary.
+//!
+//! Emits `BENCH_serve.json` at the workspace root (override with the
+//! `BENCH_SERVE_JSON` env var); `bench_check` gates its schema and the
+//! cache-hit floor in CI.
+//!
+//! Run: `cargo run --release -p websyn-bench --bin serve_load`
+//! Smoke (CI): `cargo run --release -p websyn-bench --bin serve_load -- --test`
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use websyn_bench::synth_product_dictionary;
+use websyn_common::stats::percentile_sorted;
+use websyn_common::{SeedSequence, Zipf};
+use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::{format_spans, Engine, EngineConfig, ServeConfig, Server};
+use websyn_text::double_middle_char;
+
+/// Workload shape; `smoke` shrinks everything for CI.
+struct LoadConfig {
+    mode: &'static str,
+    dict_size: usize,
+    distinct_queries: usize,
+    total_queries: usize,
+    connections: usize,
+    pipeline_depth: usize,
+    workers: usize,
+    batch_max: usize,
+    batch_window: Duration,
+    cache_capacity: usize,
+    zipf_s: f64,
+}
+
+impl LoadConfig {
+    fn full() -> Self {
+        Self {
+            mode: "full",
+            dict_size: 5_000,
+            distinct_queries: 2_000,
+            total_queries: 40_000,
+            connections: 8,
+            pipeline_depth: 8,
+            workers: 4,
+            batch_max: 32,
+            batch_window: Duration::from_micros(100),
+            cache_capacity: 1_024,
+            zipf_s: 1.0,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            mode: "smoke",
+            dict_size: 500,
+            distinct_queries: 200,
+            total_queries: 2_000,
+            connections: 4,
+            pipeline_depth: 4,
+            workers: 2,
+            cache_capacity: 256,
+            ..Self::full()
+        }
+    }
+}
+
+/// The distinct query pool, rank 0 = most popular: each rank picks a
+/// dictionary surface (stride-spread so popularity is uncorrelated
+/// with dictionary order), wraps it in intent text, and every fourth
+/// rank carries one deterministic edit — those queries can only
+/// resolve through the fuzzy path.
+fn query_pool(dictionary: &[(String, websyn_common::EntityId)], distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|rank| {
+            let surface = &dictionary[(rank * 7919) % dictionary.len()].0;
+            let mention = if rank % 4 == 3 {
+                double_middle_char(surface)
+            } else {
+                surface.clone()
+            };
+            match rank % 3 {
+                0 => format!("{mention} near san francisco"),
+                1 => format!("best price for {mention}"),
+                _ => format!("{mention} reviews and deals"),
+            }
+        })
+        .collect()
+}
+
+/// One client connection: replays `queries` closed-loop with a bounded
+/// pipeline, returning per-request latencies (µs) and the number of
+/// responses that did not match their golden line.
+fn run_client(
+    addr: std::net::SocketAddr,
+    queries: &[u32],
+    pool: &[String],
+    golden: &[String],
+    depth: usize,
+) -> std::io::Result<(Vec<f64>, usize)> {
+    let conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut conn = conn;
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut mismatches = 0usize;
+    // Responses come back in request order, so the in-flight queue of
+    // (rank, send-instant) pairs lines up FIFO with the reads.
+    let mut in_flight: VecDeque<(u32, Instant)> = VecDeque::with_capacity(depth);
+    let mut line = String::new();
+    let drain_one = |reader: &mut BufReader<TcpStream>,
+                     in_flight: &mut VecDeque<(u32, Instant)>,
+                     line: &mut String,
+                     latencies: &mut Vec<f64>,
+                     mismatches: &mut usize|
+     -> std::io::Result<()> {
+        let (rank, sent_at) = in_flight.pop_front().expect("drain with nothing in flight");
+        line.clear();
+        reader.read_line(line)?;
+        latencies.push(sent_at.elapsed().as_secs_f64() * 1e6);
+        if line.trim_end() != golden[rank as usize] {
+            *mismatches += 1;
+        }
+        Ok(())
+    };
+    for &rank in queries {
+        if in_flight.len() >= depth.max(1) {
+            drain_one(
+                &mut reader,
+                &mut in_flight,
+                &mut line,
+                &mut latencies,
+                &mut mismatches,
+            )?;
+        }
+        conn.write_all(pool[rank as usize].as_bytes())?;
+        conn.write_all(b"\n")?;
+        in_flight.push_back((rank, Instant::now()));
+    }
+    while !in_flight.is_empty() {
+        drain_one(
+            &mut reader,
+            &mut in_flight,
+            &mut line,
+            &mut latencies,
+            &mut mismatches,
+        )?;
+    }
+    Ok((latencies, mismatches))
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let config = if smoke {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::full()
+    };
+
+    eprintln!(
+        "serve_load: dict={} distinct={} total={} conns={}x{} workers={} cache={}",
+        config.dict_size,
+        config.distinct_queries,
+        config.total_queries,
+        config.connections,
+        config.pipeline_depth,
+        config.workers,
+        config.cache_capacity,
+    );
+
+    // --- workload --------------------------------------------------
+    let dictionary = synth_product_dictionary(config.dict_size);
+    let matcher =
+        Arc::new(EntityMatcher::from_pairs(dictionary.clone()).with_fuzzy(FuzzyConfig::default()));
+    let pool = query_pool(&dictionary, config.distinct_queries);
+    let golden: Vec<String> = pool
+        .iter()
+        .map(|q| format_spans(&matcher.segment(q)))
+        .collect();
+    let fuzzy_resolving = golden
+        .iter()
+        .enumerate()
+        .filter(|(rank, g)| rank % 4 == 3 && g.len() > 2)
+        .count();
+    eprintln!(
+        "serve_load: {} distinct queries, {} misspelled-and-resolving",
+        pool.len(),
+        fuzzy_resolving
+    );
+
+    let zipf = Zipf::new(config.distinct_queries, config.zipf_s).expect("zipf params");
+    let mut rng = SeedSequence::new(42).rng("serve_load");
+    let stream: Vec<u32> = (0..config.total_queries)
+        .map(|_| zipf.sample(&mut rng) as u32)
+        .collect();
+
+    // --- server ----------------------------------------------------
+    let engine = Arc::new(Engine::new(
+        Arc::clone(&matcher),
+        EngineConfig {
+            cache_shards: 8,
+            cache_capacity: config.cache_capacity,
+        },
+    ));
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: config.workers,
+            queue_depth: 4096,
+            batch_max: config.batch_max,
+            batch_window: config.batch_window,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // --- replay ----------------------------------------------------
+    let chunk = config.total_queries.div_ceil(config.connections);
+    let started = Instant::now();
+    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|slice| {
+                let pool = &pool;
+                let golden = &golden;
+                scope.spawn(move || {
+                    run_client(addr, slice, pool, golden, config.pipeline_depth).expect("client io")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let stats = engine.cache_stats();
+    server.shutdown();
+
+    // --- report ----------------------------------------------------
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    let mismatches: usize = results.iter().map(|(_, m)| m).sum();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latency"));
+    assert_eq!(latencies.len(), config.total_queries);
+    let p50 = percentile_sorted(&latencies, 0.50);
+    let p95 = percentile_sorted(&latencies, 0.95);
+    let p99 = percentile_sorted(&latencies, 0.99);
+    let max = latencies[latencies.len() - 1];
+    let throughput = config.total_queries as f64 / wall.as_secs_f64();
+    let hit_rate = stats.hit_rate();
+
+    println!(
+        "serve_load: {:.0} qps over {} queries in {:.2}s",
+        throughput,
+        config.total_queries,
+        wall.as_secs_f64()
+    );
+    println!("serve_load: latency µs p50={p50:.1} p95={p95:.1} p99={p99:.1} max={max:.1}");
+    println!(
+        "serve_load: cache hit rate {:.1}% ({} hits / {} misses, {} evictions)",
+        hit_rate * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {}\n}}\n",
+        config.mode,
+        config.total_queries,
+        config.distinct_queries,
+        config.connections,
+        config.pipeline_depth,
+        config.workers,
+        config.batch_max,
+        config.batch_window.as_micros(),
+        config.cache_capacity,
+        config.zipf_s,
+        throughput,
+        p50,
+        p95,
+        p99,
+        max,
+        hit_rate,
+        stats.evictions,
+        mismatches,
+    );
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    // --- gates -----------------------------------------------------
+    if mismatches > 0 {
+        eprintln!("serve_load: FAILED: {mismatches} responses differed from golden segmentation");
+        return ExitCode::FAILURE;
+    }
+    if hit_rate <= 0.5 {
+        eprintln!(
+            "serve_load: FAILED: cache hit rate {hit_rate:.3} not above 0.5 on a Zipfian log"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

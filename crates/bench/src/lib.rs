@@ -149,9 +149,62 @@ pub fn print_table_header(columns: &[&str]) {
     );
 }
 
+/// A deterministic synthetic product dictionary of exactly `n` unique
+/// surfaces ("brand line <number><suffix>"), stressing the compiled
+/// dictionary's probe table as the surface count grows. Shared by the
+/// matcher microbenchmark's dictionary-size sweep and the serving load
+/// generator.
+pub fn synth_product_dictionary(n: usize) -> Vec<(String, websyn_common::EntityId)> {
+    const BRANDS: [&str; 12] = [
+        "canon",
+        "nikon",
+        "kodak",
+        "sony",
+        "fuji",
+        "pentax",
+        "olympus",
+        "leica",
+        "sigma",
+        "casio",
+        "panasonic",
+        "minolta",
+    ];
+    const LINES: [&str; 8] = [
+        "eos",
+        "coolpix",
+        "easyshare",
+        "cyber shot",
+        "finepix",
+        "optio",
+        "stylus",
+        "lumix",
+    ];
+    const SUFFIXES: [char; 5] = ['d', 'x', 's', 'z', 't'];
+    (0..n)
+        .map(|i| {
+            let brand = BRANDS[i % BRANDS.len()];
+            let line = LINES[(i / BRANDS.len()) % LINES.len()];
+            let suffix = SUFFIXES[(i / 7) % SUFFIXES.len()];
+            // The running number makes every surface unique, so none
+            // are dropped as ambiguous.
+            (
+                format!("{brand} {line} {}{suffix}", 100 + i),
+                websyn_common::EntityId::from_usize(i),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synth_product_dictionary_is_collision_free() {
+        let dict = synth_product_dictionary(5_000);
+        let matcher = websyn_core::EntityMatcher::from_pairs(dict);
+        assert_eq!(matcher.len(), 5_000);
+    }
 
     #[test]
     fn small_pipeline_assembles() {

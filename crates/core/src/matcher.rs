@@ -25,6 +25,55 @@ use std::sync::Arc;
 use websyn_common::{EntityId, SurfaceId};
 use websyn_text::{normalize, normalized};
 
+/// Reusable per-shard segmentation state: a window-text → fuzzy
+/// resolution memo.
+///
+/// Fuzzy window resolution is a pure function of the window text (for a
+/// fixed dictionary and config), and real batches are Zipfian — the
+/// same mentions recur across a batch. Threading one scratch through a
+/// run of [`EntityMatcher::segment_with`] calls makes every duplicate
+/// window verify once: the first miss pays for candidate generation and
+/// edit-distance verification, every later occurrence is one hash
+/// lookup. [`EntityMatcher::match_batch`] keeps one scratch per shard
+/// thread, so memoization never crosses (or serializes) shards.
+///
+/// A scratch is tied to the matcher it was used with: reusing it
+/// against a different dictionary or fuzzy config returns stale
+/// resolutions. Call [`MatchScratch::clear`] (or drop it) when the
+/// matcher changes.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// window text → fuzzy resolution (`None` = verified miss). Only
+    /// windows that miss the exact dictionary land here. Keys are raw
+    /// query windows — on a serving path that is untrusted input, so
+    /// this is std's randomly seeded SipHash map, not `FxHashMap`
+    /// (which `websyn_common::hash` forbids for untrusted input).
+    memo: std::collections::HashMap<String, Option<(SurfaceId, usize)>>,
+}
+
+impl MatchScratch {
+    /// An empty scratch (no allocation until the first fuzzy window).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized window resolutions.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Forgets all memoized resolutions. Required before reusing the
+    /// scratch with a different matcher.
+    pub fn clear(&mut self) {
+        self.memo.clear();
+    }
+}
+
 /// One matched entity mention inside a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchSpan {
@@ -134,6 +183,16 @@ impl EntityMatcher {
     /// entities).
     pub fn dict(&self) -> &CompiledDict {
         &self.dict
+    }
+
+    /// The compiled dictionary as a shared handle. [`CompiledDict`] is
+    /// immutable, so deployments update it by *rebuild and swap*:
+    /// compile a new matcher off-line, then atomically replace the old
+    /// `Arc` (and invalidate any result cache keyed on it). Pointer
+    /// identity of this handle is the cheap "is this still the same
+    /// dictionary?" test — see `websyn_serve::Engine`.
+    pub fn shared_dict(&self) -> Arc<CompiledDict> {
+        Arc::clone(&self.dict)
     }
 
     /// Number of distinct surfaces.
@@ -274,6 +333,62 @@ impl EntityMatcher {
     /// assert_eq!(spans[0].distance, 0);
     /// ```
     pub fn segment(&self, query: &str) -> Vec<MatchSpan> {
+        // No scratch: a single query rarely repeats a window, so the
+        // memo would be pure insert overhead here.
+        self.segment_inner(&normalized(query), None)
+    }
+
+    /// [`EntityMatcher::segment`] with a caller-provided
+    /// [`MatchScratch`], so duplicate fuzzy windows across a run of
+    /// queries verify once. The memo is a pure-function cache: for any
+    /// scratch state the output is byte-identical to
+    /// [`EntityMatcher::segment`].
+    pub fn segment_with(&self, query: &str, scratch: &mut MatchScratch) -> Vec<MatchSpan> {
+        let normalized = normalized(query);
+        self.segment_inner(&normalized, Some(scratch))
+    }
+
+    /// Segments a query that is already in normalized form (the output
+    /// of [`websyn_text::normalize`]) — the serving-path entry point: a
+    /// result cache keyed by normalized query normalizes once, probes
+    /// the cache, and on a miss hands the *same* string here without
+    /// paying for a second normalization pass.
+    ///
+    /// The caller guarantees `normalized` is canonical; in debug builds
+    /// this is asserted. Output is byte-identical to
+    /// `segment(normalized)`.
+    pub fn segment_normalized(&self, normalized: &str) -> Vec<MatchSpan> {
+        debug_assert_eq!(
+            normalize(normalized),
+            normalized,
+            "segment_normalized requires canonical input"
+        );
+        self.segment_inner(normalized, None)
+    }
+
+    /// [`EntityMatcher::segment_normalized`] with a caller-provided
+    /// [`MatchScratch`].
+    pub fn segment_normalized_with(
+        &self,
+        normalized: &str,
+        scratch: &mut MatchScratch,
+    ) -> Vec<MatchSpan> {
+        debug_assert_eq!(
+            normalize(normalized),
+            normalized,
+            "segment_normalized requires canonical input"
+        );
+        self.segment_inner(normalized, Some(scratch))
+    }
+
+    /// The segmenter core over a normalized query. `scratch` carries
+    /// the cross-query window memo when the caller is running a batch;
+    /// `None` skips memoization entirely (single-query entry points).
+    fn segment_inner(
+        &self,
+        normalized: &str,
+        mut scratch: Option<&mut MatchScratch>,
+    ) -> Vec<MatchSpan> {
         // Per-query scratch (token byte ranges + token ids) lives in
         // thread-local buffers: segment allocates only the normalized
         // string (and not even that when the query is already
@@ -282,9 +397,8 @@ impl EntityMatcher {
             static SCRATCH: crate::dict::QueryScratch =
                 const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
         }
-        let normalized = normalized(query);
         SCRATCH.with_borrow_mut(|(bounds, ids)| {
-            self.dict.map_query(&normalized, bounds, ids);
+            self.dict.map_query(normalized, bounds, ids);
             let n = ids.len();
             let mut spans = Vec::new();
             let mut i = 0;
@@ -300,16 +414,32 @@ impl EntityMatcher {
                     // Fuzzy: each window length must offer the exact
                     // probe first and its fuzzy resolution second, so a
                     // fuzzy hit on a long window still beats an exact
-                    // hit on a shorter one.
+                    // hit on a shorter one. Fuzzy resolution is a pure
+                    // function of the window text, so it is memoized in
+                    // `scratch` — duplicate windows across a batch pay
+                    // for candidate generation and verification once.
                     Some(fuzzy) => (1..=longest).rev().find_map(|window| {
                         if let Some(sid) = self.dict.get(&ids[i..i + window]) {
                             return Some((window, sid, 0));
                         }
                         let window_text =
                             &normalized[bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
-                        fuzzy
-                            .resolve(window_text)
-                            .map(|hit| (window, hit.surface_id, hit.distance))
+                        let resolved = match scratch.as_deref_mut() {
+                            Some(scratch) => match scratch.memo.get(window_text) {
+                                Some(cached) => *cached,
+                                None => {
+                                    let r = fuzzy
+                                        .resolve(window_text)
+                                        .map(|hit| (hit.surface_id, hit.distance));
+                                    scratch.memo.insert(window_text.to_string(), r);
+                                    r
+                                }
+                            },
+                            None => fuzzy
+                                .resolve(window_text)
+                                .map(|hit| (hit.surface_id, hit.distance)),
+                        };
+                        resolved.map(|(sid, distance)| (window, sid, distance))
                     }),
                 };
                 match hit {
@@ -336,7 +466,10 @@ impl EntityMatcher {
     /// The batch is split into contiguous chunks, one thread per chunk,
     /// and results are reassembled in input order — so for any shard
     /// count the output is identical (byte for byte) to mapping
-    /// [`EntityMatcher::segment`] over the batch sequentially.
+    /// [`EntityMatcher::segment`] over the batch sequentially. Each
+    /// shard carries its own [`MatchScratch`], so duplicate fuzzy
+    /// windows within a shard's chunk verify once (shared-nothing: no
+    /// cross-shard synchronization).
     pub fn match_batch<S: AsRef<str> + Sync>(
         &self,
         queries: &[S],
@@ -344,7 +477,11 @@ impl EntityMatcher {
     ) -> Vec<Vec<MatchSpan>> {
         let shards = shards.max(1).min(queries.len().max(1));
         if shards == 1 {
-            return queries.iter().map(|q| self.segment(q.as_ref())).collect();
+            let mut scratch = MatchScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.segment_with(q.as_ref(), &mut scratch))
+                .collect();
         }
         let chunk_size = queries.len().div_ceil(shards);
         let mut out = Vec::with_capacity(queries.len());
@@ -353,9 +490,10 @@ impl EntityMatcher {
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let mut scratch = MatchScratch::new();
                         chunk
                             .iter()
-                            .map(|q| self.segment(q.as_ref()))
+                            .map(|q| self.segment_with(q.as_ref(), &mut scratch))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -643,6 +781,61 @@ mod tests {
         }
         // Empty batch, any shard count.
         assert!(m.match_batch(&Vec::<String>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn segment_normalized_matches_segment() {
+        let m = fuzzy_matcher();
+        for q in [
+            "Indy 4 near San Fran!",
+            "cheapest CANNON eos 350d deals",
+            "no entities here",
+            "",
+        ] {
+            let normalized = normalize(q);
+            assert_eq!(m.segment(q), m.segment_normalized(&normalized), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn shared_scratch_is_invisible_and_memoizes() {
+        let m = fuzzy_matcher();
+        let queries = [
+            "cheapest cannon eos 350d deals",
+            "cannon eos 350d refurbished",
+            "cannon eos 350d near me",
+        ];
+        let mut scratch = MatchScratch::new();
+        let with_scratch: Vec<_> = queries
+            .iter()
+            .map(|q| m.segment_with(q, &mut scratch))
+            .collect();
+        let fresh: Vec<_> = queries.iter().map(|q| m.segment(q)).collect();
+        assert_eq!(with_scratch, fresh);
+        // The repeated misspelled mention (and its sub-windows) were
+        // memoized on first sight.
+        assert!(!scratch.is_empty());
+        let after_first_pass = scratch.len();
+        let again: Vec<_> = queries
+            .iter()
+            .map(|q| m.segment_with(q, &mut scratch))
+            .collect();
+        assert_eq!(again, fresh);
+        assert_eq!(
+            scratch.len(),
+            after_first_pass,
+            "second pass must not re-resolve any window"
+        );
+        scratch.clear();
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn shared_dict_is_the_same_allocation() {
+        let m = matcher();
+        assert!(Arc::ptr_eq(&m.shared_dict(), &m.shared_dict()));
+        let clone = m.clone();
+        assert!(Arc::ptr_eq(&m.shared_dict(), &clone.shared_dict()));
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! A shared-nothing sharded LRU result cache.
+//!
+//! Query logs are Zipfian: a small head of distinct queries carries
+//! most of the traffic, so even a modest cache in front of the fuzzy
+//! segmenter absorbs the expensive path almost entirely. The cache is
+//! split into independently locked shards — a hit takes exactly one
+//! shard mutex, so concurrent workers on different keys never
+//! serialize — and each shard runs classic LRU over an intrusive
+//! doubly-linked list on slot indices (no per-entry allocation beyond
+//! the key).
+//!
+//! **Invalidation is by generation.** The serving dictionary is an
+//! immutable [`websyn_core::CompiledDict`] deployed by rebuild-and-swap
+//! (see `Engine`), so the cache never mutates entries in place;
+//! swapping the dictionary calls [`ShardedCache::invalidate`], which
+//! bumps a monotonic generation counter *before* clearing the shards.
+//! Writers capture the generation together with their dictionary
+//! snapshot and insert through [`ShardedCache::insert_at`], which
+//! rejects the write (under the shard lock) once the generation has
+//! moved on — a worker racing a swap can therefore never publish a
+//! result computed against the retired dictionary.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sentinel slot index for "no entry" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// Aggregated cache counters, summed over all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (including lookups after an invalidation).
+    pub misses: u64,
+    /// Entries dropped to make room (not counting invalidations).
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+    /// Completed [`ShardedCache::invalidate`] calls.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU entry: the key (shared with the map), the cached value and
+/// the intrusive recency links.
+#[derive(Debug)]
+struct Entry<V> {
+    key: Arc<str>,
+    value: V,
+    /// Towards more-recently-used.
+    prev: u32,
+    /// Towards less-recently-used.
+    next: u32,
+}
+
+/// A single-lock LRU shard.
+///
+/// Keys here are raw (normalized) client queries — untrusted input —
+/// so the map uses std's randomly seeded SipHash, not the workspace's
+/// `FxHashMap` (which `websyn_common::hash` explicitly forbids for
+/// untrusted input in a networked service: an attacker could mine
+/// Fx collisions and degrade a shard to linear scans under its lock).
+#[derive(Debug)]
+struct LruShard<V> {
+    /// key → slot index in `slots`.
+    map: HashMap<Arc<str>, u32, RandomState>,
+    /// Entry slots; freed slots are recycled through `free`.
+    slots: Vec<Option<Entry<V>>>,
+    free: Vec<u32>,
+    /// Most-recently-used slot (NIL when empty).
+    head: u32,
+    /// Least-recently-used slot (NIL when empty).
+    tail: u32,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V: Clone> LruShard<V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn entry(&self, i: u32) -> &Entry<V> {
+        self.slots[i as usize].as_ref().expect("live slot")
+    }
+
+    fn entry_mut(&mut self, i: u32) -> &mut Entry<V> {
+        self.slots[i as usize].as_mut().expect("live slot")
+    }
+
+    /// Detaches slot `i` from the recency list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let e = self.entry(i);
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entry_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entry_mut(n).prev = prev,
+        }
+    }
+
+    /// Attaches slot `i` as the most-recently-used entry.
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(i);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = i,
+            h => self.entry_mut(h).prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.entry(i).value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    // Capacity is always >= 1 (ShardedCache::new clamps), so eviction
+    // below can assume a live tail once the shard is full.
+    fn insert(&mut self, key: &str, value: V) {
+        if let Some(&i) = self.map.get(key) {
+            self.entry_mut(i).value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict the least-recently-used entry.
+            let victim = self.tail;
+            self.unlink(victim);
+            let entry = self.slots[victim as usize].take().expect("live tail");
+            self.map.remove(&entry.key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let key: Arc<str> = Arc::from(key);
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(Entry {
+                    key: Arc::clone(&key),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("cache shard overflow");
+                self.slots.push(Some(Entry {
+                    key: Arc::clone(&key),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                }));
+                i
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// A sharded LRU cache from normalized query strings to values.
+///
+/// `V` is cloned out on hits, so callers store cheap handles
+/// (`Arc<Vec<MatchSpan>>` in the serving engine).
+///
+/// # Examples
+///
+/// ```
+/// use websyn_serve::ShardedCache;
+///
+/// let cache: ShardedCache<u32> = ShardedCache::new(4, 1024);
+/// let gen = cache.generation();
+/// assert_eq!(cache.get("indy 4"), None);
+/// assert!(cache.insert_at(gen, "indy 4", 7));
+/// assert_eq!(cache.get("indy 4"), Some(7));
+/// cache.invalidate();
+/// assert_eq!(cache.get("indy 4"), None);
+/// assert!(!cache.insert_at(gen, "indy 4", 7), "stale generation");
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Box<[Mutex<LruShard<V>>]>,
+    /// Per-process random SipHash seed for shard selection (see
+    /// [`LruShard`] on why keys are never Fx-hashed here).
+    shard_seed: RandomState,
+    generation: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Creates a cache of `total_capacity` entries spread over
+    /// `shards` independently locked shards (both clamped to ≥ 1;
+    /// per-shard capacity is the ceiling split, so the usable total is
+    /// at least `total_capacity`).
+    pub fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = total_capacity.max(1).div_ceil(shards);
+        let shards: Vec<Mutex<LruShard<V>>> = (0..shards)
+            .map(|_| Mutex::new(LruShard::new(per_shard)))
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            shard_seed: RandomState::new(),
+            generation: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self.shards[0]
+                .lock()
+                .expect("cache shard poisoned")
+                .capacity
+    }
+
+    /// The current generation. Capture this together with the
+    /// dictionary snapshot, and pass it back to
+    /// [`ShardedCache::insert_at`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<LruShard<V>> {
+        // Seeded SipHash for the same reason as the shard maps: shard
+        // choice must not be predictable from the key alone, or an
+        // attacker could funnel all traffic onto one shard lock.
+        let i = (self.shard_seed.hash_one(key) >> 32) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Looks `key` up, but only while the cache is still at
+    /// `generation` — the read-side counterpart of
+    /// [`ShardedCache::insert_at`]. After an invalidation the lookup
+    /// counts as a miss (the caller will recompute), so hit-rate
+    /// statistics never credit results that were discarded for being
+    /// from a retired dictionary. The generation comparison runs under
+    /// the shard lock: a matching generation proves no invalidation
+    /// completed since the caller's snapshot, so the entry cannot
+    /// belong to a newer dictionary.
+    pub fn get_at(&self, generation: u64, key: &str) -> Option<V> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        if self.generation.load(Ordering::Acquire) != generation {
+            shard.misses += 1;
+            return None;
+        }
+        shard.get(key)
+    }
+
+    /// Inserts `key → value` if the cache is still at `generation`.
+    /// Returns whether the value was stored: a `false` means an
+    /// [`ShardedCache::invalidate`] completed since the caller captured
+    /// the generation, and the value (computed against the retired
+    /// dictionary) was discarded. The check runs under the shard lock,
+    /// and invalidation bumps the generation *before* clearing, so a
+    /// stale value can never survive the sweep.
+    pub fn insert_at(&self, generation: u64, key: &str, value: V) -> bool {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        if self.generation.load(Ordering::Acquire) != generation {
+            return false;
+        }
+        shard.insert(key, value);
+        true
+    }
+
+    /// Drops every entry and retires the current generation, so
+    /// in-flight [`ShardedCache::insert_at`] writers holding the old
+    /// generation are rejected.
+    pub fn invalidate(&self) {
+        // Bump first: a writer that passes its generation check while
+        // we sweep holds a shard lock we have not reached yet, and its
+        // entry is removed when we do.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.invalidations.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of live entries (sums shard sizes; O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters over all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats {
+            invalidations: self.invalidations.load(Ordering::Acquire),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.entries += s.map.len();
+            out.capacity += s.capacity;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single-shard cache, so recency order is fully observable.
+    fn one_shard(capacity: usize) -> ShardedCache<u32> {
+        ShardedCache::new(1, capacity)
+    }
+
+    #[test]
+    fn eviction_is_lru_and_get_refreshes_recency() {
+        let c = one_shard(3);
+        let g = c.generation();
+        c.insert_at(g, "a", 1);
+        c.insert_at(g, "b", 2);
+        c.insert_at(g, "c", 3);
+        // Touch "a": recency becomes a > c > b.
+        assert_eq!(c.get("a"), Some(1));
+        c.insert_at(g, "d", 4);
+        assert_eq!(c.get("b"), None, "least-recently-used entry evicted");
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.get("d"), Some(4));
+        let stats = c.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn eviction_chain_walks_recency_order() {
+        let c = one_shard(2);
+        let g = c.generation();
+        c.insert_at(g, "a", 1);
+        c.insert_at(g, "b", 2);
+        c.insert_at(g, "c", 3); // evicts a
+        c.insert_at(g, "d", 4); // evicts b
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.get("d"), Some(4));
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let c = one_shard(2);
+        let g = c.generation();
+        c.insert_at(g, "a", 1);
+        c.insert_at(g, "b", 2);
+        c.insert_at(g, "a", 10); // refresh, not a new entry
+        c.insert_at(g, "c", 3); // evicts b (a was refreshed)
+        assert_eq!(c.get("a"), Some(10));
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears_and_rejects_stale_inserts() {
+        let c = ShardedCache::new(4, 64);
+        let old = c.generation();
+        assert!(c.insert_at(old, "x", 1));
+        assert_eq!(c.get("x"), Some(1));
+        c.invalidate();
+        assert_eq!(c.get("x"), None);
+        assert!(c.is_empty());
+        // A writer that snapshotted before the swap must be rejected.
+        assert!(!c.insert_at(old, "x", 1));
+        assert_eq!(c.get("x"), None);
+        // A fresh snapshot writes fine.
+        assert!(c.insert_at(c.generation(), "x", 2));
+        assert_eq!(c.get("x"), Some(2));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let c = ShardedCache::new(8, 8 * 64);
+        let g = c.generation();
+        for i in 0..256 {
+            assert!(c.insert_at(g, &format!("query number {i}"), i));
+        }
+        assert_eq!(c.len(), 256);
+        // Every key still resolves through its shard.
+        for i in 0..256 {
+            assert_eq!(c.get(&format!("query number {i}")), Some(i));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits, 256);
+        assert_eq!(stats.capacity, 8 * 64);
+        assert!((stats.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one_entry() {
+        // There is no "cache off" mode: capacity clamps to >= 1 per
+        // shard, so a requested capacity of 0 degrades to a one-entry
+        // cache that keeps only the most recent insert.
+        let c: ShardedCache<u32> = ShardedCache::new(1, 0);
+        assert_eq!(c.capacity(), 1);
+        let g = c.generation();
+        assert!(c.insert_at(g, "a", 1));
+        assert!(c.insert_at(g, "b", 2));
+        assert_eq!(c.len(), 1, "capacity 1 holds exactly one entry");
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.get("b"), Some(2));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c = one_shard(8);
+        let g = c.generation();
+        assert_eq!(c.get("a"), None);
+        c.insert_at(g, "a", 1);
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("a"), Some(1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The serving engine: a swappable matcher behind a sharded result
+//! cache.
+//!
+//! [`Engine`] is the layer the network front end calls into. It owns
+//!
+//! - the current [`EntityMatcher`] as an `Arc` behind an `RwLock` —
+//!   readers clone the handle (no contention beyond the lock word),
+//!   and [`Engine::swap_matcher`] implements the **rebuild-and-swap**
+//!   deployment story for the immutable compiled dictionary: compile a
+//!   new dictionary off-line, swap the `Arc`, and the old one dies with
+//!   its last in-flight batch;
+//! - a [`ShardedCache`] of `normalized query → Arc<Vec<MatchSpan>>`.
+//!   The cache is keyed *after* normalization, so "Indy 4", "indy 4"
+//!   and "INDY-4" share one entry, and a hit skips normalization's
+//!   allocation too (the `Cow` fast path) on the segmenter side.
+//!
+//! Cached and uncached paths return byte-identical spans: the cache
+//! stores exactly what [`EntityMatcher::segment_normalized_with`]
+//! produced, and generation-checked inserts (see
+//! [`ShardedCache::insert_at`]) make it impossible for a result
+//! computed against a retired dictionary to survive a swap.
+
+use crate::cache::{CacheStats, ShardedCache};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use websyn_core::{EntityMatcher, MatchScratch, MatchSpan};
+use websyn_text::normalized;
+
+/// Cache sizing for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of independently locked cache shards. Size this at or
+    /// above the worker count so concurrent hits never serialize.
+    pub cache_shards: usize,
+    /// Total cached results across shards. Zipfian logs concentrate
+    /// mass in the head, so a few thousand entries absorb most
+    /// traffic; see the README's cache-sizing note.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cache_shards: 8,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A matcher + result cache, shared by every connection and worker.
+#[derive(Debug)]
+pub struct Engine {
+    matcher: RwLock<Arc<EntityMatcher>>,
+    cache: ShardedCache<Arc<Vec<MatchSpan>>>,
+    swaps: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine serving `matcher` with the given cache
+    /// sizing.
+    pub fn new(matcher: Arc<EntityMatcher>, config: EngineConfig) -> Self {
+        Self {
+            matcher: RwLock::new(matcher),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently served matcher.
+    pub fn matcher(&self) -> Arc<EntityMatcher> {
+        Arc::clone(&self.matcher.read().expect("matcher lock poisoned"))
+    }
+
+    /// An atomic snapshot of (matcher, cache generation): any
+    /// `insert_at` tagged with this generation is guaranteed to carry a
+    /// result computed by this matcher.
+    fn snapshot(&self) -> (Arc<EntityMatcher>, u64) {
+        let guard = self.matcher.read().expect("matcher lock poisoned");
+        let generation = self.cache.generation();
+        (Arc::clone(&guard), generation)
+    }
+
+    /// Replaces the served matcher — the rebuild-and-swap deployment
+    /// step. The result cache is invalidated *inside* the write
+    /// critical section (generation bump, then sweep), so no request
+    /// can observe new-dictionary cache state with the old matcher or
+    /// vice versa; workers mid-batch keep their old `Arc` and finish
+    /// against the retired dictionary, but their late cache inserts are
+    /// rejected by the generation check.
+    pub fn swap_matcher(&self, new: Arc<EntityMatcher>) {
+        let mut guard = self.matcher.write().expect("matcher lock poisoned");
+        self.cache.invalidate();
+        *guard = new;
+        self.swaps.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of completed [`Engine::swap_matcher`] calls.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Acquire)
+    }
+
+    /// Resolves one raw query: normalize, probe the cache, segment on a
+    /// miss. Byte-identical to `matcher().segment(query)`.
+    pub fn resolve(&self, query: &str) -> Arc<Vec<MatchSpan>> {
+        self.resolve_batch(std::slice::from_ref(&query)).remove(0)
+    }
+
+    /// Resolves a batch of raw queries in order. Cache misses within
+    /// the batch share one [`MatchScratch`], so a mention that recurs
+    /// across the batch pays for fuzzy verification once even before it
+    /// reaches the cache.
+    pub fn resolve_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Arc<Vec<MatchSpan>>> {
+        let (matcher, generation) = self.snapshot();
+        let mut scratch = MatchScratch::new();
+        queries
+            .iter()
+            .map(|query| {
+                let normalized = normalized(query.as_ref());
+                // Generation-checked lookup: if a swap landed
+                // mid-batch, a plain hit could carry new-dictionary
+                // spans and mix two dictionaries within one batch —
+                // `get_at` rejects (and counts a miss) instead, and
+                // the query is recomputed against the snapshot.
+                if let Some(hit) = self.cache.get_at(generation, &normalized) {
+                    return hit;
+                }
+                let spans = Arc::new(matcher.segment_normalized_with(&normalized, &mut scratch));
+                self.cache
+                    .insert_at(generation, &normalized, Arc::clone(&spans));
+                spans
+            })
+            .collect()
+    }
+
+    /// Aggregated cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::EntityId;
+    use websyn_core::FuzzyConfig;
+
+    fn matcher() -> Arc<EntityMatcher> {
+        Arc::new(
+            EntityMatcher::from_pairs(vec![
+                ("indy 4", EntityId::new(0)),
+                ("madagascar 2", EntityId::new(1)),
+                ("canon eos 350d", EntityId::new(2)),
+            ])
+            .with_fuzzy(FuzzyConfig::default()),
+        )
+    }
+
+    fn small_engine() -> Engine {
+        Engine::new(
+            matcher(),
+            EngineConfig {
+                cache_shards: 2,
+                cache_capacity: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn cached_and_uncached_results_are_identical() {
+        let e = small_engine();
+        let m = e.matcher();
+        for query in [
+            "Indy 4 near san fran",
+            "cheapest cannon eos 350d deals",
+            "nothing to see",
+            "",
+        ] {
+            let cold = e.resolve(query);
+            let warm = e.resolve(query);
+            assert_eq!(*cold, m.segment(query), "{query:?} cold");
+            assert_eq!(cold, warm, "{query:?} warm hit equals cold fill");
+        }
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn normalization_variants_share_one_entry() {
+        let e = small_engine();
+        assert_eq!(*e.resolve("INDY-4!"), e.matcher().segment("indy 4"));
+        assert_eq!(*e.resolve("indy 4"), e.matcher().segment("indy 4"));
+        let stats = e.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn swap_invalidates_and_serves_the_new_dictionary() {
+        let e = small_engine();
+        // Warm the cache with the old dictionary.
+        assert_eq!(e.resolve("indy 4").len(), 1);
+        assert_eq!(e.cache_stats().entries, 1);
+        // Rebuild-and-swap: the new dictionary maps the same surface to
+        // a different entity, so a stale cache entry would be visible.
+        let new = Arc::new(EntityMatcher::from_pairs(vec![(
+            "indy 4",
+            EntityId::new(42),
+        )]));
+        e.swap_matcher(Arc::clone(&new));
+        assert_eq!(e.swaps(), 1);
+        assert_eq!(e.cache_stats().entries, 0, "swap cleared the cache");
+        let spans = e.resolve("indy 4");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].entity, EntityId::new(42));
+        assert_eq!(*spans, new.segment("indy 4"));
+    }
+
+    #[test]
+    fn batch_resolution_matches_sequential_segment() {
+        let e = small_engine();
+        let queries = vec![
+            "indy 4 showtimes".to_string(),
+            "cannon eos 350d price".to_string(),
+            "indy 4 showtimes".to_string(), // duplicate: cache hit
+            "madagascar 2".to_string(),
+        ];
+        let m = e.matcher();
+        let batch = e.resolve_batch(&queries);
+        for (query, spans) in queries.iter().zip(&batch) {
+            assert_eq!(**spans, m.segment(query), "{query:?}");
+        }
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1, "duplicate in the batch hit the cache");
+        assert_eq!(stats.misses, 3);
+    }
+}

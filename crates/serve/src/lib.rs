@@ -1,0 +1,56 @@
+//! # websyn-serve
+//!
+//! The sharded serving front end for the websyn matcher — the layer
+//! between [`websyn_core::EntityMatcher`] and the outside world. The
+//! paper's fuzzy segmenter is meant to sit on a live web-query path;
+//! this crate puts it there:
+//!
+//! - [`ShardedCache`] — a shared-nothing sharded LRU of
+//!   `normalized query → Vec<MatchSpan>`. Query logs are Zipfian, so a
+//!   small cache absorbs most of the fuzzy path's worst-case traffic;
+//!   per-shard locks keep hits from serializing across cores, and
+//!   generation-checked inserts make dictionary swaps race-free.
+//! - [`Engine`] — the swappable matcher behind the cache, implementing
+//!   the rebuild-and-swap deployment story for the immutable compiled
+//!   dictionary ([`Engine::swap_matcher`]).
+//! - [`BoundedQueue`] — the bounded request queue + batch aggregator:
+//!   workers drain time/count-windowed batches, a full queue rejects
+//!   with explicit backpressure.
+//! - [`Server`] — a TCP front end speaking a line-delimited protocol
+//!   ([`proto`]), with pipelining, in-order responses, a worker pool
+//!   and graceful shutdown.
+//!
+//! ## A complete round trip
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//! use websyn_common::EntityId;
+//! use websyn_core::{EntityMatcher, FuzzyConfig};
+//! use websyn_serve::{Engine, EngineConfig, ServeConfig, Server};
+//!
+//! let matcher = EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(7))])
+//!     .with_fuzzy(FuzzyConfig::default());
+//! let engine = Arc::new(Engine::new(Arc::new(matcher), EngineConfig::default()));
+//! let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//!
+//! let mut conn = TcpStream::connect(server.addr()).unwrap();
+//! writeln!(conn, "Indy 4 near San Fran").unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert_eq!(line.trim_end(), "OK\t0,2,7,0,indy 4");
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use engine::{Engine, EngineConfig};
+pub use proto::{format_spans, format_stats};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{ServeConfig, Server, ServerHandle};

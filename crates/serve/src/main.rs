@@ -1,0 +1,237 @@
+//! `websyn-serve` — the serving binary.
+//!
+//! Serves an entity dictionary over the line protocol of
+//! [`websyn_serve::proto`]:
+//!
+//! ```sh
+//! websyn-serve --addr 127.0.0.1:7878 --dict dictionary.tsv
+//! printf 'indy 4 near san fran\n' | nc 127.0.0.1 7878
+//! ```
+//!
+//! `--dict` loads an `EntityMatcher::to_tsv` artifact (the `#!fuzzy`
+//! header re-enables approximate matching); without it a small built-in
+//! demo dictionary is served, with fuzzy matching on.
+//!
+//! `--smoke` runs the CI self-test instead of serving: start on an
+//! ephemeral port, round-trip exact, fuzzy, pipelined and control
+//! requests against a live socket, shut down cleanly, and exit 0 only
+//! if every response matched.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use websyn_common::EntityId;
+use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::{Engine, EngineConfig, ServeConfig, Server};
+
+/// Parsed command line.
+struct Args {
+    addr: String,
+    dict: Option<String>,
+    smoke: bool,
+    serve: ServeConfig,
+    engine: EngineConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        dict: None,
+        smoke: false,
+        serve: ServeConfig::default(),
+        engine: EngineConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--dict" => args.dict = Some(value("--dict")?),
+            "--smoke" => args.smoke = true,
+            "--workers" => args.serve.workers = parse(&value("--workers")?)?,
+            "--queue-depth" => args.serve.queue_depth = parse(&value("--queue-depth")?)?,
+            "--batch-max" => args.serve.batch_max = parse(&value("--batch-max")?)?,
+            "--batch-window-us" => {
+                args.serve.batch_window =
+                    Duration::from_micros(parse(&value("--batch-window-us")?)?)
+            }
+            "--cache-capacity" => args.engine.cache_capacity = parse(&value("--cache-capacity")?)?,
+            "--cache-shards" => args.engine.cache_shards = parse(&value("--cache-shards")?)?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: websyn-serve [--addr A] [--dict F.tsv] [--workers N] \
+                     [--queue-depth N] [--batch-max N] [--batch-window-us N] \
+                     [--cache-capacity N] [--cache-shards N] [--smoke]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// The built-in demo dictionary: the paper's running examples.
+fn demo_matcher() -> EntityMatcher {
+    EntityMatcher::from_pairs(vec![
+        (
+            "Indiana Jones and the Kingdom of the Crystal Skull",
+            EntityId::new(0),
+        ),
+        ("indy 4", EntityId::new(0)),
+        ("indiana jones 4", EntityId::new(0)),
+        ("madagascar 2", EntityId::new(1)),
+        ("madagascar escape 2 africa", EntityId::new(1)),
+        ("canon eos 350d", EntityId::new(2)),
+        ("digital rebel xt", EntityId::new(2)),
+        ("350d", EntityId::new(2)),
+    ])
+    .with_fuzzy(FuzzyConfig::default())
+}
+
+fn load_matcher(dict: Option<&str>) -> Result<EntityMatcher, String> {
+    match dict {
+        None => Ok(demo_matcher()),
+        Some(path) => {
+            let tsv =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            EntityMatcher::from_tsv(&tsv).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matcher = match load_matcher(args.dict.as_deref()) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("websyn-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "websyn-serve: {} surfaces, fuzzy {}",
+        matcher.len(),
+        if matcher.fuzzy_config().is_some() {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    let engine = Arc::new(Engine::new(Arc::new(matcher), args.engine));
+
+    if args.smoke {
+        return match smoke(engine, args.serve) {
+            Ok(()) => {
+                println!("websyn-serve: smoke ok");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("websyn-serve: SMOKE FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let server = match Server::start(engine, args.addr.as_str(), args.serve) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("websyn-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("websyn-serve: listening on {}", server.addr());
+    // Serve until the process is killed; all work happens on the
+    // accept/worker threads.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// One scripted client session against a live ephemeral-port server:
+/// exact hit, fuzzy hit, miss, pipelined burst, `#stats`, then a clean
+/// shutdown. Any mismatch is an error.
+fn smoke(engine: Arc<Engine>, config: ServeConfig) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("io error: {e}");
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", config).map_err(io_err)?;
+    let addr = server.addr();
+    {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let mut conn = stream;
+        fn ask(
+            conn: &mut TcpStream,
+            reader: &mut BufReader<TcpStream>,
+            request: &str,
+        ) -> Result<String, String> {
+            let io_err = |e: std::io::Error| format!("io error: {e}");
+            writeln!(conn, "{request}").map_err(io_err)?;
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(io_err)?;
+            Ok(line.trim_end().to_string())
+        }
+
+        let exact = ask(&mut conn, &mut reader, "Indy 4 near San Fran")?;
+        if exact != "OK\t0,2,0,0,indy 4" {
+            return Err(format!("exact: unexpected response {exact:?}"));
+        }
+        let fuzzy = ask(&mut conn, &mut reader, "cheapest cannon eos 350d deals")?;
+        if fuzzy != "OK\t1,4,2,1,canon eos 350d" {
+            return Err(format!("fuzzy: unexpected response {fuzzy:?}"));
+        }
+        let miss = ask(&mut conn, &mut reader, "nothing matches this")?;
+        if miss != "OK" {
+            return Err(format!("miss: unexpected response {miss:?}"));
+        }
+
+        // Pipelined burst: send everything, then read everything — the
+        // server must answer in request order.
+        let burst = ["indy 4", "350d", "madagascar 2", "indy 4"];
+        for q in burst {
+            writeln!(conn, "{q}").map_err(io_err)?;
+        }
+        for (i, q) in burst.iter().enumerate() {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(io_err)?;
+            if !line.starts_with("OK\t") {
+                return Err(format!("pipelined {i} ({q}): got {line:?}"));
+            }
+        }
+        // Sequential repeat of an already-answered query: its earlier
+        // response has been received, so its cache insert has landed
+        // and this one must hit deterministically (the duplicates
+        // inside the burst may race across workers and both miss).
+        let repeat = ask(&mut conn, &mut reader, "350d")?;
+        if !repeat.starts_with("OK\t") {
+            return Err(format!("repeat: unexpected response {repeat:?}"));
+        }
+
+        let stats = ask(&mut conn, &mut reader, "#stats")?;
+        if !stats.starts_with("STATS\thits=") {
+            return Err(format!("stats: unexpected response {stats:?}"));
+        }
+        let unknown = ask(&mut conn, &mut reader, "#frobnicate")?;
+        if unknown != "ERR unknown-control" {
+            return Err(format!("control: unexpected response {unknown:?}"));
+        }
+    }
+    // The sequential repeat of "350d" must have hit the cache.
+    let stats = engine.cache_stats();
+    if stats.hits == 0 {
+        return Err("no cache hit recorded for the repeated query".to_string());
+    }
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! The wire protocol: line-delimited UTF-8 over TCP.
+//!
+//! One request per line, one response line per request, in request
+//! order (responses to pipelined requests are re-sequenced by the
+//! connection's writer). Normalized surfaces contain only word
+//! characters and single spaces, so the response grammar needs no
+//! escaping:
+//!
+//! ```text
+//! request   = query-line | control-line
+//! query-line   = any text not starting with '#'
+//! control-line = "#stats"
+//!
+//! response  = ok-line | stats-line | err-line
+//! ok-line   = "OK" *( TAB span )
+//! span      = start "," end "," entity "," distance "," surface
+//! stats-line = "STATS" TAB "hits=" n TAB "misses=" n TAB "hit_rate=" x
+//!              TAB "entries=" n TAB "evictions=" n TAB "swaps=" n
+//! err-line  = "ERR" SP reason      ; e.g. "ERR busy" under backpressure,
+//!                                  ; "ERR line-too-long" before dropping
+//!                                  ; a connection whose request line
+//!                                  ; exceeds the configured cap
+//! ```
+//!
+//! `start`/`end` are token indices into the *normalized* query,
+//! `entity` is the raw entity id, `distance` the verified edit distance
+//! (0 = exact), `surface` the dictionary surface the mention resolved
+//! to. An `OK` line with no spans means the query matched nothing.
+//!
+//! Control lines are answered at *receipt* time (their response line
+//! still lands in request order): a `#stats` pipelined behind query
+//! lines reports counters as of when it was read, which may not yet
+//! include those in-flight queries.
+
+use crate::cache::CacheStats;
+use websyn_core::MatchSpan;
+
+/// The backpressure reject sent when the request queue is full.
+pub const ERR_BUSY: &str = "ERR busy";
+
+/// The reject sent for requests that race server shutdown.
+pub const ERR_SHUTDOWN: &str = "ERR shutting-down";
+
+/// The reject sent for an unknown `#`-control line.
+pub const ERR_UNKNOWN_CONTROL: &str = "ERR unknown-control";
+
+/// The reject sent — once, before the connection is dropped — for a
+/// request line exceeding the server's `max_line_bytes` cap.
+pub const ERR_LINE_TOO_LONG: &str = "ERR line-too-long";
+
+/// The `#stats` control request.
+pub const CONTROL_STATS: &str = "#stats";
+
+/// Serializes a segmentation result as one `OK` response line (without
+/// the trailing newline). This is the *only* span serializer in the
+/// serving stack — cached and uncached results pass through the same
+/// function, so responses are byte-identical by construction.
+pub fn format_spans(spans: &[MatchSpan]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("OK");
+    for s in spans {
+        // Appending into the response String cannot fail.
+        let _ = write!(
+            out,
+            "\t{},{},{},{},{}",
+            s.start,
+            s.end,
+            s.entity.raw(),
+            s.distance,
+            s.surface()
+        );
+    }
+    out
+}
+
+/// Serializes cache statistics as one `STATS` response line.
+pub fn format_stats(stats: &CacheStats, swaps: u64) -> String {
+    format!(
+        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.entries,
+        stats.evictions,
+        swaps
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::EntityId;
+    use websyn_core::{EntityMatcher, FuzzyConfig};
+
+    #[test]
+    fn formats_empty_and_multi_span_lines() {
+        assert_eq!(format_spans(&[]), "OK");
+        let m = EntityMatcher::from_pairs(vec![
+            ("indy 4", EntityId::new(7)),
+            ("madagascar 2", EntityId::new(1)),
+        ])
+        .with_fuzzy(FuzzyConfig::default());
+        let spans = m.segment("indy 4 and madagascar 2");
+        let line = format_spans(&spans);
+        assert_eq!(line, "OK\t0,2,7,0,indy 4\t3,5,1,0,madagascar 2");
+        // Fuzzy distance shows up in the distance field.
+        let fuzzy = m.segment("madagasacr 2");
+        assert_eq!(format_spans(&fuzzy), "OK\t0,2,1,1,madagascar 2");
+    }
+
+    #[test]
+    fn stats_line_is_single_line_tab_separated() {
+        let line = format_stats(&CacheStats::default(), 3);
+        assert!(line.starts_with("STATS\thits=0\t"));
+        assert!(line.ends_with("swaps=3"));
+        assert!(!line.contains('\n'));
+    }
+}

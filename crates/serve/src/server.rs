@@ -1,0 +1,447 @@
+//! The TCP front end: accept loop, pipelined connections, batch
+//! aggregation, worker pool, graceful shutdown.
+//!
+//! Threading model (all std, shared-nothing where it matters):
+//!
+//! - an **accept thread** owns the listener and spawns one handler per
+//!   connection;
+//! - each **connection** runs a reader and a writer. The reader parses
+//!   lines and pushes [`Job`]s into the shared [`BoundedQueue`] —
+//!   clients may pipeline arbitrarily many requests without waiting.
+//!   The writer re-sequences responses (workers complete batches out
+//!   of order relative to other connections' batches) and writes them
+//!   back in request order;
+//! - a **worker pool** drains the queue in time/count-windowed batches
+//!   ([`BoundedQueue::pop_batch`]) and resolves each batch through
+//!   [`Engine::resolve_batch`]. The workers *are* the shards: each
+//!   processes its batch sequentially on its own core with one cache
+//!   pass and one private [`websyn_core::MatchScratch`] (the same
+//!   shared-nothing, memo-per-shard discipline as
+//!   `EntityMatcher::match_batch`, but with shards driven by real
+//!   traffic instead of a fixed pre-split batch);
+//! - **backpressure**: a full queue rejects the request immediately
+//!   with [`crate::proto::ERR_BUSY`] instead of queueing unboundedly —
+//!   the client sees the overload in-band, in request order;
+//! - **shutdown**: [`ServerHandle::shutdown`] flips a flag, nudges the
+//!   accept loop awake, joins every connection (readers poll the flag
+//!   on a read timeout), closes the queue — pending requests still
+//!   drain — and joins the workers.
+
+use crate::engine::Engine;
+use crate::proto::{
+    format_spans, format_stats, CONTROL_STATS, ERR_BUSY, ERR_LINE_TOO_LONG, ERR_SHUTDOWN,
+    ERR_UNKNOWN_CONTROL,
+};
+use crate::queue::{BoundedQueue, PushError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for the serving front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue. Defaults to the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Request queue capacity; pushes beyond it are rejected with
+    /// `ERR busy` (explicit backpressure, no unbounded growth).
+    pub queue_depth: usize,
+    /// Maximum queries a worker coalesces into one matcher batch.
+    pub batch_max: usize,
+    /// How long a worker waits to top up a partial batch. Bounds the
+    /// queueing latency a lone request can see.
+    pub batch_window: Duration,
+    /// Socket read timeout — the shutdown-poll interval for idle
+    /// connections, not a client deadline (reads simply retry).
+    pub read_timeout: Duration,
+    /// Socket write timeout; a client that stops reading for this long
+    /// has its connection dropped.
+    pub write_timeout: Duration,
+    /// Maximum request-line length in bytes. A connection that exceeds
+    /// it (e.g. streams data with no newline) gets one `ERR` line and
+    /// is dropped — per-connection buffering stays bounded no matter
+    /// what the client sends.
+    pub max_line_bytes: usize,
+    /// Maximum live connections. Accepts beyond the cap are dropped
+    /// immediately, so connection count (each costs two threads) stays
+    /// bounded even against a client that opens sockets and never
+    /// sends a request — traffic the queue bound cannot see.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_depth: 1024,
+            batch_max: 64,
+            batch_window: Duration::from_micros(500),
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(5),
+            max_line_bytes: 64 * 1024,
+            max_connections: 1024,
+        }
+    }
+}
+
+/// One in-flight request: the raw query line, its per-connection
+/// sequence number, and the connection's response channel.
+struct Job {
+    seq: u64,
+    query: String,
+    reply: Sender<(u64, String)>,
+}
+
+/// The serving front end. `start` is the only entry point; the running
+/// server is controlled through the returned [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port),
+    /// spawns the accept loop and worker pool, and returns immediately.
+    ///
+    /// # Errors
+    /// Returns the bind error if the address is unavailable.
+    pub fn start<A: ToSocketAddrs>(
+        engine: Arc<Engine>,
+        addr: A,
+        config: ServeConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || worker_loop(&engine, &queue, config))
+            })
+            .collect();
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &engine, &queue, &shutdown, config);
+            })
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            engine,
+            queue,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Control of a running server: its address, its engine (for dictionary
+/// swaps and stats), and graceful shutdown. Dropping the handle shuts
+/// the server down too.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    queue: Arc<BoundedQueue<Job>>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the server — swap dictionaries or read cache
+    /// stats through this while the server runs.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Gracefully stops the server: no new connections, in-flight
+    /// requests drain, every thread is joined. Returns once everything
+    /// has stopped.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.accept.is_none() && self.workers.is_empty() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Close the queue first: already-accepted requests drain and
+        // get real responses, while anything arriving during the
+        // wind-down is rejected in-band with `ERR shutting-down`
+        // instead of being served from a dying process.
+        self.queue.close();
+        // The accept loop polls a nonblocking listener, so it observes
+        // the flag within one poll interval on its own. The self-
+        // connect is only a best-effort nudge to wake it a little
+        // sooner; shutdown does not depend on it succeeding.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accepts connections until shutdown, then joins every handler.
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    queue: &Arc<BoundedQueue<Job>>,
+    shutdown: &Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    // Nonblocking accept + flag polling: shutdown never depends on a
+    // wake-up connection reaching us (which can fail under fd
+    // exhaustion or on wildcard binds — exactly the moments an
+    // operator is trying to stop the server).
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets inherit nonblocking mode on some
+                // platforms; connection io must block (with its own
+                // timeouts).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                stream
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion under a
+                // connection flood) would otherwise busy-spin this
+                // loop at 100% CPU exactly when the server is
+                // overloaded — back off briefly instead.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        handlers.retain(|h| !h.is_finished());
+        if handlers.len() >= config.max_connections.max(1) {
+            // Shed the connection outright: the client sees an
+            // immediate close instead of a server that silently grows
+            // a thread per idle socket.
+            drop(stream);
+            continue;
+        }
+        let engine = Arc::clone(engine);
+        let queue = Arc::clone(queue);
+        let shutdown = Arc::clone(shutdown);
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_connection(stream, &engine, &queue, &shutdown, config);
+        }));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One worker: drain windowed batches, resolve, reply.
+fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServeConfig) {
+    let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
+    while queue.pop_batch(config.batch_max, config.batch_window, &mut batch) {
+        let queries: Vec<&str> = batch.iter().map(|job| job.query.as_str()).collect();
+        let results = engine.resolve_batch(&queries);
+        for (job, spans) in batch.iter().zip(results) {
+            // A send error means the connection died mid-flight; the
+            // result is simply dropped.
+            let _ = job.reply.send((job.seq, format_spans(&spans)));
+        }
+    }
+}
+
+/// Serves one connection: reader (scoped thread) feeds the queue,
+/// writer (this thread) re-sequences and responds.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    queue: &Arc<BoundedQueue<Job>>,
+    shutdown: &Arc<AtomicBool>,
+    config: ServeConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let read_half = stream.try_clone()?;
+    let (tx, rx) = std::sync::mpsc::channel::<(u64, String)>();
+    std::thread::scope(|scope| {
+        scope.spawn(|| reader_loop(read_half, engine, queue, shutdown, tx, config));
+        let result = writer_loop(&stream, rx);
+        // If the writer died first (write timeout — the client stopped
+        // reading), the reader would otherwise keep parsing and
+        // enqueuing work whose results nobody can receive. Shut the
+        // socket down so the reader's next read fails and the whole
+        // connection is torn down. (On the normal path the reader has
+        // already exited and this is a no-op on a closing socket.)
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        result
+    })
+}
+
+/// Parses request lines and enqueues jobs; responds in-band to control
+/// lines and backpressure rejects (through the same sequenced channel,
+/// so ordering is preserved).
+fn reader_loop(
+    read_half: TcpStream,
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    shutdown: &AtomicBool,
+    reply: Sender<(u64, String)>,
+    config: ServeConfig,
+) {
+    let mut reader = BufReader::new(read_half);
+    // Lines accumulate as raw bytes: `read_line`'s UTF-8 guard would
+    // silently discard a partial read that a timeout cut mid-way
+    // through a multi-byte character, corrupting the stream. Bytes are
+    // decoded (lossily) only once a line is complete.
+    let mut line: Vec<u8> = Vec::new();
+    let mut seq = 0u64;
+    // Handles one complete (still byte-form) request line; returns
+    // false when the connection is dead (writer gone). Invalid UTF-8
+    // is decoded lossily — the replacement characters simply fail to
+    // match anything downstream.
+    let handle = |raw: &[u8], seq: u64| -> bool {
+        let decoded = String::from_utf8_lossy(raw);
+        let request = decoded.trim_end_matches(['\n', '\r']);
+        let response = if request.starts_with('#') {
+            // Control lines are answered inline, never queued.
+            Some(match request {
+                CONTROL_STATS => format_stats(&engine.cache_stats(), engine.swaps()),
+                _ => ERR_UNKNOWN_CONTROL.to_string(),
+            })
+        } else {
+            match queue.push(Job {
+                seq,
+                query: request.to_string(),
+                reply: reply.clone(),
+            }) {
+                Ok(()) => None,
+                Err(PushError::Full) => Some(ERR_BUSY.to_string()),
+                Err(PushError::Closed) => Some(ERR_SHUTDOWN.to_string()),
+            }
+        };
+        match response {
+            Some(response) => reply.send((seq, response)).is_ok(),
+            None => true,
+        }
+    };
+    loop {
+        // Bound the per-connection buffer: once the (terminated or
+        // not) line exceeds the cap, answer once and drop the
+        // connection — we cannot resynchronize mid-line. The `take`
+        // below guarantees `line` never grows past cap + 1 bytes even
+        // against a client streaming data with no newline.
+        if line.len() > config.max_line_bytes {
+            let _ = reply.send((seq, ERR_LINE_TOO_LONG.to_string()));
+            break;
+        }
+        let allowed = (config.max_line_bytes + 1 - line.len()) as u64;
+        match (&mut reader).take(allowed).read_until(b'\n', &mut line) {
+            // True EOF (`allowed` is never 0 here): the client closed
+            // its half. Process a final unterminated line, then stop.
+            Ok(0) => {
+                if !line.is_empty() {
+                    handle(&line, seq);
+                }
+                break;
+            }
+            Ok(_) => {
+                if line.last() != Some(&b'\n') {
+                    // Mid-line: either the cap cut the read (caught at
+                    // the top of the loop) or the client hit EOF
+                    // without a newline (next read returns Ok(0)).
+                    continue;
+                }
+                if !handle(&line, seq) {
+                    break;
+                }
+                seq += 1;
+                line.clear();
+                // A client that streams requests back-to-back never
+                // hits the read-timeout branch, so shutdown must also
+                // be observed here or a busy connection would block
+                // ServerHandle::shutdown indefinitely.
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Timeout: `line` keeps any partial read; poll the flag
+            // and retry.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Dropping `reply` here lets the writer exit once the last queued
+    // job for this connection has been answered.
+}
+
+/// Writes responses in request order: workers may answer out of order
+/// across batches, so responses park in a min-heap until their
+/// predecessor has been written.
+fn writer_loop(stream: &TcpStream, rx: Receiver<(u64, String)>) -> io::Result<()> {
+    let mut out = BufWriter::new(stream);
+    let mut pending: BinaryHeap<Reverse<(u64, String)>> = BinaryHeap::new();
+    let mut next = 0u64;
+    while let Ok(msg) = rx.recv() {
+        pending.push(Reverse(msg));
+        // Batch whatever already arrived before paying for a flush.
+        while let Ok(more) = rx.try_recv() {
+            pending.push(Reverse(more));
+        }
+        let mut wrote = false;
+        while pending.peek().is_some_and(|Reverse((seq, _))| *seq == next) {
+            let Reverse((_, response)) = pending.pop().expect("peeked");
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+            next += 1;
+            wrote = true;
+        }
+        if wrote {
+            out.flush()?;
+        }
+    }
+    out.flush()
+}

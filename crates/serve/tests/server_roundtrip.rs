@@ -1,0 +1,332 @@
+//! Live-socket integration tests for the serving front end: protocol
+//! round trips, pipelined ordering, backpressure, dictionary swap on a
+//! running server, and clean shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use websyn_common::EntityId;
+use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::{format_spans, Engine, EngineConfig, ServeConfig, Server, ServerHandle};
+
+fn matcher() -> EntityMatcher {
+    EntityMatcher::from_pairs(vec![
+        ("indy 4", EntityId::new(0)),
+        ("indiana jones 4", EntityId::new(0)),
+        ("madagascar 2", EntityId::new(1)),
+        ("canon eos 350d", EntityId::new(2)),
+    ])
+    .with_fuzzy(FuzzyConfig::default())
+}
+
+fn start(config: ServeConfig) -> (Arc<Engine>, ServerHandle) {
+    let engine = Arc::new(Engine::new(
+        Arc::new(matcher()),
+        EngineConfig {
+            cache_shards: 4,
+            cache_capacity: 256,
+        },
+    ));
+    let server =
+        Server::start(Arc::clone(&engine), "127.0.0.1:0", config).expect("bind ephemeral port");
+    (engine, server)
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &ServerHandle) -> Self {
+        let conn = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(conn.try_clone().expect("clone"));
+        Self { conn, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.conn, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        assert!(line.ends_with('\n'), "truncated response {line:?}");
+        line.trim_end().to_string()
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn round_trip_matches_direct_segmentation() {
+    let (engine, server) = start(ServeConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    for query in [
+        "Indy 4 near san fran",
+        "cheapest cannon eos 350d deals",
+        "watch indiana jones 4 and madagascar 2",
+        "no entities at all",
+        "",
+    ] {
+        let expect = format_spans(&m.segment(query));
+        // Twice: the second answer comes from the result cache and must
+        // be byte-identical.
+        assert_eq!(client.ask(query), expect, "{query:?} uncached");
+        assert_eq!(client.ask(query), expect, "{query:?} cached");
+    }
+    assert!(engine.cache_stats().hits >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_come_back_in_request_order() {
+    let (engine, server) = start(ServeConfig::default());
+    let m = engine.matcher();
+    let queries: Vec<String> = (0..200)
+        .map(|i| match i % 4 {
+            0 => format!("indy 4 number {i}"),
+            1 => format!("madagascar 2 viewing {i}"),
+            2 => format!("canon eos 350d listing {i}"),
+            _ => format!("nothing here {i}"),
+        })
+        .collect();
+    let mut client = Client::connect(&server);
+    for q in &queries {
+        client.send(q);
+    }
+    for q in &queries {
+        assert_eq!(client.recv(), format_spans(&m.segment(q)), "{q:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_unknown_control_lines() {
+    let (_engine, server) = start(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    assert_eq!(client.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    let stats = client.ask("#stats");
+    assert!(stats.starts_with("STATS\thits="), "{stats:?}");
+    assert!(stats.contains("\tswaps=0"), "{stats:?}");
+    assert_eq!(client.ask("#nope"), "ERR unknown-control");
+    server.shutdown();
+}
+
+#[test]
+fn dictionary_swap_on_a_live_server() {
+    let (engine, server) = start(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    assert_eq!(client.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    // Rebuild-and-swap while the connection stays open: same surface,
+    // different entity — a stale cache entry would be visible.
+    engine.swap_matcher(Arc::new(
+        EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(9))])
+            .with_fuzzy(FuzzyConfig::default()),
+    ));
+    assert_eq!(client.ask("indy 4"), "OK\t0,2,9,0,indy 4");
+    let stats = client.ask("#stats");
+    assert!(stats.contains("\tswaps=1"), "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_err_busy() {
+    // One worker with a long batch window and a tiny queue: flooding
+    // the server faster than the window drains must trip ERR busy.
+    let (_engine, server) = start(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        batch_max: 2,
+        batch_window: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&server);
+    let n = 64;
+    for i in 0..n {
+        client.send(&format!("indy 4 burst {i}"));
+    }
+    let mut ok = 0;
+    let mut busy = 0;
+    for _ in 0..n {
+        let line = client.recv();
+        if line == "ERR busy" {
+            busy += 1;
+        } else {
+            assert!(line.starts_with("OK\t"), "{line:?}");
+            ok += 1;
+        }
+    }
+    assert_eq!(ok + busy, n);
+    assert!(busy > 0, "64 pipelined requests against depth 2 must shed");
+    assert!(ok > 0, "accepted requests still complete");
+    server.shutdown();
+}
+
+#[test]
+fn multibyte_utf8_split_across_a_read_timeout_survives() {
+    // A stall mid-way through a multi-byte character must not corrupt
+    // the stream: the reader buffers raw bytes across timeouts and
+    // decodes only complete lines.
+    let (engine, server) = start(ServeConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    let query = "café indy 4 tickets";
+    let bytes = query.as_bytes();
+    let split = query.find('é').unwrap() + 1; // inside the 2-byte 'é'
+    client.conn.write_all(&bytes[..split]).expect("send head");
+    client.conn.flush().expect("flush");
+    // Longer than the 25ms read timeout, so the server's read_until
+    // call times out holding half of the character.
+    std::thread::sleep(Duration::from_millis(80));
+    client.conn.write_all(&bytes[split..]).expect("send tail");
+    client.conn.write_all(b"\n").expect("send newline");
+    assert_eq!(client.recv(), format_spans(&m.segment(query)));
+    // The connection is still healthy afterwards.
+    assert_eq!(client.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_rejected_and_disconnected() {
+    let (_engine, server) = start(ServeConfig {
+        max_line_bytes: 64,
+        ..ServeConfig::default()
+    });
+    // A terminated line over the cap: one ERR, then disconnect.
+    let mut client = Client::connect(&server);
+    let long = format!("{}\n", "x".repeat(200));
+    client.conn.write_all(long.as_bytes()).expect("send");
+    assert_eq!(client.recv(), "ERR line-too-long");
+    let mut rest = String::new();
+    let n = client.reader.read_line(&mut rest).expect("eof read");
+    assert_eq!(n, 0, "server dropped the connection after the reject");
+
+    // A stream with no newline at all must not buffer unboundedly:
+    // same reject, same disconnect, while a well-behaved connection
+    // keeps working.
+    let mut flood = Client::connect(&server);
+    flood
+        .conn
+        .write_all("y".repeat(4096).as_bytes())
+        .expect("send");
+    flood.conn.flush().expect("flush");
+    assert_eq!(flood.recv(), "ERR line-too-long");
+    let mut rest = String::new();
+    assert_eq!(flood.reader.read_line(&mut rest).expect("eof read"), 0);
+    let mut ok = Client::connect(&server);
+    assert_eq!(ok.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    server.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_shed() {
+    let (_engine, server) = start(ServeConfig {
+        max_connections: 2,
+        ..ServeConfig::default()
+    });
+    let mut a = Client::connect(&server);
+    let mut b = Client::connect(&server);
+    assert_eq!(a.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    assert_eq!(b.ask("indy 4"), "OK\t0,2,0,0,indy 4");
+    // Third connection: accepted by the OS, immediately dropped by the
+    // accept loop — the client sees EOF, never a hung socket.
+    let shed = TcpStream::connect(server.addr()).expect("tcp connect");
+    shed.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut reader = BufReader::new(shed.try_clone().unwrap());
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read eof");
+    assert_eq!(n, 0, "capped connection must be closed, got {line:?}");
+    // Existing connections keep working.
+    assert_eq!(a.ask("madagascar 2"), "OK\t0,2,1,0,madagascar 2");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_connections_open() {
+    let (_engine, server) = start(ServeConfig::default());
+    let mut client = Client::connect(&server);
+    assert_eq!(client.ask("madagascar 2"), "OK\t0,2,1,0,madagascar 2");
+    let addr = server.addr();
+    // Shut down while the client connection is still open; shutdown()
+    // returning proves every thread was joined.
+    server.shutdown();
+    // The port no longer accepts fresh connections (give the OS a
+    // moment to tear the listener down).
+    std::thread::sleep(Duration::from_millis(20));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    assert!(refused.is_err(), "listener must be gone after shutdown");
+}
+
+#[test]
+fn shutdown_completes_while_a_client_streams_continuously() {
+    // Short write timeout: the flooder never reads its responses, so
+    // the final flush may have to time out against full kernel buffers
+    // before the connection is torn down.
+    let (_engine, server) = start(ServeConfig {
+        write_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    // A client that never pauses between requests: without the
+    // shutdown check on the busy-reader path this would pin the
+    // connection thread and block shutdown() forever.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flooder = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if writeln!(conn, "indy 4 flood").is_err() {
+                    break; // server went away — expected
+                }
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let shut = std::thread::spawn(move || server.shutdown());
+    let started = std::time::Instant::now();
+    while !shut.is_finished() {
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown must not hang on a busy connection"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shut.join().expect("shutdown thread");
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    flooder.join().expect("flooder thread");
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_answers() {
+    let (engine, server) = start(ServeConfig::default());
+    let m = engine.matcher();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..6)
+        .map(|t| {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let conn = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                let mut conn = conn;
+                for i in 0..50 {
+                    let q = format!("client {t} asks indy 4 round {i}");
+                    writeln!(conn, "{q}").expect("send");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("recv");
+                    assert_eq!(line.trim_end(), format_spans(&m.segment(&q)), "{q:?}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    server.shutdown();
+}

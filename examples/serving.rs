@@ -1,0 +1,115 @@
+//! The serving stack end to end: engine + result cache +
+//! rebuild-and-swap + a live TCP round trip.
+//!
+//! Builds a fuzzy-enabled dictionary, puts it behind
+//! `websyn_serve::Engine` (the sharded LRU result cache), replays a
+//! small Zipf-ish stream of repeating queries to show the cache
+//! absorbing the fuzzy path, hot-swaps a rebuilt dictionary, and
+//! finally starts the real TCP server for a pipelined round trip over
+//! the wire protocol.
+//!
+//! Run: `cargo run --example serving --release`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use websyn::common::EntityId;
+use websyn::core::FuzzyConfig;
+use websyn::prelude::*;
+use websyn::serve::{EngineConfig, ServeConfig};
+
+fn main() {
+    // --- a fuzzy-enabled dictionary ---------------------------------
+    let matcher = Arc::new(
+        EntityMatcher::from_pairs(vec![
+            (
+                "Indiana Jones and the Kingdom of the Crystal Skull",
+                EntityId::new(0),
+            ),
+            ("indy 4", EntityId::new(0)),
+            ("madagascar 2", EntityId::new(1)),
+            ("canon eos 350d", EntityId::new(2)),
+            ("digital rebel xt", EntityId::new(2)),
+        ])
+        .with_fuzzy(FuzzyConfig::default()),
+    );
+
+    // --- the engine: matcher behind the sharded result cache --------
+    let engine = Arc::new(Engine::new(
+        Arc::clone(&matcher),
+        EngineConfig {
+            cache_shards: 4,
+            cache_capacity: 256,
+        },
+    ));
+
+    // A Zipf-flavoured micro-log: the head query dominates, misspelled.
+    let stream = [
+        "cheapest cannon eos 350d deals", // fuzzy: cannon → canon
+        "cheapest cannon eos 350d deals",
+        "indy 4 near san fran",
+        "cheapest cannon eos 350d deals",
+        "madagascar 2 showtimes",
+        "cheapest cannon eos 350d deals",
+        "indy 4 near san fran",
+        "cheapest cannon eos 350d deals",
+    ];
+    println!("== resolving {} queries through the cache ==", stream.len());
+    for query in stream {
+        let spans = engine.resolve(query);
+        let resolved: Vec<String> = spans
+            .iter()
+            .map(|s| format!("{}@d{}", s.surface(), s.distance))
+            .collect();
+        println!("  {query:<34} -> [{}]", resolved.join(", "));
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "cache: {} hits / {} misses (hit rate {:.0}%) — the repeated fuzzy query verified once\n",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+
+    // --- rebuild-and-swap -------------------------------------------
+    // CompiledDict is immutable; deployments compile a new dictionary
+    // off-line and swap it in. The swap invalidates the result cache.
+    println!("== rebuild-and-swap: new dictionary adds 'indiana jones 4' ==");
+    let rebuilt = Arc::new(
+        EntityMatcher::from_pairs(vec![
+            ("indy 4", EntityId::new(0)),
+            ("indiana jones 4", EntityId::new(0)),
+            ("madagascar 2", EntityId::new(1)),
+            ("canon eos 350d", EntityId::new(2)),
+        ])
+        .with_fuzzy(FuzzyConfig::default()),
+    );
+    engine.swap_matcher(rebuilt);
+    let spans = engine.resolve("watch indiana jones 4 online");
+    println!(
+        "  after swap: 'watch indiana jones 4 online' -> {} span(s), cache entries {}\n",
+        spans.len(),
+        engine.cache_stats().entries,
+    );
+
+    // --- the TCP front end ------------------------------------------
+    println!("== live TCP round trip (pipelined) ==");
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port");
+    let conn = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut conn = conn;
+    let requests = ["indy 4 tickets", "madagasacr 2", "#stats"];
+    for request in requests {
+        writeln!(conn, "{request}").expect("send");
+    }
+    for request in requests {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        println!("  {request:<22} -> {}", line.trim_end());
+    }
+    drop(conn);
+    drop(reader);
+    server.shutdown();
+    println!("server shut down cleanly.");
+}

@@ -60,6 +60,7 @@ pub use websyn_click as click;
 pub use websyn_common as common;
 pub use websyn_core as core;
 pub use websyn_engine as engine;
+pub use websyn_serve as serve;
 pub use websyn_synth as synth;
 pub use websyn_text as text;
 
@@ -77,6 +78,7 @@ pub mod prelude {
         MiningContext, MiningResult, SynonymMiner,
     };
     pub use websyn_engine::{SearchData, SearchEngine};
+    pub use websyn_serve::{Engine, EngineConfig, ServeConfig, Server, ShardedCache};
     pub use websyn_synth::{QueryStreamConfig, World, WorldConfig};
 }
 
