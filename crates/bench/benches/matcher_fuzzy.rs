@@ -12,7 +12,10 @@
 //! Smoke (CI): `cargo bench -p websyn-bench --bench matcher_fuzzy -- --test`
 
 use criterion::{black_box, Criterion};
-use websyn_bench::{small_pipeline, synth_product_dictionary};
+use websyn_bench::{
+    fuzzy_oracle_eval, misspelled_camera_recovery, movies_pipeline, small_pipeline,
+    synth_product_dictionary,
+};
 use websyn_core::{EntityMatcher, FuzzyConfig, MinerConfig, SynonymMiner};
 use websyn_text::double_middle_char;
 
@@ -117,13 +120,58 @@ fn bench_dictionary_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// The recall half of the perf artifact: fuzzy throughput may only
+/// count if recall holds, so the same report carries both and the
+/// `bench_check` gate refuses either regressing.
+struct RecallReport {
+    /// Misspelled-camera mentions the exact matcher missed (the e2e
+    /// eval of `tests/end_to_end.rs`, regenerated here so CI gates on
+    /// the number, not just on "some recovered").
+    camera_total: usize,
+    /// How many of those the fuzzy path recovered.
+    camera_recovered: usize,
+    /// Ablation-6 recall of the default source chain on the D1 oracle
+    /// eval set (unmined oracle synonyms + misspelled canonicals).
+    ablation6_default_recall: f64,
+    /// Ablation-6 recall with the abbreviation source enabled.
+    ablation6_abbrev_recall: f64,
+}
+
+/// Reproduces the misspelled-camera e2e eval and the ablation-6 fuzzy
+/// recall eval through the shared fixtures in `websyn_bench`
+/// (`misspelled_camera_recovery`, `fuzzy_oracle_eval` — the same code
+/// the `ablation` binary prints the README table from), so the
+/// committed artifact records recall next to throughput without a
+/// second hand-maintained copy of either eval.
+fn measure_recall() -> RecallReport {
+    let (camera_recovered, camera_total) = misspelled_camera_recovery();
+    let oracle = fuzzy_oracle_eval(&movies_pipeline());
+    RecallReport {
+        camera_total,
+        camera_recovered,
+        ablation6_default_recall: oracle.recall(FuzzyConfig::default()),
+        ablation6_abbrev_recall: oracle.recall(FuzzyConfig {
+            abbrev: true,
+            ..FuzzyConfig::default()
+        }),
+    }
+}
+
 /// Serializes the recorded results as the committed perf artifact.
-fn json_report(c: &Criterion) -> String {
+fn json_report(c: &Criterion, recall: &RecallReport) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"bench\": \"matcher\",\n  \"mode\": \"{}\",\n  \"batch_size\": {BATCH_SIZE},\n  \"results\": [\n",
+        "  \"bench\": \"matcher\",\n  \"mode\": \"{}\",\n  \"batch_size\": {BATCH_SIZE},\n",
         if c.is_smoke() { "smoke" } else { "full" }
     ));
+    out.push_str(&format!(
+        "  \"recall\": {{\"misspelled_camera_recovered\": {}, \"misspelled_camera_total\": {}, \"ablation6_default_recall\": {:.3}, \"ablation6_abbrev_recall\": {:.3}}},\n",
+        recall.camera_recovered,
+        recall.camera_total,
+        recall.ablation6_default_recall,
+        recall.ablation6_abbrev_recall,
+    ));
+    out.push_str("  \"results\": [\n");
     let results = c.results();
     for (i, r) in results.iter().enumerate() {
         let qps = BATCH_SIZE as f64 * 1e9 / r.ns_per_iter;
@@ -144,10 +192,19 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_matcher_modes(&mut c);
     bench_dictionary_sweep(&mut c);
+    println!("\nmeasuring fuzzy recall (misspelled-camera + ablation-6)…");
+    let recall = measure_recall();
+    println!(
+        "misspelled-camera {}/{}, ablation-6 recall default {:.3} / abbrev {:.3}",
+        recall.camera_recovered,
+        recall.camera_total,
+        recall.ablation6_default_recall,
+        recall.ablation6_abbrev_recall,
+    );
     let path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json").to_string()
     });
-    let report = json_report(&c);
+    let report = json_report(&c, &recall);
     std::fs::write(&path, &report).expect("write BENCH_matcher.json");
     println!("\nwrote {path}");
 }

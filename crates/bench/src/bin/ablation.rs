@@ -12,12 +12,12 @@
 //! Run: `cargo run -p websyn-bench --bin ablation --release`
 
 use websyn_baselines::{ClusterBaseline, EditDistanceBaseline, SubstringBaseline};
-use websyn_bench::{build_pipeline, print_table_header, sweep, to_baseline_output, MOVIES_EVENTS};
+use websyn_bench::{
+    build_pipeline, fuzzy_oracle_eval, print_table_header, sweep, to_baseline_output, MOVIES_EVENTS,
+};
 use websyn_click::{ClickModel, SessionConfig};
-use websyn_common::EntityId;
-use websyn_core::{evaluate, EntityMatcher, FuzzyConfig, MinerConfig, SynonymMiner};
+use websyn_core::{evaluate, FuzzyConfig, MinerConfig, SynonymMiner};
 use websyn_synth::WorldConfig;
-use websyn_text::double_middle_char;
 
 fn main() {
     eprintln!("building D1 (movies) pipeline ...");
@@ -198,23 +198,11 @@ fn main() {
     // counts as correct when `lookup_fuzzy` resolves it to its oracle
     // entity; recall is correct/total, precision correct/resolved.
     println!("\n## Ablation 6 — fuzzy candidate sources vs the synth oracle (D1)\n");
-    let mining = SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&pipeline.ctx);
-    let exact = EntityMatcher::from_mining(&mining, &pipeline.ctx);
-    let mut eval: Vec<(String, EntityId)> = Vec::new();
-    let mut unmined_synonyms = 0usize;
-    for (i, canonical) in pipeline.ctx.u_set.iter().enumerate() {
-        let e = EntityId::from_usize(i);
-        for alias in pipeline.world.aliases.synonyms_of(e) {
-            if exact.lookup(&alias.text).is_none() {
-                eval.push((alias.text.clone(), e));
-                unmined_synonyms += 1;
-            }
-        }
-        let typo = double_middle_char(canonical);
-        if exact.lookup(&typo).is_none() {
-            eval.push((typo, e));
-        }
-    }
+    // The eval fixture is shared with the matcher benchmark's recall
+    // report (`websyn_bench::fuzzy_oracle_eval`), so this table and
+    // the CI-gated recall numbers can never drift apart.
+    let fixture = fuzzy_oracle_eval(&pipeline);
+    let (exact, eval, unmined_synonyms) = (&fixture.exact, &fixture.eval, fixture.unmined_synonyms);
     println!(
         "{} eval queries ({} unmined oracle synonyms + {} misspelled canonicals); \
          dictionary holds {} surfaces\n",
@@ -232,7 +220,7 @@ fn main() {
         "wrong",
     ]);
     let configs = [
-        ("ngram only (default)", false, false),
+        ("token-sig + ngram (default)", false, false),
         ("+ phonetic", true, false),
         ("+ abbrev", false, true),
         ("+ phonetic + abbrev", true, true),
@@ -245,7 +233,7 @@ fn main() {
         });
         let mut resolved = 0usize;
         let mut correct = 0usize;
-        for (query, truth) in &eval {
+        for (query, truth) in eval {
             if let Some(hit) = matcher.lookup_fuzzy(query) {
                 resolved += 1;
                 if hit.entity == *truth {

@@ -1,15 +1,32 @@
-//! Schema gate for the committed perf artifacts.
+//! Schema, recall and perf-regression gate for the committed perf
+//! artifacts.
 //!
 //! `BENCH_matcher.json` (matcher microbenchmark) and
 //! `BENCH_serve.json` (serving-path load generator) are the perf
 //! trajectory across PRs; CI regenerates both in smoke mode and this
 //! binary fails the job if a schema or key set regresses — a rename, a
 //! dropped benchmark, or a malformed emitter would otherwise silently
-//! break the cross-PR comparison. For the serve artifact the gate also
-//! enforces the serving-path invariants: latency percentiles must be
-//! ordered (p50 ≤ p95 ≤ p99), the Zipfian cache hit rate must stay
-//! above 50%, and no response may have diverged from the golden
-//! segmentation.
+//! break the cross-PR comparison.
+//!
+//! Beyond the schema, the matcher artifact is gated three ways:
+//!
+//! - **recall** — the misspelled-camera e2e eval must stay perfect
+//!   (every exact-miss recovered, eval set non-trivial) and the
+//!   ablation-6 abbrev-chain recall must hold the committed ≥ 0.60
+//!   floor: a faster candidate generator that drops recall fails CI.
+//! - **relative throughput floors** — the fuzzy/exact qps *ratio* is
+//!   hardware-independent, so it gates in every mode: the batch fuzzy
+//!   path must stay within 28× of exact segmentation (it runs ~13×
+//!   slower today; the pre-signature-index path was ~42× slower and
+//!   would fail), and single-query fuzzy within 66×.
+//! - **absolute floors (full mode only)** — committed full runs come
+//!   from a dev machine, so generous absolute floors (≥ 3× headroom)
+//!   catch catastrophic regressions without tripping on CI hardware.
+//!
+//! For the serve artifact the gate also enforces the serving-path
+//! invariants: latency percentiles must be ordered (p50 ≤ p95 ≤ p99),
+//! the Zipfian cache hit rate must stay above 50%, and no response may
+//! have diverged from the golden segmentation.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin bench_check`
 //! (reads the workspace-root `BENCH_matcher.json` / `BENCH_serve.json`,
@@ -121,12 +138,107 @@ fn check_serve(content: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Relative throughput floors: `qps(numerator) / qps(denominator)`
+/// must stay at or above the floor. Ratios cancel machine speed, so
+/// they gate in smoke mode on CI hardware too. Floors are generous
+/// (≥ 2× headroom against the committed run) to tolerate noise.
+const RATIO_FLOORS: [(&str, &str, f64); 2] = [
+    (
+        "matcher/batch_misspelled_1_shards",
+        "matcher/exact_segment_misspelled",
+        0.035,
+    ),
+    (
+        "matcher/fuzzy_segment_misspelled",
+        "matcher/exact_segment_misspelled",
+        0.015,
+    ),
+];
+
+/// Absolute qps floors, enforced only on `"mode": "full"` artifacts
+/// (committed from a dev machine); generous ≥ 3× headroom.
+const ABSOLUTE_FLOORS: [(&str, f64); 3] = [
+    ("matcher/exact_segment_misspelled", 1_000_000.0),
+    ("matcher/batch_misspelled_1_shards", 70_000.0),
+    ("matcher/fuzzy_segment_misspelled", 30_000.0),
+];
+
+/// Validates the recall section: the misspelled-camera eval must be
+/// non-trivial and fully recovered, and the ablation-6 abbrev recall
+/// must hold its committed floor.
+fn check_recall(content: &str) -> Result<(), String> {
+    let number = |key: &str| -> Result<f64, String> {
+        number_value(content, key).ok_or_else(|| format!("missing recall key \"{key}\""))
+    };
+    let recovered = number("misspelled_camera_recovered")?;
+    let total = number("misspelled_camera_total")?;
+    if total < 10.0 {
+        return Err(format!(
+            "misspelled-camera eval shrank to {total} queries (< 10): eval no longer meaningful"
+        ));
+    }
+    if recovered != total {
+        return Err(format!(
+            "misspelled-camera recall regressed: {recovered}/{total} recovered"
+        ));
+    }
+    let default_recall = number("ablation6_default_recall")?;
+    if !(default_recall > 0.0 && default_recall <= 1.0) {
+        return Err(format!(
+            "ablation6_default_recall out of range: {default_recall}"
+        ));
+    }
+    let abbrev_recall = number("ablation6_abbrev_recall")?;
+    if abbrev_recall < 0.60 {
+        return Err(format!(
+            "ablation-6 abbrev recall regressed below 0.60: {abbrev_recall}"
+        ));
+    }
+    if abbrev_recall > 1.0 {
+        return Err(format!(
+            "ablation6_abbrev_recall out of range: {abbrev_recall}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the throughput floors over the parsed `(name, qps)` rows.
+fn check_floors(mode: &str, rows: &[(String, f64)]) -> Result<(), String> {
+    let qps = |name: &str| -> Result<f64, String> {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, q)| q)
+            .ok_or_else(|| format!("missing benchmark {name}"))
+    };
+    for (num, den, floor) in RATIO_FLOORS {
+        let ratio = qps(num)? / qps(den)?;
+        if ratio < floor {
+            return Err(format!(
+                "PERF REGRESSION: {num} / {den} = {ratio:.4}, floor {floor} — \
+                 the fuzzy/exact throughput gap regressed"
+            ));
+        }
+    }
+    if mode == "full" {
+        for (name, floor) in ABSOLUTE_FLOORS {
+            let q = qps(name)?;
+            if q < floor {
+                return Err(format!(
+                    "PERF REGRESSION: {name} at {q:.0} qps, committed floor {floor:.0}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check(content: &str) -> Result<usize, String> {
     // Top-level keys.
     for key in [
         "\"bench\": \"matcher\"",
         "\"mode\":",
         "\"batch_size\":",
+        "\"recall\":",
         "\"results\": [",
     ] {
         if !content.contains(key) {
@@ -137,9 +249,10 @@ fn check(content: &str) -> Result<usize, String> {
     if !matches!(mode, "full" | "smoke") {
         return Err(format!("mode must be full|smoke, got {mode:?}"));
     }
+    check_recall(content)?;
 
     // Result rows: one per line, every field present and sane.
-    let mut seen: Vec<String> = Vec::new();
+    let mut seen: Vec<(String, f64)> = Vec::new();
     for line in content.lines().filter(|l| l.contains("\"name\"")) {
         for field in RESULT_FIELDS {
             if !line.contains(field) {
@@ -157,16 +270,17 @@ fn check(content: &str) -> Result<usize, String> {
         if number_value(line, "ns_per_iter").is_none_or(|ns| ns <= 0.0) {
             return Err(format!("{name}: ns_per_iter must be positive"));
         }
-        if seen.iter().any(|s| s == name) {
+        if seen.iter().any(|(s, _)| s == name) {
             return Err(format!("duplicate result name {name}"));
         }
-        seen.push(name.to_string());
+        seen.push((name.to_string(), qps));
     }
     for required in REQUIRED_BENCHES {
-        if !seen.iter().any(|s| s == required) {
+        if !seen.iter().any(|(s, _)| s == required) {
             return Err(format!("missing benchmark {required}"));
         }
     }
+    check_floors(mode, &seen)?;
     Ok(seen.len())
 }
 
@@ -221,7 +335,7 @@ mod tests {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"matcher\",\n  \"mode\": \"smoke\",\n  \"batch_size\": 256,\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"matcher\",\n  \"mode\": \"smoke\",\n  \"batch_size\": 256,\n  \"recall\": {{\"misspelled_camera_recovered\": 18, \"misspelled_camera_total\": 18, \"ablation6_default_recall\": 0.338, \"ablation6_abbrev_recall\": 0.648}},\n  \"results\": [\n{}\n  ]\n}}\n",
             rows.join("\n")
         )
     }
@@ -229,6 +343,52 @@ mod tests {
     #[test]
     fn accepts_the_emitted_schema() {
         assert_eq!(check(&valid()), Ok(REQUIRED_BENCHES.len()));
+    }
+
+    #[test]
+    fn recall_gate_rejects_regressions() {
+        let lost = valid().replace(
+            "\"misspelled_camera_recovered\": 18",
+            "\"misspelled_camera_recovered\": 17",
+        );
+        assert!(check(&lost).unwrap_err().contains("recall regressed"));
+        let shrunk = valid()
+            .replace(
+                "\"misspelled_camera_recovered\": 18",
+                "\"misspelled_camera_recovered\": 4",
+            )
+            .replace(
+                "\"misspelled_camera_total\": 18",
+                "\"misspelled_camera_total\": 4",
+            );
+        assert!(check(&shrunk).unwrap_err().contains("shrank"));
+        let abbrev = valid().replace(
+            "\"ablation6_abbrev_recall\": 0.648",
+            "\"ablation6_abbrev_recall\": 0.55",
+        );
+        assert!(check(&abbrev).unwrap_err().contains("abbrev recall"));
+        let missing = valid().replace("  \"recall\": {\"misspelled_camera_recovered\": 18, \"misspelled_camera_total\": 18, \"ablation6_default_recall\": 0.338, \"ablation6_abbrev_recall\": 0.648},\n", "");
+        assert!(check(&missing).unwrap_err().contains("recall"));
+    }
+
+    #[test]
+    fn ratio_floor_rejects_fuzzy_exact_gap_regression() {
+        // Fuzzy batch at 1/1000 of exact: the pre-signature-index gap
+        // was ~1/42 and must never come back.
+        let slow = valid().replace(
+            "{\"name\": \"matcher/batch_misspelled_1_shards\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 1000}",
+            "{\"name\": \"matcher/batch_misspelled_1_shards\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 1}",
+        );
+        assert!(check(&slow).unwrap_err().contains("PERF REGRESSION"));
+    }
+
+    #[test]
+    fn absolute_floors_gate_full_mode_only() {
+        // 1000 qps everywhere fails absolute floors in full mode…
+        let full = valid().replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert!(check(&full).unwrap_err().contains("PERF REGRESSION"));
+        // …but passes in smoke mode (ratios alone apply there).
+        assert!(check(&valid()).is_ok());
     }
 
     fn valid_serve() -> String {

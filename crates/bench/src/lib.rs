@@ -149,8 +149,111 @@ pub fn print_table_header(columns: &[&str]) {
     );
 }
 
+/// The ablation-6 fuzzy eval fixture over a pipeline: the mined exact
+/// matcher plus the oracle eval set — every oracle synonym the mined
+/// dictionary does *not* contain verbatim, plus one deterministic
+/// misspelling per canonical string. One definition shared by the
+/// `ablation` binary (which prints the README table) and the matcher
+/// benchmark's recall report (which feeds the CI recall gate), so the
+/// two can never drift apart.
+pub struct FuzzyOracleEval {
+    /// The mined exact matcher the fuzzy configs are layered on.
+    pub exact: websyn_core::EntityMatcher,
+    /// `(query, true entity)` pairs the exact path cannot answer.
+    pub eval: Vec<(String, websyn_common::EntityId)>,
+    /// How many eval queries are unmined oracle synonyms (the rest are
+    /// misspelled canonicals).
+    pub unmined_synonyms: usize,
+}
+
+impl FuzzyOracleEval {
+    /// Recall of `lookup_fuzzy` under `config` against the eval set.
+    pub fn recall(&self, config: websyn_core::FuzzyConfig) -> f64 {
+        let matcher = self.exact.clone().with_fuzzy(config);
+        let correct = self
+            .eval
+            .iter()
+            .filter(|(query, truth)| {
+                matcher
+                    .lookup_fuzzy(query)
+                    .is_some_and(|hit| hit.entity == *truth)
+            })
+            .count();
+        correct as f64 / self.eval.len().max(1) as f64
+    }
+}
+
+/// Builds the ablation-6 eval fixture from a pipeline (use
+/// [`movies_pipeline`] for the committed D1 numbers), mining with the
+/// ablation's β=4, γ=0.1 thresholds.
+pub fn fuzzy_oracle_eval(pipeline: &Pipeline) -> FuzzyOracleEval {
+    use websyn_common::EntityId;
+    let mining = SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&pipeline.ctx);
+    let exact = websyn_core::EntityMatcher::from_mining(&mining, &pipeline.ctx);
+    let mut eval: Vec<(String, EntityId)> = Vec::new();
+    let mut unmined_synonyms = 0usize;
+    for (i, canonical) in pipeline.ctx.u_set.iter().enumerate() {
+        let e = EntityId::from_usize(i);
+        for alias in pipeline.world.aliases.synonyms_of(e) {
+            if exact.lookup(&alias.text).is_none() {
+                eval.push((alias.text.clone(), e));
+                unmined_synonyms += 1;
+            }
+        }
+        let typo = websyn_text::double_middle_char(canonical);
+        if exact.lookup(&typo).is_none() {
+            eval.push((typo, e));
+        }
+    }
+    FuzzyOracleEval {
+        exact,
+        eval,
+        unmined_synonyms,
+    }
+}
+
+/// The misspelled-camera recovery eval of `tests/end_to_end.rs`,
+/// regenerated for the committed perf artifact: every "canon …"
+/// canonical is misspelled with two one-edit typos and must resolve
+/// through the fuzzy path. Returns `(recovered, total)` over the
+/// mentions the exact matcher missed.
+pub fn misspelled_camera_recovery() -> (usize, usize) {
+    let p = build_pipeline(
+        &WorldConfig::small_cameras(40, 48),
+        40_000,
+        SessionConfig::default(),
+    );
+    let result = SynonymMiner::new(MinerConfig::with_thresholds(4, 0.1)).mine(&p.ctx);
+    let exact = websyn_core::EntityMatcher::from_mining(&result, &p.ctx);
+    let fuzzy = exact
+        .clone()
+        .with_fuzzy(websyn_core::FuzzyConfig::default());
+    let (mut total, mut recovered) = (0usize, 0usize);
+    for e in p
+        .world
+        .entities
+        .iter()
+        .filter(|e| e.canonical_norm.starts_with("canon "))
+    {
+        let misspelled = format!("cannon{}d", &e.canonical_norm["canon".len()..]);
+        let query = format!("{misspelled} best price");
+        if exact.segment(&query).iter().any(|s| s.entity == e.id) {
+            continue;
+        }
+        total += 1;
+        if fuzzy
+            .segment(&query)
+            .iter()
+            .any(|s| s.entity == e.id && s.distance > 0)
+        {
+            recovered += 1;
+        }
+    }
+    (recovered, total)
+}
+
 /// A deterministic synthetic product dictionary of exactly `n` unique
-/// surfaces ("brand line <number><suffix>"), stressing the compiled
+/// surfaces (`brand line <number><suffix>`), stressing the compiled
 /// dictionary's probe table as the surface count grows. Shared by the
 /// matcher microbenchmark's dictionary-size sweep and the serving load
 /// generator.

@@ -41,6 +41,30 @@ pub const UNKNOWN_TOKEN: u32 = u32::MAX;
 /// ranges and token ids, reused across calls on the same thread.
 pub(crate) type QueryScratch = std::cell::RefCell<(Vec<(u32, u32)>, Vec<u32>)>;
 
+/// Verdict of [`CompiledDict::can_reach`] for one query window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowReach {
+    /// Whether some surface *may* lie within the edit budget of the
+    /// window. `false` is a proof of unreachability; `true` promises
+    /// nothing.
+    pub edit_reachable: bool,
+    /// Whether any window token is in the dictionary vocabulary.
+    pub has_vocab_token: bool,
+}
+
+/// Reachability envelope of one vocabulary token: the range of surface
+/// char lengths and token counts over every surface *containing* the
+/// token. A query window within edit budget `k` of some surface that
+/// keeps one of its tokens intact must satisfy both ranges widened by
+/// `k` — the window-pruning tables of [`CompiledDict::can_reach`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TokenReach {
+    min_len: u32,
+    max_len: u32,
+    min_tokens: u32,
+    max_tokens: u32,
+}
+
 /// A surface → entity dictionary compiled to token ids.
 ///
 /// Construction sorts surfaces lexicographically and assigns
@@ -87,6 +111,15 @@ pub struct CompiledDict {
     first_ranges: Vec<(u32, u32)>,
     /// Longest surface in tokens (bounds the segmenter window).
     max_tokens: usize,
+    /// Per-token reachability envelope, indexed by token id (the
+    /// window-pruning tables behind [`CompiledDict::can_reach`]).
+    token_reach: Vec<TokenReach>,
+    /// Token-count bitmask per surface char length:
+    /// `counts_by_len[len] & (1 << tc)` — the token-count × length-band
+    /// half of the reachability check, one array read per candidate
+    /// length. Token counts above 31 saturate into bit 31 (a window
+    /// that long is reachable by construction anyway).
+    counts_by_len: Vec<u32>,
 }
 
 impl CompiledDict {
@@ -134,6 +167,39 @@ impl CompiledDict {
             }
             entry.1 = pos as u32 + 1;
         }
+
+        // Reachability tables for window pruning: the per-token
+        // length/count envelopes and the per-token-count length bitsets
+        // consumed by `can_reach`.
+        let mut token_reach = vec![
+            TokenReach {
+                min_len: u32::MAX,
+                max_len: 0,
+                min_tokens: u32::MAX,
+                max_tokens: 0,
+            };
+            tokens.len()
+        ];
+        let mut counts_by_len: Vec<u32> = Vec::new();
+        for sid in 0..entities.len() {
+            let ids = {
+                let (a, b) = (offsets[sid], offsets[sid + 1]);
+                &arena[a as usize..b as usize]
+            };
+            let len = char_lens[sid];
+            let tc = ids.len();
+            for &tid in ids {
+                let r = &mut token_reach[tid as usize];
+                r.min_len = r.min_len.min(len);
+                r.max_len = r.max_len.max(len);
+                r.min_tokens = r.min_tokens.min(tc as u32);
+                r.max_tokens = r.max_tokens.max(tc as u32);
+            }
+            if counts_by_len.len() <= len as usize {
+                counts_by_len.resize(len as usize + 1, 0);
+            }
+            counts_by_len[len as usize] |= 1u32 << tc.min(31);
+        }
         Self {
             tokens,
             arena,
@@ -144,6 +210,112 @@ impl CompiledDict {
             order,
             first_ranges,
             max_tokens,
+            token_reach,
+            counts_by_len,
+        }
+    }
+
+    /// Conservative reachability of a query window for fuzzy lookup:
+    /// [`WindowReach::edit_reachable`] `false` proves that **no**
+    /// dictionary surface lies within edit distance `budget` of the
+    /// window, so fuzzy resolution (candidate generation *and*
+    /// verification) can be skipped without changing any result.
+    /// `true` promises nothing — the window may still resolve to
+    /// nothing. [`WindowReach::has_vocab_token`] reports, from the
+    /// same walk, whether any window token is in the dictionary
+    /// vocabulary (the segmenter's anchor-only skip); band-screen
+    /// early exits skip that walk and report `false`, so read it only
+    /// behind a positive `edit_reachable`.
+    ///
+    /// `window` holds the window's dictionary token ids
+    /// ([`UNKNOWN_TOKEN`] for out-of-vocabulary tokens) and `chars` its
+    /// char length. Three sound checks, all integer reads against
+    /// tables compiled with the dictionary:
+    ///
+    /// 1. **budget** — at budget 0 only an exact surface matches, and
+    ///    the caller has already probed the exact dictionary;
+    /// 2. **token-count × length band** — a char edit changes the
+    ///    window's token count by at most one (a space inserted or
+    ///    deleted) and its char length by at most one, so a surface
+    ///    within `budget` must have a token count in `m ± budget` and,
+    ///    for some such count, a char length in `chars ± budget`;
+    /// 3. **anchorless-run bound** — a window token untouched by every
+    ///    edit survives verbatim as a token of the matched surface, so
+    ///    it must be a vocabulary token whose reach envelope
+    ///    (first-token-bucket generalization: the lengths and counts of
+    ///    the surfaces containing it) overlaps the window's `± budget`
+    ///    bands. A token failing that — out of vocabulary, or only in
+    ///    far-away surfaces — must be touched by an edit; one edit
+    ///    touches at most two *adjacent* tokens (a space edit), so each
+    ///    maximal run of `r` such tokens costs at least `⌈r/2⌉` edits.
+    ///    If the runs together exceed the budget, no surface is
+    ///    reachable.
+    pub fn can_reach(&self, window: &[u32], chars: usize, budget: usize) -> WindowReach {
+        let unreachable = WindowReach {
+            edit_reachable: false,
+            has_vocab_token: false,
+        };
+        if budget == 0 || window.is_empty() {
+            return unreachable;
+        }
+        let m = window.len();
+        let (len_lo, len_hi) = (chars.saturating_sub(budget), chars + budget);
+        let (tc_lo, tc_hi) = (m.saturating_sub(budget).max(1), m + budget);
+        // Token-count × length band: one table read per candidate
+        // length (the band is `2 · budget + 1` wide), one mask test.
+        let tc_mask = if tc_hi >= 31 {
+            u32::MAX << tc_lo.min(31)
+        } else {
+            (u32::MAX << tc_lo) & !(u32::MAX << (tc_hi + 1))
+        };
+        let reachable_band = (len_lo..=len_hi).any(|len| {
+            self.counts_by_len
+                .get(len)
+                .is_some_and(|&m| m & tc_mask != 0)
+        });
+        if !reachable_band {
+            return unreachable;
+        }
+        let mut has_vocab_token = false;
+        let mut cost = 0usize;
+        let mut run = 0usize;
+        for &tid in window {
+            let vocab = (tid as usize) < self.token_reach.len();
+            has_vocab_token |= vocab;
+            let anchored = vocab && {
+                let r = &self.token_reach[tid as usize];
+                r.min_len as usize <= len_hi
+                    && r.max_len as usize >= len_lo
+                    && r.min_tokens as usize <= tc_hi
+                    && r.max_tokens as usize >= tc_lo
+            };
+            if anchored {
+                cost += run.div_ceil(2);
+                run = 0;
+            } else {
+                run += 1;
+                if (cost + run.div_ceil(2)) > budget {
+                    // The bound can only grow from here unless... it
+                    // cannot: later anchors commit the pending run's
+                    // cost, so once committed-plus-pending exceeds the
+                    // budget the window is done. Still scan for a
+                    // vocabulary token if none was seen.
+                    if !has_vocab_token {
+                        has_vocab_token = window
+                            .iter()
+                            .any(|&t| (t as usize) < self.token_reach.len());
+                    }
+                    return WindowReach {
+                        edit_reachable: false,
+                        has_vocab_token,
+                    };
+                }
+            }
+        }
+        cost += run.div_ceil(2);
+        WindowReach {
+            edit_reachable: cost <= budget,
+            has_vocab_token,
         }
     }
 
@@ -411,6 +583,73 @@ mod tests {
         assert_eq!(d.get_str("anything"), None);
         let d2 = CompiledDict::build(vec![("".into(), EntityId::new(0))]);
         assert!(d2.is_empty(), "empty surfaces are skipped");
+    }
+
+    #[test]
+    fn can_reach_is_conservative_and_prunes_hopeless_windows() {
+        let d = dict();
+        let probe = |q: &str, budget: usize| {
+            let mut bounds = Vec::new();
+            let mut ids = Vec::new();
+            d.map_query(q, &mut bounds, &mut ids);
+            d.can_reach(&ids, q.chars().count(), budget)
+        };
+        // Surfaces themselves are reachable at any positive budget.
+        for (_, s, _) in d.iter() {
+            assert!(probe(s, 1).edit_reachable, "{s:?}");
+            assert!(probe(s, 1).has_vocab_token, "{s:?}");
+        }
+        // One-typo neighbours stay reachable (conservativeness: a
+        // reachable window must never be pruned).
+        assert!(probe("cannon eos 350d", 2).edit_reachable);
+        assert!(probe("indy 44", 1).edit_reachable);
+        // Budget 0 is always a prune (exact path already probed).
+        assert!(!probe("canon eos 350d", 0).edit_reachable);
+        // A window of only out-of-vocabulary tokens: every token needs
+        // an edit, two adjacent share one — three unknowns exceed a
+        // budget of 1.
+        let r = probe("best price here", 1);
+        assert!(!r.edit_reachable);
+        assert!(!r.has_vocab_token);
+        // Length band: nothing in the dictionary is within 2 edits of
+        // a 30-char window.
+        assert!(!probe("canon eos 350d canon eos 350dd", 2).edit_reachable);
+        // Vocabulary flag reports from the same walk (for windows that
+        // pass the band screen — early band exits skip the token walk
+        // and report `false`, which callers only read after checking
+        // `edit_reachable`).
+        let r = probe("canon pricey zzz", 2);
+        assert!(r.has_vocab_token);
+    }
+
+    #[test]
+    fn can_reach_never_prunes_true_neighbours() {
+        // Brute force: for every surface and every single-char
+        // mutation of it, the mutated window must stay reachable
+        // within budget 1 — the pruning tables may only ever
+        // over-approximate.
+        let d = dict();
+        let mut bounds = Vec::new();
+        let mut ids = Vec::new();
+        for (_, s, _) in d.iter() {
+            let chars: Vec<char> = s.chars().collect();
+            for pos in 0..chars.len() {
+                for sub in ['q', 'z', '7'] {
+                    let mut q: Vec<char> = chars.clone();
+                    q[pos] = sub;
+                    let q: String = q.into_iter().collect();
+                    let q = websyn_text::normalize(&q);
+                    if q.is_empty() {
+                        continue;
+                    }
+                    d.map_query(&q, &mut bounds, &mut ids);
+                    assert!(
+                        d.can_reach(&ids, q.chars().count(), 1).edit_reachable,
+                        "mutation {q:?} of {s:?} wrongly pruned"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //!
 //! 1. **generate** — a chain of [`CandidateSource`]s over the compiled
 //!    dictionary's surfaces proposes candidate surface ids. The default
-//!    chain is the n-gram signature index
-//!    ([`websyn_text::NgramIndex`]: length + count filters); the
-//!    optional phonetic ([`websyn_text::PhoneticIndex`]) and
-//!    abbreviation ([`websyn_text::AbbrevIndex`]) sources widen recall
-//!    to sound-alikes and systematic abbreviations when
+//!    chain splits by token count: multi-token windows probe the
+//!    token-run signature index
+//!    ([`websyn_text::TokenSignatureIndex`]: intact-run anchors with
+//!    length-band, token-count and aligned-offset filters — the fast
+//!    path, since a typo damages one token and the neighbours anchor),
+//!    while single-token windows probe the char n-gram signature index
+//!    ([`websyn_text::NgramIndex`]: length + count filters), whose
+//!    character granularity is the recall backstop when the lone token
+//!    itself is damaged. The optional phonetic
+//!    ([`websyn_text::PhoneticIndex`]) and abbreviation
+//!    ([`websyn_text::AbbrevIndex`]) sources widen recall to
+//!    sound-alikes and systematic abbreviations when
 //!    [`FuzzyConfig::phonetic`] / [`FuzzyConfig::abbrev`] are set.
 //! 2. **verify** — each proposal from a filtering source pays for a
 //!    real bounded edit-distance computation
@@ -20,6 +27,14 @@
 //!    length-scaled budget of [`FuzzyConfig`] survive. Proposals from a
 //!    transform source (abbrev) are exact by construction and resolve
 //!    at distance 0.
+//!
+//! Before either stage runs, the window is screened against the
+//! compiled dictionary's reachability tables
+//! ([`CompiledDict::can_reach`]): a window that provably cannot reach
+//! any surface within its edit budget skips generation and
+//! verification entirely. Pruning is conservative — it only ever skips
+//! work, never changes a result (pinned by the pruned-vs-unpruned
+//! equivalence proptests).
 //!
 //! Resolution is *exact-first*: the caller is expected to try the
 //! compiled-dictionary lookup before the fuzzy path, so enabling fuzzy
@@ -36,7 +51,7 @@ use std::sync::Arc;
 use websyn_common::{EntityId, SurfaceId};
 use websyn_text::{
     damerau_levenshtein, damerau_levenshtein_within, levenshtein, levenshtein_within, AbbrevIndex,
-    CandidateSource, NgramIndex, PhoneticIndex,
+    CandidateSource, NgramIndex, PhoneticIndex, TokenSignatureIndex,
 };
 
 /// Tuning for fuzzy surface lookup.
@@ -64,14 +79,42 @@ pub struct FuzzyConfig {
     pub transpositions: bool,
     /// Chain the per-token Soundex source after the n-gram index, so
     /// sound-alike candidates the gram filters miss still reach
-    /// verification. Off by default (the n-gram filter alone matches
-    /// the PR-2 behaviour bit for bit).
+    /// verification. Off by default.
     pub phonetic: bool,
     /// Chain the systematic-abbreviation source: queries that *are* a
     /// mechanical variant of a surface (acronym, stopword drop, bare
     /// model tail) resolve at distance 0 without edit verification.
     /// Off by default.
     pub abbrev: bool,
+    /// Generate candidates for **multi-token** windows from the
+    /// token-run signature index
+    /// ([`websyn_text::TokenSignatureIndex`]: length-band, token-count
+    /// and aligned-offset filters over intact token runs) instead of
+    /// scanning char-gram postings for the joined window. Single-token
+    /// windows keep the n-gram index, whose character granularity is
+    /// the recall backstop when the lone token itself is damaged, and
+    /// two-token windows fall back to it when no run anchors (both
+    /// tokens damaged). On by default — this is the fuzzy hot path's
+    /// fast generator.
+    ///
+    /// Recall coverage: typo-class damage (character edits inside
+    /// tokens, one space edit next to otherwise-intact tokens) always
+    /// leaves an anchor; a two-token window whose single space was
+    /// split out of a surface token ("tv set" → "tvset") or transposed
+    /// with a letter ("th ebest" → "the best") anchors through the
+    /// index's de-spaced keys; and a two-token window with one
+    /// character typo in *each* token reaches the n-gram fallback.
+    ///
+    /// Residual tradeoff (measured zero on the committed evals, but
+    /// real): the fallback fires only when both tokens are out of
+    /// vocabulary at the full two-edit budget, and windows of ≥ 3
+    /// tokens have neither fallback nor de-spaced anchor — so a
+    /// damaged token that happens to equal another dictionary token, a
+    /// space substituted *by* a letter ("tv set" → "tvxset"), or edits
+    /// that collapse three or more tokens at once can miss a surface
+    /// the pure n-gram chain would have proposed. Disable to restore
+    /// the n-gram-only chain of PR 3.
+    pub token_signature: bool,
 }
 
 impl Default for FuzzyConfig {
@@ -84,6 +127,7 @@ impl Default for FuzzyConfig {
             transpositions: true,
             phonetic: false,
             abbrev: false,
+            token_signature: true,
         }
     }
 }
@@ -163,6 +207,53 @@ impl FuzzyMatch {
     }
 }
 
+/// One chain entry: a candidate source plus the query token counts it
+/// is consulted for. The token-signature index only fires on
+/// multi-token windows (an intact-run anchor cannot exist inside a
+/// damaged lone token); the n-gram index backstops single tokens when
+/// the signature index is enabled and covers everything otherwise. A
+/// `fallback` entry backstops the multi-damage case the anchor-keyed
+/// sources cannot see — a window where *every* token was damaged (one
+/// typo in each of two tokens leaves no intact run) — so it is
+/// consulted only when that case is actually live: the sources before
+/// it proposed nothing, every window token is out of vocabulary
+/// (a damaged token almost never collides with a dictionary token),
+/// and the window affords the full two-edit budget that damaging two
+/// tokens costs.
+#[derive(Clone)]
+struct SourceEntry {
+    source: Arc<dyn CandidateSource + Send + Sync>,
+    /// Inclusive token-count range `[min, max]` this source applies to.
+    min_tokens: usize,
+    max_tokens: usize,
+    /// Cached `!source.needs_verification()` — read on every window.
+    verified: bool,
+    /// Consulted only when no earlier source proposed anything.
+    fallback: bool,
+}
+
+impl SourceEntry {
+    fn new(
+        source: Arc<dyn CandidateSource + Send + Sync>,
+        min_tokens: usize,
+        max_tokens: usize,
+    ) -> Self {
+        let verified = !source.needs_verification();
+        Self {
+            source,
+            min_tokens,
+            max_tokens,
+            verified,
+            fallback: false,
+        }
+    }
+
+    fn fallback(mut self) -> Self {
+        self.fallback = true;
+        self
+    }
+}
+
 /// The compiled fuzzy side of a matcher dictionary: a shared
 /// [`CompiledDict`] plus the chain of candidate sources the config
 /// enables.
@@ -176,7 +267,23 @@ pub struct FuzzyDictionary {
     dict: Arc<CompiledDict>,
     /// Generation chain, consulted in order. `Arc`ed so cloning a
     /// matcher shares the compiled indexes.
-    sources: Vec<Arc<dyn CandidateSource + Send + Sync>>,
+    sources: Vec<SourceEntry>,
+    /// Whether every chain source requires edit-distance verification.
+    /// When true, the [`CompiledDict::can_reach`] pruning tables prove
+    /// window skips sound: any surviving proposal would be verified
+    /// within the edit budget, so an edit-unreachable window cannot
+    /// resolve. A non-verifying source (abbrev: transform hits at any
+    /// edit distance) disables pruning.
+    all_verifying: bool,
+    /// Per-budget bitmasks of window token counts at which a window
+    /// with **no** in-vocabulary token may still resolve (some
+    /// applicable source proposes unanchored — see
+    /// [`CandidateSource::proposes_unanchored`]); bit `m` covers
+    /// windows of `m` tokens, bit 31 covers 31-and-up. Windows whose
+    /// bit is clear provably resolve to nothing and the segmenter
+    /// skips them without memo or generation. Index 0 is budget 1,
+    /// index 1 is budget 2 (budget 0 never reaches the fuzzy path).
+    unanchored_masks: [u32; 2],
 }
 
 impl std::fmt::Debug for FuzzyDictionary {
@@ -202,20 +309,82 @@ impl FuzzyDictionary {
     /// how [`crate::EntityMatcher::with_fuzzy`] shares one dictionary
     /// between the exact and approximate paths.
     pub fn from_dict(dict: Arc<CompiledDict>, config: FuzzyConfig) -> Self {
-        let mut sources: Vec<Arc<dyn CandidateSource + Send + Sync>> = vec![Arc::new(
-            NgramIndex::build(dict.surface_strs(), config.gram_size),
-        )];
+        let mut sources: Vec<SourceEntry> = Vec::new();
+        if config.token_signature {
+            sources.push(SourceEntry::new(
+                Arc::new(TokenSignatureIndex::build(dict.surface_strs())),
+                2,
+                usize::MAX,
+            ));
+            let ngram: Arc<dyn CandidateSource + Send + Sync> =
+                Arc::new(NgramIndex::build(dict.surface_strs(), config.gram_size));
+            sources.push(SourceEntry::new(Arc::clone(&ngram), 1, 1));
+            // Two-token recall backstop: a window whose both tokens
+            // were damaged (one typo each fits a 2-edit budget) has no
+            // intact run for the signature index to anchor, so the
+            // char-gram index steps in — gated to the windows where
+            // that case is live (see `SourceEntry`), which keeps it
+            // off the hot path. Windows of ≥3 tokens need no backstop:
+            // within a 2-edit budget at most two space edits land, so
+            // runs of up to three tokens always leave an anchor for
+            // typo-class damage (the residual losses — multi-merge
+            // edits collapsing several tokens, a damaged token that
+            // happens to equal another dictionary token — are
+            // documented on `FuzzyConfig::token_signature`).
+            sources.push(SourceEntry::new(ngram, 2, 2).fallback());
+        } else {
+            sources.push(SourceEntry::new(
+                Arc::new(NgramIndex::build(dict.surface_strs(), config.gram_size)),
+                1,
+                usize::MAX,
+            ));
+        }
         if config.phonetic {
-            sources.push(Arc::new(PhoneticIndex::build(dict.surface_strs())));
+            sources.push(SourceEntry::new(
+                Arc::new(PhoneticIndex::build(dict.surface_strs())),
+                1,
+                usize::MAX,
+            ));
         }
         if config.abbrev {
-            sources.push(Arc::new(AbbrevIndex::build(dict.surface_strs())));
+            sources.push(SourceEntry::new(
+                Arc::new(AbbrevIndex::build(dict.surface_strs())),
+                1,
+                usize::MAX,
+            ));
         }
+        let all_verifying = sources.iter().all(|e| e.source.needs_verification());
+        let unanchored_masks = Self::compute_unanchored_masks(&sources);
         Self {
             config,
             dict,
             sources,
+            all_verifying,
+            unanchored_masks,
         }
+    }
+
+    /// Precomputes [`FuzzyDictionary::unanchored_mask`] for budgets 1
+    /// and 2: bit `m` is set when some source applicable to `m`-token
+    /// queries (fallback entries only count at the full two-edit
+    /// budget) proposes without a vocabulary anchor.
+    fn compute_unanchored_masks(sources: &[SourceEntry]) -> [u32; 2] {
+        let mut masks = [0u32; 2];
+        for (i, mask) in masks.iter_mut().enumerate() {
+            let budget = i + 1;
+            for m in 1..=31usize {
+                let reachable = sources.iter().any(|e| {
+                    m >= e.min_tokens
+                        && m <= e.max_tokens
+                        && (!e.fallback || budget >= 2)
+                        && e.source.proposes_unanchored(m, budget)
+                });
+                if reachable {
+                    *mask |= 1 << m;
+                }
+            }
+        }
+        masks
     }
 
     /// The config the dictionary was compiled with.
@@ -230,17 +399,42 @@ impl FuzzyDictionary {
 
     /// Names of the candidate sources, in consultation order.
     pub fn source_names(&self) -> Vec<&'static str> {
-        self.sources.iter().map(|s| s.name()).collect()
+        self.sources.iter().map(|s| s.source.name()).collect()
     }
 
-    /// Appends a custom candidate source to the chain. Proposal ids
-    /// must be surface ids of [`FuzzyDictionary::dict`] (build any
-    /// index over [`CompiledDict::surface_strs`], whose order coincides
-    /// with surface ids). Sources are consulted in insertion order;
+    /// Appends a custom candidate source to the chain, consulted for
+    /// every query token count. Proposal ids must be surface ids of
+    /// [`FuzzyDictionary::dict`] (build any index over
+    /// [`CompiledDict::surface_strs`], whose order coincides with
+    /// surface ids). Sources are consulted in insertion order;
     /// resolution semantics (verification, budgets, tie rules) apply
     /// uniformly, so adding a source can only widen recall.
     pub fn push_source(&mut self, source: Arc<dyn CandidateSource + Send + Sync>) {
-        self.sources.push(source);
+        self.all_verifying = self.all_verifying && source.needs_verification();
+        self.sources.push(SourceEntry::new(source, 1, usize::MAX));
+        self.unanchored_masks = Self::compute_unanchored_masks(&self.sources);
+    }
+
+    /// Whether every chain source verifies its proposals with an edit
+    /// distance — the precondition for [`CompiledDict::can_reach`]
+    /// window pruning to be sound (see [`crate::EntityMatcher`]).
+    pub fn all_verifying(&self) -> bool {
+        self.all_verifying
+    }
+
+    /// Whether a window of `n_tokens` tokens at edit budget `budget`
+    /// containing **no** in-vocabulary token can resolve under this
+    /// chain. `false` is the segmenter's cheapest window skip: no
+    /// applicable source can propose for such a window, so neither
+    /// memoization nor generation is worth starting.
+    pub fn may_resolve_unanchored(&self, n_tokens: usize, budget: usize) -> bool {
+        if budget == 0 {
+            // Only a non-verifying source could fire; those are
+            // content-free and the masks conservatively cover them at
+            // budget 1, which the caller uses for budget 0 too.
+            return self.unanchored_masks[0] >> n_tokens.min(31) & 1 == 1;
+        }
+        self.unanchored_masks[budget.clamp(1, 2) - 1] >> n_tokens.min(31) & 1 == 1
     }
 
     /// Number of indexed surfaces.
@@ -259,29 +453,95 @@ impl FuzzyDictionary {
     /// verified distance within budget, or `None` when nothing is close
     /// enough or the minimum is contested between entities. The caller
     /// handles the exact (distance 0) path; this method still returns
-    /// an exact hit correctly if asked, since the surface's own grams
-    /// always pass the filters.
+    /// an exact hit correctly if asked, since the surface's own runs
+    /// and grams always pass the filters.
     pub fn resolve(&self, normalized: &str) -> Option<FuzzyMatch> {
+        thread_local! {
+            static SCRATCH: crate::dict::QueryScratch =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with_borrow_mut(|(bounds, ids)| {
+            self.dict.map_query(normalized, bounds, ids);
+            self.resolve_mapped(normalized, ids, normalized.chars().count())
+        })
+    }
+
+    /// [`FuzzyDictionary::resolve`] when the caller already holds the
+    /// window's dictionary token ids and char length — sparing a
+    /// re-tokenization per window. `ids` must be the
+    /// [`CompiledDict::map_query`] ids of `normalized`.
+    pub(crate) fn resolve_mapped(
+        &self,
+        normalized: &str,
+        ids: &[u32],
+        chars: usize,
+    ) -> Option<FuzzyMatch> {
+        let budget = self.config.max_distance_for(chars);
+        let edit_reachable = self.dict.can_reach(ids, chars, budget).edit_reachable;
+        self.resolve_pruned(normalized, ids, budget, edit_reachable)
+    }
+
+    /// The resolution core, with the window's edit budget and
+    /// [`CompiledDict::can_reach`] verdict already computed — the
+    /// segmenter's entry point, which shares those with its own window
+    /// pruning instead of recomputing them per resolution.
+    pub(crate) fn resolve_pruned(
+        &self,
+        normalized: &str,
+        ids: &[u32],
+        budget: usize,
+        edit_reachable: bool,
+    ) -> Option<FuzzyMatch> {
         thread_local! {
             static PROPOSALS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
         }
-        let q_len = normalized.chars().count();
-        let budget = self.config.max_distance_for(q_len);
+        // Window pruning: when every source verifies within the edit
+        // budget, an edit-unreachable window cannot resolve — skip
+        // generation and verification outright. (`can_reach` is also
+        // false at budget 0, where only a non-verifying source could
+        // fire.)
+        if self.all_verifying && !edit_reachable {
+            return None;
+        }
+        let m = ids.len();
         let mut best: Option<(SurfaceId, usize)> = None;
         let mut contested = false;
+        let mut proposed_any = false;
         PROPOSALS.with_borrow_mut(|proposals| {
-            for source in &self.sources {
-                let verified = !source.needs_verification();
-                if !verified && budget == 0 {
+            for entry in &self.sources {
+                if m < entry.min_tokens || m > entry.max_tokens {
+                    continue;
+                }
+                // A fallback entry fires only when the multi-damage
+                // case it exists for is live: earlier sources came up
+                // empty (whether or not their proposals verified),
+                // every window token is out of vocabulary, and the
+                // budget affords one edit per token.
+                if entry.fallback
+                    && (proposed_any
+                        || budget < 2
+                        || ids.iter().any(|&t| t != crate::dict::UNKNOWN_TOKEN))
+                {
+                    continue;
+                }
+                let verified = entry.verified;
+                if !verified && !edit_reachable {
                     continue;
                 }
                 proposals.clear();
-                source.propose(normalized, budget, proposals);
+                entry.source.propose(normalized, budget, proposals);
+                proposed_any |= !proposals.is_empty();
                 for &raw in proposals.iter() {
                     let sid = SurfaceId::new(raw);
                     let d = if verified {
                         0
                     } else {
+                        // A char edit moves the token count by at most
+                        // one, so a far token count cannot verify —
+                        // reject before paying for the distance.
+                        if self.dict.token_ids(sid).len().abs_diff(m) > budget {
+                            continue;
+                        }
                         // Both sides must afford the distance: a short
                         // surface does not become reachable just
                         // because the query is long.
@@ -447,8 +707,20 @@ mod tests {
     }
 
     #[test]
-    fn default_chain_is_ngram_only() {
-        assert_eq!(dict().source_names(), vec!["ngram"]);
+    fn default_chain_is_token_signature_plus_ngram() {
+        // The n-gram index appears twice: the single-token generator
+        // and the two-token fallback (same shared index).
+        assert_eq!(dict().source_names(), vec!["token-sig", "ngram", "ngram"]);
+        // All-out-of-vocabulary windows: two-token windows stay live
+        // (de-spaced anchors at any budget, n-gram fallback at 2),
+        // three-token windows only at the full budget (pair-key merge
+        // plus one more space edit), wider windows are provably dead.
+        assert!(dict().may_resolve_unanchored(2, 1));
+        assert!(dict().may_resolve_unanchored(2, 2));
+        assert!(!dict().may_resolve_unanchored(3, 1));
+        assert!(dict().may_resolve_unanchored(3, 2));
+        assert!(!dict().may_resolve_unanchored(4, 2));
+        assert!(!dict().may_resolve_unanchored(8, 2));
         let full = FuzzyDictionary::build(
             vec![("indiana jones 4".into(), EntityId::new(0))],
             FuzzyConfig {
@@ -457,7 +729,86 @@ mod tests {
                 ..FuzzyConfig::default()
             },
         );
-        assert_eq!(full.source_names(), vec!["ngram", "phonetic", "abbrev"]);
+        assert_eq!(
+            full.source_names(),
+            vec!["token-sig", "ngram", "ngram", "phonetic", "abbrev"]
+        );
+        assert!(!full.all_verifying(), "abbrev disables window pruning");
+        assert!(
+            full.may_resolve_unanchored(7, 2),
+            "phonetic proposes for any token count"
+        );
+        // Disabling the signature index restores the PR-3 chain.
+        let plain = FuzzyDictionary::build(
+            vec![("indiana jones 4".into(), EntityId::new(0))],
+            FuzzyConfig {
+                token_signature: false,
+                ..FuzzyConfig::default()
+            },
+        );
+        assert_eq!(plain.source_names(), vec!["ngram"]);
+        assert!(plain.all_verifying());
+        assert!(plain.may_resolve_unanchored(7, 2));
+    }
+
+    #[test]
+    fn split_space_resolves_through_despaced_anchor() {
+        // One inserted space splits a surface token: budget 1, both
+        // query tokens damaged, recovered by the de-spaced concat key
+        // (no n-gram fallback needed — it is gated to budget 2).
+        let d = FuzzyDictionary::build(
+            vec![("tvset".into(), EntityId::new(3))],
+            FuzzyConfig::default(),
+        );
+        let m = d.resolve("tv set").expect("split-space hit");
+        assert_eq!(m.entity, EntityId::new(3));
+        assert_eq!(m.distance, 1);
+    }
+
+    #[test]
+    fn merged_token_resolves_through_despaced_pair_key() {
+        // "canoneos 350x" merges a surface pair and typos the tail:
+        // the merged token is out of vocabulary yet equals the posted
+        // de-spaced pair key "canoneos", so the surface is proposed
+        // and verifies at distance 2.
+        let d = FuzzyDictionary::build(
+            vec![
+                ("canon eos 350d".into(), EntityId::new(1)),
+                ("nikon 350x".into(), EntityId::new(2)),
+            ],
+            FuzzyConfig::default(),
+        );
+        let m = d.resolve("canoneos 350x").expect("pair-key hit");
+        assert_eq!(m.entity, EntityId::new(1));
+        assert_eq!(m.distance, 2);
+        // And the all-out-of-vocabulary three-token merge shape the
+        // unanchored mask must keep live: one pair-key merge plus one
+        // adjacent merge.
+        let d = FuzzyDictionary::build(
+            vec![("ab cd efgh".into(), EntityId::new(7))],
+            FuzzyConfig::default(),
+        );
+        let m = d.resolve("abcd ef gh").expect("double space-damage hit");
+        assert_eq!(m.entity, EntityId::new(7));
+        assert_eq!(m.distance, 2);
+    }
+
+    #[test]
+    fn two_token_window_with_both_tokens_damaged_falls_back_to_ngrams() {
+        // One typo in each token: no intact run for the signature
+        // index to anchor, so without the fallback nothing would be
+        // proposed. The n-gram backstop keeps the PR-3 resolution.
+        let d = FuzzyDictionary::build(
+            vec![("canon eos".into(), EntityId::new(1))],
+            FuzzyConfig::default(),
+        );
+        let m = d.resolve("canom eoz").expect("fallback hit");
+        assert_eq!(m.entity, EntityId::new(1));
+        assert_eq!(m.distance, 2);
+        // When the signature index *does* anchor, the fallback stays
+        // out of the way (same result either way here).
+        let m = d.resolve("canom eos").expect("anchored hit");
+        assert_eq!(m.distance, 1);
     }
 
     #[test]
@@ -517,7 +868,10 @@ mod tests {
             FuzzyConfig::default(),
         );
         d.push_source(Arc::new(Reversed(vec![0, 1])));
-        assert_eq!(d.source_names(), vec!["ngram", "reversed"]);
+        assert_eq!(
+            d.source_names(),
+            vec!["token-sig", "ngram", "ngram", "reversed"]
+        );
         // Both surfaces are distance 1 from the query; whatever order
         // the sources propose them in, the smaller id wins.
         let m = d.resolve("indians 4").expect("hit");

@@ -11,11 +11,15 @@
 //! string hashing. With [`FuzzyConfig`] attached
 //! ([`EntityMatcher::with_fuzzy`]) every window that misses the exact
 //! dictionary falls back to the [`crate::fuzzy`] candidate pipeline
-//! (n-gram generation + bounded edit-distance verification, plus the
-//! optional phonetic/abbreviation sources), so unmined misspellings
-//! still resolve. [`EntityMatcher::match_batch`] shards a query batch
-//! across scoped threads for serving-path throughput while keeping
-//! output order (and content) deterministic.
+//! (token-run signature / char n-gram generation + bounded
+//! edit-distance verification, plus the optional phonetic/abbreviation
+//! sources), so unmined misspellings still resolve — but only after
+//! the window passes the compiled dictionary's reachability screen
+//! ([`CompiledDict::can_reach`]), which skips provably hopeless
+//! windows without any generation work.
+//! [`EntityMatcher::match_batch`] shards a query batch across scoped
+//! threads for serving-path throughput while keeping output order
+//! (and content) deterministic.
 
 use crate::data::MiningContext;
 use crate::dict::CompiledDict;
@@ -245,7 +249,7 @@ impl EntityMatcher {
         let mut out = String::with_capacity(self.dict.len() * 24 + 80);
         if let Some(config) = self.fuzzy_config() {
             out.push_str(&format!(
-                "#!fuzzy\tgram_size={}\tmin_len_one_edit={}\tmin_len_two_edits={}\tmax_distance={}\ttranspositions={}\tphonetic={}\tabbrev={}\n",
+                "#!fuzzy\tgram_size={}\tmin_len_one_edit={}\tmin_len_two_edits={}\tmax_distance={}\ttranspositions={}\tphonetic={}\tabbrev={}\ttoken_signature={}\n",
                 config.gram_size,
                 config.min_len_one_edit,
                 config.min_len_two_edits,
@@ -253,6 +257,7 @@ impl EntityMatcher {
                 config.transpositions,
                 config.phonetic,
                 config.abbrev,
+                config.token_signature,
             ));
         }
         // Surface ids are lexicographic, so id order is sorted order.
@@ -349,7 +354,7 @@ impl EntityMatcher {
     }
 
     /// Segments a query that is already in normalized form (the output
-    /// of [`websyn_text::normalize`]) — the serving-path entry point: a
+    /// of [`websyn_text::normalize()`]) — the serving-path entry point: a
     /// result cache keyed by normalized query normalizes once, probes
     /// the cache, and on a miss hands the *same* string here without
     /// paying for a second normalization pass.
@@ -389,76 +394,135 @@ impl EntityMatcher {
         normalized: &str,
         mut scratch: Option<&mut MatchScratch>,
     ) -> Vec<MatchSpan> {
-        // Per-query scratch (token byte ranges + token ids) lives in
-        // thread-local buffers: segment allocates only the normalized
-        // string (and not even that when the query is already
-        // canonical) plus the output spans.
+        // Per-query scratch (token byte ranges + token ids + token char
+        // ranges) lives in thread-local buffers: segment allocates only
+        // the normalized string (and not even that when the query is
+        // already canonical) plus the output spans.
         thread_local! {
             static SCRATCH: crate::dict::QueryScratch =
                 const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            static CHAR_BOUNDS: std::cell::RefCell<Vec<(u32, u32)>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
         SCRATCH.with_borrow_mut(|(bounds, ids)| {
             self.dict.map_query(normalized, bounds, ids);
             let n = ids.len();
             let mut spans = Vec::new();
             let mut i = 0;
-            while i < n {
-                let longest = self.dict.max_tokens().min(n - i);
-                let hit = match &self.fuzzy {
-                    // Exact-only: one probe-table descent finds the
-                    // longest match at this position.
-                    None => self
-                        .dict
-                        .longest_match(&ids[i..], longest)
-                        .map(|(w, sid)| (w, sid, 0)),
-                    // Fuzzy: each window length must offer the exact
-                    // probe first and its fuzzy resolution second, so a
-                    // fuzzy hit on a long window still beats an exact
-                    // hit on a shorter one. Fuzzy resolution is a pure
-                    // function of the window text, so it is memoized in
-                    // `scratch` — duplicate windows across a batch pay
-                    // for candidate generation and verification once.
-                    Some(fuzzy) => (1..=longest).rev().find_map(|window| {
-                        if let Some(sid) = self.dict.get(&ids[i..i + window]) {
-                            return Some((window, sid, 0));
+            match &self.fuzzy {
+                // Exact-only: one probe-table descent per position
+                // finds the longest match there.
+                None => {
+                    while i < n {
+                        let longest = self.dict.max_tokens().min(n - i);
+                        match self.dict.longest_match(&ids[i..], longest) {
+                            Some((window, sid)) => {
+                                spans.push(self.span(i, window, sid, 0));
+                                i += window;
+                            }
+                            None => i += 1,
                         }
-                        let window_text =
-                            &normalized[bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
-                        let resolved = match scratch.as_deref_mut() {
-                            Some(scratch) => match scratch.memo.get(window_text) {
-                                Some(cached) => *cached,
-                                None => {
-                                    let r = fuzzy
-                                        .resolve(window_text)
-                                        .map(|hit| (hit.surface_id, hit.distance));
-                                    scratch.memo.insert(window_text.to_string(), r);
-                                    r
-                                }
-                            },
-                            None => fuzzy
-                                .resolve(window_text)
-                                .map(|hit| (hit.surface_id, hit.distance)),
-                        };
-                        resolved.map(|(sid, distance)| (window, sid, distance))
-                    }),
-                };
-                match hit {
-                    Some((window, sid, distance)) => {
-                        spans.push(MatchSpan {
-                            start: i,
-                            end: i + window,
-                            surface_id: sid,
-                            entity: self.dict.entity(sid),
-                            distance,
-                            surface: self.dict.surface_arc(sid),
-                        });
-                        i += window;
                     }
-                    None => i += 1,
                 }
+                // Fuzzy: per position, one exact descent bounds the
+                // fuzzy work — only windows *longer* than the longest
+                // exact match need approximate resolution (a fuzzy hit
+                // on a longer window beats the exact hit; at the exact
+                // length and below, the old per-length walk would have
+                // stopped at the exact hit anyway). Each candidate
+                // window is screened by the compiled dictionary's
+                // reachability tables before any candidate generation,
+                // and resolutions are memoized in `scratch` — duplicate
+                // windows across a batch pay for generation and
+                // verification once.
+                Some(fuzzy) => CHAR_BOUNDS.with_borrow_mut(|char_bounds| {
+                    token_char_bounds(normalized, bounds, char_bounds);
+                    let prune = fuzzy.all_verifying();
+                    while i < n {
+                        let longest = self.dict.max_tokens().min(n - i);
+                        let exact = self.dict.longest_match(&ids[i..], longest);
+                        let exact_w = exact.map_or(0, |(w, _)| w);
+                        let mut hit = exact.map(|(w, sid)| (w, sid, 0));
+                        for window in (exact_w + 1..=longest).rev() {
+                            let window_ids = &ids[i..i + window];
+                            let chars = (char_bounds[i + window - 1].1 - char_bounds[i].0) as usize;
+                            let budget = fuzzy.config().max_distance_for(chars);
+                            if prune && budget == 0 {
+                                // Shorter windows only get shorter:
+                                // every remaining budget is 0 too, and
+                                // with a fully-verifying chain nothing
+                                // below can resolve.
+                                break;
+                            }
+                            let reach = self.dict.can_reach(window_ids, chars, budget);
+                            if prune && !reach.edit_reachable {
+                                continue;
+                            }
+                            // A window with no vocabulary token that no
+                            // applicable source can propose for
+                            // (anchor-keyed chain, no space-damage
+                            // anchor at this shape): skip without memo.
+                            if !reach.has_vocab_token
+                                && !fuzzy.may_resolve_unanchored(window, budget)
+                            {
+                                continue;
+                            }
+                            let window_text = &normalized
+                                [bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
+                            let resolved = match scratch.as_deref_mut() {
+                                Some(scratch) => match scratch.memo.get(window_text) {
+                                    Some(cached) => *cached,
+                                    None => {
+                                        let r = fuzzy
+                                            .resolve_pruned(
+                                                window_text,
+                                                window_ids,
+                                                budget,
+                                                reach.edit_reachable,
+                                            )
+                                            .map(|hit| (hit.surface_id, hit.distance));
+                                        scratch.memo.insert(window_text.to_string(), r);
+                                        r
+                                    }
+                                },
+                                None => fuzzy
+                                    .resolve_pruned(
+                                        window_text,
+                                        window_ids,
+                                        budget,
+                                        reach.edit_reachable,
+                                    )
+                                    .map(|hit| (hit.surface_id, hit.distance)),
+                            };
+                            if let Some((sid, distance)) = resolved {
+                                hit = Some((window, sid, distance));
+                                break;
+                            }
+                        }
+                        match hit {
+                            Some((window, sid, distance)) => {
+                                spans.push(self.span(i, window, sid, distance));
+                                i += window;
+                            }
+                            None => i += 1,
+                        }
+                    }
+                }),
             }
             spans
         })
+    }
+
+    /// Assembles one output span.
+    fn span(&self, start: usize, window: usize, sid: SurfaceId, distance: usize) -> MatchSpan {
+        MatchSpan {
+            start,
+            end: start + window,
+            surface_id: sid,
+            entity: self.dict.entity(sid),
+            distance,
+            surface: self.dict.surface_arc(sid),
+        }
     }
 
     /// Segments a batch of queries on up to `shards` scoped threads.
@@ -506,6 +570,35 @@ impl EntityMatcher {
     }
 }
 
+/// Char-position ranges of the tokens whose byte ranges are `bounds`,
+/// filled into `out` (cleared first). Normalized text is almost always
+/// ASCII, where char positions equal byte positions and the copy is
+/// free; otherwise one pass over the chars recovers the mapping. The
+/// segmenter uses these to compute window char lengths (edit budgets
+/// are char-level) without an O(len) count per window.
+fn token_char_bounds(normalized: &str, bounds: &[(u32, u32)], out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    if normalized.is_ascii() {
+        out.extend_from_slice(bounds);
+        return;
+    }
+    let mut chars = 0u32;
+    let mut byte = 0usize;
+    let mut iter = normalized.chars();
+    for &(a, b) in bounds {
+        while byte < a as usize {
+            byte += iter.next().expect("bounds within string").len_utf8();
+            chars += 1;
+        }
+        let start = chars;
+        while byte < b as usize {
+            byte += iter.next().expect("bounds within string").len_utf8();
+            chars += 1;
+        }
+        out.push((start, chars));
+    }
+}
+
 /// Parses the `#!fuzzy` header tail: tab-separated `key=value` pairs
 /// over [`FuzzyConfig`] fields, starting from the default config.
 fn parse_fuzzy_header(header: &str, lineno: usize) -> websyn_common::Result<FuzzyConfig> {
@@ -533,6 +626,7 @@ fn parse_fuzzy_header(header: &str, lineno: usize) -> websyn_common::Result<Fuzz
             "transpositions" => config.transpositions = parse_bool(value)?,
             "phonetic" => config.phonetic = parse_bool(value)?,
             "abbrev" => config.abbrev = parse_bool(value)?,
+            "token_signature" => config.token_signature = parse_bool(value)?,
             _ => return Err(bad(&format!("unknown key {key:?}"))),
         }
     }

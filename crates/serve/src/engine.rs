@@ -9,22 +9,32 @@
 //!   deployment story for the immutable compiled dictionary: compile a
 //!   new dictionary off-line, swap the `Arc`, and the old one dies with
 //!   its last in-flight batch;
-//! - a [`ShardedCache`] of `normalized query → Arc<Vec<MatchSpan>>`.
+//! - a [`ShardedCache`] of `normalized query → (Arc<Vec<MatchSpan>>,
+//!   Arc<str>)`: the spans *and* the serialized `OK …` response line
+//!   ([`crate::proto::format_spans`]), rendered once on the miss that
+//!   filled the entry. A protocol-level cache hit is therefore a pure
+//!   lookup-and-write — no `format_spans` walk, no `String`
+//!   allocation, just an `Arc` clone handed to the connection writer.
 //!   The cache is keyed *after* normalization, so "Indy 4", "indy 4"
 //!   and "INDY-4" share one entry, and a hit skips normalization's
 //!   allocation too (the `Cow` fast path) on the segmenter side.
 //!
-//! Cached and uncached paths return byte-identical spans: the cache
+//! Cached and uncached paths return byte-identical results: the cache
 //! stores exactly what [`EntityMatcher::segment_normalized_with`]
-//! produced, and generation-checked inserts (see
-//! [`ShardedCache::insert_at`]) make it impossible for a result
-//! computed against a retired dictionary to survive a swap.
+//! produced (and the line serialized from it), and generation-checked
+//! inserts (see [`ShardedCache::insert_at`]) make it impossible for a
+//! result computed against a retired dictionary to survive a swap.
 
 use crate::cache::{CacheStats, ShardedCache};
+use crate::proto::format_spans;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use websyn_core::{EntityMatcher, MatchScratch, MatchSpan};
 use websyn_text::normalized;
+
+/// One cached resolution: the spans and their serialized response
+/// line, produced together on the filling miss.
+type CachedResult = (Arc<Vec<MatchSpan>>, Arc<str>);
 
 /// Cache sizing for an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +61,7 @@ impl Default for EngineConfig {
 #[derive(Debug)]
 pub struct Engine {
     matcher: RwLock<Arc<EntityMatcher>>,
-    cache: ShardedCache<Arc<Vec<MatchSpan>>>,
+    cache: ShardedCache<CachedResult>,
     swaps: AtomicU64,
 }
 
@@ -105,11 +115,37 @@ impl Engine {
         self.resolve_batch(std::slice::from_ref(&query)).remove(0)
     }
 
+    /// Resolves one raw query to its serialized response line (see
+    /// [`crate::proto::format_spans`]): on a cache hit this is a pure
+    /// lookup — the line was rendered when the entry was filled.
+    pub fn resolve_line(&self, query: &str) -> Arc<str> {
+        self.resolve_line_batch(std::slice::from_ref(&query))
+            .remove(0)
+    }
+
     /// Resolves a batch of raw queries in order. Cache misses within
     /// the batch share one [`MatchScratch`], so a mention that recurs
     /// across the batch pays for fuzzy verification once even before it
     /// reaches the cache.
     pub fn resolve_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Arc<Vec<MatchSpan>>> {
+        self.resolve_cached_batch(queries)
+            .into_iter()
+            .map(|(spans, _)| spans)
+            .collect()
+    }
+
+    /// [`Engine::resolve_batch`], returning the serialized response
+    /// line of each query — the worker-loop entry point: a hit costs no
+    /// serialization at all.
+    pub fn resolve_line_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Arc<str>> {
+        self.resolve_cached_batch(queries)
+            .into_iter()
+            .map(|(_, line)| line)
+            .collect()
+    }
+
+    /// The shared resolution core over (spans, serialized line) pairs.
+    fn resolve_cached_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<CachedResult> {
         let (matcher, generation) = self.snapshot();
         let mut scratch = MatchScratch::new();
         queries
@@ -125,9 +161,10 @@ impl Engine {
                     return hit;
                 }
                 let spans = Arc::new(matcher.segment_normalized_with(&normalized, &mut scratch));
-                self.cache
-                    .insert_at(generation, &normalized, Arc::clone(&spans));
-                spans
+                let line: Arc<str> = Arc::from(format_spans(&spans).as_str());
+                let entry = (spans, line);
+                self.cache.insert_at(generation, &normalized, entry.clone());
+                entry
             })
             .collect()
     }
@@ -214,6 +251,38 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].entity, EntityId::new(42));
         assert_eq!(*spans, new.segment("indy 4"));
+    }
+
+    #[test]
+    fn cached_response_line_is_byte_identical() {
+        let e = small_engine();
+        let m = e.matcher();
+        for query in [
+            "Indy 4 near san fran",
+            "cheapest cannon eos 350d deals",
+            "nothing to see",
+            "",
+        ] {
+            let golden = format_spans(&m.segment(query));
+            let cold = e.resolve_line(query);
+            let warm = e.resolve_line(query);
+            assert_eq!(&*cold, golden, "{query:?} cold line");
+            assert_eq!(&*warm, golden, "{query:?} warm line");
+            // The warm hit is the same allocation the miss filled — a
+            // pure lookup-and-write, not a re-serialization.
+            assert!(Arc::ptr_eq(&cold, &warm), "{query:?} hit must share");
+        }
+        // Span and line views of the same entry stay coherent after a
+        // swap too.
+        let new = Arc::new(EntityMatcher::from_pairs(vec![(
+            "indy 4",
+            EntityId::new(42),
+        )]));
+        e.swap_matcher(Arc::clone(&new));
+        assert_eq!(
+            &*e.resolve_line("indy 4"),
+            format_spans(&new.segment("indy 4"))
+        );
     }
 
     #[test]

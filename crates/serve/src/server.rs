@@ -6,14 +6,16 @@
 //! - an **accept thread** owns the listener and spawns one handler per
 //!   connection;
 //! - each **connection** runs a reader and a writer. The reader parses
-//!   lines and pushes [`Job`]s into the shared [`BoundedQueue`] —
+//!   lines and pushes jobs into the shared [`BoundedQueue`] —
 //!   clients may pipeline arbitrarily many requests without waiting.
 //!   The writer re-sequences responses (workers complete batches out
 //!   of order relative to other connections' batches) and writes them
 //!   back in request order;
 //! - a **worker pool** drains the queue in time/count-windowed batches
 //!   ([`BoundedQueue::pop_batch`]) and resolves each batch through
-//!   [`Engine::resolve_batch`]. The workers *are* the shards: each
+//!   [`Engine::resolve_line_batch`] — responses come back as the
+//!   cache's shared pre-serialized lines, so a hit writes without any
+//!   formatting work. The workers *are* the shards: each
 //!   processes its batch sequentially on its own core with one cache
 //!   pass and one private [`websyn_core::MatchScratch`] (the same
 //!   shared-nothing, memo-per-shard discipline as
@@ -29,8 +31,7 @@
 
 use crate::engine::Engine;
 use crate::proto::{
-    format_spans, format_stats, CONTROL_STATS, ERR_BUSY, ERR_LINE_TOO_LONG, ERR_SHUTDOWN,
-    ERR_UNKNOWN_CONTROL,
+    format_stats, CONTROL_STATS, ERR_BUSY, ERR_LINE_TOO_LONG, ERR_SHUTDOWN, ERR_UNKNOWN_CONTROL,
 };
 use crate::queue::{BoundedQueue, PushError};
 use std::cmp::Reverse;
@@ -95,7 +96,7 @@ impl Default for ServeConfig {
 struct Job {
     seq: u64,
     query: String,
-    reply: Sender<(u64, String)>,
+    reply: Sender<(u64, Arc<str>)>,
 }
 
 /// The serving front end. `start` is the only entry point; the running
@@ -275,11 +276,13 @@ fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServeConfig) 
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
     while queue.pop_batch(config.batch_max, config.batch_window, &mut batch) {
         let queries: Vec<&str> = batch.iter().map(|job| job.query.as_str()).collect();
-        let results = engine.resolve_batch(&queries);
-        for (job, spans) in batch.iter().zip(results) {
+        let results = engine.resolve_line_batch(&queries);
+        for (job, line) in batch.iter().zip(results) {
             // A send error means the connection died mid-flight; the
-            // result is simply dropped.
-            let _ = job.reply.send((job.seq, format_spans(&spans)));
+            // result is simply dropped. The line was serialized when
+            // the cache entry was filled — a hit sends a shared
+            // `Arc<str>` without touching `format_spans`.
+            let _ = job.reply.send((job.seq, line));
         }
     }
 }
@@ -297,7 +300,7 @@ fn handle_connection(
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     let read_half = stream.try_clone()?;
-    let (tx, rx) = std::sync::mpsc::channel::<(u64, String)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(u64, Arc<str>)>();
     std::thread::scope(|scope| {
         scope.spawn(|| reader_loop(read_half, engine, queue, shutdown, tx, config));
         let result = writer_loop(&stream, rx);
@@ -320,7 +323,7 @@ fn reader_loop(
     engine: &Engine,
     queue: &BoundedQueue<Job>,
     shutdown: &AtomicBool,
-    reply: Sender<(u64, String)>,
+    reply: Sender<(u64, Arc<str>)>,
     config: ServeConfig,
 ) {
     let mut reader = BufReader::new(read_half);
@@ -337,11 +340,13 @@ fn reader_loop(
     let handle = |raw: &[u8], seq: u64| -> bool {
         let decoded = String::from_utf8_lossy(raw);
         let request = decoded.trim_end_matches(['\n', '\r']);
-        let response = if request.starts_with('#') {
+        let response: Option<Arc<str>> = if request.starts_with('#') {
             // Control lines are answered inline, never queued.
             Some(match request {
-                CONTROL_STATS => format_stats(&engine.cache_stats(), engine.swaps()),
-                _ => ERR_UNKNOWN_CONTROL.to_string(),
+                CONTROL_STATS => {
+                    Arc::from(format_stats(&engine.cache_stats(), engine.swaps()).as_str())
+                }
+                _ => Arc::from(ERR_UNKNOWN_CONTROL),
             })
         } else {
             match queue.push(Job {
@@ -350,8 +355,8 @@ fn reader_loop(
                 reply: reply.clone(),
             }) {
                 Ok(()) => None,
-                Err(PushError::Full) => Some(ERR_BUSY.to_string()),
-                Err(PushError::Closed) => Some(ERR_SHUTDOWN.to_string()),
+                Err(PushError::Full) => Some(Arc::from(ERR_BUSY)),
+                Err(PushError::Closed) => Some(Arc::from(ERR_SHUTDOWN)),
             }
         };
         match response {
@@ -366,7 +371,7 @@ fn reader_loop(
         // below guarantees `line` never grows past cap + 1 bytes even
         // against a client streaming data with no newline.
         if line.len() > config.max_line_bytes {
-            let _ = reply.send((seq, ERR_LINE_TOO_LONG.to_string()));
+            let _ = reply.send((seq, Arc::from(ERR_LINE_TOO_LONG)));
             break;
         }
         let allowed = (config.max_line_bytes + 1 - line.len()) as u64;
@@ -421,9 +426,9 @@ fn reader_loop(
 /// Writes responses in request order: workers may answer out of order
 /// across batches, so responses park in a min-heap until their
 /// predecessor has been written.
-fn writer_loop(stream: &TcpStream, rx: Receiver<(u64, String)>) -> io::Result<()> {
+fn writer_loop(stream: &TcpStream, rx: Receiver<(u64, Arc<str>)>) -> io::Result<()> {
     let mut out = BufWriter::new(stream);
-    let mut pending: BinaryHeap<Reverse<(u64, String)>> = BinaryHeap::new();
+    let mut pending: BinaryHeap<Reverse<(u64, Arc<str>)>> = BinaryHeap::new();
     let mut next = 0u64;
     while let Ok(msg) = rx.recv() {
         pending.push(Reverse(msg));

@@ -54,6 +54,22 @@ pub trait CandidateSource {
     /// `out` (which the caller has cleared), ascending and deduplicated
     /// within this source's own output.
     fn propose(&self, query: &str, max_dist: usize, out: &mut Vec<u32>);
+
+    /// Whether a query of `n_tokens` tokens at edit budget `max_dist`
+    /// can produce a **within-budget** proposal even when none of its
+    /// tokens occurs verbatim in an indexed surface. Content-free and
+    /// transform generators (grams, phonetic keys, abbreviations)
+    /// conservatively say `true` for every shape; anchor-keyed
+    /// postings (the token-signature index) say `true` only where a
+    /// space-damage anchor can still verify. Resolvers use a `false`
+    /// across every applicable source to skip all-out-of-vocabulary
+    /// queries without any generation work — sound because such a
+    /// query's *resolution* is then provably empty (over-generated
+    /// proposals that cannot verify do not count).
+    fn proposes_unanchored(&self, n_tokens: usize, max_dist: usize) -> bool {
+        let _ = (n_tokens, max_dist);
+        true
+    }
 }
 
 /// Per-token Soundex blocking: surfaces sharing the query's phonetic

@@ -119,17 +119,84 @@ pub fn damerau_levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
 /// Shared banded dynamic program. Cells outside the `|i − j| ≤ k` band
 /// can never hold a value ≤ k, so only the band is computed; a row
 /// whose band minimum exceeds `k` abandons immediately.
+///
+/// This is the verification workhorse of the fuzzy hot path — every
+/// candidate a signature index proposes lands here — so all working
+/// storage (the char buffers and the three rolling rows) lives in
+/// thread-local scratch: a call allocates nothing once the scratch has
+/// grown to the longest string seen on the thread.
 fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
+    thread_local! {
+        #[allow(clippy::type_complexity)]
+        static SCRATCH: std::cell::RefCell<(
+            Vec<char>,
+            Vec<char>,
+            Vec<usize>,
+            Vec<usize>,
+            Vec<usize>,
+        )> = const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with_borrow_mut(|(av, bv, row0, row1, row2)| {
+        // ASCII fast path (every string the normalizer emits is a
+        // candidate): char length equals byte length, so the DP can run
+        // straight over the byte slices with no char collection at all.
+        if a.is_ascii() && b.is_ascii() {
+            return banded_core(
+                a.as_bytes(),
+                b.as_bytes(),
+                k,
+                transpositions,
+                row0,
+                row1,
+                row2,
+            );
+        }
+        av.clear();
+        av.extend(a.chars());
+        bv.clear();
+        bv.extend(b.chars());
+        banded_core(av, bv, k, transpositions, row0, row1, row2)
+    })
+}
+
+/// The banded DP over already-decoded symbol slices and caller-provided
+/// row scratch. Works on bytes (ASCII fast path) or chars alike.
+fn banded_core<T: Copy + Eq>(
+    av: &[T],
+    bv: &[T],
+    k: usize,
+    transpositions: bool,
+    row0: &mut Vec<usize>,
+    row1: &mut Vec<usize>,
+    row2: &mut Vec<usize>,
+) -> Option<usize> {
     // A sentinel "infinite" cost that survives `+ 1` without overflow.
     const INF: usize = usize::MAX / 2;
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
-    let (n, m) = (av.len(), bv.len());
-    if n.abs_diff(m) > k {
+    if av.len().abs_diff(bv.len()) > k {
         return None;
     }
+    // Strip the common prefix and suffix: edits only live in the
+    // differing middle, so the DP shrinks from O(len · k) to
+    // O(middle · k) — on verification workloads candidate and query
+    // share almost everything and the middle is a handful of symbols.
+    // (Safe for the OSA variant too: a transposition never pays across
+    // a boundary of equal symbols; the bounded-vs-full property tests
+    // pin this.)
+    let mut lo = 0usize;
+    while lo < av.len() && lo < bv.len() && av[lo] == bv[lo] {
+        lo += 1;
+    }
+    let (mut ae, mut be) = (av.len(), bv.len());
+    while ae > lo && be > lo && av[ae - 1] == bv[be - 1] {
+        ae -= 1;
+        be -= 1;
+    }
+    let (av, bv) = (&av[lo..ae], &bv[lo..be]);
+    let (n, m) = (av.len(), bv.len());
     if n == 0 || m == 0 {
-        return Some(n.max(m)); // length filter above guarantees ≤ k
+        // The survivor is pure insertions/deletions; its length equals
+        // the original length gap, already known to be ≤ k.
+        return Some(n.max(m));
     }
     if k == 0 {
         return (av == bv).then_some(0);
@@ -139,9 +206,12 @@ fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
     let k = k.min(n.max(m));
     // Rolling rows i-2 / i-1 / i, each two cells wider than `b` so the
     // band-edge guard writes below never go out of bounds.
-    let mut row0 = vec![INF; m + 2];
-    let mut row1 = vec![INF; m + 2];
-    let mut row2 = vec![INF; m + 2];
+    row0.clear();
+    row0.resize(m + 2, INF);
+    row1.clear();
+    row1.resize(m + 2, INF);
+    row2.clear();
+    row2.resize(m + 2, INF);
     for (j, cell) in row1.iter_mut().enumerate().take(m.min(k) + 1) {
         *cell = j;
     }
@@ -178,8 +248,8 @@ fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
             return None;
         }
         row2[hi + 1] = INF;
-        std::mem::swap(&mut row0, &mut row1);
-        std::mem::swap(&mut row1, &mut row2);
+        std::mem::swap(row0, row1);
+        std::mem::swap(row1, row2);
     }
     let d = row1[m];
     (d <= k).then_some(d)
@@ -430,6 +500,21 @@ mod proptests {
             a in "[a-z]{0,10}",
             b in "[a-z]{0,10}",
             k in 0usize..5,
+        ) {
+            let lev = levenshtein(&a, &b);
+            prop_assert_eq!(levenshtein_within(&a, &b, k), (lev <= k).then_some(lev));
+            let dam = damerau_levenshtein(&a, &b);
+            prop_assert_eq!(damerau_levenshtein_within(&a, &b, k), (dam <= k).then_some(dam));
+        }
+
+        /// A two-letter alphabet forces long shared affixes and
+        /// boundary-hugging transpositions — the adversarial régime for
+        /// the bounded kernel's common-affix stripping.
+        #[test]
+        fn bounded_agrees_with_full_dp_on_dense_alphabet(
+            a in "[ab]{0,12}",
+            b in "[ab]{0,12}",
+            k in 0usize..4,
         ) {
             let lev = levenshtein(&a, &b);
             prop_assert_eq!(levenshtein_within(&a, &b, k), (lev <= k).then_some(lev));

@@ -18,6 +18,9 @@
 //! - [`ngram_index`] — an inverted character n-gram signature index
 //!   with length/count filters, the candidate-generation half of fuzzy
 //!   dictionary lookup;
+//! - [`token_signature`] — a token-run signature index for multi-token
+//!   windows (length-band, token-count and aligned-offset filters),
+//!   the fast candidate generator on the segmenter's fuzzy hot path;
 //! - [`candidate`] — the [`CandidateSource`] trait every approximate
 //!   generator implements (n-gram, phonetic, abbreviation), so matchers
 //!   and spell correctors share one pluggable generation stage;
@@ -38,6 +41,7 @@ pub mod ngram_index;
 pub mod normalize;
 pub mod numerals;
 pub mod phonetic;
+pub mod token_signature;
 pub mod tokenize;
 pub mod typo;
 
@@ -52,5 +56,6 @@ pub use ngram_index::NgramIndex;
 pub use normalize::{normalize, normalized, NormalizeOptions};
 pub use numerals::{arabic_to_roman, arabic_to_words, roman_to_arabic, words_to_arabic};
 pub use phonetic::soundex;
+pub use token_signature::TokenSignatureIndex;
 pub use tokenize::{token_bounds, tokenize, Token, TokenKind};
 pub use typo::{double_middle_char, TypoModel};

@@ -142,7 +142,7 @@ impl NgramIndex {
     /// still passes generation. Callers that verify with a
     /// Damerau/OSA metric and cannot afford transposition misses (the
     /// spelling corrector) build with this; the plain form probes
-    /// fewer lists and matches the PR-2 matcher behaviour bit for bit.
+    /// fewer lists, as the matcher's chain always has.
     pub fn with_transpositions(mut self) -> Self {
         self.per_edit_grams = self.n + 1;
         self
@@ -195,10 +195,11 @@ impl NgramIndex {
         // exact dictionary, so the gram buffers are thread-local
         // scratch rather than per-call allocations.
         thread_local! {
-            static SCRATCH: std::cell::RefCell<(Vec<char>, Vec<u64>)> =
-                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            #[allow(clippy::type_complexity)]
+            static SCRATCH: std::cell::RefCell<(Vec<char>, Vec<u64>, Vec<(u32, u64)>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
         }
-        SCRATCH.with_borrow_mut(|(buf, grams)| {
+        SCRATCH.with_borrow_mut(|(buf, grams, ranked)| {
             grams.clear();
             for_each_gram(query, self.n, buf, |gram| grams.push(gram));
             grams.sort_unstable();
@@ -214,18 +215,27 @@ impl NgramIndex {
             // posting lists; a gram absent from the index is rarest of
             // all). This is the segmenter's hottest loop: only the probed
             // lists are scanned, and the length filter keeps far-length
-            // surfaces out of the union.
+            // surfaces out of the union. Selecting the rarest grams is a
+            // partial selection over (list length, gram) pairs in reused
+            // scratch — no allocation, no full sort.
             let probe_count = (max_dist * self.per_edit_grams + 1).min(grams.len());
-            let mut lists: Vec<&[u32]> = grams
-                .iter()
-                .map(|g| self.postings.get(g).map_or(&[][..], |ids| ids.as_slice()))
-                .collect();
-            if lists.len() > probe_count {
-                lists.sort_unstable_by_key(|ids| ids.len());
-                lists.truncate(probe_count);
+            ranked.clear();
+            ranked.extend(grams.iter().map(|&g| {
+                let len = self.postings.get(&g).map_or(0, |ids| ids.len()) as u32;
+                (len, g)
+            }));
+            if ranked.len() > probe_count {
+                ranked.select_nth_unstable(probe_count - 1);
+                ranked.truncate(probe_count);
             }
             let start = out.len();
-            for ids in lists {
+            for &(len, gram) in ranked.iter() {
+                if len == 0 {
+                    continue;
+                }
+                let Some(ids) = self.postings.get(&gram) else {
+                    continue;
+                };
                 for &id in ids {
                     if self.lengths[id as usize].abs_diff(q_len) <= max_dist as u32 {
                         out.push(id);

@@ -1,19 +1,27 @@
-//! Equivalence of the compiled token-ID segmenter with the PR-2
-//! String-keyed segmenter.
+//! Equivalence of the compiled token-ID segmenter with its reference
+//! implementations.
 //!
-//! The PR-3 refactor replaced the matcher's `String → EntityId` hash
-//! map (one `join(" ")` + string hash per window) with a compiled
-//! token-ID dictionary probed by integer-slice binary search. The
-//! refactor must be invisible: this file carries a faithful replica of
-//! the PR-2 implementation and checks — on random dictionaries and
-//! random queries, over both the exact and fuzzy paths — that the two
-//! segmenters produce identical `MatchSpan` streams, span for span and
-//! byte for byte.
+//! Two generations of invariants live here:
+//!
+//! - **PR-3 vs PR-2**: the compiled token-ID dictionary (integer-slice
+//!   probes) must reproduce the PR-2 String-keyed segmenter span for
+//!   span. The fuzzy variant of that check pins
+//!   `FuzzyConfig::token_signature = false`, because it replicates the
+//!   PR-2 n-gram-only candidate chain.
+//! - **PR-5 pruned vs unpruned**: the production fuzzy path now prunes
+//!   windows through `CompiledDict::can_reach` and generates
+//!   multi-token candidates from the token-run signature index. The
+//!   pruning and the fast-path plumbing (single exact descent per
+//!   position, window memoization, mapped-token resolution) must be
+//!   invisible: a faithful *unpruned* replica of the same candidate
+//!   chain — plain per-window loop, no reachability tables, no memo —
+//!   must produce byte-identical `MatchSpan` streams on random
+//!   dictionaries and typo'd queries.
 
 use proptest::prelude::*;
 use websyn::common::{EntityId, FxHashMap, FxHashSet};
 use websyn::core::{EntityMatcher, FuzzyConfig, MatchSpan};
-use websyn::text::{normalize, NgramIndex};
+use websyn::text::{normalize, NgramIndex, TokenSignatureIndex};
 
 /// A span projected to plain data, so reference and compiled spans
 /// compare without sharing types.
@@ -34,23 +42,40 @@ fn flatten(spans: &[MatchSpan]) -> Vec<FlatSpan> {
         .collect()
 }
 
-/// The PR-2 fuzzy side: sorted surfaces + n-gram candidate index,
-/// verified with the bounded metric. Copied, not imported — the point
-/// is to pin the old behaviour.
+/// The reference fuzzy side: sorted surfaces + the candidate chain the
+/// config selects, verified with the bounded metric, with **no**
+/// window pruning or memoization. With `token_signature` off this is
+/// the PR-2 n-gram pipeline verbatim; with it on it is the faithful
+/// unpruned replica of the PR-5 chain (token-run signatures for
+/// multi-token queries, n-grams for single tokens). Copied, not
+/// imported — the point is to pin behaviour independently.
 struct ReferenceFuzzy {
     config: FuzzyConfig,
     surfaces: Vec<(String, EntityId)>,
     index: NgramIndex,
+    signature: Option<TokenSignatureIndex>,
+    /// Every token of every surface — "out of vocabulary" below means
+    /// absent from this set.
+    vocabulary: FxHashSet<String>,
 }
 
 impl ReferenceFuzzy {
     fn build(mut pairs: Vec<(String, EntityId)>, config: FuzzyConfig) -> Self {
         pairs.sort_unstable();
         let index = NgramIndex::build(pairs.iter().map(|(s, _)| s.as_str()), config.gram_size);
+        let signature = config
+            .token_signature
+            .then(|| TokenSignatureIndex::build(pairs.iter().map(|(s, _)| s.as_str())));
+        let vocabulary = pairs
+            .iter()
+            .flat_map(|(s, _)| s.split(' ').map(str::to_string))
+            .collect();
         Self {
             config,
             surfaces: pairs,
             index,
+            signature,
+            vocabulary,
         }
     }
 
@@ -60,9 +85,29 @@ impl ReferenceFuzzy {
         if budget == 0 {
             return None;
         }
+        let tokens = normalized.split(' ').filter(|t| !t.is_empty()).count();
+        let candidates = match &self.signature {
+            Some(signature) if tokens >= 2 => {
+                let mut out = Vec::new();
+                signature.candidates_into(normalized, budget, &mut out);
+                // Two-token fallback: when no intact run anchors, both
+                // tokens are out of vocabulary and the full two-edit
+                // budget is available, the char-gram index backstops
+                // (mirrors the production chain's fallback entry).
+                if out.is_empty()
+                    && tokens == 2
+                    && budget >= 2
+                    && normalized.split(' ').all(|t| !self.vocabulary.contains(t))
+                {
+                    self.index.candidates_into(normalized, budget, &mut out);
+                }
+                out
+            }
+            _ => self.index.candidates(normalized, budget),
+        };
         let mut best: Option<(String, EntityId, usize)> = None;
         let mut contested = false;
-        for id in self.index.candidates(normalized, budget) {
+        for id in candidates {
             let (surface, entity) = &self.surfaces[id as usize];
             let allowed = budget.min(self.config.max_distance_for(self.index.surface_len(id)));
             if allowed == 0 {
@@ -233,8 +278,11 @@ proptest! {
         }
     }
 
-    /// Fuzzy path: identical span streams (including distances and the
-    /// ambiguity-drop rule) with the default fuzzy config attached.
+    /// PR-2 fuzzy parity: identical span streams (including distances
+    /// and the ambiguity-drop rule) on the n-gram-only chain — the
+    /// PR-2 reference predates the token-signature index, so the
+    /// compiled matcher pins `token_signature: false` to compare like
+    /// with like.
     #[test]
     fn fuzzy_segmenter_matches_reference(
         pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 1..14),
@@ -244,7 +292,10 @@ proptest! {
             .into_iter()
             .map(|(s, e)| (s, EntityId::new(e)))
             .collect();
-        let config = FuzzyConfig::default();
+        let config = FuzzyConfig {
+            token_signature: false,
+            ..FuzzyConfig::default()
+        };
         let reference = ReferenceMatcher::from_pairs(&pairs, Some(config.clone()));
         let compiled = EntityMatcher::from_pairs(pairs.clone()).with_fuzzy(config);
         let query = compose_query(&pairs, &segments);
@@ -266,6 +317,38 @@ proptest! {
                     new.map(|h| h.surface().to_string()), old, exact
                 );
             }
+        }
+    }
+
+    /// PR-5 pruned ≡ unpruned: the production fuzzy path (window
+    /// pruning through the dictionary's reachability tables, one exact
+    /// descent per position, token-signature generation for
+    /// multi-token windows, window memoization) must return
+    /// byte-identical spans to the plain unpruned per-window replica
+    /// of the same candidate chain, across random dictionaries and
+    /// typo'd queries — pruning may only skip work, never change a
+    /// result.
+    #[test]
+    fn pruned_token_signature_path_matches_unpruned_reference(
+        pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 1..14),
+        segments in collection::vec((0usize..64, 0u64..1_000_000_000), 1..5),
+    ) {
+        let pairs: Vec<(String, EntityId)> = pairs
+            .into_iter()
+            .map(|(s, e)| (s, EntityId::new(e)))
+            .collect();
+        let config = FuzzyConfig::default();
+        prop_assert!(config.token_signature, "default must exercise the new chain");
+        let reference = ReferenceMatcher::from_pairs(&pairs, Some(config.clone()));
+        let compiled = EntityMatcher::from_pairs(pairs.clone()).with_fuzzy(config);
+        let query = compose_query(&pairs, &segments);
+        prop_assert_eq!(flatten(&compiled.segment(&query)), reference.segment(&query));
+        // The memoized batch path agrees too (scratch is invisible).
+        let batched = compiled.match_batch(std::slice::from_ref(&query), 1);
+        prop_assert_eq!(flatten(&batched[0]), reference.segment(&query));
+        // Dictionary surfaces themselves still segment identically.
+        for (s, _) in &pairs {
+            prop_assert_eq!(flatten(&compiled.segment(s)), reference.segment(s));
         }
     }
 
