@@ -23,10 +23,14 @@
 //!   from a dev machine, so generous absolute floors (≥ 3× headroom)
 //!   catch catastrophic regressions without tripping on CI hardware.
 //!
-//! For the serve artifact the gate also enforces the serving-path
-//! invariants: latency percentiles must be ordered (p50 ≤ p95 ≤ p99),
-//! the Zipfian cache hit rate must stay above 50%, and no response may
-//! have diverged from the golden segmentation.
+//! For the serve artifact the gate enforces the serving-path
+//! invariants on *both* protocol sections — the line protocol at the
+//! top level and HTTP/1.1 under `"http"`: latency percentiles must be
+//! ordered (p50 ≤ p95 ≤ p99), the Zipfian cache hit rate must stay
+//! above 50%, and no response may have diverged from the golden
+//! segmentation. The HTTP section is mandatory (dropping it fails CI)
+//! and full-mode artifacts must clear an absolute 30k qps HTTP replay
+//! floor.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin bench_check`
 //! (reads the workspace-root `BENCH_matcher.json` / `BENCH_serve.json`,
@@ -80,9 +84,56 @@ fn number_value(line: &str, key: &str) -> Option<f64> {
     line[start..end].parse().ok()
 }
 
-/// Validates the serve artifact: key presence, positive throughput,
-/// ordered latency percentiles, the >50% Zipfian cache-hit floor, and
-/// zero response mismatches.
+/// Absolute HTTP replay floor, enforced only on `"mode": "full"`
+/// artifacts: the committed run clears it with ≥ 2× headroom, so a
+/// front end that burns the throughput budget on framing fails CI.
+const HTTP_QPS_FLOOR: f64 = 30_000.0;
+
+/// Validates one protocol section of the serve artifact: positive
+/// throughput, ordered latency percentiles, the >50% Zipfian
+/// cache-hit floor, and zero response mismatches. Sections are
+/// line-oriented like the rest of the artifact, so first-occurrence
+/// key lookup inside the section slice is unambiguous.
+fn check_serve_section(section: &str, label: &str) -> Result<f64, String> {
+    let number = |key: &str| -> Result<f64, String> {
+        number_value(section, key).ok_or_else(|| format!("[{label}] unreadable \"{key}\""))
+    };
+    let throughput = number("throughput_qps")?;
+    if throughput <= 0.0 {
+        return Err(format!(
+            "[{label}] throughput_qps must be positive, got {throughput}"
+        ));
+    }
+    let (p50, p95, p99) = (number("p50")?, number("p95")?, number("p99")?);
+    if p50 <= 0.0 {
+        return Err(format!("[{label}] p50 must be positive, got {p50}"));
+    }
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "[{label}] latency percentiles must be ordered, got p50={p50} p95={p95} p99={p99}"
+        ));
+    }
+    let hit_rate = number("cache_hit_rate")?;
+    if !(hit_rate > 0.5 && hit_rate <= 1.0) {
+        return Err(format!(
+            "[{label}] cache_hit_rate must be in (0.5, 1.0] on the Zipfian log, got {hit_rate}"
+        ));
+    }
+    let mismatches = number("response_mismatches")?;
+    if mismatches != 0.0 {
+        return Err(format!(
+            "[{label}] response_mismatches must be 0 (cached == uncached), got {mismatches}"
+        ));
+    }
+    // Informative but mandatory: every section reports its evictions.
+    number("cache_evictions")?;
+    Ok(throughput)
+}
+
+/// Validates the serve artifact: workload keys, then the line-protocol
+/// section (top level) and the HTTP section (under `"http"`, last in
+/// the artifact) through the same per-section gates. A missing HTTP
+/// section fails — the front end must keep publishing both transports.
 fn check_serve(content: &str) -> Result<(), String> {
     for key in [
         "\"bench\": \"serve\"",
@@ -107,32 +158,17 @@ fn check_serve(content: &str) -> Result<(), String> {
     if !matches!(mode, "full" | "smoke") {
         return Err(format!("mode must be full|smoke, got {mode:?}"));
     }
-    let number = |key: &str| -> Result<f64, String> {
-        number_value(content, key).ok_or_else(|| format!("unreadable \"{key}\""))
-    };
-    let throughput = number("throughput_qps")?;
-    if throughput <= 0.0 {
-        return Err(format!("throughput_qps must be positive, got {throughput}"));
-    }
-    let (p50, p95, p99) = (number("p50")?, number("p95")?, number("p99")?);
-    if p50 <= 0.0 {
-        return Err(format!("p50 must be positive, got {p50}"));
-    }
-    if !(p50 <= p95 && p95 <= p99) {
+    // The emitter writes line-protocol values at the top level and the
+    // HTTP object last, so splitting at the "http" key yields two
+    // slices each containing one protocol's values.
+    let http_at = content
+        .find("\"http\":")
+        .ok_or("missing key \"http\": (HTTP section dropped from the serve artifact)")?;
+    check_serve_section(&content[..http_at], "line")?;
+    let http_qps = check_serve_section(&content[http_at..], "http")?;
+    if mode == "full" && http_qps < HTTP_QPS_FLOOR {
         return Err(format!(
-            "latency percentiles must be ordered, got p50={p50} p95={p95} p99={p99}"
-        ));
-    }
-    let hit_rate = number("cache_hit_rate")?;
-    if !(hit_rate > 0.5 && hit_rate <= 1.0) {
-        return Err(format!(
-            "cache_hit_rate must be in (0.5, 1.0] on the Zipfian log, got {hit_rate}"
-        ));
-    }
-    let mismatches = number("response_mismatches")?;
-    if mismatches != 0.0 {
-        return Err(format!(
-            "response_mismatches must be 0 (cached == uncached), got {mismatches}"
+            "PERF REGRESSION: [http] replay at {http_qps:.0} qps, committed floor {HTTP_QPS_FLOOR:.0}"
         ));
     }
     Ok(())
@@ -392,7 +428,7 @@ mod tests {
     }
 
     fn valid_serve() -> String {
-        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0\n}\n"
+        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0,\n  \"http\": {\n    \"throughput_qps\": 48000,\n    \"latency_us\": {\"p50\": 130.0, \"p95\": 360.5, \"p99\": 710.1, \"max\": 1300.0},\n    \"cache_hit_rate\": 0.9100,\n    \"cache_evictions\": 1,\n    \"response_mismatches\": 0\n  }\n}\n"
             .to_string()
     }
 
@@ -410,8 +446,11 @@ mod tests {
             .contains("cache_hit_rate"));
         let unordered = valid_serve().replace("\"p95\": 350.5", "\"p95\": 3500.5");
         assert!(check_serve(&unordered).unwrap_err().contains("ordered"));
-        let mismatch =
-            valid_serve().replace("\"response_mismatches\": 0", "\"response_mismatches\": 3");
+        let mismatch = valid_serve().replacen(
+            "\"response_mismatches\": 0,",
+            "\"response_mismatches\": 3,",
+            1,
+        );
         assert!(check_serve(&mismatch)
             .unwrap_err()
             .contains("response_mismatches"));
@@ -424,11 +463,49 @@ mod tests {
         let missing_evictions = valid_serve().replace("  \"cache_evictions\": 2,\n", "");
         assert!(check_serve(&missing_evictions)
             .unwrap_err()
-            .contains("missing key"));
+            .contains("cache_evictions"));
         let badmode = valid_serve().replace("\"mode\": \"smoke\"", "\"mode\": \"partial\"");
         assert!(check_serve(&badmode).unwrap_err().contains("mode"));
         let zero_tp = valid_serve().replace("\"throughput_qps\": 50000", "\"throughput_qps\": 0");
         assert!(check_serve(&zero_tp).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn serve_gate_covers_the_http_section() {
+        // Dropping the whole HTTP object fails — the front end must
+        // keep publishing both transports.
+        let gone = match valid_serve().find(",\n  \"http\": {") {
+            Some(at) => format!("{}\n}}\n", &valid_serve()[..at]),
+            None => panic!("fixture lost its http section"),
+        };
+        assert!(check_serve(&gone).unwrap_err().contains("\"http\""));
+        // Bad values inside the HTTP section are caught with the
+        // section label even when the line section is healthy.
+        let http_mismatch = valid_serve().replace(
+            "    \"response_mismatches\": 0",
+            "    \"response_mismatches\": 7",
+        );
+        let err = check_serve(&http_mismatch).unwrap_err();
+        assert!(err.contains("[http]") && err.contains("response_mismatches"));
+        let http_low_hit =
+            valid_serve().replace("\"cache_hit_rate\": 0.9100", "\"cache_hit_rate\": 0.2");
+        assert!(check_serve(&http_low_hit).unwrap_err().contains("[http]"));
+    }
+
+    #[test]
+    fn http_absolute_floor_gates_full_mode_only() {
+        let slow = valid_serve().replace("\"throughput_qps\": 48000", "\"throughput_qps\": 4800");
+        // Below the 30k floor: fine in smoke mode, rejected in full.
+        assert!(check_serve(&slow).is_ok());
+        let slow_full = slow.replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert!(check_serve(&slow_full)
+            .unwrap_err()
+            .contains("PERF REGRESSION"));
+        // At the floor, full mode passes.
+        let fast_full = valid_serve()
+            .replace("\"mode\": \"smoke\"", "\"mode\": \"full\"")
+            .replace("\"throughput_qps\": 48000", "\"throughput_qps\": 30000");
+        assert_eq!(check_serve(&fast_full), Ok(()));
     }
 
     #[test]

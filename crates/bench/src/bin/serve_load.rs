@@ -1,9 +1,12 @@
-//! Zipfian load generator for the serving front end.
+//! Zipfian load generator for the serving front end — both transports.
 //!
-//! Replays a synthetic web-query log against a live `websyn-serve`
-//! instance (started in-process on an ephemeral port, but exercised
+//! Replays a synthetic web-query log against live `websyn-serve`
+//! instances (started in-process on ephemeral ports, but exercised
 //! through real TCP sockets) and reports what a serving benchmark must
-//! report: **tail latency**, not just throughput.
+//! report: **tail latency**, not just throughput. One run replays the
+//! same log twice — once over the line protocol, once over HTTP/1.1 —
+//! against fresh engines, so the two sections of the artifact are
+//! directly comparable.
 //!
 //! The workload models what ROADMAP calls the serving reality: query
 //! logs are Zipfian, so a small head of distinct queries carries most
@@ -12,21 +15,24 @@
 //! on every cache miss; the result cache in front of it is what keeps
 //! the tail survivable.
 //!
-//! Every response is checked byte-for-byte against a golden
-//! `format_spans(matcher.segment(q))` computed up front — a cached
+//! Every response is checked byte-for-byte against a golden computed
+//! up front — `format_spans(matcher.segment(q))` for the line
+//! protocol, `spans_json(matcher.segment(q))` for HTTP — a cached
 //! response that differs from the uncached one, anywhere in the run,
 //! fails the binary.
 //!
 //! Emits `BENCH_serve.json` at the workspace root (override with the
-//! `BENCH_SERVE_JSON` env var); `bench_check` gates its schema and the
-//! cache-hit floor in CI.
+//! `BENCH_SERVE_JSON` env var): line-protocol numbers at the top
+//! level (schema-compatible with earlier PRs), HTTP numbers under
+//! `"http"`. `bench_check` gates both sections in CI.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin serve_load`
-//! Smoke (CI): `cargo run --release -p websyn-bench --bin serve_load -- --test`
+//! Smoke (CI): `... --bin serve_load -- --test`
+//! One protocol only (no artifact): `... -- --line` / `... -- --http`
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,7 +40,10 @@ use websyn_bench::synth_product_dictionary;
 use websyn_common::stats::percentile_sorted;
 use websyn_common::{SeedSequence, Zipf};
 use websyn_core::{EntityMatcher, FuzzyConfig};
-use websyn_serve::{format_spans, Engine, EngineConfig, ServeConfig, Server};
+use websyn_serve::http::{percent_encode, read_response, spans_json};
+use websyn_serve::{
+    format_spans, Engine, HttpProtocol, LineProtocol, Protocol, Server, ServerConfig,
+};
 use websyn_text::double_middle_char;
 
 /// Workload shape; `smoke` shrinks everything for CI.
@@ -107,11 +116,24 @@ fn query_pool(dictionary: &[(String, websyn_common::EntityId)], distinct: usize)
         .collect()
 }
 
-/// One client connection: replays `queries` closed-loop with a bounded
-/// pipeline, returning per-request latencies (µs) and the number of
-/// responses that did not match their golden line.
-fn run_client(
-    addr: std::net::SocketAddr,
+/// One measured replay: aggregate throughput plus the latency tail,
+/// cache counters and the golden-response gate.
+struct Report {
+    throughput: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+    hit_rate: f64,
+    evictions: u64,
+    mismatches: usize,
+}
+
+/// One line-protocol client connection: replays `queries` closed-loop
+/// with a bounded pipeline, returning per-request latencies (µs) and
+/// the number of responses that did not match their golden line.
+fn run_client_line(
+    addr: SocketAddr,
     queries: &[u32],
     pool: &[String],
     golden: &[String],
@@ -168,8 +190,180 @@ fn run_client(
     Ok((latencies, mismatches))
 }
 
+/// The HTTP twin of [`run_client_line`]: pipelined keep-alive GETs with
+/// pre-encoded request heads, responses checked against the golden
+/// JSON body.
+fn run_client_http(
+    addr: SocketAddr,
+    queries: &[u32],
+    requests: &[String],
+    golden: &[String],
+    depth: usize,
+) -> std::io::Result<(Vec<f64>, usize)> {
+    let conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut conn = conn;
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut mismatches = 0usize;
+    let mut in_flight: VecDeque<(u32, Instant)> = VecDeque::with_capacity(depth);
+    let mut drain_one = |reader: &mut BufReader<TcpStream>,
+                         in_flight: &mut VecDeque<(u32, Instant)>|
+     -> std::io::Result<()> {
+        let (rank, sent_at) = in_flight.pop_front().expect("drain with nothing in flight");
+        let (status, body) = read_response(reader)?;
+        latencies.push(sent_at.elapsed().as_secs_f64() * 1e6);
+        if status != 200 || body != golden[rank as usize] {
+            mismatches += 1;
+        }
+        Ok(())
+    };
+    for &rank in queries {
+        if in_flight.len() >= depth.max(1) {
+            drain_one(&mut reader, &mut in_flight)?;
+        }
+        conn.write_all(requests[rank as usize].as_bytes())?;
+        in_flight.push_back((rank, Instant::now()));
+    }
+    while !in_flight.is_empty() {
+        drain_one(&mut reader, &mut in_flight)?;
+    }
+    Ok((latencies, mismatches))
+}
+
+/// Replays the stream against a fresh engine + server speaking
+/// `protocol`, fanning the log out over `config.connections` pipelined
+/// client threads.
+fn run_replay(
+    protocol: Arc<dyn Protocol>,
+    matcher: &Arc<EntityMatcher>,
+    pool: &[String],
+    golden: &[String],
+    stream: &[u32],
+    config: &LoadConfig,
+) -> Report {
+    let http = protocol.name() == "http";
+    let engine = Arc::new(
+        Engine::builder(Arc::clone(matcher))
+            .cache_shards(8)
+            .cache_capacity(config.cache_capacity)
+            .build(),
+    );
+    let server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig::builder()
+            .workers(config.workers)
+            .queue_depth(4096)
+            .batch_max(config.batch_max)
+            .batch_window(config.batch_window)
+            .build(),
+        protocol,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Pre-encoded HTTP request heads, one per rank: the hot loop only
+    // writes bytes, exactly like the line client.
+    let requests: Vec<String> = if http {
+        pool.iter()
+            .map(|q| format!("GET /match?q={} HTTP/1.1\r\n\r\n", percent_encode(q)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let chunk = config.total_queries.div_ceil(config.connections);
+    let started = Instant::now();
+    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|slice| {
+                let requests = &requests;
+                let golden = &golden;
+                scope.spawn(move || {
+                    if http {
+                        run_client_http(addr, slice, requests, golden, config.pipeline_depth)
+                            .expect("client io")
+                    } else {
+                        run_client_line(addr, slice, pool, golden, config.pipeline_depth)
+                            .expect("client io")
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let stats = engine.cache_stats();
+    server.shutdown();
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    let mismatches: usize = results.iter().map(|(_, m)| m).sum();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latency"));
+    assert_eq!(latencies.len(), config.total_queries);
+    Report {
+        throughput: config.total_queries as f64 / wall.as_secs_f64(),
+        p50: percentile_sorted(&latencies, 0.50),
+        p95: percentile_sorted(&latencies, 0.95),
+        p99: percentile_sorted(&latencies, 0.99),
+        max: latencies[latencies.len() - 1],
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        mismatches,
+    }
+}
+
+fn print_report(name: &str, r: &Report, config: &LoadConfig, wall_queries: usize) {
+    println!(
+        "serve_load[{name}]: {:.0} qps over {} queries",
+        r.throughput, wall_queries
+    );
+    println!(
+        "serve_load[{name}]: latency µs p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+        r.p50, r.p95, r.p99, r.max
+    );
+    println!(
+        "serve_load[{name}]: cache hit rate {:.1}% ({} evictions, capacity {})",
+        r.hit_rate * 100.0,
+        r.evictions,
+        config.cache_capacity
+    );
+}
+
+/// Applies the in-binary gates to one protocol's report.
+fn gate(name: &str, r: &Report) -> Result<(), String> {
+    if r.mismatches > 0 {
+        return Err(format!(
+            "[{name}] {} responses differed from golden segmentation",
+            r.mismatches
+        ));
+    }
+    if r.hit_rate <= 0.5 {
+        return Err(format!(
+            "[{name}] cache hit rate {:.3} not above 0.5 on a Zipfian log",
+            r.hit_rate
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
+    let only_line = args.iter().any(|a| a == "--line");
+    let only_http = args.iter().any(|a| a == "--http");
+    let (run_line, run_http) = if only_line == only_http {
+        (true, true) // neither or both flags: replay both protocols
+    } else {
+        (only_line, only_http)
+    };
     let config = if smoke {
         LoadConfig::smoke()
     } else {
@@ -192,11 +386,10 @@ fn main() -> ExitCode {
     let matcher =
         Arc::new(EntityMatcher::from_pairs(dictionary.clone()).with_fuzzy(FuzzyConfig::default()));
     let pool = query_pool(&dictionary, config.distinct_queries);
-    let golden: Vec<String> = pool
-        .iter()
-        .map(|q| format_spans(&matcher.segment(q)))
-        .collect();
-    let fuzzy_resolving = golden
+    let spans: Vec<_> = pool.iter().map(|q| matcher.segment(q)).collect();
+    let golden_line: Vec<String> = spans.iter().map(|s| format_spans(s)).collect();
+    let golden_http: Vec<String> = spans.iter().map(|s| spans_json(s)).collect();
+    let fuzzy_resolving = golden_line
         .iter()
         .enumerate()
         .filter(|(rank, g)| rank % 4 == 3 && g.len() > 2)
@@ -213,118 +406,84 @@ fn main() -> ExitCode {
         .map(|_| zipf.sample(&mut rng) as u32)
         .collect();
 
-    // --- server ----------------------------------------------------
-    let engine = Arc::new(Engine::new(
-        Arc::clone(&matcher),
-        EngineConfig {
-            cache_shards: 8,
-            cache_capacity: config.cache_capacity,
-        },
-    ));
-    let server = Server::start(
-        Arc::clone(&engine),
-        "127.0.0.1:0",
-        ServeConfig {
-            workers: config.workers,
-            queue_depth: 4096,
-            batch_max: config.batch_max,
-            batch_window: config.batch_window,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.addr();
-
-    // --- replay ----------------------------------------------------
-    let chunk = config.total_queries.div_ceil(config.connections);
-    let started = Instant::now();
-    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stream
-            .chunks(chunk)
-            .map(|slice| {
-                let pool = &pool;
-                let golden = &golden;
-                scope.spawn(move || {
-                    run_client(addr, slice, pool, golden, config.pipeline_depth).expect("client io")
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client"))
-            .collect()
+    // --- replays ---------------------------------------------------
+    let line = run_line.then(|| {
+        let r = run_replay(
+            Arc::new(LineProtocol),
+            &matcher,
+            &pool,
+            &golden_line,
+            &stream,
+            &config,
+        );
+        print_report("line", &r, &config, config.total_queries);
+        r
     });
-    let wall = started.elapsed();
-    let stats = engine.cache_stats();
-    server.shutdown();
-
-    // --- report ----------------------------------------------------
-    let mut latencies: Vec<f64> = results
-        .iter()
-        .flat_map(|(l, _)| l.iter().copied())
-        .collect();
-    let mismatches: usize = results.iter().map(|(_, m)| m).sum();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latency"));
-    assert_eq!(latencies.len(), config.total_queries);
-    let p50 = percentile_sorted(&latencies, 0.50);
-    let p95 = percentile_sorted(&latencies, 0.95);
-    let p99 = percentile_sorted(&latencies, 0.99);
-    let max = latencies[latencies.len() - 1];
-    let throughput = config.total_queries as f64 / wall.as_secs_f64();
-    let hit_rate = stats.hit_rate();
-
-    println!(
-        "serve_load: {:.0} qps over {} queries in {:.2}s",
-        throughput,
-        config.total_queries,
-        wall.as_secs_f64()
-    );
-    println!("serve_load: latency µs p50={p50:.1} p95={p95:.1} p99={p99:.1} max={max:.1}");
-    println!(
-        "serve_load: cache hit rate {:.1}% ({} hits / {} misses, {} evictions)",
-        hit_rate * 100.0,
-        stats.hits,
-        stats.misses,
-        stats.evictions
-    );
-
-    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    let http = run_http.then(|| {
+        let r = run_replay(
+            Arc::new(HttpProtocol),
+            &matcher,
+            &pool,
+            &golden_http,
+            &stream,
+            &config,
+        );
+        print_report("http", &r, &config, config.total_queries);
+        r
     });
-    let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {}\n}}\n",
-        config.mode,
-        config.total_queries,
-        config.distinct_queries,
-        config.connections,
-        config.pipeline_depth,
-        config.workers,
-        config.batch_max,
-        config.batch_window.as_micros(),
-        config.cache_capacity,
-        config.zipf_s,
-        throughput,
-        p50,
-        p95,
-        p99,
-        max,
-        hit_rate,
-        stats.evictions,
-        mismatches,
-    );
-    std::fs::write(&path, &json).expect("write BENCH_serve.json");
-    println!("wrote {path}");
+
+    // --- artifact --------------------------------------------------
+    // Written only when both protocols ran: bench_check requires both
+    // sections, so a single-protocol run must not clobber the artifact.
+    if let (Some(line), Some(http)) = (&line, &http) {
+        let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+        });
+        // Line-protocol numbers stay at the top level (the schema of
+        // earlier PRs); the HTTP section comes last so line-oriented
+        // first-occurrence readers of the shared key names still see
+        // the line values.
+        let json = format!(
+            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {},\n  \"http\": {{\n    \"throughput_qps\": {:.0},\n    \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n    \"cache_hit_rate\": {:.4},\n    \"cache_evictions\": {},\n    \"response_mismatches\": {}\n  }}\n}}\n",
+            config.mode,
+            config.total_queries,
+            config.distinct_queries,
+            config.connections,
+            config.pipeline_depth,
+            config.workers,
+            config.batch_max,
+            config.batch_window.as_micros(),
+            config.cache_capacity,
+            config.zipf_s,
+            line.throughput,
+            line.p50,
+            line.p95,
+            line.p99,
+            line.max,
+            line.hit_rate,
+            line.evictions,
+            line.mismatches,
+            http.throughput,
+            http.p50,
+            http.p95,
+            http.p99,
+            http.max,
+            http.hit_rate,
+            http.evictions,
+            http.mismatches,
+        );
+        std::fs::write(&path, &json).expect("write BENCH_serve.json");
+        println!("wrote {path}");
+    }
 
     // --- gates -----------------------------------------------------
-    if mismatches > 0 {
-        eprintln!("serve_load: FAILED: {mismatches} responses differed from golden segmentation");
-        return ExitCode::FAILURE;
-    }
-    if hit_rate <= 0.5 {
-        eprintln!(
-            "serve_load: FAILED: cache hit rate {hit_rate:.3} not above 0.5 on a Zipfian log"
-        );
-        return ExitCode::FAILURE;
+    for (name, report) in [("line", &line), ("http", &http)] {
+        if let Some(r) = report {
+            if let Err(msg) = gate(name, r) {
+                eprintln!("serve_load: FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

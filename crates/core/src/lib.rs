@@ -48,7 +48,7 @@ pub use config::MinerConfig;
 pub use data::MiningContext;
 pub use dict::CompiledDict;
 pub use fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
-pub use matcher::{EntityMatcher, MatchScratch, MatchSpan};
+pub use matcher::{EntityMatcher, MatchScratch, MatchSpan, SegmentRequest};
 pub use measures::{score_candidate, CandidateScore};
 pub use metrics::{evaluate, EvalReport};
 pub use miner::{

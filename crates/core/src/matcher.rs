@@ -107,6 +107,76 @@ impl MatchSpan {
     }
 }
 
+/// One segmentation request: the query text, whether it is already
+/// normalized, and an optional cross-query [`MatchScratch`] — the
+/// single entry point behind every `segment*` convenience wrapper.
+///
+/// The four historical entry points (`segment`, `segment_with`,
+/// `segment_normalized`, `segment_normalized_with`) are a 2×2 grid of
+/// (raw | normalized) × (no scratch | scratch). `SegmentRequest` names
+/// those two axes explicitly, so call sites compose them instead of
+/// picking the right method name — and a future axis (say, a span
+/// limit) extends the request rather than doubling the method count.
+///
+/// # Examples
+///
+/// ```
+/// use websyn_common::EntityId;
+/// use websyn_core::{EntityMatcher, MatchScratch, SegmentRequest};
+///
+/// let m = EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(7))]);
+///
+/// // Raw query, one-shot:
+/// let spans = m.resolve(SegmentRequest::raw("Indy 4 near san fran"));
+/// assert_eq!(spans[0].entity, EntityId::new(7));
+///
+/// // Pre-normalized query with a batch scratch (the serving path):
+/// let mut scratch = MatchScratch::new();
+/// let spans = m.resolve(SegmentRequest::normalized("indy 4").scratch(&mut scratch));
+/// assert_eq!(spans.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SegmentRequest<'q, 's> {
+    query: &'q str,
+    /// Caller guarantees `query` is canonical ([`websyn_text::normalize()`]
+    /// output) — skips the normalization pass.
+    pre_normalized: bool,
+    scratch: Option<&'s mut MatchScratch>,
+}
+
+impl<'q, 's> SegmentRequest<'q, 's> {
+    /// A request over raw query text: normalization runs first.
+    pub fn raw(query: &'q str) -> Self {
+        Self {
+            query,
+            pre_normalized: false,
+            scratch: None,
+        }
+    }
+
+    /// A request over text the caller guarantees is already canonical
+    /// (the output of [`websyn_text::normalize()`]) — the serving-path
+    /// constructor: a result cache keyed by normalized query normalizes
+    /// once, probes the cache, and on a miss hands the *same* string
+    /// here without a second normalization pass. Canonical form is
+    /// asserted in debug builds.
+    pub fn normalized(query: &'q str) -> Self {
+        Self {
+            query,
+            pre_normalized: true,
+            scratch: None,
+        }
+    }
+
+    /// Attaches a cross-query [`MatchScratch`], so duplicate fuzzy
+    /// windows across a run of requests verify once. The memo is a
+    /// pure-function cache: output is byte-identical with or without it.
+    pub fn scratch(mut self, scratch: &'s mut MatchScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+}
+
 /// A compiled surface → entity dictionary with a query segmenter.
 #[derive(Debug, Clone, Default)]
 pub struct EntityMatcher {
@@ -340,7 +410,7 @@ impl EntityMatcher {
     pub fn segment(&self, query: &str) -> Vec<MatchSpan> {
         // No scratch: a single query rarely repeats a window, so the
         // memo would be pure insert overhead here.
-        self.segment_inner(&normalized(query), None)
+        self.resolve(SegmentRequest::raw(query))
     }
 
     /// [`EntityMatcher::segment`] with a caller-provided
@@ -349,26 +419,15 @@ impl EntityMatcher {
     /// scratch state the output is byte-identical to
     /// [`EntityMatcher::segment`].
     pub fn segment_with(&self, query: &str, scratch: &mut MatchScratch) -> Vec<MatchSpan> {
-        let normalized = normalized(query);
-        self.segment_inner(&normalized, Some(scratch))
+        self.resolve(SegmentRequest::raw(query).scratch(scratch))
     }
 
     /// Segments a query that is already in normalized form (the output
-    /// of [`websyn_text::normalize()`]) — the serving-path entry point: a
-    /// result cache keyed by normalized query normalizes once, probes
-    /// the cache, and on a miss hands the *same* string here without
-    /// paying for a second normalization pass.
-    ///
-    /// The caller guarantees `normalized` is canonical; in debug builds
-    /// this is asserted. Output is byte-identical to
+    /// of [`websyn_text::normalize()`]) — the serving-path entry point; see
+    /// [`SegmentRequest::normalized`]. Output is byte-identical to
     /// `segment(normalized)`.
     pub fn segment_normalized(&self, normalized: &str) -> Vec<MatchSpan> {
-        debug_assert_eq!(
-            normalize(normalized),
-            normalized,
-            "segment_normalized requires canonical input"
-        );
-        self.segment_inner(normalized, None)
+        self.resolve(SegmentRequest::normalized(normalized))
     }
 
     /// [`EntityMatcher::segment_normalized`] with a caller-provided
@@ -378,12 +437,26 @@ impl EntityMatcher {
         normalized: &str,
         scratch: &mut MatchScratch,
     ) -> Vec<MatchSpan> {
-        debug_assert_eq!(
-            normalize(normalized),
-            normalized,
-            "segment_normalized requires canonical input"
-        );
-        self.segment_inner(normalized, Some(scratch))
+        self.resolve(SegmentRequest::normalized(normalized).scratch(scratch))
+    }
+
+    /// Segments a query described by a [`SegmentRequest`] — the unified
+    /// entry point every `segment*` wrapper above delegates to.
+    ///
+    /// For a fixed matcher the result is a pure function of the query
+    /// text: normalization state and scratch attachment change only the
+    /// work done, never the spans produced.
+    pub fn resolve(&self, request: SegmentRequest<'_, '_>) -> Vec<MatchSpan> {
+        if request.pre_normalized {
+            debug_assert_eq!(
+                normalize(request.query),
+                request.query,
+                "SegmentRequest::normalized requires canonical input"
+            );
+            self.segment_inner(request.query, request.scratch)
+        } else {
+            self.segment_inner(&normalized(request.query), request.scratch)
+        }
     }
 
     /// The segmenter core over a normalized query. `scratch` carries

@@ -1,7 +1,9 @@
 //! The serving engine: a swappable matcher behind a sharded result
-//! cache.
+//! cache of per-protocol pre-rendered responses.
 //!
-//! [`Engine`] is the layer the network front end calls into. It owns
+//! [`Engine`] is the layer every network front end calls into — it is
+//! transport-agnostic, which is what lets one engine back a line
+//! server and an HTTP server at once. It owns
 //!
 //! - the current [`EntityMatcher`] as an `Arc` behind an `RwLock` —
 //!   readers clone the handle (no contention beyond the lock word),
@@ -9,34 +11,63 @@
 //!   deployment story for the immutable compiled dictionary: compile a
 //!   new dictionary off-line, swap the `Arc`, and the old one dies with
 //!   its last in-flight batch;
-//! - a [`ShardedCache`] of `normalized query → (Arc<Vec<MatchSpan>>,
-//!   Arc<str>)`: the spans *and* the serialized `OK …` response line
-//!   ([`crate::proto::format_spans`]), rendered once on the miss that
-//!   filled the entry. A protocol-level cache hit is therefore a pure
-//!   lookup-and-write — no `format_spans` walk, no `String`
-//!   allocation, just an `Arc` clone handed to the connection writer.
-//!   The cache is keyed *after* normalization, so "Indy 4", "indy 4"
-//!   and "INDY-4" share one entry, and a hit skips normalization's
-//!   allocation too (the `Cow` fast path) on the segmenter side.
+//! - a [`ShardedCache`] of `normalized query →` [`Rendered`]: the
+//!   spans *and* one pre-serialized response per wire format — the
+//!   line-protocol `OK …` line ([`crate::proto::format_spans`]) and
+//!   the complete HTTP/1.1 200 response ([`crate::http::spans_json`])
+//!   — all rendered once, on the miss that filled the entry. A
+//!   protocol-level cache hit is therefore a pure lookup-and-write for
+//!   *every* transport: no serializer walk, no `String` allocation,
+//!   just an `Arc` clone handed to the connection writer. The cache is
+//!   keyed *after* normalization, so "Indy 4", "indy 4" and "INDY-4"
+//!   share one entry, and a hit skips normalization's allocation too
+//!   (the `Cow` fast path) on the segmenter side.
 //!
 //! Cached and uncached paths return byte-identical results: the cache
-//! stores exactly what [`EntityMatcher::segment_normalized_with`]
-//! produced (and the line serialized from it), and generation-checked
-//! inserts (see [`ShardedCache::insert_at`]) make it impossible for a
-//! result computed against a retired dictionary to survive a swap.
+//! stores exactly what the matcher produced (and the renderings
+//! serialized from it), and generation-checked inserts (see
+//! [`ShardedCache::insert_at`]) make it impossible for a result
+//! computed against a retired dictionary to survive a swap.
 
 use crate::cache::{CacheStats, ShardedCache};
+use crate::http;
 use crate::proto::format_spans;
+use crate::protocol::Wire;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use websyn_core::{EntityMatcher, MatchScratch, MatchSpan};
+use websyn_core::{EntityMatcher, MatchScratch, MatchSpan, SegmentRequest};
 use websyn_text::normalized;
 
-/// One cached resolution: the spans and their serialized response
-/// line, produced together on the filling miss.
-type CachedResult = (Arc<Vec<MatchSpan>>, Arc<str>);
+/// One cached resolution: the spans plus the pre-rendered response in
+/// every wire format the server speaks, produced together on the
+/// filling miss. All fields are shared handles — cloning a `Rendered`
+/// costs three reference-count bumps.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// The segmentation result itself.
+    pub spans: Arc<Vec<MatchSpan>>,
+    /// The line-protocol response line (no terminator);
+    /// see [`crate::proto::format_spans`].
+    pub line: Arc<str>,
+    /// The complete HTTP/1.1 200 response — status line, headers and
+    /// JSON body; see [`crate::http::spans_json`].
+    pub http: Arc<str>,
+}
 
-/// Cache sizing for an [`Engine`].
+impl Rendered {
+    /// The pre-rendered response for `wire` — what a connection writer
+    /// puts on the socket (plus the protocol's terminator).
+    pub fn for_wire(&self, wire: Wire) -> Arc<str> {
+        match wire {
+            Wire::Line => Arc::clone(&self.line),
+            Wire::Http => Arc::clone(&self.http),
+        }
+    }
+}
+
+/// Cache sizing for an [`Engine`]. [`Engine::builder`] is the
+/// ergonomic way to set these; the struct remains public so sizing can
+/// be computed, stored and passed around as plain data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of independently locked cache shards. Size this at or
@@ -57,17 +88,93 @@ impl Default for EngineConfig {
     }
 }
 
-/// A matcher + result cache, shared by every connection and worker.
+/// Builder for [`Engine`] — validated knobs over positional arguments.
+///
+/// Starts from [`EngineConfig::default`]; [`EngineBuilder::build`]
+/// clamps every knob into its valid range (shards ≥ 1, capacity ≥
+/// shards so no shard is created empty) rather than failing, so a
+/// config assembled from untrusted flags still produces a working
+/// engine.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use websyn_common::EntityId;
+/// use websyn_core::EntityMatcher;
+/// use websyn_serve::Engine;
+///
+/// let matcher = Arc::new(EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(7))]));
+/// let engine = Engine::builder(matcher)
+///     .cache_shards(4)
+///     .cache_capacity(1024)
+///     .build();
+/// assert_eq!(engine.resolve("indy 4").len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    matcher: Arc<EntityMatcher>,
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Number of independently locked cache shards (clamped to ≥ 1 at
+    /// build time).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Total cached results across shards (clamped to ≥ `cache_shards`
+    /// at build time, so every shard holds at least one entry).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Applies the whole sizing struct at once.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validates the knobs (clamping them into range) and builds the
+    /// engine.
+    pub fn build(self) -> Engine {
+        let shards = self.config.cache_shards.max(1);
+        let capacity = self.config.cache_capacity.max(shards);
+        Engine::new(
+            self.matcher,
+            EngineConfig {
+                cache_shards: shards,
+                cache_capacity: capacity,
+            },
+        )
+    }
+}
+
+/// A matcher + result cache, shared by every connection and worker —
+/// and by every protocol front end serving the same dictionary.
 #[derive(Debug)]
 pub struct Engine {
     matcher: RwLock<Arc<EntityMatcher>>,
-    cache: ShardedCache<CachedResult>,
+    cache: ShardedCache<Rendered>,
     swaps: AtomicU64,
 }
 
 impl Engine {
+    /// Starts building an engine around `matcher` with validated,
+    /// defaulted knobs — the primary constructor.
+    pub fn builder(matcher: Arc<EntityMatcher>) -> EngineBuilder {
+        EngineBuilder {
+            matcher,
+            config: EngineConfig::default(),
+        }
+    }
+
     /// Creates an engine serving `matcher` with the given cache
-    /// sizing.
+    /// sizing. Prefer [`Engine::builder`]; this constructor trusts
+    /// `config` as-is (the cache still clamps internally).
     pub fn new(matcher: Arc<EntityMatcher>, config: EngineConfig) -> Self {
         Self {
             matcher: RwLock::new(matcher),
@@ -115,12 +222,13 @@ impl Engine {
         self.resolve_batch(std::slice::from_ref(&query)).remove(0)
     }
 
-    /// Resolves one raw query to its serialized response line (see
-    /// [`crate::proto::format_spans`]): on a cache hit this is a pure
-    /// lookup — the line was rendered when the entry was filled.
+    /// Resolves one raw query to its serialized line-protocol response
+    /// (see [`crate::proto::format_spans`]): on a cache hit this is a
+    /// pure lookup — the line was rendered when the entry was filled.
     pub fn resolve_line(&self, query: &str) -> Arc<str> {
-        self.resolve_line_batch(std::slice::from_ref(&query))
+        self.resolve_rendered_batch(std::slice::from_ref(&query))
             .remove(0)
+            .line
     }
 
     /// Resolves a batch of raw queries in order. Cache misses within
@@ -128,24 +236,25 @@ impl Engine {
     /// across the batch pays for fuzzy verification once even before it
     /// reaches the cache.
     pub fn resolve_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Arc<Vec<MatchSpan>>> {
-        self.resolve_cached_batch(queries)
+        self.resolve_rendered_batch(queries)
             .into_iter()
-            .map(|(spans, _)| spans)
+            .map(|r| r.spans)
             .collect()
     }
 
-    /// [`Engine::resolve_batch`], returning the serialized response
-    /// line of each query — the worker-loop entry point: a hit costs no
-    /// serialization at all.
+    /// [`Engine::resolve_batch`], returning the serialized
+    /// line-protocol response of each query.
     pub fn resolve_line_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Arc<str>> {
-        self.resolve_cached_batch(queries)
+        self.resolve_rendered_batch(queries)
             .into_iter()
-            .map(|(_, line)| line)
+            .map(|r| r.line)
             .collect()
     }
 
-    /// The shared resolution core over (spans, serialized line) pairs.
-    fn resolve_cached_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<CachedResult> {
+    /// The shared resolution core — the worker-loop entry point: every
+    /// query comes back with its spans and every per-protocol
+    /// rendering, so a hit costs no serialization on any transport.
+    pub fn resolve_rendered_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Rendered> {
         let (matcher, generation) = self.snapshot();
         let mut scratch = MatchScratch::new();
         queries
@@ -160,9 +269,14 @@ impl Engine {
                 if let Some(hit) = self.cache.get_at(generation, &normalized) {
                     return hit;
                 }
-                let spans = Arc::new(matcher.segment_normalized_with(&normalized, &mut scratch));
-                let line: Arc<str> = Arc::from(format_spans(&spans).as_str());
-                let entry = (spans, line);
+                let spans = Arc::new(
+                    matcher.resolve(SegmentRequest::normalized(&normalized).scratch(&mut scratch)),
+                );
+                let entry = Rendered {
+                    line: Arc::from(format_spans(&spans).as_str()),
+                    http: Arc::from(http::response(200, "OK", &http::spans_json(&spans)).as_str()),
+                    spans,
+                };
                 self.cache.insert_at(generation, &normalized, entry.clone());
                 entry
             })
@@ -193,13 +307,10 @@ mod tests {
     }
 
     fn small_engine() -> Engine {
-        Engine::new(
-            matcher(),
-            EngineConfig {
-                cache_shards: 2,
-                cache_capacity: 16,
-            },
-        )
+        Engine::builder(matcher())
+            .cache_shards(2)
+            .cache_capacity(16)
+            .build()
     }
 
     #[test]
@@ -233,6 +344,27 @@ mod tests {
     }
 
     #[test]
+    fn builder_clamps_degenerate_knobs() {
+        let e = Engine::builder(matcher())
+            .cache_shards(0)
+            .cache_capacity(0)
+            .build();
+        // Clamped to one shard holding at least one entry — a working
+        // (if tiny) cache, not a panic.
+        assert_eq!(e.resolve("indy 4").len(), 1);
+        assert_eq!(e.resolve("indy 4").len(), 1);
+        assert_eq!(e.cache_stats().hits, 1);
+        // The whole-config setter is equivalent to the field setters.
+        let e = Engine::builder(matcher())
+            .config(EngineConfig {
+                cache_shards: 2,
+                cache_capacity: 16,
+            })
+            .build();
+        assert_eq!(e.cache_stats().capacity, 16);
+    }
+
+    #[test]
     fn swap_invalidates_and_serves_the_new_dictionary() {
         let e = small_engine();
         // Warm the cache with the old dictionary.
@@ -254,7 +386,7 @@ mod tests {
     }
 
     #[test]
-    fn cached_response_line_is_byte_identical() {
+    fn cached_renderings_are_byte_identical_per_wire() {
         let e = small_engine();
         let m = e.matcher();
         for query in [
@@ -263,17 +395,22 @@ mod tests {
             "nothing to see",
             "",
         ] {
-            let golden = format_spans(&m.segment(query));
-            let cold = e.resolve_line(query);
-            let warm = e.resolve_line(query);
-            assert_eq!(&*cold, golden, "{query:?} cold line");
-            assert_eq!(&*warm, golden, "{query:?} warm line");
+            let golden_line = format_spans(&m.segment(query));
+            let golden_http = http::response(200, "OK", &http::spans_json(&m.segment(query)));
+            let cold = e.resolve_rendered_batch(&[query]).remove(0);
+            let warm = e.resolve_rendered_batch(&[query]).remove(0);
+            assert_eq!(&*cold.line, golden_line, "{query:?} cold line");
+            assert_eq!(&*cold.http, golden_http, "{query:?} cold http");
+            assert_eq!(&*warm.for_wire(Wire::Line), golden_line, "{query:?} warm");
+            assert_eq!(&*warm.for_wire(Wire::Http), golden_http, "{query:?} warm");
             // The warm hit is the same allocation the miss filled — a
-            // pure lookup-and-write, not a re-serialization.
-            assert!(Arc::ptr_eq(&cold, &warm), "{query:?} hit must share");
+            // pure lookup-and-write, not a re-serialization, on both
+            // wires.
+            assert!(Arc::ptr_eq(&cold.line, &warm.line), "{query:?} line share");
+            assert!(Arc::ptr_eq(&cold.http, &warm.http), "{query:?} http share");
         }
-        // Span and line views of the same entry stay coherent after a
-        // swap too.
+        // Span and rendering views of the same entry stay coherent
+        // after a swap too.
         let new = Arc::new(EntityMatcher::from_pairs(vec![(
             "indy 4",
             EntityId::new(42),
@@ -282,6 +419,10 @@ mod tests {
         assert_eq!(
             &*e.resolve_line("indy 4"),
             format_spans(&new.segment("indy 4"))
+        );
+        assert_eq!(
+            &*e.resolve_rendered_batch(&["indy 4"]).remove(0).http,
+            http::response(200, "OK", &http::spans_json(&new.segment("indy 4")))
         );
     }
 

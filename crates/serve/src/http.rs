@@ -1,0 +1,635 @@
+//! Std-only HTTP/1.1 front end: the wire format and its [`Protocol`]
+//! implementation.
+//!
+//! The HTTP transport serves the same engine, queue, worker pool and
+//! cache as the line protocol, but speaks a format every standard
+//! load-testing and routing tool understands (`curl`, `oha`, `wrk`,
+//! reverse proxies):
+//!
+//! ```text
+//! GET /match?q=<percent-encoded query>   → 200, JSON span response
+//! GET /stats                             → 200, JSON cache statistics
+//! ```
+//!
+//! The 200 response body for `/match` is
+//!
+//! ```json
+//! {"spans":[{"start":0,"end":2,"entity":7,"distance":0,"surface":"indy 4"}]}
+//! ```
+//!
+//! with `start`/`end` token indices into the *normalized* query,
+//! `entity` the raw entity id, `distance` the verified edit distance
+//! (0 = exact) and `surface` the dictionary surface the mention
+//! resolved to — field for field the line protocol's span tuple, and
+//! covered by the same byte-identical-response machinery: the JSON
+//! body is rendered once, on the cache miss that filled the entry
+//! ([`crate::Rendered`]).
+//!
+//! Error mapping (see [`Reject`]):
+//!
+//! | condition | line protocol | HTTP |
+//! |---|---|---|
+//! | queue full (backpressure) | `ERR busy` | `503` |
+//! | shutting down | `ERR shutting-down` | `503` |
+//! | request line over the cap | `ERR line-too-long` | `431` |
+//! | unparseable request | — | `400` |
+//! | unknown endpoint | `ERR unknown-control` | `404` |
+//! | unsupported method | — | `405` |
+//!
+//! Supported: persistent connections (HTTP/1.1 keep-alive is the
+//! default; `Connection: close` and HTTP/1.0 close after the
+//! response), pipelined GETs (responses are re-sequenced into request
+//! order by the shared connection writer), percent-decoding (`%xx` and
+//! `+` for space) of the `q` parameter. Deliberately out of scope:
+//! request bodies (a GET with `Content-Length`/`Transfer-Encoding` is
+//! answered `400` and the connection dropped, since the body would
+//! desynchronize request framing), chunked encoding, TLS, and
+//! multiplexed HTTP/2 — the serving stack stays std-only.
+//!
+//! Responses do not emit a `Connection` header: for HTTP/1.1 the
+//! absence means keep-alive, and a close-marked exchange is terminated
+//! by actually closing the socket after the response is flushed —
+//! `Content-Length` keeps the body unambiguous either way.
+
+use crate::cache::CacheStats;
+use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
+use std::io::{self, BufRead};
+use std::sync::Arc;
+use websyn_core::MatchSpan;
+
+/// Renders a complete HTTP/1.1 response: status line, headers, body.
+/// Every websyn response is `Content-Length`-framed JSON, so this is
+/// the only response constructor the protocol needs.
+pub fn response(status: u16, reason: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Escapes `s` into `out` as JSON string contents (without the
+/// surrounding quotes). Dictionary surfaces are normalized (lowercase
+/// word characters and single spaces) so the escapes never fire for
+/// them, but the renderer stays correct for any input.
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes a segmentation result as the `/match` JSON body. This is
+/// the HTTP counterpart of [`crate::proto::format_spans`] — the only
+/// JSON span serializer in the stack, so cached and uncached HTTP
+/// responses are byte-identical by construction.
+pub fn spans_json(spans: &[MatchSpan]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"start\":{},\"end\":{},\"entity\":{},\"distance\":{},\"surface\":\"",
+            s.start,
+            s.end,
+            s.entity.raw(),
+            s.distance
+        );
+        json_escape_into(&mut out, s.surface());
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes cache statistics as the `/stats` JSON body — the HTTP
+/// counterpart of [`crate::proto::format_stats`].
+pub fn stats_json(stats: &CacheStats, swaps: u64) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{}}}",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.entries,
+        stats.evictions,
+        swaps
+    )
+}
+
+/// Percent-decodes a query-string component: `+` is space, `%xx` is a
+/// byte, anything else passes through. Returns `None` on a truncated
+/// or non-hex escape (the request is malformed). Decoded bytes are
+/// interpreted as UTF-8, lossily — exactly like the line protocol's
+/// treatment of raw bytes.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let raw = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = raw.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Some(String::from_utf8_lossy(&out).into_owned())
+}
+
+/// Percent-encodes a string for use as a query-string value: unreserved
+/// characters (RFC 3986) pass through, space becomes `+`, everything
+/// else becomes `%XX`. The client-side inverse of [`percent_decode`] —
+/// used by the smoke test, the conformance tests and the load
+/// generator to put arbitrary queries on a request line.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => {
+                use std::fmt::Write;
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Reads one `Content-Length`-framed HTTP response off `reader` and
+/// returns `(status, body)` — a minimal std-only client, enough to
+/// drive this crate's own server (every websyn response is
+/// `Content-Length`-framed). Fails on a malformed status line, a
+/// missing/broken `Content-Length`, or a short read.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String)> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    let status: u16 = line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let header = line.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| bad("bad length"))?);
+            }
+        }
+    }
+    let length = content_length.ok_or_else(|| bad("missing content-length"))?;
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|body| (status, body))
+        .map_err(|_| bad("non-utf8 body"))
+}
+
+/// Upper bound on header lines per request head — far above anything a
+/// real client sends, low enough that a drip-feed of headers cannot
+/// hold a request open forever.
+const MAX_HEADER_LINES: usize = 100;
+
+/// The HTTP/1.1 transport, as a [`Protocol`] implementation. See the
+/// module docs for the endpoint map and error mapping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpProtocol;
+
+impl Protocol for HttpProtocol {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+
+    fn wire(&self) -> Wire {
+        Wire::Http
+    }
+
+    fn terminator(&self) -> &'static [u8] {
+        // Responses are self-framed by Content-Length.
+        b""
+    }
+
+    fn parser(&self) -> Box<dyn RequestParser> {
+        Box::new(HttpParser::default())
+    }
+
+    fn render_reject(&self, reject: Reject) -> Arc<str> {
+        let (status, reason, error) = match reject {
+            Reject::Busy => (503, "Service Unavailable", "busy"),
+            Reject::Shutdown => (503, "Service Unavailable", "shutting-down"),
+            Reject::TooLarge => (431, "Request Header Fields Too Large", "line-too-long"),
+            Reject::Malformed => (400, "Bad Request", "malformed"),
+            Reject::NotFound => (404, "Not Found", "not-found"),
+            Reject::Method => (405, "Method Not Allowed", "method-not-allowed"),
+        };
+        Arc::from(response(status, reason, &format!("{{\"error\":\"{error}\"}}")).as_str())
+    }
+
+    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str> {
+        Arc::from(response(200, "OK", &stats_json(stats, swaps)).as_str())
+    }
+}
+
+/// What the parser knows about the request head accumulated so far.
+#[derive(Default)]
+struct HttpParser {
+    /// The parsed request line (`None` until one arrives; leading
+    /// blank lines are tolerated per RFC 9112 §2.2).
+    target: Option<String>,
+    /// Headers seen so far.
+    header_lines: usize,
+    /// Close after responding (HTTP/1.0 default, or
+    /// `Connection: close`).
+    close: bool,
+    /// A reject decided mid-head (bad method, a body announced);
+    /// still answered only once the head ends, so framing holds.
+    bad: Option<Reject>,
+    /// A reject that also loses framing — answered immediately.
+    fatal: bool,
+}
+
+impl HttpParser {
+    fn reset(&mut self) -> Option<Request> {
+        let close = self.close;
+        let bad = self.bad;
+        let target = self.target.take();
+        *self = Self::default();
+        if let Some(reject) = bad {
+            return Some(Request::Reject {
+                reject,
+                // A body we will not read desynchronizes framing, so
+                // `bad` rejects close; pure method/endpoint errors
+                // kept framing and honor keep-alive.
+                close: close || reject == Reject::Malformed,
+            });
+        }
+        Some(route(&target?, close))
+    }
+
+    fn fatal(&mut self) -> Option<Request> {
+        self.fatal = true;
+        Some(Request::Reject {
+            reject: Reject::Malformed,
+            close: true,
+        })
+    }
+}
+
+/// Maps a request target onto the endpoint table.
+fn route(target: &str, close: bool) -> Request {
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/match" => {
+            let q = query_string.and_then(|qs| {
+                qs.split('&')
+                    .find_map(|pair| pair.strip_prefix("q="))
+                    .map(percent_decode)
+            });
+            match q {
+                Some(Some(query)) => Request::Query { query, close },
+                // `q` missing or with a broken escape: a client error,
+                // but framing is intact — keep the connection.
+                _ => Request::Reject {
+                    reject: Reject::Malformed,
+                    close,
+                },
+            }
+        }
+        "/stats" => Request::Stats { close },
+        _ => Request::Reject {
+            reject: Reject::NotFound,
+            close,
+        },
+    }
+}
+
+impl RequestParser for HttpParser {
+    fn on_line(&mut self, raw: &[u8]) -> Option<Request> {
+        if self.fatal {
+            // Framing is gone; the connection is being torn down.
+            return None;
+        }
+        let line = String::from_utf8_lossy(raw);
+        let line = line.trim_end_matches('\r');
+
+        if self.target.is_none() && self.bad.is_none() {
+            // Awaiting the request line; tolerate leading blank lines.
+            if line.is_empty() {
+                return None;
+            }
+            let mut parts = line.split(' ');
+            let (method, target, version) = (parts.next(), parts.next(), parts.next());
+            let (Some(method), Some(target), Some(version), None) =
+                (method, target, version, parts.next())
+            else {
+                return self.fatal();
+            };
+            self.close = match version {
+                "HTTP/1.1" => false,
+                "HTTP/1.0" => true,
+                _ => return self.fatal(),
+            };
+            if !target.starts_with('/') {
+                return self.fatal();
+            }
+            if method != "GET" {
+                self.bad = Some(Reject::Method);
+            }
+            self.target = Some(target.to_string());
+            return None;
+        }
+
+        if line.is_empty() {
+            // End of head: the request is complete.
+            return self.reset();
+        }
+
+        // A header line.
+        self.header_lines += 1;
+        if self.header_lines > MAX_HEADER_LINES {
+            return self.fatal();
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return self.fatal();
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => self.close = true,
+                        "keep-alive" => self.close = false,
+                        _ => {}
+                    }
+                }
+            }
+            // Any announced body would desynchronize GET framing: we
+            // would parse body bytes as the next request line. Refuse.
+            "content-length" if value != "0" => self.bad = Some(Reject::Malformed),
+            "transfer-encoding" => self.bad = Some(Reject::Malformed),
+            _ => {}
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websyn_common::EntityId;
+    use websyn_core::{EntityMatcher, FuzzyConfig};
+
+    fn feed(parser: &mut Box<dyn RequestParser>, lines: &[&str]) -> Vec<Request> {
+        lines
+            .iter()
+            .filter_map(|l| parser.on_line(l.as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn get_match_parses_and_percent_decodes() {
+        let mut p = HttpProtocol.parser();
+        let got = feed(
+            &mut p,
+            &["GET /match?q=indy%204+near+sf HTTP/1.1", "Host: x", ""],
+        );
+        assert_eq!(
+            got,
+            vec![Request::Query {
+                query: "indy 4 near sf".to_string(),
+                close: false,
+            }]
+        );
+        // Keep-alive: the same parser frames the next request.
+        let got = feed(&mut p, &["GET /stats HTTP/1.1", ""]);
+        assert_eq!(got, vec![Request::Stats { close: false }]);
+    }
+
+    #[test]
+    fn connection_close_and_http10_mark_the_request() {
+        let mut p = HttpProtocol.parser();
+        let got = feed(
+            &mut p,
+            &["GET /match?q=a HTTP/1.1", "Connection: close", ""],
+        );
+        assert_eq!(
+            got,
+            vec![Request::Query {
+                query: "a".to_string(),
+                close: true,
+            }]
+        );
+        let mut p = HttpProtocol.parser();
+        let got = feed(&mut p, &["GET /match?q=a HTTP/1.0", ""]);
+        assert_eq!(
+            got,
+            vec![Request::Query {
+                query: "a".to_string(),
+                close: true,
+            }]
+        );
+        // HTTP/1.0 with explicit keep-alive stays open.
+        let mut p = HttpProtocol.parser();
+        let got = feed(
+            &mut p,
+            &["GET /match?q=a HTTP/1.0", "Connection: Keep-Alive", ""],
+        );
+        assert_eq!(
+            got,
+            vec![Request::Query {
+                query: "a".to_string(),
+                close: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn errors_map_to_the_right_rejects() {
+        // Unknown endpoint: 404, connection survives.
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(&mut p, &["GET /nope HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::NotFound,
+                close: false,
+            }]
+        );
+        // Bad method: 405 after the head completes.
+        assert_eq!(
+            feed(&mut p, &["DELETE /match?q=a HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::Method,
+                close: false,
+            }]
+        );
+        // Missing q / broken escape: 400, framing intact.
+        assert_eq!(
+            feed(&mut p, &["GET /match HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: false,
+            }]
+        );
+        assert_eq!(
+            feed(&mut p, &["GET /match?q=bad%zz HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: false,
+            }]
+        );
+        // Garbage request line: fatal, close, and the parser goes
+        // silent (framing is unrecoverable).
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(&mut p, &["this is not http"]),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: true,
+            }]
+        );
+        assert_eq!(p.on_line(b"GET /match?q=a HTTP/1.1"), None);
+        // A request announcing a body: 400 + close (framing would
+        // desynchronize on the unread body).
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(
+                &mut p,
+                &["POST /match?q=a HTTP/1.1", "Content-Length: 5", ""],
+            ),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes_plus_and_errors() {
+        assert_eq!(percent_decode("indy%204"), Some("indy 4".to_string()));
+        assert_eq!(percent_decode("a+b"), Some("a b".to_string()));
+        assert_eq!(percent_decode("%2B"), Some("+".to_string()));
+        assert_eq!(percent_decode("caf%C3%A9"), Some("café".to_string()));
+        assert_eq!(percent_decode("plain"), Some("plain".to_string()));
+        assert_eq!(percent_decode("bad%2"), None);
+        assert_eq!(percent_decode("bad%zz"), None);
+    }
+
+    #[test]
+    fn spans_json_matches_the_line_protocol_field_for_field() {
+        assert_eq!(spans_json(&[]), "{\"spans\":[]}");
+        let m = EntityMatcher::from_pairs(vec![
+            ("indy 4", EntityId::new(7)),
+            ("madagascar 2", EntityId::new(1)),
+        ])
+        .with_fuzzy(FuzzyConfig::default());
+        let spans = m.segment("indy 4 and madagascar 2");
+        assert_eq!(
+            spans_json(&spans),
+            "{\"spans\":[\
+             {\"start\":0,\"end\":2,\"entity\":7,\"distance\":0,\"surface\":\"indy 4\"},\
+             {\"start\":3,\"end\":5,\"entity\":1,\"distance\":0,\"surface\":\"madagascar 2\"}\
+             ]}"
+        );
+        let fuzzy = m.segment("madagasacr 2");
+        assert_eq!(
+            spans_json(&fuzzy),
+            "{\"spans\":[{\"start\":0,\"end\":2,\"entity\":1,\"distance\":1,\"surface\":\"madagascar 2\"}]}"
+        );
+    }
+
+    #[test]
+    fn percent_encode_round_trips_through_decode() {
+        for s in ["indy 4", "caf\u{e9}+50%", "a&b=c", "~plain-text_1.2", ""] {
+            assert_eq!(percent_decode(&percent_encode(s)).as_deref(), Some(s));
+        }
+        // Reserved characters never survive un-escaped.
+        assert_eq!(percent_encode("a&b=c d+e"), "a%26b%3Dc+d%2Be");
+    }
+
+    #[test]
+    fn read_response_parses_a_framed_response() {
+        let raw = response(503, "Service Unavailable", "{\"error\":\"busy\"}");
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (status, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"error\":\"busy\"}");
+        // Two back-to-back responses frame cleanly (pipelining).
+        let two = [response(200, "OK", "{}"), response(404, "Not Found", "[]")].concat();
+        let mut reader = std::io::BufReader::new(two.as_bytes());
+        assert_eq!(read_response(&mut reader).unwrap(), (200, "{}".to_string()));
+        assert_eq!(read_response(&mut reader).unwrap(), (404, "[]".to_string()));
+    }
+
+    #[test]
+    fn response_head_is_content_length_framed() {
+        let r = response(200, "OK", "{\"spans\":[]}");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 12\r\n"));
+        assert!(r.ends_with("\r\n\r\n{\"spans\":[]}"));
+    }
+
+    #[test]
+    fn reject_renders_carry_the_right_status() {
+        let proto = HttpProtocol;
+        for (reject, status) in [
+            (Reject::Busy, "503"),
+            (Reject::Shutdown, "503"),
+            (Reject::TooLarge, "431"),
+            (Reject::Malformed, "400"),
+            (Reject::NotFound, "404"),
+            (Reject::Method, "405"),
+        ] {
+            let r = proto.render_reject(reject);
+            assert!(
+                r.starts_with(&format!("HTTP/1.1 {status} ")),
+                "{reject:?} → {r}"
+            );
+        }
+        let stats = proto.render_stats(&CacheStats::default(), 2);
+        assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(stats.ends_with("\"swaps\":2}"));
+    }
+
+    #[test]
+    fn json_escaping_guards_hostile_surfaces() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -5,22 +5,25 @@
 //! paper's fuzzy segmenter is meant to sit on a live web-query path;
 //! this crate puts it there:
 //!
-//! - [`ShardedCache`] — a shared-nothing sharded LRU of
-//!   `normalized query → Vec<MatchSpan>`. Query logs are Zipfian, so a
-//!   small cache absorbs most of the fuzzy path's worst-case traffic;
-//!   per-shard locks keep hits from serializing across cores, and
-//!   generation-checked inserts make dictionary swaps race-free.
-//! - [`Engine`] — the swappable matcher behind the cache, implementing
-//!   the rebuild-and-swap deployment story for the immutable compiled
-//!   dictionary ([`Engine::swap_matcher`]).
-//! - [`BoundedQueue`] — the bounded request queue + batch aggregator:
-//!   workers drain time/count-windowed batches, a full queue rejects
-//!   with explicit backpressure.
-//! - [`Server`] — a TCP front end speaking a line-delimited protocol
-//!   ([`proto`]), with pipelining, in-order responses, a worker pool
-//!   and graceful shutdown.
+//! - [`Engine`] — the swappable matcher behind a [`ShardedCache`] of
+//!   pre-rendered results ([`Rendered`]: spans + one serialized
+//!   response per wire format), implementing the rebuild-and-swap
+//!   deployment story for the immutable compiled dictionary
+//!   ([`Engine::swap_matcher`]). Built with [`Engine::builder`].
+//! - [`Server`] — a transport-agnostic TCP front end with pipelining,
+//!   in-order responses, batch aggregation, a worker pool, bounded
+//!   queueing with explicit backpressure, and graceful shutdown. Tuned
+//!   with [`ServerConfig::builder`].
+//! - [`Protocol`] — the transport boundary: request framing/parsing
+//!   ([`RequestParser`] → [`Request`]), response rendering, and
+//!   error/backpressure mapping ([`Reject`]). Two implementations
+//!   ship: [`LineProtocol`] (the line-delimited protocol of [`proto`])
+//!   and [`HttpProtocol`] (the std-only HTTP/1.1 front end of
+//!   [`http`]). Both run on the same connections, queue, workers and
+//!   cache — and on the same pre-rendered cache entries, so a cache
+//!   hit is a pure lookup-and-write on every transport.
 //!
-//! ## A complete round trip
+//! ## A complete round trip (line protocol)
 //!
 //! ```
 //! use std::io::{BufRead, BufReader, Write};
@@ -28,12 +31,12 @@
 //! use std::sync::Arc;
 //! use websyn_common::EntityId;
 //! use websyn_core::{EntityMatcher, FuzzyConfig};
-//! use websyn_serve::{Engine, EngineConfig, ServeConfig, Server};
+//! use websyn_serve::{Engine, Server, ServerConfig};
 //!
 //! let matcher = EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(7))])
 //!     .with_fuzzy(FuzzyConfig::default());
-//! let engine = Arc::new(Engine::new(Arc::new(matcher), EngineConfig::default()));
-//! let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let engine = Arc::new(Engine::builder(Arc::new(matcher)).build());
+//! let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //!
 //! let mut conn = TcpStream::connect(server.addr()).unwrap();
 //! writeln!(conn, "Indy 4 near San Fran").unwrap();
@@ -42,15 +45,58 @@
 //! assert_eq!(line.trim_end(), "OK\t0,2,7,0,indy 4");
 //! server.shutdown();
 //! ```
+//!
+//! ## The same engine over HTTP/1.1
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//! use websyn_common::EntityId;
+//! use websyn_core::EntityMatcher;
+//! use websyn_serve::{Engine, HttpProtocol, Server, ServerConfig};
+//!
+//! let matcher = EntityMatcher::from_pairs(vec![("indy 4", EntityId::new(7))]);
+//! let engine = Arc::new(Engine::builder(Arc::new(matcher)).build());
+//! let server = Server::start_with(
+//!     engine,
+//!     "127.0.0.1:0",
+//!     ServerConfig::default(),
+//!     Arc::new(HttpProtocol),
+//! )
+//! .unwrap();
+//!
+//! let mut conn = TcpStream::connect(server.addr()).unwrap();
+//! write!(
+//!     conn,
+//!     "GET /match?q=Indy+4+near+San+Fran HTTP/1.1\r\nConnection: close\r\n\r\n"
+//! )
+//! .unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+//! assert!(response.ends_with(
+//!     r#"{"spans":[{"start":0,"end":2,"entity":7,"distance":0,"surface":"indy 4"}]}"#
+//! ));
+//! server.shutdown();
+//! ```
 
-pub mod cache;
-pub mod engine;
+// Wire formats are public modules: their grammars (and serializers)
+// are part of the crate's contract with clients.
+pub mod http;
 pub mod proto;
-pub mod queue;
-pub mod server;
+pub mod protocol;
+
+// Machinery modules stay private; their deliberate surface is the
+// curated re-export list below.
+mod cache;
+mod engine;
+mod queue;
+mod server;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use engine::{Engine, EngineConfig};
-pub use proto::{format_spans, format_stats};
-pub use queue::{BoundedQueue, PushError};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use engine::{Engine, EngineBuilder, EngineConfig, Rendered};
+pub use http::HttpProtocol;
+pub use proto::{format_spans, format_stats, LineProtocol};
+pub use protocol::{Protocol, Reject, Request, RequestParser, Wire};
+pub use server::{ServeConfig, Server, ServerConfig, ServerConfigBuilder, ServerHandle};

@@ -1,11 +1,15 @@
 //! `websyn-serve` — the serving binary.
 //!
-//! Serves an entity dictionary over the line protocol of
-//! [`websyn_serve::proto`]:
+//! Serves an entity dictionary over a pluggable transport: the line
+//! protocol of [`websyn_serve::proto`] (default) or the std-only
+//! HTTP/1.1 front end of [`websyn_serve::http`]:
 //!
 //! ```sh
 //! websyn-serve --addr 127.0.0.1:7878 --dict dictionary.tsv
 //! printf 'indy 4 near san fran\n' | nc 127.0.0.1 7878
+//!
+//! websyn-serve --proto http --addr 127.0.0.1:8080 --dict dictionary.tsv
+//! curl 'http://127.0.0.1:8080/match?q=indy+4+near+san+fran'
 //! ```
 //!
 //! `--dict` loads an `EntityMatcher::to_tsv` artifact (the `#!fuzzy`
@@ -14,8 +18,8 @@
 //!
 //! `--smoke` runs the CI self-test instead of serving: start on an
 //! ephemeral port, round-trip exact, fuzzy, pipelined and control
-//! requests against a live socket, shut down cleanly, and exit 0 only
-//! if every response matched.
+//! requests against a live socket — over *both* protocols — shut down
+//! cleanly, and exit 0 only if every response matched.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -24,14 +28,15 @@ use std::sync::Arc;
 use std::time::Duration;
 use websyn_common::EntityId;
 use websyn_core::{EntityMatcher, FuzzyConfig};
-use websyn_serve::{Engine, EngineConfig, ServeConfig, Server};
+use websyn_serve::{http, Engine, EngineConfig, HttpProtocol, Protocol, Server, ServerConfig};
 
 /// Parsed command line.
 struct Args {
     addr: String,
     dict: Option<String>,
     smoke: bool,
-    serve: ServeConfig,
+    http: bool,
+    server: ServerConfig,
     engine: EngineConfig,
 }
 
@@ -40,7 +45,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_string(),
         dict: None,
         smoke: false,
-        serve: ServeConfig::default(),
+        http: false,
+        server: ServerConfig::default(),
         engine: EngineConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -50,19 +56,26 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = value("--addr")?,
             "--dict" => args.dict = Some(value("--dict")?),
             "--smoke" => args.smoke = true,
-            "--workers" => args.serve.workers = parse(&value("--workers")?)?,
-            "--queue-depth" => args.serve.queue_depth = parse(&value("--queue-depth")?)?,
-            "--batch-max" => args.serve.batch_max = parse(&value("--batch-max")?)?,
+            "--proto" => {
+                args.http = match value("--proto")?.as_str() {
+                    "http" => true,
+                    "line" => false,
+                    other => return Err(format!("unknown protocol {other:?} (line|http)")),
+                }
+            }
+            "--workers" => args.server.workers = parse(&value("--workers")?)?,
+            "--queue-depth" => args.server.queue_depth = parse(&value("--queue-depth")?)?,
+            "--batch-max" => args.server.batch_max = parse(&value("--batch-max")?)?,
             "--batch-window-us" => {
-                args.serve.batch_window =
+                args.server.batch_window =
                     Duration::from_micros(parse(&value("--batch-window-us")?)?)
             }
             "--cache-capacity" => args.engine.cache_capacity = parse(&value("--cache-capacity")?)?,
             "--cache-shards" => args.engine.cache_shards = parse(&value("--cache-shards")?)?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: websyn-serve [--addr A] [--dict F.tsv] [--workers N] \
-                     [--queue-depth N] [--batch-max N] [--batch-window-us N] \
+                    "usage: websyn-serve [--proto line|http] [--addr A] [--dict F.tsv] \
+                     [--workers N] [--queue-depth N] [--batch-max N] [--batch-window-us N] \
                      [--cache-capacity N] [--cache-shards N] [--smoke]"
                         .to_string(),
                 )
@@ -130,12 +143,17 @@ fn main() -> ExitCode {
             "off"
         }
     );
-    let engine = Arc::new(Engine::new(Arc::new(matcher), args.engine));
+    let matcher = Arc::new(matcher);
 
     if args.smoke {
-        return match smoke(engine, args.serve) {
+        // The smoke test always exercises both protocols — they share
+        // the machinery, so both must pass regardless of which one the
+        // binary would serve.
+        let result = smoke_line(engine(&matcher, args.engine), args.server)
+            .and_then(|()| smoke_http(engine(&matcher, args.engine), args.server));
+        return match result {
             Ok(()) => {
-                println!("websyn-serve: smoke ok");
+                println!("websyn-serve: smoke ok (line + http)");
                 ExitCode::SUCCESS
             }
             Err(msg) => {
@@ -145,14 +163,28 @@ fn main() -> ExitCode {
         };
     }
 
-    let server = match Server::start(engine, args.addr.as_str(), args.serve) {
+    let protocol: Arc<dyn Protocol> = if args.http {
+        Arc::new(HttpProtocol)
+    } else {
+        Arc::new(websyn_serve::LineProtocol)
+    };
+    let server = match Server::start_with(
+        engine(&matcher, args.engine),
+        args.addr.as_str(),
+        args.server,
+        Arc::clone(&protocol),
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("websyn-serve: cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("websyn-serve: listening on {}", server.addr());
+    eprintln!(
+        "websyn-serve: listening on {} ({})",
+        server.addr(),
+        protocol.name()
+    );
     // Serve until the process is killed; all work happens on the
     // accept/worker threads.
     loop {
@@ -160,10 +192,14 @@ fn main() -> ExitCode {
     }
 }
 
-/// One scripted client session against a live ephemeral-port server:
-/// exact hit, fuzzy hit, miss, pipelined burst, `#stats`, then a clean
-/// shutdown. Any mismatch is an error.
-fn smoke(engine: Arc<Engine>, config: ServeConfig) -> Result<(), String> {
+fn engine(matcher: &Arc<EntityMatcher>, config: EngineConfig) -> Arc<Engine> {
+    Arc::new(Engine::builder(Arc::clone(matcher)).config(config).build())
+}
+
+/// One scripted client session against a live ephemeral-port line
+/// server: exact hit, fuzzy hit, miss, pipelined burst, `#stats`, then
+/// a clean shutdown. Any mismatch is an error.
+fn smoke_line(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
     let io_err = |e: std::io::Error| format!("io error: {e}");
     let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", config).map_err(io_err)?;
     let addr = server.addr();
@@ -231,6 +267,105 @@ fn smoke(engine: Arc<Engine>, config: ServeConfig) -> Result<(), String> {
     let stats = engine.cache_stats();
     if stats.hits == 0 {
         return Err("no cache hit recorded for the repeated query".to_string());
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// The HTTP twin of [`smoke_line`]: the same exchanges as keep-alive
+/// GETs on one connection — exact, fuzzy, miss, a pipelined burst,
+/// `/stats`, an unknown endpoint — plus the JSON≡line sanity check.
+fn smoke_http(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("io error: {e}");
+    let server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        config,
+        Arc::new(HttpProtocol),
+    )
+    .map_err(io_err)?;
+    let addr = server.addr();
+    {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let mut conn = stream;
+        fn get(
+            conn: &mut TcpStream,
+            reader: &mut BufReader<TcpStream>,
+            target: &str,
+        ) -> Result<(u16, String), String> {
+            let io_err = |e: std::io::Error| format!("io error: {e}");
+            write!(conn, "GET {target} HTTP/1.1\r\n\r\n").map_err(io_err)?;
+            http::read_response(reader).map_err(io_err)
+        }
+        let ask = |conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, query: &str| {
+            get(
+                conn,
+                reader,
+                &format!("/match?q={}", http::percent_encode(query)),
+            )
+        };
+
+        let exact = ask(&mut conn, &mut reader, "Indy 4 near San Fran")?;
+        let want = "{\"spans\":[{\"start\":0,\"end\":2,\"entity\":0,\"distance\":0,\"surface\":\"indy 4\"}]}";
+        if exact != (200, want.to_string()) {
+            return Err(format!("http exact: unexpected response {exact:?}"));
+        }
+        let fuzzy = ask(&mut conn, &mut reader, "cheapest cannon eos 350d deals")?;
+        if fuzzy.0 != 200
+            || !fuzzy
+                .1
+                .contains("\"distance\":1,\"surface\":\"canon eos 350d\"")
+        {
+            return Err(format!("http fuzzy: unexpected response {fuzzy:?}"));
+        }
+        let miss = ask(&mut conn, &mut reader, "nothing matches this")?;
+        if miss != (200, "{\"spans\":[]}".to_string()) {
+            return Err(format!("http miss: unexpected response {miss:?}"));
+        }
+
+        // Pipelined burst on the keep-alive connection: all requests
+        // first, then all responses, in request order.
+        let burst = ["indy 4", "350d", "madagascar 2", "indy 4"];
+        for q in burst {
+            write!(
+                conn,
+                "GET /match?q={} HTTP/1.1\r\n\r\n",
+                http::percent_encode(q)
+            )
+            .map_err(io_err)?;
+        }
+        for (i, q) in burst.iter().enumerate() {
+            let (status, body) = http::read_response(&mut reader).map_err(io_err)?;
+            if status != 200 || !body.contains("\"entity\":") {
+                return Err(format!("http pipelined {i} ({q}): got {status} {body:?}"));
+            }
+        }
+
+        let (status, stats) = get(&mut conn, &mut reader, "/stats")?;
+        if status != 200 || !stats.starts_with("{\"hits\":") {
+            return Err(format!(
+                "http stats: unexpected response {status} {stats:?}"
+            ));
+        }
+        let unknown = get(&mut conn, &mut reader, "/frobnicate")?;
+        if unknown != (404, "{\"error\":\"not-found\"}".to_string()) {
+            return Err(format!("http 404: unexpected response {unknown:?}"));
+        }
+        let bad = get(&mut conn, &mut reader, "/match")?;
+        if bad.0 != 400 {
+            return Err(format!("http 400: unexpected response {bad:?}"));
+        }
+        // The JSON body and the line rendering must describe the same
+        // spans (shared cache entry, rendered together).
+        let line = engine.resolve_line("indy 4");
+        if !line.starts_with("OK\t0,2,0,0,indy 4") {
+            return Err(format!("line view of cached entry diverged: {line:?}"));
+        }
+    }
+    let stats = engine.cache_stats();
+    if stats.hits == 0 {
+        return Err("no http cache hit recorded".to_string());
     }
     server.shutdown();
     Ok(())

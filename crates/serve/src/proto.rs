@@ -33,6 +33,8 @@
 //! include those in-flight queries.
 
 use crate::cache::CacheStats;
+use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
+use std::sync::Arc;
 use websyn_core::MatchSpan;
 
 /// The backpressure reject sent when the request queue is full.
@@ -86,6 +88,75 @@ pub fn format_stats(stats: &CacheStats, swaps: u64) -> String {
     )
 }
 
+/// The line-delimited TCP protocol, as a [`Protocol`] implementation.
+///
+/// This is the original websyn-serve wire format: one request per
+/// line, one response line per request, in request order. See the
+/// module docs for the exact grammar.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineProtocol;
+
+impl Protocol for LineProtocol {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn wire(&self) -> Wire {
+        Wire::Line
+    }
+
+    fn terminator(&self) -> &'static [u8] {
+        b"\n"
+    }
+
+    fn parser(&self) -> Box<dyn RequestParser> {
+        Box::new(LineParser)
+    }
+
+    fn render_reject(&self, reject: Reject) -> Arc<str> {
+        Arc::from(match reject {
+            Reject::Busy => ERR_BUSY,
+            Reject::Shutdown => ERR_SHUTDOWN,
+            Reject::TooLarge => ERR_LINE_TOO_LONG,
+            // The line parser never produces these two, but the
+            // connection layer may ask any protocol to render any
+            // reject, so the grammar's generic reject covers them.
+            Reject::Malformed | Reject::Method => "ERR malformed",
+            Reject::NotFound => ERR_UNKNOWN_CONTROL,
+        })
+    }
+
+    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str> {
+        Arc::from(format_stats(stats, swaps).as_str())
+    }
+}
+
+/// Line framing is trivial: every line is one complete request.
+struct LineParser;
+
+impl RequestParser for LineParser {
+    fn on_line(&mut self, raw: &[u8]) -> Option<Request> {
+        // Invalid UTF-8 is decoded lossily — the replacement
+        // characters simply fail to match anything downstream.
+        let decoded = String::from_utf8_lossy(raw);
+        let request = decoded.trim_end_matches('\r');
+        Some(if let Some(control) = request.strip_prefix('#') {
+            match control {
+                "stats" => Request::Stats { close: false },
+                _ => Request::Reject {
+                    reject: Reject::NotFound,
+                    close: false,
+                },
+            }
+        } else {
+            Request::Query {
+                query: request.to_string(),
+                close: false,
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +177,49 @@ mod tests {
         // Fuzzy distance shows up in the distance field.
         let fuzzy = m.segment("madagasacr 2");
         assert_eq!(format_spans(&fuzzy), "OK\t0,2,1,1,madagascar 2");
+    }
+
+    #[test]
+    fn line_parser_classifies_queries_controls_and_unknowns() {
+        let mut p = LineProtocol.parser();
+        assert_eq!(
+            p.on_line(b"Indy 4 near San Fran"),
+            Some(Request::Query {
+                query: "Indy 4 near San Fran".to_string(),
+                close: false,
+            })
+        );
+        // Carriage returns are framing residue, not query text.
+        assert_eq!(
+            p.on_line(b"indy 4\r"),
+            Some(Request::Query {
+                query: "indy 4".to_string(),
+                close: false,
+            })
+        );
+        assert_eq!(p.on_line(b"#stats"), Some(Request::Stats { close: false }));
+        assert_eq!(
+            p.on_line(b"#frobnicate"),
+            Some(Request::Reject {
+                reject: Reject::NotFound,
+                close: false,
+            })
+        );
+    }
+
+    #[test]
+    fn line_renders_cover_every_reject() {
+        let proto = LineProtocol;
+        assert_eq!(&*proto.render_reject(Reject::Busy), ERR_BUSY);
+        assert_eq!(&*proto.render_reject(Reject::Shutdown), ERR_SHUTDOWN);
+        assert_eq!(&*proto.render_reject(Reject::TooLarge), ERR_LINE_TOO_LONG);
+        assert_eq!(&*proto.render_reject(Reject::NotFound), ERR_UNKNOWN_CONTROL);
+        for reject in [Reject::Malformed, Reject::Method] {
+            assert!(proto.render_reject(reject).starts_with("ERR "));
+        }
+        assert!(proto
+            .render_stats(&CacheStats::default(), 0)
+            .starts_with("STATS\t"));
     }
 
     #[test]

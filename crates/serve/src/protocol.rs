@@ -1,0 +1,147 @@
+//! The transport abstraction: how requests are framed off the socket
+//! and how results, statistics and rejects are rendered back.
+//!
+//! [`Server`](crate::Server) is transport-agnostic. Everything that
+//! distinguishes one wire format from another lives behind the
+//! [`Protocol`] trait:
+//!
+//! - **framing + parsing** — a per-connection [`RequestParser`] turns
+//!   raw protocol lines into semantic [`Request`]s (the connection
+//!   layer owns the byte-level line accumulation, timeouts and size
+//!   caps, which are protocol-independent);
+//! - **response selection** — cached results are pre-rendered once per
+//!   wire format ([`crate::Rendered`]); [`Protocol::wire`] names which
+//!   rendering this transport writes, so a cache hit stays a pure
+//!   lookup-and-write for every protocol;
+//! - **error/backpressure mapping** — semantic rejects ([`Reject`])
+//!   render per protocol: a full queue is `ERR busy` on the line
+//!   protocol and `503 Service Unavailable` over HTTP.
+//!
+//! Two implementations ship with the crate:
+//! [`LineProtocol`](crate::LineProtocol) (the original line-delimited
+//! TCP protocol, [`crate::proto`]) and
+//! [`HttpProtocol`](crate::HttpProtocol) (std-only HTTP/1.1,
+//! [`crate::http`]). Both run on the same connection handling, worker
+//! pool, batch aggregator and sharded result cache.
+
+use crate::cache::CacheStats;
+use std::sync::Arc;
+
+/// Which pre-rendered form of a cached result a transport writes.
+/// Every [`crate::Rendered`] cache entry carries one rendering per
+/// variant, produced on the miss that filled the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wire {
+    /// The `OK\t…` line of [`crate::proto::format_spans`].
+    Line,
+    /// A complete HTTP/1.1 response with a JSON body
+    /// ([`crate::http::spans_json`]).
+    Http,
+}
+
+/// A semantic request, decoded from the wire by a [`RequestParser`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Resolve `query` through the engine and write the result.
+    Query {
+        /// The raw query text (percent-decoded for HTTP).
+        query: String,
+        /// Close the connection once the response has been written
+        /// (e.g. HTTP `Connection: close`).
+        close: bool,
+    },
+    /// Report cache statistics (`#stats` / `GET /stats`), answered at
+    /// receipt time without entering the queue.
+    Stats {
+        /// Close the connection after the response.
+        close: bool,
+    },
+    /// Answer with a protocol-rendered error.
+    Reject {
+        /// Why the request was rejected.
+        reject: Reject,
+        /// Close the connection after the response — mandatory when
+        /// framing has been lost (the stream cannot be re-synchronized).
+        close: bool,
+    },
+}
+
+/// Why a request could not be served. Rejects are semantic so each
+/// protocol renders them natively; the connection layer produces
+/// `Busy`, `Shutdown` and `TooLarge` itself, parsers produce the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The request queue is full — explicit backpressure
+    /// (`ERR busy` / HTTP `503`).
+    Busy,
+    /// The server is shutting down (`ERR shutting-down` / HTTP `503`).
+    Shutdown,
+    /// A protocol line exceeded the configured size cap; the
+    /// connection is dropped after the reject
+    /// (`ERR line-too-long` / HTTP `431`).
+    TooLarge,
+    /// The request could not be parsed (HTTP `400`).
+    Malformed,
+    /// The request named an unknown control or endpoint
+    /// (`ERR unknown-control` / HTTP `404`).
+    NotFound,
+    /// The HTTP method is not supported (HTTP `405`; the line protocol
+    /// never produces this).
+    Method,
+}
+
+/// A transport protocol the server can speak. Implementations are
+/// shared across connections ([`Send`] + [`Sync`]); per-connection
+/// parse state lives in the [`RequestParser`] they hand out.
+pub trait Protocol: Send + Sync + 'static {
+    /// Short name for logs and diagnostics (`"line"`, `"http"`).
+    fn name(&self) -> &'static str;
+
+    /// Which pre-rendered cache form this protocol writes.
+    fn wire(&self) -> Wire;
+
+    /// Bytes appended after every response payload. The line protocol
+    /// terminates responses with `\n`; HTTP responses are self-framed
+    /// (status line + `Content-Length`) and append nothing.
+    fn terminator(&self) -> &'static [u8];
+
+    /// Fresh parser state for one connection.
+    fn parser(&self) -> Box<dyn RequestParser>;
+
+    /// Renders a semantic reject as a complete response payload.
+    fn render_reject(&self, reject: Reject) -> Arc<str>;
+
+    /// Renders a statistics response.
+    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str>;
+}
+
+/// Per-connection request framing: the connection layer feeds complete
+/// protocol lines (terminator stripped, raw bytes — decoding is the
+/// parser's business) and gets a [`Request`] back whenever one is
+/// fully framed. Line-oriented protocols answer every line; HTTP
+/// accumulates a request head and answers on the blank line.
+pub trait RequestParser: Send {
+    /// Consumes one protocol line. `raw` carries no trailing `\n`
+    /// (a trailing `\r` is the parser's to strip). Returns a request
+    /// once one is complete.
+    fn on_line(&mut self, raw: &[u8]) -> Option<Request>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_and_request_are_plain_data() {
+        // The enums are the cross-protocol vocabulary: equality and
+        // Copy/Clone semantics are part of the contract.
+        assert_eq!(Reject::Busy, Reject::Busy);
+        let r = Request::Query {
+            query: "indy 4".to_string(),
+            close: false,
+        };
+        assert_eq!(r.clone(), r);
+        assert_eq!(Wire::Line, Wire::Line);
+        assert_ne!(Wire::Line, Wire::Http);
+    }
+}

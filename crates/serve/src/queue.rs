@@ -65,17 +65,21 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Maximum number of queued items.
+    /// Maximum number of queued items. (The queue is crate-internal;
+    /// the introspection accessors exist for tests and diagnostics.)
+    #[allow(dead_code)]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Current queue depth.
+    #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue poisoned").items.len()
     }
 
     /// Whether the queue is currently empty.
+    #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -161,6 +165,7 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Whether [`BoundedQueue::close`] has been called.
+    #[allow(dead_code)]
     pub fn is_closed(&self) -> bool {
         self.state.lock().expect("queue poisoned").closed
     }

@@ -1,38 +1,47 @@
 //! The TCP front end: accept loop, pipelined connections, batch
-//! aggregation, worker pool, graceful shutdown.
+//! aggregation, worker pool, graceful shutdown — all transport-agnostic.
+//!
+//! The server speaks whatever [`Protocol`] it was started with
+//! ([`Server::start_with`]); [`Server::start`] defaults to the original
+//! line protocol. Everything below the protocol boundary — byte-level
+//! line accumulation, size caps, timeouts, the queue, the workers, the
+//! response re-sequencer — is shared by every transport.
 //!
 //! Threading model (all std, shared-nothing where it matters):
 //!
 //! - an **accept thread** owns the listener and spawns one handler per
 //!   connection;
-//! - each **connection** runs a reader and a writer. The reader parses
-//!   lines and pushes jobs into the shared [`BoundedQueue`] —
-//!   clients may pipeline arbitrarily many requests without waiting.
-//!   The writer re-sequences responses (workers complete batches out
-//!   of order relative to other connections' batches) and writes them
-//!   back in request order;
+//! - each **connection** runs a reader and a writer. The reader
+//!   accumulates protocol lines, feeds them through the connection's
+//!   [`RequestParser`], and pushes query jobs into the shared
+//!   [`BoundedQueue`] — clients may pipeline arbitrarily many requests
+//!   without waiting. The writer re-sequences responses (workers
+//!   complete batches out of order relative to other connections'
+//!   batches) and writes them back in request order;
 //! - a **worker pool** drains the queue in time/count-windowed batches
 //!   ([`BoundedQueue::pop_batch`]) and resolves each batch through
-//!   [`Engine::resolve_line_batch`] — responses come back as the
-//!   cache's shared pre-serialized lines, so a hit writes without any
-//!   formatting work. The workers *are* the shards: each
-//!   processes its batch sequentially on its own core with one cache
-//!   pass and one private [`websyn_core::MatchScratch`] (the same
-//!   shared-nothing, memo-per-shard discipline as
-//!   `EntityMatcher::match_batch`, but with shards driven by real
-//!   traffic instead of a fixed pre-split batch);
+//!   [`Engine::resolve_rendered_batch`] — responses come back as the
+//!   cache's shared pre-rendered payloads (one per wire format), so a
+//!   hit writes without any formatting work on *any* transport. The
+//!   workers *are* the shards: each processes its batch sequentially on
+//!   its own core with one cache pass and one private
+//!   [`websyn_core::MatchScratch`] (the same shared-nothing,
+//!   memo-per-shard discipline as `EntityMatcher::match_batch`, but
+//!   with shards driven by real traffic instead of a fixed pre-split
+//!   batch);
 //! - **backpressure**: a full queue rejects the request immediately
-//!   with [`crate::proto::ERR_BUSY`] instead of queueing unboundedly —
-//!   the client sees the overload in-band, in request order;
+//!   with the protocol's rendering of [`Reject::Busy`] (`ERR busy` /
+//!   HTTP `503`) instead of queueing unboundedly — the client sees the
+//!   overload in-band, in request order;
 //! - **shutdown**: [`ServerHandle::shutdown`] flips a flag, nudges the
 //!   accept loop awake, joins every connection (readers poll the flag
 //!   on a read timeout), closes the queue — pending requests still
-//!   drain — and joins the workers.
+//!   drain — and joins the workers. Requests racing the wind-down get
+//!   [`Reject::Shutdown`] (`ERR shutting-down` / HTTP `503`).
 
 use crate::engine::Engine;
-use crate::proto::{
-    format_stats, CONTROL_STATS, ERR_BUSY, ERR_LINE_TOO_LONG, ERR_SHUTDOWN, ERR_UNKNOWN_CONTROL,
-};
+use crate::proto::LineProtocol;
+use crate::protocol::{Protocol, Reject, Request, Wire};
 use crate::queue::{BoundedQueue, PushError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -44,14 +53,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Tuning for the serving front end.
+/// Tuning for the serving front end. [`ServerConfig::builder`] is the
+/// ergonomic way to set these; the struct stays public (and `Copy`) so
+/// a tuned config can be computed and passed around as plain data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServeConfig {
+pub struct ServerConfig {
     /// Worker threads draining the request queue. Defaults to the
     /// machine's available parallelism.
     pub workers: usize,
-    /// Request queue capacity; pushes beyond it are rejected with
-    /// `ERR busy` (explicit backpressure, no unbounded growth).
+    /// Request queue capacity; pushes beyond it are rejected with the
+    /// protocol's busy rendering (explicit backpressure, no unbounded
+    /// growth).
     pub queue_depth: usize,
     /// Maximum queries a worker coalesces into one matcher batch.
     pub batch_max: usize,
@@ -64,10 +76,11 @@ pub struct ServeConfig {
     /// Socket write timeout; a client that stops reading for this long
     /// has its connection dropped.
     pub write_timeout: Duration,
-    /// Maximum request-line length in bytes. A connection that exceeds
-    /// it (e.g. streams data with no newline) gets one `ERR` line and
-    /// is dropped — per-connection buffering stays bounded no matter
-    /// what the client sends.
+    /// Maximum protocol-line length in bytes (a query line, or one
+    /// HTTP request/header line). A connection that exceeds it (e.g.
+    /// streams data with no newline) gets one reject and is dropped —
+    /// per-connection buffering stays bounded no matter what the client
+    /// sends.
     pub max_line_bytes: usize,
     /// Maximum live connections. Accepts beyond the cap are dropped
     /// immediately, so connection count (each costs two threads) stays
@@ -76,7 +89,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
 }
 
-impl Default for ServeConfig {
+/// The pre-redesign name of [`ServerConfig`], kept as an alias so
+/// existing call sites (including struct literals) keep compiling.
+pub type ServeConfig = ServerConfig;
+
+impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
@@ -91,28 +108,160 @@ impl Default for ServeConfig {
     }
 }
 
-/// One in-flight request: the raw query line, its per-connection
-/// sequence number, and the connection's response channel.
+impl ServerConfig {
+    /// Starts from the defaults; see [`ServerConfigBuilder`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`] — validated knobs over field soup.
+///
+/// Starts from [`ServerConfig::default`]; [`ServerConfigBuilder::build`]
+/// clamps every knob into its valid range (counts ≥ 1, timeouts ≥ 1ms
+/// so shutdown polling and write deadlines cannot be disabled by a
+/// zero) rather than failing, so a config assembled from untrusted
+/// flags still produces a working server.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use websyn_serve::ServerConfig;
+///
+/// let config = ServerConfig::builder()
+///     .workers(4)
+///     .queue_depth(256)
+///     .batch_max(32)
+///     .batch_window(Duration::from_micros(100))
+///     .build();
+/// assert_eq!(config.workers, 4);
+/// assert_eq!(ServerConfig::builder().workers(0).build().workers, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads draining the request queue (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Request queue capacity (clamped to ≥ 1).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Maximum queries per worker batch (clamped to ≥ 1).
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.config.batch_max = max;
+        self
+    }
+
+    /// How long a worker waits to top up a partial batch (zero is
+    /// valid: drain-what's-there batching).
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Socket read timeout / shutdown-poll interval (clamped to ≥ 1ms —
+    /// a zero read timeout means *blocking* reads on std sockets, which
+    /// would make idle connections unkillable).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Socket write timeout (clamped to ≥ 1ms, same reasoning).
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Maximum protocol-line length in bytes (clamped to ≥ 1).
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_line_bytes = bytes;
+        self
+    }
+
+    /// Maximum live connections (clamped to ≥ 1).
+    pub fn max_connections(mut self, connections: usize) -> Self {
+        self.config.max_connections = connections;
+        self
+    }
+
+    /// Validates the knobs (clamping them into range) and returns the
+    /// config.
+    pub fn build(self) -> ServerConfig {
+        let c = self.config;
+        ServerConfig {
+            workers: c.workers.max(1),
+            queue_depth: c.queue_depth.max(1),
+            batch_max: c.batch_max.max(1),
+            batch_window: c.batch_window,
+            read_timeout: c.read_timeout.max(Duration::from_millis(1)),
+            write_timeout: c.write_timeout.max(Duration::from_millis(1)),
+            max_line_bytes: c.max_line_bytes.max(1),
+            max_connections: c.max_connections.max(1),
+        }
+    }
+}
+
+/// A sequenced response on its way back to a connection's writer: the
+/// payload (terminator-free), and whether the connection closes after
+/// writing it.
+type Reply = (u64, Arc<str>, bool);
+
+/// One in-flight request: the decoded query, its per-connection
+/// sequence number, which wire rendering to answer with, whether the
+/// connection closes after the response, and the connection's response
+/// channel.
 struct Job {
     seq: u64,
     query: String,
-    reply: Sender<(u64, Arc<str>)>,
+    wire: Wire,
+    close: bool,
+    reply: Sender<Reply>,
 }
 
-/// The serving front end. `start` is the only entry point; the running
-/// server is controlled through the returned [`ServerHandle`].
+/// The serving front end. `start`/`start_with` are the only entry
+/// points; the running server is controlled through the returned
+/// [`ServerHandle`].
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port),
-    /// spawns the accept loop and worker pool, and returns immediately.
+    /// Binds `addr` and serves the line protocol — equivalent to
+    /// [`Server::start_with`] with [`LineProtocol`].
     ///
     /// # Errors
     /// Returns the bind error if the address is unavailable.
     pub fn start<A: ToSocketAddrs>(
         engine: Arc<Engine>,
         addr: A,
-        config: ServeConfig,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        Self::start_with(engine, addr, config, Arc::new(LineProtocol))
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port),
+    /// spawns the accept loop and worker pool serving `protocol`, and
+    /// returns immediately. One engine may back any number of servers —
+    /// e.g. a line endpoint and an HTTP endpoint sharing one cache.
+    ///
+    /// # Errors
+    /// Returns the bind error if the address is unavailable.
+    pub fn start_with<A: ToSocketAddrs>(
+        engine: Arc<Engine>,
+        addr: A,
+        config: ServerConfig,
+        protocol: Arc<dyn Protocol>,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -131,14 +280,16 @@ impl Server {
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
+            let protocol = Arc::clone(&protocol);
             std::thread::spawn(move || {
-                accept_loop(&listener, &engine, &queue, &shutdown, config);
+                accept_loop(&listener, &engine, &queue, &shutdown, &protocol, config);
             })
         };
 
         Ok(ServerHandle {
             addr: local_addr,
             engine,
+            protocol,
             queue,
             shutdown,
             accept: Some(accept),
@@ -153,6 +304,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<Engine>,
+    protocol: Arc<dyn Protocol>,
     queue: Arc<BoundedQueue<Job>>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -171,6 +323,11 @@ impl ServerHandle {
         &self.engine
     }
 
+    /// The protocol this server speaks.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.protocol
+    }
+
     /// Gracefully stops the server: no new connections, in-flight
     /// requests drain, every thread is joined. Returns once everything
     /// has stopped.
@@ -185,8 +342,8 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         // Close the queue first: already-accepted requests drain and
         // get real responses, while anything arriving during the
-        // wind-down is rejected in-band with `ERR shutting-down`
-        // instead of being served from a dying process.
+        // wind-down is rejected in-band with the protocol's shutdown
+        // rendering instead of being served from a dying process.
         self.queue.close();
         // The accept loop polls a nonblocking listener, so it observes
         // the flag within one poll interval on its own. The self-
@@ -214,7 +371,8 @@ fn accept_loop(
     engine: &Arc<Engine>,
     queue: &Arc<BoundedQueue<Job>>,
     shutdown: &Arc<AtomicBool>,
-    config: ServeConfig,
+    protocol: &Arc<dyn Protocol>,
+    config: ServerConfig,
 ) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     // Nonblocking accept + flag polling: shutdown never depends on a
@@ -262,8 +420,9 @@ fn accept_loop(
         let engine = Arc::clone(engine);
         let queue = Arc::clone(queue);
         let shutdown = Arc::clone(shutdown);
+        let protocol = Arc::clone(protocol);
         handlers.push(std::thread::spawn(move || {
-            let _ = handle_connection(stream, &engine, &queue, &shutdown, config);
+            let _ = handle_connection(stream, &engine, &queue, &shutdown, &*protocol, config);
         }));
     }
     for handle in handlers {
@@ -271,18 +430,22 @@ fn accept_loop(
     }
 }
 
-/// One worker: drain windowed batches, resolve, reply.
-fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServeConfig) {
+/// One worker: drain windowed batches, resolve, reply with each job's
+/// wire rendering.
+fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServerConfig) {
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
     while queue.pop_batch(config.batch_max, config.batch_window, &mut batch) {
         let queries: Vec<&str> = batch.iter().map(|job| job.query.as_str()).collect();
-        let results = engine.resolve_line_batch(&queries);
-        for (job, line) in batch.iter().zip(results) {
+        let results = engine.resolve_rendered_batch(&queries);
+        for (job, rendered) in batch.iter().zip(results) {
             // A send error means the connection died mid-flight; the
-            // result is simply dropped. The line was serialized when
-            // the cache entry was filled — a hit sends a shared
-            // `Arc<str>` without touching `format_spans`.
-            let _ = job.reply.send((job.seq, line));
+            // result is simply dropped. Every rendering was serialized
+            // when the cache entry was filled — a hit sends a shared
+            // `Arc<str>` without touching a serializer, whichever wire
+            // the job arrived on.
+            let _ = job
+                .reply
+                .send((job.seq, rendered.for_wire(job.wire), job.close));
         }
     }
 }
@@ -294,75 +457,93 @@ fn handle_connection(
     engine: &Arc<Engine>,
     queue: &Arc<BoundedQueue<Job>>,
     shutdown: &Arc<AtomicBool>,
-    config: ServeConfig,
+    protocol: &dyn Protocol,
+    config: ServerConfig,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     let read_half = stream.try_clone()?;
-    let (tx, rx) = std::sync::mpsc::channel::<(u64, Arc<str>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<Reply>();
     std::thread::scope(|scope| {
-        scope.spawn(|| reader_loop(read_half, engine, queue, shutdown, tx, config));
-        let result = writer_loop(&stream, rx);
+        scope.spawn(|| reader_loop(read_half, engine, queue, shutdown, protocol, tx, config));
+        let result = writer_loop(&stream, rx, protocol.terminator());
         // If the writer died first (write timeout — the client stopped
-        // reading), the reader would otherwise keep parsing and
-        // enqueuing work whose results nobody can receive. Shut the
-        // socket down so the reader's next read fails and the whole
-        // connection is torn down. (On the normal path the reader has
-        // already exited and this is a no-op on a closing socket.)
+        // reading — or a close-marked response), the reader would
+        // otherwise keep parsing and enqueuing work whose results
+        // nobody can receive. Shut the socket down so the reader's next
+        // read fails and the whole connection is torn down. (On the
+        // normal path the reader has already exited and this is a
+        // no-op on a closing socket.)
         let _ = stream.shutdown(std::net::Shutdown::Both);
         result
     })
 }
 
-/// Parses request lines and enqueues jobs; responds in-band to control
-/// lines and backpressure rejects (through the same sequenced channel,
-/// so ordering is preserved).
+/// Feeds protocol lines through the connection's [`RequestParser`] and
+/// dispatches the requests it produces; responds in-band to stats
+/// requests, parse rejects and backpressure rejects (through the same
+/// sequenced channel, so ordering is preserved).
 fn reader_loop(
     read_half: TcpStream,
     engine: &Engine,
     queue: &BoundedQueue<Job>,
     shutdown: &AtomicBool,
-    reply: Sender<(u64, Arc<str>)>,
-    config: ServeConfig,
+    protocol: &dyn Protocol,
+    reply: Sender<Reply>,
+    config: ServerConfig,
 ) {
+    let wire = protocol.wire();
+    let mut parser = protocol.parser();
     let mut reader = BufReader::new(read_half);
     // Lines accumulate as raw bytes: `read_line`'s UTF-8 guard would
     // silently discard a partial read that a timeout cut mid-way
     // through a multi-byte character, corrupting the stream. Bytes are
-    // decoded (lossily) only once a line is complete.
+    // decoded only once a line is complete — by the parser, whose
+    // business decoding is.
     let mut line: Vec<u8> = Vec::new();
     let mut seq = 0u64;
-    // Handles one complete (still byte-form) request line; returns
-    // false when the connection is dead (writer gone). Invalid UTF-8
-    // is decoded lossily — the replacement characters simply fail to
-    // match anything downstream.
-    let handle = |raw: &[u8], seq: u64| -> bool {
-        let decoded = String::from_utf8_lossy(raw);
-        let request = decoded.trim_end_matches(['\n', '\r']);
-        let response: Option<Arc<str>> = if request.starts_with('#') {
-            // Control lines are answered inline, never queued.
-            Some(match request {
-                CONTROL_STATS => {
-                    Arc::from(format_stats(&engine.cache_stats(), engine.swaps()).as_str())
-                }
-                _ => Arc::from(ERR_UNKNOWN_CONTROL),
-            })
-        } else {
-            match queue.push(Job {
-                seq,
-                query: request.to_string(),
-                reply: reply.clone(),
-            }) {
-                Ok(()) => None,
-                Err(PushError::Full) => Some(Arc::from(ERR_BUSY)),
-                Err(PushError::Closed) => Some(Arc::from(ERR_SHUTDOWN)),
-            }
+    // Dispatches one complete (still byte-form, terminator-stripped)
+    // protocol line; returns false when reading must stop — the writer
+    // is gone, or a close-marked request was dispatched.
+    let mut handle = |raw: &[u8], seq: &mut u64| -> bool {
+        let Some(request) = parser.on_line(raw) else {
+            // Mid-request (an HTTP header line): nothing to answer yet,
+            // and no sequence number consumed.
+            return true;
         };
-        match response {
-            Some(response) => reply.send((seq, response)).is_ok(),
+        let (response, close): (Option<Arc<str>>, bool) = match request {
+            Request::Query { query, close } => {
+                match queue.push(Job {
+                    seq: *seq,
+                    query,
+                    wire,
+                    close,
+                    reply: reply.clone(),
+                }) {
+                    Ok(()) => (None, close),
+                    Err(PushError::Full) => (Some(protocol.render_reject(Reject::Busy)), close),
+                    Err(PushError::Closed) => {
+                        (Some(protocol.render_reject(Reject::Shutdown)), close)
+                    }
+                }
+            }
+            // Stats are answered at receipt time, never queued.
+            Request::Stats { close } => (
+                Some(protocol.render_stats(&engine.cache_stats(), engine.swaps())),
+                close,
+            ),
+            Request::Reject { reject, close } => (Some(protocol.render_reject(reject)), close),
+        };
+        let alive = match response {
+            Some(response) => reply.send((*seq, response, close)).is_ok(),
             None => true,
-        }
+        };
+        *seq += 1;
+        // After a close-marked request the client gets its response
+        // (the writer exits after writing it) but nothing further is
+        // read — for HTTP this is `Connection: close` semantics.
+        alive && !close
     };
     loop {
         // Bound the per-connection buffer: once the (terminated or
@@ -371,7 +552,7 @@ fn reader_loop(
         // below guarantees `line` never grows past cap + 1 bytes even
         // against a client streaming data with no newline.
         if line.len() > config.max_line_bytes {
-            let _ = reply.send((seq, Arc::from(ERR_LINE_TOO_LONG)));
+            let _ = reply.send((seq, protocol.render_reject(Reject::TooLarge), true));
             break;
         }
         let allowed = (config.max_line_bytes + 1 - line.len()) as u64;
@@ -380,7 +561,7 @@ fn reader_loop(
             // its half. Process a final unterminated line, then stop.
             Ok(0) => {
                 if !line.is_empty() {
-                    handle(&line, seq);
+                    handle(&line, &mut seq);
                 }
                 break;
             }
@@ -391,10 +572,10 @@ fn reader_loop(
                     // without a newline (next read returns Ok(0)).
                     continue;
                 }
-                if !handle(&line, seq) {
+                line.pop(); // the parser contract: no trailing '\n'
+                if !handle(&line, &mut seq) {
                     break;
                 }
-                seq += 1;
                 line.clear();
                 // A client that streams requests back-to-back never
                 // hits the read-timeout branch, so shutdown must also
@@ -425,10 +606,14 @@ fn reader_loop(
 
 /// Writes responses in request order: workers may answer out of order
 /// across batches, so responses park in a min-heap until their
-/// predecessor has been written.
-fn writer_loop(stream: &TcpStream, rx: Receiver<(u64, Arc<str>)>) -> io::Result<()> {
+/// predecessor has been written. Each payload is followed by the
+/// protocol's terminator (`\n` for the line protocol; nothing for
+/// self-framed HTTP responses). A close-marked response is the
+/// connection's last: the writer flushes it and exits, which closes
+/// the socket.
+fn writer_loop(stream: &TcpStream, rx: Receiver<Reply>, terminator: &[u8]) -> io::Result<()> {
     let mut out = BufWriter::new(stream);
-    let mut pending: BinaryHeap<Reverse<(u64, Arc<str>)>> = BinaryHeap::new();
+    let mut pending: BinaryHeap<Reverse<Reply>> = BinaryHeap::new();
     let mut next = 0u64;
     while let Ok(msg) = rx.recv() {
         pending.push(Reverse(msg));
@@ -437,12 +622,18 @@ fn writer_loop(stream: &TcpStream, rx: Receiver<(u64, Arc<str>)>) -> io::Result<
             pending.push(Reverse(more));
         }
         let mut wrote = false;
-        while pending.peek().is_some_and(|Reverse((seq, _))| *seq == next) {
-            let Reverse((_, response)) = pending.pop().expect("peeked");
+        while pending
+            .peek()
+            .is_some_and(|Reverse((seq, ..))| *seq == next)
+        {
+            let Reverse((_, response, close)) = pending.pop().expect("peeked");
             out.write_all(response.as_bytes())?;
-            out.write_all(b"\n")?;
+            out.write_all(terminator)?;
             next += 1;
             wrote = true;
+            if close {
+                return out.flush();
+            }
         }
         if wrote {
             out.flush()?;

@@ -1,0 +1,383 @@
+//! Live-socket HTTP/1.1 conformance tests: keep-alive reuse, pipelined
+//! re-sequencing, error mapping (400/404/405/431/503), percent-decoding
+//! of `q`, graceful shutdown, and a JSON ≡ line-protocol spans
+//! equivalence proptest over the shared pre-rendered cache entries.
+
+use proptest::prelude::*;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use websyn_common::EntityId;
+use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::http::{percent_encode, read_response, spans_json};
+use websyn_serve::{format_spans, Engine, HttpProtocol, Server, ServerConfig, ServerHandle, Wire};
+
+fn matcher() -> EntityMatcher {
+    EntityMatcher::from_pairs(vec![
+        ("indy 4", EntityId::new(0)),
+        ("indiana jones 4", EntityId::new(0)),
+        ("madagascar 2", EntityId::new(1)),
+        ("canon eos 350d", EntityId::new(2)),
+    ])
+    .with_fuzzy(FuzzyConfig::default())
+}
+
+fn start(config: ServerConfig) -> (Arc<Engine>, ServerHandle) {
+    let engine = Arc::new(
+        Engine::builder(Arc::new(matcher()))
+            .cache_shards(4)
+            .cache_capacity(256)
+            .build(),
+    );
+    let server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        config,
+        Arc::new(HttpProtocol),
+    )
+    .expect("bind ephemeral port");
+    (engine, server)
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &ServerHandle) -> Self {
+        let conn = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(conn.try_clone().expect("clone"));
+        Self { conn, reader }
+    }
+
+    fn send(&mut self, request_head: &str) {
+        write!(self.conn, "{request_head}").expect("send");
+    }
+
+    fn recv(&mut self) -> (u16, String) {
+        read_response(&mut self.reader).expect("response")
+    }
+
+    fn get(&mut self, target: &str) -> (u16, String) {
+        self.send(&format!("GET {target} HTTP/1.1\r\n\r\n"));
+        self.recv()
+    }
+
+    fn ask(&mut self, query: &str) -> (u16, String) {
+        self.get(&format!("/match?q={}", percent_encode(query)))
+    }
+
+    /// Reads to EOF; returns how many bytes were left (0 = clean close
+    /// with nothing after the last framed response).
+    fn expect_eof(mut self) -> usize {
+        let mut rest = Vec::new();
+        self.reader.read_to_end(&mut rest).expect("eof read");
+        rest.len()
+    }
+}
+
+#[test]
+fn keep_alive_connection_answers_many_requests() {
+    let (engine, server) = start(ServerConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    for query in [
+        "Indy 4 near san fran",
+        "cheapest cannon eos 350d deals",
+        "watch indiana jones 4 and madagascar 2",
+        "no entities at all",
+        "",
+    ] {
+        let expect = (200, spans_json(&m.segment(query)));
+        // Twice on one connection: keep-alive reuse, and the second
+        // answer comes from the result cache byte-identically.
+        assert_eq!(client.ask(query), expect, "{query:?} uncached");
+        assert_eq!(client.ask(query), expect, "{query:?} cached");
+    }
+    assert!(engine.cache_stats().hits >= 4);
+    // The same socket still serves the stats endpoint afterwards.
+    let (status, stats) = client.get("/stats");
+    assert_eq!(status, 200);
+    assert!(stats.starts_with("{\"hits\":"), "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_gets_come_back_in_request_order() {
+    let (engine, server) = start(ServerConfig::default());
+    let m = engine.matcher();
+    let queries: Vec<String> = (0..200)
+        .map(|i| match i % 4 {
+            0 => format!("indy 4 number {i}"),
+            1 => format!("madagascar 2 viewing {i}"),
+            2 => format!("canon eos 350d listing {i}"),
+            _ => format!("nothing here {i}"),
+        })
+        .collect();
+    let mut client = Client::connect(&server);
+    for q in &queries {
+        client.send(&format!(
+            "GET /match?q={} HTTP/1.1\r\n\r\n",
+            percent_encode(q)
+        ));
+    }
+    for q in &queries {
+        assert_eq!(client.recv(), (200, spans_json(&m.segment(q))), "{q:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn percent_decoding_matches_direct_segmentation() {
+    let (engine, server) = start(ServerConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    // Hand-built encodings: `+`, `%20`, multi-byte UTF-8, and a
+    // reserved character that must round-trip as query text.
+    for (encoded, decoded) in [
+        ("indy+4+near+sf", "indy 4 near sf"),
+        ("indy%204", "indy 4"),
+        ("caf%C3%A9%20madagascar%202", "café madagascar 2"),
+        ("a%26b", "a&b"),
+        ("%2Bindy+4", "+indy 4"),
+    ] {
+        assert_eq!(
+            client.get(&format!("/match?q={encoded}")),
+            (200, spans_json(&m.segment(decoded))),
+            "{encoded}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400() {
+    let (_engine, server) = start(ServerConfig::default());
+    // Missing q and a broken escape: client errors, but framing is
+    // intact, so the connection keeps serving.
+    let mut client = Client::connect(&server);
+    assert_eq!(
+        client.get("/match"),
+        (400, "{\"error\":\"malformed\"}".into())
+    );
+    assert_eq!(client.get("/match?q=bad%zz").0, 400);
+    assert_eq!(client.ask("indy 4").0, 200, "connection survives a 400");
+
+    // A garbage request line loses framing: one 400, then the server
+    // closes the connection.
+    let mut garbage = Client::connect(&server);
+    garbage.send("this is not http\r\n\r\n");
+    assert_eq!(garbage.recv().0, 400);
+    assert_eq!(garbage.expect_eof(), 0, "connection closed after fatal 400");
+
+    // An announced request body would desynchronize framing: 400+close.
+    let mut body = Client::connect(&server);
+    body.send("GET /match?q=a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+    assert_eq!(body.recv().0, 400);
+    assert_eq!(body.expect_eof(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_endpoint_is_404_and_bad_method_405() {
+    let (_engine, server) = start(ServerConfig::default());
+    let mut client = Client::connect(&server);
+    assert_eq!(
+        client.get("/frobnicate"),
+        (404, "{\"error\":\"not-found\"}".into())
+    );
+    client.send("DELETE /match?q=a HTTP/1.1\r\n\r\n");
+    assert_eq!(
+        client.recv(),
+        (405, "{\"error\":\"method-not-allowed\"}".into())
+    );
+    // Neither error costs the connection.
+    assert_eq!(client.ask("indy 4").0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_and_http10_close_the_socket() {
+    let (engine, server) = start(ServerConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    client.send("GET /match?q=indy+4 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(client.recv(), (200, spans_json(&m.segment("indy 4"))));
+    assert_eq!(
+        client.expect_eof(),
+        0,
+        "socket closed after Connection: close"
+    );
+
+    let mut old = Client::connect(&server);
+    old.send("GET /match?q=indy+4 HTTP/1.0\r\n\r\n");
+    assert_eq!(old.recv().0, 200);
+    assert_eq!(old.expect_eof(), 0, "HTTP/1.0 closes by default");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_503_busy() {
+    // One worker with a long batch window and a tiny queue: flooding
+    // the server faster than the window drains must trip 503s.
+    let (_engine, server) = start(
+        ServerConfig::builder()
+            .workers(1)
+            .queue_depth(2)
+            .batch_max(2)
+            .batch_window(Duration::from_millis(200))
+            .build(),
+    );
+    let mut client = Client::connect(&server);
+    let n = 64;
+    for i in 0..n {
+        client.send(&format!("GET /match?q=indy+4+burst+{i} HTTP/1.1\r\n\r\n"));
+    }
+    let mut ok = 0;
+    let mut busy = 0;
+    for _ in 0..n {
+        let (status, body) = client.recv();
+        match status {
+            200 => ok += 1,
+            503 => {
+                assert_eq!(body, "{\"error\":\"busy\"}");
+                busy += 1;
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(ok + busy, n);
+    assert!(busy > 0, "64 pipelined requests against depth 2 must shed");
+    assert!(ok > 0, "accepted requests still complete");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_get_431_and_disconnect() {
+    let (_engine, server) = start(ServerConfig::builder().max_line_bytes(128).build());
+    let mut client = Client::connect(&server);
+    client.send(&format!(
+        "GET /match?q={} HTTP/1.1\r\n\r\n",
+        "x".repeat(400)
+    ));
+    let (status, body) = client.recv();
+    assert_eq!(status, 431);
+    assert_eq!(body, "{\"error\":\"line-too-long\"}");
+    assert_eq!(client.expect_eof(), 0, "connection dropped after 431");
+    // A fresh connection still works.
+    let mut ok = Client::connect(&server);
+    assert_eq!(ok.ask("indy 4").0, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_http_connections_open() {
+    let (_engine, server) = start(ServerConfig::default());
+    let mut client = Client::connect(&server);
+    assert_eq!(client.ask("madagascar 2").0, 200);
+    let addr = server.addr();
+    // Shut down while the keep-alive connection is open; shutdown()
+    // returning proves every thread was joined.
+    server.shutdown();
+    std::thread::sleep(Duration::from_millis(20));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    assert!(refused.is_err(), "listener must be gone after shutdown");
+}
+
+/// Parses the line-protocol rendering into `(start, end, entity,
+/// distance, surface)` tuples.
+fn line_fields(line: &str) -> Vec<(usize, usize, u64, usize, String)> {
+    let rest = line.strip_prefix("OK").expect("OK line");
+    rest.split('\t')
+        .filter(|s| !s.is_empty())
+        .map(|span| {
+            let mut parts = span.splitn(5, ',');
+            let mut next = || parts.next().expect("span field").to_string();
+            (
+                next().parse().unwrap(),
+                next().parse().unwrap(),
+                next().parse().unwrap(),
+                next().parse().unwrap(),
+                next(),
+            )
+        })
+        .collect()
+}
+
+/// Parses the JSON rendering into the same tuples. The serializer's
+/// output grammar is fixed (no whitespace, fixed key order), so a
+/// split-based parse is exact — and independent of the line parser.
+fn json_fields(body: &str) -> Vec<(usize, usize, u64, usize, String)> {
+    let inner = body
+        .strip_prefix("{\"spans\":[")
+        .and_then(|b| b.strip_suffix("]}"))
+        .expect("spans body");
+    if inner.is_empty() {
+        return Vec::new();
+    }
+    inner
+        .split("},{")
+        .map(|obj| {
+            let obj = obj.trim_start_matches('{').trim_end_matches('}');
+            let field = |key: &str| -> String {
+                let at = obj.find(key).expect(key) + key.len();
+                obj[at..]
+                    .chars()
+                    .take_while(|&c| c != ',' && c != '"')
+                    .collect()
+            };
+            let surface = {
+                let key = "\"surface\":\"";
+                let at = obj.find(key).expect("surface") + key.len();
+                obj[at..].trim_end_matches('"').to_string()
+            };
+            (
+                field("\"start\":").parse().unwrap(),
+                field("\"end\":").parse().unwrap(),
+                field("\"entity\":").parse().unwrap(),
+                field("\"distance\":").parse().unwrap(),
+                surface,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two wire renderings of one cache entry — the JSON body HTTP
+    /// writes and the `OK` line the line protocol writes — must
+    /// describe exactly the same spans, for exact hits, fuzzy hits and
+    /// misses alike. (Both transports write these entries verbatim —
+    /// the socket tests above pin that — so entry-level equivalence is
+    /// response-level equivalence.)
+    #[test]
+    fn json_and_line_renderings_describe_identical_spans(
+        mention in 0usize..6,
+        noise in "[a-z0-9 ]{0,20}",
+    ) {
+        // Mix dictionary mentions (including typos the fuzzy path
+        // resolves) with arbitrary noise text.
+        const MENTIONS: [&str; 6] = [
+            "indy 4",
+            "indiana jones 4",
+            "cannon eos 350d", // fuzzy: distance 1
+            "madagasacr 2",    // fuzzy: transposition
+            "350d",            // no entity: too short for a surface
+            "",
+        ];
+        let query = format!("{} {}", MENTIONS[mention], noise);
+        let engine = Engine::builder(Arc::new(matcher())).build();
+        let rendered = engine.resolve_rendered_batch(&[query.as_str()]).remove(0);
+        let line = rendered.for_wire(Wire::Line);
+        let http = rendered.for_wire(Wire::Http);
+        let body = http.split("\r\n\r\n").nth(1).expect("http body");
+        prop_assert_eq!(line_fields(&line), json_fields(body), "query {:?}", query);
+        // And both agree with a direct matcher call.
+        let golden = engine.matcher().segment(&query);
+        prop_assert_eq!(&*line, format_spans(&golden).as_str());
+        prop_assert_eq!(body, spans_json(&golden).as_str());
+    }
+}

@@ -1,12 +1,13 @@
 //! The serving stack end to end: engine + result cache +
-//! rebuild-and-swap + a live TCP round trip.
+//! rebuild-and-swap + live round trips over both transports.
 //!
 //! Builds a fuzzy-enabled dictionary, puts it behind
 //! `websyn_serve::Engine` (the sharded LRU result cache), replays a
 //! small Zipf-ish stream of repeating queries to show the cache
 //! absorbing the fuzzy path, hot-swaps a rebuilt dictionary, and
-//! finally starts the real TCP server for a pipelined round trip over
-//! the wire protocol.
+//! finally starts the real TCP server twice — once speaking the line
+//! protocol, once speaking HTTP/1.1 — for pipelined round trips over
+//! both wire formats against the same engine.
 //!
 //! Run: `cargo run --example serving --release`
 
@@ -16,7 +17,8 @@ use std::sync::Arc;
 use websyn::common::EntityId;
 use websyn::core::FuzzyConfig;
 use websyn::prelude::*;
-use websyn::serve::{EngineConfig, ServeConfig};
+use websyn::serve::http::{percent_encode, read_response};
+use websyn::serve::{HttpProtocol, ServeConfig};
 
 fn main() {
     // --- a fuzzy-enabled dictionary ---------------------------------
@@ -35,13 +37,12 @@ fn main() {
     );
 
     // --- the engine: matcher behind the sharded result cache --------
-    let engine = Arc::new(Engine::new(
-        Arc::clone(&matcher),
-        EngineConfig {
-            cache_shards: 4,
-            cache_capacity: 256,
-        },
-    ));
+    let engine = Arc::new(
+        Engine::builder(Arc::clone(&matcher))
+            .cache_shards(4)
+            .cache_capacity(256)
+            .build(),
+    );
 
     // A Zipf-flavoured micro-log: the head query dominates, misspelled.
     let stream = [
@@ -92,8 +93,8 @@ fn main() {
         engine.cache_stats().entries,
     );
 
-    // --- the TCP front end ------------------------------------------
-    println!("== live TCP round trip (pipelined) ==");
+    // --- the TCP front end: line protocol ----------------------------
+    println!("== live TCP round trip (line protocol, pipelined) ==");
     let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
         .expect("bind ephemeral port");
     let conn = TcpStream::connect(server.addr()).expect("connect");
@@ -111,5 +112,41 @@ fn main() {
     drop(conn);
     drop(reader);
     server.shutdown();
-    println!("server shut down cleanly.");
+
+    // --- the same engine over HTTP/1.1 -------------------------------
+    // The transport is pluggable: Server::start_with swaps the wire
+    // format while the cache, batch aggregator and worker pool stay
+    // identical. Cached entries carry both renderings, so a hit on one
+    // transport is a hit on the other.
+    println!("\n== live HTTP/1.1 round trip (keep-alive, pipelined) ==");
+    let server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig::builder().build(),
+        Arc::new(HttpProtocol),
+    )
+    .expect("bind ephemeral port");
+    let conn = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut conn = conn;
+    let queries = ["indy 4 tickets", "madagasacr 2"];
+    for query in queries {
+        write!(
+            conn,
+            "GET /match?q={} HTTP/1.1\r\n\r\n",
+            percent_encode(query)
+        )
+        .expect("send");
+    }
+    write!(conn, "GET /stats HTTP/1.1\r\n\r\n").expect("send");
+    for query in queries {
+        let (status, body) = read_response(&mut reader).expect("recv");
+        println!("  GET /match?q={query:<18} -> {status} {body}");
+    }
+    let (status, body) = read_response(&mut reader).expect("recv");
+    println!("  GET /stats{:<21} -> {status} {body}", "");
+    drop(conn);
+    drop(reader);
+    server.shutdown();
+    println!("both servers shut down cleanly.");
 }
