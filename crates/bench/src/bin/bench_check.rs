@@ -32,6 +32,14 @@
 //! and full-mode artifacts must clear an absolute 30k qps HTTP replay
 //! floor.
 //!
+//! The `"cluster"` section (the scale-out curve over worker-process
+//! fleets behind the router) is mandatory too: every row must carry
+//! positive throughput, ordered percentiles and **zero** response
+//! mismatches against the single-process oracle, and full-mode
+//! artifacts must commit the whole 1/2/4/8-worker curve with the
+//! 4-worker fleet clearing 1.5× single-worker throughput — the point
+//! of the router is that a fleet outserves one process.
+//!
 //! Run: `cargo run --release -p websyn-bench --bin bench_check`
 //! (reads the workspace-root `BENCH_matcher.json` / `BENCH_serve.json`,
 //! or the paths in the `BENCH_MATCHER_JSON` / `BENCH_SERVE_JSON` env
@@ -130,10 +138,116 @@ fn check_serve_section(section: &str, label: &str) -> Result<f64, String> {
     Ok(throughput)
 }
 
+/// Minimum full-mode throughput ratio of the 4-worker fleet over the
+/// single-worker baseline in the committed scale-out curve. The
+/// committed run clears it with headroom (≥ 2.2×); a router or
+/// supervisor change that flattens the curve fails CI.
+const CLUSTER_SCALE_FLOOR: f64 = 1.5;
+
+/// Validates the `"cluster"` scale-out section: workload keys, then
+/// every curve row (positive throughput, ordered percentiles, sane
+/// replication, zero mismatches vs the single-process oracle), then
+/// the full-mode curve shape: all of 1/2/4/8 workers present and the
+/// 4-worker fleet at ≥ [`CLUSTER_SCALE_FLOOR`]× single-worker qps.
+fn check_serve_cluster(section: &str, mode: &str) -> Result<(), String> {
+    for key in [
+        "\"connections\":",
+        "\"dict_size\":",
+        "\"distinct_queries\":",
+        "\"cache_capacity\":",
+        "\"zipf_s\":",
+        "\"scale\": [",
+    ] {
+        if !section.contains(key) {
+            return Err(format!("[cluster] missing key {key}"));
+        }
+    }
+    // One curve row per line; each carries its own worker count.
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for line in section
+        .lines()
+        .filter(|l| l.contains("\"workers\":") && l.contains("\"throughput_qps\":"))
+    {
+        let number = |key: &str| -> Result<f64, String> {
+            number_value(line, key)
+                .ok_or_else(|| format!("[cluster] row missing \"{key}\": {line}"))
+        };
+        let workers = number("workers")?;
+        let label = format!("cluster x{workers}");
+        if workers < 1.0 {
+            return Err(format!("[{label}] workers must be ≥ 1"));
+        }
+        let replication = number("replication")?;
+        if !(replication >= 1.0 && replication <= workers) {
+            return Err(format!(
+                "[{label}] replication must be in [1, workers], got {replication}"
+            ));
+        }
+        let throughput = number("throughput_qps")?;
+        if throughput <= 0.0 {
+            return Err(format!(
+                "[{label}] throughput_qps must be positive, got {throughput}"
+            ));
+        }
+        let (p50, p95, p99) = (number("p50")?, number("p95")?, number("p99")?);
+        if !(p50 > 0.0 && p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "[{label}] latency percentiles must be positive and ordered, \
+                 got p50={p50} p95={p95} p99={p99}"
+            ));
+        }
+        let hit_rate = number("cache_hit_rate")?;
+        if !(hit_rate > 0.0 && hit_rate <= 1.0) {
+            return Err(format!(
+                "[{label}] cache_hit_rate must be in (0, 1], got {hit_rate}"
+            ));
+        }
+        let mismatches = number("response_mismatches")?;
+        if mismatches != 0.0 {
+            return Err(format!(
+                "[{label}] response_mismatches must be 0 (router invisible to \
+                 correctness), got {mismatches}"
+            ));
+        }
+        if rows.iter().any(|&(w, _)| w == workers) {
+            return Err(format!(
+                "[cluster] duplicate curve row for {workers} workers"
+            ));
+        }
+        rows.push((workers, throughput));
+    }
+    if rows.len() < 2 {
+        return Err(format!(
+            "[cluster] scale curve needs at least 2 fleet sizes, got {}",
+            rows.len()
+        ));
+    }
+    if mode == "full" {
+        let qps = |w: f64| -> Result<f64, String> {
+            rows.iter()
+                .find(|&&(rw, _)| rw == w)
+                .map(|&(_, q)| q)
+                .ok_or_else(|| format!("[cluster] full-mode curve missing the {w}-worker row"))
+        };
+        for w in [1.0, 2.0, 4.0, 8.0] {
+            qps(w)?;
+        }
+        let ratio = qps(4.0)? / qps(1.0)?;
+        if ratio < CLUSTER_SCALE_FLOOR {
+            return Err(format!(
+                "PERF REGRESSION: [cluster] 4-worker fleet at {ratio:.2}× single-worker \
+                 throughput, committed floor {CLUSTER_SCALE_FLOOR}×"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validates the serve artifact: workload keys, then the line-protocol
-/// section (top level) and the HTTP section (under `"http"`, last in
-/// the artifact) through the same per-section gates. A missing HTTP
-/// section fails — the front end must keep publishing both transports.
+/// section (top level), the HTTP section (under `"http"`) and the
+/// scale-out curve (under `"cluster"`, last in the artifact). A
+/// missing section fails — the front end must keep publishing both
+/// transports and the fleet curve.
 fn check_serve(content: &str) -> Result<(), String> {
     for key in [
         "\"bench\": \"serve\"",
@@ -158,20 +272,27 @@ fn check_serve(content: &str) -> Result<(), String> {
     if !matches!(mode, "full" | "smoke") {
         return Err(format!("mode must be full|smoke, got {mode:?}"));
     }
-    // The emitter writes line-protocol values at the top level and the
-    // HTTP object last, so splitting at the "http" key yields two
-    // slices each containing one protocol's values.
+    // The emitter writes line-protocol values at the top level, then
+    // the HTTP object, then the cluster object — so splitting at the
+    // two section keys yields three slices each containing one
+    // section's values.
     let http_at = content
         .find("\"http\":")
         .ok_or("missing key \"http\": (HTTP section dropped from the serve artifact)")?;
+    let cluster_at = content
+        .find("\"cluster\":")
+        .ok_or("missing key \"cluster\": (scale-out curve dropped from the serve artifact)")?;
+    if cluster_at < http_at {
+        return Err("serve artifact sections out of order: \"cluster\" before \"http\"".into());
+    }
     check_serve_section(&content[..http_at], "line")?;
-    let http_qps = check_serve_section(&content[http_at..], "http")?;
+    let http_qps = check_serve_section(&content[http_at..cluster_at], "http")?;
     if mode == "full" && http_qps < HTTP_QPS_FLOOR {
         return Err(format!(
             "PERF REGRESSION: [http] replay at {http_qps:.0} qps, committed floor {HTTP_QPS_FLOOR:.0}"
         ));
     }
-    Ok(())
+    check_serve_cluster(&content[cluster_at..], mode)
 }
 
 /// Relative throughput floors: `qps(numerator) / qps(denominator)`
@@ -428,7 +549,7 @@ mod tests {
     }
 
     fn valid_serve() -> String {
-        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0,\n  \"http\": {\n    \"throughput_qps\": 48000,\n    \"latency_us\": {\"p50\": 130.0, \"p95\": 360.5, \"p99\": 710.1, \"max\": 1300.0},\n    \"cache_hit_rate\": 0.9100,\n    \"cache_evictions\": 1,\n    \"response_mismatches\": 0\n  }\n}\n"
+        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0,\n  \"http\": {\n    \"throughput_qps\": 48000,\n    \"latency_us\": {\"p50\": 130.0, \"p95\": 360.5, \"p99\": 710.1, \"max\": 1300.0},\n    \"cache_hit_rate\": 0.9100,\n    \"cache_evictions\": 1,\n    \"response_mismatches\": 0\n  },\n  \"cluster\": {\n    \"connections\": 8,\n    \"dict_size\": 2000,\n    \"distinct_queries\": 300,\n    \"cache_capacity\": 128,\n    \"zipf_s\": 0.40,\n    \"scale\": [\n      {\"workers\": 1, \"replication\": 1, \"throughput_qps\": 8000, \"latency_us\": {\"p50\": 1700.0, \"p95\": 4600.0, \"p99\": 6000.0, \"max\": 17000.0}, \"cache_hit_rate\": 0.4120, \"response_mismatches\": 0},\n      {\"workers\": 2, \"replication\": 1, \"throughput_qps\": 12000, \"latency_us\": {\"p50\": 735.0, \"p95\": 4300.0, \"p99\": 6300.0, \"max\": 12000.0}, \"cache_hit_rate\": 0.7290, \"response_mismatches\": 0},\n      {\"workers\": 4, \"replication\": 1, \"throughput_qps\": 18000, \"latency_us\": {\"p50\": 683.0, \"p95\": 1600.0, \"p99\": 5000.0, \"max\": 16000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0},\n      {\"workers\": 8, \"replication\": 1, \"throughput_qps\": 16000, \"latency_us\": {\"p50\": 763.0, \"p95\": 2000.0, \"p99\": 5900.0, \"max\": 49000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0}\n    ]\n  }\n}\n"
             .to_string()
     }
 
@@ -490,6 +611,74 @@ mod tests {
         let http_low_hit =
             valid_serve().replace("\"cache_hit_rate\": 0.9100", "\"cache_hit_rate\": 0.2");
         assert!(check_serve(&http_low_hit).unwrap_err().contains("[http]"));
+    }
+
+    #[test]
+    fn serve_gate_covers_the_cluster_section() {
+        // Dropping the whole cluster object fails — the scale-out
+        // curve must stay published.
+        let gone = match valid_serve().find(",\n  \"cluster\": {") {
+            Some(at) => format!("{}\n}}\n", &valid_serve()[..at]),
+            None => panic!("fixture lost its cluster section"),
+        };
+        assert!(check_serve(&gone).unwrap_err().contains("\"cluster\""));
+        // Any curve row answering differently from the single-process
+        // oracle fails, labelled with its fleet size.
+        let mismatch = valid_serve().replacen(
+            "\"cache_hit_rate\": 0.7290, \"response_mismatches\": 0",
+            "\"cache_hit_rate\": 0.7290, \"response_mismatches\": 2",
+            1,
+        );
+        let err = check_serve(&mismatch).unwrap_err();
+        assert!(err.contains("[cluster x2]") && err.contains("response_mismatches"));
+        // Replication can never exceed the fleet size.
+        let overrep = valid_serve().replacen(
+            "{\"workers\": 1, \"replication\": 1,",
+            "{\"workers\": 1, \"replication\": 3,",
+            1,
+        );
+        assert!(check_serve(&overrep).unwrap_err().contains("replication"));
+        // A one-row "curve" is not a curve: truncate after the
+        // 1-worker row and close the arrays.
+        let only_first = {
+            let fixture = valid_serve();
+            let row1 = fixture.find("\"workers\": 1").expect("row 1");
+            let end = row1 + fixture[row1..].find('}').expect("latency close") + 1;
+            let end = end + fixture[end..].find('}').expect("row close") + 1;
+            format!("{}\n    ]\n  }}\n}}\n", &fixture[..end])
+        };
+        assert!(check_serve(&only_first)
+            .unwrap_err()
+            .contains("at least 2 fleet sizes"));
+    }
+
+    #[test]
+    fn cluster_scale_floor_gates_full_mode_only() {
+        // A flat curve (4-worker fleet no faster than one worker):
+        // fine in smoke mode, a perf regression in full mode.
+        let flat = valid_serve().replacen(
+            "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 18000",
+            "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 9000",
+            1,
+        );
+        assert_eq!(check_serve(&flat), Ok(()));
+        let flat_full = flat.replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        let err = check_serve(&flat_full).unwrap_err();
+        assert!(
+            err.contains("PERF REGRESSION") && err.contains("[cluster]"),
+            "{err}"
+        );
+        // The committed shape passes in full mode (18000/8000 = 2.25×)…
+        let full = valid_serve().replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert_eq!(check_serve(&full), Ok(()));
+        // …but full mode insists on the whole 1/2/4/8 curve.
+        let no_8 = {
+            let fixture = full.clone();
+            let at = fixture.find(",\n      {\"workers\": 8").expect("row 8");
+            let end = fixture.find("\n    ]").expect("scale close");
+            format!("{}{}", &fixture[..at], &fixture[end..])
+        };
+        assert!(check_serve(&no_8).unwrap_err().contains("8-worker row"));
     }
 
     #[test]

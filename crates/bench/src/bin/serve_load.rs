@@ -21,14 +21,23 @@
 //! response that differs from the uncached one, anywhere in the run,
 //! fails the binary.
 //!
+//! The third replay is the **cluster scale-out curve**: the same HTTP
+//! log against `websyn_serve::Cluster` fleets of 1/2/4/8 worker
+//! processes (each spawned by re-execing this binary through the
+//! cluster worker sentinel), closed-loop clients through the router,
+//! every response checked against the same single-process golden
+//! bodies — the router must be invisible to correctness.
+//!
 //! Emits `BENCH_serve.json` at the workspace root (override with the
 //! `BENCH_SERVE_JSON` env var): line-protocol numbers at the top
 //! level (schema-compatible with earlier PRs), HTTP numbers under
-//! `"http"`. `bench_check` gates both sections in CI.
+//! `"http"`, the scale-out curve under `"cluster"`. `bench_check`
+//! gates all three sections in CI.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin serve_load`
 //! Smoke (CI): `... --bin serve_load -- --test`
-//! One protocol only (no artifact): `... -- --line` / `... -- --http`
+//! One section only (no artifact): `... -- --line` / `--http` /
+//! `--cluster [N]` (curve capped at N workers)
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -40,6 +49,7 @@ use websyn_bench::synth_product_dictionary;
 use websyn_common::stats::percentile_sorted;
 use websyn_common::{SeedSequence, Zipf};
 use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::cluster::{run_worker_if_flagged, Cluster, ClusterConfig};
 use websyn_serve::http::{percent_encode, read_response, spans_json};
 use websyn_serve::{
     format_spans, Engine, HttpProtocol, LineProtocol, Protocol, Server, ServerConfig,
@@ -59,6 +69,31 @@ struct LoadConfig {
     batch_window: Duration,
     cache_capacity: usize,
     zipf_s: f64,
+    /// Closed-loop client connections against the cluster router (one
+    /// request in flight each — the router proxies synchronously, so
+    /// per-connection concurrency is 1 by construction).
+    cluster_connections: usize,
+    /// Fleet sizes of the scale-out curve.
+    cluster_curve: Vec<usize>,
+    /// Dictionary size of the cluster workload — larger than the
+    /// single-process sections' so a cache miss pays a real
+    /// segmentation price (fuzzy candidate generation scales with the
+    /// dictionary) and the curve has something to amortise.
+    cluster_dict_size: usize,
+    /// Distinct queries of the cluster workload — deliberately larger
+    /// than one worker's cache but within a 4-worker fleet's aggregate
+    /// capacity, so the curve measures what fleet scale-out buys:
+    /// aggregate cache capacity under hash partitioning.
+    cluster_distinct: usize,
+    /// Per-worker result-cache capacity in the cluster replay.
+    cluster_cache_capacity: usize,
+    /// Zipf exponent of the cluster stream — flatter than the
+    /// single-process sections' so the working set is the whole pool,
+    /// not a cacheable head.
+    cluster_zipf_s: f64,
+    /// Hot-shard replication factor of the curve's rings: 1, so every
+    /// distinct query has exactly one home cache.
+    cluster_replication: usize,
 }
 
 impl LoadConfig {
@@ -75,6 +110,13 @@ impl LoadConfig {
             batch_window: Duration::from_micros(100),
             cache_capacity: 1_024,
             zipf_s: 1.0,
+            cluster_connections: 16,
+            cluster_curve: vec![1, 2, 4, 8],
+            cluster_dict_size: 40_000,
+            cluster_distinct: 1_500,
+            cluster_cache_capacity: 512,
+            cluster_zipf_s: 0.4,
+            cluster_replication: 1,
         }
     }
 
@@ -88,6 +130,12 @@ impl LoadConfig {
             pipeline_depth: 4,
             workers: 2,
             cache_capacity: 256,
+            cluster_connections: 8,
+            cluster_curve: vec![1, 2],
+            cluster_dict_size: 2_000,
+            cluster_distinct: 300,
+            cluster_cache_capacity: 128,
+            cluster_replication: 1,
             ..Self::full()
         }
     }
@@ -320,7 +368,116 @@ fn run_replay(
     }
 }
 
-fn print_report(name: &str, r: &Report, config: &LoadConfig, wall_queries: usize) {
+/// Extracts a numeric field from the router's fixed-format `/stats`
+/// JSON body.
+fn stats_number(body: &str, key: &str) -> f64 {
+    let pattern = format!("\"{key}\":");
+    body.find(&pattern)
+        .map(|at| {
+            body[at + pattern.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// One point of the scale-out curve: the HTTP log replayed through a
+/// router over `workers` freshly spawned worker processes. Clients are
+/// closed-loop (depth 1) — the router proxies synchronously, so
+/// cluster concurrency comes from connections, and fleet scaling from
+/// worker processes overlapping their batch windows.
+fn run_cluster_replay(
+    dict_path: &str,
+    requests: &[String],
+    golden: &[String],
+    stream: &[u32],
+    config: &LoadConfig,
+    workers: usize,
+) -> Report {
+    let cluster = Cluster::start(
+        "127.0.0.1:0",
+        ClusterConfig {
+            workers,
+            replication: config.cluster_replication.min(workers),
+            dict: Some(dict_path.to_string()),
+            worker_args: vec![
+                "--workers".into(),
+                "2".into(),
+                "--queue-depth".into(),
+                "4096".into(),
+                "--batch-max".into(),
+                config.batch_max.to_string(),
+                // Each worker sees only its shard of the traffic: a
+                // batching window would add latency without filling
+                // batches, so cluster workers drain eagerly.
+                "--batch-window-us".into(),
+                "0".into(),
+                "--cache-capacity".into(),
+                config.cluster_cache_capacity.to_string(),
+            ],
+            ready_timeout: Duration::from_secs(30),
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("start cluster");
+    let addr = cluster.addr();
+
+    let chunk = stream.len().div_ceil(config.cluster_connections);
+    let started = Instant::now();
+    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    run_client_http(addr, slice, requests, golden, 1).expect("client io")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    // Fleet-aggregated cache statistics, through the router.
+    let (hit_rate, evictions) = {
+        let conn = TcpStream::connect(addr).expect("stats connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut conn = conn;
+        conn.write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("stats send");
+        let (status, body) = read_response(&mut reader).expect("stats read");
+        assert_eq!(status, 200, "router stats: {body}");
+        (
+            stats_number(&body, "hit_rate"),
+            stats_number(&body, "evictions") as u64,
+        )
+    };
+    cluster.shutdown();
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    let mismatches: usize = results.iter().map(|(_, m)| m).sum();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latency"));
+    assert_eq!(latencies.len(), stream.len());
+    Report {
+        throughput: stream.len() as f64 / wall.as_secs_f64(),
+        p50: percentile_sorted(&latencies, 0.50),
+        p95: percentile_sorted(&latencies, 0.95),
+        p99: percentile_sorted(&latencies, 0.99),
+        max: latencies[latencies.len() - 1],
+        hit_rate,
+        evictions,
+        mismatches,
+    }
+}
+
+fn print_report(name: &str, r: &Report, cache_capacity: usize, wall_queries: usize) {
     println!(
         "serve_load[{name}]: {:.0} qps over {} queries",
         r.throughput, wall_queries
@@ -333,7 +490,7 @@ fn print_report(name: &str, r: &Report, config: &LoadConfig, wall_queries: usize
         "serve_load[{name}]: cache hit rate {:.1}% ({} evictions, capacity {})",
         r.hit_rate * 100.0,
         r.evictions,
-        config.cache_capacity
+        cache_capacity
     );
 }
 
@@ -355,20 +512,38 @@ fn gate(name: &str, r: &Report) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Re-entered as a cluster worker (the scale-out replay spawns its
+    // fleet from this very binary)? Serve and exit.
+    if let Some(code) = run_worker_if_flagged() {
+        return code;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
     let only_line = args.iter().any(|a| a == "--line");
     let only_http = args.iter().any(|a| a == "--http");
-    let (run_line, run_http) = if only_line == only_http {
-        (true, true) // neither or both flags: replay both protocols
+    let only_cluster = args.iter().any(|a| a == "--cluster");
+    // `--cluster N` caps the curve at N workers.
+    let cluster_cap: Option<usize> = args
+        .iter()
+        .position(|a| a == "--cluster")
+        .and_then(|at| args.get(at + 1))
+        .and_then(|v| v.parse().ok());
+    let any_only = only_line || only_http || only_cluster;
+    // No section flag: replay everything (the artifact needs all
+    // three); with flags, replay exactly what was asked.
+    let (run_line, run_http, run_cluster) = if any_only {
+        (only_line, only_http, only_cluster)
     } else {
-        (only_line, only_http)
+        (true, true, true)
     };
-    let config = if smoke {
+    let mut config = if smoke {
         LoadConfig::smoke()
     } else {
         LoadConfig::full()
     };
+    if let Some(cap) = cluster_cap {
+        config.cluster_curve.retain(|&n| n <= cap.max(1));
+    }
 
     eprintln!(
         "serve_load: dict={} distinct={} total={} conns={}x{} workers={} cache={}",
@@ -416,7 +591,7 @@ fn main() -> ExitCode {
             &stream,
             &config,
         );
-        print_report("line", &r, &config, config.total_queries);
+        print_report("line", &r, config.cache_capacity, config.total_queries);
         r
     });
     let http = run_http.then(|| {
@@ -428,23 +603,103 @@ fn main() -> ExitCode {
             &stream,
             &config,
         );
-        print_report("http", &r, &config, config.total_queries);
+        print_report("http", &r, config.cache_capacity, config.total_queries);
         r
     });
 
+    // The scale-out curve, on its own workload: a larger dictionary
+    // (so each cache miss pays a real segmentation price), a flat-ish
+    // distinct-query pool sized between one worker's cache and a
+    // 4-worker fleet's aggregate capacity, and fleets of worker
+    // processes sharing the dictionary as a TSV artifact. Every
+    // response is still held to single-process golden bodies.
+    let cluster: Option<Vec<(usize, Report)>> = run_cluster.then(|| {
+        let cluster_dictionary = synth_product_dictionary(config.cluster_dict_size);
+        let cluster_matcher = Arc::new(
+            EntityMatcher::from_pairs(cluster_dictionary.clone())
+                .with_fuzzy(FuzzyConfig::default()),
+        );
+        let cluster_pool = query_pool(&cluster_dictionary, config.cluster_distinct);
+        let cluster_golden: Vec<String> = cluster_pool
+            .iter()
+            .map(|q| spans_json(&cluster_matcher.segment(q)))
+            .collect();
+        let cluster_zipf =
+            Zipf::new(config.cluster_distinct, config.cluster_zipf_s).expect("zipf params");
+        let mut rng = SeedSequence::new(42).rng("serve_load_cluster");
+        let cluster_stream: Vec<u32> = (0..config.total_queries)
+            .map(|_| cluster_zipf.sample(&mut rng) as u32)
+            .collect();
+        let dict_path =
+            std::env::temp_dir().join(format!("websyn-serve-load-dict-{}.tsv", std::process::id()));
+        std::fs::write(&dict_path, cluster_matcher.to_tsv()).expect("write dict tsv");
+        let requests: Vec<String> = cluster_pool
+            .iter()
+            .map(|q| format!("GET /match?q={} HTTP/1.1\r\n\r\n", percent_encode(q)))
+            .collect();
+        let curve: Vec<(usize, Report)> = config
+            .cluster_curve
+            .iter()
+            .map(|&workers| {
+                let r = run_cluster_replay(
+                    &dict_path.to_string_lossy(),
+                    &requests,
+                    &cluster_golden,
+                    &cluster_stream,
+                    &config,
+                    workers,
+                );
+                print_report(
+                    &format!("cluster x{workers}"),
+                    &r,
+                    config.cluster_cache_capacity,
+                    config.total_queries,
+                );
+                (workers, r)
+            })
+            .collect();
+        let _ = std::fs::remove_file(&dict_path);
+        curve
+    });
+
     // --- artifact --------------------------------------------------
-    // Written only when both protocols ran: bench_check requires both
-    // sections, so a single-protocol run must not clobber the artifact.
-    if let (Some(line), Some(http)) = (&line, &http) {
+    // Written only when every section ran: bench_check requires all of
+    // them, so a partial run must not clobber the artifact.
+    if let (Some(line), Some(http), Some(cluster)) = (&line, &http, &cluster) {
         let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
         });
         // Line-protocol numbers stay at the top level (the schema of
-        // earlier PRs); the HTTP section comes last so line-oriented
-        // first-occurrence readers of the shared key names still see
-        // the line values.
+        // earlier PRs); the HTTP and cluster sections come after, so
+        // line-oriented first-occurrence readers of the shared key
+        // names still see the line values.
+        let scale_rows: Vec<String> = cluster
+            .iter()
+            .map(|(workers, r)| {
+                format!(
+                    "      {{\"workers\": {workers}, \"replication\": {}, \"throughput_qps\": {:.0}, \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}}, \"cache_hit_rate\": {:.4}, \"response_mismatches\": {}}}",
+                    config.cluster_replication.min(*workers),
+                    r.throughput,
+                    r.p50,
+                    r.p95,
+                    r.p99,
+                    r.max,
+                    r.hit_rate,
+                    r.mismatches,
+                )
+            })
+            .collect();
+        let cluster_json = format!(
+            "  \"cluster\": {{\n    \"connections\": {},\n    \"dict_size\": {},\n    \"distinct_queries\": {},\n    \"cache_capacity\": {},\n    \"zipf_s\": {:.2},\n    \"scale\": [\n{}\n    ]\n  }}",
+            config.cluster_connections,
+            config.cluster_dict_size,
+            config.cluster_distinct,
+            config.cluster_cache_capacity,
+            config.cluster_zipf_s,
+            scale_rows.join(",\n"),
+        );
         let json = format!(
-            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {},\n  \"http\": {{\n    \"throughput_qps\": {:.0},\n    \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n    \"cache_hit_rate\": {:.4},\n    \"cache_evictions\": {},\n    \"response_mismatches\": {}\n  }}\n}}\n",
+            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {},\n  \"http\": {{\n    \"throughput_qps\": {:.0},\n    \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n    \"cache_hit_rate\": {:.4},\n    \"cache_evictions\": {},\n    \"response_mismatches\": {}\n  }},\n{cluster_json}\n}}\n",
             config.mode,
             config.total_queries,
             config.distinct_queries,
@@ -481,6 +736,21 @@ fn main() -> ExitCode {
         if let Some(r) = report {
             if let Err(msg) = gate(name, r) {
                 eprintln!("serve_load: FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Cluster rows gate only on correctness in-binary (every response
+    // byte-identical to the single-process oracle); the scaling floor
+    // is bench_check's, where the committed curve is what's judged.
+    if let Some(curve) = &cluster {
+        for (workers, r) in curve {
+            if r.mismatches > 0 {
+                eprintln!(
+                    "serve_load: FAILED: [cluster x{workers}] {} responses differed \
+                     from the single-process oracle",
+                    r.mismatches
+                );
                 return ExitCode::FAILURE;
             }
         }

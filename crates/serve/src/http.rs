@@ -40,7 +40,10 @@
 //! default; `Connection: close` and HTTP/1.0 close after the
 //! response), pipelined GETs (responses are re-sequenced into request
 //! order by the shared connection writer), percent-decoding (`%xx` and
-//! `+` for space) of the `q` parameter. Deliberately out of scope:
+//! `+` for space) of the `q` parameter — which may sit at any position
+//! in the `&`-separated query string (`/match?verbose=1&q=a`); a
+//! duplicated `q` is ambiguous and answered `400`, as is any broken
+//! percent escape. Deliberately out of scope:
 //! request bodies (a GET with `Content-Length`/`Transfer-Encoding` is
 //! answered `400` and the connection dropped, since the body would
 //! desynchronize request framing), chunked encoding, TLS, and
@@ -126,10 +129,13 @@ pub fn stats_json(stats: &CacheStats, swaps: u64) -> String {
 }
 
 /// Percent-decodes a query-string component: `+` is space, `%xx` is a
-/// byte, anything else passes through. Returns `None` on a truncated
-/// or non-hex escape (the request is malformed). Decoded bytes are
-/// interpreted as UTF-8, lossily — exactly like the line protocol's
-/// treatment of raw bytes.
+/// byte, anything else passes through. Returns `None` on any broken
+/// escape — a truncated escape at the end of the string (`a%2`), a
+/// lone trailing `%`, or non-hex escape digits (`%zz`) — and the
+/// caller maps `None` to a `400`: a broken escape never panics and
+/// never passes through as literal text. Decoded bytes are interpreted
+/// as UTF-8, lossily — exactly like the line protocol's treatment of
+/// raw bytes.
 pub fn percent_decode(s: &str) -> Option<String> {
     let raw = s.as_bytes();
     let mut out: Vec<u8> = Vec::with_capacity(raw.len());
@@ -180,9 +186,13 @@ pub fn percent_encode(s: &str) -> String {
 
 /// Reads one `Content-Length`-framed HTTP response off `reader` and
 /// returns `(status, body)` — a minimal std-only client, enough to
-/// drive this crate's own server (every websyn response is
-/// `Content-Length`-framed). Fails on a malformed status line, a
-/// missing/broken `Content-Length`, or a short read.
+/// drive this crate's own server and the cluster router's upstream
+/// side (every websyn response is `Content-Length`-framed). Accepts
+/// both `HTTP/1.1` and `HTTP/1.0` status lines — an upstream honoring
+/// a 1.0 request downgrades its response version, and rejecting it
+/// would make the proxy path version-fragile. Fails on any other
+/// version, a malformed status line, a missing/broken
+/// `Content-Length`, or a short read.
 pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String)> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     let mut line = String::new();
@@ -192,6 +202,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String)> {
     }
     let status: u16 = line
         .strip_prefix("HTTP/1.1 ")
+        .or_else(|| line.strip_prefix("HTTP/1.0 "))
         .and_then(|rest| rest.split(' ').next())
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("bad status line"))?;
@@ -307,6 +318,29 @@ impl HttpParser {
     }
 }
 
+/// Extracts the raw (still percent-encoded) `q` value from an
+/// `&`-separated query string. `q` may sit at any position among other
+/// parameters (`verbose=1&q=a&trace=0`); unknown keys are ignored.
+/// Returns `None` — a malformed request — when `q` is absent, has no
+/// `=` (a bare `q` key carries no value to decode), or appears more
+/// than once: with duplicates there is no principled winner, and
+/// silently picking one would make `?q=a&q=b` resolve differently from
+/// what at least one of the two senders meant, so the policy is an
+/// explicit `400`.
+fn query_param(query_string: &str) -> Option<&str> {
+    let mut q = None;
+    for pair in query_string.split('&') {
+        if let Some((key, value)) = pair.split_once('=') {
+            if key == "q" && q.replace(value).is_some() {
+                return None; // duplicate q: ambiguous, reject
+            }
+        } else if pair == "q" {
+            return None; // bare `q` with no `=`: no value to decode
+        }
+    }
+    q
+}
+
 /// Maps a request target onto the endpoint table.
 fn route(target: &str, close: bool) -> Request {
     let (path, query_string) = match target.split_once('?') {
@@ -315,15 +349,12 @@ fn route(target: &str, close: bool) -> Request {
     };
     match path {
         "/match" => {
-            let q = query_string.and_then(|qs| {
-                qs.split('&')
-                    .find_map(|pair| pair.strip_prefix("q="))
-                    .map(percent_decode)
-            });
+            let q = query_string.and_then(query_param).map(percent_decode);
             match q {
                 Some(Some(query)) => Request::Query { query, close },
-                // `q` missing or with a broken escape: a client error,
-                // but framing is intact — keep the connection.
+                // `q` missing/duplicated or with a broken escape: a
+                // client error, but framing is intact — keep the
+                // connection.
                 _ => Request::Reject {
                     reject: Reject::Malformed,
                     close,
@@ -546,8 +577,73 @@ mod tests {
         assert_eq!(percent_decode("%2B"), Some("+".to_string()));
         assert_eq!(percent_decode("caf%C3%A9"), Some("café".to_string()));
         assert_eq!(percent_decode("plain"), Some("plain".to_string()));
-        assert_eq!(percent_decode("bad%2"), None);
-        assert_eq!(percent_decode("bad%zz"), None);
+        // Broken escapes in every position map to None (→ 400), never
+        // a panic or a silent literal pass-through.
+        assert_eq!(percent_decode("bad%2"), None, "truncated escape at end");
+        assert_eq!(percent_decode("bad%zz"), None, "non-hex escape");
+        assert_eq!(percent_decode("%z2"), None, "non-hex first digit");
+        assert_eq!(percent_decode("%"), None, "lone %");
+        assert_eq!(percent_decode("a%"), None, "trailing %");
+        assert_eq!(percent_decode("%%20"), None, "% escaping itself");
+        assert_eq!(percent_decode("a%2%30"), None, "truncated mid-string");
+        // Invalid UTF-8 after decoding is lossy, not an error.
+        assert_eq!(percent_decode("%FF"), Some("\u{fffd}".to_string()));
+    }
+
+    #[test]
+    fn query_param_accepts_q_anywhere_and_rejects_ambiguity() {
+        // q at any position among &-separated parameters.
+        assert_eq!(query_param("q=a"), Some("a"));
+        assert_eq!(query_param("verbose=1&q=a"), Some("a"));
+        assert_eq!(query_param("q=a&verbose=1"), Some("a"));
+        assert_eq!(query_param("x=1&q=a&y=2"), Some("a"));
+        assert_eq!(query_param("q="), Some(""), "empty value is a value");
+        // Keys that merely start with q are not q.
+        assert_eq!(query_param("qq=a"), None);
+        assert_eq!(query_param("quiet=1"), None);
+        // Missing, bare, or duplicated q is ambiguous → malformed.
+        assert_eq!(query_param(""), None);
+        assert_eq!(query_param("verbose=1"), None);
+        assert_eq!(query_param("q"), None, "bare q has no value");
+        assert_eq!(query_param("q&verbose=1"), None);
+        assert_eq!(query_param("q=a&q=b"), None, "duplicate q");
+        assert_eq!(query_param("q=a&q=a"), None, "even identical dupes");
+    }
+
+    #[test]
+    fn route_extracts_q_from_any_position() {
+        for target in [
+            "/match?q=indy+4",
+            "/match?verbose=1&q=indy+4",
+            "/match?q=indy+4&verbose=1",
+            "/match?a=b&q=indy+4&c=d",
+        ] {
+            assert_eq!(
+                route(target, false),
+                Request::Query {
+                    query: "indy 4".to_string(),
+                    close: false,
+                },
+                "{target}"
+            );
+        }
+        for target in [
+            "/match?q=a&q=b",       // duplicate q
+            "/match?q",             // bare q
+            "/match?qq=a",          // no q at all
+            "/match?verbose=1",     // no q at all
+            "/match?q=a&q=%zz",     // duplicate beats even a broken dupe
+            "/match?verbose=1&q=%", // broken escape in a later position
+        ] {
+            assert_eq!(
+                route(target, false),
+                Request::Reject {
+                    reject: Reject::Malformed,
+                    close: false,
+                },
+                "{target}"
+            );
+        }
     }
 
     #[test]
@@ -594,6 +690,42 @@ mod tests {
         let mut reader = std::io::BufReader::new(two.as_bytes());
         assert_eq!(read_response(&mut reader).unwrap(), (200, "{}".to_string()));
         assert_eq!(read_response(&mut reader).unwrap(), (404, "[]".to_string()));
+    }
+
+    #[test]
+    fn read_response_accepts_http10_status_lines() {
+        // The router reuses this client path; an HTTP/1.0 upstream
+        // response must parse just like 1.1.
+        let raw = "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\n{}";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        assert_eq!(read_response(&mut reader).unwrap(), (200, "{}".to_string()));
+    }
+
+    #[test]
+    fn read_response_rejects_malformed_status_lines() {
+        for raw in [
+            "HTTP/2 200 OK\r\nContent-Length: 0\r\n\r\n", // unsupported version
+            "HTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n", // typo'd protocol
+            "HTTP/1.1\r\nContent-Length: 0\r\n\r\n",      // no status code
+            "HTTP/1.1 abc Bad\r\nContent-Length: 0\r\n\r\n", // non-numeric status
+            "HTTP/1.1 99999 Big\r\nContent-Length: 0\r\n\r\n", // status > u16
+            "totally not http\r\n\r\n",
+        ] {
+            let mut reader = std::io::BufReader::new(raw.as_bytes());
+            let err = read_response(&mut reader).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+        // Missing Content-Length is InvalidData; empty input is EOF.
+        let mut reader = std::io::BufReader::new("HTTP/1.1 200 OK\r\n\r\n".as_bytes());
+        assert_eq!(
+            read_response(&mut reader).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut reader = std::io::BufReader::new("".as_bytes());
+        assert_eq!(
+            read_response(&mut reader).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   [`http`]). Both run on the same connections, queue, workers and
 //!   cache — and on the same pre-rendered cache entries, so a cache
 //!   hit is a pure lookup-and-write on every transport.
+//! - [`Cluster`] / [`Router`] — multi-process serving: a worker fleet
+//!   of independent engines behind a hash-partitioning HTTP router
+//!   ([`router`]), supervised with health probes, backoff restarts and
+//!   zero-downtime rolling rebuilds ([`cluster`]).
 //!
 //! ## A complete round trip (line protocol)
 //!
@@ -82,10 +86,14 @@
 //! ```
 
 // Wire formats are public modules: their grammars (and serializers)
-// are part of the crate's contract with clients.
+// are part of the crate's contract with clients. So are the cluster
+// modules — binaries outside this crate (the bench harness) host
+// worker processes and drive fleets through them.
+pub mod cluster;
 pub mod http;
 pub mod proto;
 pub mod protocol;
+pub mod router;
 
 // Machinery modules stay private; their deliberate surface is the
 // curated re-export list below.
@@ -95,8 +103,10 @@ mod queue;
 mod server;
 
 pub use cache::{CacheStats, ShardedCache};
+pub use cluster::{run_worker_if_flagged, Cluster, ClusterConfig, WORKER_SENTINEL};
 pub use engine::{Engine, EngineBuilder, EngineConfig, Rendered};
 pub use http::HttpProtocol;
 pub use proto::{format_spans, format_stats, LineProtocol};
 pub use protocol::{Protocol, Reject, Request, RequestParser, Wire};
+pub use router::{Ring, Router, RouterConfig};
 pub use server::{ServeConfig, Server, ServerConfig, ServerConfigBuilder, ServerHandle};

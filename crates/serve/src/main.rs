@@ -26,8 +26,8 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use websyn_common::EntityId;
-use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_core::EntityMatcher;
+use websyn_serve::cluster::{load_matcher, run_worker_if_flagged, Cluster, ClusterConfig};
 use websyn_serve::{http, Engine, EngineConfig, HttpProtocol, Protocol, Server, ServerConfig};
 
 /// Parsed command line.
@@ -36,6 +36,10 @@ struct Args {
     dict: Option<String>,
     smoke: bool,
     http: bool,
+    /// `--cluster N`: serve through a router over N worker processes
+    /// instead of one in-process server (HTTP only).
+    cluster: usize,
+    replication: usize,
     server: ServerConfig,
     engine: EngineConfig,
 }
@@ -46,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
         dict: None,
         smoke: false,
         http: false,
+        cluster: 0,
+        replication: 2,
         server: ServerConfig::default(),
         engine: EngineConfig::default(),
     };
@@ -63,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown protocol {other:?} (line|http)")),
                 }
             }
+            "--cluster" => args.cluster = parse(&value("--cluster")?)?,
+            "--replication" => args.replication = parse(&value("--replication")?)?,
             "--workers" => args.server.workers = parse(&value("--workers")?)?,
             "--queue-depth" => args.server.queue_depth = parse(&value("--queue-depth")?)?,
             "--batch-max" => args.server.batch_max = parse(&value("--batch-max")?)?,
@@ -75,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: websyn-serve [--proto line|http] [--addr A] [--dict F.tsv] \
+                     [--cluster N] [--replication N] \
                      [--workers N] [--queue-depth N] [--batch-max N] [--batch-window-us N] \
                      [--cache-capacity N] [--cache-shards N] [--smoke]"
                         .to_string(),
@@ -90,36 +99,12 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad number {s:?}"))
 }
 
-/// The built-in demo dictionary: the paper's running examples.
-fn demo_matcher() -> EntityMatcher {
-    EntityMatcher::from_pairs(vec![
-        (
-            "Indiana Jones and the Kingdom of the Crystal Skull",
-            EntityId::new(0),
-        ),
-        ("indy 4", EntityId::new(0)),
-        ("indiana jones 4", EntityId::new(0)),
-        ("madagascar 2", EntityId::new(1)),
-        ("madagascar escape 2 africa", EntityId::new(1)),
-        ("canon eos 350d", EntityId::new(2)),
-        ("digital rebel xt", EntityId::new(2)),
-        ("350d", EntityId::new(2)),
-    ])
-    .with_fuzzy(FuzzyConfig::default())
-}
-
-fn load_matcher(dict: Option<&str>) -> Result<EntityMatcher, String> {
-    match dict {
-        None => Ok(demo_matcher()),
-        Some(path) => {
-            let tsv =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            EntityMatcher::from_tsv(&tsv).map_err(|e| format!("cannot parse {path}: {e}"))
-        }
-    }
-}
-
 fn main() -> ExitCode {
+    // Re-entered as a cluster worker? Serve and exit — the rest of the
+    // command line belongs to the worker.
+    if let Some(code) = run_worker_if_flagged() {
+        return code;
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
@@ -163,6 +148,35 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.cluster > 0 {
+        // Cluster mode: a router over worker processes, each re-execing
+        // this binary with the worker sentinel. The tuning flags travel
+        // to the workers; the router itself holds no engine.
+        let config = ClusterConfig {
+            workers: args.cluster,
+            replication: args.replication,
+            dict: args.dict.clone(),
+            worker_args: worker_args(&args),
+            ..ClusterConfig::default()
+        };
+        let cluster = match Cluster::start(args.addr.as_str(), config) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("websyn-serve: cannot start cluster on {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "websyn-serve: routing on {} over {} workers (replication {})",
+            cluster.addr(),
+            cluster.workers(),
+            args.replication
+        );
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
     let protocol: Arc<dyn Protocol> = if args.http {
         Arc::new(HttpProtocol)
     } else {
@@ -194,6 +208,25 @@ fn main() -> ExitCode {
 
 fn engine(matcher: &Arc<EntityMatcher>, config: EngineConfig) -> Arc<Engine> {
     Arc::new(Engine::builder(Arc::clone(matcher)).config(config).build())
+}
+
+/// The per-worker tuning flags of a `--cluster` run, forwarded to each
+/// worker process (`--dict` is handled by [`ClusterConfig`] itself).
+fn worker_args(args: &Args) -> Vec<String> {
+    vec![
+        "--workers".into(),
+        args.server.workers.to_string(),
+        "--queue-depth".into(),
+        args.server.queue_depth.to_string(),
+        "--batch-max".into(),
+        args.server.batch_max.to_string(),
+        "--batch-window-us".into(),
+        args.server.batch_window.as_micros().to_string(),
+        "--cache-capacity".into(),
+        args.engine.cache_capacity.to_string(),
+        "--cache-shards".into(),
+        args.engine.cache_shards.to_string(),
+    ]
 }
 
 /// One scripted client session against a live ephemeral-port line

@@ -266,6 +266,51 @@ mod tests {
     }
 
     #[test]
+    fn close_during_the_batch_window_still_drains_everything() {
+        // The race this pins: the consumer has taken its first item and
+        // is parked inside Phase 2's `wait_timeout` when producers push
+        // more items and then `close()` fires. Closure must not eat the
+        // late items — the consumer drains them (this batch or the
+        // next), then sees the exit signal. A worker pool stuck here
+        // would hang `ServerHandle::shutdown` forever.
+        for _ in 0..50 {
+            let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(16));
+            q.push(1).unwrap();
+            let consumer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut batch = Vec::new();
+                    // A 10s window: only closure can end Phase 2 early,
+                    // so a missed wakeup fails the test loudly.
+                    while q.pop_batch(8, Duration::from_secs(10), &mut batch) {
+                        got.extend(batch.iter().copied());
+                    }
+                    got
+                })
+            };
+            // Let the consumer take item 1 and enter the window wait,
+            // then race late pushes against the close.
+            std::thread::sleep(Duration::from_millis(1));
+            q.push(2).unwrap();
+            q.push(3).unwrap();
+            q.close();
+            assert_eq!(q.push(4), Err(PushError::Closed));
+            let start = Instant::now();
+            let got = consumer.join().unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "consumer must exit on close, not sleep out the window"
+            );
+            assert_eq!(got, vec![1, 2, 3], "late pushes survive the close");
+            // Post-close pops report the shutdown immediately.
+            let mut batch = Vec::new();
+            assert!(!q.pop_batch(8, Duration::from_secs(10), &mut batch));
+            assert!(batch.is_empty());
+        }
+    }
+
+    #[test]
     fn contended_producers_and_consumers_lose_nothing() {
         let q = Arc::new(BoundedQueue::new(1024));
         let n_producers = 4;

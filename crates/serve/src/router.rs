@@ -1,0 +1,620 @@
+//! The cluster router: a thin std-only HTTP/1.1 proxy that
+//! hash-partitions `GET /match?q=` traffic across worker processes.
+//!
+//! The router owns no matcher and no cache — it parses each client
+//! request with the same [`HttpProtocol`] framing the workers speak,
+//! hashes the *normalized* query (so encoding variants of one query
+//! land on one worker's cache), and forwards the request over a
+//! keep-alive upstream connection, reading the worker's answer with
+//! [`crate::http::read_response`] — the exact client path the test
+//! suite and benchmarks use.
+//!
+//! Placement is a static ring with hot-shard replication: a query whose
+//! hash maps to home slot `h` may be served by any of the `replication`
+//! slots `h, h+1, …` (mod the fleet size), and the router picks the
+//! live candidate with the fewest requests in flight. Replication > 1
+//! means a hot shard spreads over several workers *and* a drained or
+//! dead worker's range stays covered by its neighbors — the property
+//! the rolling-restart story relies on. When every candidate is down
+//! the router falls back to scanning the whole ring, so a single
+//! healthy worker keeps the service answering.
+//!
+//! Failure handling is per-request: an upstream IO error first retries
+//! once on a fresh connection to the same worker (the keep-alive socket
+//! may simply have been closed by a worker restart), then marks the
+//! slot down — draining it from the ring until the fleet monitor
+//! ([`crate::cluster`]) republishes it — and fails over to the next
+//! candidate. GETs are idempotent, so retrying is safe; a client
+//! request is only answered `503` when no worker at all can serve it.
+
+use crate::http::{self, percent_encode, read_response};
+use crate::protocol::{Protocol, Reject, Request};
+use crate::HttpProtocol;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One worker slot in the ring. `addr` is `None` while the slot is
+/// drained (worker dead, backing off, or being swapped); `in_flight`
+/// counts requests currently proxied to it, for least-loaded picks and
+/// for the rolling restart's drain wait.
+#[derive(Debug)]
+struct Slot {
+    addr: Mutex<Option<SocketAddr>>,
+    in_flight: AtomicUsize,
+}
+
+/// The routing table shared by the router's connection handlers and
+/// the fleet monitor: fixed slot count, per-slot liveness, hot-shard
+/// replication factor.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Vec<Slot>,
+    replication: usize,
+}
+
+impl Ring {
+    /// A ring of `n` slots (all initially down) with the given
+    /// replication factor (clamped to `1..=n`).
+    pub fn new(n: usize, replication: usize) -> Self {
+        let n = n.max(1);
+        Self {
+            slots: (0..n)
+                .map(|_| Slot {
+                    addr: Mutex::new(None),
+                    in_flight: AtomicUsize::new(0),
+                })
+                .collect(),
+            replication: replication.clamp(1, n),
+        }
+    }
+
+    /// Number of slots (the fleet size, dead or alive).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring has no slots. (It never does — `new` clamps to
+    /// one — but the conventional pair to `len` keeps lints quiet.)
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Marks `slot` live at `addr`. Called by the fleet when a worker
+    /// reports ready.
+    pub fn publish(&self, slot: usize, addr: SocketAddr) {
+        *self.slots[slot].addr.lock().expect("ring poisoned") = Some(addr);
+    }
+
+    /// Drains `slot`: new requests stop routing to it immediately;
+    /// requests already in flight finish against the still-running
+    /// worker. Returns the address that was published, if any.
+    pub fn take_down(&self, slot: usize) -> Option<SocketAddr> {
+        self.slots[slot].addr.lock().expect("ring poisoned").take()
+    }
+
+    /// The published address of `slot`, if it is live.
+    pub fn addr_of(&self, slot: usize) -> Option<SocketAddr> {
+        *self.slots[slot].addr.lock().expect("ring poisoned")
+    }
+
+    /// How many slots are currently live.
+    pub fn up_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.addr.lock().expect("ring poisoned").is_some())
+            .count()
+    }
+
+    /// Requests in flight against `slot` right now.
+    pub fn in_flight(&self, slot: usize) -> usize {
+        self.slots[slot].in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Picks the slot to serve a query with ring hash `hash`, avoiding
+    /// the slots in `exclude` (already failed this request): the
+    /// least-loaded live replica of the home slot, or — when the whole
+    /// replica set is down — the first live slot scanning onward from
+    /// home. Returns the slot index and its address.
+    pub fn pick(&self, hash: u64, exclude: &[usize]) -> Option<(usize, SocketAddr)> {
+        let n = self.slots.len();
+        let home = (hash % n as u64) as usize;
+        let candidate = |i: usize| -> Option<(usize, SocketAddr, usize)> {
+            let slot = (home + i) % n;
+            if exclude.contains(&slot) {
+                return None;
+            }
+            let addr = self.addr_of(slot)?;
+            Some((slot, addr, self.in_flight(slot)))
+        };
+        // Least in-flight among the live replicas…
+        if let Some((slot, addr, _)) = (0..self.replication)
+            .filter_map(candidate)
+            .min_by_key(|&(_, _, load)| load)
+        {
+            return Some((slot, addr));
+        }
+        // …else the first live slot beyond the replica set.
+        (self.replication..n)
+            .filter_map(candidate)
+            .next()
+            .map(|(slot, addr, _)| (slot, addr))
+    }
+}
+
+/// RAII in-flight accounting for one proxied request.
+struct InFlight<'a> {
+    ring: &'a Ring,
+    slot: usize,
+}
+
+impl<'a> InFlight<'a> {
+    fn enter(ring: &'a Ring, slot: usize) -> Self {
+        ring.slots[slot].in_flight.fetch_add(1, Ordering::SeqCst);
+        Self { ring, slot }
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.ring.slots[self.slot]
+            .in_flight
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Router tuning. The defaults suit tests and the benchmark harness;
+/// the binaries expose the interesting ones as flags.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Per-request cap on a client protocol line (mirrors
+    /// [`crate::ServerConfig::max_line_bytes`]).
+    pub max_line_bytes: usize,
+    /// Read/write timeout on upstream worker sockets — a hung worker
+    /// costs at most this long before failover.
+    pub upstream_timeout: Duration,
+    /// Client-side read timeout; doubles as the shutdown poll interval.
+    pub read_timeout: Duration,
+    /// Maximum concurrently served client connections.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            max_line_bytes: 64 * 1024,
+            upstream_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(25),
+            max_connections: 1024,
+        }
+    }
+}
+
+/// A running router: accept loop + per-connection proxy threads.
+/// [`Router::shutdown`] (or drop) stops and joins everything; worker
+/// processes are not the router's to stop — that is
+/// [`crate::cluster::Cluster`]'s job.
+pub struct Router {
+    addr: SocketAddr,
+    ring: Arc<Ring>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr` and starts proxying to the live slots of `ring`.
+    pub fn start(addr: &str, ring: Arc<Ring>, config: RouterConfig) -> io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let ring = Arc::clone(&ring);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &ring, &shutdown, config))
+        };
+        Ok(Router {
+            addr: local_addr,
+            ring,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routing table — the fleet monitor publishes and drains
+    /// slots through this.
+    pub fn ring(&self) -> &Arc<Ring> {
+        &self.ring
+    }
+
+    /// Stops accepting, drains handler threads, returns when all are
+    /// joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    ring: &Arc<Ring>,
+    shutdown: &Arc<AtomicBool>,
+    config: RouterConfig,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                stream
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        handlers.retain(|h| !h.is_finished());
+        if handlers.len() >= config.max_connections.max(1) {
+            drop(stream);
+            continue;
+        }
+        let ring = Arc::clone(ring);
+        let shutdown = Arc::clone(shutdown);
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_client(stream, &ring, &shutdown, config);
+        }));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One keep-alive upstream connection to a worker.
+struct Upstream {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+}
+
+impl Upstream {
+    fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let conn = TcpStream::connect_timeout(&addr, timeout)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(timeout))?;
+        conn.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Self { conn, reader, addr })
+    }
+
+    /// One request/response exchange. `request_head` is a complete
+    /// HTTP request head, CRLFs included.
+    fn exchange(&mut self, request_head: &str) -> io::Result<(u16, String)> {
+        self.conn.write_all(request_head.as_bytes())?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Maps the status codes the proxy relays back onto reason phrases —
+/// `read_response` keeps only the code, and the reconstructed response
+/// should read naturally in a browser's network tab.
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// The ring hash of a query: over its *normalized* form, so `Indy+4`,
+/// `indy%204` and `indy 4` all route to the same worker and share its
+/// cache entries.
+pub fn query_hash(query: &str) -> u64 {
+    websyn_common::hash::fx_hash_one(&websyn_text::normalized(query).as_ref())
+}
+
+/// Serves one client connection: parse requests with the shared
+/// [`HttpProtocol`] framing, proxy queries to workers, answer stats
+/// and rejects locally. Synchronous per request — pipelined clients
+/// are still answered in order because requests are processed in
+/// arrival order on this one thread.
+fn handle_client(
+    stream: TcpStream,
+    ring: &Arc<Ring>,
+    shutdown: &Arc<AtomicBool>,
+    config: RouterConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let protocol = HttpProtocol;
+    let mut parser = protocol.parser();
+    // Keep-alive upstream connections, one per slot, reused across the
+    // requests of this client connection.
+    let mut upstreams: Vec<Option<Upstream>> = (0..ring.len()).map(|_| None).collect();
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if line.len() > config.max_line_bytes {
+            let body = protocol.render_reject(Reject::TooLarge);
+            writer.write_all(body.as_bytes())?;
+            break;
+        }
+        let allowed = (config.max_line_bytes + 1 - line.len()) as u64;
+        match (&mut reader).take(allowed).read_until(b'\n', &mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if line.last() != Some(&b'\n') {
+                    continue;
+                }
+                line.pop();
+                let Some(request) = parser.on_line(&line) else {
+                    line.clear();
+                    continue;
+                };
+                line.clear();
+                let (response, close) = answer(&protocol, ring, &mut upstreams, request, config);
+                writer.write_all(response.as_bytes())?;
+                writer.flush()?;
+                if close {
+                    break;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Produces the response for one parsed request and whether the
+/// connection closes after it.
+fn answer(
+    protocol: &HttpProtocol,
+    ring: &Ring,
+    upstreams: &mut [Option<Upstream>],
+    request: Request,
+    config: RouterConfig,
+) -> (String, bool) {
+    match request {
+        Request::Query { query, close } => (proxy_query(ring, upstreams, &query, config), close),
+        Request::Stats { close } => (aggregate_stats(ring, config), close),
+        Request::Reject { reject, close } => (protocol.render_reject(reject).to_string(), close),
+    }
+}
+
+/// Proxies one query: pick a worker, exchange, fail over on IO errors.
+/// Answers `503` only when every slot has been tried and none could
+/// serve.
+fn proxy_query(
+    ring: &Ring,
+    upstreams: &mut [Option<Upstream>],
+    query: &str,
+    config: RouterConfig,
+) -> String {
+    let hash = query_hash(query);
+    let head = format!("GET /match?q={} HTTP/1.1\r\n\r\n", percent_encode(query));
+    let mut failed: Vec<usize> = Vec::new();
+    while let Some((slot, addr)) = ring.pick(hash, &failed) {
+        let _guard = InFlight::enter(ring, slot);
+        match exchange_with(upstreams, slot, addr, &head, config) {
+            Ok((status, body)) => return http::response(status, reason_for(status), &body),
+            Err(_) => {
+                // Both the cached connection and a fresh one failed:
+                // the worker is gone or wedged. Drain it — the fleet
+                // monitor restarts it and republishes — and fail over.
+                ring.take_down(slot);
+                failed.push(slot);
+            }
+        }
+    }
+    http::response(503, "Service Unavailable", "{\"error\":\"unavailable\"}")
+}
+
+/// One exchange against `slot`, reusing its keep-alive connection when
+/// possible. A failure on a *reused* connection is retried once on a
+/// fresh connection before being reported: the cached socket may be a
+/// stale keep-alive from before a worker restart, which is not
+/// evidence the (possibly new) worker at `addr` is unhealthy.
+fn exchange_with(
+    upstreams: &mut [Option<Upstream>],
+    slot: usize,
+    addr: SocketAddr,
+    head: &str,
+    config: RouterConfig,
+) -> io::Result<(u16, String)> {
+    if let Some(upstream) = upstreams[slot].as_mut() {
+        if upstream.addr == addr {
+            match upstream.exchange(head) {
+                Ok(response) => return Ok(response),
+                Err(_) => upstreams[slot] = None,
+            }
+        } else {
+            // The slot was restarted onto a new port: the cached
+            // connection is to the old process.
+            upstreams[slot] = None;
+        }
+    }
+    let mut fresh = Upstream::connect(addr, config.upstream_timeout)?;
+    let response = fresh.exchange(head)?;
+    upstreams[slot] = Some(fresh);
+    Ok(response)
+}
+
+/// Extracts an unsigned integer field from a worker's fixed-format
+/// `/stats` JSON body. The serializer is ours ([`http::stats_json`]),
+/// so a split-based parse is exact.
+fn stats_field(body: &str, key: &str) -> u64 {
+    let pattern = format!("\"{key}\":");
+    body.find(&pattern)
+        .map(|at| {
+            body[at + pattern.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Answers `/stats` with the sum of every live worker's statistics
+/// plus the live-worker count. Uses fresh connections — stats are
+/// rare, and probing through the request path would distort in-flight
+/// accounting.
+fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut entries = 0u64;
+    let mut evictions = 0u64;
+    let mut swaps = 0u64;
+    let mut workers = 0u64;
+    for slot in 0..ring.len() {
+        let Some(addr) = ring.addr_of(slot) else {
+            continue;
+        };
+        let Ok(mut upstream) = Upstream::connect(addr, config.upstream_timeout) else {
+            continue;
+        };
+        let Ok((200, body)) = upstream.exchange("GET /stats HTTP/1.1\r\n\r\n") else {
+            continue;
+        };
+        hits += stats_field(&body, "hits");
+        misses += stats_field(&body, "misses");
+        entries += stats_field(&body, "entries");
+        evictions += stats_field(&body, "evictions");
+        swaps += stats_field(&body, "swaps");
+        workers += 1;
+    }
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let body = format!(
+        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"workers\":{workers}}}"
+    );
+    http::response(200, "OK", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn ring_routes_to_the_home_slot_and_its_replicas() {
+        let ring = Ring::new(4, 2);
+        for slot in 0..4 {
+            ring.publish(slot, addr(9000 + slot as u16));
+        }
+        // hash 5 → home slot 1, replicas {1, 2}. With equal load the
+        // minimum is the first candidate: slot 1.
+        assert_eq!(ring.pick(5, &[]), Some((1, addr(9001))));
+        // Load on the home slot shifts the pick to the lighter replica.
+        let _busy = InFlight::enter(&ring, 1);
+        assert_eq!(ring.pick(5, &[]), Some((2, addr(9002))));
+    }
+
+    #[test]
+    fn ring_falls_back_beyond_the_replica_set() {
+        let ring = Ring::new(4, 2);
+        ring.publish(0, addr(9000));
+        // hash 1 → home 1, replicas {1, 2} — both down; only slot 0 is
+        // live, reachable by the fallback scan.
+        assert_eq!(ring.pick(1, &[]), Some((0, addr(9000))));
+        // With slot 0 excluded (it already failed), nothing is left.
+        assert_eq!(ring.pick(1, &[0]), None);
+    }
+
+    #[test]
+    fn take_down_drains_and_publish_restores() {
+        let ring = Ring::new(2, 1);
+        ring.publish(0, addr(9000));
+        ring.publish(1, addr(9001));
+        assert_eq!(ring.up_count(), 2);
+        assert_eq!(ring.take_down(0), Some(addr(9000)));
+        assert_eq!(ring.up_count(), 1);
+        // hash 0 → home 0, drained → failover to slot 1.
+        assert_eq!(ring.pick(0, &[]), Some((1, addr(9001))));
+        ring.publish(0, addr(9002));
+        assert_eq!(ring.pick(0, &[]), Some((0, addr(9002))));
+    }
+
+    #[test]
+    fn in_flight_guard_balances_on_drop() {
+        let ring = Ring::new(1, 1);
+        {
+            let _a = InFlight::enter(&ring, 0);
+            let _b = InFlight::enter(&ring, 0);
+            assert_eq!(ring.in_flight(0), 2);
+        }
+        assert_eq!(ring.in_flight(0), 0);
+    }
+
+    #[test]
+    fn query_hash_ignores_surface_encoding() {
+        assert_eq!(query_hash("Indy 4"), query_hash("indy  4"));
+        assert_ne!(query_hash("indy 4"), query_hash("indy 5"));
+    }
+
+    #[test]
+    fn stats_field_reads_the_fixed_grammar() {
+        let body = "{\"hits\":12,\"misses\":3,\"hit_rate\":0.8000,\"entries\":7,\"evictions\":0,\"swaps\":1}";
+        assert_eq!(stats_field(body, "hits"), 12);
+        assert_eq!(stats_field(body, "misses"), 3);
+        assert_eq!(stats_field(body, "swaps"), 1);
+        assert_eq!(stats_field(body, "absent"), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Cluster integration tests: the router + worker-process fleet
+//! against real sockets and real child processes.
+//!
+//! The fleet is driven through the [`Cluster`] library API with
+//! `worker_exe` pointed at the `websyn-cluster` binary (Cargo exposes
+//! its path to integration tests), so these tests exercise the exact
+//! spawn/handshake/supervise path the binaries use — only the router
+//! and monitor run inside the test process.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use websyn_common::EntityId;
+use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_serve::cluster::{Cluster, ClusterConfig};
+use websyn_serve::http::{percent_encode, read_response, spans_json};
+
+/// The dictionary every test serves: enough surfaces to spread across
+/// a 4-worker ring, plus fuzzy matching for misspelled traffic.
+fn test_matcher() -> EntityMatcher {
+    let mut pairs: Vec<(String, EntityId)> = vec![
+        ("indy 4".into(), EntityId::new(0)),
+        ("indiana jones 4".into(), EntityId::new(0)),
+        ("madagascar 2".into(), EntityId::new(1)),
+        ("canon eos 350d".into(), EntityId::new(2)),
+        ("digital rebel xt".into(), EntityId::new(2)),
+    ];
+    for i in 0..40u32 {
+        pairs.push((format!("test entity {i}"), EntityId::new(10 + i)));
+    }
+    EntityMatcher::from_pairs(
+        pairs
+            .iter()
+            .map(|(s, id)| (s.as_str(), *id))
+            .collect::<Vec<_>>(),
+    )
+    .with_fuzzy(FuzzyConfig::default())
+}
+
+/// Writes the test dictionary as a TSV artifact for worker processes;
+/// the file is unique per test to keep parallel tests apart.
+fn dict_file(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "websyn-cluster-test-{}-{tag}.tsv",
+        std::process::id()
+    ));
+    std::fs::write(&path, test_matcher().to_tsv()).expect("write dict");
+    path
+}
+
+fn start_cluster(tag: &str, workers: usize, replication: usize) -> (Cluster, PathBuf) {
+    let dict = dict_file(tag);
+    let cluster = Cluster::start(
+        "127.0.0.1:0",
+        ClusterConfig {
+            workers,
+            replication,
+            dict: Some(dict.to_string_lossy().into_owned()),
+            worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_websyn-cluster"))),
+            probe_interval: Duration::from_millis(25),
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("start cluster");
+    (cluster, dict)
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let conn = TcpStream::connect(addr).expect("connect router");
+        let reader = BufReader::new(conn.try_clone().expect("clone"));
+        Self { conn, reader }
+    }
+
+    fn get(&mut self, target: &str) -> (u16, String) {
+        write!(self.conn, "GET {target} HTTP/1.1\r\n\r\n").expect("send");
+        read_response(&mut self.reader).expect("response")
+    }
+
+    fn ask(&mut self, query: &str) -> (u16, String) {
+        self.get(&format!("/match?q={}", percent_encode(query)))
+    }
+}
+
+/// A traffic mix touching every worker: exact hits, fuzzy hits,
+/// misses, and odd encodings.
+fn query_mix() -> Vec<String> {
+    let mut queries = Vec::new();
+    for i in 0..40u32 {
+        queries.push(format!("test entity {i}"));
+        queries.push(format!("looking for test entity {i} online"));
+    }
+    queries.extend(
+        [
+            "indy 4 near san fran",
+            "cheapest cannon eos 350d deals", // fuzzy
+            "madagasacr 2 tickets",           // fuzzy transposition
+            "nothing matches here",
+            "café indy 4", // multi-byte percent-encoding
+            "",
+        ]
+        .map(String::from),
+    );
+    queries
+}
+
+#[test]
+fn cluster_responses_match_a_single_engine_oracle() {
+    let (cluster, dict) = start_cluster("oracle", 4, 2);
+    let oracle = test_matcher();
+    let mut client = Client::connect(cluster.addr());
+    for query in query_mix() {
+        let want = (200, spans_json(&oracle.segment(&query)));
+        // Twice: the second answer exercises worker caches through the
+        // router without changing the bytes.
+        assert_eq!(client.ask(&query), want, "{query:?} uncached");
+        assert_eq!(client.ask(&query), want, "{query:?} cached");
+    }
+    // Router-level request handling: the satellite route() semantics
+    // hold through the proxy too.
+    let golden = (200, spans_json(&oracle.segment("indy 4")));
+    assert_eq!(client.get("/match?verbose=1&q=indy+4"), golden);
+    assert_eq!(client.get("/match?q=a&q=b").0, 400, "duplicate q");
+    assert_eq!(client.get("/frobnicate").0, 404);
+    // Aggregated stats see the whole fleet.
+    let (status, stats) = client.get("/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"workers\":4"), "{stats}");
+    cluster.shutdown();
+    let _ = std::fs::remove_file(dict);
+}
+
+#[test]
+fn killing_a_worker_loses_no_client_requests() {
+    let (cluster, dict) = start_cluster("kill", 3, 2);
+    let oracle = test_matcher();
+    let queries = query_mix();
+    let mut client = Client::connect(cluster.addr());
+    // Warm-up pass proves the fleet serves before the chaos.
+    for query in queries.iter().take(10) {
+        assert_eq!(client.ask(query).0, 200, "warm-up {query:?}");
+    }
+
+    cluster.kill_worker(1);
+    // Every request from the kill to full recovery must succeed with
+    // the oracle's exact bytes — the acceptance criterion.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut served = 0u32;
+    'outage: loop {
+        for query in &queries {
+            let want = (200, spans_json(&oracle.segment(query)));
+            assert_eq!(client.ask(query), want, "during outage: {query:?}");
+            served += 1;
+            if cluster.healthy_workers() == 3 {
+                break 'outage;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker not restarted after {served} requests"
+        );
+    }
+    assert!(cluster.wait_healthy(3, Duration::from_secs(20)));
+    assert!(cluster.restarts() >= 1, "monitor must restart the victim");
+    assert!(served > 0);
+    // And the fleet still answers correctly after recovery.
+    for query in queries.iter().take(10) {
+        let want = (200, spans_json(&oracle.segment(query)));
+        assert_eq!(client.ask(query), want, "after recovery: {query:?}");
+    }
+    cluster.shutdown();
+    let _ = std::fs::remove_file(dict);
+}
+
+#[test]
+fn rolling_restart_is_invisible_to_in_flight_traffic() {
+    let (cluster, dict) = start_cluster("rolling", 3, 2);
+    let queries = query_mix();
+    let addr = cluster.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Background clients hammer the router for the whole rolling
+    // rebuild; every response must be a 200 with oracle-exact bytes.
+    let clients: Vec<_> = (0..3)
+        .map(|offset| {
+            let stop = Arc::clone(&stop);
+            let queries = queries.clone();
+            let oracle = test_matcher();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr);
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    for query in queries.iter().skip(offset).step_by(3) {
+                        let want = (200, spans_json(&oracle.segment(query)));
+                        let got = client.ask(query);
+                        if got != want {
+                            return Err(format!(
+                                "{query:?}: got {} {:?}",
+                                got.0,
+                                &got.1[..got.1.len().min(80)]
+                            ));
+                        }
+                        served += 1;
+                    }
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+
+    // Let traffic establish, roll the whole fleet, let traffic settle.
+    std::thread::sleep(Duration::from_millis(100));
+    let swapped = cluster.rolling_restart().expect("rolling restart");
+    assert_eq!(swapped, 3, "every worker swapped");
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0;
+    for handle in clients {
+        total += handle
+            .join()
+            .expect("client thread")
+            .expect("zero failed requests during the roll");
+    }
+    assert!(total > 0, "clients actually ran traffic");
+    assert_eq!(cluster.healthy_workers(), 3, "fleet fully back");
+    cluster.shutdown();
+    let _ = std::fs::remove_file(dict);
+}

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use websyn_common::EntityId;
 use websyn_core::{EntityMatcher, FuzzyConfig};
-use websyn_serve::http::{percent_encode, read_response, spans_json};
+use websyn_serve::http::{percent_decode, percent_encode, read_response, spans_json};
 use websyn_serve::{format_spans, Engine, HttpProtocol, Server, ServerConfig, ServerHandle, Wire};
 
 fn matcher() -> EntityMatcher {
@@ -177,6 +177,49 @@ fn malformed_requests_get_400() {
     body.send("GET /match?q=a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
     assert_eq!(body.recv().0, 400);
     assert_eq!(body.expect_eof(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn q_is_found_at_any_query_string_position() {
+    let (engine, server) = start(ServerConfig::default());
+    let m = engine.matcher();
+    let mut client = Client::connect(&server);
+    let golden = (200, spans_json(&m.segment("indy 4")));
+    // `q` need not be the sole or first parameter; unknown parameters
+    // are ignored wherever they sit.
+    for target in [
+        "/match?q=indy+4",
+        "/match?verbose=1&q=indy+4",
+        "/match?a=b&q=indy+4&c=d",
+        "/match?q=indy+4&trace=",
+    ] {
+        assert_eq!(client.get(target), golden, "{target}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn ambiguous_or_broken_q_is_400_not_a_guess() {
+    let (_engine, server) = start(ServerConfig::default());
+    let mut client = Client::connect(&server);
+    for target in [
+        "/match?q=a&q=b",          // duplicate q: ambiguous
+        "/match?q",                // bare q, no value
+        "/match?verbose=1",        // no q at all
+        "/match?qq=indy",          // prefix is not a match
+        "/match?verbose=1&q=a%2",  // truncated escape at end
+        "/match?q=a%25zz&q=extra", // duplicate beats decodable value
+        "/match?a=b&q=%",          // lone %
+    ] {
+        assert_eq!(
+            client.get(target),
+            (400, "{\"error\":\"malformed\"}".into()),
+            "{target}"
+        );
+    }
+    // None of those cost the connection.
+    assert_eq!(client.ask("indy 4").0, 200);
     server.shutdown();
 }
 
@@ -379,5 +422,28 @@ proptest! {
         let golden = engine.matcher().segment(&query);
         prop_assert_eq!(&*line, format_spans(&golden).as_str());
         prop_assert_eq!(body, spans_json(&golden).as_str());
+    }
+
+    /// `percent_decode` must never panic, and everything
+    /// `percent_encode` emits must decode back to the original —
+    /// including multi-byte UTF-8, `%`, `+`, and `&`.
+    #[test]
+    fn percent_decode_round_trips_and_never_panics(s in "\\PC{0,40}") {
+        let encoded = percent_encode(&s);
+        prop_assert_eq!(percent_decode(&encoded), Some(s.clone()), "{:?}", encoded);
+        // Feeding the *raw* string in must not panic either; it either
+        // decodes (possibly lossily through stray `+`) or returns None
+        // on a broken escape — both map to a well-formed response.
+        let _ = percent_decode(&s);
+    }
+
+    /// Chopping an encoded string at an arbitrary byte boundary — the
+    /// truncated-escape case (`a%2`, `a%`) — must yield `Some` or
+    /// `None`, never a panic or an out-of-bounds slice.
+    #[test]
+    fn truncated_escapes_fail_closed(s in "[a-z%+ ]{0,12}", cut in 0usize..16) {
+        let encoded = percent_encode(&s);
+        let cut = cut.min(encoded.len());
+        let _ = percent_decode(&encoded[..cut]);
     }
 }
