@@ -38,11 +38,22 @@ fn batch(templates: &[String]) -> Vec<String> {
         .collect()
 }
 
-fn bench_matcher_modes(c: &mut Criterion) {
+/// Capacity of the benchmarked window cache — matches the serving
+/// default (`websyn_serve::cluster::load_matcher`).
+const WINDOW_CACHE_CAPACITY: usize = 65_536;
+
+fn bench_matcher_modes(c: &mut Criterion) -> (u64, u64) {
     let p = small_pipeline(40, 30_000, 13);
     let result = SynonymMiner::new(MinerConfig::with_thresholds(3, 0.1)).mine(&p.ctx);
     let exact = EntityMatcher::from_mining(&result, &p.ctx);
-    let fuzzy = exact.clone().with_fuzzy(FuzzyConfig::default());
+    // The serving configuration: fuzzy chain plus the cross-batch
+    // window cache (criterion's warmup fills it, so the steady-state
+    // rows below measure the warm serving path). The `_nocache` row
+    // keeps the first-sight cost visible.
+    let fuzzy_nocache = exact.clone().with_fuzzy(FuzzyConfig::default());
+    let fuzzy = fuzzy_nocache
+        .clone()
+        .with_window_cache(WINDOW_CACHE_CAPACITY);
 
     // Clean mentions: every canonical surface; misspelled mentions:
     // the same surfaces, one deterministic edit each.
@@ -84,12 +95,21 @@ fn bench_matcher_modes(c: &mut Criterion) {
             }
         })
     });
+    g.bench_function("fuzzy_segment_misspelled_nocache", |b| {
+        b.iter(|| {
+            for q in &misspelled {
+                black_box(fuzzy_nocache.segment(black_box(q)));
+            }
+        })
+    });
     for shards in [1usize, 2, 8] {
         g.bench_function(format!("batch_misspelled_{shards}_shards").as_str(), |b| {
             b.iter(|| black_box(fuzzy.match_batch(black_box(&misspelled), shards)))
         });
     }
     g.finish();
+    let stats = fuzzy.window_cache().expect("cache attached").stats();
+    (stats.hits, stats.misses)
 }
 
 /// Dictionary sizes of the exact-segmentation sweep. Keep in sync with
@@ -158,11 +178,15 @@ fn measure_recall() -> RecallReport {
 }
 
 /// Serializes the recorded results as the committed perf artifact.
-fn json_report(c: &Criterion, recall: &RecallReport) -> String {
+fn json_report(c: &Criterion, recall: &RecallReport, window: (u64, u64)) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"bench\": \"matcher\",\n  \"mode\": \"{}\",\n  \"batch_size\": {BATCH_SIZE},\n",
         if c.is_smoke() { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  \"window_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+        window.0, window.1,
     ));
     out.push_str(&format!(
         "  \"recall\": {{\"misspelled_camera_recovered\": {}, \"misspelled_camera_total\": {}, \"ablation6_default_recall\": {:.3}, \"ablation6_abbrev_recall\": {:.3}}},\n",
@@ -190,7 +214,7 @@ fn json_report(c: &Criterion, recall: &RecallReport) -> String {
 
 fn main() {
     let mut c = Criterion::default().configure_from_args();
-    bench_matcher_modes(&mut c);
+    let window = bench_matcher_modes(&mut c);
     bench_dictionary_sweep(&mut c);
     println!("\nmeasuring fuzzy recall (misspelled-camera + ablation-6)…");
     let recall = measure_recall();
@@ -204,7 +228,7 @@ fn main() {
     let path = std::env::var("BENCH_MATCHER_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json").to_string()
     });
-    let report = json_report(&c, &recall);
+    let report = json_report(&c, &recall, window);
     std::fs::write(&path, &report).expect("write BENCH_matcher.json");
     println!("\nwrote {path}");
 }

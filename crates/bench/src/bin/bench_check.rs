@@ -8,17 +8,24 @@
 //! dropped benchmark, or a malformed emitter would otherwise silently
 //! break the cross-PR comparison.
 //!
-//! Beyond the schema, the matcher artifact is gated three ways:
+//! Beyond the schema, the matcher artifact is gated four ways:
 //!
 //! - **recall** — the misspelled-camera e2e eval must stay perfect
 //!   (every exact-miss recovered, eval set non-trivial) and the
 //!   ablation-6 abbrev-chain recall must hold the committed ≥ 0.60
 //!   floor: a faster candidate generator that drops recall fails CI.
 //! - **relative throughput floors** — the fuzzy/exact qps *ratio* is
-//!   hardware-independent, so it gates in every mode: the batch fuzzy
-//!   path must stay within 28× of exact segmentation (it runs ~13×
-//!   slower today; the pre-signature-index path was ~42× slower and
-//!   would fail), and single-query fuzzy within 66×.
+//!   hardware-independent, so loose floors gate in every mode (the
+//!   pre-signature-index path was ~42× slower than exact and would
+//!   fail). Full-mode artifacts additionally gate the *warm* serving
+//!   shape: fuzzy within 7× of exact (the committed run is ~4.9× with
+//!   the bit-parallel kernel + window cache), and the 8-shard batch
+//!   row at ≥ 0.5× single-shard qps (the pre-clamp artifact had
+//!   inverted shard scaling at ~0.3× and would fail).
+//! - **window-cache counters** — the serving-path benches run with the
+//!   cross-batch window cache attached, so the artifact must record
+//!   cache traffic, and committed full runs must show a warm cache
+//!   (hits > misses after criterion's warmup fills it).
 //! - **absolute floors (full mode only)** — committed full runs come
 //!   from a dev machine, so generous absolute floors (≥ 3× headroom)
 //!   catch catastrophic regressions without tripping on CI hardware.
@@ -53,11 +60,12 @@ use std::process::ExitCode;
 
 /// Benchmark names that must be present, in any order. Keep in sync
 /// with `benches/matcher_fuzzy.rs` (modes + dictionary sweep).
-const REQUIRED_BENCHES: [&str; 10] = [
+const REQUIRED_BENCHES: [&str; 11] = [
     "matcher/exact_segment_clean",
     "matcher/fuzzy_segment_clean",
     "matcher/exact_segment_misspelled",
     "matcher/fuzzy_segment_misspelled",
+    "matcher/fuzzy_segment_misspelled_nocache",
     "matcher/batch_misspelled_1_shards",
     "matcher/batch_misspelled_2_shards",
     "matcher/batch_misspelled_8_shards",
@@ -312,13 +320,76 @@ const RATIO_FLOORS: [(&str, &str, f64); 2] = [
     ),
 ];
 
+/// Full-mode-only ratio floors, tighter than [`RATIO_FLOORS`]: the
+/// committed full run measures the warm serving configuration
+/// (bit-parallel verification + cross-batch window cache), so these
+/// gate the steady-state shape of the curve rather than just "fuzzy is
+/// not catastrophically slow".
+const FULL_RATIO_FLOORS: [(&str, &str, f64, &str); 2] = [
+    // The headline gap: warm fuzzy segmentation within 7× of exact
+    // (the committed run is ~4.9×; the pre-kernel/pre-cache path was
+    // ~14× and would fail).
+    (
+        "matcher/fuzzy_segment_misspelled",
+        "matcher/exact_segment_misspelled",
+        1.0 / 7.0,
+        "the warm fuzzy/exact throughput gap regressed past 7×",
+    ),
+    // Shard-scaling sanity: asking for 8 shards on a 256-query batch
+    // must not tank throughput. With the min-chunk clamp the 8-shard
+    // row holds ~0.8× of single-shard qps (spawn+join overhead is real
+    // but bounded); the pre-clamp artifact sat at ~0.3× and would
+    // fail.
+    (
+        "matcher/batch_misspelled_8_shards",
+        "matcher/batch_misspelled_1_shards",
+        0.5,
+        "shard scaling inverted: oversharded batches fell below half of single-shard throughput",
+    ),
+];
+
 /// Absolute qps floors, enforced only on `"mode": "full"` artifacts
-/// (committed from a dev machine); generous ≥ 3× headroom.
-const ABSOLUTE_FLOORS: [(&str, f64); 3] = [
+/// (committed from a dev machine); generous ≥ 3× headroom. The fuzzy
+/// floor is the warm serving path — window cache attached, filled by
+/// criterion's warmup — which the committed run clears at ~600k qps.
+const ABSOLUTE_FLOORS: [(&str, f64); 4] = [
     ("matcher/exact_segment_misspelled", 1_000_000.0),
     ("matcher/batch_misspelled_1_shards", 70_000.0),
-    ("matcher/fuzzy_segment_misspelled", 30_000.0),
+    ("matcher/fuzzy_segment_misspelled", 200_000.0),
+    ("matcher/fuzzy_segment_misspelled_nocache", 30_000.0),
 ];
+
+/// Validates the `"window_cache"` counter line: the serving-path
+/// benchmarks run with the cross-batch window cache attached, so the
+/// artifact must show cache traffic — and in full mode a *warm* cache
+/// (criterion's warmup fills it, so measured iterations should hit far
+/// more often than they miss). A refactor that silently detaches the
+/// cache from the bench flatlines these counters and fails here.
+fn check_window_cache(content: &str, mode: &str) -> Result<(), String> {
+    let at = content
+        .find("\"window_cache\":")
+        .ok_or("missing top-level key \"window_cache\"")?;
+    let line = content[at..].lines().next().unwrap_or("");
+    let hits = number_value(line, "hits").ok_or("unreadable window_cache \"hits\"")?;
+    let misses = number_value(line, "misses").ok_or("unreadable window_cache \"misses\"")?;
+    if hits < 0.0 || misses < 0.0 {
+        return Err(format!(
+            "window_cache counters must be non-negative, got hits={hits} misses={misses}"
+        ));
+    }
+    if hits + misses < 1.0 {
+        return Err(
+            "window_cache counters flat: the bench no longer exercises the window cache".into(),
+        );
+    }
+    if mode == "full" && hits <= misses {
+        return Err(format!(
+            "window_cache ran cold in a full-mode artifact (hits={hits} ≤ misses={misses}): \
+             warmup should leave the measured iterations mostly hitting"
+        ));
+    }
+    Ok(())
+}
 
 /// Validates the recall section: the misspelled-camera eval must be
 /// non-trivial and fully recovered, and the ablation-6 abbrev recall
@@ -377,6 +448,14 @@ fn check_floors(mode: &str, rows: &[(String, f64)]) -> Result<(), String> {
         }
     }
     if mode == "full" {
+        for (num, den, floor, what) in FULL_RATIO_FLOORS {
+            let ratio = qps(num)? / qps(den)?;
+            if ratio < floor {
+                return Err(format!(
+                    "PERF REGRESSION: {num} / {den} = {ratio:.4}, floor {floor:.4} — {what}"
+                ));
+            }
+        }
         for (name, floor) in ABSOLUTE_FLOORS {
             let q = qps(name)?;
             if q < floor {
@@ -406,6 +485,7 @@ fn check(content: &str) -> Result<usize, String> {
     if !matches!(mode, "full" | "smoke") {
         return Err(format!("mode must be full|smoke, got {mode:?}"));
     }
+    check_window_cache(content, mode)?;
     check_recall(content)?;
 
     // Result rows: one per line, every field present and sane.
@@ -492,7 +572,7 @@ mod tests {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"matcher\",\n  \"mode\": \"smoke\",\n  \"batch_size\": 256,\n  \"recall\": {{\"misspelled_camera_recovered\": 18, \"misspelled_camera_total\": 18, \"ablation6_default_recall\": 0.338, \"ablation6_abbrev_recall\": 0.648}},\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"matcher\",\n  \"mode\": \"smoke\",\n  \"batch_size\": 256,\n  \"window_cache\": {{\"hits\": 900, \"misses\": 120}},\n  \"recall\": {{\"misspelled_camera_recovered\": 18, \"misspelled_camera_total\": 18, \"ablation6_default_recall\": 0.338, \"ablation6_abbrev_recall\": 0.648}},\n  \"results\": [\n{}\n  ]\n}}\n",
             rows.join("\n")
         )
     }
@@ -695,6 +775,65 @@ mod tests {
             .replace("\"mode\": \"smoke\"", "\"mode\": \"full\"")
             .replace("\"throughput_qps\": 48000", "\"throughput_qps\": 30000");
         assert_eq!(check_serve(&fast_full), Ok(()));
+    }
+
+    #[test]
+    fn window_cache_gate_requires_traffic_and_full_mode_warmth() {
+        // Missing counters fail in any mode.
+        let missing = valid().replace(
+            "  \"window_cache\": {\"hits\": 900, \"misses\": 120},\n",
+            "",
+        );
+        assert!(check(&missing).unwrap_err().contains("window_cache"));
+        // Flat counters mean the bench detached the cache.
+        let flat = valid().replace(
+            "\"window_cache\": {\"hits\": 900, \"misses\": 120}",
+            "\"window_cache\": {\"hits\": 0, \"misses\": 0}",
+        );
+        assert!(check(&flat).unwrap_err().contains("flat"));
+        // A cold cache (more misses than hits) is fine in smoke mode
+        // but a regression in a committed full run.
+        let cold = valid().replace(
+            "\"window_cache\": {\"hits\": 900, \"misses\": 120}",
+            "\"window_cache\": {\"hits\": 3, \"misses\": 500}",
+        );
+        assert!(check(&cold).is_ok());
+        let cold_full = cold.replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert!(check(&cold_full).unwrap_err().contains("cold"));
+    }
+
+    #[test]
+    fn full_ratio_floors_gate_the_warm_gap_and_shard_scaling() {
+        // Make every full-mode absolute floor pass so the ratio gates
+        // are what's under test.
+        let fast = valid().replace("\"queries_per_sec\": 1000", "\"queries_per_sec\": 5000000");
+        let full = fast.replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert!(check(&full).is_ok());
+        // Warm fuzzy at 10× slower than exact: passes the loose
+        // all-mode ratio (1/66) but fails the full-mode 7× gate.
+        let gap = full.replace(
+            "{\"name\": \"matcher/fuzzy_segment_misspelled\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 5000000}",
+            "{\"name\": \"matcher/fuzzy_segment_misspelled\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 500000}",
+        );
+        let err = check(&gap).unwrap_err();
+        assert!(
+            err.contains("PERF REGRESSION") && err.contains("7×"),
+            "{err}"
+        );
+        // …but the same shape is tolerated in smoke mode (CI hardware).
+        assert!(check(&gap.replace("\"mode\": \"full\"", "\"mode\": \"smoke\"")).is_ok());
+        // Inverted shard scaling: the 8-shard row at a third of
+        // single-shard throughput (the pre-clamp committed artifact)
+        // fails full mode.
+        let inverted = full.replace(
+            "{\"name\": \"matcher/batch_misspelled_8_shards\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 5000000}",
+            "{\"name\": \"matcher/batch_misspelled_8_shards\", \"ns_per_iter\": 100.0, \"iters\": 3, \"queries_per_sec\": 1600000}",
+        );
+        let err = check(&inverted).unwrap_err();
+        assert!(
+            err.contains("PERF REGRESSION") && err.contains("shard scaling inverted"),
+            "{err}"
+        );
     }
 
     #[test]

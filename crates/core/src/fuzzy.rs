@@ -51,7 +51,7 @@ use std::sync::Arc;
 use websyn_common::{EntityId, SurfaceId};
 use websyn_text::{
     damerau_levenshtein, damerau_levenshtein_within, levenshtein, levenshtein_within, AbbrevIndex,
-    CandidateSource, NgramIndex, PhoneticIndex, TokenSignatureIndex,
+    CandidateSource, NgramIndex, PhoneticIndex, PrefixHit, TokenSignatureIndex,
 };
 
 /// Tuning for fuzzy surface lookup.
@@ -230,6 +230,10 @@ struct SourceEntry {
     verified: bool,
     /// Consulted only when no earlier source proposed anything.
     fallback: bool,
+    /// Whether the source supports per-position prefix generation
+    /// ([`CandidateSource::propose_prefix`]) — probed once at chain
+    /// construction (the support flag is constant per source).
+    prefix_capable: bool,
 }
 
 impl SourceEntry {
@@ -239,12 +243,14 @@ impl SourceEntry {
         max_tokens: usize,
     ) -> Self {
         let verified = !source.needs_verification();
+        let prefix_capable = source.propose_prefix("", 0, &mut Vec::new());
         Self {
             source,
             min_tokens,
             max_tokens,
             verified,
             fallback: false,
+            prefix_capable,
         }
     }
 
@@ -284,6 +290,44 @@ pub struct FuzzyDictionary {
     /// skips them without memo or generation. Index 0 is budget 1,
     /// index 1 is budget 2 (budget 0 never reaches the fuzzy path).
     unanchored_masks: [u32; 2],
+    /// Chain index of the (first) source supporting per-position
+    /// prefix generation — the one a [`PrefixContext`] feeds.
+    prefix_source: Option<usize>,
+    /// Unique id of this compiled chain (see
+    /// [`crate::window_cache::WindowCache::bind`]): two dictionaries
+    /// never share one unless they are clones of the same compilation,
+    /// whose resolutions coincide by construction.
+    uid: u64,
+}
+
+/// Lazily prepared per-position generation state: the segmenter
+/// creates one per start position over the position's *longest*
+/// window, and [`FuzzyDictionary::resolve_pruned_prefix`] fills it on
+/// first use — so positions whose every window is pruned or memoized
+/// never pay the probe pass at all.
+pub(crate) struct PrefixContext<'a> {
+    /// The longest window's text at this position.
+    max_text: &'a str,
+    /// The longest window's edit budget (monotone in window length, so
+    /// ≥ every shorter window's budget — the collection contract of
+    /// [`CandidateSource::propose_prefix`]).
+    max_budget: usize,
+    prepared: bool,
+    hits: &'a mut Vec<PrefixHit>,
+}
+
+impl<'a> PrefixContext<'a> {
+    /// A fresh context over a position's longest window. `hits` is
+    /// caller-owned scratch (cleared here).
+    pub(crate) fn new(max_text: &'a str, max_budget: usize, hits: &'a mut Vec<PrefixHit>) -> Self {
+        hits.clear();
+        Self {
+            max_text,
+            max_budget,
+            prepared: false,
+            hits,
+        }
+    }
 }
 
 impl std::fmt::Debug for FuzzyDictionary {
@@ -355,12 +399,15 @@ impl FuzzyDictionary {
         }
         let all_verifying = sources.iter().all(|e| e.source.needs_verification());
         let unanchored_masks = Self::compute_unanchored_masks(&sources);
+        let prefix_source = sources.iter().position(|e| e.prefix_capable);
         Self {
             config,
             dict,
             sources,
             all_verifying,
             unanchored_masks,
+            prefix_source,
+            uid: crate::window_cache::next_uid(),
         }
     }
 
@@ -413,6 +460,16 @@ impl FuzzyDictionary {
         self.all_verifying = self.all_verifying && source.needs_verification();
         self.sources.push(SourceEntry::new(source, 1, usize::MAX));
         self.unanchored_masks = Self::compute_unanchored_masks(&self.sources);
+        self.prefix_source = self.sources.iter().position(|e| e.prefix_capable);
+        // The chain changed, so resolutions may change: take a fresh
+        // uid so any bound window cache self-invalidates.
+        self.uid = crate::window_cache::next_uid();
+    }
+
+    /// The unique id a [`crate::window_cache::WindowCache`] binds to:
+    /// fresh per compiled chain, refreshed when the chain mutates.
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Whether every chain source verifies its proposals with an edit
@@ -481,16 +538,51 @@ impl FuzzyDictionary {
         self.resolve_pruned(normalized, ids, budget, edit_reachable)
     }
 
+    /// Whether any source in the chain supports per-position prefix
+    /// generation — gates the segmenter's [`PrefixContext`] setup.
+    pub(crate) fn has_prefix_source(&self) -> bool {
+        self.prefix_source.is_some()
+    }
+
     /// The resolution core, with the window's edit budget and
-    /// [`CompiledDict::can_reach`] verdict already computed — the
-    /// segmenter's entry point, which shares those with its own window
-    /// pruning instead of recomputing them per resolution.
+    /// [`CompiledDict::can_reach`] verdict already computed — see
+    /// [`FuzzyDictionary::resolve_pruned_prefix`], which this wraps
+    /// without per-position generation state.
     pub(crate) fn resolve_pruned(
         &self,
         normalized: &str,
         ids: &[u32],
         budget: usize,
         edit_reachable: bool,
+    ) -> Option<FuzzyMatch> {
+        self.resolve_pruned_prefix(
+            normalized,
+            ids,
+            normalized.chars().count(),
+            budget,
+            edit_reachable,
+            None,
+        )
+    }
+
+    /// The resolution core with the window's edit budget, char length
+    /// and [`CompiledDict::can_reach`] verdict already computed — the
+    /// segmenter's entry point, which shares those with its own window
+    /// pruning instead of recomputing them per resolution. When the
+    /// segmenter also passes its position's [`PrefixContext`],
+    /// prefix-capable sources draw proposals from one shared
+    /// per-position probe pass ([`CandidateSource::propose_prefix`],
+    /// prepared lazily here) instead of re-probing per window —
+    /// byte-identical proposals either way, pinned by the index's own
+    /// equivalence tests and the segmenter proptests.
+    pub(crate) fn resolve_pruned_prefix(
+        &self,
+        normalized: &str,
+        ids: &[u32],
+        chars: usize,
+        budget: usize,
+        edit_reachable: bool,
+        mut prefix: Option<&mut PrefixContext<'_>>,
     ) -> Option<FuzzyMatch> {
         thread_local! {
             static PROPOSALS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
@@ -508,7 +600,7 @@ impl FuzzyDictionary {
         let mut contested = false;
         let mut proposed_any = false;
         PROPOSALS.with_borrow_mut(|proposals| {
-            for entry in &self.sources {
+            for (entry_idx, entry) in self.sources.iter().enumerate() {
                 if m < entry.min_tokens || m > entry.max_tokens {
                     continue;
                 }
@@ -529,7 +621,24 @@ impl FuzzyDictionary {
                     continue;
                 }
                 proposals.clear();
-                entry.source.propose(normalized, budget, proposals);
+                let from_prefix =
+                    prefix.is_some() && self.prefix_source == Some(entry_idx) && budget > 0;
+                if from_prefix {
+                    let ctx = prefix.as_mut().expect("checked above");
+                    if !ctx.prepared {
+                        // One probe pass over the position's longest
+                        // window serves every shorter window here.
+                        entry
+                            .source
+                            .propose_prefix(ctx.max_text, ctx.max_budget, ctx.hits);
+                        ctx.prepared = true;
+                    }
+                    entry
+                        .source
+                        .filter_prefix(ctx.hits, m, chars, budget, proposals);
+                } else {
+                    entry.source.propose(normalized, budget, proposals);
+                }
                 proposed_any |= !proposals.is_empty();
                 for &raw in proposals.iter() {
                     let sid = SurfaceId::new(raw);

@@ -42,6 +42,7 @@ pub mod miner;
 pub mod select;
 pub mod surrogate;
 pub mod taxonomy;
+pub mod window_cache;
 
 pub use candidates::generate_candidates;
 pub use config::MinerConfig;
@@ -57,3 +58,4 @@ pub use miner::{
 pub use select::select;
 pub use surrogate::{SurrogateSource, SurrogateTable};
 pub use taxonomy::{classify, RelationCounts, TruthClass};
+pub use window_cache::{WindowCache, WindowCacheStats};

@@ -23,11 +23,12 @@
 
 use crate::data::MiningContext;
 use crate::dict::CompiledDict;
-use crate::fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch};
+use crate::fuzzy::{FuzzyConfig, FuzzyDictionary, FuzzyMatch, PrefixContext};
 use crate::miner::MiningResult;
+use crate::window_cache::WindowCache;
 use std::sync::Arc;
 use websyn_common::{EntityId, SurfaceId};
-use websyn_text::{normalize, normalized};
+use websyn_text::{normalize, normalized, PrefixHit};
 
 /// Reusable per-shard segmentation state: a window-text → fuzzy
 /// resolution memo.
@@ -188,6 +189,12 @@ pub struct EntityMatcher {
     /// Approximate-lookup side, present once
     /// [`EntityMatcher::with_fuzzy`] has compiled it.
     fuzzy: Option<FuzzyDictionary>,
+    /// Cross-batch window-resolution cache, attached via
+    /// [`EntityMatcher::with_window_cache`]. Shared by every shard of
+    /// every [`EntityMatcher::match_batch`] call (and by clones of this
+    /// matcher), so first-sight fuzzy verification for a recurring
+    /// window is paid once per process, not once per shard per batch.
+    window_cache: Option<Arc<WindowCache>>,
 }
 
 impl EntityMatcher {
@@ -220,6 +227,7 @@ impl EntityMatcher {
             // many conflicting claims arrived for it.
             ambiguous_dropped: banned.len(),
             fuzzy: None,
+            window_cache: None,
         }
     }
 
@@ -251,6 +259,33 @@ impl EntityMatcher {
     /// The fuzzy config, when fuzzy lookup is enabled.
     pub fn fuzzy_config(&self) -> Option<&FuzzyConfig> {
         self.fuzzy.as_ref().map(|f| f.config())
+    }
+
+    /// Attaches a fresh cross-batch [`WindowCache`] holding roughly
+    /// `capacity` resolved windows. Unlike the per-shard
+    /// [`MatchScratch`] memo (batch-scoped, shared-nothing), the window
+    /// cache persists across batches and is shared by every shard
+    /// thread — the first batch pays first-sight fuzzy verification,
+    /// later batches (and later shards) reuse it. Pure-function cache:
+    /// spans are byte-identical with or without it (pinned by the
+    /// cache-on ≡ cache-off proptests). No-op for exact-only matchers
+    /// until [`EntityMatcher::with_fuzzy`] runs.
+    pub fn with_window_cache(self, capacity: usize) -> Self {
+        self.with_shared_window_cache(Arc::new(WindowCache::new(capacity)))
+    }
+
+    /// Attaches an existing [`WindowCache`] — how a rebuild-and-swap
+    /// deployment carries one cache across matcher generations (the
+    /// cache re-binds to the new fuzzy dictionary on first use, making
+    /// stale windows invisible; see `WindowCache::bind`).
+    pub fn with_shared_window_cache(mut self, cache: Arc<WindowCache>) -> Self {
+        self.window_cache = Some(cache);
+        self
+    }
+
+    /// The attached window cache, if any (stats, sharing).
+    pub fn window_cache(&self) -> Option<&Arc<WindowCache>> {
+        self.window_cache.as_ref()
     }
 
     /// The compiled dictionary (token vocabulary, surface table,
@@ -476,6 +511,8 @@ impl EntityMatcher {
                 const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
             static CHAR_BOUNDS: std::cell::RefCell<Vec<(u32, u32)>> =
                 const { std::cell::RefCell::new(Vec::new()) };
+            static PREFIX_HITS: std::cell::RefCell<Vec<PrefixHit>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
         SCRATCH.with_borrow_mut(|(bounds, ids)| {
             self.dict.map_query(normalized, bounds, ids);
@@ -509,77 +546,119 @@ impl EntityMatcher {
                 // windows across a batch pay for generation and
                 // verification once.
                 Some(fuzzy) => CHAR_BOUNDS.with_borrow_mut(|char_bounds| {
-                    token_char_bounds(normalized, bounds, char_bounds);
-                    let prune = fuzzy.all_verifying();
-                    while i < n {
-                        let longest = self.dict.max_tokens().min(n - i);
-                        let exact = self.dict.longest_match(&ids[i..], longest);
-                        let exact_w = exact.map_or(0, |(w, _)| w);
-                        let mut hit = exact.map(|(w, sid)| (w, sid, 0));
-                        for window in (exact_w + 1..=longest).rev() {
-                            let window_ids = &ids[i..i + window];
-                            let chars = (char_bounds[i + window - 1].1 - char_bounds[i].0) as usize;
-                            let budget = fuzzy.config().max_distance_for(chars);
-                            if prune && budget == 0 {
-                                // Shorter windows only get shorter:
-                                // every remaining budget is 0 too, and
-                                // with a fully-verifying chain nothing
-                                // below can resolve.
-                                break;
-                            }
-                            let reach = self.dict.can_reach(window_ids, chars, budget);
-                            if prune && !reach.edit_reachable {
-                                continue;
-                            }
-                            // A window with no vocabulary token that no
-                            // applicable source can propose for
-                            // (anchor-keyed chain, no space-damage
-                            // anchor at this shape): skip without memo.
-                            if !reach.has_vocab_token
-                                && !fuzzy.may_resolve_unanchored(window, budget)
-                            {
-                                continue;
-                            }
-                            let window_text = &normalized
-                                [bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
-                            let resolved = match scratch.as_deref_mut() {
-                                Some(scratch) => match scratch.memo.get(window_text) {
-                                    Some(cached) => *cached,
-                                    None => {
-                                        let r = fuzzy
-                                            .resolve_pruned(
-                                                window_text,
-                                                window_ids,
-                                                budget,
-                                                reach.edit_reachable,
-                                            )
-                                            .map(|hit| (hit.surface_id, hit.distance));
-                                        scratch.memo.insert(window_text.to_string(), r);
-                                        r
-                                    }
-                                },
-                                None => fuzzy
-                                    .resolve_pruned(
-                                        window_text,
-                                        window_ids,
-                                        budget,
-                                        reach.edit_reachable,
-                                    )
-                                    .map(|hit| (hit.surface_id, hit.distance)),
+                    PREFIX_HITS.with_borrow_mut(|prefix_hits| {
+                        token_char_bounds(normalized, bounds, char_bounds);
+                        let prune = fuzzy.all_verifying();
+                        // Bind the cross-batch window cache to this fuzzy
+                        // dictionary once per query; the returned
+                        // generation scopes every probe below.
+                        let wc = self
+                            .window_cache
+                            .as_deref()
+                            .map(|c| (c, c.bind(fuzzy.uid())));
+                        while i < n {
+                            let longest = self.dict.max_tokens().min(n - i);
+                            let exact = self.dict.longest_match(&ids[i..], longest);
+                            let exact_w = exact.map_or(0, |(w, _)| w);
+                            let mut hit = exact.map(|(w, sid)| (w, sid, 0));
+                            // One candidate probe pass at this position
+                            // serves every window below: prefix-capable
+                            // sources collect hits over the *longest*
+                            // window once (lazily, inside the first actual
+                            // resolution) and re-filter per window, instead
+                            // of re-probing the index per window.
+                            let mut prefix_ctx = if fuzzy.has_prefix_source() && longest > exact_w {
+                                let max_chars =
+                                    (char_bounds[i + longest - 1].1 - char_bounds[i].0) as usize;
+                                let max_text = &normalized
+                                    [bounds[i].0 as usize..bounds[i + longest - 1].1 as usize];
+                                Some(PrefixContext::new(
+                                    max_text,
+                                    fuzzy.config().max_distance_for(max_chars),
+                                    &mut *prefix_hits,
+                                ))
+                            } else {
+                                None
                             };
-                            if let Some((sid, distance)) = resolved {
-                                hit = Some((window, sid, distance));
-                                break;
+                            for window in (exact_w + 1..=longest).rev() {
+                                let window_ids = &ids[i..i + window];
+                                let chars =
+                                    (char_bounds[i + window - 1].1 - char_bounds[i].0) as usize;
+                                let budget = fuzzy.config().max_distance_for(chars);
+                                if prune && budget == 0 {
+                                    // Shorter windows only get shorter:
+                                    // every remaining budget is 0 too, and
+                                    // with a fully-verifying chain nothing
+                                    // below can resolve.
+                                    break;
+                                }
+                                let reach = self.dict.can_reach(window_ids, chars, budget);
+                                if prune && !reach.edit_reachable {
+                                    continue;
+                                }
+                                // A window with no vocabulary token that no
+                                // applicable source can propose for
+                                // (anchor-keyed chain, no space-damage
+                                // anchor at this shape): skip without memo.
+                                if !reach.has_vocab_token
+                                    && !fuzzy.may_resolve_unanchored(window, budget)
+                                {
+                                    continue;
+                                }
+                                let window_text = &normalized
+                                    [bounds[i].0 as usize..bounds[i + window - 1].1 as usize];
+                                // Resolution ladder: batch-local memo
+                                // (lock-free) → shared window cache (one
+                                // shard lock) → full candidate generation
+                                // + verification. A window-cache hit is
+                                // deliberately NOT copied into the memo:
+                                // re-probing the cache costs one short
+                                // lock + hash, while the copy would pay a
+                                // String allocation per window per shard —
+                                // measurably slower on warm batches.
+                                let resolved = 'resolved: {
+                                    if let Some(scratch) = scratch.as_deref_mut() {
+                                        if let Some(&cached) = scratch.memo.get(window_text) {
+                                            break 'resolved cached;
+                                        }
+                                    }
+                                    if let Some((cache, generation)) = wc {
+                                        if let Some(cached) = cache.get(window_text, generation) {
+                                            break 'resolved cached;
+                                        }
+                                    }
+                                    let r = fuzzy
+                                        .resolve_pruned_prefix(
+                                            window_text,
+                                            window_ids,
+                                            chars,
+                                            budget,
+                                            reach.edit_reachable,
+                                            prefix_ctx.as_mut(),
+                                        )
+                                        .map(|hit| (hit.surface_id, hit.distance));
+                                    if let Some(scratch) = scratch.as_deref_mut() {
+                                        scratch.memo.insert(window_text.to_string(), r);
+                                    }
+                                    if let Some((cache, generation)) = wc {
+                                        cache.insert(window_text, generation, r);
+                                    }
+                                    r
+                                };
+                                if let Some((sid, distance)) = resolved {
+                                    hit = Some((window, sid, distance));
+                                    break;
+                                }
+                            }
+                            match hit {
+                                Some((window, sid, distance)) => {
+                                    spans.push(self.span(i, window, sid, distance));
+                                    i += window;
+                                }
+                                None => i += 1,
                             }
                         }
-                        match hit {
-                            Some((window, sid, distance)) => {
-                                spans.push(self.span(i, window, sid, distance));
-                                i += window;
-                            }
-                            None => i += 1,
-                        }
-                    }
+                    })
                 }),
             }
             spans
@@ -598,6 +677,16 @@ impl EntityMatcher {
         }
     }
 
+    /// Minimum queries a shard must receive before `match_batch` will
+    /// spawn a thread for it. Scoped spawn+join costs ~20–25µs per
+    /// thread on this class of hardware while a warm-cache query costs
+    /// ~2µs, so a shard needs dozens of queries just to pay for its own
+    /// thread; below this chunk size extra shards *slow the batch
+    /// down* (the "inverted shard scaling" once visible in
+    /// `BENCH_matcher.json`). Callers can still ask for any shard
+    /// count — the clamp only refuses to oversplit small batches.
+    const MIN_SHARD_CHUNK: usize = 64;
+
     /// Segments a batch of queries on up to `shards` scoped threads.
     ///
     /// The batch is split into contiguous chunks, one thread per chunk,
@@ -605,14 +694,20 @@ impl EntityMatcher {
     /// count the output is identical (byte for byte) to mapping
     /// [`EntityMatcher::segment`] over the batch sequentially. Each
     /// shard carries its own [`MatchScratch`], so duplicate fuzzy
-    /// windows within a shard's chunk verify once (shared-nothing: no
-    /// cross-shard synchronization).
+    /// windows within a shard's chunk verify once (shared-nothing
+    /// except the optional [`WindowCache`], which memoizes resolved
+    /// windows across shards and batches). The effective shard count is
+    /// clamped so every thread gets at least
+    /// `MIN_SHARD_CHUNK` queries — spawning threads for
+    /// smaller chunks costs more than the work they carry.
     pub fn match_batch<S: AsRef<str> + Sync>(
         &self,
         queries: &[S],
         shards: usize,
     ) -> Vec<Vec<MatchSpan>> {
-        let shards = shards.max(1).min(queries.len().max(1));
+        let shards = shards
+            .max(1)
+            .min((queries.len() / Self::MIN_SHARD_CHUNK).max(1));
         if shards == 1 {
             let mut scratch = MatchScratch::new();
             return queries
@@ -726,6 +821,28 @@ mod tests {
 
     fn fuzzy_matcher() -> EntityMatcher {
         matcher().with_fuzzy(FuzzyConfig::default())
+    }
+
+    #[test]
+    fn window_cache_serves_repeat_windows() {
+        let m = fuzzy_matcher().with_window_cache(1024);
+        let first = m.segment("canon eso 350d price");
+        let after_first = m.window_cache().unwrap().stats();
+        assert!(after_first.misses > 0, "{after_first:?}");
+        assert!(after_first.entries > 0, "{after_first:?}");
+        // Same query again: every fuzzy window the first run resolved
+        // is now answered from the cache, spans unchanged.
+        let second = m.segment("canon eso 350d price");
+        let after_second = m.window_cache().unwrap().stats();
+        assert!(after_second.hits > after_first.hits, "{after_second:?}");
+        assert_eq!(first, second);
+        assert_eq!(first[0].surface(), "canon eos 350d");
+        // A clone shares the cache (and the fuzzy dictionary's uid, so
+        // no generation bump): its probes hit too.
+        let clone = m.clone();
+        clone.segment("canon eso 350d price");
+        let after_clone = clone.window_cache().unwrap().stats();
+        assert!(after_clone.hits > after_second.hits, "{after_clone:?}");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! A matcher-level, cross-batch cache of *resolved fuzzy windows*.
+//!
+//! The serving layer already memoizes whole queries
+//! (`websyn_serve::cache`), and [`crate::matcher::MatchScratch`]
+//! memoizes windows within one shard's run — but a **novel** query
+//! shares none of the former and a fresh shard shares none of the
+//! latter, so every batch (and every shard of every batch) re-pays
+//! first-sight resolution for windows the process has already
+//! verified. Real query streams repeat *fragments* far more often than
+//! whole queries ("canon eos 350d review" after "canon eos 350d
+//! price"), which is exactly what this cache captures: a bounded,
+//! sharded map from window text to its fuzzy resolution, shared across
+//! batches and threads.
+//!
+//! Correctness story:
+//!
+//! - a window's resolution is a pure function of its text for a fixed
+//!   fuzzy dictionary, so cached entries can never change an output —
+//!   only skip recomputing it (pinned by the cache-on ≡ cache-off
+//!   property tests);
+//! - entries are **generation-checked** like the serve cache: every
+//!   entry records the generation it was inserted at, and a probe
+//!   under a newer generation treats it as a miss;
+//! - the cache **binds** to the fuzzy dictionary that fills it
+//!   (`WindowCache::bind`): each [`crate::FuzzyDictionary`] carries a
+//!   unique id, and binding a different id bumps the generation — so a
+//!   cache shared across a rebuild-and-swap (or accidentally across
+//!   two matchers) can never serve a stale window, without any caller
+//!   discipline.
+//!
+//! Keys are raw query windows — on a serving path that is untrusted
+//! input, so the shard maps use std's randomly seeded SipHash hasher,
+//! not `FxHashMap` (which `websyn_common::hash` forbids for untrusted
+//! input).
+
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use websyn_common::SurfaceId;
+
+/// A cached window resolution: `None` is a verified miss (windows that
+/// resolve to nothing dominate real traffic and must be cached too).
+pub(crate) type Resolution = Option<(SurfaceId, usize)>;
+
+/// Number of independently locked shards. Power of two; sixteen keeps
+/// lock contention negligible at serving thread counts while the
+/// per-shard maps stay dense.
+const SHARDS: usize = 16;
+
+/// One locked shard: the window map plus FIFO insertion order for
+/// eviction. Keys are shared between the two containers.
+#[derive(Debug, Default)]
+struct Shard {
+    /// window text → (generation at insert, resolution).
+    map: HashMap<std::sync::Arc<str>, (u64, Resolution), RandomState>,
+    /// Insertion order, oldest first. May hold keys whose map entry
+    /// was overwritten (re-inserted under a newer generation); eviction
+    /// simply pops until the map is under budget.
+    order: VecDeque<std::sync::Arc<str>>,
+}
+
+/// Point-in-time counters of a [`WindowCache`] (see
+/// [`WindowCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowCacheStats {
+    /// Probes answered from the cache (current generation).
+    pub hits: u64,
+    /// Probes that found nothing usable (absent or stale generation).
+    pub misses: u64,
+    /// Live entries across all shards, including stale ones not yet
+    /// evicted.
+    pub entries: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+}
+
+/// The bounded, sharded, generation-checked window-resolution cache.
+/// Construct via [`WindowCache::new`], attach with
+/// [`crate::EntityMatcher::with_window_cache`] (or share one across
+/// matchers with [`crate::EntityMatcher::with_shared_window_cache`]).
+#[derive(Debug)]
+pub struct WindowCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Max entries per shard.
+    shard_capacity: usize,
+    /// Bumped whenever a different fuzzy dictionary binds; entries
+    /// from older generations are invisible.
+    generation: AtomicU64,
+    /// Unique id of the fuzzy dictionary currently bound (0 = none).
+    bound: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Shared seed state so every shard hashes keys identically for
+    /// shard selection.
+    hasher: RandomState,
+}
+
+impl WindowCache {
+    /// A cache holding at most (roughly) `capacity` window entries.
+    pub fn new(capacity: usize) -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect();
+        Self {
+            shards,
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            generation: AtomicU64::new(0),
+            bound: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Binds the cache to fuzzy dictionary `uid`, returning the
+    /// generation under which its windows live. Rebinding to a
+    /// *different* uid bumps the generation, making every prior entry
+    /// invisible — the stale-window safety the swap proptests pin.
+    /// Cheap when already bound (two atomic loads), so the segmenter
+    /// calls it once per query.
+    pub(crate) fn bind(&self, uid: u64) -> u64 {
+        if self.bound.load(Ordering::Acquire) != uid {
+            // Serialize concurrent rebinds through a shard lock so the
+            // (bound, generation) pair moves together.
+            let _guard = self.shards[0].lock().expect("window cache poisoned");
+            if self.bound.load(Ordering::Acquire) != uid {
+                self.generation.fetch_add(1, Ordering::AcqRel);
+                self.bound.store(uid, Ordering::Release);
+            }
+        }
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The shard index of `key`.
+    fn shard_of(&self, key: &str) -> usize {
+        (self.hasher.hash_one(key) as usize) % SHARDS
+    }
+
+    /// Looks `key` up under `generation` (from [`WindowCache::bind`]).
+    /// A present entry from an older generation is a miss.
+    pub(crate) fn get(&self, key: &str, generation: u64) -> Option<Resolution> {
+        let shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("window cache poisoned");
+        match shard.map.get(key) {
+            Some(&(gen, resolution)) if gen == generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(resolution)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records `key`'s resolution under `generation`, evicting oldest
+    /// entries (FIFO) past the shard budget.
+    pub(crate) fn insert(&self, key: &str, generation: u64, resolution: Resolution) {
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("window cache poisoned");
+        while shard.map.len() >= self.shard_capacity {
+            match shard.order.pop_front() {
+                Some(old) => {
+                    shard.map.remove(&*old);
+                }
+                None => break,
+            }
+        }
+        let key: std::sync::Arc<str> = key.into();
+        shard.order.push_back(std::sync::Arc::clone(&key));
+        shard.map.insert(key, (generation, resolution));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WindowCacheStats {
+        WindowCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("window cache poisoned").map.len())
+                .sum(),
+            capacity: self.shard_capacity * SHARDS,
+        }
+    }
+
+    /// The current generation (diagnostics and tests).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+/// Source of the unique ids fuzzy dictionaries bind with. Zero is
+/// reserved for "nothing bound yet".
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh nonzero uid for a newly compiled (or mutated) fuzzy
+/// dictionary.
+pub(crate) fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_same_generation() {
+        let c = WindowCache::new(64);
+        let g = c.bind(1);
+        assert_eq!(c.get("canon eos", g), None);
+        c.insert("canon eos", g, Some((SurfaceId::new(3), 1)));
+        assert_eq!(c.get("canon eos", g), Some(Some((SurfaceId::new(3), 1))));
+        c.insert("junk window", g, None);
+        assert_eq!(c.get("junk window", g), Some(None));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 2));
+    }
+
+    #[test]
+    fn rebinding_a_different_dictionary_hides_old_entries() {
+        let c = WindowCache::new(64);
+        let g1 = c.bind(1);
+        c.insert("window", g1, Some((SurfaceId::new(9), 2)));
+        assert!(c.get("window", g1).is_some());
+        let g2 = c.bind(2);
+        assert_ne!(g1, g2);
+        assert_eq!(c.get("window", g2), None, "stale entry must be invisible");
+        // Rebinding the same uid keeps the generation stable.
+        assert_eq!(c.bind(2), g2);
+        // And binding back to uid 1 bumps again — the old entries stay
+        // dead (their recorded generation can never recur).
+        let g3 = c.bind(1);
+        assert!(g3 > g2);
+        assert_eq!(c.get("window", g3), None);
+    }
+
+    #[test]
+    fn eviction_keeps_the_map_bounded() {
+        let c = WindowCache::new(SHARDS); // one entry per shard
+        let g = c.bind(1);
+        for i in 0..1000 {
+            c.insert(&format!("window {i}"), g, None);
+        }
+        let s = c.stats();
+        assert!(s.entries <= s.capacity, "{s:?}");
+        assert_eq!(s.capacity, SHARDS);
+    }
+
+    #[test]
+    fn uids_are_unique_and_nonzero() {
+        let a = next_uid();
+        let b = next_uid();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

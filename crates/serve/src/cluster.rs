@@ -67,17 +67,30 @@ pub fn demo_matcher() -> EntityMatcher {
     .with_fuzzy(FuzzyConfig::default())
 }
 
+/// Default capacity of the serving-path window cache (resolved fuzzy
+/// windows, cross-batch — see
+/// [`EntityMatcher::with_window_cache`]). Entries are a short string
+/// plus a few words, so this is a couple of MB at worst.
+const WINDOW_CACHE_CAPACITY: usize = 65_536;
+
 /// Loads a dictionary: an [`EntityMatcher::to_tsv`] artifact when a
-/// path is given, the demo dictionary otherwise.
+/// path is given, the demo dictionary otherwise. Fuzzy-enabled
+/// matchers get a cross-batch window cache attached, so recurring
+/// query fragments skip fuzzy re-verification across batches.
 pub fn load_matcher(dict: Option<&str>) -> Result<EntityMatcher, String> {
-    match dict {
-        None => Ok(demo_matcher()),
+    let matcher = match dict {
+        None => demo_matcher(),
         Some(path) => {
             let tsv =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            EntityMatcher::from_tsv(&tsv).map_err(|e| format!("cannot parse {path}: {e}"))
+            EntityMatcher::from_tsv(&tsv).map_err(|e| format!("cannot parse {path}: {e}"))?
         }
-    }
+    };
+    Ok(if matcher.fuzzy_config().is_some() {
+        matcher.with_window_cache(WINDOW_CACHE_CAPACITY)
+    } else {
+        matcher
+    })
 }
 
 /// If the process was invoked with [`WORKER_SENTINEL`], runs the

@@ -287,6 +287,15 @@ impl Engine {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    /// Window-cache counters of the currently served matcher, when one
+    /// is attached ([`websyn_core::EntityMatcher::with_window_cache`]).
+    /// Unlike the result cache these survive a
+    /// [`Engine::swap_matcher`] only if the new matcher shares the old
+    /// cache ([`websyn_core::EntityMatcher::with_shared_window_cache`]).
+    pub fn window_cache_stats(&self) -> Option<websyn_core::WindowCacheStats> {
+        self.matcher().window_cache().map(|c| c.stats())
+    }
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ use crate::cache::CacheStats;
 use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
 use std::io::{self, BufRead};
 use std::sync::Arc;
-use websyn_core::MatchSpan;
+use websyn_core::{MatchSpan, WindowCacheStats};
 
 /// Renders a complete HTTP/1.1 response: status line, headers, body.
 /// Every websyn response is `Content-Length`-framed JSON, so this is
@@ -115,16 +115,23 @@ pub fn spans_json(spans: &[MatchSpan]) -> String {
 }
 
 /// Serializes cache statistics as the `/stats` JSON body — the HTTP
-/// counterpart of [`crate::proto::format_stats`].
-pub fn stats_json(stats: &CacheStats, swaps: u64) -> String {
+/// counterpart of [`crate::proto::format_stats`]. `window` carries the
+/// matcher's cross-batch window-cache counters
+/// ([`websyn_core::EntityMatcher::with_window_cache`]); the fields are
+/// always present (zero when no cache is attached) so the router's
+/// fixed-grammar aggregation never special-cases their absence.
+pub fn stats_json(stats: &CacheStats, swaps: u64, window: Option<WindowCacheStats>) -> String {
+    let window = window.unwrap_or_default();
     format!(
-        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{}}}",
+        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{},\"window_hits\":{},\"window_misses\":{}}}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
         stats.entries,
         stats.evictions,
-        swaps
+        swaps,
+        window.hits,
+        window.misses,
     )
 }
 
@@ -268,8 +275,13 @@ impl Protocol for HttpProtocol {
         Arc::from(response(status, reason, &format!("{{\"error\":\"{error}\"}}")).as_str())
     }
 
-    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str> {
-        Arc::from(response(200, "OK", &stats_json(stats, swaps)).as_str())
+    fn render_stats(
+        &self,
+        stats: &CacheStats,
+        swaps: u64,
+        window: Option<WindowCacheStats>,
+    ) -> Arc<str> {
+        Arc::from(response(200, "OK", &stats_json(stats, swaps, window)).as_str())
     }
 }
 
@@ -753,9 +765,10 @@ mod tests {
                 "{reject:?} → {r}"
             );
         }
-        let stats = proto.render_stats(&CacheStats::default(), 2);
+        let stats = proto.render_stats(&CacheStats::default(), 2, None);
         assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(stats.ends_with("\"swaps\":2}"));
+        assert!(stats.contains("\"swaps\":2"));
+        assert!(stats.ends_with("\"window_hits\":0,\"window_misses\":0}"));
     }
 
     #[test]

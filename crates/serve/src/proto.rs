@@ -16,6 +16,7 @@
 //! span      = start "," end "," entity "," distance "," surface
 //! stats-line = "STATS" TAB "hits=" n TAB "misses=" n TAB "hit_rate=" x
 //!              TAB "entries=" n TAB "evictions=" n TAB "swaps=" n
+//!              TAB "window_hits=" n TAB "window_misses=" n
 //! err-line  = "ERR" SP reason      ; e.g. "ERR busy" under backpressure,
 //!                                  ; "ERR line-too-long" before dropping
 //!                                  ; a connection whose request line
@@ -35,7 +36,7 @@
 use crate::cache::CacheStats;
 use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
 use std::sync::Arc;
-use websyn_core::MatchSpan;
+use websyn_core::{MatchSpan, WindowCacheStats};
 
 /// The backpressure reject sent when the request queue is full.
 pub const ERR_BUSY: &str = "ERR busy";
@@ -75,16 +76,21 @@ pub fn format_spans(spans: &[MatchSpan]) -> String {
     out
 }
 
-/// Serializes cache statistics as one `STATS` response line.
-pub fn format_stats(stats: &CacheStats, swaps: u64) -> String {
+/// Serializes cache statistics as one `STATS` response line. `window`
+/// carries the matcher's cross-batch window-cache counters, zero when
+/// no cache is attached (the fields are always present).
+pub fn format_stats(stats: &CacheStats, swaps: u64, window: Option<WindowCacheStats>) -> String {
+    let window = window.unwrap_or_default();
     format!(
-        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}",
+        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}\twindow_hits={}\twindow_misses={}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
         stats.entries,
         stats.evictions,
-        swaps
+        swaps,
+        window.hits,
+        window.misses,
     )
 }
 
@@ -126,8 +132,13 @@ impl Protocol for LineProtocol {
         })
     }
 
-    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str> {
-        Arc::from(format_stats(stats, swaps).as_str())
+    fn render_stats(
+        &self,
+        stats: &CacheStats,
+        swaps: u64,
+        window: Option<WindowCacheStats>,
+    ) -> Arc<str> {
+        Arc::from(format_stats(stats, swaps, window).as_str())
     }
 }
 
@@ -218,15 +229,15 @@ mod tests {
             assert!(proto.render_reject(reject).starts_with("ERR "));
         }
         assert!(proto
-            .render_stats(&CacheStats::default(), 0)
+            .render_stats(&CacheStats::default(), 0, None)
             .starts_with("STATS\t"));
     }
 
     #[test]
     fn stats_line_is_single_line_tab_separated() {
-        let line = format_stats(&CacheStats::default(), 3);
+        let line = format_stats(&CacheStats::default(), 3, None);
         assert!(line.starts_with("STATS\thits=0\t"));
-        assert!(line.ends_with("swaps=3"));
+        assert!(line.ends_with("swaps=3\twindow_hits=0\twindow_misses=0"));
         assert!(!line.contains('\n'));
     }
 }

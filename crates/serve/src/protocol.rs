@@ -111,8 +111,15 @@ pub trait Protocol: Send + Sync + 'static {
     /// Renders a semantic reject as a complete response payload.
     fn render_reject(&self, reject: Reject) -> Arc<str>;
 
-    /// Renders a statistics response.
-    fn render_stats(&self, stats: &CacheStats, swaps: u64) -> Arc<str>;
+    /// Renders a statistics response. `window` carries the matcher's
+    /// cross-batch window-cache counters when one is attached
+    /// ([`websyn_core::EntityMatcher::with_window_cache`]).
+    fn render_stats(
+        &self,
+        stats: &CacheStats,
+        swaps: u64,
+        window: Option<websyn_core::WindowCacheStats>,
+    ) -> Arc<str>;
 }
 
 /// Per-connection request framing: the connection layer feeds complete

@@ -515,6 +515,8 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
     let mut entries = 0u64;
     let mut evictions = 0u64;
     let mut swaps = 0u64;
+    let mut window_hits = 0u64;
+    let mut window_misses = 0u64;
     let mut workers = 0u64;
     for slot in 0..ring.len() {
         let Some(addr) = ring.addr_of(slot) else {
@@ -531,6 +533,8 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
         entries += stats_field(&body, "entries");
         evictions += stats_field(&body, "evictions");
         swaps += stats_field(&body, "swaps");
+        window_hits += stats_field(&body, "window_hits");
+        window_misses += stats_field(&body, "window_misses");
         workers += 1;
     }
     let lookups = hits + misses;
@@ -540,7 +544,7 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
         hits as f64 / lookups as f64
     };
     let body = format!(
-        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"workers\":{workers}}}"
+        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"window_hits\":{window_hits},\"window_misses\":{window_misses},\"workers\":{workers}}}"
     );
     http::response(200, "OK", &body)
 }
@@ -611,10 +615,14 @@ mod tests {
 
     #[test]
     fn stats_field_reads_the_fixed_grammar() {
-        let body = "{\"hits\":12,\"misses\":3,\"hit_rate\":0.8000,\"entries\":7,\"evictions\":0,\"swaps\":1}";
+        let body = "{\"hits\":12,\"misses\":3,\"hit_rate\":0.8000,\"entries\":7,\"evictions\":0,\"swaps\":1,\"window_hits\":9,\"window_misses\":4}";
         assert_eq!(stats_field(body, "hits"), 12);
         assert_eq!(stats_field(body, "misses"), 3);
         assert_eq!(stats_field(body, "swaps"), 1);
+        // The window-cache fields must not collide with the plain
+        // hit/miss patterns (and vice versa).
+        assert_eq!(stats_field(body, "window_hits"), 9);
+        assert_eq!(stats_field(body, "window_misses"), 4);
         assert_eq!(stats_field(body, "absent"), 0);
     }
 }

@@ -530,7 +530,11 @@ fn reader_loop(
             }
             // Stats are answered at receipt time, never queued.
             Request::Stats { close } => (
-                Some(protocol.render_stats(&engine.cache_stats(), engine.swaps())),
+                Some(protocol.render_stats(
+                    &engine.cache_stats(),
+                    engine.swaps(),
+                    engine.window_cache_stats(),
+                )),
                 close,
             ),
             Request::Reject { reject, close } => (Some(protocol.render_reject(reject)), close),

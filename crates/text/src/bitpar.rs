@@ -1,0 +1,162 @@
+//! Bit-parallel bounded edit distance (Myers 1999 / Hyyrö 2003).
+//!
+//! The banded DP in [`crate::distance`] costs O((2k+1)·len) cell
+//! updates per verification; this kernel packs one DP *column* into a
+//! u64 and advances it with a constant number of word operations per
+//! text symbol — the standard constant-factor win for the short surface
+//! strings a fuzzy dictionary verifies. Two variants share the column
+//! loop:
+//!
+//! - plain Levenshtein (Myers' original recurrence), and
+//! - the optimal-string-alignment Damerau variant (Hyyrö's
+//!   transposition term carried across one column).
+//!
+//! The kernel is *bounded* the same way the band is: the final distance
+//! can drop by at most one per remaining text symbol, so a column whose
+//! running score can no longer get back under the budget abandons
+//! immediately.
+//!
+//! Scope: patterns of at most 64 symbols (one machine word of column
+//! state) over byte alphabets — the ASCII fast path of
+//! [`crate::distance`], which is every string the normalizer emits.
+//! Longer or non-ASCII inputs stay on the banded DP, which also remains
+//! the reference oracle for the kernel's property tests.
+
+/// Bounded edit distance between ASCII byte slices: `Some(d)` iff
+/// `d ≤ k`, counting an adjacent transposition as one edit when
+/// `transpositions` is set.
+///
+/// Caller contract (enforced by the dispatcher in
+/// [`crate::distance`], debug-asserted here): both slices non-empty,
+/// `pattern.len() ≤ 64`, `k ≥ 1`, and the length gap already screened
+/// against `k`.
+pub(crate) fn within_bytes(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+    transpositions: bool,
+) -> Option<usize> {
+    debug_assert!(!text.is_empty() && !pattern.is_empty());
+    debug_assert!(pattern.len() <= 64);
+    debug_assert!(k >= 1);
+    debug_assert!(text.len().abs_diff(pattern.len()) <= k);
+    thread_local! {
+        /// Pattern-character match masks, plus the list of entries
+        /// touched by the current pattern so reset is O(|pattern|),
+        /// not O(alphabet).
+        static PEQ: std::cell::RefCell<(Box<[u64; 256]>, Vec<u8>)> =
+            std::cell::RefCell::new((Box::new([0u64; 256]), Vec::new()));
+    }
+    PEQ.with_borrow_mut(|(peq, touched)| {
+        for (i, &c) in pattern.iter().enumerate() {
+            if peq[c as usize] == 0 {
+                touched.push(c);
+            }
+            peq[c as usize] |= 1u64 << i;
+        }
+        let d = column_scan(text, pattern.len(), peq, k, transpositions);
+        for &c in touched.iter() {
+            peq[c as usize] = 0;
+        }
+        touched.clear();
+        d
+    })
+}
+
+/// The column loop: one u64 of vertical-delta state (`vp`/`vn`)
+/// advanced per text symbol. Bits above `m − 1` hold garbage but never
+/// flow downward (every shift is a left shift and addition carries
+/// propagate upward), so only bit `m − 1` — the score row — is read.
+fn column_scan(
+    text: &[u8],
+    m: usize,
+    peq: &[u64; 256],
+    k: usize,
+    transpositions: bool,
+) -> Option<usize> {
+    let n = text.len();
+    let top = 1u64 << (m - 1);
+    let mut vp = !0u64;
+    let mut vn = 0u64;
+    let mut score = m;
+    // Hyyrö's transposition term needs last column's match mask and
+    // diagonal vector; both start empty (no column 0 to transpose with).
+    let mut pm_prev = 0u64;
+    let mut d0_prev = 0u64;
+    for (j, &tc) in text.iter().enumerate() {
+        let pm = peq[tc as usize];
+        let mut d0 = (((pm & vp).wrapping_add(vp)) ^ vp) | pm | vn;
+        if transpositions {
+            // A diagonal mismatch at (i−1, j−1) whose surrounding
+            // symbols cross-match is one transposition edit.
+            d0 |= ((!d0_prev & pm) << 1) & pm_prev;
+        }
+        let hp = vn | !(d0 | vp);
+        let hn = d0 & vp;
+        score += usize::from(hp & top != 0);
+        score -= usize::from(hn & top != 0);
+        // The score can shed at most one per remaining symbol; once
+        // that best case overshoots the budget, no suffix rescues it.
+        if score > k + (n - j - 1) {
+            return None;
+        }
+        let hp = (hp << 1) | 1;
+        let hn = hn << 1;
+        vp = hn | !(d0 | hp);
+        vn = d0 & hp;
+        pm_prev = pm;
+        d0_prev = d0;
+    }
+    (score <= k).then_some(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
+        // Test harness mirrors the dispatcher's pattern choice: the
+        // shorter side packs into the column word.
+        let (t, p) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        within_bytes(t.as_bytes(), p.as_bytes(), k, transpositions)
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(within("kitten", "sitting", 3, false), Some(3));
+        assert_eq!(within("kitten", "sitting", 2, false), None);
+        assert_eq!(
+            within("canon eos 350d", "cannon eos 350d", 2, false),
+            Some(1)
+        );
+        assert_eq!(within("abcd", "abdc", 2, false), Some(2));
+        assert_eq!(within("abcd", "abdc", 2, true), Some(1));
+        assert_eq!(within("ca", "ac", 1, true), Some(1));
+        assert_eq!(within("ca", "ac", 1, false), None);
+    }
+
+    #[test]
+    fn full_word_pattern() {
+        // A 64-byte pattern exercises the `1 << 63` top bit.
+        let a = "a".repeat(64);
+        let mut b = a.clone();
+        b.replace_range(30..31, "b");
+        assert_eq!(within(&a, &a, 1, false), Some(0));
+        assert_eq!(within(&a, &b, 1, false), Some(1));
+        assert_eq!(within(&a, &b, 1, true), Some(1));
+    }
+
+    #[test]
+    fn early_exit_returns_none() {
+        assert_eq!(within("abcdefgh", "zyxwvuts", 2, false), None);
+        assert_eq!(within("abcdefgh", "zyxwvuts", 2, true), None);
+    }
+
+    #[test]
+    fn peq_scratch_resets_between_calls() {
+        // A stale mask from call 1 would corrupt call 2's distances.
+        assert_eq!(within("abab", "baba", 2, false), Some(2));
+        assert_eq!(within("cdcd", "cdcd", 2, false), Some(0));
+        assert_eq!(within("abab", "abab", 2, false), Some(0));
+    }
+}

@@ -70,6 +70,68 @@ pub trait CandidateSource {
         let _ = (n_tokens, max_dist);
         true
     }
+
+    /// Per-position generation: collect, in **one** pass over `query`
+    /// (the longest window starting at a segmenter position), anchored
+    /// hits valid for *every* token-aligned prefix window of it, at
+    /// the loosest budget any prefix will use (`max_dist`). The caller
+    /// then extracts each prefix window's proposals with
+    /// [`CandidateSource::filter_prefix`], instead of paying one
+    /// [`CandidateSource::propose`] per (position, window-length)
+    /// pair.
+    ///
+    /// Returns `true` when the source supports this form (and has
+    /// appended its hits); the default returns `false` and callers
+    /// fall back to per-window `propose`.
+    fn propose_prefix(&self, query: &str, max_dist: usize, out: &mut Vec<PrefixHit>) -> bool {
+        let _ = (query, max_dist, out);
+        false
+    }
+
+    /// Extracts the proposals for one prefix window of the query that
+    /// [`CandidateSource::propose_prefix`] scanned: the window's first
+    /// `n_tokens` tokens, `query_chars` chars, at edit budget
+    /// `max_dist` (≤ the collection budget). Appends to `out` exactly
+    /// the ids `propose` would have produced for that window text —
+    /// ascending and deduplicated within this call's output. The
+    /// default is for sources that never return `true` from
+    /// `propose_prefix` and must not be reached.
+    fn filter_prefix(
+        &self,
+        hits: &[PrefixHit],
+        n_tokens: usize,
+        query_chars: usize,
+        max_dist: usize,
+        out: &mut Vec<u32>,
+    ) {
+        let _ = (hits, n_tokens, query_chars, max_dist, out);
+        unimplemented!("filter_prefix without propose_prefix support")
+    }
+}
+
+/// One anchored candidate occurrence from a per-position generation
+/// pass (see [`CandidateSource::propose_prefix`]): enough geometry to
+/// re-apply a *shorter* prefix window's filters without re-probing any
+/// posting list. All offsets are char-level, relative to the scanned
+/// query's start — which is every prefix window's start too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixHit {
+    /// Proposed surface id.
+    pub surface: u32,
+    /// Index of the query token that anchored the proposal, or
+    /// [`PrefixHit::DESPACED`] for a hit of the two-token de-spaced
+    /// probe (valid only for the two-token prefix window).
+    pub token_index: u32,
+    /// Char offset of the anchor inside the query.
+    pub query_offset: u32,
+    /// Char offset of the anchored key inside the surface.
+    pub surface_offset: u32,
+}
+
+impl PrefixHit {
+    /// Sentinel `token_index` for hits of the two-token de-spaced
+    /// concatenation probe.
+    pub const DESPACED: u32 = u32::MAX;
 }
 
 /// Per-token Soundex blocking: surfaces sharing the query's phonetic

@@ -89,10 +89,13 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     row1[m]
 }
 
-/// Bounded Levenshtein distance: `Some(d)` iff `d ≤ k`, computed with
+/// Bounded Levenshtein distance: `Some(d)` iff `d ≤ k`. ASCII inputs
+/// whose post-affix-stripping middle fits one machine word run the
+/// bit-parallel Myers kernel (`bitpar`); everything else runs
 /// a Ukkonen band of width `2k + 1` — O((2k+1)·|a|) time instead of
-/// O(|a|·|b|), the verification workhorse of fuzzy candidate checking
-/// where `k` is small (≤ 2) and most candidates are rejected early.
+/// O(|a|·|b|). This is the verification workhorse of fuzzy candidate
+/// checking, where `k` is small (≤ 2) and most candidates are rejected
+/// early.
 ///
 /// # Examples
 ///
@@ -110,36 +113,101 @@ pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
 }
 
 /// Bounded Damerau–Levenshtein (OSA) distance: `Some(d)` iff `d ≤ k`,
-/// banded like [`levenshtein_within`] but counting an adjacent
+/// dispatched like [`levenshtein_within`] (Hyyrö's transposition-aware
+/// bit-parallel variant on the fast path) but counting an adjacent
 /// transposition as one edit.
 pub fn damerau_levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
     banded(a, b, k, true)
 }
 
-/// Shared banded dynamic program. Cells outside the `|i − j| ≤ k` band
-/// can never hold a value ≤ k, so only the band is computed; a row
-/// whose band minimum exceeds `k` abandons immediately.
-///
-/// This is the verification workhorse of the fuzzy hot path — every
-/// candidate a signature index proposes lands here — so all working
-/// storage (the char buffers and the three rolling rows) lives in
-/// thread-local scratch: a call allocates nothing once the scratch has
-/// grown to the longest string seen on the thread.
-fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
-    thread_local! {
-        #[allow(clippy::type_complexity)]
-        static SCRATCH: std::cell::RefCell<(
-            Vec<char>,
-            Vec<char>,
-            Vec<usize>,
-            Vec<usize>,
-            Vec<usize>,
-        )> = const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+/// [`levenshtein_within`] pinned to the banded-DP path, bypassing the
+/// bit-parallel kernel entirely. Semantically identical; kept public
+/// as the reference oracle the kernel's property tests (here and in
+/// the workspace suites) compare against.
+pub fn levenshtein_within_ref(a: &str, b: &str, k: usize) -> Option<usize> {
+    banded_ref(a, b, k, false)
+}
+
+/// [`damerau_levenshtein_within`] pinned to the banded-DP path — the
+/// transposition-aware reference oracle; see
+/// [`levenshtein_within_ref`].
+pub fn damerau_levenshtein_within_ref(a: &str, b: &str, k: usize) -> Option<usize> {
+    banded_ref(a, b, k, true)
+}
+
+/// Strips the common prefix and suffix: edits only live in the
+/// differing middle, so both kernels shrink from O(len) to O(middle)
+/// columns — on verification workloads candidate and query share
+/// almost everything and the middle is a handful of symbols. (Safe for
+/// the OSA variant too: a transposition never pays across a boundary
+/// of equal symbols; the bounded-vs-full property tests pin this.)
+fn strip_affixes<'s, T: Copy + Eq>(a: &'s [T], b: &'s [T]) -> (&'s [T], &'s [T]) {
+    let mut lo = 0usize;
+    while lo < a.len() && lo < b.len() && a[lo] == b[lo] {
+        lo += 1;
     }
-    SCRATCH.with_borrow_mut(|(av, bv, row0, row1, row2)| {
-        // ASCII fast path (every string the normalizer emits is a
-        // candidate): char length equals byte length, so the DP can run
-        // straight over the byte slices with no char collection at all.
+    let (mut ae, mut be) = (a.len(), b.len());
+    while ae > lo && be > lo && a[ae - 1] == b[be - 1] {
+        ae -= 1;
+        be -= 1;
+    }
+    (&a[lo..ae], &b[lo..be])
+}
+
+/// Bounded-distance dispatcher. ASCII inputs (every string the
+/// normalizer emits) are screened, affix-stripped and — when the
+/// shorter stripped side fits the 64-symbol column word — handed to
+/// the bit-parallel kernel; longer middles and non-ASCII text fall
+/// back to the banded DP, whose working storage (char buffers and the
+/// three rolling rows) lives in thread-local scratch so a call
+/// allocates nothing once the scratch has grown.
+fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
+    if a.is_ascii() && b.is_ascii() {
+        let (ab, bb) = (a.as_bytes(), b.as_bytes());
+        if ab.len().abs_diff(bb.len()) > k {
+            return None;
+        }
+        let (sa, sb) = strip_affixes(ab, bb);
+        if sa.is_empty() || sb.is_empty() {
+            // The survivor is pure insertions/deletions; its length
+            // equals the original length gap, already known to be ≤ k.
+            return Some(sa.len().max(sb.len()));
+        }
+        // Both middles are non-empty and start (and end) with a
+        // mismatch, so the distance is at least 1.
+        if k == 0 {
+            return None;
+        }
+        let (text, pattern) = if sa.len() >= sb.len() {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
+        if pattern.len() <= 64 {
+            // The distance never exceeds the longer middle, so a larger
+            // bound is equivalent — and clamping keeps the kernel's
+            // score arithmetic from overflowing on huge budgets.
+            return crate::bitpar::within_bytes(text, pattern, k.min(text.len()), transpositions);
+        }
+        return with_dp_scratch(|_, _, row0, row1, row2| {
+            banded_core(sa, sb, k, transpositions, row0, row1, row2)
+        });
+    }
+    with_dp_scratch(|av, bv, row0, row1, row2| {
+        av.clear();
+        av.extend(a.chars());
+        bv.clear();
+        bv.extend(b.chars());
+        banded_core(av, bv, k, transpositions, row0, row1, row2)
+    })
+}
+
+/// The pre-kernel dispatcher: banded DP always, bit-parallel never —
+/// the reference oracle behind [`levenshtein_within_ref`].
+fn banded_ref(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
+    with_dp_scratch(|av, bv, row0, row1, row2| {
+        // ASCII fast path: char length equals byte length, so the DP
+        // runs straight over the byte slices with no char collection.
         if a.is_ascii() && b.is_ascii() {
             return banded_core(
                 a.as_bytes(),
@@ -159,6 +227,29 @@ fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
     })
 }
 
+/// Thread-local working storage shared by the DP paths.
+fn with_dp_scratch<R>(
+    f: impl FnOnce(
+        &mut Vec<char>,
+        &mut Vec<char>,
+        &mut Vec<usize>,
+        &mut Vec<usize>,
+        &mut Vec<usize>,
+    ) -> R,
+) -> R {
+    thread_local! {
+        #[allow(clippy::type_complexity)]
+        static SCRATCH: std::cell::RefCell<(
+            Vec<char>,
+            Vec<char>,
+            Vec<usize>,
+            Vec<usize>,
+            Vec<usize>,
+        )> = const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with_borrow_mut(|(av, bv, row0, row1, row2)| f(av, bv, row0, row1, row2))
+}
+
 /// The banded DP over already-decoded symbol slices and caller-provided
 /// row scratch. Works on bytes (ASCII fast path) or chars alike.
 fn banded_core<T: Copy + Eq>(
@@ -175,23 +266,7 @@ fn banded_core<T: Copy + Eq>(
     if av.len().abs_diff(bv.len()) > k {
         return None;
     }
-    // Strip the common prefix and suffix: edits only live in the
-    // differing middle, so the DP shrinks from O(len · k) to
-    // O(middle · k) — on verification workloads candidate and query
-    // share almost everything and the middle is a handful of symbols.
-    // (Safe for the OSA variant too: a transposition never pays across
-    // a boundary of equal symbols; the bounded-vs-full property tests
-    // pin this.)
-    let mut lo = 0usize;
-    while lo < av.len() && lo < bv.len() && av[lo] == bv[lo] {
-        lo += 1;
-    }
-    let (mut ae, mut be) = (av.len(), bv.len());
-    while ae > lo && be > lo && av[ae - 1] == bv[be - 1] {
-        ae -= 1;
-        be -= 1;
-    }
-    let (av, bv) = (&av[lo..ae], &bv[lo..be]);
+    let (av, bv) = strip_affixes(av, bv);
     let (n, m) = (av.len(), bv.len());
     if n == 0 || m == 0 {
         // The survivor is pure insertions/deletions; its length equals
@@ -520,6 +595,86 @@ mod proptests {
             prop_assert_eq!(levenshtein_within(&a, &b, k), (lev <= k).then_some(lev));
             let dam = damerau_levenshtein(&a, &b);
             prop_assert_eq!(damerau_levenshtein_within(&a, &b, k), (dam <= k).then_some(dam));
+        }
+
+        /// The bit-parallel kernel must agree with the banded-DP
+        /// reference oracle (which the tests above pin to the full DP)
+        /// over ASCII, at every budget including 0.
+        #[test]
+        fn bitpar_agrees_with_dp_oracle_ascii(
+            a in "[a-d ]{0,20}",
+            b in "[a-d ]{0,20}",
+            k in 0usize..5,
+        ) {
+            prop_assert_eq!(
+                levenshtein_within(&a, &b, k),
+                levenshtein_within_ref(&a, &b, k)
+            );
+            prop_assert_eq!(
+                damerau_levenshtein_within(&a, &b, k),
+                damerau_levenshtein_within_ref(&a, &b, k)
+            );
+        }
+
+        /// Multi-byte inputs route around the kernel; the public
+        /// functions must still agree with the oracle there.
+        #[test]
+        fn bitpar_agrees_with_dp_oracle_multibyte(
+            a in "[aé東 ]{0,12}",
+            b in "[aé東 ]{0,12}",
+            k in 0usize..4,
+        ) {
+            prop_assert_eq!(
+                levenshtein_within(&a, &b, k),
+                levenshtein_within_ref(&a, &b, k)
+            );
+            prop_assert_eq!(
+                damerau_levenshtein_within(&a, &b, k),
+                damerau_levenshtein_within_ref(&a, &b, k)
+            );
+        }
+
+        /// Long shared affixes around a short differing middle: the
+        /// common-affix-stripping fast path, plus strings beyond the
+        /// 64-symbol column word (the DP-fallback boundary) when the
+        /// affixes fail to cancel.
+        #[test]
+        fn bitpar_agrees_with_dp_oracle_on_affixed_and_long_inputs(
+            prefix in "[ab]{0,70}",
+            mid_a in "[ab]{0,6}",
+            mid_b in "[ab]{0,6}",
+            suffix in "[ab]{0,70}",
+            k in 0usize..4,
+        ) {
+            let a = format!("{prefix}{mid_a}{suffix}");
+            let b = format!("{prefix}{mid_b}{suffix}");
+            prop_assert_eq!(
+                levenshtein_within(&a, &b, k),
+                levenshtein_within_ref(&a, &b, k)
+            );
+            prop_assert_eq!(
+                damerau_levenshtein_within(&a, &b, k),
+                damerau_levenshtein_within_ref(&a, &b, k)
+            );
+        }
+
+        /// Dense two-letter strings straddling the 64-symbol boundary:
+        /// stripped middles land on both sides of the kernel/DP
+        /// dispatch, and both must tell the same story.
+        #[test]
+        fn bitpar_agrees_with_dp_oracle_across_word_boundary(
+            a in "[ab]{55,80}",
+            b in "[ab]{55,80}",
+            k in 0usize..4,
+        ) {
+            prop_assert_eq!(
+                levenshtein_within(&a, &b, k),
+                levenshtein_within_ref(&a, &b, k)
+            );
+            prop_assert_eq!(
+                damerau_levenshtein_within(&a, &b, k),
+                damerau_levenshtein_within_ref(&a, &b, k)
+            );
         }
 
         #[test]

@@ -34,6 +34,7 @@
 //!   simulator.
 
 pub mod abbrev;
+mod bitpar;
 pub mod candidate;
 pub mod distance;
 pub mod ngram;
@@ -46,10 +47,10 @@ pub mod tokenize;
 pub mod typo;
 
 pub use abbrev::AbbrevKind;
-pub use candidate::{AbbrevIndex, CandidateSource, PhoneticIndex};
+pub use candidate::{AbbrevIndex, CandidateSource, PhoneticIndex, PrefixHit};
 pub use distance::{
-    damerau_levenshtein, damerau_levenshtein_within, jaro, jaro_winkler, levenshtein,
-    levenshtein_within, normalized_levenshtein,
+    damerau_levenshtein, damerau_levenshtein_within, damerau_levenshtein_within_ref, jaro,
+    jaro_winkler, levenshtein, levenshtein_within, levenshtein_within_ref, normalized_levenshtein,
 };
 pub use ngram::{char_ngrams, cosine, dice, jaccard, overlap_coefficient, word_ngrams};
 pub use ngram_index::NgramIndex;

@@ -45,7 +45,7 @@
 //! as a gated two-token fallback). See
 //! [`crate::candidate::CandidateSource`].
 
-use crate::candidate::CandidateSource;
+use crate::candidate::{CandidateSource, PrefixHit};
 use websyn_common::FxHashMap;
 
 /// One occurrence of a posted key inside a surface.
@@ -300,6 +300,121 @@ impl CandidateSource for TokenSignatureIndex {
         self.candidates_into(query, max_dist, out);
     }
 
+    /// One probe pass for every token-aligned prefix window of
+    /// `query`: each query token (and the two-token de-spaced concat)
+    /// hits the postings exactly once, instead of once per window
+    /// length containing it. Collected hits carry the anchor geometry,
+    /// pre-screened only by window-*independent* bounds — the aligned
+    /// offset (identical for every prefix, since all prefixes share
+    /// the query's start) and the *upper* length/token-count bands of
+    /// the longest prefix (shorter prefixes only tighten those caps
+    /// downward; their lower bands must wait for
+    /// [`TokenSignatureIndex::filter_prefix`]).
+    fn propose_prefix(&self, query: &str, max_dist: usize, out: &mut Vec<PrefixHit>) -> bool {
+        if max_dist == 0 || self.is_empty() {
+            return true;
+        }
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<TokenPos>, String)> =
+                const { std::cell::RefCell::new((Vec::new(), String::new()) )};
+        }
+        SCRATCH.with_borrow_mut(|(tokens, despaced)| {
+            token_offsets(query, tokens);
+            let m = tokens.len();
+            if m < 2 {
+                // No multi-token prefix exists; single-token windows
+                // are out of scope exactly as in `propose`.
+                return;
+            }
+            let k = max_dist as u32;
+            let token_cap = m as u32 + k;
+            let len_cap = tokens[m - 1].char_end + k;
+            let collect = |occurrences: &[Occurrence],
+                           at: u32,
+                           token_index: u32,
+                           out: &mut Vec<PrefixHit>| {
+                for occ in occurrences {
+                    let s = occ.surface as usize;
+                    if occ.offset.abs_diff(at) <= k
+                        && self.token_counts[s] <= token_cap
+                        && self.lengths[s] <= len_cap
+                    {
+                        out.push(PrefixHit {
+                            surface: occ.surface,
+                            token_index,
+                            query_offset: at,
+                            surface_offset: occ.offset,
+                        });
+                    }
+                }
+            };
+            for (ti, a) in tokens.iter().enumerate() {
+                let token = &query[a.byte_start as usize..a.byte_end as usize];
+                if let Some(occurrences) = self.postings.get(token) {
+                    collect(occurrences, a.char_start, ti as u32, out);
+                }
+            }
+            // The two-token prefix's space-damage probe (see
+            // `candidates_into`): fixed per position, probed once.
+            despaced.clear();
+            for t in &tokens[..2] {
+                despaced.push_str(&query[t.byte_start as usize..t.byte_end as usize]);
+            }
+            if let Some(occurrences) = self.postings.get(despaced.as_str()) {
+                collect(occurrences, 0, PrefixHit::DESPACED, out);
+            }
+        });
+        true
+    }
+
+    /// Replays [`TokenSignatureIndex::candidates_into`]'s filters for
+    /// one prefix window over the pre-collected hits: same length
+    /// band, token-count band and aligned-offset screen, same
+    /// sort-and-dedup output contract — byte-identical proposals,
+    /// minus the per-window posting probes.
+    fn filter_prefix(
+        &self,
+        hits: &[PrefixHit],
+        n_tokens: usize,
+        query_chars: usize,
+        max_dist: usize,
+        out: &mut Vec<u32>,
+    ) {
+        if max_dist == 0 || n_tokens < 2 {
+            return;
+        }
+        let k = max_dist as u32;
+        let t = n_tokens as u32;
+        let q_len = query_chars as u32;
+        let start = out.len();
+        for hit in hits {
+            let in_window = if hit.token_index == PrefixHit::DESPACED {
+                n_tokens == 2
+            } else {
+                hit.token_index < t
+            };
+            if !in_window {
+                continue;
+            }
+            let s = hit.surface as usize;
+            if self.lengths[s].abs_diff(q_len) <= k
+                && self.token_counts[s].abs_diff(t) <= k
+                && hit.surface_offset.abs_diff(hit.query_offset) <= k
+            {
+                out.push(hit.surface);
+            }
+        }
+        out[start..].sort_unstable();
+        let mut w = start;
+        for r in start..out.len() {
+            if w == start || out[w - 1] != out[r] {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+    }
+
     fn proposes_unanchored(&self, n_tokens: usize, max_dist: usize) -> bool {
         // Without an in-vocabulary token, a window can only resolve
         // through the space-damage anchors — a merged query token
@@ -473,6 +588,69 @@ mod tests {
         out.clear();
         with_empty.propose("a b", 1, &mut out);
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn prefix_form_matches_per_window_proposals() {
+        use crate::candidate::PrefixHit;
+        // The per-position contract: for every token-aligned prefix
+        // window and every budget ≤ the collection budget,
+        // filter_prefix over one propose_prefix pass must equal a
+        // fresh propose over the window text.
+        let idx = TokenSignatureIndex::build([
+            "canon eos 350d",
+            "canon eos 400d",
+            "nikon d80",
+            "indiana jones 4",
+            "indy 4",
+            "tvset",
+            "the best",
+            "canoneos 350x",
+        ]);
+        let queries = [
+            "cannon eos 350d best price",
+            "canoneos 350d review",
+            "tv set deluxe model",
+            "th ebest of indiana jnoes 4",
+            "canon eos 350d",
+            "zzz yyy xxx",
+            "2 fast furious",
+        ];
+        for query in queries {
+            for k_max in 1usize..=2 {
+                let mut hits: Vec<PrefixHit> = Vec::new();
+                assert!(idx.propose_prefix(query, k_max, &mut hits));
+                // Every token-aligned prefix of the query.
+                let token_ends: Vec<usize> = query
+                    .char_indices()
+                    .filter(|&(_, c)| c == ' ')
+                    .map(|(i, _)| i)
+                    .chain([query.len()])
+                    .collect();
+                for (t, &end) in token_ends.iter().enumerate() {
+                    let window = &query[..end];
+                    let n_tokens = t + 1;
+                    for k in 0..=k_max {
+                        let mut direct = Vec::new();
+                        idx.propose(window, k, &mut direct);
+                        let mut filtered = vec![7u32]; // prefix must survive
+                        idx.filter_prefix(
+                            &hits,
+                            n_tokens,
+                            window.chars().count(),
+                            k,
+                            &mut filtered,
+                        );
+                        assert_eq!(filtered[0], 7);
+                        assert_eq!(
+                            &filtered[1..],
+                            &direct[..],
+                            "window {window:?} k={k} k_max={k_max}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

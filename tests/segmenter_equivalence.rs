@@ -20,7 +20,7 @@
 
 use proptest::prelude::*;
 use websyn::common::{EntityId, FxHashMap, FxHashSet};
-use websyn::core::{EntityMatcher, FuzzyConfig, MatchSpan};
+use websyn::core::{EntityMatcher, FuzzyConfig, MatchSpan, WindowCache};
 use websyn::text::{normalize, NgramIndex, TokenSignatureIndex};
 
 /// A span projected to plain data, so reference and compiled spans
@@ -349,6 +349,65 @@ proptest! {
         // Dictionary surfaces themselves still segment identically.
         for (s, _) in &pairs {
             prop_assert_eq!(flatten(&compiled.segment(s)), reference.segment(s));
+        }
+    }
+
+    /// The cross-batch window cache is a pure-function cache: spans
+    /// are byte-identical with it attached and without — across
+    /// repeated queries (warm entries), sharded batches, a tiny
+    /// capacity (live eviction), and a rebuild-and-swap that re-binds
+    /// the same cache to a different dictionary (the generation bump
+    /// must hide every old window, in both swap directions).
+    #[test]
+    fn window_cache_is_invisible_to_spans(
+        pairs in collection::vec(("[a-z]{3,10}( [a-z0-9]{2,6}){0,2}", 0u32..6), 2..14),
+        seeds in collection::vec((0usize..64, 0u64..1_000_000_000), 1..4),
+        n_queries in 1usize..10,
+    ) {
+        let pairs: Vec<(String, EntityId)> = pairs
+            .into_iter()
+            .map(|(s, e)| (s, EntityId::new(e)))
+            .collect();
+        let plain = EntityMatcher::from_pairs(pairs.clone()).with_fuzzy(FuzzyConfig::default());
+        // Tiny capacity so eviction is live in the test.
+        let cache = std::sync::Arc::new(WindowCache::new(8));
+        let cached = plain.clone().with_shared_window_cache(std::sync::Arc::clone(&cache));
+        let queries: Vec<String> = (0..n_queries)
+            .map(|i| {
+                let shifted: Vec<(usize, u64)> = seeds
+                    .iter()
+                    .map(|&(sel, seed)| (sel + i, seed + i as u64))
+                    .collect();
+                compose_query(&pairs, &shifted)
+            })
+            .collect();
+        let expected: Vec<Vec<FlatSpan>> =
+            queries.iter().map(|q| flatten(&plain.segment(q))).collect();
+        // Two passes: the second reads warm entries from the first.
+        for _ in 0..2 {
+            for (q, want) in queries.iter().zip(&expected) {
+                prop_assert_eq!(&flatten(&cached.segment(q)), want);
+            }
+            let batched = cached.match_batch(&queries, 4);
+            for (spans, want) in batched.iter().zip(&expected) {
+                prop_assert_eq!(&flatten(spans), want);
+            }
+        }
+        // Rebuild-and-swap: a different dictionary binds the same
+        // cache — the warm entries above must be invisible to it.
+        let mut swapped_pairs = pairs.clone();
+        swapped_pairs.truncate(swapped_pairs.len().div_ceil(2));
+        let swapped_plain =
+            EntityMatcher::from_pairs(swapped_pairs).with_fuzzy(FuzzyConfig::default());
+        let swapped =
+            swapped_plain.clone().with_shared_window_cache(std::sync::Arc::clone(&cache));
+        for q in &queries {
+            prop_assert_eq!(flatten(&swapped.segment(q)), flatten(&swapped_plain.segment(q)));
+        }
+        // Swapping back must not resurrect the first dictionary's
+        // pre-swap windows either.
+        for (q, want) in queries.iter().zip(&expected) {
+            prop_assert_eq!(&flatten(&cached.segment(q)), want);
         }
     }
 
