@@ -37,15 +37,27 @@
 //! above 50%, and no response may have diverged from the golden
 //! segmentation. The HTTP section is mandatory (dropping it fails CI)
 //! and full-mode artifacts must clear an absolute 30k qps HTTP replay
-//! floor.
+//! floor. The HTTP section's `"stages"` breakdown (the server's own
+//! per-stage pipeline histograms) is gated too: every stage present,
+//! percentiles ordered, and summed stage time within the
+//! client-observed end-to-end budget — mis-instrumented timers that
+//! double-count a stage fail CI rather than silently corrupting the
+//! latency trajectory.
 //!
 //! The `"cluster"` section (the scale-out curve over worker-process
 //! fleets behind the router) is mandatory too: every row must carry
 //! positive throughput, ordered percentiles and **zero** response
 //! mismatches against the single-process oracle, and full-mode
-//! artifacts must commit the whole 1/2/4/8-worker curve with the
-//! 4-worker fleet clearing 1.5× single-worker throughput — the point
-//! of the router is that a fleet outserves one process.
+//! artifacts must commit the whole 1/2/4/8-worker curve. The curve's
+//! *mechanism* — fleet cache aggregation under hash partitioning — is
+//! gated host-independently through the per-worker hit rates (the
+//! single-worker baseline must be capacity-bound, the 4-worker
+//! fleet's aggregate must hold the working set) plus a 0.5× collapse
+//! floor; the 1.5× 4-worker throughput floor applies only when the
+//! artifact's recorded `"cores"` show the generating host could run
+//! the fleet in parallel at all — on a single-core host worker
+//! processes time-slice one CPU and the ratio measures the scheduler,
+//! not the router.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin bench_check`
 //! (reads the workspace-root `BENCH_matcher.json` / `BENCH_serve.json`,
@@ -146,20 +158,135 @@ fn check_serve_section(section: &str, label: &str) -> Result<f64, String> {
     Ok(throughput)
 }
 
+/// Stage names of the HTTP section's server-side breakdown, in
+/// pipeline order. Keep in sync with `ServeMetrics::stages` in
+/// `websyn-serve`.
+const SERVE_STAGES: [&str; 7] = [
+    "parse",
+    "queue_wait",
+    "batch_assembly",
+    "cache_lookup",
+    "segment",
+    "render",
+    "write",
+];
+
+/// Validates the `"stages"` object of the HTTP section: every pipeline
+/// stage present with sane counts and ordered percentiles, and the
+/// accounting invariant that total server-side stage time
+/// (Σ `mean_us` × `count`) cannot exceed total client-observed
+/// end-to-end time (`end_to_end_mean_us` × `total`) — each request's
+/// stage spans are disjoint slices of its own latency window, so an
+/// emitter double-counting a stage (or timing work outside the request
+/// window) breaks the inequality and fails here.
+fn check_serve_stages(section: &str) -> Result<(), String> {
+    let at = section
+        .find("\"stages\":")
+        .ok_or("[http] missing key \"stages\" (per-stage breakdown dropped)")?;
+    let stages = &section[at..];
+    let number = |key: &str| -> Result<f64, String> {
+        number_value(stages, key).ok_or_else(|| format!("[http stages] unreadable \"{key}\""))
+    };
+    let end_to_end = number("end_to_end_mean_us")?;
+    let total = number("total")?;
+    if !(end_to_end > 0.0 && total >= 1.0) {
+        return Err(format!(
+            "[http stages] end-to-end budget must be positive, \
+             got end_to_end_mean_us={end_to_end} total={total}"
+        ));
+    }
+    let mut stage_time = 0.0;
+    for name in SERVE_STAGES {
+        let key = format!("\"{name}\":");
+        let line = stages
+            .lines()
+            .find(|l| l.contains(&key))
+            .ok_or_else(|| format!("[http stages] missing stage \"{name}\""))?;
+        let field = |key: &str| -> Result<f64, String> {
+            number_value(line, key)
+                .ok_or_else(|| format!("[http stages] {name}: unreadable \"{key}\""))
+        };
+        let count = field("count")?;
+        let mean = field("mean_us")?;
+        if count < 0.0 || mean < 0.0 {
+            return Err(format!(
+                "[http stages] {name}: negative count or mean (count={count} mean_us={mean})"
+            ));
+        }
+        let (p50, p99) = (field("p50_us")?, field("p99_us")?);
+        if p50 > p99 {
+            return Err(format!(
+                "[http stages] {name}: percentiles must be ordered, got p50_us={p50} > p99_us={p99}"
+            ));
+        }
+        stage_time += mean * count;
+    }
+    // The breakdown must prove traffic actually flowed through the
+    // instrumented pipeline: the result-cache lookup runs for every
+    // query, so its histogram cannot be empty.
+    if number_value(
+        stages
+            .lines()
+            .find(|l| l.contains("\"cache_lookup\":"))
+            .unwrap_or(""),
+        "count",
+    )
+    .is_none_or(|c| c < 1.0)
+    {
+        return Err("[http stages] cache_lookup count is zero: breakdown detached".into());
+    }
+    let budget = end_to_end * total;
+    if stage_time > budget {
+        return Err(format!(
+            "[http stages] stage accounting broken: Σ mean_us×count = {stage_time:.0}µs \
+             exceeds the end-to-end budget {budget:.0}µs"
+        ));
+    }
+    Ok(())
+}
+
 /// Minimum full-mode throughput ratio of the 4-worker fleet over the
-/// single-worker baseline in the committed scale-out curve. The
-/// committed run clears it with headroom (≥ 2.2×); a router or
-/// supervisor change that flattens the curve fails CI.
+/// single-worker baseline — enforced only when the committed run came
+/// from a host with at least [`CLUSTER_SCALE_MIN_CORES`] cores. Worker
+/// processes scale throughput by running in parallel; on a single-core
+/// host the fleet time-slices one CPU and each extra process *adds*
+/// scheduler and IPC cost per request, so a throughput ratio there
+/// measures the kernel scheduler, not the router.
 const CLUSTER_SCALE_FLOOR: f64 = 1.5;
+
+/// Core count below which the throughput-ratio floor is meaningless
+/// (see [`CLUSTER_SCALE_FLOOR`]). The artifact records the generating
+/// host's core count under `"cores"`.
+const CLUSTER_SCALE_MIN_CORES: f64 = 4.0;
+
+/// Hardware-independent floor that gates full-mode curves on *every*
+/// host: the 4-worker fleet must stay within 2× of single-worker
+/// throughput even where parallelism can't help. A router that
+/// serializes, deadlocks or thrashes collapses far below this.
+const CLUSTER_COLLAPSE_FLOOR: f64 = 0.5;
+
+/// Full-mode per-worker cache hit-rate bounds proving the curve's
+/// mechanism — fleet cache aggregation under hash partitioning. The
+/// single-worker baseline must be capacity-bound (hit rate at or
+/// below the ceiling) and the 4-worker fleet must hold the working
+/// set (hit rate at or above the floor). These are properties of the
+/// partitioner and the workload, not the host, so they gate
+/// everywhere; the committed run shows 0.41 → 0.96.
+const CLUSTER_BASELINE_HIT_CEILING: f64 = 0.6;
+const CLUSTER_FLEET_HIT_FLOOR: f64 = 0.9;
 
 /// Validates the `"cluster"` scale-out section: workload keys, then
 /// every curve row (positive throughput, ordered percentiles, sane
 /// replication, zero mismatches vs the single-process oracle), then
-/// the full-mode curve shape: all of 1/2/4/8 workers present and the
-/// 4-worker fleet at ≥ [`CLUSTER_SCALE_FLOOR`]× single-worker qps.
+/// the full-mode curve shape: all of 1/2/4/8 workers present, cache
+/// aggregation proven by the per-worker hit rates, throughput no
+/// worse than [`CLUSTER_COLLAPSE_FLOOR`]× anywhere — and on hosts
+/// with the cores to show it, the 4-worker fleet at ≥
+/// [`CLUSTER_SCALE_FLOOR`]× single-worker qps.
 fn check_serve_cluster(section: &str, mode: &str) -> Result<(), String> {
     for key in [
         "\"connections\":",
+        "\"cores\":",
         "\"dict_size\":",
         "\"distinct_queries\":",
         "\"cache_capacity\":",
@@ -170,8 +297,13 @@ fn check_serve_cluster(section: &str, mode: &str) -> Result<(), String> {
             return Err(format!("[cluster] missing key {key}"));
         }
     }
+    let cores = number_value(section, "cores")
+        .ok_or("[cluster] missing key \"cores\": (generating host's core count)")?;
+    if cores < 1.0 {
+        return Err(format!("[cluster] cores must be ≥ 1, got {cores}"));
+    }
     // One curve row per line; each carries its own worker count.
-    let mut rows: Vec<(f64, f64)> = Vec::new();
+    let mut rows: Vec<(f64, f64, f64)> = Vec::new();
     for line in section
         .lines()
         .filter(|l| l.contains("\"workers\":") && l.contains("\"throughput_qps\":"))
@@ -217,12 +349,12 @@ fn check_serve_cluster(section: &str, mode: &str) -> Result<(), String> {
                  correctness), got {mismatches}"
             ));
         }
-        if rows.iter().any(|&(w, _)| w == workers) {
+        if rows.iter().any(|&(w, _, _)| w == workers) {
             return Err(format!(
                 "[cluster] duplicate curve row for {workers} workers"
             ));
         }
-        rows.push((workers, throughput));
+        rows.push((workers, throughput, hit_rate));
     }
     if rows.len() < 2 {
         return Err(format!(
@@ -231,20 +363,47 @@ fn check_serve_cluster(section: &str, mode: &str) -> Result<(), String> {
         ));
     }
     if mode == "full" {
-        let qps = |w: f64| -> Result<f64, String> {
+        let row = |w: f64| -> Result<(f64, f64), String> {
             rows.iter()
-                .find(|&&(rw, _)| rw == w)
-                .map(|&(_, q)| q)
+                .find(|&&(rw, _, _)| rw == w)
+                .map(|&(_, q, h)| (q, h))
                 .ok_or_else(|| format!("[cluster] full-mode curve missing the {w}-worker row"))
         };
         for w in [1.0, 2.0, 4.0, 8.0] {
-            qps(w)?;
+            row(w)?;
         }
-        let ratio = qps(4.0)? / qps(1.0)?;
-        if ratio < CLUSTER_SCALE_FLOOR {
+        let (base_qps, base_hits) = row(1.0)?;
+        let (fleet_qps, fleet_hits) = row(4.0)?;
+        // The mechanism gate is host-independent: a single worker's
+        // cache must not hold the working set, a 4-worker fleet's
+        // aggregate must — otherwise the workload stopped measuring
+        // partitioned cache aggregation and the curve is vacuous.
+        if base_hits > CLUSTER_BASELINE_HIT_CEILING {
+            return Err(format!(
+                "[cluster] single-worker hit rate {base_hits:.2} above the \
+                 {CLUSTER_BASELINE_HIT_CEILING} ceiling: the workload no longer \
+                 exceeds one worker's cache, so the curve measures nothing"
+            ));
+        }
+        if fleet_hits < CLUSTER_FLEET_HIT_FLOOR {
+            return Err(format!(
+                "PERF REGRESSION: [cluster] 4-worker fleet hit rate {fleet_hits:.2} \
+                 below the {CLUSTER_FLEET_HIT_FLOOR} floor: hash partitioning is no \
+                 longer aggregating the fleet's cache capacity"
+            ));
+        }
+        let ratio = fleet_qps / base_qps;
+        if ratio < CLUSTER_COLLAPSE_FLOOR {
             return Err(format!(
                 "PERF REGRESSION: [cluster] 4-worker fleet at {ratio:.2}× single-worker \
-                 throughput, committed floor {CLUSTER_SCALE_FLOOR}×"
+                 throughput, below the host-independent {CLUSTER_COLLAPSE_FLOOR}× \
+                 collapse floor"
+            ));
+        }
+        if cores >= CLUSTER_SCALE_MIN_CORES && ratio < CLUSTER_SCALE_FLOOR {
+            return Err(format!(
+                "PERF REGRESSION: [cluster] 4-worker fleet at {ratio:.2}× single-worker \
+                 throughput on a {cores}-core host, committed floor {CLUSTER_SCALE_FLOOR}×"
             ));
         }
     }
@@ -295,6 +454,7 @@ fn check_serve(content: &str) -> Result<(), String> {
     }
     check_serve_section(&content[..http_at], "line")?;
     let http_qps = check_serve_section(&content[http_at..cluster_at], "http")?;
+    check_serve_stages(&content[http_at..cluster_at])?;
     if mode == "full" && http_qps < HTTP_QPS_FLOOR {
         return Err(format!(
             "PERF REGRESSION: [http] replay at {http_qps:.0} qps, committed floor {HTTP_QPS_FLOOR:.0}"
@@ -629,7 +789,7 @@ mod tests {
     }
 
     fn valid_serve() -> String {
-        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0,\n  \"http\": {\n    \"throughput_qps\": 48000,\n    \"latency_us\": {\"p50\": 130.0, \"p95\": 360.5, \"p99\": 710.1, \"max\": 1300.0},\n    \"cache_hit_rate\": 0.9100,\n    \"cache_evictions\": 1,\n    \"response_mismatches\": 0\n  },\n  \"cluster\": {\n    \"connections\": 8,\n    \"dict_size\": 2000,\n    \"distinct_queries\": 300,\n    \"cache_capacity\": 128,\n    \"zipf_s\": 0.40,\n    \"scale\": [\n      {\"workers\": 1, \"replication\": 1, \"throughput_qps\": 8000, \"latency_us\": {\"p50\": 1700.0, \"p95\": 4600.0, \"p99\": 6000.0, \"max\": 17000.0}, \"cache_hit_rate\": 0.4120, \"response_mismatches\": 0},\n      {\"workers\": 2, \"replication\": 1, \"throughput_qps\": 12000, \"latency_us\": {\"p50\": 735.0, \"p95\": 4300.0, \"p99\": 6300.0, \"max\": 12000.0}, \"cache_hit_rate\": 0.7290, \"response_mismatches\": 0},\n      {\"workers\": 4, \"replication\": 1, \"throughput_qps\": 18000, \"latency_us\": {\"p50\": 683.0, \"p95\": 1600.0, \"p99\": 5000.0, \"max\": 16000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0},\n      {\"workers\": 8, \"replication\": 1, \"throughput_qps\": 16000, \"latency_us\": {\"p50\": 763.0, \"p95\": 2000.0, \"p99\": 5900.0, \"max\": 49000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0}\n    ]\n  }\n}\n"
+        "{\n  \"bench\": \"serve\",\n  \"mode\": \"smoke\",\n  \"queries\": 2000,\n  \"distinct_queries\": 200,\n  \"connections\": 4,\n  \"pipeline_depth\": 4,\n  \"workers\": 2,\n  \"batch_max\": 32,\n  \"batch_window_us\": 100,\n  \"cache_capacity\": 256,\n  \"zipf_s\": 1.00,\n  \"throughput_qps\": 50000,\n  \"latency_us\": {\"p50\": 120.0, \"p95\": 350.5, \"p99\": 700.1, \"max\": 1200.0},\n  \"cache_hit_rate\": 0.9050,\n  \"cache_evictions\": 2,\n  \"response_mismatches\": 0,\n  \"http\": {\n    \"throughput_qps\": 48000,\n    \"latency_us\": {\"p50\": 130.0, \"p95\": 360.5, \"p99\": 710.1, \"max\": 1300.0},\n    \"cache_hit_rate\": 0.9100,\n    \"cache_evictions\": 1,\n    \"response_mismatches\": 0,\n    \"stages\": {\n      \"end_to_end_mean_us\": 180.0,\n      \"total\": 2000,\n      \"parse\": {\"count\": 2000, \"mean_us\": 2.1, \"p50_us\": 2, \"p99_us\": 8},\n      \"queue_wait\": {\"count\": 2000, \"mean_us\": 24.0, \"p50_us\": 16, \"p99_us\": 128},\n      \"batch_assembly\": {\"count\": 2000, \"mean_us\": 35.5, \"p50_us\": 32, \"p99_us\": 128},\n      \"cache_lookup\": {\"count\": 2000, \"mean_us\": 1.2, \"p50_us\": 1, \"p99_us\": 4},\n      \"segment\": {\"count\": 190, \"mean_us\": 85.0, \"p50_us\": 64, \"p99_us\": 512},\n      \"render\": {\"count\": 190, \"mean_us\": 3.0, \"p50_us\": 2, \"p99_us\": 16},\n      \"write\": {\"count\": 1500, \"mean_us\": 9.5, \"p50_us\": 8, \"p99_us\": 64}\n    }\n  },\n  \"cluster\": {\n    \"connections\": 8,\n    \"cores\": 8,\n    \"dict_size\": 2000,\n    \"distinct_queries\": 300,\n    \"cache_capacity\": 128,\n    \"zipf_s\": 0.40,\n    \"scale\": [\n      {\"workers\": 1, \"replication\": 1, \"throughput_qps\": 8000, \"latency_us\": {\"p50\": 1700.0, \"p95\": 4600.0, \"p99\": 6000.0, \"max\": 17000.0}, \"cache_hit_rate\": 0.4120, \"response_mismatches\": 0},\n      {\"workers\": 2, \"replication\": 1, \"throughput_qps\": 12000, \"latency_us\": {\"p50\": 735.0, \"p95\": 4300.0, \"p99\": 6300.0, \"max\": 12000.0}, \"cache_hit_rate\": 0.7290, \"response_mismatches\": 0},\n      {\"workers\": 4, \"replication\": 1, \"throughput_qps\": 18000, \"latency_us\": {\"p50\": 683.0, \"p95\": 1600.0, \"p99\": 5000.0, \"max\": 16000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0},\n      {\"workers\": 8, \"replication\": 1, \"throughput_qps\": 16000, \"latency_us\": {\"p50\": 763.0, \"p95\": 2000.0, \"p99\": 5900.0, \"max\": 49000.0}, \"cache_hit_rate\": 0.9620, \"response_mismatches\": 0}\n    ]\n  }\n}\n"
             .to_string()
     }
 
@@ -691,6 +851,51 @@ mod tests {
         let http_low_hit =
             valid_serve().replace("\"cache_hit_rate\": 0.9100", "\"cache_hit_rate\": 0.2");
         assert!(check_serve(&http_low_hit).unwrap_err().contains("[http]"));
+    }
+
+    #[test]
+    fn serve_gate_covers_the_stage_breakdown() {
+        // Dropping the whole stages object fails — the per-stage
+        // breakdown is part of the committed artifact now.
+        let gone = {
+            let fixture = valid_serve();
+            let at = fixture.find(",\n    \"stages\": {").expect("stages open");
+            let end = fixture.find("\n    }\n  },").expect("stages close");
+            format!("{}{}", &fixture[..at], &fixture[end + "\n    }".len()..])
+        };
+        assert!(check_serve(&gone).unwrap_err().contains("\"stages\""));
+        // Every pipeline stage must be present by name.
+        let missing_stage = valid_serve().replace("\"queue_wait\":", "\"queue_delay\":");
+        assert!(check_serve(&missing_stage)
+            .unwrap_err()
+            .contains("missing stage \"queue_wait\""));
+        // Per-stage percentiles must be ordered.
+        let unordered = valid_serve().replace(
+            "\"segment\": {\"count\": 190, \"mean_us\": 85.0, \"p50_us\": 64, \"p99_us\": 512}",
+            "\"segment\": {\"count\": 190, \"mean_us\": 85.0, \"p50_us\": 640, \"p99_us\": 512}",
+        );
+        let err = check_serve(&unordered).unwrap_err();
+        assert!(
+            err.contains("[http stages] segment") && err.contains("ordered"),
+            "{err}"
+        );
+        // The accounting invariant: summed stage time cannot exceed
+        // the client-observed end-to-end budget. A double-counting
+        // emitter (here: batch assembly charged at ~5× the whole
+        // request latency) fails.
+        let overcharged = valid_serve().replace(
+            "\"batch_assembly\": {\"count\": 2000, \"mean_us\": 35.5,",
+            "\"batch_assembly\": {\"count\": 2000, \"mean_us\": 900.0,",
+        );
+        let err = check_serve(&overcharged).unwrap_err();
+        assert!(err.contains("stage accounting broken"), "{err}");
+        // An empty cache_lookup histogram means the breakdown was
+        // detached from the serving path.
+        let detached = valid_serve().replace(
+            "\"cache_lookup\": {\"count\": 2000,",
+            "\"cache_lookup\": {\"count\": 0,",
+        );
+        assert!(check_serve(&detached).unwrap_err().contains("detached"));
     }
 
     #[test]
@@ -759,6 +964,66 @@ mod tests {
             format!("{}{}", &fixture[..at], &fixture[end..])
         };
         assert!(check_serve(&no_8).unwrap_err().contains("8-worker row"));
+    }
+
+    #[test]
+    fn cluster_scale_floor_is_core_count_aware() {
+        // The same flat curve on a single-core host passes the ratio
+        // floor (worker processes time-slice one CPU there; the ratio
+        // would measure the scheduler), but the mechanism and
+        // collapse gates still apply.
+        let flat_single_core = valid_serve()
+            .replace("\"mode\": \"smoke\"", "\"mode\": \"full\"")
+            .replace("\"cores\": 8,", "\"cores\": 1,")
+            .replacen(
+                "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 18000",
+                "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 9000",
+                1,
+            );
+        assert_eq!(check_serve(&flat_single_core), Ok(()));
+        // Collapse below 0.5× fails on any host.
+        let collapsed = flat_single_core.replacen(
+            "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 9000",
+            "{\"workers\": 4, \"replication\": 1, \"throughput_qps\": 3000",
+            1,
+        );
+        let err = check_serve(&collapsed).unwrap_err();
+        assert!(err.contains("collapse floor"), "{err}");
+        // Dropping the cores key fails — the floor can't be applied
+        // without knowing the generating host.
+        let no_cores = valid_serve().replace("    \"cores\": 8,\n", "");
+        assert!(check_serve(&no_cores).unwrap_err().contains("cores"));
+    }
+
+    #[test]
+    fn cluster_hit_rates_must_prove_cache_aggregation() {
+        let full = valid_serve().replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        // A 4-worker fleet that no longer holds the working set fails
+        // regardless of host: partitioned aggregation is the
+        // mechanism the curve exists to prove.
+        let cold_fleet = full.replacen(
+            "\"cache_hit_rate\": 0.9620",
+            "\"cache_hit_rate\": 0.8000",
+            1,
+        );
+        let err = check_serve(&cold_fleet).unwrap_err();
+        assert!(err.contains("no longer aggregating"), "{err}");
+        // A single-worker baseline that already holds the working set
+        // means the workload shrank and the curve is vacuous.
+        let warm_baseline = full.replacen(
+            "\"cache_hit_rate\": 0.4120",
+            "\"cache_hit_rate\": 0.7000",
+            1,
+        );
+        let err = check_serve(&warm_baseline).unwrap_err();
+        assert!(err.contains("measures nothing"), "{err}");
+        // Neither gate applies in smoke mode.
+        let smoke_cold = valid_serve().replacen(
+            "\"cache_hit_rate\": 0.9620",
+            "\"cache_hit_rate\": 0.8000",
+            1,
+        );
+        assert_eq!(check_serve(&smoke_cold), Ok(()));
     }
 
     #[test]

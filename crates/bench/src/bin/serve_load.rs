@@ -10,10 +10,10 @@
 //!
 //! The workload models what ROADMAP calls the serving reality: query
 //! logs are Zipfian, so a small head of distinct queries carries most
-//! of the traffic. A quarter of the distinct queries carry a
-//! deterministic misspelling, so the expensive fuzzy path is exercised
-//! on every cache miss; the result cache in front of it is what keeps
-//! the tail survivable.
+//! of the traffic. A quarter of the distinct queries (half in the
+//! cluster workload) carry a deterministic misspelling, so the
+//! expensive fuzzy path is exercised on every cache miss; the result
+//! cache in front of it is what keeps the tail survivable.
 //!
 //! Every response is checked byte-for-byte against a golden computed
 //! up front — `format_spans(matcher.segment(q))` for the line
@@ -26,13 +26,22 @@
 //! processes (each spawned by re-execing this binary through the
 //! cluster worker sentinel), closed-loop clients through the router,
 //! every response checked against the same single-process golden
-//! bodies — the router must be invisible to correctness.
+//! bodies — the router must be invisible to correctness. The section
+//! records the host's core count: on a single-core machine the fleet
+//! time-slices one CPU, so the curve shows up in the climbing cache
+//! hit rates rather than in raw throughput, and `bench_check` gates
+//! it accordingly.
 //!
 //! Emits `BENCH_serve.json` at the workspace root (override with the
 //! `BENCH_SERVE_JSON` env var): line-protocol numbers at the top
 //! level (schema-compatible with earlier PRs), HTTP numbers under
 //! `"http"`, the scale-out curve under `"cluster"`. `bench_check`
-//! gates all three sections in CI.
+//! gates all three sections in CI. The HTTP section additionally
+//! commits the server-side per-stage breakdown (`"stages"`): each
+//! pipeline stage's sample count, exact mean and bucket-resolution
+//! p50/p99 from the engine's own histograms, held by `bench_check` to
+//! the accounting invariant that summed stage time cannot exceed the
+//! client-observed end-to-end time.
 //!
 //! Run: `cargo run --release -p websyn-bench --bin serve_load`
 //! Smoke (CI): `... --bin serve_load -- --test`
@@ -112,7 +121,7 @@ impl LoadConfig {
             zipf_s: 1.0,
             cluster_connections: 16,
             cluster_curve: vec![1, 2, 4, 8],
-            cluster_dict_size: 40_000,
+            cluster_dict_size: 120_000,
             cluster_distinct: 1_500,
             cluster_cache_capacity: 512,
             cluster_zipf_s: 0.4,
@@ -143,14 +152,21 @@ impl LoadConfig {
 
 /// The distinct query pool, rank 0 = most popular: each rank picks a
 /// dictionary surface (stride-spread so popularity is uncorrelated
-/// with dictionary order), wraps it in intent text, and every fourth
-/// rank carries one deterministic edit — those queries can only
-/// resolve through the fuzzy path.
-fn query_pool(dictionary: &[(String, websyn_common::EntityId)], distinct: usize) -> Vec<String> {
+/// with dictionary order), wraps it in intent text, and one rank in
+/// `misspell_every` carries one deterministic edit — those queries can
+/// only resolve through the fuzzy path. The single-process sections
+/// use 4 (a quarter misspelled); the cluster workload uses 2 so a
+/// cache miss is dominated by fuzzy segmentation and the scale-out
+/// curve measures what fleet cache aggregation saves.
+fn query_pool(
+    dictionary: &[(String, websyn_common::EntityId)],
+    distinct: usize,
+    misspell_every: usize,
+) -> Vec<String> {
     (0..distinct)
         .map(|rank| {
             let surface = &dictionary[(rank * 7919) % dictionary.len()].0;
-            let mention = if rank % 4 == 3 {
+            let mention = if rank % misspell_every == misspell_every - 1 {
                 double_middle_char(surface)
             } else {
                 surface.clone()
@@ -172,9 +188,30 @@ struct Report {
     p95: f64,
     p99: f64,
     max: f64,
+    /// Mean end-to-end latency (µs), client-observed — the budget the
+    /// server-side stage breakdown must fit inside.
+    mean: f64,
     hit_rate: f64,
     evictions: u64,
     mismatches: usize,
+    /// Per-stage pipeline breakdown from the server's own histograms
+    /// (empty for cluster replays — those engines live in worker
+    /// processes).
+    stages: Vec<StageRow>,
+}
+
+/// One pipeline stage of the server-side breakdown, summarized from
+/// the engine's [`websyn_serve::ServeMetrics`] histogram.
+struct StageRow {
+    name: &'static str,
+    count: u64,
+    /// Exact mean of recorded durations (µs) — `sum / count`, not a
+    /// bucket approximation, so stage sums can be gated against the
+    /// client-observed end-to-end time.
+    mean_us: f64,
+    /// Bucket-resolution percentiles (power-of-two upper bounds, µs).
+    p50_us: u64,
+    p99_us: u64,
 }
 
 /// One line-protocol client connection: replays `queries` closed-loop
@@ -348,6 +385,24 @@ fn run_replay(
     let wall = started.elapsed();
     let stats = engine.cache_stats();
     server.shutdown();
+    // The engine outlives the server, so the pipeline histograms are
+    // complete (writer threads flushed) and attributable to exactly
+    // this replay's requests — the engine was fresh.
+    let stages: Vec<StageRow> = engine
+        .metrics()
+        .stages()
+        .iter()
+        .map(|(name, histogram)| {
+            let snap = histogram.snapshot();
+            StageRow {
+                name,
+                count: snap.count(),
+                mean_us: snap.mean(),
+                p50_us: snap.percentile(0.50),
+                p99_us: snap.percentile(0.99),
+            }
+        })
+        .collect();
 
     let mut latencies: Vec<f64> = results
         .iter()
@@ -362,9 +417,11 @@ fn run_replay(
         p95: percentile_sorted(&latencies, 0.95),
         p99: percentile_sorted(&latencies, 0.99),
         max: latencies[latencies.len() - 1],
+        mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
         hit_rate: stats.hit_rate(),
         evictions: stats.evictions,
         mismatches,
+        stages,
     }
 }
 
@@ -471,9 +528,11 @@ fn run_cluster_replay(
         p95: percentile_sorted(&latencies, 0.95),
         p99: percentile_sorted(&latencies, 0.99),
         max: latencies[latencies.len() - 1],
+        mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
         hit_rate,
         evictions,
         mismatches,
+        stages: Vec::new(),
     }
 }
 
@@ -492,6 +551,12 @@ fn print_report(name: &str, r: &Report, cache_capacity: usize, wall_queries: usi
         r.evictions,
         cache_capacity
     );
+    for s in &r.stages {
+        println!(
+            "serve_load[{name}]: stage {:<14} count={:<6} mean={:.1}µs p50≤{}µs p99≤{}µs",
+            s.name, s.count, s.mean_us, s.p50_us, s.p99_us
+        );
+    }
 }
 
 /// Applies the in-binary gates to one protocol's report.
@@ -560,7 +625,7 @@ fn main() -> ExitCode {
     let dictionary = synth_product_dictionary(config.dict_size);
     let matcher =
         Arc::new(EntityMatcher::from_pairs(dictionary.clone()).with_fuzzy(FuzzyConfig::default()));
-    let pool = query_pool(&dictionary, config.distinct_queries);
+    let pool = query_pool(&dictionary, config.distinct_queries, 4);
     let spans: Vec<_> = pool.iter().map(|q| matcher.segment(q)).collect();
     let golden_line: Vec<String> = spans.iter().map(|s| format_spans(s)).collect();
     let golden_http: Vec<String> = spans.iter().map(|s| spans_json(s)).collect();
@@ -619,7 +684,7 @@ fn main() -> ExitCode {
             EntityMatcher::from_pairs(cluster_dictionary.clone())
                 .with_fuzzy(FuzzyConfig::default()),
         );
-        let cluster_pool = query_pool(&cluster_dictionary, config.cluster_distinct);
+        let cluster_pool = query_pool(&cluster_dictionary, config.cluster_distinct, 2);
         let cluster_golden: Vec<String> = cluster_pool
             .iter()
             .map(|q| spans_json(&cluster_matcher.segment(q)))
@@ -689,8 +754,35 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
+        // Per-stage server-side breakdown of the HTTP replay, one
+        // stage per line. Key names carry a `_us` suffix so the
+        // line-oriented first-occurrence readers of `"p50": ` etc.
+        // in bench_check never collide with them.
+        let stage_rows: Vec<String> = http
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "      \"{}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+                    s.name, s.count, s.mean_us, s.p50_us, s.p99_us
+                )
+            })
+            .collect();
+        let stages_json = format!(
+            "    \"stages\": {{\n      \"end_to_end_mean_us\": {:.1},\n      \"total\": {},\n{}\n    }}",
+            http.mean,
+            config.total_queries,
+            stage_rows.join(",\n"),
+        );
+        // The host's core count goes into the artifact because the
+        // scale-out ratio only means "the router scales" where worker
+        // processes can actually run in parallel — `bench_check`
+        // applies its throughput-ratio floor conditionally on it.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let cluster_json = format!(
-            "  \"cluster\": {{\n    \"connections\": {},\n    \"dict_size\": {},\n    \"distinct_queries\": {},\n    \"cache_capacity\": {},\n    \"zipf_s\": {:.2},\n    \"scale\": [\n{}\n    ]\n  }}",
+            "  \"cluster\": {{\n    \"connections\": {},\n    \"cores\": {cores},\n    \"dict_size\": {},\n    \"distinct_queries\": {},\n    \"cache_capacity\": {},\n    \"zipf_s\": {:.2},\n    \"scale\": [\n{}\n    ]\n  }}",
             config.cluster_connections,
             config.cluster_dict_size,
             config.cluster_distinct,
@@ -699,7 +791,7 @@ fn main() -> ExitCode {
             scale_rows.join(",\n"),
         );
         let json = format!(
-            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {},\n  \"http\": {{\n    \"throughput_qps\": {:.0},\n    \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n    \"cache_hit_rate\": {:.4},\n    \"cache_evictions\": {},\n    \"response_mismatches\": {}\n  }},\n{cluster_json}\n}}\n",
+            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"queries\": {},\n  \"distinct_queries\": {},\n  \"connections\": {},\n  \"pipeline_depth\": {},\n  \"workers\": {},\n  \"batch_max\": {},\n  \"batch_window_us\": {},\n  \"cache_capacity\": {},\n  \"zipf_s\": {:.2},\n  \"throughput_qps\": {:.0},\n  \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \"cache_hit_rate\": {:.4},\n  \"cache_evictions\": {},\n  \"response_mismatches\": {},\n  \"http\": {{\n    \"throughput_qps\": {:.0},\n    \"latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n    \"cache_hit_rate\": {:.4},\n    \"cache_evictions\": {},\n    \"response_mismatches\": {},\n{stages_json}\n  }},\n{cluster_json}\n}}\n",
             config.mode,
             config.total_queries,
             config.distinct_queries,

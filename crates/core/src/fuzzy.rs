@@ -640,6 +640,7 @@ impl FuzzyDictionary {
                     entry.source.propose(normalized, budget, proposals);
                 }
                 proposed_any |= !proposals.is_empty();
+                crate::telemetry::CANDIDATES_PROPOSED.add(proposals.len() as u64);
                 for &raw in proposals.iter() {
                     let sid = SurfaceId::new(raw);
                     let d = if verified {
@@ -668,6 +669,7 @@ impl FuzzyDictionary {
                             None => continue,
                         }
                     };
+                    crate::telemetry::CANDIDATES_VERIFIED.incr();
                     match best {
                         Some((_, bd)) if d > bd => {}
                         Some((bsid, bd)) if d == bd => {

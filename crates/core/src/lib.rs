@@ -42,6 +42,7 @@ pub mod miner;
 pub mod select;
 pub mod surrogate;
 pub mod taxonomy;
+pub mod telemetry;
 pub mod window_cache;
 
 pub use candidates::generate_candidates;
@@ -58,4 +59,5 @@ pub use miner::{
 pub use select::select;
 pub use surrogate::{SurrogateSource, SurrogateTable};
 pub use taxonomy::{classify, RelationCounts, TruthClass};
+pub use telemetry::{matcher_telemetry, MatcherTelemetry};
 pub use window_cache::{WindowCache, WindowCacheStats};

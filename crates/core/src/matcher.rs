@@ -594,6 +594,7 @@ impl EntityMatcher {
                                 }
                                 let reach = self.dict.can_reach(window_ids, chars, budget);
                                 if prune && !reach.edit_reachable {
+                                    crate::telemetry::WINDOWS_PRUNED.incr();
                                     continue;
                                 }
                                 // A window with no vocabulary token that no
@@ -616,17 +617,21 @@ impl EntityMatcher {
                                 // lock + hash, while the copy would pay a
                                 // String allocation per window per shard —
                                 // measurably slower on warm batches.
+                                crate::telemetry::WINDOWS_RESOLVED.incr();
                                 let resolved = 'resolved: {
                                     if let Some(scratch) = scratch.as_deref_mut() {
                                         if let Some(&cached) = scratch.memo.get(window_text) {
+                                            crate::telemetry::LADDER_MEMO_HITS.incr();
                                             break 'resolved cached;
                                         }
                                     }
                                     if let Some((cache, generation)) = wc {
                                         if let Some(cached) = cache.get(window_text, generation) {
+                                            crate::telemetry::LADDER_CACHE_HITS.incr();
                                             break 'resolved cached;
                                         }
                                     }
+                                    crate::telemetry::LADDER_FULL_RESOLVES.incr();
                                     let r = fuzzy
                                         .resolve_pruned_prefix(
                                             window_text,

@@ -28,14 +28,23 @@
 //!   two matchers) can never serve a stale window, without any caller
 //!   discipline.
 //!
-//! Keys are raw query windows — on a serving path that is untrusted
-//! input, so the shard maps use std's randomly seeded SipHash hasher,
-//! not `FxHashMap` (which `websyn_common::hash` forbids for untrusted
-//! input).
+//! Keys are the 64-bit SipHash of the window text, with the full text
+//! stored in the entry and **verified on every hit** — a probe whose
+//! hash matches but whose text differs is a miss, so a (astronomically
+//! unlikely) 64-bit collision can only evict, never corrupt an output.
+//! Hashing the slice instead of owning the key means a re-insert of a
+//! known window (the common churn case: same window under a fresh
+//! generation after a dictionary swap) updates its entry **in place
+//! with zero allocation**; only first-sight windows pay one `Box<str>`.
+//! Window text is untrusted serving input, so the one hash uses std's
+//! randomly seeded SipHash, not `FxHashMap` (which
+//! `websyn_common::hash` forbids for untrusted input); the shard maps
+//! themselves then key on that already-uniform hash through a
+//! passthrough hasher rather than hashing twice.
 
 use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, VecDeque};
-use std::hash::BuildHasher;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use websyn_common::SurfaceId;
@@ -49,16 +58,48 @@ pub(crate) type Resolution = Option<(SurfaceId, usize)>;
 /// per-shard maps stay dense.
 const SHARDS: usize = 16;
 
-/// One locked shard: the window map plus FIFO insertion order for
-/// eviction. Keys are shared between the two containers.
+/// Identity hasher for keys that are already SipHash outputs. The
+/// shard maps would otherwise re-hash the 64-bit hash on every probe.
+#[derive(Debug, Default, Clone, Copy)]
+struct Passthrough(u64);
+
+impl Hasher for Passthrough {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("window-cache maps only hash u64 keys");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl BuildHasher for Passthrough {
+    type Hasher = Passthrough;
+    fn build_hasher(&self) -> Passthrough {
+        Passthrough(0)
+    }
+}
+
+/// One cached window: the full text (for hit verification), the
+/// generation it was recorded under, and its resolution.
+#[derive(Debug)]
+struct CacheEntry {
+    key: Box<str>,
+    generation: u64,
+    resolution: Resolution,
+}
+
+/// One locked shard: hash → entry, plus FIFO insertion order for
+/// eviction (hashes, not keys — eviction bookkeeping allocates
+/// nothing).
 #[derive(Debug, Default)]
 struct Shard {
-    /// window text → (generation at insert, resolution).
-    map: HashMap<std::sync::Arc<str>, (u64, Resolution), RandomState>,
-    /// Insertion order, oldest first. May hold keys whose map entry
-    /// was overwritten (re-inserted under a newer generation); eviction
-    /// simply pops until the map is under budget.
-    order: VecDeque<std::sync::Arc<str>>,
+    map: HashMap<u64, CacheEntry, Passthrough>,
+    /// Insertion order, oldest first. In-place updates keep their
+    /// original position, so every map entry appears here exactly once.
+    order: VecDeque<u64>,
 }
 
 /// Point-in-time counters of a [`WindowCache`] (see
@@ -67,7 +108,8 @@ struct Shard {
 pub struct WindowCacheStats {
     /// Probes answered from the cache (current generation).
     pub hits: u64,
-    /// Probes that found nothing usable (absent or stale generation).
+    /// Probes that found nothing usable (absent, stale generation, or
+    /// hash-collided with different text).
     pub misses: u64,
     /// Live entries across all shards, including stale ones not yet
     /// evicted.
@@ -131,21 +173,26 @@ impl WindowCache {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// The shard index of `key`.
-    fn shard_of(&self, key: &str) -> usize {
-        (self.hasher.hash_one(key) as usize) % SHARDS
+    /// The (hash, shard index) of `key` — one SipHash pass serves both
+    /// shard selection and the map lookup. The shard comes from the
+    /// *top* bits: the passthrough map spends the low bits on bucket
+    /// selection, and reusing them for sharding would leave each
+    /// shard's buckets systematically sparse.
+    fn locate(&self, key: &str) -> (u64, usize) {
+        let h = self.hasher.hash_one(key);
+        (h, (h >> 60) as usize % SHARDS)
     }
 
     /// Looks `key` up under `generation` (from [`WindowCache::bind`]).
-    /// A present entry from an older generation is a miss.
+    /// A present entry from an older generation is a miss, as is a
+    /// hash match whose stored text differs from `key`.
     pub(crate) fn get(&self, key: &str, generation: u64) -> Option<Resolution> {
-        let shard = self.shards[self.shard_of(key)]
-            .lock()
-            .expect("window cache poisoned");
-        match shard.map.get(key) {
-            Some(&(gen, resolution)) if gen == generation => {
+        let (h, idx) = self.locate(key);
+        let shard = self.shards[idx].lock().expect("window cache poisoned");
+        match shard.map.get(&h) {
+            Some(e) if e.generation == generation && *e.key == *key => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(resolution)
+                Some(e.resolution)
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -155,22 +202,38 @@ impl WindowCache {
     }
 
     /// Records `key`'s resolution under `generation`, evicting oldest
-    /// entries (FIFO) past the shard budget.
+    /// entries (FIFO) past the shard budget. Re-recording a window the
+    /// cache already holds (same text, e.g. under a fresh generation)
+    /// updates the entry in place without allocating; a hash collision
+    /// with different text overwrites the colliding entry.
     pub(crate) fn insert(&self, key: &str, generation: u64, resolution: Resolution) {
-        let mut shard = self.shards[self.shard_of(key)]
-            .lock()
-            .expect("window cache poisoned");
+        let (h, idx) = self.locate(key);
+        let mut shard = self.shards[idx].lock().expect("window cache poisoned");
+        if let Some(e) = shard.map.get_mut(&h) {
+            if *e.key != *key {
+                e.key = key.into();
+            }
+            e.generation = generation;
+            e.resolution = resolution;
+            return;
+        }
         while shard.map.len() >= self.shard_capacity {
             match shard.order.pop_front() {
                 Some(old) => {
-                    shard.map.remove(&*old);
+                    shard.map.remove(&old);
                 }
                 None => break,
             }
         }
-        let key: std::sync::Arc<str> = key.into();
-        shard.order.push_back(std::sync::Arc::clone(&key));
-        shard.map.insert(key, (generation, resolution));
+        shard.order.push_back(h);
+        shard.map.insert(
+            h,
+            CacheEntry {
+                key: key.into(),
+                generation,
+                resolution,
+            },
+        );
     }
 
     /// Current counters.
@@ -236,6 +299,22 @@ mod tests {
         let g3 = c.bind(1);
         assert!(g3 > g2);
         assert_eq!(c.get("window", g3), None);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let c = WindowCache::new(64);
+        let g1 = c.bind(1);
+        c.insert("canon eos", g1, None);
+        assert_eq!(c.stats().entries, 1);
+        // Same window under a fresh generation: the stale entry is
+        // refreshed in place — entry count stays flat and the new
+        // resolution wins.
+        let g2 = c.bind(2);
+        c.insert("canon eos", g2, Some((SurfaceId::new(7), 1)));
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.get("canon eos", g2), Some(Some((SurfaceId::new(7), 1))));
+        assert_eq!(c.get("canon eos", g1), None, "old generation stays dead");
     }
 
     #[test]

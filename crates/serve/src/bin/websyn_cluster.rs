@@ -207,10 +207,30 @@ fn smoke() -> Result<(), String> {
         return Err(format!("after rolling restart: {after:?}"));
     }
 
-    // Aggregated stats report the full fleet.
+    // Aggregated stats report the full fleet: summed totals, then the
+    // per-worker breakdown.
     let (status, stats) = get(&mut conn, &mut reader, "/stats")?;
     if status != 200 || !stats.contains("\"workers\":2") {
         return Err(format!("stats: unexpected response {status} {stats:?}"));
+    }
+    if !stats.contains("\"per_worker\":[{\"worker\":0,") || !stats.contains("\"uptime_seconds\":") {
+        return Err(format!("stats: missing per-worker breakdown in {stats:?}"));
+    }
+
+    // The merged Prometheus exposition carries every worker's series
+    // under its own label, plus the router's own counters.
+    let (status, metrics) = get(&mut conn, &mut reader, "/metrics")?;
+    if status != 200
+        || !metrics.contains("worker=\"0\"")
+        || !metrics.contains("worker=\"1\"")
+        || !metrics.contains("websyn_rejects_total{worker=\"router\",class=\"busy\"}")
+        || !metrics.contains("websyn_cluster_workers_up 2")
+    {
+        return Err(format!("metrics: malformed fleet exposition {metrics:?}"));
+    }
+    let (status, slow) = get(&mut conn, &mut reader, "/debug/slow")?;
+    if status != 200 || !slow.starts_with("{\"workers\":[{\"worker\":0,\"slow\":{") {
+        return Err(format!("slow: malformed fleet trace {slow:?}"));
     }
 
     cluster.shutdown();

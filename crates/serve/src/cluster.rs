@@ -132,6 +132,13 @@ pub fn worker_main(args: &[String]) -> ExitCode {
                     engine_config.cache_capacity = parse(&value("--cache-capacity")?)?
                 }
                 "--cache-shards" => engine_config.cache_shards = parse(&value("--cache-shards")?)?,
+                "--slow-threshold-us" => {
+                    server.slow_threshold =
+                        Duration::from_micros(parse(&value("--slow-threshold-us")?)?)
+                }
+                "--slow-sample-every" => {
+                    server.slow_sample_every = parse::<u64>(&value("--slow-sample-every")?)?.max(1)
+                }
                 other => return Err(format!("unknown worker flag {other:?}")),
             }
             Ok(())

@@ -31,10 +31,12 @@
 
 use crate::cache::{CacheStats, ShardedCache};
 use crate::http;
+use crate::metrics::{as_us, ServeMetrics};
 use crate::proto::format_spans;
 use crate::protocol::Wire;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 use websyn_core::{EntityMatcher, MatchScratch, MatchSpan, SegmentRequest};
 use websyn_text::normalized;
 
@@ -153,6 +155,19 @@ impl EngineBuilder {
     }
 }
 
+/// The engine-side slice of one request's stage breakdown, filled by
+/// [`Engine::resolve_rendered_batch_timed`]. On a result-cache hit only
+/// `cache_us` is nonzero — the segment and render stages never ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Normalize + result-cache probe, microseconds.
+    pub cache_us: u64,
+    /// Matcher segmentation, microseconds (0 on a hit).
+    pub segment_us: u64,
+    /// Response serialization + cache fill, microseconds (0 on a hit).
+    pub render_us: u64,
+}
+
 /// A matcher + result cache, shared by every connection and worker —
 /// and by every protocol front end serving the same dictionary.
 #[derive(Debug)]
@@ -160,6 +175,7 @@ pub struct Engine {
     matcher: RwLock<Arc<EntityMatcher>>,
     cache: ShardedCache<Rendered>,
     swaps: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 impl Engine {
@@ -180,7 +196,20 @@ impl Engine {
             matcher: RwLock::new(matcher),
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
             swaps: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
         }
+    }
+
+    /// The engine's observability surface: stage histograms, the
+    /// slow-query ring, uptime. Shared by every server front end that
+    /// serves this engine.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Whole seconds since this engine was built.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.metrics.uptime_seconds()
     }
 
     /// The currently served matcher.
@@ -255,29 +284,74 @@ impl Engine {
     /// query comes back with its spans and every per-protocol
     /// rendering, so a hit costs no serialization on any transport.
     pub fn resolve_rendered_batch<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Rendered> {
+        self.resolve_inner(queries, None)
+    }
+
+    /// [`Engine::resolve_rendered_batch`], additionally pushing one
+    /// [`StageTiming`] per query into `timings` (not cleared) — the
+    /// per-request engine-stage breakdown the slow-query trace records.
+    pub fn resolve_rendered_batch_timed<S: AsRef<str>>(
+        &self,
+        queries: &[S],
+        timings: &mut Vec<StageTiming>,
+    ) -> Vec<Rendered> {
+        self.resolve_inner(queries, Some(timings))
+    }
+
+    fn resolve_inner<S: AsRef<str>>(
+        &self,
+        queries: &[S],
+        mut timings: Option<&mut Vec<StageTiming>>,
+    ) -> Vec<Rendered> {
         let (matcher, generation) = self.snapshot();
         let mut scratch = MatchScratch::new();
         queries
             .iter()
             .map(|query| {
+                let probe_start = Instant::now();
                 let normalized = normalized(query.as_ref());
                 // Generation-checked lookup: if a swap landed
                 // mid-batch, a plain hit could carry new-dictionary
                 // spans and mix two dictionaries within one batch —
                 // `get_at` rejects (and counts a miss) instead, and
                 // the query is recomputed against the snapshot.
-                if let Some(hit) = self.cache.get_at(generation, &normalized) {
+                let probe = self.cache.get_at(generation, &normalized);
+                let cache_us = as_us(probe_start.elapsed());
+                self.metrics.cache_lookup.record(cache_us);
+                if let Some(hit) = probe {
+                    // Hit: segment and render never ran, so only the
+                    // lookup stage is recorded — zeros would dilute the
+                    // miss-path stage distributions.
+                    if let Some(timings) = timings.as_deref_mut() {
+                        timings.push(StageTiming {
+                            cache_us,
+                            ..StageTiming::default()
+                        });
+                    }
                     return hit;
                 }
+                let segment_start = Instant::now();
                 let spans = Arc::new(
                     matcher.resolve(SegmentRequest::normalized(&normalized).scratch(&mut scratch)),
                 );
+                let segment_us = as_us(segment_start.elapsed());
+                self.metrics.segment.record(segment_us);
+                let render_start = Instant::now();
                 let entry = Rendered {
                     line: Arc::from(format_spans(&spans).as_str()),
                     http: Arc::from(http::response(200, "OK", &http::spans_json(&spans)).as_str()),
                     spans,
                 };
                 self.cache.insert_at(generation, &normalized, entry.clone());
+                let render_us = as_us(render_start.elapsed());
+                self.metrics.render.record(render_us);
+                if let Some(timings) = timings.as_deref_mut() {
+                    timings.push(StageTiming {
+                        cache_us,
+                        segment_us,
+                        render_us,
+                    });
+                }
                 entry
             })
             .collect()

@@ -9,6 +9,8 @@
 //! ```text
 //! GET /match?q=<percent-encoded query>   → 200, JSON span response
 //! GET /stats                             → 200, JSON cache statistics
+//! GET /metrics                           → 200, Prometheus text exposition
+//! GET /debug/slow                        → 200, JSON slow-query trace
 //! ```
 //!
 //! The 200 response body for `/match` is
@@ -61,11 +63,18 @@ use std::sync::Arc;
 use websyn_core::{MatchSpan, WindowCacheStats};
 
 /// Renders a complete HTTP/1.1 response: status line, headers, body.
-/// Every websyn response is `Content-Length`-framed JSON, so this is
-/// the only response constructor the protocol needs.
+/// Every websyn response is `Content-Length`-framed JSON — except the
+/// Prometheus `/metrics` exposition, which goes through
+/// [`response_with_type`] to carry `text/plain`.
 pub fn response(status: u16, reason: &str, body: &str) -> String {
+    response_with_type(status, reason, "application/json", body)
+}
+
+/// [`response`] with an explicit `Content-Type` — the general
+/// constructor behind every response the protocol writes.
+pub fn response_with_type(status: u16, reason: &str, content_type: &str, body: &str) -> String {
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
 }
@@ -74,7 +83,7 @@ pub fn response(status: u16, reason: &str, body: &str) -> String {
 /// surrounding quotes). Dictionary surfaces are normalized (lowercase
 /// word characters and single spaces) so the escapes never fire for
 /// them, but the renderer stays correct for any input.
-fn json_escape_into(out: &mut String, s: &str) {
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -120,10 +129,15 @@ pub fn spans_json(spans: &[MatchSpan]) -> String {
 /// ([`websyn_core::EntityMatcher::with_window_cache`]); the fields are
 /// always present (zero when no cache is attached) so the router's
 /// fixed-grammar aggregation never special-cases their absence.
-pub fn stats_json(stats: &CacheStats, swaps: u64, window: Option<WindowCacheStats>) -> String {
+pub fn stats_json(
+    stats: &CacheStats,
+    swaps: u64,
+    window: Option<WindowCacheStats>,
+    uptime_seconds: u64,
+) -> String {
     let window = window.unwrap_or_default();
     format!(
-        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{},\"window_hits\":{},\"window_misses\":{}}}",
+        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{},\"window_hits\":{},\"window_misses\":{},\"uptime_seconds\":{}}}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
@@ -132,6 +146,7 @@ pub fn stats_json(stats: &CacheStats, swaps: u64, window: Option<WindowCacheStat
         swaps,
         window.hits,
         window.misses,
+        uptime_seconds,
     )
 }
 
@@ -280,8 +295,18 @@ impl Protocol for HttpProtocol {
         stats: &CacheStats,
         swaps: u64,
         window: Option<WindowCacheStats>,
+        uptime_seconds: u64,
     ) -> Arc<str> {
-        Arc::from(response(200, "OK", &stats_json(stats, swaps, window)).as_str())
+        Arc::from(response(200, "OK", &stats_json(stats, swaps, window, uptime_seconds)).as_str())
+    }
+
+    fn render_metrics(&self, body: &str) -> Arc<str> {
+        // Prometheus text exposition, not JSON.
+        Arc::from(response_with_type(200, "OK", "text/plain; version=0.0.4", body).as_str())
+    }
+
+    fn render_slow(&self, body: &str) -> Arc<str> {
+        Arc::from(response(200, "OK", body).as_str())
     }
 }
 
@@ -374,6 +399,8 @@ fn route(target: &str, close: bool) -> Request {
             }
         }
         "/stats" => Request::Stats { close },
+        "/metrics" => Request::Metrics { close },
+        "/debug/slow" => Request::DebugSlow { close },
         _ => Request::Reject {
             reject: Reject::NotFound,
             close,
@@ -765,10 +792,47 @@ mod tests {
                 "{reject:?} → {r}"
             );
         }
-        let stats = proto.render_stats(&CacheStats::default(), 2, None);
+        let stats = proto.render_stats(&CacheStats::default(), 2, None, 5);
         assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(stats.contains("\"swaps\":2"));
-        assert!(stats.ends_with("\"window_hits\":0,\"window_misses\":0}"));
+        assert!(stats.ends_with("\"window_hits\":0,\"window_misses\":0,\"uptime_seconds\":5}"));
+    }
+
+    #[test]
+    fn metrics_and_slow_render_with_their_content_types() {
+        let proto = HttpProtocol;
+        let metrics =
+            proto.render_metrics("# TYPE websyn_uptime_seconds gauge\nwebsyn_uptime_seconds 3\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(metrics.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(metrics.ends_with("websyn_uptime_seconds 3\n"));
+        let slow = proto.render_slow("{\"entries\":[]}");
+        assert!(slow.contains("Content-Type: application/json\r\n"));
+        assert!(slow.ends_with("{\"entries\":[]}"));
+    }
+
+    #[test]
+    fn metrics_and_debug_endpoints_route() {
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(&mut p, &["GET /metrics HTTP/1.1", ""]),
+            vec![Request::Metrics { close: false }]
+        );
+        assert_eq!(
+            feed(
+                &mut p,
+                &["GET /debug/slow HTTP/1.1", "Connection: close", ""]
+            ),
+            vec![Request::DebugSlow { close: true }]
+        );
+        // Nearby paths are still unknown endpoints.
+        assert_eq!(
+            route("/debug/slower", false),
+            Request::Reject {
+                reject: Reject::NotFound,
+                close: false,
+            }
+        );
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   of independent engines behind a hash-partitioning HTTP router
 //!   ([`router`]), supervised with health probes, backoff restarts and
 //!   zero-downtime rolling rebuilds ([`cluster`]).
+//! - [`metrics`] — the observability layer (built on [`websyn_obs`]):
+//!   per-stage pipeline histograms ([`ServeMetrics`]), the bounded
+//!   slow-query trace ([`SlowEntry`], `GET /debug/slow`), per-class
+//!   reject counters, and the Prometheus text exposition behind
+//!   `GET /metrics` — which also surfaces the matcher's internal
+//!   telemetry ([`websyn_core::matcher_telemetry`]) and the distance
+//!   kernel dispatch split ([`websyn_text::kernel_dispatch_stats`]).
 //!
 //! ## A complete round trip (line protocol)
 //!
@@ -91,6 +98,7 @@
 // worker processes and drive fleets through them.
 pub mod cluster;
 pub mod http;
+pub mod metrics;
 pub mod proto;
 pub mod protocol;
 pub mod router;
@@ -104,8 +112,9 @@ mod server;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use cluster::{run_worker_if_flagged, Cluster, ClusterConfig, WORKER_SENTINEL};
-pub use engine::{Engine, EngineBuilder, EngineConfig, Rendered};
+pub use engine::{Engine, EngineBuilder, EngineConfig, Rendered, StageTiming};
 pub use http::HttpProtocol;
+pub use metrics::{ServeMetrics, SlowEntry};
 pub use proto::{format_spans, format_stats, LineProtocol};
 pub use protocol::{Protocol, Reject, Request, RequestParser, Wire};
 pub use router::{Ring, Router, RouterConfig};

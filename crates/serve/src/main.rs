@@ -80,12 +80,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--cache-capacity" => args.engine.cache_capacity = parse(&value("--cache-capacity")?)?,
             "--cache-shards" => args.engine.cache_shards = parse(&value("--cache-shards")?)?,
+            "--slow-threshold-us" => {
+                args.server.slow_threshold =
+                    Duration::from_micros(parse(&value("--slow-threshold-us")?)?)
+            }
+            "--slow-sample-every" => {
+                args.server.slow_sample_every = parse(&value("--slow-sample-every")?)?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: websyn-serve [--proto line|http] [--addr A] [--dict F.tsv] \
                      [--cluster N] [--replication N] \
                      [--workers N] [--queue-depth N] [--batch-max N] [--batch-window-us N] \
-                     [--cache-capacity N] [--cache-shards N] [--smoke]"
+                     [--cache-capacity N] [--cache-shards N] \
+                     [--slow-threshold-us N] [--slow-sample-every N] [--smoke]"
                         .to_string(),
                 )
             }
@@ -226,6 +234,10 @@ fn worker_args(args: &Args) -> Vec<String> {
         args.engine.cache_capacity.to_string(),
         "--cache-shards".into(),
         args.engine.cache_shards.to_string(),
+        "--slow-threshold-us".into(),
+        args.server.slow_threshold.as_micros().to_string(),
+        "--slow-sample-every".into(),
+        args.server.slow_sample_every.to_string(),
     ]
 }
 
@@ -380,6 +392,27 @@ fn smoke_http(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
             return Err(format!(
                 "http stats: unexpected response {status} {stats:?}"
             ));
+        }
+        if !stats.contains("\"uptime_seconds\":") {
+            return Err(format!("http stats: missing uptime_seconds in {stats:?}"));
+        }
+        // The observability endpoints must be live and well-formed:
+        // traffic has flowed, so the stage histograms carry samples.
+        let (status, metrics) = get(&mut conn, &mut reader, "/metrics")?;
+        if status != 200
+            || !metrics.contains("# TYPE websyn_stage_duration_us histogram")
+            || !metrics.contains("websyn_uptime_seconds")
+            || !metrics.contains("websyn_stage_duration_us_count{stage=\"segment\"}")
+            || !metrics.contains("websyn_rejects_total{class=\"busy\"}")
+        {
+            return Err(format!("http metrics: malformed exposition {metrics:?}"));
+        }
+        let (status, slow) = get(&mut conn, &mut reader, "/debug/slow")?;
+        if status != 200
+            || !slow.starts_with("{\"threshold_us\":")
+            || !slow.contains("\"entries\":[")
+        {
+            return Err(format!("http slow: malformed trace {slow:?}"));
         }
         let unknown = get(&mut conn, &mut reader, "/frobnicate")?;
         if unknown != (404, "{\"error\":\"not-found\"}".to_string()) {

@@ -17,6 +17,7 @@
 //! stats-line = "STATS" TAB "hits=" n TAB "misses=" n TAB "hit_rate=" x
 //!              TAB "entries=" n TAB "evictions=" n TAB "swaps=" n
 //!              TAB "window_hits=" n TAB "window_misses=" n
+//!              TAB "uptime_seconds=" n
 //! err-line  = "ERR" SP reason      ; e.g. "ERR busy" under backpressure,
 //!                                  ; "ERR line-too-long" before dropping
 //!                                  ; a connection whose request line
@@ -78,11 +79,17 @@ pub fn format_spans(spans: &[MatchSpan]) -> String {
 
 /// Serializes cache statistics as one `STATS` response line. `window`
 /// carries the matcher's cross-batch window-cache counters, zero when
-/// no cache is attached (the fields are always present).
-pub fn format_stats(stats: &CacheStats, swaps: u64, window: Option<WindowCacheStats>) -> String {
+/// no cache is attached (the fields are always present);
+/// `uptime_seconds` is the serving engine's age.
+pub fn format_stats(
+    stats: &CacheStats,
+    swaps: u64,
+    window: Option<WindowCacheStats>,
+    uptime_seconds: u64,
+) -> String {
     let window = window.unwrap_or_default();
     format!(
-        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}\twindow_hits={}\twindow_misses={}",
+        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}\twindow_hits={}\twindow_misses={}\tuptime_seconds={}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
@@ -91,6 +98,7 @@ pub fn format_stats(stats: &CacheStats, swaps: u64, window: Option<WindowCacheSt
         swaps,
         window.hits,
         window.misses,
+        uptime_seconds,
     )
 }
 
@@ -137,8 +145,9 @@ impl Protocol for LineProtocol {
         stats: &CacheStats,
         swaps: u64,
         window: Option<WindowCacheStats>,
+        uptime_seconds: u64,
     ) -> Arc<str> {
-        Arc::from(format_stats(stats, swaps, window).as_str())
+        Arc::from(format_stats(stats, swaps, window, uptime_seconds).as_str())
     }
 }
 
@@ -229,15 +238,24 @@ mod tests {
             assert!(proto.render_reject(reject).starts_with("ERR "));
         }
         assert!(proto
-            .render_stats(&CacheStats::default(), 0, None)
+            .render_stats(&CacheStats::default(), 0, None, 0)
             .starts_with("STATS\t"));
+        // A metrics/slow request on the line protocol (only reachable
+        // through the shared dispatch, never its own parser) renders
+        // the not-found reject rather than leaking multi-line bodies
+        // into a line-framed stream.
+        assert_eq!(
+            &*proto.render_metrics("# TYPE x counter\n"),
+            ERR_UNKNOWN_CONTROL
+        );
+        assert_eq!(&*proto.render_slow("{}"), ERR_UNKNOWN_CONTROL);
     }
 
     #[test]
     fn stats_line_is_single_line_tab_separated() {
-        let line = format_stats(&CacheStats::default(), 3, None);
+        let line = format_stats(&CacheStats::default(), 3, None, 17);
         assert!(line.starts_with("STATS\thits=0\t"));
-        assert!(line.ends_with("swaps=3\twindow_hits=0\twindow_misses=0"));
+        assert!(line.ends_with("swaps=3\twindow_hits=0\twindow_misses=0\tuptime_seconds=17"));
         assert!(!line.contains('\n'));
     }
 }

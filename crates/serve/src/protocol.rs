@@ -56,6 +56,19 @@ pub enum Request {
         /// Close the connection after the response.
         close: bool,
     },
+    /// Report the Prometheus metrics exposition (`GET /metrics`),
+    /// answered at receipt time without entering the queue. Only the
+    /// HTTP parser produces this.
+    Metrics {
+        /// Close the connection after the response.
+        close: bool,
+    },
+    /// Report the slow-query trace (`GET /debug/slow`), answered at
+    /// receipt time. Only the HTTP parser produces this.
+    DebugSlow {
+        /// Close the connection after the response.
+        close: bool,
+    },
     /// Answer with a protocol-rendered error.
     Reject {
         /// Why the request was rejected.
@@ -113,13 +126,31 @@ pub trait Protocol: Send + Sync + 'static {
 
     /// Renders a statistics response. `window` carries the matcher's
     /// cross-batch window-cache counters when one is attached
-    /// ([`websyn_core::EntityMatcher::with_window_cache`]).
+    /// ([`websyn_core::EntityMatcher::with_window_cache`]);
+    /// `uptime_seconds` is the engine's age.
     fn render_stats(
         &self,
         stats: &CacheStats,
         swaps: u64,
         window: Option<websyn_core::WindowCacheStats>,
+        uptime_seconds: u64,
     ) -> Arc<str>;
+
+    /// Wraps an already-assembled Prometheus text exposition as a
+    /// complete response payload. Protocols without a metrics endpoint
+    /// (their parsers never produce [`Request::Metrics`]) render their
+    /// not-found reject.
+    fn render_metrics(&self, body: &str) -> Arc<str> {
+        let _ = body;
+        self.render_reject(Reject::NotFound)
+    }
+
+    /// Wraps the slow-query trace JSON as a complete response payload.
+    /// Same default as [`Protocol::render_metrics`].
+    fn render_slow(&self, body: &str) -> Arc<str> {
+        let _ = body;
+        self.render_reject(Reject::NotFound)
+    }
 }
 
 /// Per-connection request framing: the connection layer feeds complete

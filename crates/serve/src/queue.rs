@@ -107,8 +107,23 @@ impl<T> BoundedQueue<T> {
     /// `max` items or `window` has elapsed since the first item was
     /// taken. Returns `false` — with `out` empty — only when the queue
     /// is closed and fully drained, which is the worker's signal to
-    /// exit.
+    /// exit. (The server's workers use [`BoundedQueue::pop_batch_timed`];
+    /// this untimed form is the API the tests and simple consumers use.)
+    #[allow(dead_code)]
     pub fn pop_batch(&self, max: usize, window: Duration, out: &mut Vec<T>) -> bool {
+        self.pop_batch_timed(max, window, out).is_some()
+    }
+
+    /// [`BoundedQueue::pop_batch`], additionally reporting *when* the
+    /// first item was taken — the boundary between a request's
+    /// queue-wait stage (enqueue → first take) and the batch-assembly
+    /// stage (first take → return). `None` means closed-and-drained.
+    pub fn pop_batch_timed(
+        &self,
+        max: usize,
+        window: Duration,
+        out: &mut Vec<T>,
+    ) -> Option<Instant> {
         let max = max.max(1);
         out.clear();
         let mut state = self.state.lock().expect("queue poisoned");
@@ -118,10 +133,11 @@ impl<T> BoundedQueue<T> {
                 break;
             }
             if state.closed {
-                return false;
+                return None;
             }
             state = self.available.wait(state).expect("queue poisoned");
         }
+        let first_taken = Instant::now();
         while out.len() < max {
             match state.items.pop_front() {
                 Some(item) => out.push(item),
@@ -154,7 +170,7 @@ impl<T> BoundedQueue<T> {
                 break;
             }
         }
-        true
+        Some(first_taken)
     }
 
     /// Closes the queue: pending items remain poppable, further pushes

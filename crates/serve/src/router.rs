@@ -372,6 +372,7 @@ fn handle_client(
     let mut line: Vec<u8> = Vec::new();
     loop {
         if line.len() > config.max_line_bytes {
+            crate::metrics::count_reject(Reject::TooLarge);
             let body = protocol.render_reject(Reject::TooLarge);
             writer.write_all(body.as_bytes())?;
             break;
@@ -427,7 +428,12 @@ fn answer(
     match request {
         Request::Query { query, close } => (proxy_query(ring, upstreams, &query, config), close),
         Request::Stats { close } => (aggregate_stats(ring, config), close),
-        Request::Reject { reject, close } => (protocol.render_reject(reject).to_string(), close),
+        Request::Metrics { close } => (aggregate_metrics(ring, config), close),
+        Request::DebugSlow { close } => (aggregate_slow(ring, config), close),
+        Request::Reject { reject, close } => {
+            crate::metrics::count_reject(reject);
+            (protocol.render_reject(reject).to_string(), close)
+        }
     }
 }
 
@@ -456,6 +462,9 @@ fn proxy_query(
             }
         }
     }
+    // No worker could serve: the router's own 503 counts in the busy
+    // class (it is load/availability shedding, not a client error).
+    crate::metrics::count_reject(Reject::Busy);
     http::response(503, "Service Unavailable", "{\"error\":\"unavailable\"}")
 }
 
@@ -505,19 +514,13 @@ fn stats_field(body: &str, key: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Answers `/stats` with the sum of every live worker's statistics
-/// plus the live-worker count. Uses fresh connections — stats are
-/// rare, and probing through the request path would distort in-flight
-/// accounting.
-fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-    let mut entries = 0u64;
-    let mut evictions = 0u64;
-    let mut swaps = 0u64;
-    let mut window_hits = 0u64;
-    let mut window_misses = 0u64;
-    let mut workers = 0u64;
+/// Fetches `path` from every live slot in turn, yielding each `200`
+/// body with its slot index. Uses fresh connections — control-plane
+/// reads are rare, and probing through the request path would distort
+/// in-flight accounting.
+fn fetch_from_workers(ring: &Ring, config: RouterConfig, path: &str) -> Vec<(usize, String)> {
+    let head = format!("GET {path} HTTP/1.1\r\n\r\n");
+    let mut bodies = Vec::new();
     for slot in 0..ring.len() {
         let Some(addr) = ring.addr_of(slot) else {
             continue;
@@ -525,27 +528,162 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
         let Ok(mut upstream) = Upstream::connect(addr, config.upstream_timeout) else {
             continue;
         };
-        let Ok((200, body)) = upstream.exchange("GET /stats HTTP/1.1\r\n\r\n") else {
+        let Ok((200, body)) = upstream.exchange(&head) else {
             continue;
         };
-        hits += stats_field(&body, "hits");
-        misses += stats_field(&body, "misses");
-        entries += stats_field(&body, "entries");
-        evictions += stats_field(&body, "evictions");
-        swaps += stats_field(&body, "swaps");
-        window_hits += stats_field(&body, "window_hits");
-        window_misses += stats_field(&body, "window_misses");
-        workers += 1;
+        bodies.push((slot, body));
     }
+    bodies
+}
+
+/// The summed-field keys of the worker `/stats` grammar, in response
+/// order (shared by the fleet totals and the per-worker breakdown).
+const STATS_KEYS: [&str; 7] = [
+    "hits",
+    "misses",
+    "entries",
+    "evictions",
+    "swaps",
+    "window_hits",
+    "window_misses",
+];
+
+/// Answers `/stats` with the sum of every live worker's statistics,
+/// the live-worker count, the fleet's maximum uptime, and a
+/// `per_worker` breakdown. The summed totals come first so clients
+/// parsing by first occurrence (including [`stats_field`] itself) keep
+/// reading fleet-wide numbers.
+fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
+    use std::fmt::Write;
+    let bodies = fetch_from_workers(ring, config, "/stats");
+    let mut totals = [0u64; STATS_KEYS.len()];
+    let mut uptime = 0u64;
+    for (_, body) in &bodies {
+        for (total, key) in totals.iter_mut().zip(STATS_KEYS) {
+            *total += stats_field(body, key);
+        }
+        uptime = uptime.max(stats_field(body, "uptime_seconds"));
+    }
+    let [hits, misses, entries, evictions, swaps, window_hits, window_misses] = totals;
     let lookups = hits + misses;
     let hit_rate = if lookups == 0 {
         0.0
     } else {
         hits as f64 / lookups as f64
     };
-    let body = format!(
-        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"window_hits\":{window_hits},\"window_misses\":{window_misses},\"workers\":{workers}}}"
+    let mut body = format!(
+        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"window_hits\":{window_hits},\"window_misses\":{window_misses},\"workers\":{},\"uptime_seconds\":{uptime},\"per_worker\":[",
+        bodies.len(),
     );
+    for (i, (slot, worker_body)) in bodies.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "{{\"worker\":{slot}");
+        for key in STATS_KEYS {
+            let _ = write!(body, ",\"{key}\":{}", stats_field(worker_body, key));
+        }
+        let _ = write!(
+            body,
+            ",\"uptime_seconds\":{}}}",
+            stats_field(worker_body, "uptime_seconds")
+        );
+    }
+    body.push_str("]}");
+    http::response(200, "OK", &body)
+}
+
+/// Injects `label` as the *first* label of a Prometheus series line:
+/// `name{a="b"} v` → `name{worker="3",a="b"} v`, `name v` →
+/// `name{worker="3"} v`.
+fn label_series(line: &str, label: &str) -> String {
+    match (line.find('{'), line.find(' ')) {
+        (Some(brace), Some(space)) if brace < space => {
+            format!("{}{{{label},{}", &line[..brace], &line[brace + 1..])
+        }
+        (_, Some(space)) => format!("{}{{{label}}}{}", &line[..space], &line[space..]),
+        _ => line.to_string(),
+    }
+}
+
+/// Answers `/metrics` with the exact merge of every live worker's
+/// exposition: each worker's series reappear under a `worker="N"`
+/// label (all values are integers, so nothing is averaged away), with
+/// `# TYPE` headers emitted once per metric and all of a metric's
+/// series kept in one group as the text format requires. The router
+/// appends its own per-class reject counters under `worker="router"`
+/// and a `websyn_cluster_workers_up` gauge.
+fn aggregate_metrics(ring: &Ring, config: RouterConfig) -> String {
+    use std::collections::HashMap;
+    let bodies = fetch_from_workers(ring, config, "/metrics");
+    let workers_up = bodies.len();
+    // Metric groups in first-seen order. Series are grouped under the
+    // *preceding* TYPE header's name, which also keeps histogram
+    // `_bucket`/`_sum`/`_count` series with their parent metric.
+    let mut order: Vec<String> = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut series: HashMap<String, Vec<String>> = HashMap::new();
+    for (slot, body) in &bodies {
+        let label = format!("worker=\"{slot}\"");
+        let mut current = String::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap_or(rest);
+                current = name.to_string();
+                if !types.contains_key(&current) {
+                    order.push(current.clone());
+                    types.insert(current.clone(), line.to_string());
+                }
+            } else if !line.is_empty() && !line.starts_with('#') {
+                series
+                    .entry(current.clone())
+                    .or_default()
+                    .push(label_series(line, &label));
+            }
+        }
+    }
+    // The router's own rejects join the (possibly already typed)
+    // rejects group rather than forming a duplicate one.
+    let rejects = "websyn_rejects_total".to_string();
+    if !types.contains_key(&rejects) {
+        order.push(rejects.clone());
+        types.insert(rejects.clone(), format!("# TYPE {rejects} counter"));
+    }
+    for (class, count) in crate::metrics::reject_counts() {
+        series.entry(rejects.clone()).or_default().push(format!(
+            "{rejects}{{worker=\"router\",class=\"{class}\"}} {count}"
+        ));
+    }
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE websyn_cluster_workers_up gauge\n");
+    out.push_str(&format!("websyn_cluster_workers_up {workers_up}\n"));
+    for name in &order {
+        out.push_str(&types[name]);
+        out.push('\n');
+        for line in series.get(name).into_iter().flatten() {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    http::response_with_type(200, "OK", "text/plain; version=0.0.4", &out)
+}
+
+/// Answers `/debug/slow` with every live worker's slow-query trace,
+/// nested per worker (the worker bodies are JSON objects and embed
+/// verbatim).
+fn aggregate_slow(ring: &Ring, config: RouterConfig) -> String {
+    use std::fmt::Write;
+    let mut body = String::from("{\"workers\":[");
+    for (i, (slot, worker_body)) in fetch_from_workers(ring, config, "/debug/slow")
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "{{\"worker\":{slot},\"slow\":{worker_body}}}");
+    }
+    body.push_str("]}");
     http::response(200, "OK", &body)
 }
 
@@ -624,5 +762,44 @@ mod tests {
         assert_eq!(stats_field(body, "window_hits"), 9);
         assert_eq!(stats_field(body, "window_misses"), 4);
         assert_eq!(stats_field(body, "absent"), 0);
+    }
+
+    #[test]
+    fn label_series_injects_the_worker_label_first() {
+        let label = "worker=\"2\"";
+        assert_eq!(label_series("m 5", label), "m{worker=\"2\"} 5");
+        assert_eq!(
+            label_series("m{a=\"b\"} 5", label),
+            "m{worker=\"2\",a=\"b\"} 5"
+        );
+        // Histogram bucket series keep their `le` label intact.
+        assert_eq!(
+            label_series("h_bucket{le=\"+Inf\"} 9", label),
+            "h_bucket{worker=\"2\",le=\"+Inf\"} 9"
+        );
+    }
+
+    #[test]
+    fn aggregate_metrics_with_no_workers_still_reports_the_router() {
+        // An all-down ring: the exposition degrades to the router's own
+        // series instead of an empty (or malformed) body.
+        let ring = Ring::new(2, 1);
+        let response = aggregate_metrics(&ring, RouterConfig::default());
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("websyn_cluster_workers_up 0\n"));
+        assert!(response.contains("# TYPE websyn_rejects_total counter\n"));
+        assert!(response.contains("websyn_rejects_total{worker=\"router\",class=\"busy\"}"));
+    }
+
+    #[test]
+    fn aggregate_slow_and_stats_with_no_workers_are_well_formed() {
+        let ring = Ring::new(1, 1);
+        let slow = aggregate_slow(&ring, RouterConfig::default());
+        assert!(slow.ends_with("{\"workers\":[]}"));
+        let stats = aggregate_stats(&ring, RouterConfig::default());
+        assert!(stats.contains("\"workers\":0"));
+        assert!(stats.contains("\"uptime_seconds\":0"));
+        assert!(stats.ends_with("\"per_worker\":[]}"));
     }
 }

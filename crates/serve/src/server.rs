@@ -39,7 +39,8 @@
 //!   drain — and joins the workers. Requests racing the wind-down get
 //!   [`Reject::Shutdown`] (`ERR shutting-down` / HTTP `503`).
 
-use crate::engine::Engine;
+use crate::engine::{Engine, StageTiming};
+use crate::metrics::{self, as_us, ServeMetrics, SlowEntry};
 use crate::proto::LineProtocol;
 use crate::protocol::{Protocol, Reject, Request, Wire};
 use crate::queue::{BoundedQueue, PushError};
@@ -51,7 +52,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for the serving front end. [`ServerConfig::builder`] is the
 /// ergonomic way to set these; the struct stays public (and `Copy`) so
@@ -87,6 +88,13 @@ pub struct ServerConfig {
     /// bounded even against a client that opens sockets and never
     /// sends a request — traffic the queue bound cannot see.
     pub max_connections: usize,
+    /// Requests slower than this (receipt → resolved) are recorded in
+    /// the engine's slow-query ring (`GET /debug/slow`).
+    pub slow_threshold: Duration,
+    /// Additionally record every Nth request regardless of latency, so
+    /// the trace carries a baseline sample even when nothing is slow
+    /// (clamped to ≥ 1).
+    pub slow_sample_every: u64,
 }
 
 /// The pre-redesign name of [`ServerConfig`], kept as an alias so
@@ -104,6 +112,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_line_bytes: 64 * 1024,
             max_connections: 1024,
+            slow_threshold: crate::metrics::DEFAULT_SLOW_THRESHOLD,
+            slow_sample_every: crate::metrics::DEFAULT_SLOW_SAMPLE_EVERY,
         }
     }
 }
@@ -197,6 +207,19 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Slow-query trace latency threshold.
+    pub fn slow_threshold(mut self, threshold: Duration) -> Self {
+        self.config.slow_threshold = threshold;
+        self
+    }
+
+    /// Record every Nth request in the slow trace regardless of
+    /// latency (clamped to ≥ 1).
+    pub fn slow_sample_every(mut self, every: u64) -> Self {
+        self.config.slow_sample_every = every;
+        self
+    }
+
     /// Validates the knobs (clamping them into range) and returns the
     /// config.
     pub fn build(self) -> ServerConfig {
@@ -210,6 +233,8 @@ impl ServerConfigBuilder {
             write_timeout: c.write_timeout.max(Duration::from_millis(1)),
             max_line_bytes: c.max_line_bytes.max(1),
             max_connections: c.max_connections.max(1),
+            slow_threshold: c.slow_threshold,
+            slow_sample_every: c.slow_sample_every.max(1),
         }
     }
 }
@@ -229,6 +254,13 @@ struct Job {
     wire: Wire,
     close: bool,
     reply: Sender<Reply>,
+    /// When the request's first protocol line was read — the anchor of
+    /// the slow-trace total.
+    received_at: Instant,
+    /// When the job entered the queue (queue-wait stage starts here).
+    enqueued_at: Instant,
+    /// Protocol parse time, microseconds.
+    parse_us: u64,
 }
 
 /// The serving front end. `start`/`start_with` are the only entry
@@ -267,6 +299,9 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
         let shutdown = Arc::new(AtomicBool::new(false));
+        engine
+            .metrics()
+            .set_slow_config(config.slow_threshold, config.slow_sample_every);
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
@@ -433,11 +468,51 @@ fn accept_loop(
 /// One worker: drain windowed batches, resolve, reply with each job's
 /// wire rendering.
 fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServerConfig) {
+    let m = engine.metrics();
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
-    while queue.pop_batch(config.batch_max, config.batch_window, &mut batch) {
+    let mut timings: Vec<StageTiming> = Vec::with_capacity(config.batch_max);
+    while let Some(first_taken) =
+        queue.pop_batch_timed(config.batch_max, config.batch_window, &mut batch)
+    {
+        // Queue wait is per-job (enqueue → first take); assembly is the
+        // span the job actually spent in the batch-collection window
+        // (first take → handover, clipped to the job's own arrival for
+        // items that joined mid-window). Clipping keeps each request's
+        // stage spans disjoint, so summed stage time can never exceed
+        // summed end-to-end latency — the invariant bench_check holds
+        // the committed artifact to.
+        let assembled = Instant::now();
+        for job in &batch {
+            m.queue_wait.record(as_us(
+                first_taken.saturating_duration_since(job.enqueued_at),
+            ));
+            let joined = job.enqueued_at.max(first_taken);
+            m.batch_assembly
+                .record(as_us(assembled.saturating_duration_since(joined)));
+        }
         let queries: Vec<&str> = batch.iter().map(|job| job.query.as_str()).collect();
-        let results = engine.resolve_rendered_batch(&queries);
-        for (job, rendered) in batch.iter().zip(results) {
+        let results = engine.resolve_rendered_batch_timed(&queries, &mut timings);
+        let threshold_us = m.slow_threshold_us();
+        let sample_every = m.slow_sample_every();
+        for ((job, stage), rendered) in batch.iter().zip(&timings).zip(results) {
+            // The slow gate runs before the reply send so `total_us`
+            // has a fixed meaning (receipt → resolved, write excluded)
+            // regardless of how fast the client drains its socket.
+            let total_us = as_us(job.received_at.elapsed());
+            if total_us >= threshold_us || m.sampler.incr().is_multiple_of(sample_every) {
+                m.slow.push(SlowEntry {
+                    query: metrics::truncate_query(&job.query, 128),
+                    total_us,
+                    parse_us: job.parse_us,
+                    queue_us: as_us(first_taken.saturating_duration_since(job.enqueued_at)),
+                    assembly_us: as_us(
+                        assembled.saturating_duration_since(job.enqueued_at.max(first_taken)),
+                    ),
+                    cache_us: stage.cache_us,
+                    segment_us: stage.segment_us,
+                    render_us: stage.render_us,
+                });
+            }
             // A send error means the connection died mid-flight; the
             // result is simply dropped. Every rendering was serialized
             // when the cache entry was filled — a hit sends a shared
@@ -467,7 +542,7 @@ fn handle_connection(
     let (tx, rx) = std::sync::mpsc::channel::<Reply>();
     std::thread::scope(|scope| {
         scope.spawn(|| reader_loop(read_half, engine, queue, shutdown, protocol, tx, config));
-        let result = writer_loop(&stream, rx, protocol.terminator());
+        let result = writer_loop(&stream, rx, protocol.terminator(), engine.metrics());
         // If the writer died first (write timeout — the client stopped
         // reading — or a close-marked response), the reader would
         // otherwise keep parsing and enqueuing work whose results
@@ -495,6 +570,7 @@ fn reader_loop(
 ) {
     let wire = protocol.wire();
     let mut parser = protocol.parser();
+    let m = engine.metrics();
     let mut reader = BufReader::new(read_half);
     // Lines accumulate as raw bytes: `read_line`'s UTF-8 guard would
     // silently discard a partial read that a timeout cut mid-way
@@ -503,15 +579,29 @@ fn reader_loop(
     // business decoding is.
     let mut line: Vec<u8> = Vec::new();
     let mut seq = 0u64;
+    // Parse-stage accounting. A request may span many protocol lines
+    // (HTTP headers), so parse time accumulates across `on_line` calls
+    // and `request_started` anchors at the request's *first* line —
+    // that instant is the receipt time the slow trace measures from.
+    let mut parse_acc = Duration::ZERO;
+    let mut request_started: Option<Instant> = None;
     // Dispatches one complete (still byte-form, terminator-stripped)
     // protocol line; returns false when reading must stop — the writer
     // is gone, or a close-marked request was dispatched.
     let mut handle = |raw: &[u8], seq: &mut u64| -> bool {
-        let Some(request) = parser.on_line(raw) else {
+        let line_start = Instant::now();
+        let received_at = *request_started.get_or_insert(line_start);
+        let parsed = parser.on_line(raw);
+        parse_acc += line_start.elapsed();
+        let Some(request) = parsed else {
             // Mid-request (an HTTP header line): nothing to answer yet,
             // and no sequence number consumed.
             return true;
         };
+        let parse_us = as_us(parse_acc);
+        m.parse.record(parse_us);
+        parse_acc = Duration::ZERO;
+        request_started = None;
         let (response, close): (Option<Arc<str>>, bool) = match request {
             Request::Query { query, close } => {
                 match queue.push(Job {
@@ -520,24 +610,44 @@ fn reader_loop(
                     wire,
                     close,
                     reply: reply.clone(),
+                    received_at,
+                    enqueued_at: Instant::now(),
+                    parse_us,
                 }) {
                     Ok(()) => (None, close),
-                    Err(PushError::Full) => (Some(protocol.render_reject(Reject::Busy)), close),
+                    Err(PushError::Full) => {
+                        metrics::count_reject(Reject::Busy);
+                        (Some(protocol.render_reject(Reject::Busy)), close)
+                    }
                     Err(PushError::Closed) => {
+                        metrics::count_reject(Reject::Shutdown);
                         (Some(protocol.render_reject(Reject::Shutdown)), close)
                     }
                 }
             }
-            // Stats are answered at receipt time, never queued.
+            // Stats, metrics and the slow trace are answered at receipt
+            // time, never queued.
             Request::Stats { close } => (
                 Some(protocol.render_stats(
                     &engine.cache_stats(),
                     engine.swaps(),
                     engine.window_cache_stats(),
+                    engine.uptime_seconds(),
                 )),
                 close,
             ),
-            Request::Reject { reject, close } => (Some(protocol.render_reject(reject)), close),
+            Request::Metrics { close } => (
+                Some(protocol.render_metrics(&metrics::prometheus_text(engine))),
+                close,
+            ),
+            Request::DebugSlow { close } => (
+                Some(protocol.render_slow(&metrics::slow_json(engine))),
+                close,
+            ),
+            Request::Reject { reject, close } => {
+                metrics::count_reject(reject);
+                (Some(protocol.render_reject(reject)), close)
+            }
         };
         let alive = match response {
             Some(response) => reply.send((*seq, response, close)).is_ok(),
@@ -556,6 +666,7 @@ fn reader_loop(
         // below guarantees `line` never grows past cap + 1 bytes even
         // against a client streaming data with no newline.
         if line.len() > config.max_line_bytes {
+            metrics::count_reject(Reject::TooLarge);
             let _ = reply.send((seq, protocol.render_reject(Reject::TooLarge), true));
             break;
         }
@@ -615,7 +726,12 @@ fn reader_loop(
 /// self-framed HTTP responses). A close-marked response is the
 /// connection's last: the writer flushes it and exits, which closes
 /// the socket.
-fn writer_loop(stream: &TcpStream, rx: Receiver<Reply>, terminator: &[u8]) -> io::Result<()> {
+fn writer_loop(
+    stream: &TcpStream,
+    rx: Receiver<Reply>,
+    terminator: &[u8],
+    metrics: &ServeMetrics,
+) -> io::Result<()> {
     let mut out = BufWriter::new(stream);
     let mut pending: BinaryHeap<Reverse<Reply>> = BinaryHeap::new();
     let mut next = 0u64;
@@ -625,6 +741,11 @@ fn writer_loop(stream: &TcpStream, rx: Receiver<Reply>, terminator: &[u8]) -> io
         while let Ok(more) = rx.try_recv() {
             pending.push(Reverse(more));
         }
+        // One write-stage sample per flush cycle (buffer fill + flush).
+        // Responses only reach the client at the flush, so each cycle's
+        // duration lies inside the latency window of the requests it
+        // answers — the stage-sum invariant holds for `write` too.
+        let cycle_start = Instant::now();
         let mut wrote = false;
         while pending
             .peek()
@@ -636,11 +757,14 @@ fn writer_loop(stream: &TcpStream, rx: Receiver<Reply>, terminator: &[u8]) -> io
             next += 1;
             wrote = true;
             if close {
-                return out.flush();
+                let result = out.flush();
+                metrics.write.record(as_us(cycle_start.elapsed()));
+                return result;
             }
         }
         if wrote {
             out.flush()?;
+            metrics.write.record(as_us(cycle_start.elapsed()));
         }
     }
     out.flush()

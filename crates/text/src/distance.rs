@@ -135,6 +135,32 @@ pub fn damerau_levenshtein_within_ref(a: &str, b: &str, k: usize) -> Option<usiz
     banded_ref(a, b, k, true)
 }
 
+/// Process-wide tallies of which verification kernel the bounded
+/// dispatcher picked (the reference oracle [`levenshtein_within_ref`]
+/// is deliberately uncounted — it is a test fixture, not production
+/// traffic). Incremented relaxed on the hot path; read by the serving
+/// layer's `/metrics` endpoint.
+static BITPAR_DISPATCHES: websyn_obs::Counter = websyn_obs::Counter::new();
+static BANDED_DISPATCHES: websyn_obs::Counter = websyn_obs::Counter::new();
+
+/// Point-in-time kernel dispatch counts for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelDispatchStats {
+    /// Calls resolved by the bit-parallel Myers/Hyyrö kernel.
+    pub bitpar: u64,
+    /// Calls resolved by the banded DP fallback (long middles or
+    /// non-ASCII text).
+    pub banded: u64,
+}
+
+/// Reads the process-wide [`KernelDispatchStats`].
+pub fn kernel_dispatch_stats() -> KernelDispatchStats {
+    KernelDispatchStats {
+        bitpar: BITPAR_DISPATCHES.get(),
+        banded: BANDED_DISPATCHES.get(),
+    }
+}
+
 /// Strips the common prefix and suffix: edits only live in the
 /// differing middle, so both kernels shrink from O(len) to O(middle)
 /// columns — on verification workloads candidate and query share
@@ -187,12 +213,15 @@ fn banded(a: &str, b: &str, k: usize, transpositions: bool) -> Option<usize> {
             // The distance never exceeds the longer middle, so a larger
             // bound is equivalent — and clamping keeps the kernel's
             // score arithmetic from overflowing on huge budgets.
+            BITPAR_DISPATCHES.incr();
             return crate::bitpar::within_bytes(text, pattern, k.min(text.len()), transpositions);
         }
+        BANDED_DISPATCHES.incr();
         return with_dp_scratch(|_, _, row0, row1, row2| {
             banded_core(sa, sb, k, transpositions, row0, row1, row2)
         });
     }
+    BANDED_DISPATCHES.incr();
     with_dp_scratch(|av, bv, row0, row1, row2| {
         av.clear();
         av.extend(a.chars());

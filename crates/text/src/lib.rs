@@ -50,7 +50,8 @@ pub use abbrev::AbbrevKind;
 pub use candidate::{AbbrevIndex, CandidateSource, PhoneticIndex, PrefixHit};
 pub use distance::{
     damerau_levenshtein, damerau_levenshtein_within, damerau_levenshtein_within_ref, jaro,
-    jaro_winkler, levenshtein, levenshtein_within, levenshtein_within_ref, normalized_levenshtein,
+    jaro_winkler, kernel_dispatch_stats, levenshtein, levenshtein_within, levenshtein_within_ref,
+    normalized_levenshtein, KernelDispatchStats,
 };
 pub use ngram::{char_ngrams, cosine, dice, jaccard, overlap_coefficient, word_ngrams};
 pub use ngram_index::NgramIndex;

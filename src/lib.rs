@@ -19,6 +19,7 @@
 //! | [`click`] | click models, session simulation, Click Data `L`, click graph, random walks |
 //! | [`core`] | **the paper**: surrogates, candidates, IPC/ICR, selection, metrics, matcher |
 //! | [`baselines`] | Wikipedia redirects (simulated), random walk, substring, edit distance |
+//! | [`obs`] | lock-free counters and histograms, ring logs, Prometheus text rendering |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use websyn_click as click;
 pub use websyn_common as common;
 pub use websyn_core as core;
 pub use websyn_engine as engine;
+pub use websyn_obs as obs;
 pub use websyn_serve as serve;
 pub use websyn_synth as synth;
 pub use websyn_text as text;
