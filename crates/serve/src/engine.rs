@@ -287,14 +287,18 @@ impl Engine {
         self.resolve_inner(queries, None)
     }
 
-    /// [`Engine::resolve_rendered_batch`], additionally pushing one
-    /// [`StageTiming`] per query into `timings` (not cleared) — the
-    /// per-request engine-stage breakdown the slow-query trace records.
+    /// [`Engine::resolve_rendered_batch`], additionally recording one
+    /// [`StageTiming`] per query into `timings` — the per-request
+    /// engine-stage breakdown the slow-query trace records. `timings`
+    /// is cleared first, so on return it holds exactly one entry per
+    /// query, index-aligned with the returned renderings; callers may
+    /// reuse the Vec across batches.
     pub fn resolve_rendered_batch_timed<S: AsRef<str>>(
         &self,
         queries: &[S],
         timings: &mut Vec<StageTiming>,
     ) -> Vec<Rendered> {
+        timings.clear();
         self.resolve_inner(queries, Some(timings))
     }
 
@@ -466,6 +470,26 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].entity, EntityId::new(42));
         assert_eq!(*spans, new.segment("indy 4"));
+    }
+
+    #[test]
+    fn timed_batches_reuse_one_vec_without_stale_entries() {
+        // Regression: the worker loop reuses one timings Vec across
+        // batches. The engine must clear it, or from the second batch
+        // on each job zips against another batch's stale entries (and
+        // the Vec grows forever).
+        let e = small_engine();
+        let mut timings = Vec::new();
+        let first = e.resolve_rendered_batch_timed(&["indy 4", "madagascar 2"], &mut timings);
+        assert_eq!(first.len(), 2);
+        assert_eq!(timings.len(), 2, "one entry per query in the batch");
+        let second = e.resolve_rendered_batch_timed(&["indy 4"], &mut timings);
+        assert_eq!(second.len(), 1);
+        assert_eq!(timings.len(), 1, "previous batch's entries cleared");
+        // That lone query warm-hit the cache, so its (index-aligned)
+        // entry records no segmentation or render work.
+        assert_eq!(timings[0].segment_us, 0);
+        assert_eq!(timings[0].render_us, 0);
     }
 
     #[test]

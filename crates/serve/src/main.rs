@@ -307,6 +307,19 @@ fn smoke_line(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
         if unknown != "ERR unknown-control" {
             return Err(format!("control: unexpected response {unknown:?}"));
         }
+        // The observability verbs: the tab-folded Prometheus
+        // exposition and the single-line slow-trace JSON.
+        let metrics = ask(&mut conn, &mut reader, "#metrics")?;
+        if !metrics.starts_with("METRICS\t# TYPE websyn_uptime_seconds gauge\t") {
+            return Err(format!("metrics: unexpected response {metrics:?}"));
+        }
+        if !metrics.contains("websyn_stage_duration_us") {
+            return Err("metrics: missing stage histograms".to_string());
+        }
+        let slow = ask(&mut conn, &mut reader, "#slow")?;
+        if !slow.starts_with("SLOW\t{\"threshold_us\":") || !slow.ends_with("]}") {
+            return Err(format!("slow: unexpected response {slow:?}"));
+        }
     }
     // The sequential repeat of "350d" must have hit the cache.
     let stats = engine.cache_stats();

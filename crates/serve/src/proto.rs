@@ -9,15 +9,23 @@
 //! ```text
 //! request   = query-line | control-line
 //! query-line   = any text not starting with '#'
-//! control-line = "#stats"
+//! control-line = "#stats" | "#metrics" | "#slow"
 //!
-//! response  = ok-line | stats-line | err-line
+//! response  = ok-line | stats-line | metrics-line | slow-line | err-line
 //! ok-line   = "OK" *( TAB span )
 //! span      = start "," end "," entity "," distance "," surface
 //! stats-line = "STATS" TAB "hits=" n TAB "misses=" n TAB "hit_rate=" x
 //!              TAB "entries=" n TAB "evictions=" n TAB "swaps=" n
 //!              TAB "window_hits=" n TAB "window_misses=" n
 //!              TAB "uptime_seconds=" n
+//! metrics-line = "METRICS" *( TAB exposition-line )
+//!                                  ; the Prometheus text exposition of
+//!                                  ; GET /metrics, one response line:
+//!                                  ; exposition lines carry no tabs, so
+//!                                  ; splitting on TAB recovers the body
+//! slow-line = "SLOW" TAB json      ; the GET /debug/slow JSON document
+//!                                  ; (single-line: control characters
+//!                                  ; in queries are \u-escaped)
 //! err-line  = "ERR" SP reason      ; e.g. "ERR busy" under backpressure,
 //!                                  ; "ERR line-too-long" before dropping
 //!                                  ; a connection whose request line
@@ -54,6 +62,14 @@ pub const ERR_LINE_TOO_LONG: &str = "ERR line-too-long";
 
 /// The `#stats` control request.
 pub const CONTROL_STATS: &str = "#stats";
+
+/// The `#metrics` control request — the line-protocol spelling of
+/// `GET /metrics`.
+pub const CONTROL_METRICS: &str = "#metrics";
+
+/// The `#slow` control request — the line-protocol spelling of
+/// `GET /debug/slow`.
+pub const CONTROL_SLOW: &str = "#slow";
 
 /// Serializes a segmentation result as one `OK` response line (without
 /// the trailing newline). This is the *only* span serializer in the
@@ -149,6 +165,27 @@ impl Protocol for LineProtocol {
     ) -> Arc<str> {
         Arc::from(format_stats(stats, swaps, window, uptime_seconds).as_str())
     }
+
+    fn render_metrics(&self, body: &str) -> Arc<str> {
+        // The exposition is inherently multi-line; folding its lines
+        // onto tabs keeps the one-response-line-per-request framing
+        // intact. Exposition lines never contain tabs, so splitting the
+        // payload on TAB recovers the body exactly.
+        let mut out = String::with_capacity(body.len() + 8);
+        out.push_str("METRICS");
+        for line in body.lines() {
+            out.push('\t');
+            out.push_str(line);
+        }
+        Arc::from(out.as_str())
+    }
+
+    fn render_slow(&self, body: &str) -> Arc<str> {
+        // The trace JSON is single-line by construction (control
+        // characters inside recorded queries are \u-escaped), so it
+        // rides one response line unmodified.
+        Arc::from(format!("SLOW\t{body}").as_str())
+    }
 }
 
 /// Line framing is trivial: every line is one complete request.
@@ -163,6 +200,8 @@ impl RequestParser for LineParser {
         Some(if let Some(control) = request.strip_prefix('#') {
             match control {
                 "stats" => Request::Stats { close: false },
+                "metrics" => Request::Metrics { close: false },
+                "slow" => Request::DebugSlow { close: false },
                 _ => Request::Reject {
                     reject: Reject::NotFound,
                     close: false,
@@ -219,6 +258,14 @@ mod tests {
         );
         assert_eq!(p.on_line(b"#stats"), Some(Request::Stats { close: false }));
         assert_eq!(
+            p.on_line(b"#metrics"),
+            Some(Request::Metrics { close: false })
+        );
+        assert_eq!(
+            p.on_line(b"#slow"),
+            Some(Request::DebugSlow { close: false })
+        );
+        assert_eq!(
             p.on_line(b"#frobnicate"),
             Some(Request::Reject {
                 reject: Reject::NotFound,
@@ -240,15 +287,22 @@ mod tests {
         assert!(proto
             .render_stats(&CacheStats::default(), 0, None, 0)
             .starts_with("STATS\t"));
-        // A metrics/slow request on the line protocol (only reachable
-        // through the shared dispatch, never its own parser) renders
-        // the not-found reject rather than leaking multi-line bodies
-        // into a line-framed stream.
-        assert_eq!(
-            &*proto.render_metrics("# TYPE x counter\n"),
-            ERR_UNKNOWN_CONTROL
-        );
-        assert_eq!(&*proto.render_slow("{}"), ERR_UNKNOWN_CONTROL);
+    }
+
+    #[test]
+    fn metrics_and_slow_render_as_single_lines() {
+        let proto = LineProtocol;
+        // The multi-line exposition folds onto tabs — one response
+        // line, recoverable by splitting on TAB.
+        let metrics = proto.render_metrics("# TYPE x counter\nx 1\nx{l=\"a\"} 2\n");
+        assert_eq!(&*metrics, "METRICS\t# TYPE x counter\tx 1\tx{l=\"a\"} 2");
+        assert!(!metrics.contains('\n'));
+        // An empty exposition still answers with the verb alone.
+        assert_eq!(&*proto.render_metrics(""), "METRICS");
+        // The trace JSON is single-line already and passes through.
+        let slow = proto.render_slow("{\"entries\":[]}");
+        assert_eq!(&*slow, "SLOW\t{\"entries\":[]}");
+        assert!(!slow.contains('\n'));
     }
 
     #[test]

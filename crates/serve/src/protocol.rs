@@ -56,15 +56,15 @@ pub enum Request {
         /// Close the connection after the response.
         close: bool,
     },
-    /// Report the Prometheus metrics exposition (`GET /metrics`),
-    /// answered at receipt time without entering the queue. Only the
-    /// HTTP parser produces this.
+    /// Report the Prometheus metrics exposition (`GET /metrics` /
+    /// `#metrics`), answered at receipt time without entering the
+    /// queue.
     Metrics {
         /// Close the connection after the response.
         close: bool,
     },
-    /// Report the slow-query trace (`GET /debug/slow`), answered at
-    /// receipt time. Only the HTTP parser produces this.
+    /// Report the slow-query trace (`GET /debug/slow` / `#slow`),
+    /// answered at receipt time.
     DebugSlow {
         /// Close the connection after the response.
         close: bool,

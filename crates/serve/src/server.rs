@@ -492,6 +492,9 @@ fn worker_loop(engine: &Engine, queue: &BoundedQueue<Job>, config: ServerConfig)
         }
         let queries: Vec<&str> = batch.iter().map(|job| job.query.as_str()).collect();
         let results = engine.resolve_rendered_batch_timed(&queries, &mut timings);
+        // The engine cleared and refilled `timings`: exactly one entry
+        // per job, index-aligned — the zip below depends on it.
+        debug_assert_eq!(timings.len(), batch.len());
         let threshold_us = m.slow_threshold_us();
         let sample_every = m.slow_sample_every();
         for ((job, stage), rendered) in batch.iter().zip(&timings).zip(results) {

@@ -115,6 +115,17 @@ fn stats_and_unknown_control_lines() {
     assert!(stats.starts_with("STATS\thits="), "{stats:?}");
     assert!(stats.contains("\tswaps=0"), "{stats:?}");
     assert_eq!(client.ask("#nope"), "ERR unknown-control");
+    // The observability verbs answer with one line each: the
+    // tab-folded Prometheus exposition and the slow-trace JSON.
+    let metrics = client.ask("#metrics");
+    assert!(
+        metrics.starts_with("METRICS\t# TYPE websyn_uptime_seconds gauge\t"),
+        "{metrics:?}"
+    );
+    assert!(metrics.contains("websyn_stage_duration_us"), "{metrics:?}");
+    let slow = client.ask("#slow");
+    assert!(slow.starts_with("SLOW\t{\"threshold_us\":"), "{slow:?}");
+    assert!(slow.ends_with("]}"), "{slow:?}");
     server.shutdown();
 }
 
