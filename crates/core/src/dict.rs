@@ -448,6 +448,45 @@ impl CompiledDict {
         best
     }
 
+    /// [`CompiledDict::longest_match`] restricted to surfaces `keep`
+    /// accepts — the segmented-dictionary exact probe, where base
+    /// surfaces shadowed by a delta segment (overridden or tombstoned)
+    /// must lose to shorter live prefixes. Same single descent; the
+    /// deepest *kept* exact hit wins. Requires a deduplicated
+    /// dictionary (one surface per token sequence), which
+    /// [`crate::EntityMatcher`] guarantees.
+    pub(crate) fn longest_match_where(
+        &self,
+        ids: &[u32],
+        max_len: usize,
+        keep: impl Fn(u32) -> bool,
+    ) -> Option<(usize, SurfaceId)> {
+        let &first = ids.first()?;
+        let &(lo, hi) = self.first_ranges.get(first as usize)?;
+        let (mut lo, mut hi) = (lo as usize, hi as usize);
+        let mut best = None;
+        let max_len = max_len.min(ids.len());
+        let mut depth = 1;
+        while lo != hi {
+            let head = self.order[lo];
+            if (self.offsets[head as usize + 1] - self.offsets[head as usize]) as usize == depth
+                && keep(head)
+            {
+                best = Some((depth, SurfaceId::new(head)));
+            }
+            if depth == max_len {
+                break;
+            }
+            let next = ids[depth];
+            let run = &self.order[lo..hi];
+            let start = run.partition_point(|&sid| self.token_at(sid, depth) < Some(next));
+            let end = run.partition_point(|&sid| self.token_at(sid, depth) <= Some(next));
+            (lo, hi) = (lo + start, lo + end);
+            depth += 1;
+        }
+        best
+    }
+
     /// Maps every token of the normalized query to its byte range and
     /// dictionary token id ([`UNKNOWN_TOKEN`] when out of vocabulary),
     /// clearing and filling the caller's scratch buffers. One call per

@@ -704,6 +704,173 @@ impl FuzzyDictionary {
             surface: self.dict.surface_arc(sid),
         })
     }
+
+    /// Whether any applicable source proposes at least one candidate
+    /// for `normalized` at `budget` — consulted *unconditionally*
+    /// (fallback gating ignored), so the answer over-approximates what
+    /// resolution would actually consider. This is the conservative
+    /// half of the segmented-dictionary footprint test
+    /// (`crate::segment`): a window unrelated to every changed surface
+    /// — no proposal from any source built over the changes, no
+    /// vocabulary token shared, no exact hit — provably resolves the
+    /// same before and after the change, because resolution only ever
+    /// sees proposed candidates.
+    pub(crate) fn proposes_any(&self, normalized: &str, n_tokens: usize, budget: usize) -> bool {
+        thread_local! {
+            static PROPOSALS: std::cell::RefCell<Vec<u32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        PROPOSALS.with_borrow_mut(|proposals| {
+            self.sources.iter().any(|entry| {
+                if n_tokens < entry.min_tokens || n_tokens > entry.max_tokens {
+                    return false;
+                }
+                proposals.clear();
+                entry.source.propose(normalized, budget, proposals);
+                !proposals.is_empty()
+            })
+        })
+    }
+}
+
+/// One verified candidate of the merged (base + overlay) resolution:
+/// which segment owns the winning surface, its id *in that segment's
+/// dictionary*, and the verified distance.
+pub(crate) type MergedResolution = (bool, SurfaceId, usize);
+
+/// Resolves one window against a segmented dictionary — the base
+/// chain and the delta-overlay chain run side by side, reproducing the
+/// monolithic resolution over the *merged* surface set byte for byte:
+///
+/// - both dictionaries are compiled with the same [`FuzzyConfig`], so
+///   their source chains are structurally identical and are consulted
+///   in lock-step (chain position `k` of the base, then of the
+///   overlay) — the monolithic consultation order;
+/// - base proposals for surfaces shadowed by a delta (overridden or
+///   tombstoned) are dropped *before* they count toward the fallback
+///   gate, exactly as if the surface were absent from a monolithic
+///   recompile;
+/// - the fallback's all-out-of-vocabulary gate runs against the
+///   *merged* vocabulary: a base token carried only by tombstoned
+///   surfaces is dead, a token introduced by a delta surface is live;
+/// - ties follow the monolithic rules — minimum distance wins, an
+///   equal-distance tie between different entities is contested
+///   (resolves to nothing), a same-entity tie keeps the
+///   lexicographically smallest surface *string* (within one segment
+///   that is id order; across segments the strings are compared
+///   directly, and the same string can never appear live in both).
+///
+/// `edit_reachable` is the union of both dictionaries' reachability
+/// screens — conservative over the merged surface set, and pruning is
+/// results-invariant (the pruned ≡ unpruned property), so the union
+/// is sound.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_merged_window(
+    base: &FuzzyDictionary,
+    over: &FuzzyDictionary,
+    shadowed: impl Fn(u32) -> bool,
+    dead_token: impl Fn(u32) -> bool,
+    text: &str,
+    base_ids: &[u32],
+    over_ids: &[u32],
+    budget: usize,
+    edit_reachable: bool,
+) -> Option<MergedResolution> {
+    thread_local! {
+        static PROPOSALS: std::cell::RefCell<Vec<u32>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    debug_assert_eq!(base.sources.len(), over.sources.len());
+    debug_assert_eq!(base_ids.len(), over_ids.len());
+    if base.all_verifying && !edit_reachable {
+        return None;
+    }
+    let m = base_ids.len();
+    let config = &base.config;
+    let verify = |dict: &CompiledDict, verified: bool, sid: SurfaceId| -> Option<usize> {
+        if verified {
+            return Some(0);
+        }
+        if dict.token_ids(sid).len().abs_diff(m) > budget {
+            return None;
+        }
+        let allowed = budget.min(config.max_distance_for(dict.char_len(sid)));
+        if allowed == 0 {
+            return None;
+        }
+        config.distance_within(text, dict.surface(sid), allowed)
+    };
+    let mut best: Option<MergedResolution> = None;
+    let mut contested = false;
+    let mut proposed_any = false;
+    PROPOSALS.with_borrow_mut(|proposals| {
+        for k in 0..base.sources.len() {
+            let entry = &base.sources[k];
+            if m < entry.min_tokens || m > entry.max_tokens {
+                continue;
+            }
+            if entry.fallback
+                && (proposed_any
+                    || budget < 2
+                    || (0..m).any(|i| {
+                        (base_ids[i] != crate::dict::UNKNOWN_TOKEN && !dead_token(base_ids[i]))
+                            || over_ids[i] != crate::dict::UNKNOWN_TOKEN
+                    }))
+            {
+                continue;
+            }
+            let verified = entry.verified;
+            if !verified && !edit_reachable {
+                continue;
+            }
+            // Base then overlay at the same chain position; the
+            // accumulator below is order-invariant within a position
+            // (explicit id/string comparisons), so this interleaving
+            // reproduces the monolithic single-chain pass.
+            for overlay_side in [false, true] {
+                let (fd, side_entry) = if overlay_side {
+                    (over, &over.sources[k])
+                } else {
+                    (base, entry)
+                };
+                proposals.clear();
+                side_entry.source.propose(text, budget, proposals);
+                let mut live_any = false;
+                for &raw in proposals.iter() {
+                    if !overlay_side && shadowed(raw) {
+                        continue;
+                    }
+                    live_any = true;
+                    crate::telemetry::CANDIDATES_PROPOSED.incr();
+                    let sid = SurfaceId::new(raw);
+                    let Some(d) = verify(&fd.dict, verified, sid) else {
+                        continue;
+                    };
+                    crate::telemetry::CANDIDATES_VERIFIED.incr();
+                    match best {
+                        Some((_, _, bd)) if d > bd => {}
+                        Some((bo, bsid, bd)) if d == bd => {
+                            let bdict = if bo { &over.dict } else { &base.dict };
+                            if fd.dict.entity(sid) != bdict.entity(bsid) {
+                                contested = true;
+                            } else if fd.dict.surface(sid) < bdict.surface(bsid) {
+                                best = Some((overlay_side, sid, d));
+                            }
+                        }
+                        _ => {
+                            best = Some((overlay_side, sid, d));
+                            contested = false;
+                        }
+                    }
+                }
+                proposed_any |= live_any;
+            }
+        }
+    });
+    if contested {
+        return None;
+    }
+    best
 }
 
 #[cfg(test)]

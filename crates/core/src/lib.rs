@@ -29,6 +29,14 @@
 //! supplies the approximate (typo-tolerant) lookup path — a pluggable
 //! [`websyn_text::CandidateSource`] chain — plus batched segmentation
 //! for serving.
+//!
+//! [`segment`] is the dictionary *lifecycle*: a [`SegmentedDict`]
+//! (immutable base + ordered delta segments with tombstones, merged
+//! into one serving snapshot per commit, compacted in the background)
+//! behind the thread-safe [`DictHandle`]. Deltas ([`DictDelta`]) apply
+//! in milliseconds without recompiling the base, and each commit
+//! publishes a [`DeltaFootprint`] so serving caches can invalidate
+//! only what the delta could have changed.
 
 pub mod candidates;
 pub mod config;
@@ -39,6 +47,7 @@ pub mod matcher;
 pub mod measures;
 pub mod metrics;
 pub mod miner;
+pub mod segment;
 pub mod select;
 pub mod surrogate;
 pub mod taxonomy;
@@ -55,6 +64,9 @@ pub use measures::{score_candidate, CandidateScore};
 pub use metrics::{evaluate, EvalReport};
 pub use miner::{
     EntityCandidates, EntitySynonyms, MinedSynonym, MiningResult, ScoredCandidates, SynonymMiner,
+};
+pub use segment::{
+    DeltaFootprint, DeltaSegment, DictDelta, DictHandle, DictStats, DictSync, SegmentedDict,
 };
 pub use select::select;
 pub use surrogate::{SurrogateSource, SurrogateTable};

@@ -111,6 +111,10 @@ pub struct WindowCacheStats {
     /// Probes that found nothing usable (absent, stale generation, or
     /// hash-collided with different text).
     pub misses: u64,
+    /// Hits served by *promoting* a stale entry across a delta commit
+    /// (counted in `hits` too): the entry predated the newest delta
+    /// segments but its window was provably unaffected by them.
+    pub promotions: u64,
     /// Live entries across all shards, including stale ones not yet
     /// evicted.
     pub entries: usize,
@@ -130,10 +134,20 @@ pub struct WindowCache {
     /// Bumped whenever a different fuzzy dictionary binds; entries
     /// from older generations are invisible.
     generation: AtomicU64,
+    /// Generation at which the currently bound dictionary's *base*
+    /// attached (see [`WindowCache::bind_epoch`]): the live generation
+    /// is `floor + delta epoch`, so entries between `floor` and the
+    /// live generation are stale-but-promotable — they were recorded
+    /// under the same base, only missing the most recent delta
+    /// segments.
+    floor: AtomicU64,
     /// Unique id of the fuzzy dictionary currently bound (0 = none).
     bound: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Stale entries revalidated across a delta commit instead of
+    /// recomputed (see [`WindowCache::get_or_promote`]).
+    promotions: AtomicU64,
     /// Shared seed state so every shard hashes keys identically for
     /// shard selection.
     hasher: RandomState,
@@ -147,9 +161,11 @@ impl WindowCache {
             shards,
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
             generation: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
             bound: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
             hasher: RandomState::new(),
         }
     }
@@ -161,16 +177,45 @@ impl WindowCache {
     /// Cheap when already bound (two atomic loads), so the segmenter
     /// calls it once per query.
     pub(crate) fn bind(&self, uid: u64) -> u64 {
-        if self.bound.load(Ordering::Acquire) != uid {
-            // Serialize concurrent rebinds through a shard lock so the
-            // (bound, generation) pair moves together.
-            let _guard = self.shards[0].lock().expect("window cache poisoned");
-            if self.bound.load(Ordering::Acquire) != uid {
-                self.generation.fetch_add(1, Ordering::AcqRel);
-                self.bound.store(uid, Ordering::Release);
+        self.bind_epoch(uid, 0).0
+    }
+
+    /// Epoch-aware binding — the segmented-dictionary generation
+    /// ladder. `uid` identifies the *base* compilation and `epoch`
+    /// counts delta commits on top of it; the live generation is
+    /// `floor + epoch`, where `floor` is minted when `uid` first binds
+    /// (or re-binds after another dictionary used the cache). A base
+    /// swap or compaction changes `uid` and resets the floor — the
+    /// wholesale invalidation of old — while a delta commit only
+    /// advances the epoch, leaving every prior entry in the
+    /// promotable band `[floor, generation)` for
+    /// [`WindowCache::get_or_promote`]. Returns `(generation, floor)`.
+    pub(crate) fn bind_epoch(&self, uid: u64, epoch: u64) -> (u64, u64) {
+        let target = |floor: u64| floor + epoch;
+        if self.bound.load(Ordering::Acquire) == uid {
+            let floor = self.floor.load(Ordering::Acquire);
+            if self.generation.load(Ordering::Acquire) >= target(floor) {
+                return (target(floor), floor);
             }
         }
-        self.generation.load(Ordering::Acquire)
+        // Serialize rebinds and epoch advances through a shard lock so
+        // the (bound, floor, generation) triple moves together.
+        let _guard = self.shards[0].lock().expect("window cache poisoned");
+        if self.bound.load(Ordering::Acquire) != uid {
+            let floor = self.generation.load(Ordering::Acquire) + 1;
+            self.floor.store(floor, Ordering::Release);
+            self.generation.store(target(floor), Ordering::Release);
+            self.bound.store(uid, Ordering::Release);
+        } else {
+            let floor = self.floor.load(Ordering::Acquire);
+            if self.generation.load(Ordering::Acquire) < target(floor) {
+                self.generation.store(target(floor), Ordering::Release);
+            }
+        }
+        (
+            target(self.floor.load(Ordering::Acquire)),
+            self.floor.load(Ordering::Acquire),
+        )
     }
 
     /// The (hash, shard index) of `key` — one SipHash pass serves both
@@ -192,6 +237,49 @@ impl WindowCache {
         match shard.map.get(&h) {
             Some(e) if e.generation == generation && *e.key == *key => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.resolution)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// [`WindowCache::get`] with the segmented-dictionary promotion
+    /// ladder: an entry recorded under the *same base* but an older
+    /// delta epoch (`floor ≤ entry generation < generation`) is not
+    /// discarded outright — `unaffected_since(window, entry_epoch)`
+    /// decides whether the delta segments committed after the entry's
+    /// epoch could possibly change this window's resolution. When they
+    /// provably cannot (the conservative footprint test of
+    /// `crate::segment`), the entry is re-stamped to the live
+    /// generation in place and served as a hit: a delta commit
+    /// invalidates only the windows it could actually touch, not the
+    /// whole cache.
+    pub(crate) fn get_or_promote(
+        &self,
+        key: &str,
+        generation: u64,
+        floor: u64,
+        unaffected_since: impl FnOnce(&str, u64) -> bool,
+    ) -> Option<Resolution> {
+        let (h, idx) = self.locate(key);
+        let mut shard = self.shards[idx].lock().expect("window cache poisoned");
+        match shard.map.get_mut(&h) {
+            Some(e) if *e.key == *key && e.generation == generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.resolution)
+            }
+            Some(e)
+                if *e.key == *key
+                    && e.generation >= floor
+                    && e.generation < generation
+                    && unaffected_since(&e.key, e.generation - floor) =>
+            {
+                e.generation = generation;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.promotions.fetch_add(1, Ordering::Relaxed);
                 Some(e.resolution)
             }
             _ => {
@@ -241,6 +329,7 @@ impl WindowCache {
         WindowCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()

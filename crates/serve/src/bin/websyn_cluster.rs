@@ -14,8 +14,10 @@
 //! two-worker fleet, verify responses through the router, SIGKILL a
 //! worker and require that every in-flight and subsequent request
 //! still succeeds (failover), wait for the monitor to restart the
-//! victim, roll the whole fleet with zero downtime, and exit 0 only if
-//! all of it held.
+//! victim, roll the whole fleet with zero downtime, fan a dictionary
+//! delta out to every worker through `POST /admin/dict/delta` and
+//! require the new surface to resolve with no restart, roll the fleet
+//! onto a new dictionary artifact, and exit 0 only if all of it held.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -84,7 +86,9 @@ fn main() -> ExitCode {
     if args.smoke {
         return match smoke() {
             Ok(()) => {
-                println!("websyn-cluster: smoke ok (failover + restart + rolling)");
+                println!(
+                    "websyn-cluster: smoke ok (failover + restart + rolling + delta + artifact roll)"
+                );
                 ExitCode::SUCCESS
             }
             Err(msg) => {
@@ -233,6 +237,65 @@ fn smoke() -> Result<(), String> {
         return Err(format!("slow: malformed fleet trace {slow:?}"));
     }
 
+    // Live dictionary update fanned out to the whole fleet: the router
+    // POSTs the delta to every live worker, so the new surface
+    // resolves no matter which worker the query hashes to — and no
+    // worker restarts.
+    let restarts_before_delta = cluster.restarts();
+    let before = ask(&mut conn, &mut reader, "starwars kid dance")?;
+    if before != (200, "{\"spans\":[]}".to_string()) {
+        return Err(format!("pre-delta: unexpected response {before:?}"));
+    }
+    let delta = "starwars kid\t901\n";
+    write!(
+        conn,
+        "POST /admin/dict/delta HTTP/1.1\r\nContent-Length: {}\r\n\r\n{delta}",
+        delta.len()
+    )
+    .map_err(|e| format!("send delta: {e}"))?;
+    let (status, ack) = read_response(&mut reader).map_err(|e| format!("recv delta ack: {e}"))?;
+    if status != 200 || !ack.contains("\"ok\":true") || !ack.contains("\"applied_workers\":2") {
+        return Err(format!("delta: unexpected fleet ack {status} {ack:?}"));
+    }
+    let after = ask(&mut conn, &mut reader, "starwars kid dance")?;
+    if after.0 != 200 || !after.1.contains("\"entity\":901") {
+        return Err(format!("post-delta: unexpected response {after:?}"));
+    }
+    if cluster.restarts() != restarts_before_delta {
+        return Err("delta application restarted a worker".to_string());
+    }
+    // Aggregated stats sum the fleet's lifecycle counters: one delta
+    // segment and one upsert per worker.
+    let (_, stats) = get(&mut conn, &mut reader, "/stats")?;
+    if !stats.contains("\"segments\":2") || !stats.contains("\"delta_upserts\":2") {
+        return Err(format!("delta stats: lifecycle missing in {stats:?}"));
+    }
+
+    // Roll the fleet onto a *new artifact*: every replacement worker
+    // loads it, with zero downtime. In-memory deltas do not survive the
+    // roll — durable changes ride artifacts.
+    let artifact = std::env::temp_dir().join(format!(
+        "websyn-cluster-smoke-dict-{}.tsv",
+        std::process::id()
+    ));
+    let mut tsv = websyn_serve::cluster::demo_matcher().to_tsv();
+    tsv.push_str("rolled surface\t902\n");
+    std::fs::write(&artifact, &tsv).map_err(|e| format!("write artifact: {e}"))?;
+    cluster
+        .rolling_restart_with_dict(Some(artifact.display().to_string()))
+        .map_err(|e| format!("rolling restart with dict: {e}"))?;
+    let rolled = ask(&mut conn, &mut reader, "rolled surface")?;
+    if rolled.0 != 200 || !rolled.1.contains("\"entity\":902") {
+        return Err(format!("after artifact roll: {rolled:?}"));
+    }
+    let gone = ask(&mut conn, &mut reader, "starwars kid dance")?;
+    if gone != (200, "{\"spans\":[]}".to_string()) {
+        return Err(format!(
+            "pre-roll delta unexpectedly survived the roll: {gone:?}"
+        ));
+    }
+
     cluster.shutdown();
+    let _ = std::fs::remove_file(&artifact);
     Ok(())
 }

@@ -9,16 +9,29 @@
 //! doubly-linked list on slot indices (no per-entry allocation beyond
 //! the key).
 //!
-//! **Invalidation is by generation.** The serving dictionary is an
-//! immutable [`websyn_core::CompiledDict`] deployed by rebuild-and-swap
-//! (see `Engine`), so the cache never mutates entries in place;
-//! swapping the dictionary calls [`ShardedCache::invalidate`], which
-//! bumps a monotonic generation counter *before* clearing the shards.
+//! **Invalidation is by generation.** Every entry is stamped with the
+//! cache generation it was computed at, and [`ShardedCache::get_at`]
+//! only serves entries whose stamp matches the caller's snapshot.
 //! Writers capture the generation together with their dictionary
 //! snapshot and insert through [`ShardedCache::insert_at`], which
 //! rejects the write (under the shard lock) once the generation has
-//! moved on — a worker racing a swap can therefore never publish a
-//! result computed against the retired dictionary.
+//! moved on — a worker racing a dictionary change can therefore never
+//! publish a result computed against the retired dictionary.
+//!
+//! The generation moves in two ways:
+//!
+//! - [`ShardedCache::invalidate`] — wholesale: bump the counter
+//!   *before* clearing the shards (a base swap, where nothing old is
+//!   trustworthy);
+//! - [`ShardedCache::advance_generation`] — selective: bump the
+//!   counter and keep the entries. Stale entries stop being served by
+//!   `get_at`, but [`ShardedCache::get_at_or_promote`] can *promote*
+//!   one — re-stamp it to the current generation and serve it — when
+//!   the caller proves the dictionary changes since the entry's stamp
+//!   cannot have altered its value (the `Engine` proves this with
+//!   [`websyn_core::DeltaFootprint`]s). A small delta thus invalidates
+//!   only the keys it touches; everything else is promoted on its next
+//!   lookup instead of recomputed.
 
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -28,6 +41,11 @@ use std::sync::{Arc, Mutex};
 
 /// Sentinel slot index for "no entry" in the intrusive LRU list.
 const NIL: u32 = u32::MAX;
+
+/// The promotion check threaded into generation-aware lookups: given
+/// the entry's key and stamped generation, may it be re-stamped to the
+/// current generation and served?
+type PromoteCheck<'a> = &'a mut dyn FnMut(&str, u64) -> bool;
 
 /// Aggregated cache counters, summed over all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +62,9 @@ pub struct CacheStats {
     pub capacity: usize,
     /// Completed [`ShardedCache::invalidate`] calls.
     pub invalidations: u64,
+    /// Stale entries re-stamped to the current generation by
+    /// [`ShardedCache::get_at_or_promote`] instead of recomputed.
+    pub promotions: u64,
 }
 
 impl CacheStats {
@@ -64,6 +85,9 @@ impl CacheStats {
 struct Entry<V> {
     key: Arc<str>,
     value: V,
+    /// Cache generation the value was computed at; compared (and
+    /// possibly re-stamped) by the generation-aware lookups.
+    generation: u64,
     /// Towards more-recently-used.
     prev: u32,
     /// Towards less-recently-used.
@@ -92,6 +116,7 @@ struct LruShard<V> {
     hits: u64,
     misses: u64,
     evictions: u64,
+    promotions: u64,
 }
 
 impl<V: Clone> LruShard<V> {
@@ -106,6 +131,7 @@ impl<V: Clone> LruShard<V> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            promotions: 0,
         }
     }
 
@@ -163,11 +189,51 @@ impl<V: Clone> LruShard<V> {
         }
     }
 
+    /// Generation-aware lookup: entries stamped with a different
+    /// generation are not served. An *older* entry can be rescued by
+    /// `promote`: if the callback (given the key and the entry's
+    /// stamp) returns `true`, the entry is re-stamped to `generation`
+    /// and served as a hit. Stale entries that are not promoted stay
+    /// in place (untouched recency) until overwritten or evicted.
+    fn get_at(
+        &mut self,
+        generation: u64,
+        key: &str,
+        promote: Option<PromoteCheck<'_>>,
+    ) -> Option<V> {
+        let Some(&i) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        let stamped = self.entry(i).generation;
+        if stamped != generation {
+            let promoted = match promote {
+                Some(check) if stamped < generation => {
+                    let key = Arc::clone(&self.entry(i).key);
+                    check(&key, stamped)
+                }
+                _ => false,
+            };
+            if !promoted {
+                self.misses += 1;
+                return None;
+            }
+            self.entry_mut(i).generation = generation;
+            self.promotions += 1;
+        }
+        self.hits += 1;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.entry(i).value.clone())
+    }
+
     // Capacity is always >= 1 (ShardedCache::new clamps), so eviction
     // below can assume a live tail once the shard is full.
-    fn insert(&mut self, key: &str, value: V) {
+    fn insert(&mut self, key: &str, value: V, generation: u64) {
         if let Some(&i) = self.map.get(key) {
-            self.entry_mut(i).value = value;
+            let e = self.entry_mut(i);
+            e.value = value;
+            e.generation = generation;
             self.unlink(i);
             self.push_front(i);
             return;
@@ -187,6 +253,7 @@ impl<V: Clone> LruShard<V> {
                 self.slots[i as usize] = Some(Entry {
                     key: Arc::clone(&key),
                     value,
+                    generation,
                     prev: NIL,
                     next: NIL,
                 });
@@ -197,6 +264,7 @@ impl<V: Clone> LruShard<V> {
                 self.slots.push(Some(Entry {
                     key: Arc::clone(&key),
                     value,
+                    generation,
                     prev: NIL,
                     next: NIL,
                 }));
@@ -230,10 +298,21 @@ impl<V: Clone> LruShard<V> {
 /// let gen = cache.generation();
 /// assert_eq!(cache.get("indy 4"), None);
 /// assert!(cache.insert_at(gen, "indy 4", 7));
-/// assert_eq!(cache.get("indy 4"), Some(7));
+/// assert_eq!(cache.get_at(gen, "indy 4"), Some(7));
+///
+/// // Selective: the entry survives the bump, hidden until promoted.
+/// let next = cache.advance_generation();
+/// assert_eq!(cache.get_at(next, "indy 4"), None);
+/// assert_eq!(
+///     cache.get_at_or_promote(next, "indy 4", |_key, _stamp| true),
+///     Some(7),
+/// );
+/// assert_eq!(cache.get_at(next, "indy 4"), Some(7), "re-stamped");
+///
+/// // Wholesale: everything is dropped, stale writers rejected.
 /// cache.invalidate();
 /// assert_eq!(cache.get("indy 4"), None);
-/// assert!(!cache.insert_at(gen, "indy 4", 7), "stale generation");
+/// assert!(!cache.insert_at(next, "indy 4", 7), "stale generation");
 /// ```
 #[derive(Debug)]
 pub struct ShardedCache<V> {
@@ -301,22 +380,45 @@ impl<V: Clone> ShardedCache<V> {
             .get(key)
     }
 
-    /// Looks `key` up, but only while the cache is still at
+    /// Looks `key` up, serving only entries stamped exactly at
     /// `generation` — the read-side counterpart of
-    /// [`ShardedCache::insert_at`]. After an invalidation the lookup
-    /// counts as a miss (the caller will recompute), so hit-rate
-    /// statistics never credit results that were discarded for being
-    /// from a retired dictionary. The generation comparison runs under
-    /// the shard lock: a matching generation proves no invalidation
-    /// completed since the caller's snapshot, so the entry cannot
-    /// belong to a newer dictionary.
+    /// [`ShardedCache::insert_at`]. A stale caller (the global counter
+    /// moved past its snapshot) and a stale entry (stamped before an
+    /// [`ShardedCache::advance_generation`]) both count as misses, so
+    /// hit-rate statistics never credit results from a retired
+    /// dictionary. The comparisons run under the shard lock: a
+    /// matching stamp proves no dictionary change slipped between the
+    /// caller's snapshot and this lookup.
     pub fn get_at(&self, generation: u64, key: &str) -> Option<V> {
         let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
         if self.generation.load(Ordering::Acquire) != generation {
             shard.misses += 1;
             return None;
         }
-        shard.get(key)
+        shard.get_at(generation, key, None)
+    }
+
+    /// Like [`ShardedCache::get_at`], but gives entries stamped at an
+    /// *older* generation a second chance: `promote(key, stamp)` is
+    /// called under the shard lock, and a `true` re-stamps the entry
+    /// to `generation` and serves it as a hit (counted in
+    /// [`CacheStats::promotions`]). The caller's contract is that a
+    /// promotion is only approved when every dictionary change between
+    /// `stamp` and `generation` provably leaves this key's result
+    /// unchanged — the serving engine checks the key against the
+    /// [`websyn_core::DeltaFootprint`] of each intervening delta.
+    pub fn get_at_or_promote(
+        &self,
+        generation: u64,
+        key: &str,
+        mut promote: impl FnMut(&str, u64) -> bool,
+    ) -> Option<V> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        if self.generation.load(Ordering::Acquire) != generation {
+            shard.misses += 1;
+            return None;
+        }
+        shard.get_at(generation, key, Some(&mut promote))
     }
 
     /// Inserts `key → value` if the cache is still at `generation`.
@@ -331,8 +433,19 @@ impl<V: Clone> ShardedCache<V> {
         if self.generation.load(Ordering::Acquire) != generation {
             return false;
         }
-        shard.insert(key, value);
+        shard.insert(key, value, generation);
         true
+    }
+
+    /// Retires the current generation *without* dropping entries.
+    /// Returns the new generation. Existing entries keep their old
+    /// stamp: invisible to [`ShardedCache::get_at`], but recoverable
+    /// through [`ShardedCache::get_at_or_promote`], and reclaimed by
+    /// normal LRU eviction otherwise. This is the cheap invalidation
+    /// for a small dictionary delta, where most cached results are
+    /// still correct and only the keys the delta touches must miss.
+    pub fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Drops every entry and retires the current generation, so
@@ -373,6 +486,7 @@ impl<V: Clone> ShardedCache<V> {
             out.hits += s.hits;
             out.misses += s.misses;
             out.evictions += s.evictions;
+            out.promotions += s.promotions;
             out.entries += s.map.len();
             out.capacity += s.capacity;
         }
@@ -486,6 +600,66 @@ mod tests {
         assert_eq!(c.len(), 1, "capacity 1 holds exactly one entry");
         assert_eq!(c.get("a"), None);
         assert_eq!(c.get("b"), Some(2));
+    }
+
+    #[test]
+    fn advance_generation_hides_but_keeps_entries() {
+        let c = one_shard(8);
+        let g = c.generation();
+        c.insert_at(g, "a", 1);
+        c.insert_at(g, "b", 2);
+        let next = c.advance_generation();
+        assert_eq!(next, g + 1);
+        // get_at at the new generation misses, but the entries live on.
+        assert_eq!(c.get_at(next, "a"), None);
+        assert_eq!(c.len(), 2, "entries survive the bump");
+        // A stale caller still holding g is rejected outright.
+        assert_eq!(c.get_at(g, "a"), None);
+        assert!(!c.insert_at(g, "c", 3));
+        // Overwriting re-stamps, so the key is live again.
+        assert!(c.insert_at(next, "a", 10));
+        assert_eq!(c.get_at(next, "a"), Some(10));
+    }
+
+    #[test]
+    fn promote_restamps_only_approved_entries() {
+        let c = one_shard(8);
+        let g = c.generation();
+        c.insert_at(g, "touched", 1);
+        c.insert_at(g, "untouched", 2);
+        let next = c.advance_generation();
+        // The promote callback sees the key and the entry's old stamp.
+        let hit = c.get_at_or_promote(next, "untouched", |key, stamp| {
+            assert_eq!((key, stamp), ("untouched", g));
+            true
+        });
+        assert_eq!(hit, Some(2));
+        // Promotion is sticky: a plain get_at now hits.
+        assert_eq!(c.get_at(next, "untouched"), Some(2));
+        // A rejected promotion stays a miss, entry left in place.
+        assert_eq!(c.get_at_or_promote(next, "touched", |_, _| false), None);
+        assert_eq!(c.get_at(next, "touched"), None);
+        assert_eq!(c.len(), 2);
+        let s = c.stats();
+        assert_eq!(s.promotions, 1);
+    }
+
+    #[test]
+    fn promote_never_runs_for_missing_or_current_entries() {
+        let c = one_shard(8);
+        let g = c.generation();
+        c.insert_at(g, "a", 1);
+        // Current-generation hit: promote must not be consulted.
+        assert_eq!(
+            c.get_at_or_promote(g, "a", |_, _| panic!("promote called on a fresh entry")),
+            Some(1)
+        );
+        // Absent key: promote must not be consulted either.
+        assert_eq!(
+            c.get_at_or_promote(g, "zzz", |_, _| panic!("promote called on a miss")),
+            None
+        );
+        assert_eq!(c.stats().promotions, 0);
     }
 
     #[test]

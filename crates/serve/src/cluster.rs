@@ -41,7 +41,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use websyn_common::EntityId;
-use websyn_core::{EntityMatcher, FuzzyConfig};
+use websyn_core::{DictHandle, EntityMatcher, FuzzyConfig};
 
 /// The argv flag that re-enters a binary as a cluster worker. Binaries
 /// that can host workers call [`run_worker_if_flagged`] first thing in
@@ -73,24 +73,38 @@ pub fn demo_matcher() -> EntityMatcher {
 /// plus a few words, so this is a couple of MB at worst.
 const WINDOW_CACHE_CAPACITY: usize = 65_536;
 
-/// Loads a dictionary: an [`EntityMatcher::to_tsv`] artifact when a
-/// path is given, the demo dictionary otherwise. Fuzzy-enabled
-/// matchers get a cross-batch window cache attached, so recurring
-/// query fragments skip fuzzy re-verification across batches.
-pub fn load_matcher(dict: Option<&str>) -> Result<EntityMatcher, String> {
+/// Loads a dictionary lifecycle handle: an [`EntityMatcher::to_tsv`]
+/// artifact when a path is given, the demo dictionary otherwise, as
+/// the base of a fresh [`DictHandle`] lineage — ready for live delta
+/// updates. Fuzzy-enabled matchers get a cross-batch window cache
+/// attached, so recurring query fragments skip fuzzy re-verification
+/// across batches.
+pub fn load_dict(dict: Option<&str>) -> Result<DictHandle, String> {
     let matcher = match dict {
         None => demo_matcher(),
         Some(path) => {
             let tsv =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            #[allow(deprecated)]
             EntityMatcher::from_tsv(&tsv).map_err(|e| format!("cannot parse {path}: {e}"))?
         }
     };
-    Ok(if matcher.fuzzy_config().is_some() {
+    let matcher = if matcher.fuzzy_config().is_some() {
         matcher.with_window_cache(WINDOW_CACHE_CAPACITY)
     } else {
         matcher
-    })
+    };
+    Ok(DictHandle::new(matcher))
+}
+
+/// Loads a dictionary as a bare matcher.
+#[deprecated(
+    since = "0.1.0",
+    note = "use load_dict — the DictHandle carries the same matcher \
+            plus the live-update lifecycle"
+)]
+pub fn load_matcher(dict: Option<&str>) -> Result<EntityMatcher, String> {
+    Ok((*load_dict(dict)?.matcher()).clone())
 }
 
 /// If the process was invoked with [`WORKER_SENTINEL`], runs the
@@ -148,14 +162,18 @@ pub fn worker_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let matcher = match load_matcher(dict.as_deref()) {
-        Ok(m) => Arc::new(m),
+    let dict_handle = match load_dict(dict.as_deref()) {
+        Ok(h) => h,
         Err(msg) => {
             eprintln!("cluster worker: {msg}");
             return ExitCode::FAILURE;
         }
     };
-    let engine = Arc::new(Engine::builder(matcher).config(engine_config).build());
+    let engine = Arc::new(
+        Engine::builder_with_dict(dict_handle)
+            .config(engine_config)
+            .build(),
+    );
     let handle = match Server::start_with(engine, "127.0.0.1:0", server, Arc::new(HttpProtocol)) {
         Ok(h) => h,
         Err(e) => {
@@ -259,15 +277,20 @@ enum SlotState {
     },
 }
 
-/// Spawns one worker process and waits for its `READY` handshake.
-fn spawn_worker(config: &ClusterConfig) -> io::Result<WorkerProc> {
+/// Spawns one worker process serving `dict` (`None` = demo
+/// dictionary) and waits for its `READY` handshake. The dictionary is
+/// a parameter — not read from `config` — because a rolling restart
+/// can move the fleet onto a new artifact, and every later respawn
+/// (including the monitor's crash recovery) must load that artifact,
+/// not the one the cluster started with.
+fn spawn_worker(config: &ClusterConfig, dict: Option<&str>) -> io::Result<WorkerProc> {
     let exe = match &config.worker_exe {
         Some(path) => path.clone(),
         None => std::env::current_exe()?,
     };
     let mut cmd = Command::new(exe);
     cmd.arg(WORKER_SENTINEL);
-    if let Some(dict) = &config.dict {
+    if let Some(dict) = dict {
         cmd.args(["--dict", dict]);
     }
     cmd.args(&config.worker_args);
@@ -349,6 +372,11 @@ fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<()> {
 /// child process.
 pub struct Cluster {
     config: ClusterConfig,
+    /// The dictionary artifact every (re)spawned worker loads.
+    /// Starts as `config.dict`; a rolling restart onto a new artifact
+    /// updates it, so the monitor's crash recovery stays on the new
+    /// artifact too. Shared with the monitor thread.
+    dict: Arc<Mutex<Option<String>>>,
     ring: Arc<Ring>,
     slots: Arc<Vec<Mutex<SlotState>>>,
     router: Option<Router>,
@@ -363,9 +391,10 @@ impl Cluster {
     pub fn start(addr: &str, config: ClusterConfig) -> io::Result<Cluster> {
         let n = config.workers.max(1);
         let ring = Arc::new(Ring::new(n, config.replication));
+        let dict = Arc::new(Mutex::new(config.dict.clone()));
         let mut slots = Vec::with_capacity(n);
         for slot in 0..n {
-            let proc = spawn_worker(&config)?;
+            let proc = spawn_worker(&config, config.dict.as_deref())?;
             ring.publish(slot, proc.addr);
             slots.push(Mutex::new(SlotState::Running(proc)));
         }
@@ -379,10 +408,14 @@ impl Cluster {
             let stop = Arc::clone(&stop_monitor);
             let restarts = Arc::clone(&restarts);
             let config = config.clone();
-            std::thread::spawn(move || monitor_loop(&ring, &slots, &stop, &restarts, &config))
+            let dict = Arc::clone(&dict);
+            std::thread::spawn(move || {
+                monitor_loop(&ring, &slots, &stop, &restarts, &config, &dict)
+            })
         };
         Ok(Cluster {
             config,
+            dict,
             ring,
             slots,
             router: Some(router),
@@ -450,6 +483,22 @@ impl Cluster {
     /// every query keeps a live worker throughout. Returns the number
     /// of workers swapped.
     pub fn rolling_restart(&self) -> io::Result<usize> {
+        let dict = self.dict.lock().expect("dict artifact poisoned").clone();
+        self.roll(dict.as_deref())
+    }
+
+    /// [`Cluster::rolling_restart`] onto a *different* dictionary
+    /// artifact (`None` = the demo dictionary): the whole-fleet
+    /// deployment step for a newly compiled artifact. Every
+    /// replacement worker loads `dict`, and the override sticks — the
+    /// monitor's automatic crash recovery respawns with the new
+    /// artifact from here on, never regressing to the old one.
+    pub fn rolling_restart_with_dict(&self, dict: Option<String>) -> io::Result<usize> {
+        *self.dict.lock().expect("dict artifact poisoned") = dict.clone();
+        self.roll(dict.as_deref())
+    }
+
+    fn roll(&self, dict: Option<&str>) -> io::Result<usize> {
         let mut swapped = 0;
         for slot in 0..self.slots.len() {
             // Holding the slot lock keeps the monitor (which only
@@ -465,7 +514,7 @@ impl Cluster {
             {
                 stop_worker(proc, Duration::from_secs(2));
             }
-            let proc = spawn_worker(&self.config)?;
+            let proc = spawn_worker(&self.config, dict)?;
             self.ring.publish(slot, proc.addr);
             *state = SlotState::Running(proc);
             swapped += 1;
@@ -520,6 +569,7 @@ fn monitor_loop(
     stop: &AtomicBool,
     restarts: &AtomicU64,
     config: &ClusterConfig,
+    dict: &Mutex<Option<String>>,
 ) {
     // A worker is declared unhealthy after this many consecutive
     // failed probes — one flaky probe under load must not cost a
@@ -578,7 +628,8 @@ fn monitor_loop(
                         continue;
                     }
                     let failures = *failures;
-                    match spawn_worker(config) {
+                    let artifact = dict.lock().expect("dict artifact poisoned").clone();
+                    match spawn_worker(config, artifact.as_deref()) {
                         Ok(proc) => {
                             ring.publish(index, proc.addr);
                             *state = SlotState::Running(proc);
@@ -626,7 +677,7 @@ mod tests {
         // matcher must survive the round trip (it seeds the smoke
         // test's oracle).
         let tsv = demo_matcher().to_tsv();
-        let back = EntityMatcher::from_tsv(&tsv).expect("parse");
+        let back = DictHandle::from_tsv(&tsv).expect("parse").matcher();
         assert_eq!(back.len(), demo_matcher().len());
         assert!(back.fuzzy_config().is_some(), "fuzzy flag survives");
     }

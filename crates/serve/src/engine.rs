@@ -1,16 +1,17 @@
-//! The serving engine: a swappable matcher behind a sharded result
-//! cache of per-protocol pre-rendered responses.
+//! The serving engine: a live-updatable dictionary behind a sharded
+//! result cache of per-protocol pre-rendered responses.
 //!
 //! [`Engine`] is the layer every network front end calls into — it is
 //! transport-agnostic, which is what lets one engine back a line
 //! server and an HTTP server at once. It owns
 //!
-//! - the current [`EntityMatcher`] as an `Arc` behind an `RwLock` —
-//!   readers clone the handle (no contention beyond the lock word),
-//!   and [`Engine::swap_matcher`] implements the **rebuild-and-swap**
-//!   deployment story for the immutable compiled dictionary: compile a
-//!   new dictionary off-line, swap the `Arc`, and the old one dies with
-//!   its last in-flight batch;
+//! - a [`DictHandle`] — the segmented-dictionary lifecycle handle.
+//!   Resolution pins an epoch snapshot (`Arc` clone, no contention
+//!   beyond a lock word); [`Engine::apply_delta`] publishes a small
+//!   add/override/tombstone delta *live*, without recompiling the
+//!   base artifact, and [`DictHandle::replace_base`] (through
+//!   [`Engine::dict`]) remains the rebuild-and-swap deployment story
+//!   for wholesale artifact changes;
 //! - a [`ShardedCache`] of `normalized query →` [`Rendered`]: the
 //!   spans *and* one pre-serialized response per wire format — the
 //!   line-protocol `OK …` line ([`crate::proto::format_spans`]) and
@@ -23,11 +24,22 @@
 //!   share one entry, and a hit skips normalization's allocation too
 //!   (the `Cow` fast path) on the segmenter side.
 //!
+//! **Cache invalidation follows the dictionary's own granularity.**
+//! Each batch synchronizes the cache with the handle ([`Engine::sync`]
+//! internally): a *lineage* change (new base artifact) wholesale-
+//! invalidates, because nothing cached is trustworthy; a *revision*
+//! advance (delta commits) merely advances the cache generation and
+//! remembers each delta's [`DeltaFootprint`] — cached results whose
+//! keys the footprints provably cannot affect are *promoted* (re-
+//! stamped, served) on their next lookup instead of recomputed, so a
+//! ten-surface delta does not cold-start a four-thousand-entry cache.
+//!
 //! Cached and uncached paths return byte-identical results: the cache
 //! stores exactly what the matcher produced (and the renderings
 //! serialized from it), and generation-checked inserts (see
 //! [`ShardedCache::insert_at`]) make it impossible for a result
-//! computed against a retired dictionary to survive a swap.
+//! computed against a retired dictionary revision to be served at a
+//! newer one.
 
 use crate::cache::{CacheStats, ShardedCache};
 use crate::http;
@@ -35,10 +47,18 @@ use crate::metrics::{as_us, ServeMetrics};
 use crate::proto::format_spans;
 use crate::protocol::Wire;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use websyn_core::{EntityMatcher, MatchScratch, MatchSpan, SegmentRequest};
+use websyn_core::{
+    DeltaFootprint, DictDelta, DictHandle, DictStats, EntityMatcher, MatchScratch, MatchSpan,
+    SegmentRequest,
+};
 use websyn_text::normalized;
+
+/// Most footprints the engine keeps for selective cache promotion.
+/// Entries older than the oldest remembered footprint can no longer be
+/// proven safe and simply stay unpromotable (they age out by LRU).
+const GEN_LOG_CAP: usize = 64;
 
 /// One cached resolution: the spans plus the pre-rendered response in
 /// every wire format the server speaks, produced together on the
@@ -115,7 +135,7 @@ impl Default for EngineConfig {
 /// ```
 #[derive(Debug)]
 pub struct EngineBuilder {
-    matcher: Arc<EntityMatcher>,
+    dict: DictHandle,
     config: EngineConfig,
 }
 
@@ -145,8 +165,8 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         let shards = self.config.cache_shards.max(1);
         let capacity = self.config.cache_capacity.max(shards);
-        Engine::new(
-            self.matcher,
+        Engine::with_dict(
+            self.dict,
             EngineConfig {
                 cache_shards: shards,
                 cache_capacity: capacity,
@@ -168,22 +188,56 @@ pub struct StageTiming {
     pub render_us: u64,
 }
 
-/// A matcher + result cache, shared by every connection and worker —
-/// and by every protocol front end serving the same dictionary.
+/// The engine's view of which dictionary state the cache generation
+/// corresponds to, advanced by [`Engine::sync`] under one mutex so
+/// (matcher, generation, promotion log) snapshots are coherent.
+#[derive(Debug)]
+struct ServedState {
+    /// Last dictionary lineage the cache was synchronized to.
+    lineage: u64,
+    /// Last dictionary revision the cache was synchronized to.
+    revision: u64,
+    /// `(generation the commit landed at, its footprint)`, oldest
+    /// first, shared with in-flight batches as an immutable snapshot.
+    /// A cached entry stamped `g` is promotable to the current
+    /// generation iff `g >= floor` and every log entry with
+    /// generation > `g` has a footprint that cannot affect the key.
+    log: Arc<Vec<(u64, Arc<DeltaFootprint>)>>,
+    /// Entries stamped below this generation predate the log's reach
+    /// (or the last wholesale invalidation) and are never promoted.
+    floor: u64,
+}
+
+/// A live-updatable dictionary + result cache, shared by every
+/// connection and worker — and by every protocol front end serving
+/// the same dictionary.
 #[derive(Debug)]
 pub struct Engine {
-    matcher: RwLock<Arc<EntityMatcher>>,
+    dict: DictHandle,
+    served: Mutex<ServedState>,
     cache: ShardedCache<Rendered>,
     swaps: AtomicU64,
+    deltas: AtomicU64,
     metrics: ServeMetrics,
 }
 
 impl Engine {
     /// Starts building an engine around `matcher` with validated,
-    /// defaulted knobs — the primary constructor.
+    /// defaulted knobs, wrapping it as the base of a fresh
+    /// [`DictHandle`] lineage. To serve a handle you already manage
+    /// (shared with an updater, pre-staged deltas), use
+    /// [`Engine::builder_with_dict`].
     pub fn builder(matcher: Arc<EntityMatcher>) -> EngineBuilder {
+        // EntityMatcher is cheap to clone (Arc-backed internals); the
+        // handle needs ownership to seed its lineage.
+        Self::builder_with_dict(DictHandle::new((*matcher).clone()))
+    }
+
+    /// Starts building an engine that serves (and synchronizes its
+    /// result cache with) an existing dictionary handle.
+    pub fn builder_with_dict(dict: DictHandle) -> EngineBuilder {
         EngineBuilder {
-            matcher,
+            dict,
             config: EngineConfig::default(),
         }
     }
@@ -192,10 +246,24 @@ impl Engine {
     /// sizing. Prefer [`Engine::builder`]; this constructor trusts
     /// `config` as-is (the cache still clamps internally).
     pub fn new(matcher: Arc<EntityMatcher>, config: EngineConfig) -> Self {
+        Self::with_dict(DictHandle::new((*matcher).clone()), config)
+    }
+
+    /// Creates an engine serving `dict` with the given cache sizing.
+    pub fn with_dict(dict: DictHandle, config: EngineConfig) -> Self {
+        let cache = ShardedCache::new(config.cache_shards, config.cache_capacity);
+        let served = ServedState {
+            lineage: dict.lineage(),
+            revision: dict.revision(),
+            log: Arc::new(Vec::new()),
+            floor: cache.generation(),
+        };
         Self {
-            matcher: RwLock::new(matcher),
-            cache: ShardedCache::new(config.cache_shards, config.cache_capacity),
+            dict,
+            served: Mutex::new(served),
+            cache,
             swaps: AtomicU64::new(0),
+            deltas: AtomicU64::new(0),
             metrics: ServeMetrics::new(),
         }
     }
@@ -212,35 +280,142 @@ impl Engine {
         self.metrics.uptime_seconds()
     }
 
-    /// The currently served matcher.
+    /// The dictionary lifecycle handle this engine serves. Changes
+    /// published through it (deltas, compaction, base replacement) are
+    /// picked up — and the result cache synchronized — on the next
+    /// batch; [`Engine::apply_delta`] does both in one step.
+    pub fn dict(&self) -> &DictHandle {
+        &self.dict
+    }
+
+    /// The currently served matcher snapshot.
     pub fn matcher(&self) -> Arc<EntityMatcher> {
-        Arc::clone(&self.matcher.read().expect("matcher lock poisoned"))
+        self.dict.matcher()
     }
 
-    /// An atomic snapshot of (matcher, cache generation): any
-    /// `insert_at` tagged with this generation is guaranteed to carry a
-    /// result computed by this matcher.
-    fn snapshot(&self) -> (Arc<EntityMatcher>, u64) {
-        let guard = self.matcher.read().expect("matcher lock poisoned");
-        let generation = self.cache.generation();
-        (Arc::clone(&guard), generation)
+    /// Dictionary lifecycle counters (segment count, live delta
+    /// sizes, epoch/revision, compactions) for `/stats` and
+    /// `/metrics`.
+    pub fn dict_stats(&self) -> DictStats {
+        self.dict.stats()
     }
 
-    /// Replaces the served matcher — the rebuild-and-swap deployment
-    /// step. The result cache is invalidated *inside* the write
-    /// critical section (generation bump, then sweep), so no request
-    /// can observe new-dictionary cache state with the old matcher or
-    /// vice versa; workers mid-batch keep their old `Arc` and finish
-    /// against the retired dictionary, but their late cache inserts are
-    /// rejected by the generation check.
+    /// Synchronizes the result cache with the dictionary handle and
+    /// returns a coherent `(matcher, generation, floor, log)`
+    /// snapshot: results computed by this matcher may be inserted at
+    /// this generation, and promotion decisions against this log are
+    /// sound for entries at or above this floor.
+    ///
+    /// - lineage change (unrelated base installed): wholesale
+    ///   invalidation — bump + sweep, empty log;
+    /// - revision advance with footprints available: one generation
+    ///   bump covering all new commits, footprints appended to the
+    ///   log (capped at [`GEN_LOG_CAP`], raising the floor);
+    /// - revision advance with footprints unavailable (handle's log
+    ///   ran out): wholesale invalidation.
+    ///
+    /// The cache generation only ever moves under the `served` mutex,
+    /// which is what makes the returned snapshot race-free.
+    #[allow(clippy::type_complexity)]
+    fn sync(
+        &self,
+    ) -> (
+        Arc<EntityMatcher>,
+        u64,
+        u64,
+        Arc<Vec<(u64, Arc<DeltaFootprint>)>>,
+    ) {
+        let mut st = self.served.lock().expect("served state poisoned");
+        let view = self.dict.sync(st.lineage, st.revision);
+        if view.lineage != st.lineage {
+            self.cache.invalidate();
+            self.swaps.fetch_add(1, Ordering::AcqRel);
+            st.lineage = view.lineage;
+            st.revision = view.revision;
+            st.floor = self.cache.generation();
+            st.log = Arc::new(Vec::new());
+        } else if view.revision != st.revision {
+            match view.footprints {
+                Some(fps) if !fps.is_empty() => {
+                    let generation = self.cache.advance_generation();
+                    let mut log: Vec<_> = (*st.log).clone();
+                    log.extend(fps.into_iter().map(|fp| (generation, fp)));
+                    while log.len() > GEN_LOG_CAP {
+                        let (gen, _) = log.remove(0);
+                        // Entries stamped before the dropped footprint
+                        // can no longer be proven safe.
+                        st.floor = st.floor.max(gen);
+                    }
+                    st.log = Arc::new(log);
+                }
+                Some(_) => {}
+                None => {
+                    self.cache.invalidate();
+                    st.floor = self.cache.generation();
+                    st.log = Arc::new(Vec::new());
+                }
+            }
+            st.revision = view.revision;
+        }
+        (
+            view.matcher,
+            self.cache.generation(),
+            st.floor,
+            Arc::clone(&st.log),
+        )
+    }
+
+    /// Stages and publishes `delta` through the handle, then
+    /// synchronizes the result cache (selectively, via the delta's
+    /// footprint) so the very next request is served against the new
+    /// surface set — no restart, no base recompile, no wholesale cache
+    /// flush. Returns the post-apply lifecycle counters.
+    pub fn apply_delta(&self, delta: DictDelta) -> DictStats {
+        self.dict.apply(delta);
+        self.deltas.fetch_add(1, Ordering::AcqRel);
+        self.sync();
+        self.dict.stats()
+    }
+
+    /// [`Engine::apply_delta`] from the delta TSV wire format
+    /// ([`DictDelta::parse_tsv`]: `surface\tentity` upserts,
+    /// `surface\t-` tombstones). Returns the delta's op count plus the
+    /// post-apply lifecycle counters — everything a protocol needs to
+    /// acknowledge the update.
+    ///
+    /// # Errors
+    /// Returns the parse error verbatim; nothing is applied.
+    pub fn apply_delta_tsv(&self, tsv: &str) -> websyn_common::Result<(usize, DictStats)> {
+        let delta = DictDelta::parse_tsv(tsv)?;
+        let applied = delta.len();
+        Ok((applied, self.apply_delta(delta)))
+    }
+
+    /// Number of deltas applied through [`Engine::apply_delta`].
+    pub fn deltas(&self) -> u64 {
+        self.deltas.load(Ordering::Acquire)
+    }
+
+    /// Replaces the served dictionary wholesale — the legacy
+    /// rebuild-and-swap deployment step, now a thin wrapper over
+    /// [`DictHandle::replace_base`] plus an immediate cache
+    /// synchronization (which wholesale-invalidates, since a new
+    /// lineage shares nothing with the old). Workers mid-batch keep
+    /// their old snapshot and finish against the retired dictionary,
+    /// but their late cache inserts are rejected by the generation
+    /// check.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::dict().replace_base(..) for artifact swaps, \
+                or Engine::apply_delta(..) for incremental updates"
+    )]
     pub fn swap_matcher(&self, new: Arc<EntityMatcher>) {
-        let mut guard = self.matcher.write().expect("matcher lock poisoned");
-        self.cache.invalidate();
-        *guard = new;
-        self.swaps.fetch_add(1, Ordering::AcqRel);
+        self.dict.replace_base((*new).clone());
+        self.sync();
     }
 
-    /// Number of completed [`Engine::swap_matcher`] calls.
+    /// Number of completed lineage replacements (base swaps) observed
+    /// by this engine's cache synchronization.
     pub fn swaps(&self) -> u64 {
         self.swaps.load(Ordering::Acquire)
     }
@@ -307,19 +482,30 @@ impl Engine {
         queries: &[S],
         mut timings: Option<&mut Vec<StageTiming>>,
     ) -> Vec<Rendered> {
-        let (matcher, generation) = self.snapshot();
+        let (matcher, generation, floor, log) = self.sync();
         let mut scratch = MatchScratch::new();
         queries
             .iter()
             .map(|query| {
                 let probe_start = Instant::now();
                 let normalized = normalized(query.as_ref());
-                // Generation-checked lookup: if a swap landed
-                // mid-batch, a plain hit could carry new-dictionary
-                // spans and mix two dictionaries within one batch —
-                // `get_at` rejects (and counts a miss) instead, and
-                // the query is recomputed against the snapshot.
-                let probe = self.cache.get_at(generation, &normalized);
+                // Generation-checked lookup: if a dictionary change
+                // landed mid-batch, a plain hit could carry
+                // new-dictionary spans and mix two revisions within
+                // one batch — the generation check rejects (and
+                // counts a miss) instead, and the query is recomputed
+                // against the snapshot. An entry stamped at an older
+                // generation of the *same* lineage is promoted when
+                // every intervening delta's footprint provably leaves
+                // this key's result unchanged.
+                let probe = self
+                    .cache
+                    .get_at_or_promote(generation, &normalized, |key, stamp| {
+                        stamp >= floor
+                            && log
+                                .iter()
+                                .all(|(gen, fp)| *gen <= stamp || !fp.affects_query(key))
+                    });
                 let cache_us = as_us(probe_start.elapsed());
                 self.metrics.cache_lookup.record(cache_us);
                 if let Some(hit) = probe {
@@ -368,9 +554,10 @@ impl Engine {
 
     /// Window-cache counters of the currently served matcher, when one
     /// is attached ([`websyn_core::EntityMatcher::with_window_cache`]).
-    /// Unlike the result cache these survive a
-    /// [`Engine::swap_matcher`] only if the new matcher shares the old
-    /// cache ([`websyn_core::EntityMatcher::with_shared_window_cache`]).
+    /// Unlike the result cache these survive a base replacement only
+    /// if the new matcher shares the old cache
+    /// ([`websyn_core::EntityMatcher::with_shared_window_cache`]);
+    /// delta commits keep the cache and invalidate by generation.
     pub fn window_cache_stats(&self) -> Option<websyn_core::WindowCacheStats> {
         self.matcher().window_cache().map(|c| c.stats())
     }
@@ -452,6 +639,8 @@ mod tests {
     }
 
     #[test]
+    // Pins the deprecated shim's contract on purpose.
+    #[allow(deprecated)]
     fn swap_invalidates_and_serves_the_new_dictionary() {
         let e = small_engine();
         // Warm the cache with the old dictionary.
@@ -493,6 +682,8 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated shim's post-swap coherence on purpose.
+    #[allow(deprecated)]
     fn cached_renderings_are_byte_identical_per_wire() {
         let e = small_engine();
         let m = e.matcher();
@@ -531,6 +722,73 @@ mod tests {
             &*e.resolve_rendered_batch(&["indy 4"]).remove(0).http,
             http::response(200, "OK", &http::spans_json(&new.segment("indy 4")))
         );
+    }
+
+    #[test]
+    fn delta_is_served_live_without_restart_or_base_recompile() {
+        let e = small_engine();
+        assert!(e.resolve("starwars kid").is_empty());
+        let mut delta = DictDelta::new();
+        delta.upsert("starwars kid", EntityId::new(9));
+        let stats = e.apply_delta(delta);
+        assert_eq!(stats.segments, 1, "published as a segment, not a rebuild");
+        assert_eq!(e.deltas(), 1);
+        assert_eq!(e.swaps(), 0, "a delta is not a lineage change");
+        // Served immediately — exact and fuzzy — with no swap.
+        let spans = e.resolve("starwars kid");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].entity, EntityId::new(9));
+        let fuzzy = e.resolve("starwrs kid");
+        assert_eq!(fuzzy.len(), 1, "fuzzy path sees the delta too");
+        assert_eq!(fuzzy[0].entity, EntityId::new(9));
+        // The TSV wire form feeds the same path.
+        e.apply_delta_tsv("starwars kid\t-\n").unwrap();
+        assert!(e.resolve("starwars kid").is_empty(), "tombstone applied");
+        assert!(
+            e.apply_delta_tsv("broken row with no tab\n").is_err(),
+            "parse errors apply nothing"
+        );
+    }
+
+    #[test]
+    fn delta_promotes_unaffected_cache_entries_instead_of_flushing() {
+        let e = small_engine();
+        // Warm two entries: one far from the delta, one it overrides.
+        assert_eq!(e.resolve("madagascar 2")[0].entity, EntityId::new(1));
+        assert_eq!(e.resolve("indy 4")[0].entity, EntityId::new(0));
+        let before = e.cache_stats();
+        assert_eq!(before.entries, 2);
+        let mut delta = DictDelta::new();
+        delta.upsert("indy 4", EntityId::new(77));
+        e.apply_delta(delta);
+        // The overridden key re-resolves against the new surface set…
+        assert_eq!(e.resolve("indy 4")[0].entity, EntityId::new(77));
+        // …while the unaffected key is promoted, not recomputed: its
+        // warm lookup is a hit and no wholesale invalidation happened.
+        assert_eq!(e.resolve("madagascar 2")[0].entity, EntityId::new(1));
+        let after = e.cache_stats();
+        assert_eq!(after.invalidations, before.invalidations);
+        assert_eq!(after.promotions, 1, "exactly the unaffected key");
+        assert_eq!(
+            after.misses,
+            before.misses + 1,
+            "only the overridden key missed"
+        );
+    }
+
+    #[test]
+    fn engine_tracks_deltas_applied_directly_to_the_handle() {
+        // An updater holding the DictHandle (not the engine) publishes
+        // a delta; the engine's next batch must pick it up and keep
+        // the cache coherent.
+        let e = small_engine();
+        assert_eq!(e.resolve("indy 4")[0].entity, EntityId::new(0));
+        let handle = e.dict().clone();
+        let mut delta = DictDelta::new();
+        delta.upsert("indy 4", EntityId::new(5));
+        handle.apply(delta);
+        assert_eq!(e.resolve("indy 4")[0].entity, EntityId::new(5));
+        assert_eq!(e.dict_stats().revision, 1);
     }
 
     #[test]

@@ -11,7 +11,18 @@
 //! GET /stats                             → 200, JSON cache statistics
 //! GET /metrics                           → 200, Prometheus text exposition
 //! GET /debug/slow                        → 200, JSON slow-query trace
+//! POST /admin/dict/delta                 → 200, JSON delta acknowledgement
 //! ```
+//!
+//! `POST /admin/dict/delta` is the live-update control plane: the
+//! request body is a `Content-Length`-framed dictionary delta TSV
+//! ([`websyn_core::DictDelta::parse_tsv`] — `surface TAB entity`
+//! upserts, `surface TAB -` tombstones, newline-separated), applied to
+//! the serving dictionary *before* the 200 is written — no restart, no
+//! base recompile. Bodies should be newline-terminated; a final
+//! unterminated row is accepted only when `Content-Length` ends
+//! exactly at it. An unparseable delta answers `400` and applies
+//! nothing.
 //!
 //! The 200 response body for `/match` is
 //!
@@ -46,10 +57,11 @@
 //! in the `&`-separated query string (`/match?verbose=1&q=a`); a
 //! duplicated `q` is ambiguous and answered `400`, as is any broken
 //! percent escape. Deliberately out of scope:
-//! request bodies (a GET with `Content-Length`/`Transfer-Encoding` is
-//! answered `400` and the connection dropped, since the body would
-//! desynchronize request framing), chunked encoding, TLS, and
-//! multiplexed HTTP/2 — the serving stack stays std-only.
+//! request bodies anywhere but `POST /admin/dict/delta` (a GET with
+//! `Content-Length`/`Transfer-Encoding` is answered `400` and the
+//! connection dropped, since the body would desynchronize request
+//! framing), chunked encoding, TLS, and multiplexed HTTP/2 — the
+//! serving stack stays std-only.
 //!
 //! Responses do not emit a `Connection` header: for HTTP/1.1 the
 //! absence means keep-alive, and a close-marked exchange is terminated
@@ -60,7 +72,7 @@ use crate::cache::CacheStats;
 use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
 use std::io::{self, BufRead};
 use std::sync::Arc;
-use websyn_core::{MatchSpan, WindowCacheStats};
+use websyn_core::{DictStats, MatchSpan, WindowCacheStats};
 
 /// Renders a complete HTTP/1.1 response: status line, headers, body.
 /// Every websyn response is `Content-Length`-framed JSON — except the
@@ -133,11 +145,12 @@ pub fn stats_json(
     stats: &CacheStats,
     swaps: u64,
     window: Option<WindowCacheStats>,
+    dict: DictStats,
     uptime_seconds: u64,
 ) -> String {
     let window = window.unwrap_or_default();
     format!(
-        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{},\"window_hits\":{},\"window_misses\":{},\"uptime_seconds\":{}}}",
+        "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"entries\":{},\"evictions\":{},\"swaps\":{},\"window_hits\":{},\"window_misses\":{},\"segments\":{},\"delta_upserts\":{},\"delta_tombstones\":{},\"epoch\":{},\"compactions\":{},\"uptime_seconds\":{}}}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
@@ -146,7 +159,30 @@ pub fn stats_json(
         swaps,
         window.hits,
         window.misses,
+        dict.segments,
+        dict.delta_upserts,
+        dict.delta_tombstones,
+        dict.epoch,
+        dict.compactions,
         uptime_seconds,
+    )
+}
+
+/// Serializes a dictionary-delta acknowledgement as the
+/// `POST /admin/dict/delta` 200 body — the HTTP counterpart of
+/// [`crate::proto::format_dict_delta`]: how many ops the delta
+/// carried, plus where the applied delta left the dictionary
+/// lifecycle.
+pub fn dict_delta_json(applied: usize, dict: &DictStats) -> String {
+    format!(
+        "{{\"applied\":{},\"segments\":{},\"delta_upserts\":{},\"delta_tombstones\":{},\"epoch\":{},\"revision\":{},\"compactions\":{}}}",
+        applied,
+        dict.segments,
+        dict.delta_upserts,
+        dict.delta_tombstones,
+        dict.epoch,
+        dict.revision,
+        dict.compactions,
     )
 }
 
@@ -255,6 +291,15 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String)> {
 /// hold a request open forever.
 const MAX_HEADER_LINES: usize = 100;
 
+/// Upper bound on a `POST /admin/dict/delta` body. Deltas are
+/// incremental by design — a payload near this size should be a new
+/// base artifact rolled via the cluster instead; beyond it the request
+/// is answered `431` and the connection dropped (the body is unread).
+const MAX_DELTA_BODY_BYTES: usize = 4 << 20;
+
+/// The one endpoint that accepts a request body.
+const DELTA_PATH: &str = "/admin/dict/delta";
+
 /// The HTTP/1.1 transport, as a [`Protocol`] implementation. See the
 /// module docs for the endpoint map and error mapping.
 #[derive(Debug, Clone, Copy, Default)]
@@ -295,9 +340,21 @@ impl Protocol for HttpProtocol {
         stats: &CacheStats,
         swaps: u64,
         window: Option<WindowCacheStats>,
+        dict: DictStats,
         uptime_seconds: u64,
     ) -> Arc<str> {
-        Arc::from(response(200, "OK", &stats_json(stats, swaps, window, uptime_seconds)).as_str())
+        Arc::from(
+            response(
+                200,
+                "OK",
+                &stats_json(stats, swaps, window, dict, uptime_seconds),
+            )
+            .as_str(),
+        )
+    }
+
+    fn render_dict_delta(&self, applied: usize, dict: &DictStats) -> Arc<str> {
+        Arc::from(response(200, "OK", &dict_delta_json(applied, dict)).as_str())
     }
 
     fn render_metrics(&self, body: &str) -> Arc<str> {
@@ -326,6 +383,16 @@ struct HttpParser {
     bad: Option<Reject>,
     /// A reject that also loses framing — answered immediately.
     fatal: bool,
+    /// The request is `POST /admin/dict/delta`: the one shape allowed
+    /// to announce a body.
+    delta_post: bool,
+    /// The announced `Content-Length` of a delta post.
+    content_length: usize,
+    /// Body bytes still owed once the head has ended; `> 0` means the
+    /// parser is in body mode and lines are body rows, not headers.
+    body_remaining: usize,
+    /// Accumulated body rows (newlines restored between them).
+    body: String,
 }
 
 impl HttpParser {
@@ -340,7 +407,7 @@ impl HttpParser {
                 // A body we will not read desynchronizes framing, so
                 // `bad` rejects close; pure method/endpoint errors
                 // kept framing and honor keep-alive.
-                close: close || reject == Reject::Malformed,
+                close: close || reject == Reject::Malformed || reject == Reject::TooLarge,
             });
         }
         Some(route(&target?, close))
@@ -401,6 +468,12 @@ fn route(target: &str, close: bool) -> Request {
         "/stats" => Request::Stats { close },
         "/metrics" => Request::Metrics { close },
         "/debug/slow" => Request::DebugSlow { close },
+        // The delta endpoint is POST-only (it mutates the dictionary);
+        // a GET that reaches routing used the wrong method.
+        DELTA_PATH => Request::Reject {
+            reject: Reject::Method,
+            close,
+        },
         _ => Request::Reject {
             reject: Reject::NotFound,
             close,
@@ -414,6 +487,37 @@ impl RequestParser for HttpParser {
             // Framing is gone; the connection is being torn down.
             return None;
         }
+
+        if self.body_remaining > 0 {
+            // Body mode: `raw` is a delta row, counted against
+            // Content-Length with the newline the connection layer
+            // stripped (`+ 1`).
+            let consumed = raw.len() + 1;
+            if consumed < self.body_remaining {
+                self.body.push_str(&String::from_utf8_lossy(raw));
+                self.body.push('\n');
+                self.body_remaining -= consumed;
+                return None;
+            }
+            // Complete: either the newline lands exactly on the
+            // announced length, or the length ends at the row itself —
+            // a final unterminated row (e.g. `curl --data` without a
+            // trailing newline, or a body flushed at EOF).
+            if consumed == self.body_remaining || raw.len() == self.body_remaining {
+                self.body.push_str(&String::from_utf8_lossy(raw));
+                if consumed == self.body_remaining {
+                    self.body.push('\n');
+                }
+                let body = std::mem::take(&mut self.body);
+                let close = self.close;
+                *self = Self::default();
+                return Some(Request::DictDelta { body, close });
+            }
+            // The announced length ends mid-row: whatever follows
+            // cannot be re-framed as a request line.
+            return self.fatal();
+        }
+
         let line = String::from_utf8_lossy(raw);
         let line = line.trim_end_matches('\r');
 
@@ -437,15 +541,32 @@ impl RequestParser for HttpParser {
             if !target.starts_with('/') {
                 return self.fatal();
             }
-            if method != "GET" {
-                self.bad = Some(Reject::Method);
+            match method {
+                "GET" => {}
+                // The delta endpoint is the one POST target; its body
+                // is Content-Length framed, so framing holds.
+                "POST" if target == DELTA_PATH => self.delta_post = true,
+                _ => self.bad = Some(Reject::Method),
             }
             self.target = Some(target.to_string());
             return None;
         }
 
         if line.is_empty() {
-            // End of head: the request is complete.
+            // End of head: the request is complete — except a clean
+            // delta post, which still owes its body.
+            if self.delta_post && self.bad.is_none() {
+                if self.content_length == 0 {
+                    let close = self.close;
+                    *self = Self::default();
+                    return Some(Request::DictDelta {
+                        body: String::new(),
+                        close,
+                    });
+                }
+                self.body_remaining = self.content_length;
+                return None;
+            }
             return self.reset();
         }
 
@@ -469,6 +590,14 @@ impl RequestParser for HttpParser {
                     }
                 }
             }
+            // A delta post's body is read against Content-Length; an
+            // unparseable or oversized length cannot be skipped past,
+            // so those lose framing.
+            "content-length" if self.delta_post => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_DELTA_BODY_BYTES => self.content_length = n,
+                Ok(_) => self.bad = Some(Reject::TooLarge),
+                Err(_) => return self.fatal(),
+            },
             // Any announced body would desynchronize GET framing: we
             // would parse body bytes as the next request line. Refuse.
             "content-length" if value != "0" => self.bad = Some(Reject::Malformed),
@@ -601,6 +730,135 @@ mod tests {
             feed(
                 &mut p,
                 &["POST /match?q=a HTTP/1.1", "Content-Length: 5", ""],
+            ),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn post_delta_frames_a_content_length_body() {
+        // Two rows, newline-terminated: Content-Length covers the
+        // bytes exactly.
+        let mut p = HttpProtocol.parser();
+        let body = "indy five\t7\nold name\t-\n";
+        let head = format!("Content-Length: {}", body.len());
+        let got = feed(
+            &mut p,
+            &[
+                "POST /admin/dict/delta HTTP/1.1",
+                &head,
+                "",
+                "indy five\t7",
+                "old name\t-",
+            ],
+        );
+        assert_eq!(
+            got,
+            vec![Request::DictDelta {
+                body: body.to_string(),
+                close: false,
+            }]
+        );
+        // Keep-alive: the same parser frames the next request.
+        let got = feed(&mut p, &["GET /stats HTTP/1.1", ""]);
+        assert_eq!(got, vec![Request::Stats { close: false }]);
+    }
+
+    #[test]
+    fn post_delta_accepts_a_final_unterminated_row() {
+        // Content-Length ends exactly at the row (no trailing \n) —
+        // the `curl --data` shape.
+        let mut p = HttpProtocol.parser();
+        let got = feed(
+            &mut p,
+            &[
+                "POST /admin/dict/delta HTTP/1.1",
+                "Content-Length: 7",
+                "",
+                "indy\t42",
+            ],
+        );
+        assert_eq!(
+            got,
+            vec![Request::DictDelta {
+                body: "indy\t42".to_string(),
+                close: false,
+            }]
+        );
+        // Keep-alive holds: the consumed newline was the terminator of
+        // the unterminated row, so the next request frames cleanly.
+        assert_eq!(
+            feed(&mut p, &["GET /stats HTTP/1.1", ""]),
+            vec![Request::Stats { close: false }]
+        );
+    }
+
+    #[test]
+    fn post_delta_edge_cases_keep_or_lose_framing_correctly() {
+        // Empty delta (Content-Length absent or 0): answered at the
+        // blank line with an empty body.
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(&mut p, &["POST /admin/dict/delta HTTP/1.1", ""]),
+            vec![Request::DictDelta {
+                body: String::new(),
+                close: false,
+            }]
+        );
+        // GET on the delta endpoint: wrong method, keep-alive holds.
+        assert_eq!(
+            feed(&mut p, &["GET /admin/dict/delta HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::Method,
+                close: false,
+            }]
+        );
+        // POST anywhere else is still an unsupported method.
+        assert_eq!(
+            feed(&mut p, &["POST /stats HTTP/1.1", ""]),
+            vec![Request::Reject {
+                reject: Reject::Method,
+                close: false,
+            }]
+        );
+        // A length that ends mid-row loses framing: fatal 400 + close,
+        // and the parser goes silent.
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(
+                &mut p,
+                &[
+                    "POST /admin/dict/delta HTTP/1.1",
+                    "Content-Length: 3",
+                    "",
+                    "a\tlonger than three",
+                ],
+            ),
+            vec![Request::Reject {
+                reject: Reject::Malformed,
+                close: true,
+            }]
+        );
+        assert_eq!(p.on_line(b"GET /stats HTTP/1.1"), None);
+        // An oversized announced body is refused without reading it.
+        let mut p = HttpProtocol.parser();
+        let huge = format!("Content-Length: {}", MAX_DELTA_BODY_BYTES + 1);
+        assert_eq!(
+            feed(&mut p, &["POST /admin/dict/delta HTTP/1.1", &huge, ""]),
+            vec![Request::Reject {
+                reject: Reject::TooLarge,
+                close: true,
+            }]
+        );
+        // A non-numeric length cannot be skipped past: fatal.
+        let mut p = HttpProtocol.parser();
+        assert_eq!(
+            feed(
+                &mut p,
+                &["POST /admin/dict/delta HTTP/1.1", "Content-Length: zz"],
             ),
             vec![Request::Reject {
                 reject: Reject::Malformed,
@@ -792,10 +1050,40 @@ mod tests {
                 "{reject:?} → {r}"
             );
         }
-        let stats = proto.render_stats(&CacheStats::default(), 2, None, 5);
+        let dict = DictStats {
+            segments: 2,
+            delta_upserts: 5,
+            delta_tombstones: 1,
+            epoch: 3,
+            compactions: 4,
+            ..DictStats::default()
+        };
+        let stats = proto.render_stats(&CacheStats::default(), 2, None, dict, 5);
         assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(stats.contains("\"swaps\":2"));
-        assert!(stats.ends_with("\"window_hits\":0,\"window_misses\":0,\"uptime_seconds\":5}"));
+        assert!(stats.ends_with(
+            "\"window_hits\":0,\"window_misses\":0,\"segments\":2,\"delta_upserts\":5,\
+             \"delta_tombstones\":1,\"epoch\":3,\"compactions\":4,\"uptime_seconds\":5}"
+        ));
+    }
+
+    #[test]
+    fn dict_delta_render_reports_the_lifecycle_position() {
+        let dict = DictStats {
+            segments: 3,
+            delta_upserts: 7,
+            delta_tombstones: 2,
+            epoch: 1,
+            revision: 9,
+            compactions: 0,
+            ..DictStats::default()
+        };
+        let ack = HttpProtocol.render_dict_delta(4, &dict);
+        assert!(ack.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(ack.ends_with(
+            "{\"applied\":4,\"segments\":3,\"delta_upserts\":7,\"delta_tombstones\":2,\
+             \"epoch\":1,\"revision\":9,\"compactions\":0}"
+        ));
     }
 
     #[test]

@@ -5,11 +5,17 @@
 //! paper's fuzzy segmenter is meant to sit on a live web-query path;
 //! this crate puts it there:
 //!
-//! - [`Engine`] — the swappable matcher behind a [`ShardedCache`] of
-//!   pre-rendered results ([`Rendered`]: spans + one serialized
-//!   response per wire format), implementing the rebuild-and-swap
-//!   deployment story for the immutable compiled dictionary
-//!   ([`Engine::swap_matcher`]). Built with [`Engine::builder`].
+//! - [`Engine`] — a live dictionary ([`websyn_core::DictHandle`])
+//!   behind a [`ShardedCache`] of pre-rendered results ([`Rendered`]:
+//!   spans + one serialized response per wire format). Dictionary
+//!   updates arrive as deltas ([`Engine::apply_delta`], wired to
+//!   `POST /admin/dict/delta` and the `#dict` line verb) and are
+//!   served immediately — no restart, no base recompile, and the
+//!   result cache invalidates selectively against the delta's
+//!   footprint instead of flushing wholesale. The legacy
+//!   rebuild-and-swap path survives as a deprecated shim
+//!   (`Engine::swap_matcher`). Built with [`Engine::builder_with_dict`]
+//!   (or [`Engine::builder`] from a bare matcher).
 //! - [`Server`] — a transport-agnostic TCP front end with pipelining,
 //!   in-order responses, batch aggregation, a worker pool, bounded
 //!   queueing with explicit backpressure, and graceful shutdown. Tuned
@@ -25,7 +31,10 @@
 //! - [`Cluster`] / [`Router`] — multi-process serving: a worker fleet
 //!   of independent engines behind a hash-partitioning HTTP router
 //!   ([`router`]), supervised with health probes, backoff restarts and
-//!   zero-downtime rolling rebuilds ([`cluster`]).
+//!   zero-downtime rolling rebuilds ([`cluster`]). The router fans
+//!   dictionary deltas out to the whole fleet, and
+//!   [`Cluster::rolling_restart_with_dict`] rolls every worker onto a
+//!   new dictionary artifact with zero downtime.
 //! - [`metrics`] — the observability layer (built on [`websyn_obs`]):
 //!   per-stage pipeline histograms ([`ServeMetrics`]), the bounded
 //!   slow-query trace ([`SlowEntry`], `GET /debug/slow`), per-class
@@ -113,9 +122,12 @@ mod server;
 pub use cache::{CacheStats, ShardedCache};
 pub use cluster::{run_worker_if_flagged, Cluster, ClusterConfig, WORKER_SENTINEL};
 pub use engine::{Engine, EngineBuilder, EngineConfig, Rendered, StageTiming};
+// The dictionary-lifecycle vocabulary Engine speaks, re-exported so
+// serving code needs no separate websyn_core import for it.
 pub use http::HttpProtocol;
 pub use metrics::{ServeMetrics, SlowEntry};
 pub use proto::{format_spans, format_stats, LineProtocol};
 pub use protocol::{Protocol, Reject, Request, RequestParser, Wire};
 pub use router::{Ring, Router, RouterConfig};
 pub use server::{ServeConfig, Server, ServerConfig, ServerConfigBuilder, ServerHandle};
+pub use websyn_core::{DictDelta, DictHandle, DictStats};

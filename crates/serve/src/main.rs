@@ -26,8 +26,8 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use websyn_core::EntityMatcher;
-use websyn_serve::cluster::{load_matcher, run_worker_if_flagged, Cluster, ClusterConfig};
+use websyn_core::DictHandle;
+use websyn_serve::cluster::{load_dict, run_worker_if_flagged, Cluster, ClusterConfig};
 use websyn_serve::{http, Engine, EngineConfig, HttpProtocol, Protocol, Server, ServerConfig};
 
 /// Parsed command line.
@@ -120,30 +120,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let matcher = match load_matcher(args.dict.as_deref()) {
-        Ok(m) => m,
+    let dict = match load_dict(args.dict.as_deref()) {
+        Ok(d) => d,
         Err(msg) => {
             eprintln!("websyn-serve: {msg}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "websyn-serve: {} surfaces, fuzzy {}",
-        matcher.len(),
-        if matcher.fuzzy_config().is_some() {
-            "on"
-        } else {
-            "off"
-        }
-    );
-    let matcher = Arc::new(matcher);
+    {
+        let matcher = dict.matcher();
+        eprintln!(
+            "websyn-serve: {} surfaces, fuzzy {}",
+            matcher.len(),
+            if matcher.fuzzy_config().is_some() {
+                "on"
+            } else {
+                "off"
+            }
+        );
+    }
 
     if args.smoke {
         // The smoke test always exercises both protocols — they share
         // the machinery, so both must pass regardless of which one the
-        // binary would serve.
-        let result = smoke_line(engine(&matcher, args.engine), args.server)
-            .and_then(|()| smoke_http(engine(&matcher, args.engine), args.server));
+        // binary would serve. Each gets its own handle (and so its own
+        // delta lifecycle) over the same loaded base dictionary.
+        let fresh = || DictHandle::new((*dict.matcher()).clone());
+        let result = smoke_line(engine(&fresh(), args.engine), args.server)
+            .and_then(|()| smoke_http(engine(&fresh(), args.engine), args.server));
         return match result {
             Ok(()) => {
                 println!("websyn-serve: smoke ok (line + http)");
@@ -191,7 +195,7 @@ fn main() -> ExitCode {
         Arc::new(websyn_serve::LineProtocol)
     };
     let server = match Server::start_with(
-        engine(&matcher, args.engine),
+        engine(&dict, args.engine),
         args.addr.as_str(),
         args.server,
         Arc::clone(&protocol),
@@ -214,8 +218,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn engine(matcher: &Arc<EntityMatcher>, config: EngineConfig) -> Arc<Engine> {
-    Arc::new(Engine::builder(Arc::clone(matcher)).config(config).build())
+fn engine(dict: &DictHandle, config: EngineConfig) -> Arc<Engine> {
+    // The handle is shared, not copied: deltas applied through the
+    // admin surface are visible to every engine built from it.
+    Arc::new(
+        Engine::builder_with_dict(dict.clone())
+            .config(config)
+            .build(),
+    )
 }
 
 /// The per-worker tuning flags of a `--cluster` run, forwarded to each
@@ -319,6 +329,26 @@ fn smoke_line(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
         let slow = ask(&mut conn, &mut reader, "#slow")?;
         if !slow.starts_with("SLOW\t{\"threshold_us\":") || !slow.ends_with("]}") {
             return Err(format!("slow: unexpected response {slow:?}"));
+        }
+        // Live dictionary update over the wire: the #dict verb carries
+        // a delta (rows folded onto tabs) and the new surface must
+        // resolve on the very next request — no restart.
+        let before = ask(&mut conn, &mut reader, "starwars kid dance")?;
+        if before != "OK" {
+            return Err(format!("dict pre-delta: unexpected response {before:?}"));
+        }
+        let ack = ask(&mut conn, &mut reader, "#dict\tstarwars kid\t901")?;
+        if !ack.starts_with("DICT\tapplied=1\tsegments=") {
+            return Err(format!("dict: unexpected ack {ack:?}"));
+        }
+        let after = ask(&mut conn, &mut reader, "starwars kid dance")?;
+        if after != "OK\t0,2,901,0,starwars kid" {
+            return Err(format!("dict post-delta: unexpected response {after:?}"));
+        }
+        // And the stats line reports the lifecycle position.
+        let stats = ask(&mut conn, &mut reader, "#stats")?;
+        if !stats.contains("\tsegments=1\t") || !stats.contains("\tdelta_upserts=1\t") {
+            return Err(format!("dict stats: lifecycle missing in {stats:?}"));
         }
     }
     // The sequential repeat of "350d" must have hit the cache.
@@ -434,6 +464,42 @@ fn smoke_http(engine: Arc<Engine>, config: ServerConfig) -> Result<(), String> {
         let bad = get(&mut conn, &mut reader, "/match")?;
         if bad.0 != 400 {
             return Err(format!("http 400: unexpected response {bad:?}"));
+        }
+        // Live dictionary update through the admin endpoint: POST the
+        // delta, then resolve the new surface on the same connection —
+        // applied before the 200 was written, no restart.
+        let before = ask(&mut conn, &mut reader, "starwars kid dance")?;
+        if before != (200, "{\"spans\":[]}".to_string()) {
+            return Err(format!("http pre-delta: unexpected response {before:?}"));
+        }
+        let delta = "starwars kid\t901\n";
+        write!(
+            conn,
+            "POST /admin/dict/delta HTTP/1.1\r\nContent-Length: {}\r\n\r\n{delta}",
+            delta.len()
+        )
+        .map_err(io_err)?;
+        let (status, ack) = http::read_response(&mut reader).map_err(io_err)?;
+        if status != 200 || !ack.starts_with("{\"applied\":1,\"segments\":") {
+            return Err(format!("http dict: unexpected ack {status} {ack:?}"));
+        }
+        let after = ask(&mut conn, &mut reader, "starwars kid dance")?;
+        if after.0 != 200 || !after.1.contains("\"entity\":901") {
+            return Err(format!("http post-delta: unexpected response {after:?}"));
+        }
+        // The stats body and the metrics exposition both report the
+        // lifecycle position.
+        let (_, stats) = get(&mut conn, &mut reader, "/stats")?;
+        if !stats.contains("\"segments\":1,\"delta_upserts\":1") {
+            return Err(format!("http dict stats: lifecycle missing in {stats:?}"));
+        }
+        let (_, metrics) = get(&mut conn, &mut reader, "/metrics")?;
+        if !metrics.contains("websyn_dict_segments 1")
+            || !metrics.contains("websyn_deltas_applied_total 1")
+        {
+            return Err(format!(
+                "http dict metrics: lifecycle missing in {metrics:?}"
+            ));
         }
         // The JSON body and the line rendering must describe the same
         // spans (shared cache entry, rendered together).

@@ -26,9 +26,12 @@
 //! window pruning, resolution-ladder rungs, candidate funnel), the
 //! distance-kernel dispatch split
 //! ([`websyn_text::kernel_dispatch_stats`]), result/window cache
-//! counters, per-class reject counters and process uptime. All values
-//! are integers, so a router merging worker snapshots under
-//! `worker="N"` labels loses nothing.
+//! counters (including selective-invalidation promotions), the
+//! dictionary lifecycle (`websyn_dict_*`: segment count, live delta
+//! sizes, epoch/revision, compactions, deltas applied), per-class
+//! reject counters and process uptime. All values are integers, so a
+//! router merging worker snapshots under `worker="N"` labels loses
+//! nothing.
 
 use crate::cache::CacheStats;
 use crate::engine::Engine;
@@ -297,8 +300,35 @@ pub fn prometheus_text(engine: &Engine) -> String {
         ("websyn_cache_hits_total", "counter", cache.hits),
         ("websyn_cache_misses_total", "counter", cache.misses),
         ("websyn_cache_evictions_total", "counter", cache.evictions),
+        ("websyn_cache_promotions_total", "counter", cache.promotions),
         ("websyn_cache_entries", "gauge", cache.entries as u64),
         ("websyn_swaps_total", "counter", engine.swaps()),
+    ] {
+        prometheus::write_type(&mut out, name, kind);
+        prometheus::write_series(&mut out, name, "", value);
+    }
+
+    // Dictionary lifecycle: where the served dictionary sits in its
+    // base → deltas → compaction cycle, and how many live updates the
+    // engine has absorbed.
+    let dict = engine.dict_stats();
+    for (name, kind, value) in [
+        ("websyn_dict_surfaces", "gauge", dict.surfaces as u64),
+        ("websyn_dict_segments", "gauge", dict.segments as u64),
+        (
+            "websyn_dict_delta_upserts",
+            "gauge",
+            dict.delta_upserts as u64,
+        ),
+        (
+            "websyn_dict_delta_tombstones",
+            "gauge",
+            dict.delta_tombstones as u64,
+        ),
+        ("websyn_dict_epoch", "gauge", dict.epoch),
+        ("websyn_dict_revision", "counter", dict.revision),
+        ("websyn_dict_compactions_total", "counter", dict.compactions),
+        ("websyn_deltas_applied_total", "counter", engine.deltas()),
     ] {
         prometheus::write_type(&mut out, name, kind);
         prometheus::write_series(&mut out, name, "", value);

@@ -9,15 +9,31 @@
 //! ```text
 //! request   = query-line | control-line
 //! query-line   = any text not starting with '#'
-//! control-line = "#stats" | "#metrics" | "#slow"
+//! control-line = "#stats" | "#metrics" | "#slow" | dict-line
+//! dict-line = "#dict" *( TAB surface TAB binding )
+//!                                  ; one delta op per (surface, binding)
+//!                                  ; pair: binding is an entity id for
+//!                                  ; an upsert, "-" for a tombstone —
+//!                                  ; the delta TSV of
+//!                                  ; POST /admin/dict/delta with its
+//!                                  ; newlines folded onto tabs (row
+//!                                  ; fields and rows alternate; raw
+//!                                  ; surfaces never contain tabs)
 //!
-//! response  = ok-line | stats-line | metrics-line | slow-line | err-line
+//! response  = ok-line | stats-line | metrics-line | slow-line
+//!           | dict-ok-line | err-line
 //! ok-line   = "OK" *( TAB span )
 //! span      = start "," end "," entity "," distance "," surface
 //! stats-line = "STATS" TAB "hits=" n TAB "misses=" n TAB "hit_rate=" x
 //!              TAB "entries=" n TAB "evictions=" n TAB "swaps=" n
 //!              TAB "window_hits=" n TAB "window_misses=" n
-//!              TAB "uptime_seconds=" n
+//!              TAB "segments=" n TAB "delta_upserts=" n
+//!              TAB "delta_tombstones=" n TAB "epoch=" n
+//!              TAB "compactions=" n TAB "uptime_seconds=" n
+//! dict-ok-line = "DICT" TAB "applied=" n TAB "segments=" n
+//!                TAB "epoch=" n TAB "revision=" n
+//!                                  ; the delta is live before this
+//!                                  ; line is written
 //! metrics-line = "METRICS" *( TAB exposition-line )
 //!                                  ; the Prometheus text exposition of
 //!                                  ; GET /metrics, one response line:
@@ -45,7 +61,7 @@
 use crate::cache::CacheStats;
 use crate::protocol::{Protocol, Reject, Request, RequestParser, Wire};
 use std::sync::Arc;
-use websyn_core::{MatchSpan, WindowCacheStats};
+use websyn_core::{DictStats, MatchSpan, WindowCacheStats};
 
 /// The backpressure reject sent when the request queue is full.
 pub const ERR_BUSY: &str = "ERR busy";
@@ -71,6 +87,11 @@ pub const CONTROL_METRICS: &str = "#metrics";
 /// `GET /debug/slow`.
 pub const CONTROL_SLOW: &str = "#slow";
 
+/// The `#dict` control verb — the line-protocol spelling of
+/// `POST /admin/dict/delta`. Delta ops follow on the same line,
+/// tab-separated (see the module grammar).
+pub const CONTROL_DICT: &str = "#dict";
+
 /// Serializes a segmentation result as one `OK` response line (without
 /// the trailing newline). This is the *only* span serializer in the
 /// serving stack — cached and uncached results pass through the same
@@ -95,17 +116,19 @@ pub fn format_spans(spans: &[MatchSpan]) -> String {
 
 /// Serializes cache statistics as one `STATS` response line. `window`
 /// carries the matcher's cross-batch window-cache counters, zero when
-/// no cache is attached (the fields are always present);
-/// `uptime_seconds` is the serving engine's age.
+/// no cache is attached (the fields are always present); `dict` the
+/// dictionary lifecycle counters; `uptime_seconds` is the serving
+/// engine's age.
 pub fn format_stats(
     stats: &CacheStats,
     swaps: u64,
     window: Option<WindowCacheStats>,
+    dict: DictStats,
     uptime_seconds: u64,
 ) -> String {
     let window = window.unwrap_or_default();
     format!(
-        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}\twindow_hits={}\twindow_misses={}\tuptime_seconds={}",
+        "STATS\thits={}\tmisses={}\thit_rate={:.4}\tentries={}\tevictions={}\tswaps={}\twindow_hits={}\twindow_misses={}\tsegments={}\tdelta_upserts={}\tdelta_tombstones={}\tepoch={}\tcompactions={}\tuptime_seconds={}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
@@ -114,7 +137,22 @@ pub fn format_stats(
         swaps,
         window.hits,
         window.misses,
+        dict.segments,
+        dict.delta_upserts,
+        dict.delta_tombstones,
+        dict.epoch,
+        dict.compactions,
         uptime_seconds,
+    )
+}
+
+/// Serializes the acknowledgement of an applied dictionary delta as
+/// one `DICT` response line: the op count of the delta and where the
+/// dictionary lifecycle now stands.
+pub fn format_dict_delta(applied: usize, dict: &DictStats) -> String {
+    format!(
+        "DICT\tapplied={}\tsegments={}\tepoch={}\trevision={}",
+        applied, dict.segments, dict.epoch, dict.revision,
     )
 }
 
@@ -161,9 +199,14 @@ impl Protocol for LineProtocol {
         stats: &CacheStats,
         swaps: u64,
         window: Option<WindowCacheStats>,
+        dict: DictStats,
         uptime_seconds: u64,
     ) -> Arc<str> {
-        Arc::from(format_stats(stats, swaps, window, uptime_seconds).as_str())
+        Arc::from(format_stats(stats, swaps, window, dict, uptime_seconds).as_str())
+    }
+
+    fn render_dict_delta(&self, applied: usize, dict: &DictStats) -> Arc<str> {
+        Arc::from(format_dict_delta(applied, dict).as_str())
     }
 
     fn render_metrics(&self, body: &str) -> Arc<str> {
@@ -202,6 +245,9 @@ impl RequestParser for LineParser {
                 "stats" => Request::Stats { close: false },
                 "metrics" => Request::Metrics { close: false },
                 "slow" => Request::DebugSlow { close: false },
+                _ if control == "dict" || control.starts_with("dict\t") => {
+                    parse_dict_line(control.strip_prefix("dict").expect("checked prefix"))
+                }
                 _ => Request::Reject {
                     reject: Reject::NotFound,
                     close: false,
@@ -214,6 +260,35 @@ impl RequestParser for LineParser {
             }
         })
     }
+}
+
+/// Decodes the payload of a `#dict` line — `*( TAB surface TAB
+/// binding )` — back into the delta TSV (one `surface TAB binding`
+/// row per pair). A bare `#dict` is an empty delta; an odd number of
+/// fields cannot be paired up and is malformed.
+fn parse_dict_line(payload: &str) -> Request {
+    let payload = payload.strip_prefix('\t').unwrap_or(payload);
+    if payload.is_empty() {
+        return Request::DictDelta {
+            body: String::new(),
+            close: false,
+        };
+    }
+    let fields: Vec<&str> = payload.split('\t').collect();
+    if !fields.len().is_multiple_of(2) {
+        return Request::Reject {
+            reject: Reject::Malformed,
+            close: false,
+        };
+    }
+    let mut body = String::with_capacity(payload.len() + fields.len() / 2);
+    for pair in fields.chunks(2) {
+        body.push_str(pair[0]);
+        body.push('\t');
+        body.push_str(pair[1]);
+        body.push('\n');
+    }
+    Request::DictDelta { body, close: false }
 }
 
 #[cfg(test)]
@@ -285,7 +360,7 @@ mod tests {
             assert!(proto.render_reject(reject).starts_with("ERR "));
         }
         assert!(proto
-            .render_stats(&CacheStats::default(), 0, None, 0)
+            .render_stats(&CacheStats::default(), 0, None, DictStats::default(), 0)
             .starts_with("STATS\t"));
     }
 
@@ -307,9 +382,71 @@ mod tests {
 
     #[test]
     fn stats_line_is_single_line_tab_separated() {
-        let line = format_stats(&CacheStats::default(), 3, None, 17);
+        let dict = DictStats {
+            segments: 2,
+            delta_upserts: 5,
+            delta_tombstones: 1,
+            epoch: 2,
+            compactions: 4,
+            ..DictStats::default()
+        };
+        let line = format_stats(&CacheStats::default(), 3, None, dict, 17);
         assert!(line.starts_with("STATS\thits=0\t"));
-        assert!(line.ends_with("swaps=3\twindow_hits=0\twindow_misses=0\tuptime_seconds=17"));
+        assert!(line.ends_with(
+            "swaps=3\twindow_hits=0\twindow_misses=0\tsegments=2\tdelta_upserts=5\
+             \tdelta_tombstones=1\tepoch=2\tcompactions=4\tuptime_seconds=17"
+        ));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn dict_line_decodes_pairs_back_into_delta_tsv() {
+        let mut p = LineProtocol.parser();
+        // One upsert, one tombstone, folded onto tabs.
+        assert_eq!(
+            p.on_line(b"#dict\tstarwars kid\t9\tindy 4\t-"),
+            Some(Request::DictDelta {
+                body: "starwars kid\t9\nindy 4\t-\n".to_string(),
+                close: false,
+            })
+        );
+        // A bare verb is an empty delta (a no-op commit).
+        assert_eq!(
+            p.on_line(b"#dict"),
+            Some(Request::DictDelta {
+                body: String::new(),
+                close: false,
+            })
+        );
+        // An odd field count cannot pair up: malformed, not a guess.
+        assert_eq!(
+            p.on_line(b"#dict\tstarwars kid"),
+            Some(Request::Reject {
+                reject: Reject::Malformed,
+                close: false,
+            })
+        );
+        // "#dictionary" is not the dict verb.
+        assert_eq!(
+            p.on_line(b"#dictionary"),
+            Some(Request::Reject {
+                reject: Reject::NotFound,
+                close: false,
+            })
+        );
+    }
+
+    #[test]
+    fn dict_ack_line_reports_lifecycle_position() {
+        let dict = DictStats {
+            segments: 3,
+            epoch: 3,
+            revision: 7,
+            ..DictStats::default()
+        };
+        assert_eq!(
+            format_dict_delta(2, &dict),
+            "DICT\tapplied=2\tsegments=3\tepoch=3\trevision=7"
+        );
     }
 }

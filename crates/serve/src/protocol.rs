@@ -69,6 +69,17 @@ pub enum Request {
         /// Close the connection after the response.
         close: bool,
     },
+    /// Apply a dictionary delta (`POST /admin/dict/delta` / `#dict`),
+    /// answered at receipt time: the body is the delta TSV
+    /// ([`websyn_core::DictDelta::parse_tsv`] — `surface\tentity`
+    /// upserts, `surface\t-` tombstones), applied live to the serving
+    /// dictionary without a restart or base recompile.
+    DictDelta {
+        /// The delta TSV, exactly as it reaches the parser.
+        body: String,
+        /// Close the connection after the response.
+        close: bool,
+    },
     /// Answer with a protocol-rendered error.
     Reject {
         /// Why the request was rejected.
@@ -126,15 +137,27 @@ pub trait Protocol: Send + Sync + 'static {
 
     /// Renders a statistics response. `window` carries the matcher's
     /// cross-batch window-cache counters when one is attached
-    /// ([`websyn_core::EntityMatcher::with_window_cache`]);
-    /// `uptime_seconds` is the engine's age.
+    /// ([`websyn_core::EntityMatcher::with_window_cache`]); `dict`
+    /// carries the dictionary lifecycle counters (segment count, live
+    /// delta sizes, epoch, compactions); `uptime_seconds` is the
+    /// engine's age.
     fn render_stats(
         &self,
         stats: &CacheStats,
         swaps: u64,
         window: Option<websyn_core::WindowCacheStats>,
+        dict: websyn_core::DictStats,
         uptime_seconds: u64,
     ) -> Arc<str>;
+
+    /// Renders the response to a successfully applied dictionary
+    /// delta: `applied` is the op count of the delta, `dict` the
+    /// post-apply lifecycle counters. Protocols without a delta
+    /// endpoint render their not-found reject.
+    fn render_dict_delta(&self, applied: usize, dict: &websyn_core::DictStats) -> Arc<str> {
+        let _ = (applied, dict);
+        self.render_reject(Reject::NotFound)
+    }
 
     /// Wraps an already-assembled Prometheus text exposition as a
     /// complete response payload. Protocols without a metrics endpoint

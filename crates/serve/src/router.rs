@@ -26,6 +26,15 @@
 //! ([`crate::cluster`]) republishes it — and fails over to the next
 //! candidate. GETs are idempotent, so retrying is safe; a client
 //! request is only answered `503` when no worker at all can serve it.
+//!
+//! Control-plane requests bypass the ring hash: `/stats`, `/metrics`
+//! and `/debug/slow` aggregate every live worker's answer, and
+//! `POST /admin/dict/delta` fans the delta body out to the whole
+//! fleet — `200` only when every live worker applied it, so a partial
+//! (mixed-surface) fleet is never reported as a success. The router's
+//! own `/metrics` view adds a `websyn_router_proxy_duration_us`
+//! histogram of end-to-end proxy latency (pick → upstream exchange,
+//! failovers included) under `worker="router"`.
 
 use crate::http::{self, percent_encode, read_response};
 use crate::protocol::{Protocol, Reject, Request};
@@ -35,7 +44,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use websyn_obs::Histogram;
+
+/// End-to-end latency of proxied `/match` requests, microseconds:
+/// worker pick through upstream exchange, failovers included. A
+/// process-wide static (like the reject counters) — the router is its
+/// own process, so this is exactly its per-process series.
+static PROXY_LATENCY_US: Histogram = Histogram::new();
 
 /// One worker slot in the ring. `addr` is `None` while the slot is
 /// drained (worker dead, backing off, or being swapped); `in_flight`
@@ -430,6 +446,7 @@ fn answer(
         Request::Stats { close } => (aggregate_stats(ring, config), close),
         Request::Metrics { close } => (aggregate_metrics(ring, config), close),
         Request::DebugSlow { close } => (aggregate_slow(ring, config), close),
+        Request::DictDelta { body, close } => (fan_out_delta(ring, &body, config), close),
         Request::Reject { reject, close } => {
             crate::metrics::count_reject(reject);
             (protocol.render_reject(reject).to_string(), close)
@@ -439,8 +456,20 @@ fn answer(
 
 /// Proxies one query: pick a worker, exchange, fail over on IO errors.
 /// Answers `503` only when every slot has been tried and none could
-/// serve.
+/// serve. Records end-to-end latency into [`PROXY_LATENCY_US`].
 fn proxy_query(
+    ring: &Ring,
+    upstreams: &mut [Option<Upstream>],
+    query: &str,
+    config: RouterConfig,
+) -> String {
+    let started = Instant::now();
+    let response = proxy_query_inner(ring, upstreams, query, config);
+    PROXY_LATENCY_US.record(crate::metrics::as_us(started.elapsed()));
+    response
+}
+
+fn proxy_query_inner(
     ring: &Ring,
     upstreams: &mut [Option<Upstream>],
     query: &str,
@@ -536,9 +565,79 @@ fn fetch_from_workers(ring: &Ring, config: RouterConfig, path: &str) -> Vec<(usi
     bodies
 }
 
+/// Fans a dictionary delta out to the whole fleet: every live worker
+/// gets the body over a fresh connection (control-plane writes are
+/// rare, and the request path's keep-alive accounting should not see
+/// them). The fleet answer is `200` only when *every* live worker
+/// applied the delta — a partial application leaves the fleet serving
+/// mixed surfaces, which the caller must see (and can repair by
+/// retrying: delta ops are idempotent upserts/tombstones). When every
+/// worker refused with one status (e.g. a malformed delta's unanimous
+/// `400`), that status is relayed; mixed or transport failures answer
+/// `503`.
+fn fan_out_delta(ring: &Ring, body: &str, config: RouterConfig) -> String {
+    use std::fmt::Write;
+    let head = format!(
+        "POST /admin/dict/delta HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    let mut applied = 0usize;
+    let mut statuses: Vec<u16> = Vec::new();
+    let mut per_worker = String::new();
+    for slot in 0..ring.len() {
+        let Some(addr) = ring.addr_of(slot) else {
+            continue;
+        };
+        let outcome = Upstream::connect(addr, config.upstream_timeout)
+            .and_then(|mut upstream| upstream.exchange(&head));
+        if !per_worker.is_empty() {
+            per_worker.push(',');
+        }
+        match outcome {
+            Ok((200, ack)) => {
+                applied += 1;
+                statuses.push(200);
+                let _ = write!(
+                    per_worker,
+                    "{{\"worker\":{slot},\"ok\":true,\"ack\":{ack}}}"
+                );
+            }
+            Ok((status, _)) => {
+                statuses.push(status);
+                let _ = write!(
+                    per_worker,
+                    "{{\"worker\":{slot},\"ok\":false,\"status\":{status}}}"
+                );
+            }
+            Err(_) => {
+                statuses.push(0);
+                let _ = write!(
+                    per_worker,
+                    "{{\"worker\":{slot},\"ok\":false,\"status\":0}}"
+                );
+            }
+        }
+    }
+    let targeted = statuses.len();
+    let ok = targeted > 0 && applied == targeted;
+    let response_body = format!(
+        "{{\"ok\":{ok},\"applied_workers\":{applied},\"targeted_workers\":{targeted},\"per_worker\":[{per_worker}]}}"
+    );
+    let status = if ok {
+        200
+    } else if targeted > 0 && statuses[0] != 0 && statuses.iter().all(|&s| s == statuses[0]) {
+        statuses[0]
+    } else {
+        503
+    };
+    http::response(status, reason_for(status), &response_body)
+}
+
 /// The summed-field keys of the worker `/stats` grammar, in response
 /// order (shared by the fleet totals and the per-worker breakdown).
-const STATS_KEYS: [&str; 7] = [
+/// `epoch` is deliberately absent: summing per-base commit positions
+/// across workers is meaningless.
+const STATS_KEYS: [&str; 11] = [
     "hits",
     "misses",
     "entries",
@@ -546,6 +645,10 @@ const STATS_KEYS: [&str; 7] = [
     "swaps",
     "window_hits",
     "window_misses",
+    "segments",
+    "delta_upserts",
+    "delta_tombstones",
+    "compactions",
 ];
 
 /// Answers `/stats` with the sum of every live worker's statistics,
@@ -564,7 +667,8 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
         }
         uptime = uptime.max(stats_field(body, "uptime_seconds"));
     }
-    let [hits, misses, entries, evictions, swaps, window_hits, window_misses] = totals;
+    let [hits, misses, entries, evictions, swaps, window_hits, window_misses, segments, delta_upserts, delta_tombstones, compactions] =
+        totals;
     let lookups = hits + misses;
     let hit_rate = if lookups == 0 {
         0.0
@@ -572,7 +676,7 @@ fn aggregate_stats(ring: &Ring, config: RouterConfig) -> String {
         hits as f64 / lookups as f64
     };
     let mut body = format!(
-        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"window_hits\":{window_hits},\"window_misses\":{window_misses},\"workers\":{},\"uptime_seconds\":{uptime},\"per_worker\":[",
+        "{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4},\"entries\":{entries},\"evictions\":{evictions},\"swaps\":{swaps},\"window_hits\":{window_hits},\"window_misses\":{window_misses},\"segments\":{segments},\"delta_upserts\":{delta_upserts},\"delta_tombstones\":{delta_tombstones},\"compactions\":{compactions},\"workers\":{},\"uptime_seconds\":{uptime},\"per_worker\":[",
         bodies.len(),
     );
     for (i, (slot, worker_body)) in bodies.iter().enumerate() {
@@ -657,6 +761,15 @@ fn aggregate_metrics(ring: &Ring, config: RouterConfig) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("# TYPE websyn_cluster_workers_up gauge\n");
     out.push_str(&format!("websyn_cluster_workers_up {workers_up}\n"));
+    // The router's own proxy-latency histogram — a metric no worker
+    // emits, so it forms its own group without merge bookkeeping.
+    websyn_obs::prometheus::write_type(&mut out, "websyn_router_proxy_duration_us", "histogram");
+    websyn_obs::prometheus::write_histogram(
+        &mut out,
+        "websyn_router_proxy_duration_us",
+        "worker=\"router\"",
+        &PROXY_LATENCY_US.snapshot(),
+    );
     for name in &order {
         out.push_str(&types[name]);
         out.push('\n');
@@ -790,6 +903,23 @@ mod tests {
         assert!(response.contains("websyn_cluster_workers_up 0\n"));
         assert!(response.contains("# TYPE websyn_rejects_total counter\n"));
         assert!(response.contains("websyn_rejects_total{worker=\"router\",class=\"busy\"}"));
+        // The proxy-latency histogram is always present, labeled as the
+        // router's own series.
+        assert!(response.contains("# TYPE websyn_router_proxy_duration_us histogram\n"));
+        assert!(response.contains("websyn_router_proxy_duration_us_count{worker=\"router\"}"));
+    }
+
+    #[test]
+    fn fan_out_delta_with_no_workers_is_an_explicit_failure() {
+        // An all-down fleet cannot apply anything: the answer must not
+        // read as success.
+        let ring = Ring::new(2, 1);
+        let response = fan_out_delta(&ring, "indy five\t7\n", RouterConfig::default());
+        assert!(response.starts_with("HTTP/1.1 503 "), "{response}");
+        assert!(response.contains("\"ok\":false"));
+        assert!(response.contains("\"applied_workers\":0"));
+        assert!(response.contains("\"targeted_workers\":0"));
+        assert!(response.ends_with("\"per_worker\":[]}"));
     }
 
     #[test]

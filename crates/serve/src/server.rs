@@ -635,10 +635,21 @@ fn reader_loop(
                     &engine.cache_stats(),
                     engine.swaps(),
                     engine.window_cache_stats(),
+                    engine.dict_stats(),
                     engine.uptime_seconds(),
                 )),
                 close,
             ),
+            // Dictionary deltas are applied before the acknowledgement
+            // is written: once the client sees the 200, the new
+            // surfaces are live for every subsequent query.
+            Request::DictDelta { body, close } => match engine.apply_delta_tsv(&body) {
+                Ok((applied, stats)) => (Some(protocol.render_dict_delta(applied, &stats)), close),
+                Err(_) => {
+                    metrics::count_reject(Reject::Malformed);
+                    (Some(protocol.render_reject(Reject::Malformed)), close)
+                }
+            },
             Request::Metrics { close } => (
                 Some(protocol.render_metrics(&metrics::prometheus_text(engine))),
                 close,

@@ -234,3 +234,97 @@ fn rolling_restart_is_invisible_to_in_flight_traffic() {
     cluster.shutdown();
     let _ = std::fs::remove_file(dict);
 }
+
+#[test]
+fn rolling_restart_onto_a_new_artifact_serves_the_new_dictionary() {
+    let (cluster, dict) = start_cluster("artifact", 3, 2);
+    let queries = query_mix();
+    let addr = cluster.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The new artifact is a superset of the old: every query in the
+    // traffic mix answers byte-identically from either, so in-flight
+    // responses stay oracle-exact even while the fleet serves a mix of
+    // artifacts mid-roll.
+    let new_dict = std::env::temp_dir().join(format!(
+        "websyn-cluster-test-{}-artifact-new.tsv",
+        std::process::id()
+    ));
+    let mut tsv = test_matcher().to_tsv();
+    tsv.push_str("fresh artifact surface\t500\n");
+    std::fs::write(&new_dict, &tsv).expect("write new dict");
+    #[allow(deprecated)] // from_tsv: the oracle loads exactly what workers load
+    let new_oracle = EntityMatcher::from_tsv(&tsv).expect("parse new dict");
+
+    {
+        let mut client = Client::connect(addr);
+        assert_eq!(
+            client.ask("fresh artifact surface"),
+            (200, "{\"spans\":[]}".to_string()),
+            "new surface must not resolve before the roll"
+        );
+    }
+
+    // Background clients hammer the router across the whole roll;
+    // every response must be a 200 with oracle-exact bytes.
+    let clients: Vec<_> = (0..3)
+        .map(|offset| {
+            let stop = Arc::clone(&stop);
+            let queries = queries.clone();
+            let oracle = test_matcher();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr);
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    for query in queries.iter().skip(offset).step_by(3) {
+                        let want = (200, spans_json(&oracle.segment(query)));
+                        let got = client.ask(query);
+                        if got != want {
+                            return Err(format!(
+                                "{query:?}: got {} {:?}",
+                                got.0,
+                                &got.1[..got.1.len().min(80)]
+                            ));
+                        }
+                        served += 1;
+                    }
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    let swapped = cluster
+        .rolling_restart_with_dict(Some(new_dict.to_string_lossy().into_owned()))
+        .expect("rolling restart with dict");
+    assert_eq!(swapped, 3, "every worker swapped onto the new artifact");
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0;
+    for handle in clients {
+        total += handle
+            .join()
+            .expect("client thread")
+            .expect("zero failed requests during the artifact roll");
+    }
+    assert!(total > 0, "clients actually ran traffic");
+
+    // The rolled fleet serves the new artifact's surface set, byte-for
+    // byte what a single engine over the new artifact would answer.
+    let mut client = Client::connect(addr);
+    let want = (
+        200,
+        spans_json(&new_oracle.segment("fresh artifact surface")),
+    );
+    assert!(want.1.contains("\"entity\":500"), "oracle sanity");
+    assert_eq!(client.ask("fresh artifact surface"), want);
+    // Old surfaces still answer identically.
+    for query in queries.iter().take(10) {
+        let expect = (200, spans_json(&new_oracle.segment(query)));
+        assert_eq!(client.ask(query), expect, "after artifact roll: {query:?}");
+    }
+    cluster.shutdown();
+    let _ = std::fs::remove_file(dict);
+    let _ = std::fs::remove_file(new_dict);
+}

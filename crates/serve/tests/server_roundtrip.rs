@@ -130,6 +130,7 @@ fn stats_and_unknown_control_lines() {
 }
 
 #[test]
+#[allow(deprecated)] // swap_matcher: the legacy swap path must keep working
 fn dictionary_swap_on_a_live_server() {
     let (engine, server) = start(ServeConfig::default());
     let mut client = Client::connect(&server);

@@ -1,10 +1,10 @@
-//! The serving stack end to end: engine + result cache +
-//! rebuild-and-swap + live round trips over both transports.
+//! The serving stack end to end: engine + result cache + live
+//! dictionary deltas + round trips over both transports.
 //!
 //! Builds a fuzzy-enabled dictionary, puts it behind
 //! `websyn_serve::Engine` (the sharded LRU result cache), replays a
 //! small Zipf-ish stream of repeating queries to show the cache
-//! absorbing the fuzzy path, hot-swaps a rebuilt dictionary, and
+//! absorbing the fuzzy path, applies a live dictionary delta, and
 //! finally starts the real TCP server twice — once speaking the line
 //! protocol, once speaking HTTP/1.1 — for pipelined round trips over
 //! both wire formats against the same engine.
@@ -72,23 +72,19 @@ fn main() {
         stats.hit_rate() * 100.0
     );
 
-    // --- rebuild-and-swap -------------------------------------------
-    // CompiledDict is immutable; deployments compile a new dictionary
-    // off-line and swap it in. The swap invalidates the result cache.
-    println!("== rebuild-and-swap: new dictionary adds 'indiana jones 4' ==");
-    let rebuilt = Arc::new(
-        EntityMatcher::from_pairs(vec![
-            ("indy 4", EntityId::new(0)),
-            ("indiana jones 4", EntityId::new(0)),
-            ("madagascar 2", EntityId::new(1)),
-            ("canon eos 350d", EntityId::new(2)),
-        ])
-        .with_fuzzy(FuzzyConfig::default()),
-    );
-    engine.swap_matcher(rebuilt);
+    // --- live dictionary delta ---------------------------------------
+    // The compiled base stays immutable; small changes apply live as
+    // delta segments through the engine's DictHandle — no recompile,
+    // no restart, and the result cache invalidates only entries the
+    // delta could have touched.
+    println!("== live delta: 'indiana jones 4' joins the dictionary ==");
+    let (applied, dict) = engine
+        .apply_delta_tsv("indiana jones 4\t0\n")
+        .expect("well-formed delta");
     let spans = engine.resolve("watch indiana jones 4 online");
     println!(
-        "  after swap: 'watch indiana jones 4 online' -> {} span(s), cache entries {}\n",
+        "  after delta ({applied} op, {} live segment): 'watch indiana jones 4 online' -> {} span(s), cache entries {}\n",
+        dict.segments,
         spans.len(),
         engine.cache_stats().entries,
     );

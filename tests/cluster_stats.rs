@@ -8,7 +8,7 @@
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use websyn::serve::cluster::load_matcher;
+use websyn::serve::cluster::load_dict;
 use websyn::serve::http::{percent_encode, read_response};
 use websyn::serve::{
     Engine, HttpProtocol, Ring, Router, RouterConfig, Server, ServerConfig, ServerHandle,
@@ -39,12 +39,12 @@ fn stats_field(body: &str, key: &str) -> u64 {
 }
 
 fn worker() -> ServerHandle {
-    let matcher = Arc::new(load_matcher(None).expect("demo matcher"));
+    let dict = load_dict(None).expect("demo dictionary");
     assert!(
-        matcher.window_cache().is_some(),
+        dict.matcher().window_cache().is_some(),
         "serving-path matchers carry a window cache"
     );
-    let engine = Arc::new(Engine::builder(matcher).build());
+    let engine = Arc::new(Engine::builder_with_dict(dict).build());
     Server::start_with(
         engine,
         "127.0.0.1:0",
